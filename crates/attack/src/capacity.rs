@@ -1,0 +1,202 @@
+//! Capacity planning: how much data fits in a model before training
+//! starts.
+//!
+//! The §IV-A preprocessing "estimates the number of images that can be
+//! encoded based on the parameter amount and image size"; these helpers
+//! expose that estimate (and the resulting embedding rate) as a
+//! first-class report so an adversary — or an auditor reasoning about
+//! worst-case leakage — can compute it without building a layout.
+
+use qce_nn::Network;
+
+use crate::{AttackError, GroupSpec, Result};
+
+/// The carrying capacity of a network under a given grouping.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CapacityReport {
+    /// Total `Weight`-kind scalars in the model.
+    pub total_weights: usize,
+    /// Weights inside groups with `λ > 0` (the usable carrier).
+    pub encodable_weights: usize,
+    /// Pixels per target image.
+    pub image_pixels: usize,
+    /// Whole images that fit (`⌊encodable / pixels⌋`).
+    pub max_images: usize,
+    /// Per-group `(weights, images)` breakdown, in spec order.
+    pub per_group: Vec<(usize, usize)>,
+}
+
+impl CapacityReport {
+    /// Fraction of the model's weights used as carrier.
+    pub fn carrier_fraction(&self) -> f32 {
+        if self.total_weights == 0 {
+            return 0.0;
+        }
+        self.encodable_weights as f32 / self.total_weights as f32
+    }
+
+    /// Fraction of the encodable weights actually filled by whole images.
+    pub fn utilization(&self) -> f32 {
+        if self.encodable_weights == 0 {
+            return 0.0;
+        }
+        (self.max_images * self.image_pixels) as f32 / self.encodable_weights as f32
+    }
+
+    /// Payload bits (8 per pixel) per carrier weight bit (32 per f32) —
+    /// the embedding rate; 0.25 means one payload byte rides in every
+    /// four carrier bytes.
+    pub fn embedding_rate(&self) -> f32 {
+        if self.encodable_weights == 0 {
+            return 0.0;
+        }
+        (self.max_images * self.image_pixels * 8) as f32 / (self.encodable_weights * 32) as f32
+    }
+}
+
+/// Computes the capacity of `net` under `specs` for `image_pixels`-pixel
+/// targets.
+///
+/// # Errors
+///
+/// Returns [`AttackError::InvalidGroups`] for out-of-range ordinals or
+/// [`AttackError::NoCapacity`] when `image_pixels` is zero.
+///
+/// # Examples
+///
+/// ```
+/// use qce_attack::{capacity, GroupSpec};
+/// use qce_nn::models::ResNetLite;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let net = ResNetLite::builder()
+///     .input(3, 8).classes(4).stage_channels(&[8, 16]).blocks_per_stage(1)
+///     .build(1)?;
+/// let specs = GroupSpec::uniform(net.weight_slots().len(), 5.0);
+/// let report = capacity::plan_capacity(&net, &specs, 192)?;
+/// assert!(report.max_images > 0);
+/// assert!(report.carrier_fraction() > 0.99); // uniform uses everything
+/// # Ok(())
+/// # }
+/// ```
+pub fn plan_capacity(
+    net: &Network,
+    specs: &[GroupSpec],
+    image_pixels: usize,
+) -> Result<CapacityReport> {
+    if image_pixels == 0 {
+        return Err(AttackError::NoCapacity {
+            weights: net.num_weights(),
+            image_pixels,
+        });
+    }
+    let slots = net.weight_slots();
+    let mut encodable = 0usize;
+    let mut per_group = Vec::with_capacity(specs.len());
+    for spec in specs {
+        let mut weights = 0usize;
+        for &o in &spec.ordinals {
+            let slot = slots.get(o).ok_or_else(|| AttackError::InvalidGroups {
+                reason: format!("ordinal {o} out of range ({} slots)", slots.len()),
+            })?;
+            weights += slot.len;
+        }
+        let images = if spec.lambda > 0.0 {
+            weights / image_pixels
+        } else {
+            0
+        };
+        if spec.lambda > 0.0 {
+            encodable += weights;
+        }
+        per_group.push((weights, images));
+    }
+    let max_images = per_group.iter().map(|&(_, n)| n).sum();
+    Ok(CapacityReport {
+        total_weights: net.num_weights(),
+        encodable_weights: encodable,
+        image_pixels,
+        max_images,
+        per_group,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qce_nn::models::ResNetLite;
+
+    fn net() -> Network {
+        ResNetLite::builder()
+            .input(3, 8)
+            .classes(4)
+            .stage_channels(&[8, 16])
+            .blocks_per_stage(1)
+            .build(1)
+            .unwrap()
+    }
+
+    #[test]
+    fn uniform_capacity_counts_everything() {
+        let n = net();
+        let specs = GroupSpec::uniform(n.weight_slots().len(), 3.0);
+        let r = plan_capacity(&n, &specs, 192).unwrap();
+        assert_eq!(r.total_weights, n.num_weights());
+        assert_eq!(r.encodable_weights, n.num_weights());
+        assert_eq!(r.max_images, n.num_weights() / 192);
+        assert!(r.utilization() > 0.9);
+        assert!(r.embedding_rate() > 0.2 && r.embedding_rate() <= 0.25);
+    }
+
+    #[test]
+    fn zero_lambda_groups_carry_nothing() {
+        let n = net();
+        let total = n.weight_slots().len();
+        let specs = GroupSpec::paper_thirds(total, [0.0, 0.0, 5.0]);
+        let r = plan_capacity(&n, &specs, 192).unwrap();
+        assert_eq!(r.per_group[0].1, 0);
+        assert_eq!(r.per_group[1].1, 0);
+        assert!(r.per_group[2].1 > 0);
+        assert!(r.carrier_fraction() < 1.0);
+        // Group breakdown sums match.
+        let group_weights: usize = r.per_group.iter().map(|&(w, _)| w).sum();
+        assert_eq!(group_weights, r.total_weights);
+    }
+
+    #[test]
+    fn capacity_matches_layout_plan() {
+        // The capacity estimate and the actual layout agree.
+        use crate::EncodingLayout;
+        use qce_data::SynthCifar;
+        let n = net();
+        let total = n.weight_slots().len();
+        let specs = GroupSpec::uniform(total, 2.0);
+        let report = plan_capacity(&n, &specs, 192).unwrap();
+        let images = SynthCifar::new(8)
+            .generate(report.max_images + 50, 3)
+            .unwrap();
+        let layout = EncodingLayout::plan(&n, &specs, images.images()).unwrap();
+        assert_eq!(layout.total_encoded_images(), report.max_images);
+    }
+
+    #[test]
+    fn validation_errors() {
+        let n = net();
+        assert!(plan_capacity(&n, &GroupSpec::uniform(2, 1.0), 0).is_err());
+        let bad = vec![GroupSpec::new(1.0, vec![999])];
+        assert!(matches!(
+            plan_capacity(&n, &bad, 192),
+            Err(AttackError::InvalidGroups { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_specs_have_zero_capacity() {
+        let n = net();
+        let r = plan_capacity(&n, &[], 192).unwrap();
+        assert_eq!(r.max_images, 0);
+        assert_eq!(r.carrier_fraction(), 0.0);
+        assert_eq!(r.utilization(), 0.0);
+        assert_eq!(r.embedding_rate(), 0.0);
+    }
+}

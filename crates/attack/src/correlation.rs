@@ -1,0 +1,222 @@
+//! The correlated-value-encoding penalty `C(θ, s)` (Eq. 1 of the paper)
+//! and its analytic gradient.
+//!
+//! With `ρ` the Pearson correlation between weights `θ` and secret values
+//! `s`, the malicious regularizer is `C = -λ·|ρ|` (the paper's form) or
+//! `C = -λ·ρ` ([`SignConvention::Positive`], the form a practical
+//! adversary prefers because it fixes the decoding polarity). Minimizing
+//! the total loss therefore pushes `|ρ| → 1`, i.e. the weights become an
+//! affine image of the secret data.
+//!
+//! The gradient is derived in closed form: with `A = Σ(θᵢ-θ̄)(sᵢ-s̄)`,
+//! `B = ‖θ-θ̄‖`, `D = ‖s-s̄‖` and `ρ = A/(B·D)`,
+//!
+//! ```text
+//! ∂ρ/∂θᵢ = (sᵢ - s̄)/(B·D) - ρ·(θᵢ - θ̄)/B²
+//! ```
+//!
+//! and `∂C/∂θᵢ = -λ·sign(ρ)·∂ρ/∂θᵢ` (with `sign(ρ) ≡ 1` under the
+//! positive convention).
+
+/// Which functional form of the correlation penalty to optimize.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SignConvention {
+    /// `C = -λ·ρ`: drives the correlation positive, so the decoder knows
+    /// the polarity. The adversary authors the training code, so nothing
+    /// stops them from choosing this — it is the default.
+    #[default]
+    Positive,
+    /// `C = -λ·|ρ|`: the paper's literal Eq. 1. The trained polarity
+    /// depends on initialization; evaluation resolves it per group by
+    /// trying both (both leak the data equally).
+    Absolute,
+}
+
+/// Computes the penalty `C(θ, s)` and its gradient `∂C/∂θ`.
+///
+/// Returns `(0, zeros)` when either vector is constant or shorter than 2
+/// elements — a constant carrier holds no data, and the gradient of `ρ`
+/// is undefined there.
+///
+/// # Panics
+///
+/// Panics if `theta` and `s` differ in length.
+pub fn correlation_penalty(
+    theta: &[f32],
+    s: &[f32],
+    lambda: f32,
+    sign: SignConvention,
+) -> (f32, Vec<f32>) {
+    assert_eq!(theta.len(), s.len(), "theta and s must have equal lengths");
+    let n = theta.len();
+    if n < 2 {
+        return (0.0, vec![0.0; n]);
+    }
+    let mean_t: f64 = theta.iter().map(|&x| x as f64).sum::<f64>() / n as f64;
+    let mean_s: f64 = s.iter().map(|&x| x as f64).sum::<f64>() / n as f64;
+    let mut a = 0.0f64;
+    let mut bb = 0.0f64;
+    let mut dd = 0.0f64;
+    for (&t, &sv) in theta.iter().zip(s.iter()) {
+        let dt = t as f64 - mean_t;
+        let ds = sv as f64 - mean_s;
+        a += dt * ds;
+        bb += dt * dt;
+        dd += ds * ds;
+    }
+    if bb == 0.0 || dd == 0.0 {
+        return (0.0, vec![0.0; n]);
+    }
+    let b = bb.sqrt();
+    let d = dd.sqrt();
+    let rho = a / (b * d);
+    let (penalty, outer) = match sign {
+        SignConvention::Positive => (-(lambda as f64) * rho, -(lambda as f64)),
+        SignConvention::Absolute => {
+            let sgn = if rho >= 0.0 { 1.0 } else { -1.0 };
+            (-(lambda as f64) * rho.abs(), -(lambda as f64) * sgn)
+        }
+    };
+    let inv_bd = 1.0 / (b * d);
+    let rho_over_bb = rho / bb;
+    let grad: Vec<f32> = theta
+        .iter()
+        .zip(s.iter())
+        .map(|(&t, &sv)| {
+            let dt = t as f64 - mean_t;
+            let ds = sv as f64 - mean_s;
+            (outer * (ds * inv_bd - rho_over_bb * dt)) as f32
+        })
+        .collect();
+    (penalty as f32, grad)
+}
+
+/// The Pearson correlation `ρ(θ, s)` alone (0 for degenerate inputs) —
+/// used for reporting how strongly a released model still carries its
+/// secret.
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+pub fn correlation(theta: &[f32], s: &[f32]) -> f32 {
+    qce_tensor::stats::pearson(theta, s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn random_pair(n: usize, seed: u64) -> (Vec<f32>, Vec<f32>) {
+        let mut rng = qce_tensor::init::seeded_rng(seed);
+        let theta: Vec<f32> = (0..n)
+            .map(|_| qce_tensor::init::standard_normal(&mut rng) * 0.2)
+            .collect();
+        let s: Vec<f32> = (0..n)
+            .map(|_| 128.0 + 60.0 * qce_tensor::init::standard_normal(&mut rng))
+            .collect();
+        (theta, s)
+    }
+
+    #[test]
+    fn penalty_at_perfect_correlation() {
+        let s = vec![0.0, 50.0, 100.0, 200.0, 255.0];
+        let theta: Vec<f32> = s.iter().map(|&p| 0.002 * p - 0.3).collect();
+        let (c, _) = correlation_penalty(&theta, &s, 2.0, SignConvention::Positive);
+        assert!((c + 2.0).abs() < 1e-5);
+        // Anti-correlated under Absolute still gives -λ.
+        let anti: Vec<f32> = s.iter().map(|&p| -0.002 * p).collect();
+        let (ca, _) = correlation_penalty(&anti, &s, 2.0, SignConvention::Absolute);
+        assert!((ca + 2.0).abs() < 1e-5);
+        // ...but +λ·ρ = +2 under Positive (penalized).
+        let (cp, _) = correlation_penalty(&anti, &s, 2.0, SignConvention::Positive);
+        assert!((cp - 2.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference_positive() {
+        let (mut theta, s) = random_pair(40, 1);
+        let (_, grad) = correlation_penalty(&theta, &s, 3.0, SignConvention::Positive);
+        let eps = 1e-3;
+        for probe in [0usize, 13, 39] {
+            let orig = theta[probe];
+            theta[probe] = orig + eps;
+            let (hi, _) = correlation_penalty(&theta, &s, 3.0, SignConvention::Positive);
+            theta[probe] = orig - eps;
+            let (lo, _) = correlation_penalty(&theta, &s, 3.0, SignConvention::Positive);
+            theta[probe] = orig;
+            let fd = (hi - lo) / (2.0 * eps);
+            assert!(
+                (fd - grad[probe]).abs() < 1e-3,
+                "probe {probe}: fd={fd} an={}",
+                grad[probe]
+            );
+        }
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference_absolute() {
+        let (mut theta, s) = random_pair(30, 2);
+        let (_, grad) = correlation_penalty(&theta, &s, 1.5, SignConvention::Absolute);
+        let eps = 1e-3;
+        for probe in [2usize, 17, 29] {
+            let orig = theta[probe];
+            theta[probe] = orig + eps;
+            let (hi, _) = correlation_penalty(&theta, &s, 1.5, SignConvention::Absolute);
+            theta[probe] = orig - eps;
+            let (lo, _) = correlation_penalty(&theta, &s, 1.5, SignConvention::Absolute);
+            theta[probe] = orig;
+            let fd = (hi - lo) / (2.0 * eps);
+            assert!(
+                (fd - grad[probe]).abs() < 1e-3,
+                "probe {probe}: fd={fd} an={}",
+                grad[probe]
+            );
+        }
+    }
+
+    #[test]
+    fn gradient_descent_drives_correlation_up() {
+        let (mut theta, s) = random_pair(200, 3);
+        let before = correlation(&theta, &s);
+        for _ in 0..200 {
+            let (_, grad) = correlation_penalty(&theta, &s, 1.0, SignConvention::Positive);
+            for (t, g) in theta.iter_mut().zip(grad.iter()) {
+                *t -= 0.5 * g;
+            }
+        }
+        let after = correlation(&theta, &s);
+        assert!(after > before, "{before} -> {after}");
+        assert!(after > 0.95, "correlation only reached {after}");
+    }
+
+    #[test]
+    fn degenerate_inputs_are_zero() {
+        let (c, g) = correlation_penalty(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0], 5.0,
+            SignConvention::Positive);
+        assert_eq!(c, 0.0);
+        assert!(g.iter().all(|&x| x == 0.0));
+        let (c2, g2) = correlation_penalty(&[1.0], &[2.0], 5.0, SignConvention::Positive);
+        assert_eq!(c2, 0.0);
+        assert_eq!(g2.len(), 1);
+    }
+
+    #[test]
+    fn penalty_scale_invariant_in_s() {
+        // Pearson correlation is affine-invariant in s: scaling the pixel
+        // range must not change the penalty.
+        let (theta, s) = random_pair(64, 4);
+        let s_scaled: Vec<f32> = s.iter().map(|&p| 3.0 * p + 17.0).collect();
+        let (c1, _) = correlation_penalty(&theta, &s, 1.0, SignConvention::Positive);
+        let (c2, _) = correlation_penalty(&theta, &s_scaled, 1.0, SignConvention::Positive);
+        assert!((c1 - c2).abs() < 1e-5);
+    }
+
+    #[test]
+    fn penalty_bounded_by_lambda() {
+        let (theta, s) = random_pair(128, 5);
+        for conv in [SignConvention::Positive, SignConvention::Absolute] {
+            let (c, _) = correlation_penalty(&theta, &s, 4.0, conv);
+            assert!(c.abs() <= 4.0 + 1e-5);
+        }
+    }
+}

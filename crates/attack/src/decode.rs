@@ -1,0 +1,257 @@
+use qce_data::Image;
+use qce_tensor::stats;
+
+use crate::correlation::SignConvention;
+use crate::{AttackError, EncodingLayout, Result};
+
+/// One image extracted from a released model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecodedImage {
+    /// The reconstructed image.
+    pub image: Image,
+    /// Index of the group it was decoded from.
+    pub group: usize,
+    /// Index into the planner's target image list (identifies the original
+    /// for evaluation).
+    pub target_index: usize,
+}
+
+/// The white-box extraction step: given the released model's flat weights
+/// and the (architecture-derived) [`EncodingLayout`], remap each encoded
+/// weight chunk back to `[0, 255]` pixel values.
+///
+/// The remap is the paper's "simply remapping these parameters to values
+/// in the range of [0, 255]": a linear map anchored at robust (0.5% /
+/// 99.5%) percentiles of the group's encoded weight stream, which the
+/// affine-invariance of the correlation objective makes exact up to noise.
+///
+/// # Examples
+///
+/// ```
+/// use qce_attack::correlation::SignConvention;
+/// use qce_attack::{Decoder, EncodingLayout, GroupSpec};
+/// use qce_data::SynthCifar;
+/// use qce_nn::models::ResNetLite;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let net = ResNetLite::builder()
+///     .input(3, 8).classes(4).stage_channels(&[8, 16]).blocks_per_stage(1)
+///     .build(1)?;
+/// let data = SynthCifar::new(8).generate(30, 2)?;
+/// let specs = GroupSpec::uniform(net.weight_slots().len(), 3.0);
+/// let layout = EncodingLayout::plan(&net, &specs, data.images())?;
+/// let decoder = Decoder::new(layout, SignConvention::Positive);
+/// let decoded = decoder.decode(&net.flat_weights())?;
+/// assert_eq!(decoded.len(), decoder.layout().total_encoded_images());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Decoder {
+    layout: EncodingLayout,
+    sign: SignConvention,
+}
+
+impl Decoder {
+    /// Creates a decoder for a planned layout.
+    pub fn new(layout: EncodingLayout, sign: SignConvention) -> Self {
+        Decoder { layout, sign }
+    }
+
+    /// The layout this decoder extracts against.
+    pub fn layout(&self) -> &EncodingLayout {
+        &self.layout
+    }
+
+    /// The sign convention the encoder used.
+    pub fn sign(&self) -> SignConvention {
+        self.sign
+    }
+
+    /// Decodes every encoded image, assuming positive weight–pixel
+    /// polarity (always correct under [`SignConvention::Positive`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AttackError::LayoutMismatch`] if `flat_weights` does not
+    /// match the layout.
+    pub fn decode(&self, flat_weights: &[f32]) -> Result<Vec<DecodedImage>> {
+        self.layout.check_flat(flat_weights)?;
+        let mut out = Vec::with_capacity(self.layout.total_encoded_images());
+        for gi in 0..self.layout.groups().len() {
+            out.extend(self.decode_group(flat_weights, gi, false)?);
+        }
+        Ok(out)
+    }
+
+    /// Decodes the images of one group with an explicit polarity (`flip =
+    /// true` inverts the weight→pixel map, needed when
+    /// [`SignConvention::Absolute`] trained an anti-correlated group).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AttackError::LayoutMismatch`] for a non-matching weight
+    /// vector or [`AttackError::InvalidGroups`] for an unknown group.
+    pub fn decode_group(
+        &self,
+        flat_weights: &[f32],
+        group: usize,
+        flip: bool,
+    ) -> Result<Vec<DecodedImage>> {
+        self.layout.check_flat(flat_weights)?;
+        let g = self
+            .layout
+            .groups()
+            .get(group)
+            .ok_or_else(|| AttackError::InvalidGroups {
+                reason: format!("group {group} out of range"),
+            })?;
+        let (c, h, w) = self.layout.geometry();
+        let px = self.layout.image_pixels();
+        let n_images = g.image_indices().len();
+        if n_images == 0 {
+            return Ok(Vec::new());
+        }
+        let stream = g.extract(flat_weights);
+        let encoded = &stream[..(n_images * px).min(stream.len())];
+        // Robust group-level affine anchors.
+        let lo = stats::quantile(encoded, 0.005).unwrap_or(0.0);
+        let hi = stats::quantile(encoded, 0.995).unwrap_or(1.0);
+        let span = (hi - lo).max(f32::EPSILON);
+        let mut out = Vec::with_capacity(n_images);
+        for (k, &target_index) in g.image_indices().iter().enumerate() {
+            let chunk = &encoded[k * px..(k + 1) * px];
+            let pixels: Vec<f32> = chunk
+                .iter()
+                .map(|&wv| {
+                    let t = ((wv - lo) / span).clamp(0.0, 1.0);
+                    let t = if flip { 1.0 - t } else { t };
+                    t * 255.0
+                })
+                .collect();
+            let image =
+                Image::from_f32(&pixels, c, h, w).map_err(|e| AttackError::InconsistentImages {
+                    reason: format!("decoded image build failed: {e}"),
+                })?;
+            out.push(DecodedImage {
+                image,
+                group,
+                target_index,
+            });
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GroupSpec;
+    use qce_data::SynthCifar;
+    use qce_nn::models::ResNetLite;
+    use qce_nn::Network;
+
+    fn setup() -> (Network, EncodingLayout, Vec<Image>) {
+        let net = ResNetLite::builder()
+            .input(3, 8)
+            .classes(4)
+            .stage_channels(&[8, 16])
+            .blocks_per_stage(1)
+            .build(1)
+            .unwrap();
+        let data = SynthCifar::new(8).generate(40, 2).unwrap();
+        let images = data.images().to_vec();
+        let specs = GroupSpec::uniform(net.weight_slots().len(), 3.0);
+        let layout = EncodingLayout::plan(&net, &specs, &images).unwrap();
+        (net, layout, images)
+    }
+
+    /// Builds a flat weight vector that encodes the targets perfectly
+    /// (affine map pixel -> weight), leaving other weights untouched.
+    fn perfectly_encoded(net: &Network, layout: &EncodingLayout, scale: f32, offset: f32) -> Vec<f32> {
+        let mut flat = net.flat_weights();
+        for g in layout.groups() {
+            let mut values = g.extract(&flat);
+            for (i, &p) in g.target().iter().enumerate() {
+                values[i] = scale * p + offset;
+            }
+            // Write back via scatter into a fresh buffer, then overwrite.
+            let mut acc = vec![0.0f32; flat.len()];
+            g.scatter_add(&values, &mut acc);
+            for &(off, len) in g.flat_ranges() {
+                flat[off..off + len].copy_from_slice(&acc[off..off + len]);
+            }
+        }
+        flat
+    }
+
+    #[test]
+    fn perfect_encoding_decodes_with_tiny_error() {
+        let (net, layout, images) = setup();
+        let flat = perfectly_encoded(&net, &layout, 0.001, -0.12);
+        let decoder = Decoder::new(layout, SignConvention::Positive);
+        let decoded = decoder.decode(&flat).unwrap();
+        assert!(!decoded.is_empty());
+        for d in &decoded {
+            let orig = &images[d.target_index];
+            let err: f32 = orig
+                .to_f32()
+                .iter()
+                .zip(d.image.to_f32().iter())
+                .map(|(a, b)| (a - b).abs())
+                .sum::<f32>()
+                / orig.num_pixels() as f32;
+            assert!(err < 6.0, "image {} MAPE {err}", d.target_index);
+        }
+    }
+
+    #[test]
+    fn negative_scale_needs_flip() {
+        let (net, layout, images) = setup();
+        let flat = perfectly_encoded(&net, &layout, -0.001, 0.3);
+        let decoder = Decoder::new(layout, SignConvention::Absolute);
+        let straight = decoder.decode_group(&flat, 0, false).unwrap();
+        let flipped = decoder.decode_group(&flat, 0, true).unwrap();
+        let mape = |d: &DecodedImage| {
+            let orig = &images[d.target_index];
+            orig.to_f32()
+                .iter()
+                .zip(d.image.to_f32().iter())
+                .map(|(a, b)| (a - b).abs())
+                .sum::<f32>()
+                / orig.num_pixels() as f32
+        };
+        assert!(mape(&flipped[0]) < 6.0);
+        assert!(mape(&straight[0]) > mape(&flipped[0]));
+    }
+
+    #[test]
+    fn decode_validates_layout() {
+        let (_, layout, _) = setup();
+        let decoder = Decoder::new(layout, SignConvention::Positive);
+        assert!(matches!(
+            decoder.decode(&[0.0, 1.0]),
+            Err(AttackError::LayoutMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn decode_group_out_of_range() {
+        let (net, layout, _) = setup();
+        let decoder = Decoder::new(layout, SignConvention::Positive);
+        assert!(decoder
+            .decode_group(&net.flat_weights(), 99, false)
+            .is_err());
+    }
+
+    #[test]
+    fn decoded_geometry_matches_targets() {
+        let (net, layout, images) = setup();
+        let decoder = Decoder::new(layout, SignConvention::Positive);
+        let decoded = decoder.decode(&net.flat_weights()).unwrap();
+        for d in &decoded {
+            assert_eq!(d.image.channels(), images[d.target_index].channels());
+            assert_eq!(d.image.height(), images[d.target_index].height());
+        }
+    }
+}

@@ -1,0 +1,113 @@
+use std::fmt;
+
+use qce_nn::NnError;
+
+/// Error type for attack planning, regularization and extraction.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum AttackError {
+    /// A layout references a weight-slot ordinal the network does not have,
+    /// or ordinals overlap between groups.
+    InvalidGroups {
+        /// Why the grouping is rejected.
+        reason: String,
+    },
+    /// No images fit the available weight capacity.
+    NoCapacity {
+        /// Weights available for encoding.
+        weights: usize,
+        /// Pixels needed for one image.
+        image_pixels: usize,
+    },
+    /// The provided weight vector does not match the layout.
+    LayoutMismatch {
+        /// Expected flat weight length.
+        expected: usize,
+        /// Provided length.
+        actual: usize,
+    },
+    /// Target images have inconsistent geometry.
+    InconsistentImages {
+        /// Why the image set is rejected.
+        reason: String,
+    },
+    /// A wrapped network error.
+    Nn(NnError),
+    /// An LSB/sign payload does not fit the carrier.
+    PayloadTooLarge {
+        /// Bits available in the carrier.
+        capacity_bits: usize,
+        /// Bits required by the payload.
+        needed_bits: usize,
+    },
+}
+
+impl fmt::Display for AttackError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttackError::InvalidGroups { reason } => write!(f, "invalid layer groups: {reason}"),
+            AttackError::NoCapacity {
+                weights,
+                image_pixels,
+            } => write!(
+                f,
+                "no capacity: {weights} weights cannot hold one {image_pixels}-pixel image"
+            ),
+            AttackError::LayoutMismatch { expected, actual } => {
+                write!(f, "weight vector length {actual}, layout expects {expected}")
+            }
+            AttackError::InconsistentImages { reason } => {
+                write!(f, "inconsistent target images: {reason}")
+            }
+            AttackError::Nn(e) => write!(f, "network error during attack: {e}"),
+            AttackError::PayloadTooLarge {
+                capacity_bits,
+                needed_bits,
+            } => write!(
+                f,
+                "payload of {needed_bits} bits exceeds carrier capacity {capacity_bits}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for AttackError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AttackError::Nn(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NnError> for AttackError {
+    fn from(e: NnError) -> Self {
+        AttackError::Nn(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        use std::error::Error;
+        assert!(AttackError::NoCapacity {
+            weights: 10,
+            image_pixels: 100
+        }
+        .to_string()
+        .contains("capacity"));
+        let e = AttackError::from(NnError::InvalidConfig {
+            reason: "x".to_string(),
+        });
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<AttackError>();
+    }
+}

@@ -1,0 +1,464 @@
+use qce_data::Image;
+use qce_nn::Network;
+
+use crate::{AttackError, Result};
+
+/// One layer group of the layer-wise regularization (Eq. 2): a set of
+/// weight-slot ordinals sharing a correlation rate `λ_k`.
+///
+/// Weight-slot ordinals are the 0-based indices of convolution /
+/// fully-connected weight tensors in forward order, as reported by
+/// [`Network::weight_slots`]. The paper's CIFAR evaluation uses three
+/// groups (early convs / mid convs / the rest) with `λ_1 = λ_2 = 0`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupSpec {
+    /// Correlation rate `λ_k` (0 disables encoding for the group).
+    pub lambda: f32,
+    /// Weight-slot ordinals belonging to this group.
+    pub ordinals: Vec<usize>,
+}
+
+impl GroupSpec {
+    /// Creates a group from a rate and ordinal list.
+    pub fn new(lambda: f32, ordinals: Vec<usize>) -> Self {
+        GroupSpec { lambda, ordinals }
+    }
+
+    /// Splits `total` ordinals into the paper's three groups by fraction:
+    /// the first ~35% of weight tensors form group 1, the next ~12% group
+    /// 2, and the rest group 3 (mirroring layers 1–12 / 13–16 / 17–34 of
+    /// ResNet-34).
+    pub fn paper_thirds(total: usize, lambdas: [f32; 3]) -> Vec<GroupSpec> {
+        let g1_end = (total as f32 * 0.35).round() as usize;
+        let g2_end = (total as f32 * 0.47).round() as usize;
+        let g1_end = g1_end.min(total);
+        let g2_end = g2_end.clamp(g1_end, total);
+        vec![
+            GroupSpec::new(lambdas[0], (0..g1_end).collect()),
+            GroupSpec::new(lambdas[1], (g1_end..g2_end).collect()),
+            GroupSpec::new(lambdas[2], (g2_end..total).collect()),
+        ]
+    }
+
+    /// A single group covering every weight tensor with one uniform rate —
+    /// the original CCS'17 attack (Eq. 1).
+    pub fn uniform(total: usize, lambda: f32) -> Vec<GroupSpec> {
+        vec![GroupSpec::new(lambda, (0..total).collect())]
+    }
+}
+
+/// The planned layout of one group: where its weights live in the flat
+/// weight vector and which target images it encodes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupLayout {
+    lambda: f32,
+    ordinals: Vec<usize>,
+    flat_ranges: Vec<(usize, usize)>,
+    weight_len: usize,
+    image_indices: Vec<usize>,
+    target: Vec<f32>,
+    share: f32,
+}
+
+impl GroupLayout {
+    /// The group's correlation rate `λ_k`.
+    pub fn lambda(&self) -> f32 {
+        self.lambda
+    }
+
+    /// The weight-slot ordinals in this group.
+    pub fn ordinals(&self) -> &[usize] {
+        &self.ordinals
+    }
+
+    /// Total number of weights in the group.
+    pub fn weight_len(&self) -> usize {
+        self.weight_len
+    }
+
+    /// Indices (into the planner's target image list) of the images this
+    /// group encodes, in encoding order.
+    pub fn image_indices(&self) -> &[usize] {
+        &self.image_indices
+    }
+
+    /// The concatenated pixel targets (`[0, 255]` as `f32`) this group's
+    /// leading weights correlate against.
+    pub fn target(&self) -> &[f32] {
+        &self.target
+    }
+
+    /// The parameter share `P_k = ℓ_k / ℓ` of Eq. 2.
+    pub fn share(&self) -> f32 {
+        self.share
+    }
+
+    /// `(offset, len)` ranges of this group's weights in the network's
+    /// flat weight vector, in ordinal order.
+    pub fn flat_ranges(&self) -> &[(usize, usize)] {
+        &self.flat_ranges
+    }
+
+    /// Gathers this group's weight stream from a flat weight vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `flat` is shorter than the layout expects (callers
+    /// validate via [`EncodingLayout::expected_flat_len`]).
+    pub fn extract(&self, flat: &[f32]) -> Vec<f32> {
+        let mut out = Vec::with_capacity(self.weight_len);
+        for &(offset, len) in &self.flat_ranges {
+            out.extend_from_slice(&flat[offset..offset + len]);
+        }
+        out
+    }
+
+    /// Scatters `values` (one per group weight, stream order) back into a
+    /// flat-sized accumulation buffer, adding elementwise — the inverse of
+    /// [`GroupLayout::extract`] for gradient injection and for synthesizing
+    /// encoded weight vectors in tests.
+    pub fn scatter_add(&self, values: &[f32], flat_acc: &mut [f32]) {
+        let mut pos = 0;
+        for &(offset, len) in &self.flat_ranges {
+            let take = len.min(values.len().saturating_sub(pos));
+            for i in 0..take {
+                flat_acc[offset + i] += values[pos + i];
+            }
+            pos += len;
+            if pos >= values.len() {
+                break;
+            }
+        }
+    }
+}
+
+/// The full encoding plan: which target image goes into which weights of
+/// which group.
+///
+/// Built once by the malicious training algorithm (and rebuilt identically
+/// by the adversary at extraction time — it depends only on the
+/// architecture and the selected target images, both of which the
+/// adversary knows).
+///
+/// # Examples
+///
+/// ```
+/// use qce_attack::{EncodingLayout, GroupSpec};
+/// use qce_data::SynthCifar;
+/// use qce_nn::models::ResNetLite;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let net = ResNetLite::builder()
+///     .input(3, 8).classes(4).stage_channels(&[8, 16]).blocks_per_stage(1)
+///     .build(1)?;
+/// let data = SynthCifar::new(8).generate(50, 2)?;
+/// let specs = GroupSpec::uniform(net.weight_slots().len(), 3.0);
+/// let layout = EncodingLayout::plan(&net, &specs, data.images())?;
+/// assert!(layout.total_encoded_images() > 0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct EncodingLayout {
+    groups: Vec<GroupLayout>,
+    image_pixels: usize,
+    geometry: (usize, usize, usize),
+    expected_flat_len: usize,
+}
+
+impl EncodingLayout {
+    /// Plans the encoding: groups claim their weight ranges from the
+    /// network's slot layout, then target images are dealt out
+    /// sequentially to groups with `λ > 0` until each group's pixel
+    /// capacity (`⌊ℓ_k / image_pixels⌋` images) or the image list is
+    /// exhausted.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AttackError::InvalidGroups`] for unknown or duplicated
+    /// ordinals, [`AttackError::InconsistentImages`] for an empty or
+    /// mixed-geometry image list, and [`AttackError::NoCapacity`] if not a
+    /// single image fits any encoding group.
+    pub fn plan(net: &Network, specs: &[GroupSpec], images: &[Image]) -> Result<Self> {
+        let first = images.first().ok_or(AttackError::InconsistentImages {
+            reason: "no target images".to_string(),
+        })?;
+        let geometry = (first.channels(), first.height(), first.width());
+        if images
+            .iter()
+            .any(|i| (i.channels(), i.height(), i.width()) != geometry)
+        {
+            return Err(AttackError::InconsistentImages {
+                reason: "mixed image geometry".to_string(),
+            });
+        }
+        let image_pixels = first.num_pixels();
+        let slots = net.weight_slots();
+        let mut used = vec![false; slots.len()];
+        let mut groups = Vec::with_capacity(specs.len());
+        let total_correlated: usize = specs
+            .iter()
+            .flat_map(|s| s.ordinals.iter())
+            .map(|&o| {
+                slots
+                    .get(o)
+                    .map(|slot| slot.len)
+                    .unwrap_or(0)
+            })
+            .sum();
+
+        let mut next_image = 0usize;
+        for spec in specs {
+            let mut flat_ranges = Vec::with_capacity(spec.ordinals.len());
+            let mut weight_len = 0usize;
+            for &o in &spec.ordinals {
+                let slot = slots.get(o).ok_or_else(|| AttackError::InvalidGroups {
+                    reason: format!("ordinal {o} out of range ({} slots)", slots.len()),
+                })?;
+                if used[o] {
+                    return Err(AttackError::InvalidGroups {
+                        reason: format!("ordinal {o} appears in two groups"),
+                    });
+                }
+                used[o] = true;
+                flat_ranges.push((slot.offset, slot.len));
+                weight_len += slot.len;
+            }
+            let mut image_indices = Vec::new();
+            let mut target = Vec::new();
+            if spec.lambda > 0.0 {
+                let capacity = weight_len / image_pixels;
+                while image_indices.len() < capacity && next_image < images.len() {
+                    image_indices.push(next_image);
+                    target.extend(images[next_image].to_f32());
+                    next_image += 1;
+                }
+            }
+            let share = if total_correlated > 0 {
+                weight_len as f32 / total_correlated as f32
+            } else {
+                0.0
+            };
+            groups.push(GroupLayout {
+                lambda: spec.lambda,
+                ordinals: spec.ordinals.clone(),
+                flat_ranges,
+                weight_len,
+                image_indices,
+                target,
+                share,
+            });
+        }
+        if groups.iter().all(|g| g.image_indices.is_empty()) {
+            return Err(AttackError::NoCapacity {
+                weights: groups.iter().map(|g| g.weight_len).sum(),
+                image_pixels,
+            });
+        }
+        Ok(EncodingLayout {
+            groups,
+            image_pixels,
+            geometry,
+            expected_flat_len: net.num_weights(),
+        })
+    }
+
+    /// The planned groups, in spec order.
+    pub fn groups(&self) -> &[GroupLayout] {
+        &self.groups
+    }
+
+    /// Pixels per target image.
+    pub fn image_pixels(&self) -> usize {
+        self.image_pixels
+    }
+
+    /// Target image geometry `(channels, height, width)`.
+    pub fn geometry(&self) -> (usize, usize, usize) {
+        self.geometry
+    }
+
+    /// The flat weight-vector length this layout was planned against.
+    pub fn expected_flat_len(&self) -> usize {
+        self.expected_flat_len
+    }
+
+    /// Total number of images the plan encodes.
+    pub fn total_encoded_images(&self) -> usize {
+        self.groups.iter().map(|g| g.image_indices.len()).sum()
+    }
+
+    /// `(group index, image-list index)` of every encoded image, in
+    /// encoding order.
+    pub fn encoded_images(&self) -> Vec<(usize, usize)> {
+        let mut out = Vec::with_capacity(self.total_encoded_images());
+        for (gi, g) in self.groups.iter().enumerate() {
+            for &ii in &g.image_indices {
+                out.push((gi, ii));
+            }
+        }
+        out
+    }
+
+    /// Validates a flat weight vector against the layout.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AttackError::LayoutMismatch`] if the lengths differ.
+    pub fn check_flat(&self, flat: &[f32]) -> Result<()> {
+        if flat.len() != self.expected_flat_len {
+            return Err(AttackError::LayoutMismatch {
+                expected: self.expected_flat_len,
+                actual: flat.len(),
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qce_data::SynthCifar;
+    use qce_nn::models::ResNetLite;
+
+    fn net() -> Network {
+        ResNetLite::builder()
+            .input(3, 8)
+            .classes(4)
+            .stage_channels(&[8, 16])
+            .blocks_per_stage(1)
+            .build(1)
+            .unwrap()
+    }
+
+    fn images(n: usize) -> Vec<Image> {
+        SynthCifar::new(8).generate(n, 3).unwrap().images().to_vec()
+    }
+
+    #[test]
+    fn uniform_spec_covers_everything() {
+        let n = net();
+        let total = n.weight_slots().len();
+        let specs = GroupSpec::uniform(total, 5.0);
+        assert_eq!(specs.len(), 1);
+        assert_eq!(specs[0].ordinals.len(), total);
+    }
+
+    #[test]
+    fn paper_thirds_partition() {
+        let specs = GroupSpec::paper_thirds(34, [0.0, 0.0, 10.0]);
+        let all: Vec<usize> = specs.iter().flat_map(|s| s.ordinals.clone()).collect();
+        assert_eq!(all, (0..34).collect::<Vec<_>>());
+        assert_eq!(specs[0].ordinals.len(), 12); // 35% of 34
+        assert_eq!(specs[1].ordinals.len(), 4); // next 12%
+        assert_eq!(specs[2].ordinals.len(), 18);
+    }
+
+    #[test]
+    fn plan_assigns_images_in_order_and_respects_capacity() {
+        let n = net();
+        let imgs = images(100);
+        let total = n.weight_slots().len();
+        let layout =
+            EncodingLayout::plan(&n, &GroupSpec::uniform(total, 3.0), &imgs).unwrap();
+        let g = &layout.groups()[0];
+        let capacity = g.weight_len() / layout.image_pixels();
+        assert_eq!(g.image_indices().len(), capacity.min(100));
+        // Images are assigned sequentially from the front of the list.
+        assert_eq!(g.image_indices()[0], 0);
+        assert_eq!(
+            g.target().len(),
+            g.image_indices().len() * layout.image_pixels()
+        );
+    }
+
+    #[test]
+    fn zero_lambda_groups_encode_nothing() {
+        let n = net();
+        let imgs = images(50);
+        let total = n.weight_slots().len();
+        let specs = GroupSpec::paper_thirds(total, [0.0, 0.0, 3.0]);
+        let layout = EncodingLayout::plan(&n, &specs, &imgs).unwrap();
+        assert!(layout.groups()[0].image_indices().is_empty());
+        assert!(layout.groups()[1].image_indices().is_empty());
+        assert!(!layout.groups()[2].image_indices().is_empty());
+        // Shares sum to 1 over all groups.
+        let share_sum: f32 = layout.groups().iter().map(|g| g.share()).sum();
+        assert!((share_sum - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn extract_and_scatter_round_trip() {
+        let n = net();
+        let imgs = images(20);
+        let total = n.weight_slots().len();
+        let layout =
+            EncodingLayout::plan(&n, &GroupSpec::uniform(total, 1.0), &imgs).unwrap();
+        let flat = n.flat_weights();
+        let g = &layout.groups()[0];
+        let stream = g.extract(&flat);
+        assert_eq!(stream.len(), g.weight_len());
+        // Scatter the stream into a zero buffer and re-extract: identity.
+        let mut acc = vec![0.0f32; flat.len()];
+        g.scatter_add(&stream, &mut acc);
+        let back = g.extract(&acc);
+        assert_eq!(back, stream);
+    }
+
+    #[test]
+    fn plan_validation_errors() {
+        let n = net();
+        let imgs = images(10);
+        let total = n.weight_slots().len();
+        // Out-of-range ordinal.
+        let bad = vec![GroupSpec::new(1.0, vec![total + 5])];
+        assert!(matches!(
+            EncodingLayout::plan(&n, &bad, &imgs),
+            Err(AttackError::InvalidGroups { .. })
+        ));
+        // Duplicate ordinal across groups.
+        let dup = vec![
+            GroupSpec::new(1.0, vec![0, 1]),
+            GroupSpec::new(1.0, vec![1, 2]),
+        ];
+        assert!(matches!(
+            EncodingLayout::plan(&n, &dup, &imgs),
+            Err(AttackError::InvalidGroups { .. })
+        ));
+        // No images.
+        assert!(matches!(
+            EncodingLayout::plan(&n, &GroupSpec::uniform(total, 1.0), &[]),
+            Err(AttackError::InconsistentImages { .. })
+        ));
+        // All lambdas zero -> nothing encodable.
+        let zeros = GroupSpec::uniform(total, 0.0);
+        assert!(matches!(
+            EncodingLayout::plan(&n, &zeros, &imgs),
+            Err(AttackError::NoCapacity { .. })
+        ));
+    }
+
+    #[test]
+    fn check_flat_validates_length() {
+        let n = net();
+        let imgs = images(10);
+        let total = n.weight_slots().len();
+        let layout =
+            EncodingLayout::plan(&n, &GroupSpec::uniform(total, 1.0), &imgs).unwrap();
+        assert!(layout.check_flat(&n.flat_weights()).is_ok());
+        assert!(layout.check_flat(&[0.0]).is_err());
+    }
+
+    #[test]
+    fn encoded_images_enumeration() {
+        let n = net();
+        let imgs = images(100);
+        let total = n.weight_slots().len();
+        let layout =
+            EncodingLayout::plan(&n, &GroupSpec::uniform(total, 2.0), &imgs).unwrap();
+        let enumerated = layout.encoded_images();
+        assert_eq!(enumerated.len(), layout.total_encoded_images());
+        assert!(enumerated.iter().all(|&(g, _)| g == 0));
+    }
+}

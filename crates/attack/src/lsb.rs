@@ -1,0 +1,199 @@
+//! The LSB encoding attack of §II-B: after training, overwrite the least
+//! significant mantissa bits of the released `f32` parameters with the
+//! secret payload.
+//!
+//! It needs no training-time cooperation and is capacity-rich, but — as
+//! the paper notes and the `ablations` bench measures — *any* quantization
+//! of the released weights wipes the mantissa bits and with them the
+//! payload, which is precisely why the correlation attack exists.
+
+use crate::{AttackError, Result};
+
+/// Number of payload bits that fit in `num_weights` carriers at
+/// `bits_per_weight` bits each.
+pub fn capacity_bits(num_weights: usize, bits_per_weight: u32) -> usize {
+    num_weights * bits_per_weight as usize
+}
+
+fn check_bits(bits_per_weight: u32) -> Result<()> {
+    // More than 16 mantissa bits visibly perturbs the weights; the attack
+    // stays in the "model accuracy unchanged" regime below that.
+    if bits_per_weight == 0 || bits_per_weight > 16 {
+        return Err(AttackError::InvalidGroups {
+            reason: format!("bits_per_weight {bits_per_weight} outside 1..=16"),
+        });
+    }
+    Ok(())
+}
+
+/// Embeds `payload` into the low mantissa bits of `weights`, in place.
+///
+/// # Errors
+///
+/// Returns [`AttackError::PayloadTooLarge`] if the payload does not fit,
+/// or [`AttackError::InvalidGroups`] for an unusable `bits_per_weight`.
+///
+/// # Examples
+///
+/// ```
+/// use qce_attack::lsb;
+///
+/// # fn main() -> Result<(), qce_attack::AttackError> {
+/// let mut weights = vec![0.1f32; 64];
+/// lsb::embed(&mut weights, b"secret!!", 1)?;
+/// assert_eq!(lsb::extract(&weights, 1, 8)?, b"secret!!");
+/// # Ok(())
+/// # }
+/// ```
+pub fn embed(weights: &mut [f32], payload: &[u8], bits_per_weight: u32) -> Result<()> {
+    check_bits(bits_per_weight)?;
+    let needed = payload.len() * 8;
+    let capacity = capacity_bits(weights.len(), bits_per_weight);
+    if needed > capacity {
+        return Err(AttackError::PayloadTooLarge {
+            capacity_bits: capacity,
+            needed_bits: needed,
+        });
+    }
+    let mask = (1u32 << bits_per_weight) - 1;
+    let mut bit_pos = 0usize;
+    for w in weights.iter_mut() {
+        if bit_pos >= needed {
+            break;
+        }
+        let mut chunk = 0u32;
+        for b in 0..bits_per_weight {
+            let pos = bit_pos + b as usize;
+            if pos < needed && (payload[pos / 8] >> (pos % 8)) & 1 == 1 {
+                chunk |= 1 << b;
+            }
+        }
+        let bits = w.to_bits() & !mask | chunk;
+        *w = f32::from_bits(bits);
+        bit_pos += bits_per_weight as usize;
+    }
+    Ok(())
+}
+
+/// Extracts `payload_len` bytes previously embedded with [`embed`].
+///
+/// # Errors
+///
+/// Returns [`AttackError::PayloadTooLarge`] if the carrier is too short,
+/// or [`AttackError::InvalidGroups`] for an unusable `bits_per_weight`.
+pub fn extract(weights: &[f32], bits_per_weight: u32, payload_len: usize) -> Result<Vec<u8>> {
+    check_bits(bits_per_weight)?;
+    let needed = payload_len * 8;
+    let capacity = capacity_bits(weights.len(), bits_per_weight);
+    if needed > capacity {
+        return Err(AttackError::PayloadTooLarge {
+            capacity_bits: capacity,
+            needed_bits: needed,
+        });
+    }
+    let mut payload = vec![0u8; payload_len];
+    let mut bit_pos = 0usize;
+    'outer: for w in weights {
+        let bits = w.to_bits();
+        for b in 0..bits_per_weight {
+            if bit_pos >= needed {
+                break 'outer;
+            }
+            if (bits >> b) & 1 == 1 {
+                payload[bit_pos / 8] |= 1 << (bit_pos % 8);
+            }
+            bit_pos += 1;
+        }
+    }
+    Ok(payload)
+}
+
+/// Fraction of payload bits recovered correctly — the attack's survival
+/// metric under weight transformations (1.0 = intact, ~0.5 = destroyed).
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn bit_recovery_rate(original: &[u8], recovered: &[u8]) -> f64 {
+    assert_eq!(original.len(), recovered.len());
+    if original.is_empty() {
+        return 1.0;
+    }
+    let total = original.len() * 8;
+    let wrong: u32 = original
+        .iter()
+        .zip(recovered.iter())
+        .map(|(&a, &b)| (a ^ b).count_ones())
+        .sum();
+    1.0 - wrong as f64 / total as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn carrier(n: usize) -> Vec<f32> {
+        let mut rng = qce_tensor::init::seeded_rng(1);
+        (0..n)
+            .map(|_| qce_tensor::init::standard_normal(&mut rng) * 0.1)
+            .collect()
+    }
+
+    #[test]
+    fn round_trip_various_widths() {
+        let payload: Vec<u8> = (0..32).map(|i| (i * 37) as u8).collect();
+        for bits in [1u32, 2, 4, 8, 16] {
+            let mut w = carrier(300);
+            embed(&mut w, &payload, bits).unwrap();
+            let back = extract(&w, bits, payload.len()).unwrap();
+            assert_eq!(back, payload, "bits={bits}");
+        }
+    }
+
+    #[test]
+    fn embedding_barely_changes_weights() {
+        let orig = carrier(200);
+        let mut w = orig.clone();
+        embed(&mut w, &[0xFFu8; 25], 4).unwrap();
+        for (a, b) in orig.iter().zip(w.iter()) {
+            // 4 mantissa LSBs shift a float by a relative ~2^-19.
+            assert!((a - b).abs() <= a.abs() * 1e-4 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn quantization_destroys_lsb_payload() {
+        let payload: Vec<u8> = (0..64).map(|i| (i * 73 + 11) as u8) .collect();
+        let mut w = carrier(2048);
+        embed(&mut w, &payload, 2).unwrap();
+        // Simulate 8-bit uniform quantization of the released weights.
+        let lo = w.iter().cloned().fold(f32::INFINITY, f32::min);
+        let hi = w.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let q: Vec<f32> = w
+            .iter()
+            .map(|&x| {
+                let t = ((x - lo) / (hi - lo) * 255.0).round();
+                lo + t / 255.0 * (hi - lo)
+            })
+            .collect();
+        let back = extract(&q, 2, payload.len()).unwrap();
+        let rate = bit_recovery_rate(&payload, &back);
+        assert!(rate < 0.7, "LSB payload should not survive, rate={rate}");
+    }
+
+    #[test]
+    fn capacity_checked() {
+        let mut w = carrier(8); // 8 bits at 1 bpw
+        assert!(embed(&mut w, &[0u8, 1u8], 1).is_err());
+        assert!(extract(&w, 1, 2).is_err());
+        assert!(embed(&mut w, &[0u8], 0).is_err());
+        assert!(embed(&mut w, &[0u8], 17).is_err());
+    }
+
+    #[test]
+    fn recovery_rate_bounds() {
+        assert_eq!(bit_recovery_rate(&[0xAA], &[0xAA]), 1.0);
+        assert_eq!(bit_recovery_rate(&[0xFF], &[0x00]), 0.0);
+        assert_eq!(bit_recovery_rate(&[], &[]), 1.0);
+    }
+}

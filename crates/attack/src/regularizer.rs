@@ -1,0 +1,219 @@
+use qce_nn::{Network, Regularizer};
+
+use crate::correlation::{correlation_penalty, SignConvention};
+use crate::EncodingLayout;
+
+/// The malicious regularizer of the attack flow: Eq. 2's layer-wise
+/// correlation term, packaged as an innocuous-looking
+/// [`qce_nn::Regularizer`].
+///
+/// Per mini-batch it reads the network's flat weights, computes
+/// `C = -Σ_k λ_k · ρ̂(θ_k, s_k) · P_k` over the planned groups, and
+/// injects the analytic gradient back into the weight gradients. With a
+/// single uniform group this is exactly the original CCS'17 attack
+/// (Eq. 1).
+///
+/// # Examples
+///
+/// ```
+/// use qce_attack::{CorrelationRegularizer, EncodingLayout, GroupSpec};
+/// use qce_attack::correlation::SignConvention;
+/// use qce_data::SynthCifar;
+/// use qce_nn::models::ResNetLite;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let net = ResNetLite::builder()
+///     .input(3, 8).classes(4).stage_channels(&[8, 16]).blocks_per_stage(1)
+///     .build(1)?;
+/// let data = SynthCifar::new(8).generate(30, 2)?;
+/// let specs = GroupSpec::uniform(net.weight_slots().len(), 3.0);
+/// let layout = EncodingLayout::plan(&net, &specs, data.images())?;
+/// let reg = CorrelationRegularizer::new(layout, SignConvention::Positive);
+/// assert_eq!(reg.layout().total_encoded_images(), reg.layout().encoded_images().len());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct CorrelationRegularizer {
+    layout: EncodingLayout,
+    sign: SignConvention,
+    last_penalty: f32,
+    last_correlations: Vec<f32>,
+}
+
+impl CorrelationRegularizer {
+    /// Creates the regularizer from a planned layout.
+    pub fn new(layout: EncodingLayout, sign: SignConvention) -> Self {
+        let n_groups = layout.groups().len();
+        CorrelationRegularizer {
+            layout,
+            sign,
+            last_penalty: 0.0,
+            last_correlations: vec![0.0; n_groups],
+        }
+    }
+
+    /// The encoding plan this regularizer drives.
+    pub fn layout(&self) -> &EncodingLayout {
+        &self.layout
+    }
+
+    /// The sign convention in use.
+    pub fn sign(&self) -> SignConvention {
+        self.sign
+    }
+
+    /// Penalty value of the most recent [`Regularizer::apply`] call.
+    pub fn last_penalty(&self) -> f32 {
+        self.last_penalty
+    }
+
+    /// Per-group Pearson correlations at the most recent apply (0 for
+    /// groups that encode nothing).
+    pub fn last_correlations(&self) -> &[f32] {
+        &self.last_correlations
+    }
+}
+
+impl Regularizer for CorrelationRegularizer {
+    fn apply(&mut self, net: &mut Network) -> qce_nn::Result<f32> {
+        let flat = net.flat_weights();
+        let mut grad_acc = vec![0.0f32; flat.len()];
+        let mut penalty = 0.0f32;
+        for (gi, group) in self.layout.groups().iter().enumerate() {
+            self.last_correlations[gi] = 0.0;
+            if group.lambda() <= 0.0 || group.target().is_empty() {
+                continue;
+            }
+            let stream = group.extract(&flat);
+            let n = group.target().len().min(stream.len());
+            let theta = &stream[..n];
+            let s = &group.target()[..n];
+            let (c, grad) = correlation_penalty(theta, s, group.lambda(), self.sign);
+            self.last_correlations[gi] = crate::correlation::correlation(theta, s);
+            let share = group.share();
+            penalty += c * share;
+            let scaled: Vec<f32> = grad.iter().map(|&g| g * share).collect();
+            group.scatter_add(&scaled, &mut grad_acc);
+        }
+        net.add_flat_weight_grads(&grad_acc)?;
+        self.last_penalty = penalty;
+        Ok(penalty)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GroupSpec;
+    use qce_data::SynthCifar;
+    use qce_nn::models::ResNetLite;
+    use qce_nn::{Mode, ParamKind};
+    use qce_tensor::Tensor;
+
+    fn setup(lambda: f32) -> (Network, CorrelationRegularizer) {
+        let net = ResNetLite::builder()
+            .input(3, 8)
+            .classes(4)
+            .stage_channels(&[8, 16])
+            .blocks_per_stage(1)
+            .build(1)
+            .unwrap();
+        let data = SynthCifar::new(8).generate(40, 2).unwrap();
+        let specs = GroupSpec::uniform(net.weight_slots().len(), lambda);
+        let layout = EncodingLayout::plan(&net, &specs, data.images()).unwrap();
+        let reg = CorrelationRegularizer::new(layout, SignConvention::Positive);
+        (net, reg)
+    }
+
+    #[test]
+    fn apply_adds_weight_gradients_only() {
+        let (mut net, mut reg) = setup(3.0);
+        net.zero_grad();
+        let penalty = reg.apply(&mut net).unwrap();
+        assert!(penalty.abs() > 0.0 || reg.last_correlations()[0].abs() < 1e-3);
+        let has_weight_grad = net
+            .params()
+            .iter()
+            .filter(|p| p.kind() == ParamKind::Weight)
+            .any(|p| p.grad().squared_norm() > 0.0);
+        assert!(has_weight_grad);
+        for p in net.params() {
+            if p.kind() != ParamKind::Weight {
+                assert_eq!(p.grad().squared_norm(), 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn pure_regularizer_descent_encodes_images() {
+        // Gradient-descend the penalty alone: correlation should approach 1.
+        let (mut net, mut reg) = setup(1.0);
+        for _ in 0..300 {
+            net.zero_grad();
+            reg.apply(&mut net).unwrap();
+            let mut params = net.params_mut();
+            for p in params.iter_mut() {
+                if p.kind() == ParamKind::Weight {
+                    let grad = p.grad().clone();
+                    p.value_mut().axpy(-2.0, &grad).unwrap();
+                }
+            }
+        }
+        net.zero_grad();
+        reg.apply(&mut net).unwrap();
+        let rho = reg.last_correlations()[0];
+        assert!(rho > 0.9, "correlation only reached {rho}");
+        assert!(reg.last_penalty() < -0.8);
+    }
+
+    #[test]
+    fn zero_lambda_is_inert() {
+        let net0 = ResNetLite::builder()
+            .input(3, 8)
+            .classes(4)
+            .stage_channels(&[8, 16])
+            .blocks_per_stage(1)
+            .build(1)
+            .unwrap();
+        let data = SynthCifar::new(8).generate(40, 2).unwrap();
+        let total = net0.weight_slots().len();
+        // Group 0 has lambda 0; group 1 carries the attack.
+        let specs = vec![
+            GroupSpec::new(0.0, (0..total / 2).collect()),
+            GroupSpec::new(2.0, (total / 2..total).collect()),
+        ];
+        let layout = EncodingLayout::plan(&net0, &specs, data.images()).unwrap();
+        let mut net = net0;
+        let mut reg = CorrelationRegularizer::new(layout, SignConvention::Positive);
+        net.zero_grad();
+        reg.apply(&mut net).unwrap();
+        // Group 0's weights received no gradient.
+        let flat_grads: Vec<f32> = {
+            let mut acc = Vec::new();
+            for p in net.params() {
+                if p.kind() == ParamKind::Weight {
+                    acc.extend_from_slice(p.grad().as_slice());
+                }
+            }
+            acc
+        };
+        let g0 = reg.layout().groups()[0].extract(&flat_grads);
+        assert!(g0.iter().all(|&g| g == 0.0));
+        let g1 = reg.layout().groups()[1].extract(&flat_grads);
+        assert!(g1.iter().any(|&g| g != 0.0));
+    }
+
+    #[test]
+    fn works_as_trainer_regularizer() {
+        let (mut net, mut reg) = setup(2.0);
+        // One forward/backward plus regularizer, as the trainer does.
+        let x = Tensor::zeros(&[2, 3, 8, 8]);
+        net.zero_grad();
+        let y = net.forward(&x, Mode::Train).unwrap();
+        let out = qce_nn::loss::softmax_cross_entropy(&y, &[0, 1]).unwrap();
+        net.backward(&out.grad).unwrap();
+        let p = Regularizer::apply(&mut reg, &mut net).unwrap();
+        assert!(p.is_finite());
+    }
+}

@@ -1,0 +1,225 @@
+//! The sign encoding attack of §II-B: a penalty term that forces the
+//! *sign* of each parameter to carry one payload bit.
+//!
+//! Capacity is one bit per parameter — far below the correlation attack's
+//! eight-plus bits — but the encoding survives any quantization that
+//! preserves signs, which makes it a useful robustness baseline in the
+//! `ablations` bench.
+
+use qce_nn::{Network, Regularizer};
+
+use crate::{AttackError, Result};
+
+/// Converts a byte payload to the ±1 sign targets of the penalty term
+/// (bit 1 → +1, bit 0 → −1), LSB-first within each byte.
+pub fn payload_to_signs(payload: &[u8]) -> Vec<f32> {
+    let mut out = Vec::with_capacity(payload.len() * 8);
+    for &byte in payload {
+        for b in 0..8 {
+            out.push(if (byte >> b) & 1 == 1 { 1.0 } else { -1.0 });
+        }
+    }
+    out
+}
+
+/// Reads the payload back from weight signs (non-negative → bit 1).
+///
+/// # Errors
+///
+/// Returns [`AttackError::PayloadTooLarge`] if fewer than
+/// `payload_len * 8` weights are available.
+pub fn extract(weights: &[f32], payload_len: usize) -> Result<Vec<u8>> {
+    let needed = payload_len * 8;
+    if weights.len() < needed {
+        return Err(AttackError::PayloadTooLarge {
+            capacity_bits: weights.len(),
+            needed_bits: needed,
+        });
+    }
+    let mut payload = vec![0u8; payload_len];
+    for (i, &w) in weights.iter().take(needed).enumerate() {
+        if w >= 0.0 {
+            payload[i / 8] |= 1 << (i % 8);
+        }
+    }
+    Ok(payload)
+}
+
+/// The training-time penalty `P(θ, b) = (λ/n)·Σ max(0, m - θᵢ·bᵢ)`: a
+/// hinge that pushes each of the first `n` weights toward the sign of its
+/// payload bit with margin `m`.
+///
+/// A zero margin leaves encoded weights hugging zero, where the first
+/// quantizer bin straddling the origin flips half the bits; the default
+/// margin of 0.05 keeps the encoding robust to the codebook quantizers in
+/// `qce-quant` (see the `attacks` integration test).
+#[derive(Debug, Clone)]
+pub struct SignEncodingRegularizer {
+    signs: Vec<f32>,
+    lambda: f32,
+    margin: f32,
+}
+
+impl SignEncodingRegularizer {
+    /// Creates the regularizer for a byte payload with the default margin
+    /// of 0.05.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AttackError::InconsistentImages`] for an empty payload or
+    /// non-positive `lambda`.
+    pub fn new(payload: &[u8], lambda: f32) -> Result<Self> {
+        Self::with_margin(payload, lambda, 0.05)
+    }
+
+    /// Creates the regularizer with an explicit hinge margin.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AttackError::InconsistentImages`] for an empty payload,
+    /// non-positive `lambda` or negative `margin`.
+    pub fn with_margin(payload: &[u8], lambda: f32, margin: f32) -> Result<Self> {
+        if payload.is_empty() || lambda <= 0.0 || margin < 0.0 {
+            return Err(AttackError::InconsistentImages {
+                reason:
+                    "sign encoding needs a payload, positive lambda and non-negative margin"
+                        .to_string(),
+            });
+        }
+        Ok(SignEncodingRegularizer {
+            signs: payload_to_signs(payload),
+            lambda,
+            margin,
+        })
+    }
+
+    /// Number of payload bits.
+    pub fn bits(&self) -> usize {
+        self.signs.len()
+    }
+
+    /// The hinge margin.
+    pub fn margin(&self) -> f32 {
+        self.margin
+    }
+}
+
+impl Regularizer for SignEncodingRegularizer {
+    fn apply(&mut self, net: &mut Network) -> qce_nn::Result<f32> {
+        let flat = net.flat_weights();
+        let n = self.signs.len().min(flat.len());
+        let mut grad = vec![0.0f32; flat.len()];
+        let mut penalty = 0.0f32;
+        let scale = self.lambda / n.max(1) as f32;
+        for i in 0..n {
+            let violation = self.margin - flat[i] * self.signs[i];
+            if violation > 0.0 {
+                penalty += scale * violation;
+                grad[i] = -scale * self.signs[i];
+            }
+        }
+        net.add_flat_weight_grads(&grad)?;
+        Ok(penalty)
+    }
+}
+
+/// Fraction of payload bits currently readable from the weights.
+///
+/// # Panics
+///
+/// Panics if `weights` is shorter than the payload needs.
+pub fn sign_agreement(weights: &[f32], payload: &[u8]) -> f64 {
+    let signs = payload_to_signs(payload);
+    assert!(weights.len() >= signs.len());
+    if signs.is_empty() {
+        return 1.0;
+    }
+    let agree = signs
+        .iter()
+        .zip(weights.iter())
+        .filter(|(&s, &w)| (w >= 0.0) == (s > 0.0))
+        .count();
+    agree as f64 / signs.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qce_nn::models::ResNetLite;
+    use qce_nn::ParamKind;
+
+    #[test]
+    fn payload_sign_round_trip() {
+        let payload = vec![0b1010_0101u8, 0xFF, 0x00];
+        let signs = payload_to_signs(&payload);
+        assert_eq!(signs.len(), 24);
+        assert_eq!(signs[0], 1.0); // LSB of 0xA5 is 1
+        assert_eq!(signs[1], -1.0);
+        let back = extract(&signs, 3).unwrap();
+        assert_eq!(back, payload);
+    }
+
+    #[test]
+    fn extract_capacity_checked() {
+        assert!(extract(&[1.0; 7], 1).is_err());
+    }
+
+    #[test]
+    fn regularizer_drives_signs_to_payload() {
+        let mut net = ResNetLite::builder()
+            .input(1, 8)
+            .classes(2)
+            .stage_channels(&[4, 8])
+            .blocks_per_stage(1)
+            .build(3)
+            .unwrap();
+        let payload: Vec<u8> = (0..64).map(|i| (i * 91 + 7) as u8).collect();
+        let mut reg = SignEncodingRegularizer::new(&payload, 10.0).unwrap();
+        let before = sign_agreement(&net.flat_weights(), &payload);
+        for _ in 0..400 {
+            net.zero_grad();
+            reg.apply(&mut net).unwrap();
+            let mut params = net.params_mut();
+            for p in params.iter_mut() {
+                if p.kind() == ParamKind::Weight {
+                    let g = p.grad().clone();
+                    p.value_mut().axpy(-0.5, &g).unwrap();
+                }
+            }
+        }
+        let after = sign_agreement(&net.flat_weights(), &payload);
+        assert!(after > 0.99, "agreement {before} -> {after}");
+        let extracted = extract(&net.flat_weights(), payload.len()).unwrap();
+        assert_eq!(extracted, payload);
+    }
+
+    #[test]
+    fn penalty_zero_when_aligned() {
+        let payload = vec![0xFFu8]; // all +1 targets
+        let mut reg = SignEncodingRegularizer::new(&payload, 5.0).unwrap();
+        let mut net = ResNetLite::builder()
+            .input(1, 8)
+            .classes(2)
+            .stage_channels(&[4])
+            .blocks_per_stage(1)
+            .build(4)
+            .unwrap();
+        // Force the first 8 weights positive with margin to spare.
+        let mut flat = net.flat_weights();
+        for w in flat.iter_mut().take(8) {
+            *w = w.abs() + 0.1;
+        }
+        net.set_flat_weights(&flat).unwrap();
+        net.zero_grad();
+        let p = reg.apply(&mut net).unwrap();
+        assert_eq!(p, 0.0);
+    }
+
+    #[test]
+    fn constructor_validation() {
+        assert!(SignEncodingRegularizer::new(&[], 1.0).is_err());
+        assert!(SignEncodingRegularizer::new(&[1], 0.0).is_err());
+        assert!(SignEncodingRegularizer::with_margin(&[1], 1.0, -0.1).is_err());
+        assert_eq!(SignEncodingRegularizer::new(&[1], 1.0).unwrap().margin(), 0.05);
+    }
+}

@@ -1,0 +1,105 @@
+//! Property-based tests of the attack primitives (DESIGN.md §6).
+
+use proptest::prelude::*;
+use qce_attack::correlation::{correlation, correlation_penalty, SignConvention};
+use qce_attack::{lsb, sign};
+
+fn theta_strategy() -> impl Strategy<Value = Vec<f32>> {
+    prop::collection::vec(-1.0f32..1.0, 8..128)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn penalty_bounded_by_lambda(theta in theta_strategy(), lambda in 0.0f32..20.0, seed in 0u64..100) {
+        let mut rng = qce_tensor::init::seeded_rng(seed);
+        use rand::RngExt;
+        let s: Vec<f32> = (0..theta.len()).map(|_| rng.random_range(0.0f32..256.0)).collect();
+        for conv in [SignConvention::Positive, SignConvention::Absolute] {
+            let (c, grad) = correlation_penalty(&theta, &s, lambda, conv);
+            prop_assert!(c.abs() <= lambda + 1e-4);
+            prop_assert_eq!(grad.len(), theta.len());
+            prop_assert!(grad.iter().all(|g| g.is_finite()));
+        }
+    }
+
+    #[test]
+    fn absolute_penalty_is_never_positive(theta in theta_strategy(), seed in 0u64..100) {
+        let mut rng = qce_tensor::init::seeded_rng(seed);
+        use rand::RngExt;
+        let s: Vec<f32> = (0..theta.len()).map(|_| rng.random_range(0.0f32..256.0)).collect();
+        let (c, _) = correlation_penalty(&theta, &s, 5.0, SignConvention::Absolute);
+        prop_assert!(c <= 1e-6, "absolute penalty {c} must be <= 0");
+    }
+
+    #[test]
+    fn penalty_invariant_to_affine_s(
+        theta in theta_strategy(),
+        scale in 0.01f32..10.0,
+        shift in -100.0f32..100.0,
+        seed in 0u64..100,
+    ) {
+        let mut rng = qce_tensor::init::seeded_rng(seed);
+        use rand::RngExt;
+        let s: Vec<f32> = (0..theta.len()).map(|_| rng.random_range(0.0f32..256.0)).collect();
+        let s2: Vec<f32> = s.iter().map(|&p| scale * p + shift).collect();
+        let (c1, _) = correlation_penalty(&theta, &s, 3.0, SignConvention::Positive);
+        let (c2, _) = correlation_penalty(&theta, &s2, 3.0, SignConvention::Positive);
+        prop_assert!((c1 - c2).abs() < 1e-3, "{c1} vs {c2}");
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference(seed in 0u64..300) {
+        let mut rng = qce_tensor::init::seeded_rng(seed);
+        use rand::RngExt;
+        let n = 24;
+        let mut theta: Vec<f32> = (0..n)
+            .map(|_| qce_tensor::init::standard_normal(&mut rng) * 0.3)
+            .collect();
+        let s: Vec<f32> = (0..n).map(|_| rng.random_range(0.0f32..256.0)).collect();
+        prop_assume!(qce_tensor::stats::std_dev(&theta) > 1e-3);
+        let (_, grad) = correlation_penalty(&theta, &s, 2.0, SignConvention::Positive);
+        let probe = (seed as usize) % n;
+        let eps = 1e-3;
+        let orig = theta[probe];
+        theta[probe] = orig + eps;
+        let (hi, _) = correlation_penalty(&theta, &s, 2.0, SignConvention::Positive);
+        theta[probe] = orig - eps;
+        let (lo, _) = correlation_penalty(&theta, &s, 2.0, SignConvention::Positive);
+        let fd = (hi - lo) / (2.0 * eps);
+        prop_assert!((fd - grad[probe]).abs() < 2e-3, "fd {fd} vs analytic {}", grad[probe]);
+    }
+
+    #[test]
+    fn perfectly_affine_weights_have_unit_correlation(
+        s in prop::collection::vec(0.0f32..256.0, 8..64),
+        scale in 0.001f32..0.1,
+        offset in -1.0f32..1.0,
+    ) {
+        prop_assume!(qce_tensor::stats::std_dev(&s) > 1.0);
+        let theta: Vec<f32> = s.iter().map(|&p| scale * p + offset).collect();
+        prop_assert!((correlation(&theta, &s) - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn lsb_round_trip(payload in prop::collection::vec(any::<u8>(), 1..64), bits in 1u32..9) {
+        let needed = payload.len() * 8 / bits as usize + 1;
+        let mut rng = qce_tensor::init::seeded_rng(7);
+        let mut weights: Vec<f32> = (0..needed)
+            .map(|_| qce_tensor::init::standard_normal(&mut rng) * 0.2)
+            .collect();
+        lsb::embed(&mut weights, &payload, bits).unwrap();
+        let extracted = lsb::extract(&weights, bits, payload.len()).unwrap();
+        prop_assert_eq!(extracted, payload);
+    }
+
+    #[test]
+    fn sign_payload_round_trip(payload in prop::collection::vec(any::<u8>(), 1..32)) {
+        let signs = sign::payload_to_signs(&payload);
+        prop_assert_eq!(signs.len(), payload.len() * 8);
+        let extracted = sign::extract(&signs, payload.len()).unwrap();
+        prop_assert!((sign::sign_agreement(&signs, &payload) - 1.0).abs() < 1e-9);
+        prop_assert_eq!(extracted, payload);
+    }
+}

@@ -1,0 +1,210 @@
+//! Ablations — what each component of the attack flow contributes, plus
+//! the §II-B baseline attacks under quantization.
+//!
+//! 1. Component knock-outs of the combined flow at 4 bits:
+//!    * full flow (std band + layer-wise + target-correlated quant)
+//!    * no preprocessing (encode the first images instead of the band)
+//!    * uniform rate instead of layer-wise
+//!    * weighted-entropy instead of target-correlated quantization
+//!    * no regularizer during fine-tuning
+//! 2. LSB and sign encoding baselines before/after quantization.
+//! 3. Attack survival under magnitude pruning (the *other* compression of
+//!    the deep-compression pipeline the paper's introduction cites).
+
+use qce::{AttackFlow, BandRule, FlowConfig, Grouping, QuantConfig, QuantMethod};
+use qce_attack::{lsb, sign};
+use qce_bench::{banner, base_config, cifar_rgb, pct};
+use qce_nn::ParamKind;
+use qce_metrics::mape;
+use qce_quant::{prune, quantize_network, LinearQuantizer};
+
+fn run(name: &str, cfg: FlowConfig, dataset: &qce_data::Dataset) {
+    let out = AttackFlow::new(cfg).run(dataset).expect("flow failed");
+    let r = out.final_report();
+    println!(
+        "{name:<28} accuracy {:>8}   MAPE {:>6.2}   recognized {:>3}/{:<3}",
+        pct(r.accuracy),
+        r.mean_mape(),
+        r.recognized_count(),
+        r.images.len(),
+    );
+}
+
+fn main() {
+    banner("Ablations", "component knock-outs and baseline attacks");
+    let dataset = cifar_rgb();
+    let lambda = 5.0;
+    let tc4 = Some(QuantConfig::new(QuantMethod::TargetCorrelated, 4));
+
+    println!("\n1) component knock-outs (lambda = {lambda}, 4-bit):\n");
+    run(
+        "full flow",
+        FlowConfig {
+            grouping: Grouping::LayerWise([0.0, 0.0, lambda]),
+            band: BandRule::Explicit { min: 50.0, max: 55.0 },
+            quant: tc4,
+            ..base_config()
+        },
+        &dataset,
+    );
+    run(
+        "- std-band preprocessing",
+        FlowConfig {
+            grouping: Grouping::LayerWise([0.0, 0.0, lambda]),
+            band: BandRule::FirstN,
+            quant: tc4,
+            ..base_config()
+        },
+        &dataset,
+    );
+    run(
+        "- layer-wise rates",
+        FlowConfig {
+            grouping: Grouping::Uniform(lambda),
+            band: BandRule::Explicit { min: 50.0, max: 55.0 },
+            quant: tc4,
+            ..base_config()
+        },
+        &dataset,
+    );
+    run(
+        "- target-correlated quant",
+        FlowConfig {
+            grouping: Grouping::LayerWise([0.0, 0.0, lambda]),
+            band: BandRule::Explicit { min: 50.0, max: 55.0 },
+            quant: Some(QuantConfig::new(QuantMethod::WeightedEntropy, 4)),
+            ..base_config()
+        },
+        &dataset,
+    );
+    run(
+        "- regularized fine-tune",
+        FlowConfig {
+            grouping: Grouping::LayerWise([0.0, 0.0, lambda]),
+            band: BandRule::Explicit { min: 50.0, max: 55.0 },
+            quant: Some(QuantConfig {
+                regularize_finetune: false,
+                ..QuantConfig::new(QuantMethod::TargetCorrelated, 4)
+            }),
+            ..base_config()
+        },
+        &dataset,
+    );
+
+    println!("\n2) baseline attacks under 4-bit linear quantization:\n");
+    // A trained benign model as the carrier.
+    let trained = AttackFlow::new(FlowConfig {
+        grouping: Grouping::Benign,
+        epochs: 3,
+        ..base_config()
+    })
+    .train(&dataset)
+    .expect("training failed");
+    let payload: Vec<u8> = (0..512).map(|i| (i * 89 + 3) as u8).collect();
+
+    // LSB attack.
+    let mut lsb_net = trained.network().flat_weights();
+    lsb::embed(&mut lsb_net, &payload, 4).expect("embedding failed");
+    let before = lsb::bit_recovery_rate(
+        &payload,
+        &lsb::extract(&lsb_net, 4, payload.len()).expect("extraction failed"),
+    );
+    // Re-quantize the released weights.
+    let mut carrier = AttackFlow::new(FlowConfig {
+        grouping: Grouping::Benign,
+        epochs: 3,
+        ..base_config()
+    })
+    .train(&dataset)
+    .expect("training failed");
+    {
+        let mut params = carrier_network_weights(&mut carrier);
+        lsb::embed(&mut params, &payload, 4).expect("embedding failed");
+        set_weights(&mut carrier, &params);
+    }
+    quantize_network(carrier_net_mut(&mut carrier), &LinearQuantizer::new(16).expect("levels"))
+        .expect("quantization failed");
+    let after = lsb::bit_recovery_rate(
+        &payload,
+        &lsb::extract(&carrier_network_weights(&mut carrier), 4, payload.len())
+            .expect("extraction failed"),
+    );
+    println!("LSB encoding   : bit recovery {before:.3} float -> {after:.3} after 4-bit quant");
+
+    // Sign attack: drive signs with the regularizer, then quantize.
+    let mut net = carrier_net_owned(&dataset);
+    let mut reg = sign::SignEncodingRegularizer::with_margin(&payload[..64], 20.0, 0.1)
+        .expect("valid payload");
+    for _ in 0..300 {
+        net.zero_grad();
+        qce_nn::Regularizer::apply(&mut reg, &mut net).expect("regularizer failed");
+        let mut params = net.params_mut();
+        for p in params.iter_mut() {
+            if p.kind() == ParamKind::Weight {
+                let g = p.grad().clone();
+                p.value_mut().axpy(-0.5, &g).expect("shapes match");
+            }
+        }
+    }
+    let sign_before = sign::sign_agreement(&net.flat_weights(), &payload[..64]);
+    quantize_network(&mut net, &LinearQuantizer::new(16).expect("levels"))
+        .expect("quantization failed");
+    let sign_after = sign::sign_agreement(&net.flat_weights(), &payload[..64]);
+    println!(
+        "sign encoding  : bit agreement {sign_before:.3} float -> {sign_after:.3} after 4-bit quant"
+    );
+    println!("\n3) correlation attack vs magnitude pruning:\n");
+    let mut trained = AttackFlow::new(FlowConfig {
+        grouping: Grouping::Uniform(lambda),
+        band: BandRule::FirstN,
+        ..base_config()
+    })
+    .train(&dataset)
+    .expect("training failed");
+    let targets = trained.targets().to_vec();
+    for sparsity in [0.0f32, 0.25, 0.5, 0.75, 0.9] {
+        trained.restore_float().expect("state restore failed");
+        if sparsity > 0.0 {
+            prune::magnitude_prune(trained.network_mut(), sparsity).expect("pruning failed");
+        }
+        let decoded = trained.decode_images().expect("decoding failed");
+        let mean: f32 = decoded
+            .iter()
+            .map(|d| mape(&targets[d.target_index], &d.image))
+            .sum::<f32>()
+            / decoded.len().max(1) as f32;
+        println!("sparsity {:>4.0}% : decoded MAPE {mean:>6.2}", 100.0 * sparsity);
+    }
+
+    println!(
+        "\nshape check: LSB collapses toward 0.5 (destroyed); sign encoding\n\
+         survives; the correlation attack degrades gracefully with pruning\n\
+         (pruned weights blank a pixel-value band rather than whole images)\n\
+         and survives quantization with the best capacity-quality product."
+    );
+}
+
+// --- small helpers to keep the baseline section readable ---
+
+fn carrier_network_weights(t: &mut qce::TrainedAttack) -> Vec<f32> {
+    t.network().flat_weights()
+}
+
+fn set_weights(t: &mut qce::TrainedAttack, w: &[f32]) {
+    carrier_net_mut(t).set_flat_weights(w).expect("layout matches");
+}
+
+fn carrier_net_mut(t: &mut qce::TrainedAttack) -> &mut qce_nn::Network {
+    t.network_mut()
+}
+
+fn carrier_net_owned(dataset: &qce_data::Dataset) -> qce_nn::Network {
+    AttackFlow::new(FlowConfig {
+        grouping: Grouping::Benign,
+        epochs: 2,
+        ..base_config()
+    })
+    .train(dataset)
+    .expect("training failed")
+    .into_network()
+}

@@ -1,0 +1,70 @@
+//! Fig. 2 — (a) weight distributions of the benign model vs. correlation
+//! attack models at λ ∈ {1, 10}; (b) pixel-value distributions of images
+//! grouped by per-image pixel std.
+//!
+//! Paper shape: the attack reshapes the bell-shaped benign weight
+//! distribution toward the (flat, wide) pixel distribution, more strongly
+//! at larger λ; and the [50, 55) std band's pixel distribution resembles
+//! the attacked weight distribution while extreme bands (<30, >70) do
+//! not.
+
+use qce::{AttackFlow, BandRule, FlowConfig, Grouping};
+use qce_bench::{banner, base_config, cifar_rgb, print_histogram};
+use qce_data::select::StdBand;
+
+fn main() {
+    banner(
+        "Fig. 2",
+        "weight distributions under attack (a); pixel distributions by std band (b)",
+    );
+    let dataset = cifar_rgb();
+
+    // (a) Weight distributions.
+    println!("\n(a) weight distributions (group-3 weights, 33 bins)\n");
+    for (label, grouping) in [
+        ("benign", Grouping::Benign),
+        ("lambda = 1", Grouping::Uniform(1.0)),
+        ("lambda = 10", Grouping::Uniform(10.0)),
+    ] {
+        let flow = AttackFlow::new(FlowConfig {
+            grouping,
+            band: BandRule::FirstN,
+            epochs: 4,
+            ..base_config()
+        });
+        let trained = flow.train(&dataset).expect("training failed");
+        let flat = trained.network().flat_weights();
+        let lo = qce_tensor::stats::quantile(&flat, 0.001).unwrap_or(-0.3);
+        let hi = qce_tensor::stats::quantile(&flat, 0.999).unwrap_or(0.3);
+        print_histogram(label, &flat, 33, lo, hi);
+        let kurt = qce::audit::excess_kurtosis(&flat);
+        println!("excess kurtosis: {kurt:.3}\n");
+    }
+
+    // (b) Pixel distributions by std band.
+    println!("\n(b) pixel-value distributions by per-image std band\n");
+    let bands = [
+        ("std < 30", StdBand::new(0.0, 30.0).expect("valid band")),
+        ("std in [50, 55)", StdBand::new(50.0, 55.0).expect("valid band")),
+        ("std > 70", StdBand::new(70.0, 1000.0).expect("valid band")),
+    ];
+    for (label, band) in bands {
+        let indices = qce_data::select::candidates_in_band(&dataset, band);
+        let stream = dataset.pixel_stream(&indices).expect("valid indices");
+        let values: Vec<f32> = stream.iter().map(|&p| p as f32).collect();
+        print_histogram(
+            &format!("{label} ({} images)", indices.len()),
+            &values,
+            33,
+            0.0,
+            256.0,
+        );
+        println!();
+    }
+    println!(
+        "paper shape check: benign weights are bell-shaped (positive excess\n\
+         kurtosis); attacked weights flatten toward the pixel distribution\n\
+         as lambda grows; the mid-std band's pixel histogram matches the\n\
+         attacked weight histogram far better than the extreme bands."
+    );
+}

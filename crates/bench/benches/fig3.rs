@@ -1,0 +1,59 @@
+//! Fig. 3 — weight distributions of the quantized attack model at 32
+//! quantization levels: (a) weighted-entropy quantization reshapes the
+//! distribution; (b) target-correlated quantization preserves it.
+//!
+//! The quantitative proxy for "preserves the distribution" is the
+//! symmetric KL divergence between the float attacked weights and each
+//! quantized version.
+
+use qce::{AttackFlow, BandRule, FlowConfig, Grouping, QuantConfig, QuantMethod};
+use qce_bench::{banner, base_config, cifar_rgb, print_histogram};
+use qce_metrics::distribution::histogram_divergence;
+
+fn main() {
+    banner(
+        "Fig. 3",
+        "quantized weight distributions at 32 levels: WEQ vs target-correlated",
+    );
+    let dataset = cifar_rgb();
+    let flow = AttackFlow::new(FlowConfig {
+        grouping: Grouping::Uniform(10.0),
+        band: BandRule::FirstN,
+        ..base_config()
+    });
+    let mut trained = flow.train(&dataset).expect("training failed");
+    let float_weights = trained.network().flat_weights();
+    let lo = qce_tensor::stats::quantile(&float_weights, 0.001).unwrap_or(-0.3);
+    let hi = qce_tensor::stats::quantile(&float_weights, 0.999).unwrap_or(0.3);
+    print_histogram("float attacked weights", &float_weights, 33, lo, hi);
+    println!();
+
+    // 32 levels = 5 bits. Fine-tuning off so the figure isolates the
+    // quantizer's own reshaping, like the paper's figure.
+    let quant = |method: QuantMethod| QuantConfig {
+        method,
+        bits: 5,
+        finetune_epochs: 0,
+        finetune_lr: 0.0,
+        regularize_finetune: false,
+    };
+
+    for (label, method) in [
+        ("(a) weighted-entropy quantization", QuantMethod::WeightedEntropy),
+        ("(b) target-correlated quantization", QuantMethod::TargetCorrelated),
+    ] {
+        trained
+            .apply_quantized_state(quant(method))
+            .expect("quantization failed");
+        let q = trained.network().flat_weights();
+        print_histogram(label, &q, 33, lo, hi);
+        let div = histogram_divergence(&float_weights, &q, 33, lo, hi);
+        println!("symmetric KL vs float: {div:.4}\n");
+        trained.restore_float().expect("state restore failed");
+    }
+    println!(
+        "paper shape check: the WEQ histogram concentrates mass in a few\n\
+         near-zero spikes (large divergence); the target-correlated\n\
+         histogram tracks the float distribution (small divergence)."
+    );
+}

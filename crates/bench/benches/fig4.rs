@@ -1,0 +1,65 @@
+//! Fig. 4 — MAPE, accuracy and recognized-image count of:
+//!
+//! * `Cor`    — the original correlation attack, uncompressed;
+//! * `Cor+WQ` — the same model, weighted-entropy quantized to 4 bits;
+//! * `Comb` — the paper's full flow with 4-bit target-correlated
+//!   quantization;
+//!
+//! for λ ∈ {3, 5, 10}.
+//!
+//! Paper shape: `Cor+WQ` collapses (accuracy drop grows with λ, image
+//! quality drops), `Comb` restores both to (or above) the `Cor` level.
+
+use qce::{
+    AttackFlow, BandRule, FlowConfig, Grouping, QuantConfig, QuantMethod, StageReport,
+};
+use qce_bench::{banner, base_config, cifar_rgb, pct};
+
+fn print_bar(name: &str, r: &StageReport) {
+    println!(
+        "  {name:<8} MAPE {:>6.2}   accuracy {:>8}   recognized {:>3}/{:<3}",
+        r.mean_mape(),
+        pct(r.accuracy),
+        r.recognized_count(),
+        r.images.len(),
+    );
+}
+
+fn main() {
+    banner(
+        "Fig. 4",
+        "Cor vs Cor+WQ vs Comb at 4-bit quantization, lambda in {3, 5, 10}",
+    );
+    let dataset = cifar_rgb();
+    for lambda in [3.0f32, 5.0, 10.0] {
+        println!("\nlambda = {lambda}");
+        // Cor and Cor+WQ share one training run.
+        let mut cor = AttackFlow::new(FlowConfig {
+            grouping: Grouping::Uniform(lambda),
+            band: BandRule::FirstN,
+            ..base_config()
+        })
+        .train(&dataset)
+        .expect("training failed");
+        print_bar("Cor", &cor.float_report().expect("evaluation failed"));
+        let wq = cor
+            .quantize(QuantConfig::new(QuantMethod::WeightedEntropy, 4))
+            .expect("quantization failed");
+        print_bar("Cor+WQ", &wq.report);
+
+        let comb = AttackFlow::new(FlowConfig {
+            grouping: Grouping::LayerWise([0.0, 0.0, lambda]),
+            band: BandRule::Explicit { min: 50.0, max: 55.0 },
+            quant: Some(QuantConfig::new(QuantMethod::TargetCorrelated, 4)),
+            ..base_config()
+        })
+        .run(&dataset)
+        .expect("flow failed");
+        print_bar("Comb", comb.final_report());
+    }
+    println!(
+        "\npaper shape check: in every lambda column, Cor+WQ has the worst\n\
+         MAPE and its accuracy deficit grows with lambda; Comb restores\n\
+         accuracy and recognized fraction to the Cor level or above."
+    );
+}

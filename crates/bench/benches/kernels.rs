@@ -1,0 +1,124 @@
+//! Criterion micro-benchmarks of the computational kernels every
+//! experiment leans on: convolution, matmul, the correlation-regularizer
+//! gradient, the four quantizer fits, SSIM, the image decoder and
+//! bit-packing.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use qce_attack::correlation::{correlation_penalty, SignConvention};
+use qce_data::{Image, SynthCifar};
+use qce_metrics::ssim;
+use qce_quant::{
+    pack, KMeansQuantizer, LinearQuantizer, Quantizer, TargetCorrelatedQuantizer,
+    WeightedEntropyQuantizer,
+};
+use qce_tensor::conv::{conv2d, conv2d_backward, ConvGeometry};
+use qce_tensor::{init, linalg, Tensor};
+
+fn random_weights(n: usize, seed: u64) -> Vec<f32> {
+    let mut rng = init::seeded_rng(seed);
+    (0..n)
+        .map(|_| init::standard_normal(&mut rng) * 0.1)
+        .collect()
+}
+
+fn bench_tensor_kernels(c: &mut Criterion) {
+    let mut rng = init::seeded_rng(1);
+    let input = init::uniform(&[8, 12, 16, 16], -1.0, 1.0, &mut rng);
+    let weight = init::kaiming(&[24, 12, 3, 3], 108, &mut rng);
+    let geom = ConvGeometry::new(1, 1);
+    c.bench_function("conv2d_forward_8x12x16x16", |b| {
+        b.iter(|| conv2d(black_box(&input), black_box(&weight), None, geom).expect("conv"))
+    });
+    let out = conv2d(&input, &weight, None, geom).expect("conv");
+    let grad = Tensor::ones(out.dims());
+    c.bench_function("conv2d_backward_8x12x16x16", |b| {
+        b.iter(|| {
+            conv2d_backward(black_box(&input), black_box(&weight), black_box(&grad), geom)
+                .expect("conv backward")
+        })
+    });
+    let a = init::uniform(&[128, 256], -1.0, 1.0, &mut rng);
+    let bm = init::uniform(&[256, 128], -1.0, 1.0, &mut rng);
+    c.bench_function("matmul_128x256x128", |b| {
+        b.iter(|| linalg::matmul(black_box(&a), black_box(&bm)).expect("matmul"))
+    });
+}
+
+fn bench_correlation(c: &mut Criterion) {
+    let theta = random_weights(100_000, 2);
+    let mut rng = init::seeded_rng(3);
+    use rand::RngExt;
+    let s: Vec<f32> = (0..100_000).map(|_| rng.random_range(0.0..256.0)).collect();
+    c.bench_function("correlation_penalty_grad_100k", |b| {
+        b.iter(|| {
+            correlation_penalty(
+                black_box(&theta),
+                black_box(&s),
+                3.0,
+                SignConvention::Positive,
+            )
+        })
+    });
+}
+
+fn bench_quantizers(c: &mut Criterion) {
+    let weights = random_weights(100_000, 4);
+    let pixels: Vec<u8> = (0..100_000u32).map(|i| (i % 256) as u8).collect();
+    let mut group = c.benchmark_group("quantizer_fit_100k_16_levels");
+    group.bench_function("linear", |b| {
+        let q = LinearQuantizer::new(16).expect("levels");
+        b.iter(|| q.fit(black_box(&weights)).expect("fit"))
+    });
+    group.bench_function("kmeans", |b| {
+        let q = KMeansQuantizer::new(16).expect("levels");
+        b.iter(|| q.fit(black_box(&weights)).expect("fit"))
+    });
+    group.bench_function("weighted_entropy", |b| {
+        let q = WeightedEntropyQuantizer::new(16).expect("levels");
+        b.iter(|| q.fit(black_box(&weights)).expect("fit"))
+    });
+    group.bench_function("target_correlated", |b| {
+        let q = TargetCorrelatedQuantizer::new(16, &pixels).expect("levels");
+        b.iter(|| q.fit(black_box(&weights)).expect("fit"))
+    });
+    group.finish();
+
+    let codebook = WeightedEntropyQuantizer::new(16)
+        .expect("levels")
+        .fit(&weights)
+        .expect("fit");
+    c.bench_function("codebook_quantize_100k", |b| {
+        b.iter(|| codebook.quantize(black_box(&weights)))
+    });
+}
+
+fn bench_metrics_and_packing(c: &mut Criterion) {
+    let data = SynthCifar::new(16).generate(2, 5).expect("generator");
+    let a: &Image = data.image(0);
+    let bimg: &Image = data.image(1);
+    c.bench_function("ssim_16x16_rgb", |b| {
+        b.iter(|| ssim(black_box(a), black_box(bimg)))
+    });
+
+    let indices: Vec<u32> = (0..100_000u32).map(|i| i % 16).collect();
+    c.bench_function("pack_unpack_100k_4bit", |b| {
+        b.iter_batched(
+            || indices.clone(),
+            |idx| {
+                let bytes = pack::pack(&idx, 4).expect("pack");
+                pack::unpack(black_box(&bytes), 4, idx.len()).expect("unpack")
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group! {
+    name = kernels;
+    config = Criterion::default().sample_size(20);
+    targets = bench_tensor_kernels, bench_correlation, bench_quantizers,
+        bench_metrics_and_packing
+}
+criterion_main!(kernels);

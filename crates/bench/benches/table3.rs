@@ -1,0 +1,105 @@
+//! Table III — the headline result: the proposed flow (std-band
+//! preprocessing + layer-wise rates + target-correlated quantization)
+//! versus the original uncompressed attack, for λ ∈ {3, 5, 10}, bit
+//! widths {original float, 8, 6, 4}, in grayscale and RGB.
+//!
+//! Paper shape: the proposed quantized models hold accuracy near (or
+//! above) the original *uncompressed* attack models, with lower MAPE and
+//! comparable-or-better recognizable-image counts, all the way down to 4
+//! bits.
+
+use qce::{AttackFlow, BandRule, FlowConfig, Grouping, QuantConfig, QuantMethod, StageReport};
+use qce_bench::{banner, base_config, cifar_gray, cifar_rgb, pct};
+use qce_data::Dataset;
+
+struct Row {
+    label: String,
+    mape: f32,
+    accuracy: f32,
+    recognized: usize,
+    encoded: usize,
+}
+
+impl Row {
+    fn from_report(label: &str, r: &StageReport) -> Row {
+        Row {
+            label: label.to_string(),
+            mape: r.mean_mape(),
+            accuracy: r.accuracy,
+            recognized: r.recognized_count(),
+            encoded: r.images.len(),
+        }
+    }
+}
+
+fn run_color(dataset: &Dataset, color: &str, lambda: f32) -> Vec<Row> {
+    let mut rows = Vec::new();
+    // "Ori": the original uncompressed attack (uniform rate, no
+    // preprocessing, no quantization).
+    let mut ori = AttackFlow::new(FlowConfig {
+        grouping: Grouping::Uniform(lambda),
+        band: BandRule::FirstN,
+        ..base_config()
+    })
+    .train(dataset)
+    .expect("training failed");
+    rows.push(Row::from_report(
+        &format!("{color} Ori"),
+        &ori.float_report().expect("evaluation failed"),
+    ));
+
+    // Ours: layer-wise rates + std band, quantized at each bit width.
+    let mut ours = AttackFlow::new(FlowConfig {
+        grouping: Grouping::LayerWise([0.0, 0.0, lambda]),
+        band: BandRule::Explicit { min: 50.0, max: 55.0 },
+        ..base_config()
+    })
+    .train(dataset)
+    .expect("training failed");
+    for bits in [8u32, 6, 4] {
+        let release = ours
+            .quantize(QuantConfig::new(QuantMethod::TargetCorrelated, bits))
+            .expect("quantization failed");
+        rows.push(Row::from_report(
+            &format!("{color} ours {bits}-bit"),
+            &release.report,
+        ));
+    }
+    rows
+}
+
+fn main() {
+    banner(
+        "Table III",
+        "proposed quantized attack flow vs original uncompressed attack",
+    );
+    let rgb = cifar_rgb();
+    let gray = cifar_gray();
+    for lambda in [3.0f32, 5.0, 10.0] {
+        println!(
+            "\n--- lambda = {lambda} (ours: lambda1=lambda2=0, lambda3={lambda}, std in [50,55)) ---"
+        );
+        println!(
+            "{:<16} {:>10} {:>12} {:>22}",
+            "model", "MAPE", "accuracy", "recognized/encoded"
+        );
+        for rows in [run_color(&gray, "GRAY", lambda), run_color(&rgb, "RGB", lambda)] {
+            for row in rows {
+                println!(
+                    "{:<16} {:>10.2} {:>12} {:>14}/{:<7}",
+                    row.label,
+                    row.mape,
+                    pct(row.accuracy),
+                    row.recognized,
+                    row.encoded,
+                );
+            }
+        }
+    }
+    println!(
+        "\npaper shape check: at every lambda the quantized 'ours' rows keep\n\
+         accuracy within ~1-2 points of (or above) the uncompressed 'Ori'\n\
+         rows and reduce MAPE, even at 4 bits; the recognized fraction of\n\
+         'ours' matches or beats 'Ori' despite encoding fewer images."
+    );
+}

@@ -1,0 +1,106 @@
+//! Shared harness code for the experiment-reproduction benches.
+//!
+//! Every table and figure of the paper has a `harness = false` bench in
+//! `benches/` that regenerates it at reduced (CPU-minutes) scale; this
+//! library holds the dataset builders, base configuration and table
+//! formatting they share. See `DESIGN.md` §4 for the experiment index and
+//! `EXPERIMENTS.md` for paper-vs-measured results.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use qce::FlowConfig;
+use qce_data::{Dataset, SynthCifar, SynthFaces};
+
+/// Number of CIFAR-like images the table benches generate.
+pub const CIFAR_N: usize = 1200;
+/// Number of face images the face benches generate.
+pub const FACES_N: usize = 1600;
+/// Number of face identities.
+pub const FACE_IDENTITIES: usize = 40;
+/// Master seed of all benches.
+pub const SEED: u64 = 1;
+
+/// The standard 16×16 RGB CIFAR-like dataset of the benches.
+///
+/// # Panics
+///
+/// Panics only on an internal generator bug (fixed valid parameters).
+pub fn cifar_rgb() -> Dataset {
+    SynthCifar::new(16)
+        .generate(CIFAR_N, SEED)
+        .expect("valid generator parameters")
+}
+
+/// The grayscale variant of [`cifar_rgb`] (same underlying images).
+pub fn cifar_gray() -> Dataset {
+    cifar_rgb().to_grayscale()
+}
+
+/// The standard synthetic face dataset of the benches.
+///
+/// # Panics
+///
+/// Panics only on an internal generator bug (fixed valid parameters).
+pub fn faces() -> Dataset {
+    SynthFaces::new(16, FACE_IDENTITIES)
+        .generate(FACES_N, 11)
+        .expect("valid generator parameters")
+}
+
+/// The shared base flow configuration (the `small` preset, quantization
+/// and grouping overridden per experiment).
+pub fn base_config() -> FlowConfig {
+    FlowConfig {
+        quant: None,
+        ..FlowConfig::small()
+    }
+}
+
+/// Prints a bench banner naming the paper artifact being reproduced.
+pub fn banner(artifact: &str, description: &str) {
+    println!("================================================================");
+    println!("{artifact} — {description}");
+    println!("(reduced CPU scale; compare *shapes* with the paper, not");
+    println!(" absolute values — see EXPERIMENTS.md)");
+    println!("================================================================");
+}
+
+/// Formats a fraction as a percentage with two decimals.
+pub fn pct(x: f32) -> String {
+    format!("{:.2}%", 100.0 * x)
+}
+
+/// Prints a histogram as a horizontal ASCII bar series, one bin per line.
+pub fn print_histogram(label: &str, values: &[f32], bins: usize, lo: f32, hi: f32) {
+    use qce_tensor::stats::Histogram;
+    let h = Histogram::from_values(values, bins, lo, hi);
+    let max = h.counts().iter().copied().max().unwrap_or(1).max(1);
+    println!("--- {label} (n={}, range [{lo:.3}, {hi:.3}]) ---", values.len());
+    for (i, &c) in h.counts().iter().enumerate() {
+        let bar = "#".repeat((c * 48 / max) as usize);
+        println!("{:>9.4} | {bar} {c}", h.bin_center(i));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn datasets_build() {
+        assert_eq!(cifar_rgb().len(), CIFAR_N);
+        assert_eq!(cifar_gray().image(0).channels(), 1);
+        assert_eq!(faces().classes(), FACE_IDENTITIES);
+    }
+
+    #[test]
+    fn base_config_is_valid() {
+        base_config().validate().unwrap();
+    }
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(0.8831), "88.31%");
+    }
+}

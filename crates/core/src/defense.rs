@@ -1,0 +1,168 @@
+//! Active defenses a data holder can apply to a model *before* releasing
+//! it, without retraining — the constructive follow-up the paper's
+//! conclusion calls for.
+//!
+//! * [`noise_weights`] — add zero-mean Gaussian noise scaled to each
+//!   tensor's own standard deviation.
+//! * [`requantize`] — re-quantize the released weights with the
+//!   defender's *own* k-means codebook (this annihilates LSB payloads
+//!   outright and undoes an attacker's target-correlated boundaries).
+//!
+//! **Measured caveat** (see the `defenses` bench): against the
+//! *correlation* attack these countermeasures under-deliver — on an
+//! attacked model, noise strong enough to damage the encoding destroys
+//! task accuracy first, and defender re-quantization at survivable bit
+//! widths leaves most encoded images recognizable. The correlation
+//! attack stores its payload at the same "resolution" the task uses, so
+//! there is no perturbation budget that separates them. The effective
+//! defenses are *detection* ([`audit`](crate::audit), which names the
+//! stolen images) and reviewing third-party training code.
+
+use qce_nn::{Network, ParamKind};
+use qce_quant::{quantize_network, KMeansQuantizer, QuantizedNetwork};
+
+use crate::{FlowError, Result};
+
+/// Adds zero-mean Gaussian noise to every `Weight`-kind tensor, with the
+/// noise standard deviation set to `fraction` of the tensor's own weight
+/// standard deviation.
+///
+/// # Errors
+///
+/// Returns [`FlowError::InvalidConfig`] for a negative `fraction`.
+///
+/// # Examples
+///
+/// ```
+/// use qce::defense::noise_weights;
+/// use qce_nn::models::ResNetLite;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut net = ResNetLite::builder()
+///     .input(1, 8).classes(2).stage_channels(&[4]).blocks_per_stage(1)
+///     .build(1)?;
+/// let before = net.flat_weights();
+/// noise_weights(&mut net, 0.1, 7)?;
+/// assert_ne!(net.flat_weights(), before);
+/// # Ok(())
+/// # }
+/// ```
+pub fn noise_weights(net: &mut Network, fraction: f32, seed: u64) -> Result<()> {
+    if fraction < 0.0 {
+        return Err(FlowError::InvalidConfig {
+            reason: format!("noise fraction {fraction} must be non-negative"),
+        });
+    }
+    if fraction == 0.0 {
+        return Ok(());
+    }
+    let mut rng = qce_tensor::init::seeded_rng(seed);
+    for p in net.params_mut() {
+        if p.kind() != ParamKind::Weight {
+            continue;
+        }
+        let std = qce_tensor::stats::std_dev(p.value().as_slice());
+        if std <= 0.0 {
+            continue;
+        }
+        let sigma = fraction * std;
+        for w in p.value_mut().as_mut_slice() {
+            *w += sigma * qce_tensor::init::standard_normal(&mut rng);
+        }
+    }
+    Ok(())
+}
+
+/// Re-quantizes the released weights with a defender-chosen k-means
+/// codebook at `bits` (levels = `2^bits`), returning the quantization
+/// handle (useful for size accounting).
+///
+/// # Errors
+///
+/// Returns [`FlowError::InvalidConfig`] for `bits` outside `1..=16`, or
+/// propagates quantization errors.
+pub fn requantize(net: &mut Network, bits: u32) -> Result<QuantizedNetwork> {
+    if bits == 0 || bits > 16 {
+        return Err(FlowError::InvalidConfig {
+            reason: format!("requantize bits {bits} outside 1..=16"),
+        });
+    }
+    let q = KMeansQuantizer::new(1usize << bits)?;
+    Ok(quantize_network(net, &q)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AttackFlow, BandRule, FlowConfig, Grouping};
+    use qce_data::SynthCifar;
+    use qce_metrics::mape;
+
+    fn attacked() -> (crate::TrainedAttack, Vec<qce_data::Image>) {
+        let dataset = SynthCifar::new(8).classes(4).generate(160, 81).unwrap();
+        let trained = AttackFlow::new(FlowConfig {
+            grouping: Grouping::Uniform(8.0),
+            band: BandRule::FirstN,
+            quant: None,
+            ..FlowConfig::tiny()
+        })
+        .train(&dataset)
+        .unwrap();
+        let targets = trained.targets().to_vec();
+        (trained, targets)
+    }
+
+    fn mean_mape(t: &crate::TrainedAttack, targets: &[qce_data::Image]) -> f32 {
+        let decoded = t.decode_images().unwrap();
+        decoded
+            .iter()
+            .map(|d| mape(&targets[d.target_index], &d.image))
+            .sum::<f32>()
+            / decoded.len() as f32
+    }
+
+    #[test]
+    fn noise_degrades_decoding_monotonically() {
+        let (mut trained, targets) = attacked();
+        let clean = mean_mape(&trained, &targets);
+        noise_weights(trained.network_mut(), 0.2, 1).unwrap();
+        let light = mean_mape(&trained, &targets);
+        trained.restore_float().unwrap();
+        noise_weights(trained.network_mut(), 1.0, 1).unwrap();
+        let heavy = mean_mape(&trained, &targets);
+        assert!(clean < light, "{clean} !< {light}");
+        assert!(light < heavy, "{light} !< {heavy}");
+    }
+
+    #[test]
+    fn zero_noise_is_identity_and_negative_rejected() {
+        let (mut trained, _) = attacked();
+        let before = trained.network().flat_weights();
+        noise_weights(trained.network_mut(), 0.0, 1).unwrap();
+        assert_eq!(trained.network().flat_weights(), before);
+        assert!(noise_weights(trained.network_mut(), -0.5, 1).is_err());
+    }
+
+    #[test]
+    fn requantize_produces_coarse_weights() {
+        let (mut trained, targets) = attacked();
+        let clean = mean_mape(&trained, &targets);
+        let q = requantize(trained.network_mut(), 3).unwrap();
+        assert_eq!(q.requested_levels(), 8);
+        let after = mean_mape(&trained, &targets);
+        // Defender quantization (ignorant of the pixel histogram) hurts
+        // the decoding more than it would a benign deployment.
+        assert!(after > clean, "{clean} !< {after}");
+        assert!(requantize(trained.network_mut(), 0).is_err());
+        assert!(requantize(trained.network_mut(), 17).is_err());
+    }
+
+    #[test]
+    fn noise_is_deterministic_per_seed() {
+        let (mut a, _) = attacked();
+        let (mut b, _) = attacked();
+        noise_weights(a.network_mut(), 0.1, 9).unwrap();
+        noise_weights(b.network_mut(), 0.1, 9).unwrap();
+        assert_eq!(a.network().flat_weights(), b.network().flat_weights());
+    }
+}

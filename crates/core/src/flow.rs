@@ -1,0 +1,667 @@
+use qce_attack::correlation::{correlation, SignConvention};
+use qce_attack::{CorrelationRegularizer, Decoder, EncodingLayout, GroupSpec};
+use qce_data::{select, Dataset, Image};
+use qce_metrics::{mape, ssim};
+use qce_nn::models::ResNetLite;
+use qce_nn::{accuracy, LrSchedule, Network, NetworkSnapshot, Regularizer, TrainConfig, Trainer,
+    TrainingHistory};
+use qce_quant::{
+    finetune, quantize_network, FinetuneConfig, KMeansQuantizer, LinearQuantizer, Quantizer,
+    TargetCorrelatedQuantizer, WeightedEntropyQuantizer,
+};
+use qce_tensor::Tensor;
+
+use crate::{Architecture, BandRule, FlowConfig, FlowError, Grouping, ImageReport, QuantConfig,
+    QuantMethod, Result, StageReport};
+
+/// The end-to-end quantized correlation encoding attack flow (Fig. 1 of
+/// the paper).
+///
+/// [`AttackFlow::run`] executes everything in one call; for experiments
+/// that evaluate one trained model under several quantizers (Tables I and
+/// III sweep bit widths), [`AttackFlow::train`] returns a
+/// [`TrainedAttack`] whose float state can be re-quantized repeatedly
+/// without retraining.
+#[derive(Debug, Clone)]
+pub struct AttackFlow {
+    config: FlowConfig,
+}
+
+/// A trained (but not yet released) attack model: the float network, its
+/// encoding plan, the held-out validation split, and everything needed to
+/// quantize and evaluate it repeatedly.
+pub struct TrainedAttack {
+    config: FlowConfig,
+    network: Network,
+    float_state: NetworkSnapshot,
+    layout: Option<EncodingLayout>,
+    selection_indices: Vec<usize>,
+    targets: Vec<Image>,
+    target_labels: Vec<usize>,
+    training: TrainingHistory,
+    train_x: Tensor,
+    train_y: Vec<usize>,
+    test_x: Tensor,
+    test_y: Vec<usize>,
+}
+
+impl std::fmt::Debug for TrainedAttack {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TrainedAttack")
+            .field("targets", &self.targets.len())
+            .field("weights", &self.network.num_weights())
+            .finish()
+    }
+}
+
+/// A quantized release produced by [`TrainedAttack::quantize`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantizedRelease {
+    /// Evaluation of the quantized model.
+    pub report: StageReport,
+    /// Weight-payload compression ratio vs. float32.
+    pub compression_ratio: f64,
+}
+
+/// Everything a full flow run produces.
+#[derive(Debug)]
+pub struct FlowOutcome {
+    /// The released (possibly quantized) network.
+    pub network: Network,
+    /// The encoding plan (`None` for benign runs).
+    pub layout: Option<EncodingLayout>,
+    /// Indices of the encoded images in the *training split*.
+    pub selection_indices: Vec<usize>,
+    /// The original target images, in encoding order.
+    pub targets: Vec<Image>,
+    /// Labels of the target images.
+    pub target_labels: Vec<usize>,
+    /// Evaluation of the float model before quantization.
+    pub pre_quant: StageReport,
+    /// Evaluation after quantization + fine-tuning (`None` if the config
+    /// skipped quantization).
+    pub post_quant: Option<StageReport>,
+    /// Training history of the main training phase.
+    pub training: TrainingHistory,
+    /// Weight-payload compression ratio vs. float32 (`None` without
+    /// quantization).
+    pub compression_ratio: Option<f64>,
+}
+
+impl FlowOutcome {
+    /// The report for the model that actually gets released: quantized if
+    /// quantization ran, float otherwise.
+    pub fn final_report(&self) -> &StageReport {
+        self.post_quant.as_ref().unwrap_or(&self.pre_quant)
+    }
+}
+
+impl AttackFlow {
+    /// Creates a flow with the given configuration.
+    pub fn new(config: FlowConfig) -> Self {
+        AttackFlow { config }
+    }
+
+    /// The flow's configuration.
+    pub fn config(&self) -> &FlowConfig {
+        &self.config
+    }
+
+    /// Runs the full pipeline on `dataset` (training, optional
+    /// quantization from the config, evaluation of every released stage).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`FlowError`] describing the first failing stage.
+    pub fn run(&self, dataset: &Dataset) -> Result<FlowOutcome> {
+        let mut trained = self.train(dataset)?;
+        let pre_quant = trained.float_report()?;
+        let mut post_quant = None;
+        let mut compression_ratio = None;
+        if let Some(qcfg) = self.config.quant {
+            let release = trained.quantize(qcfg)?;
+            compression_ratio = Some(release.compression_ratio);
+            post_quant = Some(release.report);
+            // Leave the network in its released (quantized) state.
+            trained.apply_quantized_state(qcfg)?;
+        }
+        Ok(FlowOutcome {
+            network: trained.network,
+            layout: trained.layout,
+            selection_indices: trained.selection_indices,
+            targets: trained.targets,
+            target_labels: trained.target_labels,
+            pre_quant,
+            post_quant,
+            training: trained.training,
+            compression_ratio,
+        })
+    }
+
+    /// Runs the data-preprocessing and training stages only, returning a
+    /// [`TrainedAttack`] that can be evaluated and quantized repeatedly
+    /// (the config's own `quant` field is ignored here).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`FlowError`] describing the first failing stage;
+    /// configuration problems are caught up front by
+    /// [`FlowConfig::validate`].
+    pub fn train(&self, dataset: &Dataset) -> Result<TrainedAttack> {
+        let cfg = &self.config;
+        cfg.validate()?;
+        let first = dataset.images().first().ok_or(FlowError::InvalidConfig {
+            reason: "empty dataset".to_string(),
+        })?;
+        if first.height() != first.width() {
+            return Err(FlowError::InvalidConfig {
+                reason: "flow expects square images".to_string(),
+            });
+        }
+
+        // Stage 0: the data holder's train/validation split.
+        let (train, test) = dataset.split(cfg.train_fraction, cfg.seed)?;
+        let train_x = train.to_tensor();
+        let train_y = train.labels().to_vec();
+        let test_x = test.to_tensor();
+        let test_y = test.labels().to_vec();
+
+        // Model.
+        let mut net = match cfg.arch {
+            Architecture::ResNetLite => ResNetLite::builder()
+                .input(first.channels(), first.height())
+                .classes(dataset.classes())
+                .stage_channels(&cfg.stage_channels)
+                .blocks_per_stage(cfg.blocks_per_stage)
+                .build(cfg.seed.wrapping_add(1))?,
+            Architecture::ConvNet => qce_nn::models::ConvNet::builder()
+                .input(first.channels(), first.height())
+                .classes(dataset.classes())
+                .stage_channels(&cfg.stage_channels)
+                .build(cfg.seed.wrapping_add(1))?,
+        };
+        let total_slots = net.weight_slots().len();
+
+        // Stage 1: grouping + data pre-processing + encoding plan.
+        let scale = cfg.lambda_scale;
+        let specs = match cfg.grouping {
+            Grouping::Benign => Vec::new(),
+            Grouping::Uniform(l) => GroupSpec::uniform(total_slots, l * scale),
+            Grouping::LayerWise(ls) => GroupSpec::paper_thirds(
+                total_slots,
+                [ls[0] * scale, ls[1] * scale, ls[2] * scale],
+            ),
+        };
+        let mut layout = None;
+        let mut selection_indices = Vec::new();
+        let mut targets: Vec<Image> = Vec::new();
+        let mut target_labels = Vec::new();
+        let mut regularizer: Option<CorrelationRegularizer> = None;
+
+        if cfg.grouping.is_attack() {
+            let slots = net.weight_slots();
+            let capacity_pixels: usize = specs
+                .iter()
+                .filter(|s| s.lambda > 0.0)
+                .flat_map(|s| s.ordinals.iter())
+                .map(|&o| slots[o].len)
+                .sum();
+            let image_pixels = first.num_pixels();
+            selection_indices = match cfg.band {
+                BandRule::Auto { width } => {
+                    select::select_targets(&train, width, capacity_pixels, cfg.seed.wrapping_add(2))?
+                        .indices
+                }
+                BandRule::Explicit { min, max } => {
+                    let band = select::StdBand::new(min, max)?;
+                    select::select_targets_in_band(
+                        &train,
+                        band,
+                        capacity_pixels,
+                        cfg.seed.wrapping_add(2),
+                    )?
+                    .indices
+                }
+                BandRule::FirstN => {
+                    let n = (capacity_pixels / image_pixels).min(train.len());
+                    if n == 0 {
+                        return Err(FlowError::InvalidConfig {
+                            reason: "no encoding capacity for even one image".to_string(),
+                        });
+                    }
+                    (0..n).collect()
+                }
+            };
+            targets = selection_indices
+                .iter()
+                .map(|&i| train.image(i).clone())
+                .collect();
+            target_labels = selection_indices.iter().map(|&i| train.label(i)).collect();
+            let planned = EncodingLayout::plan(&net, &specs, &targets)?;
+            regularizer = Some(CorrelationRegularizer::new(planned.clone(), cfg.sign));
+            layout = Some(planned);
+        }
+
+        // Stage 2: training with the (possibly malicious) regularizer.
+        let mut trainer = Trainer::new(TrainConfig {
+            epochs: cfg.epochs,
+            batch_size: cfg.batch_size,
+            lr: cfg.lr,
+            momentum: 0.9,
+            weight_decay: 5e-4,
+            schedule: LrSchedule::Cosine {
+                total_epochs: cfg.epochs,
+                min_lr: cfg.lr * 0.05,
+            },
+            optimizer: qce_nn::OptimizerKind::Sgd,
+            shuffle_seed: cfg.seed.wrapping_add(3),
+            verbose: cfg.verbose,
+        });
+        let training = trainer.fit(
+            &mut net,
+            &train_x,
+            &train_y,
+            regularizer.as_mut().map(|r| r as &mut dyn Regularizer),
+        )?;
+
+        let float_state = net.snapshot();
+        Ok(TrainedAttack {
+            config: cfg.clone(),
+            network: net,
+            float_state,
+            layout,
+            selection_indices,
+            targets,
+            target_labels,
+            training,
+            train_x,
+            train_y,
+            test_x,
+            test_y,
+        })
+    }
+}
+
+impl TrainedAttack {
+    /// The network in its current state.
+    pub fn network(&self) -> &Network {
+        &self.network
+    }
+
+    /// Mutable access to the network (e.g. for applying baseline attacks
+    /// or external quantizers to the released weights).
+    pub fn network_mut(&mut self) -> &mut Network {
+        &mut self.network
+    }
+
+    /// Consumes the trained attack and returns the network in its current
+    /// state.
+    pub fn into_network(self) -> Network {
+        self.network
+    }
+
+    /// The encoding plan (`None` for benign runs).
+    pub fn layout(&self) -> Option<&EncodingLayout> {
+        self.layout.as_ref()
+    }
+
+    /// The original target images, in encoding order.
+    pub fn targets(&self) -> &[Image] {
+        &self.targets
+    }
+
+    /// Training history of the main phase.
+    pub fn training(&self) -> &TrainingHistory {
+        &self.training
+    }
+
+    /// Evaluates the float (uncompressed) model.
+    ///
+    /// # Errors
+    ///
+    /// Propagates evaluation errors.
+    pub fn float_report(&mut self) -> Result<StageReport> {
+        self.restore_float()?;
+        self.evaluate("uncompressed".to_string())
+    }
+
+    /// Quantizes a *copy* of the float model with `qcfg` (including
+    /// fine-tuning per the config) and evaluates it; the float state is
+    /// restored afterwards so `quantize` can be called repeatedly with
+    /// different settings.
+    ///
+    /// # Errors
+    ///
+    /// Propagates quantization, fine-tuning or evaluation errors.
+    pub fn quantize(&mut self, qcfg: QuantConfig) -> Result<QuantizedRelease> {
+        self.restore_float()?;
+        let ratio = self.quantize_in_place(qcfg)?;
+        let label = format!("{:?} {}-bit", qcfg.method, qcfg.bits);
+        let report = self.evaluate(label)?;
+        self.restore_float()?;
+        Ok(QuantizedRelease {
+            report,
+            compression_ratio: ratio,
+        })
+    }
+
+    /// Re-applies a quantization and *leaves* the network in that state —
+    /// for callers that want to inspect the quantized weights directly
+    /// (e.g. to decode Fig. 5 image strips). Returns the compression
+    /// ratio. Call [`TrainedAttack::restore_float`] to undo.
+    ///
+    /// # Errors
+    ///
+    /// Propagates quantization errors.
+    pub fn apply_quantized_state(&mut self, qcfg: QuantConfig) -> Result<f64> {
+        self.restore_float()?;
+        self.quantize_in_place(qcfg)
+    }
+
+    /// Restores the network to its float (post-training) state.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error only if the snapshot no longer matches (cannot
+    /// happen through this type's public API).
+    pub fn restore_float(&mut self) -> Result<()> {
+        let state = self.float_state.clone();
+        self.network.restore(&state)?;
+        Ok(())
+    }
+
+    fn quantize_in_place(&mut self, qcfg: QuantConfig) -> Result<f64> {
+        let levels = 1usize << qcfg.bits;
+        let quantizer: Box<dyn Quantizer> = match qcfg.method {
+            QuantMethod::Linear => Box::new(LinearQuantizer::new(levels)?),
+            QuantMethod::KMeans => Box::new(KMeansQuantizer::new(levels)?),
+            QuantMethod::WeightedEntropy => Box::new(WeightedEntropyQuantizer::new(levels)?),
+            QuantMethod::TargetCorrelated => {
+                let stream: Vec<u8> = self
+                    .targets
+                    .iter()
+                    .flat_map(|img| img.pixels().iter().copied())
+                    .collect();
+                if stream.is_empty() {
+                    return Err(FlowError::InvalidConfig {
+                        reason: "target-correlated quantization needs an attack run".to_string(),
+                    });
+                }
+                Box::new(TargetCorrelatedQuantizer::new(levels, &stream)?)
+            }
+        };
+        let mut qnet = quantize_network(&mut self.network, quantizer.as_ref())?;
+        if qcfg.finetune_epochs > 0 {
+            let ft = FinetuneConfig {
+                epochs: qcfg.finetune_epochs,
+                batch_size: self.config.batch_size,
+                lr: qcfg.finetune_lr,
+                momentum: 0.9,
+                shuffle_seed: self.config.seed.wrapping_add(4),
+                verbose: self.config.verbose,
+            };
+            let mut reg = if qcfg.regularize_finetune {
+                self.layout
+                    .clone()
+                    .map(|l| CorrelationRegularizer::new(l, self.config.sign))
+            } else {
+                None
+            };
+            finetune(
+                &mut self.network,
+                &mut qnet,
+                &self.train_x,
+                &self.train_y,
+                &ft,
+                reg.as_mut().map(|r| r as &mut dyn Regularizer),
+            )?;
+        }
+        Ok(qnet.compression_ratio())
+    }
+
+    /// Evaluates the network in its *current* state (float or quantized):
+    /// validation accuracy plus, for attack runs, extraction quality.
+    ///
+    /// # Errors
+    ///
+    /// Propagates evaluation errors.
+    pub fn evaluate(&mut self, label: String) -> Result<StageReport> {
+        let acc = accuracy(&mut self.network, &self.test_x, &self.test_y, 64)?;
+        let mut images = Vec::new();
+        let mut group_correlations = Vec::new();
+
+        if let Some(layout) = &self.layout {
+            let flat = self.network.flat_weights();
+            for g in layout.groups() {
+                let rho = if g.target().is_empty() {
+                    0.0
+                } else {
+                    let stream = g.extract(&flat);
+                    let n = g.target().len().min(stream.len());
+                    correlation(&stream[..n], &g.target()[..n])
+                };
+                group_correlations.push(rho);
+            }
+
+            let decoder = Decoder::new(layout.clone(), self.config.sign);
+            let mut decoded = Vec::new();
+            for gi in 0..layout.groups().len() {
+                match self.config.sign {
+                    SignConvention::Positive => {
+                        decoded.extend(decoder.decode_group(&flat, gi, false)?);
+                    }
+                    SignConvention::Absolute => {
+                        // Resolve polarity per group by reconstruction error.
+                        let straight = decoder.decode_group(&flat, gi, false)?;
+                        let flipped = decoder.decode_group(&flat, gi, true)?;
+                        let err = |set: &[qce_attack::DecodedImage]| -> f32 {
+                            set.iter()
+                                .map(|d| mape(&self.targets[d.target_index], &d.image))
+                                .sum::<f32>()
+                                .max(0.0)
+                        };
+                        decoded.extend(if err(&straight) <= err(&flipped) {
+                            straight
+                        } else {
+                            flipped
+                        });
+                    }
+                }
+            }
+
+            // Batch-classify the decoded images with the released model.
+            let recognized_flags = if decoded.is_empty() {
+                Vec::new()
+            } else {
+                let (c, h, w) = layout.geometry();
+                let mut flags = Vec::with_capacity(decoded.len());
+                for chunk in decoded.chunks(64) {
+                    let mut data = Vec::with_capacity(chunk.len() * c * h * w);
+                    for d in chunk {
+                        data.extend(d.image.to_f32_normalized());
+                    }
+                    let batch = Tensor::from_vec(data, &[chunk.len(), c, h, w])
+                        .map_err(|e| FlowError::Nn(qce_nn::NnError::tensor("decode batch", e)))?;
+                    let preds = self.network.predict(&batch)?;
+                    for (d, p) in chunk.iter().zip(preds) {
+                        flags.push(p == self.target_labels[d.target_index]);
+                    }
+                }
+                flags
+            };
+
+            for (d, recognized) in decoded.iter().zip(recognized_flags) {
+                let original = &self.targets[d.target_index];
+                images.push(ImageReport {
+                    target_index: d.target_index,
+                    dataset_index: self.selection_indices[d.target_index],
+                    group: d.group,
+                    mape: mape(original, &d.image),
+                    ssim: ssim(original, &d.image),
+                    recognized,
+                });
+            }
+        }
+
+        Ok(StageReport {
+            label,
+            accuracy: acc,
+            images,
+            group_correlations,
+        })
+    }
+
+    /// Decodes the currently-released weights into images (the raw
+    /// adversary view, without evaluation against originals).
+    ///
+    /// # Errors
+    ///
+    /// Propagates decoding errors; returns an empty vector for benign
+    /// runs.
+    pub fn decode_images(&self) -> Result<Vec<qce_attack::DecodedImage>> {
+        let Some(layout) = &self.layout else {
+            return Ok(Vec::new());
+        };
+        let decoder = Decoder::new(layout.clone(), self.config.sign);
+        Ok(decoder.decode(&self.network.flat_weights())?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qce_data::SynthCifar;
+
+    fn tiny_data() -> Dataset {
+        SynthCifar::new(8).classes(4).generate(160, 5).unwrap()
+    }
+
+    #[test]
+    fn benign_flow_has_no_extraction() {
+        let cfg = FlowConfig {
+            grouping: Grouping::Benign,
+            quant: None,
+            ..FlowConfig::tiny()
+        };
+        let out = AttackFlow::new(cfg).run(&tiny_data()).unwrap();
+        assert!(out.layout.is_none());
+        assert!(out.pre_quant.images.is_empty());
+        assert!(out.post_quant.is_none());
+        assert!(out.compression_ratio.is_none());
+        assert!(out.pre_quant.accuracy > 0.0);
+    }
+
+    #[test]
+    fn uniform_attack_encodes_and_decodes() {
+        let cfg = FlowConfig {
+            grouping: Grouping::Uniform(5.0),
+            band: BandRule::FirstN,
+            quant: None,
+            epochs: 3,
+            ..FlowConfig::tiny()
+        };
+        let out = AttackFlow::new(cfg).run(&tiny_data()).unwrap();
+        let layout = out.layout.as_ref().unwrap();
+        assert!(layout.total_encoded_images() > 0);
+        assert_eq!(out.pre_quant.images.len(), layout.total_encoded_images());
+        assert!(
+            out.pre_quant.group_correlations[0] > 0.5,
+            "rho = {}",
+            out.pre_quant.group_correlations[0]
+        );
+        assert!(
+            out.pre_quant.mean_mape() < 60.0,
+            "mape = {}",
+            out.pre_quant.mean_mape()
+        );
+    }
+
+    #[test]
+    fn quantized_flow_reports_both_stages() {
+        let cfg = FlowConfig {
+            grouping: Grouping::Uniform(5.0),
+            band: BandRule::FirstN,
+            quant: Some(crate::QuantConfig {
+                method: QuantMethod::TargetCorrelated,
+                bits: 4,
+                finetune_epochs: 1,
+                finetune_lr: 0.01,
+                regularize_finetune: true,
+            }),
+            epochs: 2,
+            ..FlowConfig::tiny()
+        };
+        let out = AttackFlow::new(cfg).run(&tiny_data()).unwrap();
+        let post = out.post_quant.as_ref().unwrap();
+        assert!(post.label.contains("TargetCorrelated"));
+        assert_eq!(post.images.len(), out.pre_quant.images.len());
+        let ratio = out.compression_ratio.unwrap();
+        assert!(ratio > 3.0, "ratio {ratio}");
+        assert_eq!(out.final_report().label, post.label);
+        // The released network really is quantized.
+        let slots = out.network.weight_slots();
+        let flat = out.network.flat_weights();
+        for slot in slots.iter().filter(|s| s.len >= 16) {
+            let mut vals: Vec<f32> = flat[slot.offset..slot.offset + slot.len].to_vec();
+            vals.sort_by(f32::total_cmp);
+            vals.dedup();
+            assert!(vals.len() <= 16, "slot {} has {} values", slot.ordinal, vals.len());
+        }
+    }
+
+    #[test]
+    fn trained_attack_supports_repeated_quantization() {
+        let cfg = FlowConfig {
+            grouping: Grouping::Uniform(5.0),
+            band: BandRule::FirstN,
+            quant: None,
+            epochs: 2,
+            ..FlowConfig::tiny()
+        };
+        let data = tiny_data();
+        let mut trained = AttackFlow::new(cfg).train(&data).unwrap();
+        let float1 = trained.float_report().unwrap();
+        let q8 = trained
+            .quantize(crate::QuantConfig::new(QuantMethod::Linear, 8))
+            .unwrap();
+        let q3 = trained
+            .quantize(crate::QuantConfig::new(QuantMethod::Linear, 3))
+            .unwrap();
+        // The float state is untouched by the quantization passes.
+        let float2 = trained.float_report().unwrap();
+        assert_eq!(float1, float2);
+        // Coarser quantization compresses more.
+        assert!(q3.compression_ratio > q8.compression_ratio);
+    }
+
+    #[test]
+    fn flow_is_deterministic() {
+        let cfg = FlowConfig {
+            grouping: Grouping::Uniform(3.0),
+            band: BandRule::FirstN,
+            quant: None,
+            epochs: 1,
+            ..FlowConfig::tiny()
+        };
+        let data = tiny_data();
+        let a = AttackFlow::new(cfg.clone()).run(&data).unwrap();
+        let b = AttackFlow::new(cfg).run(&data).unwrap();
+        assert_eq!(a.pre_quant.accuracy, b.pre_quant.accuracy);
+        assert_eq!(a.pre_quant.mean_mape(), b.pre_quant.mean_mape());
+        assert_eq!(a.network.flat_weights(), b.network.flat_weights());
+    }
+
+    #[test]
+    fn rejects_empty_dataset_and_bad_config() {
+        let empty = Dataset::new(Vec::new(), Vec::new(), 1).unwrap();
+        assert!(AttackFlow::new(FlowConfig::tiny()).run(&empty).is_err());
+
+        let cfg = FlowConfig {
+            quant: Some(crate::QuantConfig::new(QuantMethod::TargetCorrelated, 4)),
+            grouping: Grouping::Benign,
+            ..FlowConfig::tiny()
+        };
+        // Target-correlated quantization without an attack is impossible.
+        assert!(AttackFlow::new(cfg).run(&tiny_data()).is_err());
+    }
+}

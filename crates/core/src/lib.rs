@@ -1,0 +1,65 @@
+//! `qce` — the integrated *quantized correlation encoding attack flow* of
+//! the DAC 2020 paper "Stealing Your Data from Compressed Machine
+//! Learning Models" (Xu, Liu et al.), reproduced end to end on
+//! from-scratch substrates.
+//!
+//! # The attack in one paragraph
+//!
+//! A malicious ML provider hands a data holder a training algorithm that
+//! looks normal: data pre-processing, training with a regularizer,
+//! quantization with fine-tuning. Secretly, (1) the pre-processing picks
+//! training images whose pixel distribution matches what the attack will
+//! do to the weights, (2) the "regularizer" maximizes the correlation
+//! between late-layer weights and those images' pixels, and (3) the
+//! quantizer chooses cluster boundaries from the pixel histogram so that
+//! compression does not erase the correlation. The data holder validates
+//! accuracy, publishes the (deeply quantized) model — and the provider
+//! decodes the training images straight out of the released weights.
+//!
+//! # Crate map
+//!
+//! * [`FlowConfig`] / [`AttackFlow`] — configure and run the full
+//!   pipeline on a dataset; every stage (benign baseline, uniform CCS'17
+//!   attack, the paper's layer-wise flow, each quantizer) is a config
+//!   choice, which is what makes the ablation benches one-liners.
+//! * [`FlowOutcome`] / [`StageReport`] — accuracy, per-image MAPE/SSIM,
+//!   recognized-image counts, group correlations, compression ratio.
+//! * [`audit`] — the defender's view: distribution-level heuristics that
+//!   flag correlation-encoded weight tensors.
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use qce::{AttackFlow, FlowConfig};
+//! use qce_data::SynthCifar;
+//!
+//! # fn main() -> Result<(), qce::FlowError> {
+//! let data = SynthCifar::new(16).generate(600, 1)?;
+//! let outcome = AttackFlow::new(FlowConfig::small()).run(&data)?;
+//! println!(
+//!     "accuracy {:.2}%, {} images recognized",
+//!     100.0 * outcome.final_report().accuracy,
+//!     outcome.final_report().recognized_count(),
+//! );
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod error;
+mod flow;
+mod report;
+
+pub mod audit;
+pub mod defense;
+
+pub use config::{Architecture, BandRule, FlowConfig, Grouping, QuantConfig, QuantMethod};
+pub use error::FlowError;
+pub use flow::{AttackFlow, FlowOutcome, QuantizedRelease, TrainedAttack};
+pub use report::{ImageReport, StageReport};
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, FlowError>;

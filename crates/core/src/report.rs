@@ -1,0 +1,201 @@
+use serde::{Deserialize, Serialize};
+
+/// Reconstruction quality of one extracted image.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ImageReport {
+    /// Index into the attack's target image list.
+    pub target_index: usize,
+    /// Index of the original image in the training dataset.
+    pub dataset_index: usize,
+    /// Layer group the image was decoded from.
+    pub group: usize,
+    /// Mean absolute pixel error vs. the original.
+    pub mape: f32,
+    /// Structural similarity vs. the original.
+    pub ssim: f32,
+    /// Whether the released model classifies the *decoded* image to the
+    /// original's label — the paper's "recognizable by the model itself"
+    /// criterion.
+    pub recognized: bool,
+}
+
+/// Evaluation of one released model (uncompressed or quantized).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StageReport {
+    /// Human-readable stage label (e.g. `"weq 4-bit"`).
+    pub label: String,
+    /// Top-1 accuracy on the held-out validation split.
+    pub accuracy: f32,
+    /// Per-extracted-image quality.
+    pub images: Vec<ImageReport>,
+    /// Pearson correlation per layer group at release time.
+    pub group_correlations: Vec<f32>,
+}
+
+impl StageReport {
+    /// Mean MAPE over the extracted images (`NaN`-free; 0 when none).
+    pub fn mean_mape(&self) -> f32 {
+        if self.images.is_empty() {
+            return 0.0;
+        }
+        self.images.iter().map(|i| i.mape).sum::<f32>() / self.images.len() as f32
+    }
+
+    /// Mean SSIM over the extracted images (0 when none).
+    pub fn mean_ssim(&self) -> f32 {
+        if self.images.is_empty() {
+            return 0.0;
+        }
+        self.images.iter().map(|i| i.ssim).sum::<f32>() / self.images.len() as f32
+    }
+
+    /// Number of extracted images the model itself recognizes.
+    pub fn recognized_count(&self) -> usize {
+        self.images.iter().filter(|i| i.recognized).count()
+    }
+
+    /// Recognized images as a fraction of everything encoded (0 when
+    /// nothing was encoded).
+    pub fn recognized_fraction(&self) -> f32 {
+        if self.images.is_empty() {
+            return 0.0;
+        }
+        self.recognized_count() as f32 / self.images.len() as f32
+    }
+
+    /// Number of images with MAPE strictly below `threshold` (Table IV
+    /// uses 20).
+    pub fn count_mape_below(&self, threshold: f32) -> usize {
+        self.images.iter().filter(|i| i.mape < threshold).count()
+    }
+
+    /// Number of images with MAPE above `threshold` — the paper's "badly
+    /// encoded" count (Table II uses 20).
+    pub fn count_mape_above(&self, threshold: f32) -> usize {
+        self.images.iter().filter(|i| i.mape > threshold).count()
+    }
+
+    /// Number of images with SSIM strictly above `threshold` (Table IV
+    /// uses 0.5).
+    pub fn count_ssim_above(&self, threshold: f32) -> usize {
+        self.images.iter().filter(|i| i.ssim > threshold).count()
+    }
+
+    /// Per-group `(bad, total)` counts at the MAPE threshold — the rows of
+    /// Table II.
+    pub fn bad_by_group(&self, threshold: f32, groups: usize) -> Vec<(usize, usize)> {
+        let mut out = vec![(0usize, 0usize); groups];
+        for img in &self.images {
+            if img.group < groups {
+                out[img.group].1 += 1;
+                if img.mape > threshold {
+                    out[img.group].0 += 1;
+                }
+            }
+        }
+        out
+    }
+
+    /// The header matching [`StageReport::to_csv_row`].
+    pub fn csv_header() -> &'static str {
+        "label,accuracy,encoded,mean_mape,mean_ssim,recognized,mape_below_20,ssim_above_0_5"
+    }
+
+    /// One CSV row summarizing this stage — for piping sweep results into
+    /// external analysis tools. Commas in the label are replaced with
+    /// semicolons to keep the row well-formed.
+    pub fn to_csv_row(&self) -> String {
+        format!(
+            "{},{:.6},{},{:.4},{:.6},{},{},{}",
+            self.label.replace(',', ";"),
+            self.accuracy,
+            self.images.len(),
+            self.mean_mape(),
+            self.mean_ssim(),
+            self.recognized_count(),
+            self.count_mape_below(20.0),
+            self.count_ssim_above(0.5),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> StageReport {
+        StageReport {
+            label: "test".to_string(),
+            accuracy: 0.9,
+            images: vec![
+                ImageReport {
+                    target_index: 0,
+                    dataset_index: 5,
+                    group: 0,
+                    mape: 10.0,
+                    ssim: 0.8,
+                    recognized: true,
+                },
+                ImageReport {
+                    target_index: 1,
+                    dataset_index: 9,
+                    group: 2,
+                    mape: 30.0,
+                    ssim: 0.3,
+                    recognized: false,
+                },
+            ],
+            group_correlations: vec![0.0, 0.0, 0.9],
+        }
+    }
+
+    #[test]
+    fn aggregate_statistics() {
+        let r = report();
+        assert_eq!(r.mean_mape(), 20.0);
+        assert!((r.mean_ssim() - 0.55).abs() < 1e-6);
+        assert_eq!(r.recognized_count(), 1);
+        assert_eq!(r.recognized_fraction(), 0.5);
+        assert_eq!(r.count_mape_below(20.0), 1);
+        assert_eq!(r.count_mape_above(20.0), 1);
+        assert_eq!(r.count_ssim_above(0.5), 1);
+    }
+
+    #[test]
+    fn per_group_bad_counts() {
+        let r = report();
+        let by_group = r.bad_by_group(20.0, 3);
+        assert_eq!(by_group[0], (0, 1));
+        assert_eq!(by_group[1], (0, 0));
+        assert_eq!(by_group[2], (1, 1));
+    }
+
+    #[test]
+    fn csv_row_matches_header_arity() {
+        let r = report();
+        let header_cols = StageReport::csv_header().split(',').count();
+        let row = r.to_csv_row();
+        assert_eq!(row.split(',').count(), header_cols);
+        assert!(row.starts_with("test,0.9"));
+    }
+
+    #[test]
+    fn csv_row_escapes_commas_in_label() {
+        let mut r = report();
+        r.label = "weq, 4-bit".to_string();
+        assert!(r.to_csv_row().starts_with("weq; 4-bit,"));
+    }
+
+    #[test]
+    fn empty_report_is_zero() {
+        let r = StageReport {
+            label: String::new(),
+            accuracy: 0.0,
+            images: Vec::new(),
+            group_correlations: Vec::new(),
+        };
+        assert_eq!(r.mean_mape(), 0.0);
+        assert_eq!(r.mean_ssim(), 0.0);
+        assert_eq!(r.recognized_fraction(), 0.0);
+    }
+}

@@ -1,0 +1,94 @@
+use std::fmt;
+
+/// Error type for dataset construction, selection and image I/O.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum DataError {
+    /// An image was constructed with inconsistent dimensions.
+    InvalidDimensions {
+        /// Expected pixel-buffer length (`channels * height * width`).
+        expected: usize,
+        /// Provided length.
+        actual: usize,
+    },
+    /// The number of images and labels disagree, or a label exceeds the
+    /// declared class count.
+    InvalidLabels {
+        /// Why the labels are rejected.
+        reason: String,
+    },
+    /// A selection stage produced (or was asked for) an empty result.
+    EmptySelection {
+        /// Which stage failed.
+        stage: &'static str,
+    },
+    /// Generator or selection parameters are infeasible.
+    InvalidConfig {
+        /// Why the configuration is rejected.
+        reason: String,
+    },
+    /// An image file could not be written.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::InvalidDimensions { expected, actual } => {
+                write!(f, "pixel buffer length {actual}, expected {expected}")
+            }
+            DataError::InvalidLabels { reason } => write!(f, "invalid labels: {reason}"),
+            DataError::EmptySelection { stage } => {
+                write!(f, "selection stage {stage} produced no items")
+            }
+            DataError::InvalidConfig { reason } => write!(f, "invalid config: {reason}"),
+            DataError::Io(e) => write!(f, "image io failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DataError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DataError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for DataError {
+    fn from(e: std::io::Error) -> Self {
+        DataError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(DataError::InvalidDimensions {
+            expected: 10,
+            actual: 5
+        }
+        .to_string()
+        .contains("10"));
+        assert!(DataError::EmptySelection { stage: "band" }
+            .to_string()
+            .contains("band"));
+    }
+
+    #[test]
+    fn io_error_has_source() {
+        use std::error::Error;
+        let e = DataError::from(std::io::Error::other("boom"));
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DataError>();
+    }
+}

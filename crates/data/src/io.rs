@@ -1,0 +1,136 @@
+//! Binary PGM/PPM export for visual inspection of reconstructed images
+//! (the Fig. 5 deliverable writes decoded faces with these helpers).
+
+use std::io::Write;
+use std::path::Path;
+
+use crate::{Image, Result};
+
+/// Writes a grayscale image as binary PGM (P5). Multi-channel images are
+/// converted to grayscale first.
+///
+/// # Errors
+///
+/// Returns [`DataError::Io`](crate::DataError::Io) if the file cannot be
+/// written.
+pub fn write_pgm<P: AsRef<Path>>(image: &Image, path: P) -> Result<()> {
+    let gray = image.to_grayscale();
+    let mut file = std::fs::File::create(path)?;
+    write!(file, "P5\n{} {}\n255\n", gray.width(), gray.height())?;
+    file.write_all(gray.pixels())?;
+    Ok(())
+}
+
+/// Writes a 3-channel image as binary PPM (P6). Grayscale images are
+/// replicated across channels.
+///
+/// # Errors
+///
+/// Returns [`DataError::Io`](crate::DataError::Io) if the file cannot be
+/// written.
+pub fn write_ppm<P: AsRef<Path>>(image: &Image, path: P) -> Result<()> {
+    let (w, h) = (image.width(), image.height());
+    let plane = w * h;
+    let mut interleaved = Vec::with_capacity(3 * plane);
+    for i in 0..plane {
+        if image.channels() >= 3 {
+            interleaved.push(image.pixels()[i]);
+            interleaved.push(image.pixels()[plane + i]);
+            interleaved.push(image.pixels()[2 * plane + i]);
+        } else {
+            let v = image.pixels()[i];
+            interleaved.extend_from_slice(&[v, v, v]);
+        }
+    }
+    let mut file = std::fs::File::create(path)?;
+    write!(file, "P6\n{w} {h}\n255\n")?;
+    file.write_all(&interleaved)?;
+    Ok(())
+}
+
+/// Tiles a row of equally-sized grayscale images into one image — used to
+/// build the side-by-side Fig. 5 comparison strips.
+///
+/// # Errors
+///
+/// Returns [`DataError::InvalidConfig`](crate::DataError::InvalidConfig)
+/// if the images are empty or differ in geometry.
+pub fn tile_row(images: &[Image]) -> Result<Image> {
+    use crate::DataError;
+    let first = images.first().ok_or(DataError::EmptySelection { stage: "tile" })?;
+    let (h, w) = (first.height(), first.width());
+    let grays: Vec<Image> = images.iter().map(Image::to_grayscale).collect();
+    if grays.iter().any(|g| g.height() != h || g.width() != w) {
+        return Err(DataError::InvalidConfig {
+            reason: "tile_row requires equal image sizes".to_string(),
+        });
+    }
+    let total_w = w * grays.len();
+    let mut pixels = vec![0u8; h * total_w];
+    for (k, g) in grays.iter().enumerate() {
+        for y in 0..h {
+            for x in 0..w {
+                pixels[y * total_w + k * w + x] = g.pixels()[y * w + x];
+            }
+        }
+    }
+    Image::new(pixels, 1, h, total_w)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir() -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("qce-io-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn pgm_round_trip_header() {
+        let img = Image::new(vec![0, 64, 128, 255], 1, 2, 2).unwrap();
+        let path = tmpdir().join("a.pgm");
+        write_pgm(&img, &path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        assert!(bytes.starts_with(b"P5\n2 2\n255\n"));
+        assert_eq!(&bytes[bytes.len() - 4..], &[0, 64, 128, 255]);
+    }
+
+    #[test]
+    fn ppm_interleaves_channels() {
+        let img = Image::new(vec![1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12], 3, 2, 2).unwrap();
+        let path = tmpdir().join("b.ppm");
+        write_ppm(&img, &path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        let body = &bytes[bytes.len() - 12..];
+        assert_eq!(body, &[1, 5, 9, 2, 6, 10, 3, 7, 11, 4, 8, 12]);
+    }
+
+    #[test]
+    fn ppm_replicates_grayscale() {
+        let img = Image::new(vec![7, 8], 1, 1, 2).unwrap();
+        let path = tmpdir().join("c.ppm");
+        write_ppm(&img, &path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        assert_eq!(&bytes[bytes.len() - 6..], &[7, 7, 7, 8, 8, 8]);
+    }
+
+    #[test]
+    fn tile_row_concatenates_horizontally() {
+        let a = Image::new(vec![1, 2, 3, 4], 1, 2, 2).unwrap();
+        let b = Image::new(vec![5, 6, 7, 8], 1, 2, 2).unwrap();
+        let t = tile_row(&[a, b]).unwrap();
+        assert_eq!(t.width(), 4);
+        assert_eq!(t.height(), 2);
+        assert_eq!(t.pixels(), &[1, 2, 5, 6, 3, 4, 7, 8]);
+    }
+
+    #[test]
+    fn tile_row_validates() {
+        assert!(tile_row(&[]).is_err());
+        let a = Image::black(1, 2, 2).unwrap();
+        let b = Image::black(1, 3, 3).unwrap();
+        assert!(tile_row(&[a, b]).is_err());
+    }
+}

@@ -1,0 +1,249 @@
+//! Data pre-processing of the attack flow (§IV-A of the paper).
+//!
+//! The correlated value encoding attack reshapes the weight distribution
+//! toward the distribution of the encoded pixels (Fig. 2a). To minimize
+//! the fight between the task loss and the correlation term, the
+//! malicious training algorithm first *selects which images to encode*:
+//! it clusters the training images by per-image pixel standard deviation,
+//! computes the dataset mean `std_mean`, keeps candidates inside the band
+//! `[floor(std_mean), floor(std_mean) + d]`, estimates how many images fit
+//! in the target parameters, and samples that many candidates.
+
+use rand::seq::SliceRandom;
+
+use crate::{DataError, Dataset, Result};
+
+/// A half-open per-image pixel-std band `[min, max)` used to filter
+/// encoding candidates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StdBand {
+    /// Inclusive lower edge.
+    pub min: f32,
+    /// Exclusive upper edge.
+    pub max: f32,
+}
+
+impl StdBand {
+    /// Creates a band from explicit edges.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::InvalidConfig`] if `min >= max`.
+    pub fn new(min: f32, max: f32) -> Result<Self> {
+        if min >= max {
+            return Err(DataError::InvalidConfig {
+                reason: format!("std band [{min}, {max}) is empty"),
+            });
+        }
+        Ok(StdBand { min, max })
+    }
+
+    /// Whether `std` falls inside the band.
+    pub fn contains(&self, std: f32) -> bool {
+        std >= self.min && std < self.max
+    }
+}
+
+/// The paper's band rule: `std_min = floor(std_mean)`,
+/// `std_max = std_min + d`.
+///
+/// # Errors
+///
+/// Returns [`DataError::EmptySelection`] for an empty dataset or
+/// [`DataError::InvalidConfig`] for non-positive `d`.
+pub fn band_around_mean(dataset: &Dataset, d: f32) -> Result<StdBand> {
+    if dataset.is_empty() {
+        return Err(DataError::EmptySelection { stage: "band" });
+    }
+    if d <= 0.0 {
+        return Err(DataError::InvalidConfig {
+            reason: format!("band width d={d} must be positive"),
+        });
+    }
+    let stds = dataset.pixel_stds();
+    let mean = stds.iter().sum::<f32>() / stds.len() as f32;
+    let min = mean.floor();
+    StdBand::new(min, min + d)
+}
+
+/// Indices of dataset images whose pixel std falls inside `band`.
+pub fn candidates_in_band(dataset: &Dataset, band: StdBand) -> Vec<usize> {
+    dataset
+        .pixel_stds()
+        .iter()
+        .enumerate()
+        .filter(|(_, &s)| band.contains(s))
+        .map(|(i, _)| i)
+        .collect()
+}
+
+/// Result of the full §IV-A target-selection procedure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TargetSelection {
+    /// Dataset indices of the selected correlation targets, in selection
+    /// order (this order defines the encoding layout).
+    pub indices: Vec<usize>,
+    /// The std band that filtered the candidates.
+    pub band: StdBand,
+    /// How many images the capacity estimate allowed.
+    pub capacity_images: usize,
+    /// Size of the candidate pool before sampling.
+    pub candidate_pool: usize,
+}
+
+/// Runs the full §IV-A procedure: band around the dataset std mean with
+/// width `d`, capacity estimate from `capacity_pixels` (the number of
+/// weights available for encoding), and seeded sampling of the final
+/// target set.
+///
+/// # Errors
+///
+/// Returns [`DataError::EmptySelection`] if no image falls inside the
+/// band or the capacity allows zero images, and propagates band errors.
+///
+/// # Examples
+///
+/// ```
+/// use qce_data::{select, SynthCifar};
+///
+/// # fn main() -> Result<(), qce_data::DataError> {
+/// let data = SynthCifar::new(16).generate(300, 7)?;
+/// let sel = select::select_targets(&data, 5.0, 10 * 768, 1)?;
+/// assert!(sel.indices.len() <= 10);
+/// # Ok(())
+/// # }
+/// ```
+pub fn select_targets(
+    dataset: &Dataset,
+    d: f32,
+    capacity_pixels: usize,
+    seed: u64,
+) -> Result<TargetSelection> {
+    let band = band_around_mean(dataset, d)?;
+    select_targets_in_band(dataset, band, capacity_pixels, seed)
+}
+
+/// Same as [`select_targets`] but with an explicit band (the evaluation
+/// section of the paper fixes the CIFAR band to `[50, 55]`).
+///
+/// # Errors
+///
+/// Same conditions as [`select_targets`].
+pub fn select_targets_in_band(
+    dataset: &Dataset,
+    band: StdBand,
+    capacity_pixels: usize,
+    seed: u64,
+) -> Result<TargetSelection> {
+    let mut candidates = candidates_in_band(dataset, band);
+    if candidates.is_empty() {
+        return Err(DataError::EmptySelection { stage: "candidates" });
+    }
+    let per_image = dataset.image(candidates[0]).num_pixels();
+    let capacity_images = capacity_pixels / per_image;
+    if capacity_images == 0 {
+        return Err(DataError::EmptySelection { stage: "capacity" });
+    }
+    let candidate_pool = candidates.len();
+    let mut rng = qce_tensor::init::seeded_rng(seed);
+    candidates.shuffle(&mut rng);
+    candidates.truncate(capacity_images);
+    Ok(TargetSelection {
+        indices: candidates,
+        band,
+        capacity_images,
+        candidate_pool,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Image, SynthCifar};
+
+    fn dataset_with_stds(stds: &[u8]) -> Dataset {
+        // Image with two pixel values v±k has std k.
+        let images = stds
+            .iter()
+            .map(|&k| {
+                Image::new(
+                    vec![128 - k, 128 + k, 128 - k, 128 + k],
+                    1,
+                    2,
+                    2,
+                )
+                .unwrap()
+            })
+            .collect();
+        let labels = vec![0; stds.len()];
+        Dataset::new(images, labels, 1).unwrap()
+    }
+
+    #[test]
+    fn std_band_contains() {
+        let b = StdBand::new(50.0, 55.0).unwrap();
+        assert!(b.contains(50.0));
+        assert!(b.contains(54.9));
+        assert!(!b.contains(55.0));
+        assert!(StdBand::new(5.0, 5.0).is_err());
+    }
+
+    #[test]
+    fn band_around_mean_uses_floor() {
+        let d = dataset_with_stds(&[10, 20, 30]); // mean std = 20
+        let band = band_around_mean(&d, 5.0).unwrap();
+        assert_eq!(band.min, 20.0);
+        assert_eq!(band.max, 25.0);
+    }
+
+    #[test]
+    fn candidates_filtered_by_band() {
+        let d = dataset_with_stds(&[10, 22, 23, 40]);
+        let band = StdBand::new(20.0, 25.0).unwrap();
+        assert_eq!(candidates_in_band(&d, band), vec![1, 2]);
+    }
+
+    #[test]
+    fn capacity_limits_selection() {
+        let d = dataset_with_stds(&[20, 21, 22, 23, 24]);
+        let band = StdBand::new(15.0, 30.0).unwrap();
+        // Each image has 4 pixels; capacity of 9 pixels -> 2 images.
+        let sel = select_targets_in_band(&d, band, 9, 1).unwrap();
+        assert_eq!(sel.capacity_images, 2);
+        assert_eq!(sel.indices.len(), 2);
+        assert_eq!(sel.candidate_pool, 5);
+    }
+
+    #[test]
+    fn selection_is_deterministic() {
+        let data = SynthCifar::new(8).generate(100, 4).unwrap();
+        let a = select_targets(&data, 8.0, 20 * 192, 9).unwrap();
+        let b = select_targets(&data, 8.0, 20 * 192, 9).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn selected_images_have_in_band_std() {
+        let data = SynthCifar::new(16).generate(400, 5).unwrap();
+        let sel = select_targets(&data, 6.0, 50 * 768, 2).unwrap();
+        for &i in &sel.indices {
+            assert!(sel.band.contains(data.image(i).pixel_std()));
+        }
+    }
+
+    #[test]
+    fn errors_on_empty_outcomes() {
+        let d = dataset_with_stds(&[10, 11]);
+        let band = StdBand::new(100.0, 110.0).unwrap();
+        assert!(matches!(
+            select_targets_in_band(&d, band, 100, 0),
+            Err(DataError::EmptySelection { stage: "candidates" })
+        ));
+        let band2 = StdBand::new(5.0, 15.0).unwrap();
+        assert!(matches!(
+            select_targets_in_band(&d, band2, 3, 0), // capacity < 1 image
+            Err(DataError::EmptySelection { stage: "capacity" })
+        ));
+        assert!(band_around_mean(&d, -1.0).is_err());
+    }
+}

@@ -1,0 +1,28 @@
+//! Procedural dataset generators.
+//!
+//! [`SynthCifar`] replaces CIFAR-10 and [`SynthFaces`] replaces FaceScrub
+//! in the reproduction; see the crate docs and `DESIGN.md` for why the
+//! substitution preserves the attack-relevant behaviour.
+
+mod cifar;
+mod faces;
+
+pub use cifar::SynthCifar;
+pub use faces::SynthFaces;
+
+/// Clamps an `f32` into the `u8` pixel range with rounding.
+pub(crate) fn to_pixel(v: f32) -> u8 {
+    v.round().clamp(0.0, 255.0) as u8
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn to_pixel_clamps_and_rounds() {
+        assert_eq!(to_pixel(-3.0), 0);
+        assert_eq!(to_pixel(255.9), 255);
+        assert_eq!(to_pixel(127.5), 128);
+    }
+}

@@ -1,0 +1,215 @@
+/// A `K × K` confusion matrix accumulated from `(true, predicted)` label
+/// pairs.
+///
+/// # Examples
+///
+/// ```
+/// use qce_metrics::ConfusionMatrix;
+///
+/// let mut cm = ConfusionMatrix::new(2);
+/// cm.record(0, 0);
+/// cm.record(0, 1);
+/// cm.record(1, 1);
+/// assert_eq!(cm.total(), 3);
+/// assert!((cm.accuracy() - 2.0 / 3.0).abs() < 1e-6);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfusionMatrix {
+    classes: usize,
+    counts: Vec<u64>, // row = true class, col = predicted
+}
+
+impl ConfusionMatrix {
+    /// Creates an empty matrix for `classes` classes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `classes == 0`.
+    pub fn new(classes: usize) -> Self {
+        assert!(classes > 0, "confusion matrix needs at least one class");
+        ConfusionMatrix {
+            classes,
+            counts: vec![0; classes * classes],
+        }
+    }
+
+    /// Number of classes.
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    /// Records one observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either label is out of range.
+    pub fn record(&mut self, true_label: usize, predicted: usize) {
+        assert!(true_label < self.classes && predicted < self.classes);
+        self.counts[true_label * self.classes + predicted] += 1;
+    }
+
+    /// Records a batch of observations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ or any label is out of range.
+    pub fn record_batch(&mut self, true_labels: &[usize], predicted: &[usize]) {
+        assert_eq!(true_labels.len(), predicted.len());
+        for (&t, &p) in true_labels.iter().zip(predicted.iter()) {
+            self.record(t, p);
+        }
+    }
+
+    /// Count at `(true_label, predicted)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn count(&self, true_label: usize, predicted: usize) -> u64 {
+        assert!(true_label < self.classes && predicted < self.classes);
+        self.counts[true_label * self.classes + predicted]
+    }
+
+    /// Total observations recorded.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Overall accuracy (0 when empty).
+    pub fn accuracy(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let correct: u64 = (0..self.classes).map(|i| self.count(i, i)).sum();
+        correct as f64 / total as f64
+    }
+
+    /// Per-class recall (correct / actual); 0 for classes never seen.
+    pub fn recalls(&self) -> Vec<f64> {
+        (0..self.classes)
+            .map(|i| {
+                let row: u64 = (0..self.classes).map(|j| self.count(i, j)).sum();
+                if row == 0 {
+                    0.0
+                } else {
+                    self.count(i, i) as f64 / row as f64
+                }
+            })
+            .collect()
+    }
+
+    /// Per-class precision (correct / predicted); 0 for classes never
+    /// predicted.
+    pub fn precisions(&self) -> Vec<f64> {
+        (0..self.classes)
+            .map(|j| {
+                let col: u64 = (0..self.classes).map(|i| self.count(i, j)).sum();
+                if col == 0 {
+                    0.0
+                } else {
+                    self.count(j, j) as f64 / col as f64
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_predictions() {
+        let mut cm = ConfusionMatrix::new(3);
+        cm.record_batch(&[0, 1, 2, 1], &[0, 1, 2, 1]);
+        assert_eq!(cm.accuracy(), 1.0);
+        assert_eq!(cm.recalls(), vec![1.0, 1.0, 1.0]);
+        assert_eq!(cm.precisions(), vec![1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn mixed_predictions() {
+        let mut cm = ConfusionMatrix::new(2);
+        cm.record_batch(&[0, 0, 1, 1], &[0, 1, 1, 0]);
+        assert_eq!(cm.accuracy(), 0.5);
+        assert_eq!(cm.count(0, 1), 1);
+        assert_eq!(cm.recalls(), vec![0.5, 0.5]);
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let cm = ConfusionMatrix::new(4);
+        assert_eq!(cm.total(), 0);
+        assert_eq!(cm.accuracy(), 0.0);
+        assert_eq!(cm.recalls(), vec![0.0; 4]);
+        assert_eq!(cm.precisions(), vec![0.0; 4]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_label_panics() {
+        let mut cm = ConfusionMatrix::new(2);
+        cm.record(2, 0);
+    }
+}
+
+/// Top-`k` accuracy from raw logits (`[N, K]` row-major) and labels: a
+/// sample counts as correct when its label is among the `k` largest
+/// logits of its row.
+///
+/// # Panics
+///
+/// Panics if `logits.len()` is not a multiple of `labels.len()`, `k` is
+/// zero, or any label is out of range.
+pub fn topk_accuracy(logits: &[f32], labels: &[usize], k: usize) -> f64 {
+    assert!(k > 0, "k must be positive");
+    if labels.is_empty() {
+        return 0.0;
+    }
+    assert_eq!(logits.len() % labels.len(), 0, "ragged logits");
+    let classes = logits.len() / labels.len();
+    let mut correct = 0usize;
+    for (i, &label) in labels.iter().enumerate() {
+        assert!(label < classes, "label {label} out of range");
+        let row = &logits[i * classes..(i + 1) * classes];
+        let target = row[label];
+        // Rank = number of classes with a strictly larger logit.
+        let rank = row.iter().filter(|&&v| v > target).count();
+        if rank < k {
+            correct += 1;
+        }
+    }
+    correct as f64 / labels.len() as f64
+}
+
+#[cfg(test)]
+mod topk_tests {
+    use super::topk_accuracy;
+
+    #[test]
+    fn top1_counts_argmax_only() {
+        let logits = [0.1, 0.9, 0.0, /* row 2 */ 0.8, 0.1, 0.1];
+        assert_eq!(topk_accuracy(&logits, &[1, 0], 1), 1.0);
+        assert_eq!(topk_accuracy(&logits, &[0, 0], 1), 0.5);
+    }
+
+    #[test]
+    fn topk_widens_acceptance() {
+        let logits = [0.5, 0.3, 0.2];
+        assert_eq!(topk_accuracy(&logits, &[2], 1), 0.0);
+        assert_eq!(topk_accuracy(&logits, &[2], 2), 0.0);
+        assert_eq!(topk_accuracy(&logits, &[2], 3), 1.0);
+    }
+
+    #[test]
+    fn empty_labels() {
+        assert_eq!(topk_accuracy(&[], &[], 1), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn zero_k_panics() {
+        topk_accuracy(&[1.0], &[0], 0);
+    }
+}

@@ -1,0 +1,124 @@
+//! Divergences between value distributions, used to quantify how much a
+//! quantizer reshapes an attacked model's weight distribution (Figs. 2–3
+//! of the paper).
+
+use qce_tensor::stats::Histogram;
+
+/// Kullback–Leibler divergence `KL(p ‖ q)` in nats between two discrete
+/// distributions given as probability vectors.
+///
+/// Bins where `p == 0` contribute nothing; bins where `p > 0` but
+/// `q == 0` are smoothed with a small epsilon so the divergence stays
+/// finite (the histograms this crate compares are empirical).
+///
+/// # Panics
+///
+/// Panics if the vectors differ in length.
+pub fn kl_divergence(p: &[f64], q: &[f64]) -> f64 {
+    assert_eq!(p.len(), q.len(), "kl_divergence requires equal lengths");
+    const EPS: f64 = 1e-12;
+    p.iter()
+        .zip(q.iter())
+        .filter(|(&pi, _)| pi > 0.0)
+        .map(|(&pi, &qi)| pi * (pi / qi.max(EPS)).ln())
+        .sum()
+}
+
+/// Symmetric KL: `KL(p‖q) + KL(q‖p)`.
+///
+/// # Panics
+///
+/// Panics if the vectors differ in length.
+pub fn symmetric_kl(p: &[f64], q: &[f64]) -> f64 {
+    kl_divergence(p, q) + kl_divergence(q, p)
+}
+
+/// 1-Wasserstein (earth mover's) distance between two histograms over the
+/// same bins, expressed in bin-width units.
+///
+/// # Panics
+///
+/// Panics if the probability vectors differ in length.
+pub fn wasserstein1(p: &[f64], q: &[f64]) -> f64 {
+    assert_eq!(p.len(), q.len(), "wasserstein1 requires equal lengths");
+    let mut cum = 0.0f64;
+    let mut dist = 0.0f64;
+    for (&pi, &qi) in p.iter().zip(q.iter()) {
+        cum += pi - qi;
+        dist += cum.abs();
+    }
+    dist
+}
+
+/// Convenience: histogram two samples over a shared range and return their
+/// symmetric KL divergence.
+///
+/// # Panics
+///
+/// Panics if `bins == 0` or `lo >= hi` (see
+/// [`Histogram::from_values`]).
+pub fn histogram_divergence(a: &[f32], b: &[f32], bins: usize, lo: f32, hi: f32) -> f64 {
+    let ha = Histogram::from_values(a, bins, lo, hi);
+    let hb = Histogram::from_values(b, bins, lo, hi);
+    symmetric_kl(&ha.probabilities(), &hb.probabilities())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kl_self_is_zero() {
+        let p = [0.25, 0.25, 0.5];
+        assert!(kl_divergence(&p, &p).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kl_is_nonnegative_and_asymmetric() {
+        let p = [0.9, 0.1];
+        let q = [0.5, 0.5];
+        let pq = kl_divergence(&p, &q);
+        let qp = kl_divergence(&q, &p);
+        assert!(pq > 0.0);
+        assert!(qp > 0.0);
+        assert!((pq - qp).abs() > 1e-6);
+        assert!((symmetric_kl(&p, &q) - (pq + qp)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kl_handles_zero_bins() {
+        let p = [0.5, 0.5, 0.0];
+        let q = [1.0, 0.0, 0.0];
+        let d = kl_divergence(&p, &q);
+        assert!(d.is_finite());
+        assert!(d > 0.0);
+    }
+
+    #[test]
+    fn wasserstein_shifted_mass() {
+        // All mass moves one bin: distance 1.
+        let p = [1.0, 0.0, 0.0];
+        let q = [0.0, 1.0, 0.0];
+        assert!((wasserstein1(&p, &q) - 1.0).abs() < 1e-12);
+        // Two bins: distance 2.
+        let r = [0.0, 0.0, 1.0];
+        assert!((wasserstein1(&p, &r) - 2.0).abs() < 1e-12);
+        // Symmetry.
+        assert!((wasserstein1(&p, &q) - wasserstein1(&q, &p)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_divergence_separates_distributions() {
+        let mut rng = qce_tensor::init::seeded_rng(1);
+        let narrow: Vec<f32> = (0..5000)
+            .map(|_| 0.1 * qce_tensor::init::standard_normal(&mut rng))
+            .collect();
+        let wide: Vec<f32> = (0..5000)
+            .map(|_| 0.5 * qce_tensor::init::standard_normal(&mut rng))
+            .collect();
+        let same = histogram_divergence(&narrow, &narrow, 32, -2.0, 2.0);
+        let diff = histogram_divergence(&narrow, &wide, 32, -2.0, 2.0);
+        assert!(same < 1e-9);
+        assert!(diff > 0.1, "diff {diff}");
+    }
+}

@@ -1,0 +1,107 @@
+use std::fmt;
+
+use qce_tensor::TensorError;
+
+/// Error type for network construction, training and inference.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum NnError {
+    /// An underlying tensor operation failed, annotated with the layer or
+    /// stage in which it happened.
+    Tensor {
+        /// Layer or pipeline stage name.
+        context: String,
+        /// The underlying tensor error.
+        source: TensorError,
+    },
+    /// `backward` was called before `forward` cached its activations.
+    BackwardBeforeForward {
+        /// The offending layer's name.
+        layer: &'static str,
+    },
+    /// A label index is out of range for the classifier output width.
+    InvalidLabel {
+        /// The offending label.
+        label: usize,
+        /// Number of classes the model predicts.
+        classes: usize,
+    },
+    /// The number of samples and labels disagree.
+    SampleLabelMismatch {
+        /// Number of input samples.
+        samples: usize,
+        /// Number of labels.
+        labels: usize,
+    },
+    /// A model builder was asked for an impossible configuration.
+    InvalidConfig {
+        /// Why the configuration is rejected.
+        reason: String,
+    },
+    /// A flat weight vector had the wrong total length.
+    WeightLengthMismatch {
+        /// Expected flattened length.
+        expected: usize,
+        /// Provided length.
+        actual: usize,
+    },
+}
+
+impl NnError {
+    /// Wraps a tensor error with a named context.
+    pub fn tensor(context: impl Into<String>, source: TensorError) -> Self {
+        NnError::Tensor {
+            context: context.into(),
+            source,
+        }
+    }
+}
+
+impl fmt::Display for NnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NnError::Tensor { context, source } => write!(f, "{context}: {source}"),
+            NnError::BackwardBeforeForward { layer } => {
+                write!(f, "backward called before forward in layer {layer}")
+            }
+            NnError::InvalidLabel { label, classes } => {
+                write!(f, "label {label} out of range for {classes} classes")
+            }
+            NnError::SampleLabelMismatch { samples, labels } => {
+                write!(f, "{samples} samples but {labels} labels")
+            }
+            NnError::InvalidConfig { reason } => write!(f, "invalid model config: {reason}"),
+            NnError::WeightLengthMismatch { expected, actual } => {
+                write!(f, "flat weight vector length {actual}, expected {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NnError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = NnError::tensor("conv1", TensorError::EmptyShape);
+        assert!(e.to_string().starts_with("conv1:"));
+        assert!(NnError::BackwardBeforeForward { layer: "relu" }
+            .to_string()
+            .contains("relu"));
+        assert!(NnError::InvalidLabel {
+            label: 11,
+            classes: 10
+        }
+        .to_string()
+        .contains("11"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NnError>();
+    }
+}

@@ -1,0 +1,94 @@
+use qce_tensor::Tensor;
+
+use crate::{Param, Result};
+
+/// Whether a forward pass is part of training or evaluation.
+///
+/// Batch normalization uses batch statistics (and updates running
+/// statistics) in [`Mode::Train`], and frozen running statistics in
+/// [`Mode::Eval`]. Other layers behave identically in both modes but must
+/// only rely on cached activations for `backward` after a `Train` forward.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Mode {
+    /// Training: cache activations for `backward`, use batch statistics.
+    Train,
+    /// Inference: no caching requirements, use running statistics.
+    Eval,
+}
+
+/// One differentiable stage of a [`Network`](crate::Network).
+///
+/// The contract is the classic two-phase one:
+///
+/// 1. `forward(input, Mode::Train)` computes the output **and caches**
+///    whatever intermediate state `backward` will need.
+/// 2. `backward(grad_out)` consumes that cache, **accumulates** parameter
+///    gradients into its [`Param`]s, and returns the gradient w.r.t. its
+///    input.
+///
+/// Implementations must return
+/// [`NnError::BackwardBeforeForward`](crate::NnError::BackwardBeforeForward)
+/// when `backward` is called without a preceding training-mode `forward`.
+pub trait Layer {
+    /// Short static name used in error contexts (e.g. `"conv2d"`).
+    fn name(&self) -> &'static str;
+
+    /// Computes the layer output for `input`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `input` has an incompatible shape.
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor>;
+
+    /// Propagates `grad_out` back through the layer, accumulating parameter
+    /// gradients, and returns the gradient w.r.t. the layer input.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if no training-mode forward preceded this call or
+    /// if `grad_out` has an incompatible shape.
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor>;
+
+    /// The layer's trainable parameters, in a deterministic order.
+    ///
+    /// The default implementation returns no parameters (correct for
+    /// activation, pooling and reshaping layers).
+    fn params(&self) -> Vec<&Param> {
+        Vec::new()
+    }
+
+    /// Mutable access to the layer's trainable parameters, in the same
+    /// order as [`Layer::params`].
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        Vec::new()
+    }
+
+    /// Non-trainable state that still affects inference (batch-norm
+    /// running statistics), in a deterministic order. Default: none.
+    fn buffers(&self) -> Vec<&[f32]> {
+        Vec::new()
+    }
+
+    /// Mutable access to the buffers, in the same order as
+    /// [`Layer::buffers`].
+    fn buffers_mut(&mut self) -> Vec<&mut Vec<f32>> {
+        Vec::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layer_trait_is_object_safe() {
+        // Compile-time check: Box<dyn Layer> must be a valid type.
+        fn _takes(_: Box<dyn Layer>) {}
+    }
+
+    #[test]
+    fn mode_equality() {
+        assert_eq!(Mode::Train, Mode::Train);
+        assert_ne!(Mode::Train, Mode::Eval);
+    }
+}

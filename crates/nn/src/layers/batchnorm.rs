@@ -1,0 +1,333 @@
+use qce_tensor::{Tensor, TensorError};
+
+use crate::{Layer, Mode, NnError, Param, ParamKind, Result};
+
+/// Per-channel batch normalization for `[N, C, H, W]` activations.
+///
+/// In [`Mode::Train`] the layer normalizes with batch statistics and
+/// updates exponential running statistics; in [`Mode::Eval`] it uses the
+/// frozen running statistics. The affine parameters γ/β are trainable but
+/// carry [`ParamKind::Gamma`]/[`ParamKind::Beta`], so the attack and the
+/// quantizers skip them.
+#[derive(Debug)]
+pub struct BatchNorm2d {
+    gamma: Param,
+    beta: Param,
+    running_mean: Vec<f32>,
+    running_var: Vec<f32>,
+    momentum: f32,
+    eps: f32,
+    cache: Option<BnCache>,
+}
+
+#[derive(Debug)]
+struct BnCache {
+    xhat: Tensor,
+    inv_std: Vec<f32>,
+    dims: Vec<usize>,
+}
+
+impl BatchNorm2d {
+    /// Creates a batch-norm layer for `channels` feature maps with the
+    /// conventional momentum 0.1 and epsilon 1e-5.
+    pub fn new(channels: usize) -> Self {
+        BatchNorm2d {
+            gamma: Param::new(Tensor::ones(&[channels]), ParamKind::Gamma),
+            beta: Param::new(Tensor::zeros(&[channels]), ParamKind::Beta),
+            running_mean: vec![0.0; channels],
+            running_var: vec![1.0; channels],
+            momentum: 0.1,
+            eps: 1e-5,
+            cache: None,
+        }
+    }
+
+    /// Number of channels this layer normalizes.
+    pub fn channels(&self) -> usize {
+        self.running_mean.len()
+    }
+
+    fn check_input(&self, input: &Tensor) -> Result<()> {
+        if input.shape().rank() != 4 {
+            return Err(NnError::tensor(
+                "batchnorm2d",
+                TensorError::RankMismatch {
+                    op: "batchnorm2d forward",
+                    expected: 4,
+                    actual: input.shape().rank(),
+                },
+            ));
+        }
+        if input.dims()[1] != self.channels() {
+            return Err(NnError::tensor(
+                "batchnorm2d",
+                TensorError::ShapeMismatch {
+                    op: "batchnorm2d channels",
+                    lhs: vec![self.channels()],
+                    rhs: input.dims().to_vec(),
+                },
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl Layer for BatchNorm2d {
+    fn name(&self) -> &'static str {
+        "batchnorm2d"
+    }
+
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
+        self.check_input(input)?;
+        let (n, c, h, w) = (
+            input.dims()[0],
+            input.dims()[1],
+            input.dims()[2],
+            input.dims()[3],
+        );
+        let plane = h * w;
+        let m = (n * plane) as f32;
+        let iv = input.as_slice();
+        let gamma = self.gamma.value().as_slice().to_vec();
+        let beta = self.beta.value().as_slice().to_vec();
+        let mut out = vec![0.0f32; iv.len()];
+
+        match mode {
+            Mode::Train => {
+                let mut xhat = vec![0.0f32; iv.len()];
+                let mut inv_std = vec![0.0f32; c];
+                for ch in 0..c {
+                    // Batch statistics over N x H x W for this channel.
+                    let mut sum = 0.0f64;
+                    let mut sq = 0.0f64;
+                    for s in 0..n {
+                        let base = (s * c + ch) * plane;
+                        for &x in &iv[base..base + plane] {
+                            sum += x as f64;
+                            sq += (x as f64) * (x as f64);
+                        }
+                    }
+                    let mean = (sum / m as f64) as f32;
+                    let var = ((sq / m as f64) - (sum / m as f64).powi(2)).max(0.0) as f32;
+                    let istd = 1.0 / (var + self.eps).sqrt();
+                    inv_std[ch] = istd;
+                    self.running_mean[ch] =
+                        (1.0 - self.momentum) * self.running_mean[ch] + self.momentum * mean;
+                    self.running_var[ch] =
+                        (1.0 - self.momentum) * self.running_var[ch] + self.momentum * var;
+                    for s in 0..n {
+                        let base = (s * c + ch) * plane;
+                        for i in base..base + plane {
+                            let xh = (iv[i] - mean) * istd;
+                            xhat[i] = xh;
+                            out[i] = gamma[ch] * xh + beta[ch];
+                        }
+                    }
+                }
+                self.cache = Some(BnCache {
+                    xhat: Tensor::from_vec(xhat, input.dims())
+                        .map_err(|e| NnError::tensor("batchnorm2d cache", e))?,
+                    inv_std,
+                    dims: input.dims().to_vec(),
+                });
+            }
+            Mode::Eval => {
+                for ch in 0..c {
+                    let istd = 1.0 / (self.running_var[ch] + self.eps).sqrt();
+                    let mean = self.running_mean[ch];
+                    for s in 0..n {
+                        let base = (s * c + ch) * plane;
+                        for i in base..base + plane {
+                            out[i] = gamma[ch] * (iv[i] - mean) * istd + beta[ch];
+                        }
+                    }
+                }
+            }
+        }
+        Tensor::from_vec(out, input.dims()).map_err(|e| NnError::tensor("batchnorm2d", e))
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        let cache = self.cache.as_ref().ok_or(NnError::BackwardBeforeForward {
+            layer: "batchnorm2d",
+        })?;
+        if grad_out.dims() != cache.dims.as_slice() {
+            return Err(NnError::tensor(
+                "batchnorm2d",
+                TensorError::ShapeMismatch {
+                    op: "batchnorm2d backward",
+                    lhs: cache.dims.clone(),
+                    rhs: grad_out.dims().to_vec(),
+                },
+            ));
+        }
+        let (n, c, h, w) = (cache.dims[0], cache.dims[1], cache.dims[2], cache.dims[3]);
+        let plane = h * w;
+        let m = (n * plane) as f32;
+        let gv = grad_out.as_slice();
+        let xh = cache.xhat.as_slice();
+        let gamma = self.gamma.value().as_slice().to_vec();
+        let mut grad_in = vec![0.0f32; gv.len()];
+
+        let dgamma = self.gamma.grad_mut().as_mut_slice();
+        let mut dgamma_local = vec![0.0f32; c];
+        let mut dbeta_local = vec![0.0f32; c];
+        for ch in 0..c {
+            let mut sum_dy = 0.0f64;
+            let mut sum_dy_xhat = 0.0f64;
+            for s in 0..n {
+                let base = (s * c + ch) * plane;
+                for i in base..base + plane {
+                    sum_dy += gv[i] as f64;
+                    sum_dy_xhat += (gv[i] * xh[i]) as f64;
+                }
+            }
+            dgamma_local[ch] = sum_dy_xhat as f32;
+            dbeta_local[ch] = sum_dy as f32;
+            let istd = cache.inv_std[ch];
+            let k1 = sum_dy as f32 / m;
+            let k2 = sum_dy_xhat as f32 / m;
+            for s in 0..n {
+                let base = (s * c + ch) * plane;
+                for i in base..base + plane {
+                    grad_in[i] = gamma[ch] * istd * (gv[i] - k1 - xh[i] * k2);
+                }
+            }
+        }
+        for (d, l) in dgamma.iter_mut().zip(dgamma_local.iter()) {
+            *d += l;
+        }
+        for (d, l) in self
+            .beta
+            .grad_mut()
+            .as_mut_slice()
+            .iter_mut()
+            .zip(dbeta_local.iter())
+        {
+            *d += l;
+        }
+        Tensor::from_vec(grad_in, &cache.dims).map_err(|e| NnError::tensor("batchnorm2d", e))
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        vec![&self.gamma, &self.beta]
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.gamma, &mut self.beta]
+    }
+
+    fn buffers(&self) -> Vec<&[f32]> {
+        vec![&self.running_mean, &self.running_var]
+    }
+
+    fn buffers_mut(&mut self) -> Vec<&mut Vec<f32>> {
+        vec![&mut self.running_mean, &mut self.running_var]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qce_tensor::init;
+
+    #[test]
+    fn train_forward_normalizes_batch() {
+        let mut bn = BatchNorm2d::new(2);
+        let mut rng = init::seeded_rng(1);
+        let x = init::uniform(&[4, 2, 3, 3], -2.0, 5.0, &mut rng);
+        let y = bn.forward(&x, Mode::Train).unwrap();
+        // Per channel: mean ~0, var ~1 (gamma=1, beta=0 at init).
+        for ch in 0..2 {
+            let mut vals = Vec::new();
+            for s in 0..4 {
+                for i in 0..9 {
+                    vals.push(y.as_slice()[(s * 2 + ch) * 9 + i]);
+                }
+            }
+            let mean: f32 = vals.iter().sum::<f32>() / vals.len() as f32;
+            let var: f32 =
+                vals.iter().map(|&v| (v - mean).powi(2)).sum::<f32>() / vals.len() as f32;
+            assert!(mean.abs() < 1e-4, "mean {mean}");
+            assert!((var - 1.0).abs() < 1e-2, "var {var}");
+        }
+    }
+
+    #[test]
+    fn eval_uses_running_statistics() {
+        let mut bn = BatchNorm2d::new(1);
+        let mut rng = init::seeded_rng(2);
+        // Several training batches to converge running stats.
+        for _ in 0..200 {
+            let x = init::uniform(&[8, 1, 2, 2], 4.0, 6.0, &mut rng);
+            bn.forward(&x, Mode::Train).unwrap();
+        }
+        // Eval on data with the same distribution: output should be ~N(0,1).
+        let x = init::uniform(&[64, 1, 2, 2], 4.0, 6.0, &mut rng);
+        let y = bn.forward(&x, Mode::Eval).unwrap();
+        assert!(y.mean().abs() < 0.2, "mean {}", y.mean());
+    }
+
+    #[test]
+    fn backward_matches_finite_difference() {
+        let mut bn = BatchNorm2d::new(2);
+        let mut rng = init::seeded_rng(3);
+        let mut x = init::uniform(&[2, 2, 2, 2], -1.0, 1.0, &mut rng);
+        // Non-trivial gamma so the affine path is exercised.
+        bn.params_mut()[0].value_mut().as_mut_slice()[0] = 1.5;
+        bn.params_mut()[0].value_mut().as_mut_slice()[1] = 0.7;
+
+        // Loss = weighted sum to give non-uniform grad_out.
+        let weights: Vec<f32> = (0..16).map(|i| (i as f32 * 0.37).sin()).collect();
+        let loss = |t: &Tensor| -> f32 {
+            t.as_slice()
+                .iter()
+                .zip(weights.iter())
+                .map(|(&a, &b)| a * b)
+                .sum()
+        };
+
+        let y = bn.forward(&x, Mode::Train).unwrap();
+        let grad_out = Tensor::from_vec(weights.clone(), y.dims()).unwrap();
+        let grad_in = bn.backward(&grad_out).unwrap();
+
+        let eps = 1e-2;
+        for probe in [0usize, 5, 11, 15] {
+            let orig = x.as_slice()[probe];
+            x.as_mut_slice()[probe] = orig + eps;
+            let hi = loss(&bn.forward(&x, Mode::Train).unwrap());
+            x.as_mut_slice()[probe] = orig - eps;
+            let lo = loss(&bn.forward(&x, Mode::Train).unwrap());
+            x.as_mut_slice()[probe] = orig;
+            let fd = (hi - lo) / (2.0 * eps);
+            let an = grad_in.as_slice()[probe];
+            assert!((fd - an).abs() < 2e-2, "probe {probe}: fd={fd} an={an}");
+        }
+    }
+
+    #[test]
+    fn gamma_beta_gradients() {
+        let mut bn = BatchNorm2d::new(1);
+        let mut rng = init::seeded_rng(4);
+        let x = init::uniform(&[2, 1, 2, 2], -1.0, 1.0, &mut rng);
+        let y = bn.forward(&x, Mode::Train).unwrap();
+        bn.backward(&Tensor::ones(y.dims())).unwrap();
+        // dbeta = sum(grad_out) = 8 for all-ones gradient.
+        assert!((bn.params()[1].grad().as_slice()[0] - 8.0).abs() < 1e-5);
+        // dgamma = sum(grad_out * xhat) ~ sum(xhat) ~ 0 (normalized batch).
+        assert!(bn.params()[0].grad().as_slice()[0].abs() < 1e-3);
+    }
+
+    #[test]
+    fn rejects_wrong_channel_count() {
+        let mut bn = BatchNorm2d::new(3);
+        assert!(bn.forward(&Tensor::zeros(&[1, 2, 2, 2]), Mode::Eval).is_err());
+    }
+
+    #[test]
+    fn params_are_gamma_beta_kinds() {
+        let bn = BatchNorm2d::new(2);
+        assert_eq!(bn.params()[0].kind(), ParamKind::Gamma);
+        assert_eq!(bn.params()[1].kind(), ParamKind::Beta);
+    }
+}

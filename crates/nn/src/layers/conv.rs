@@ -1,0 +1,180 @@
+use qce_tensor::conv::{conv2d, conv2d_backward, ConvGeometry};
+use qce_tensor::{init, Tensor};
+use rand::rngs::StdRng;
+
+use crate::{Layer, Mode, NnError, Param, ParamKind, Result};
+
+/// 2-D convolution layer with Kaiming-initialized kernels and a bias.
+///
+/// Input `[N, C, H, W]`, output `[N, O, Ho, Wo]` per the layer's
+/// [`ConvGeometry`].
+///
+/// # Examples
+///
+/// ```
+/// use qce_nn::layers::Conv2d;
+/// use qce_nn::{Layer, Mode};
+/// use qce_tensor::{conv::ConvGeometry, init, Tensor};
+///
+/// # fn main() -> Result<(), qce_nn::NnError> {
+/// let mut rng = init::seeded_rng(7);
+/// let mut conv = Conv2d::new(3, 8, 3, ConvGeometry::new(1, 1), &mut rng);
+/// let out = conv.forward(&Tensor::zeros(&[2, 3, 16, 16]), Mode::Eval)?;
+/// assert_eq!(out.dims(), &[2, 8, 16, 16]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Conv2d {
+    weight: Param,
+    bias: Param,
+    geometry: ConvGeometry,
+    cached_input: Option<Tensor>,
+}
+
+impl Conv2d {
+    /// Creates a convolution with a square `k`×`k` kernel mapping
+    /// `in_channels` to `out_channels`.
+    pub fn new(
+        in_channels: usize,
+        out_channels: usize,
+        k: usize,
+        geometry: ConvGeometry,
+        rng: &mut StdRng,
+    ) -> Self {
+        let fan_in = in_channels * k * k;
+        let weight = init::kaiming(&[out_channels, in_channels, k, k], fan_in, rng);
+        Conv2d {
+            weight: Param::new(weight, ParamKind::Weight),
+            bias: Param::new(Tensor::zeros(&[out_channels]), ParamKind::Bias),
+            geometry,
+            cached_input: None,
+        }
+    }
+
+    /// The layer's stride/padding geometry.
+    pub fn geometry(&self) -> ConvGeometry {
+        self.geometry
+    }
+
+    /// Number of output channels.
+    pub fn out_channels(&self) -> usize {
+        self.weight.value().dims()[0]
+    }
+}
+
+impl Layer for Conv2d {
+    fn name(&self) -> &'static str {
+        "conv2d"
+    }
+
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
+        let out = conv2d(
+            input,
+            self.weight.value(),
+            Some(self.bias.value()),
+            self.geometry,
+        )
+        .map_err(|e| NnError::tensor(self.name(), e))?;
+        if mode == Mode::Train {
+            self.cached_input = Some(input.clone());
+        }
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        let input = self
+            .cached_input
+            .as_ref()
+            .ok_or(NnError::BackwardBeforeForward { layer: "conv2d" })?;
+        let grads = conv2d_backward(input, self.weight.value(), grad_out, self.geometry)
+            .map_err(|e| NnError::tensor(self.name(), e))?;
+        self.weight
+            .grad_mut()
+            .axpy(1.0, &grads.weight)
+            .map_err(|e| NnError::tensor("conv2d weight grad", e))?;
+        self.bias
+            .grad_mut()
+            .axpy(1.0, &grads.bias)
+            .map_err(|e| NnError::tensor("conv2d bias grad", e))?;
+        Ok(grads.input)
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        vec![&self.weight, &self.bias]
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.weight, &mut self.bias]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_shape_and_params() {
+        let mut rng = init::seeded_rng(1);
+        let mut conv = Conv2d::new(2, 4, 3, ConvGeometry::new(2, 1), &mut rng);
+        let out = conv
+            .forward(&Tensor::zeros(&[1, 2, 8, 8]), Mode::Eval)
+            .unwrap();
+        assert_eq!(out.dims(), &[1, 4, 4, 4]);
+        assert_eq!(conv.params().len(), 2);
+        assert_eq!(conv.params()[0].kind(), ParamKind::Weight);
+        assert_eq!(conv.params()[1].kind(), ParamKind::Bias);
+    }
+
+    #[test]
+    fn backward_before_forward_rejected() {
+        let mut rng = init::seeded_rng(2);
+        let mut conv = Conv2d::new(1, 1, 3, ConvGeometry::unit(), &mut rng);
+        let err = conv.backward(&Tensor::zeros(&[1, 1, 2, 2])).unwrap_err();
+        assert_eq!(err, NnError::BackwardBeforeForward { layer: "conv2d" });
+    }
+
+    #[test]
+    fn eval_forward_does_not_cache() {
+        let mut rng = init::seeded_rng(3);
+        let mut conv = Conv2d::new(1, 1, 1, ConvGeometry::unit(), &mut rng);
+        conv.forward(&Tensor::zeros(&[1, 1, 2, 2]), Mode::Eval)
+            .unwrap();
+        assert!(conv.backward(&Tensor::zeros(&[1, 1, 2, 2])).is_err());
+    }
+
+    #[test]
+    fn gradients_accumulate_across_backward_calls() {
+        let mut rng = init::seeded_rng(4);
+        let mut conv = Conv2d::new(1, 1, 1, ConvGeometry::unit(), &mut rng);
+        let x = Tensor::ones(&[1, 1, 2, 2]);
+        let g = Tensor::ones(&[1, 1, 2, 2]);
+        conv.forward(&x, Mode::Train).unwrap();
+        conv.backward(&g).unwrap();
+        let first = conv.params()[0].grad().as_slice()[0];
+        conv.forward(&x, Mode::Train).unwrap();
+        conv.backward(&g).unwrap();
+        let second = conv.params()[0].grad().as_slice()[0];
+        assert!((second - 2.0 * first).abs() < 1e-6);
+    }
+
+    #[test]
+    fn backward_matches_finite_difference_loss() {
+        let mut rng = init::seeded_rng(5);
+        let mut conv = Conv2d::new(2, 3, 3, ConvGeometry::new(1, 1), &mut rng);
+        let x = init::uniform(&[1, 2, 5, 5], -1.0, 1.0, &mut rng);
+        let out = conv.forward(&x, Mode::Train).unwrap();
+        let grad_out = Tensor::ones(out.dims());
+        conv.backward(&grad_out).unwrap();
+        let analytic = conv.params()[0].grad().as_slice()[10];
+
+        let eps = 1e-2;
+        let orig = conv.params()[0].value().as_slice()[10];
+        conv.params_mut()[0].value_mut().as_mut_slice()[10] = orig + eps;
+        let hi = conv.forward(&x, Mode::Eval).unwrap().sum();
+        conv.params_mut()[0].value_mut().as_mut_slice()[10] = orig - eps;
+        let lo = conv.forward(&x, Mode::Eval).unwrap().sum();
+        let fd = (hi - lo) / (2.0 * eps);
+        assert!((fd - analytic).abs() < 1e-2, "fd={fd} analytic={analytic}");
+    }
+}

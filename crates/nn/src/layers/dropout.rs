@@ -1,0 +1,168 @@
+use qce_tensor::Tensor;
+use rand::RngExt;
+
+use crate::{Layer, Mode, NnError, Result};
+
+/// Inverted dropout: during training each activation is zeroed with
+/// probability `p` and survivors are scaled by `1/(1-p)`; evaluation is
+/// the identity.
+///
+/// The mask stream is seeded at construction so training stays
+/// deterministic (a fresh mask is drawn per forward pass from the owned
+/// RNG).
+///
+/// # Examples
+///
+/// ```
+/// use qce_nn::layers::Dropout;
+/// use qce_nn::{Layer, Mode};
+/// use qce_tensor::Tensor;
+///
+/// # fn main() -> Result<(), qce_nn::NnError> {
+/// let mut drop = Dropout::new(0.5, 1)?;
+/// let x = Tensor::ones(&[1, 100]);
+/// // Identity in eval mode.
+/// assert_eq!(drop.forward(&x, Mode::Eval)?, x);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Dropout {
+    p: f32,
+    rng: rand::rngs::StdRng,
+    mask: Option<Vec<f32>>,
+}
+
+impl Dropout {
+    /// Creates a dropout layer with drop probability `p`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidConfig`] if `p` is outside `[0, 1)`.
+    pub fn new(p: f32, seed: u64) -> Result<Self> {
+        if !(0.0..1.0).contains(&p) {
+            return Err(NnError::InvalidConfig {
+                reason: format!("dropout probability {p} outside [0, 1)"),
+            });
+        }
+        Ok(Dropout {
+            p,
+            rng: qce_tensor::init::seeded_rng(seed),
+            mask: None,
+        })
+    }
+
+    /// The drop probability.
+    pub fn p(&self) -> f32 {
+        self.p
+    }
+}
+
+impl Layer for Dropout {
+    fn name(&self) -> &'static str {
+        "dropout"
+    }
+
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
+        if mode == Mode::Eval || self.p == 0.0 {
+            if mode == Mode::Train {
+                self.mask = Some(vec![1.0; input.len()]);
+            }
+            return Ok(input.clone());
+        }
+        let keep = 1.0 - self.p;
+        let scale = 1.0 / keep;
+        let mask: Vec<f32> = (0..input.len())
+            .map(|_| {
+                if self.rng.random_range(0.0f32..1.0) < self.p {
+                    0.0
+                } else {
+                    scale
+                }
+            })
+            .collect();
+        let mut out = input.clone();
+        for (o, &m) in out.as_mut_slice().iter_mut().zip(mask.iter()) {
+            *o *= m;
+        }
+        self.mask = Some(mask);
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        let mask = self
+            .mask
+            .as_ref()
+            .ok_or(NnError::BackwardBeforeForward { layer: "dropout" })?;
+        if mask.len() != grad_out.len() {
+            return Err(NnError::tensor(
+                "dropout",
+                qce_tensor::TensorError::LengthMismatch {
+                    expected: mask.len(),
+                    actual: grad_out.len(),
+                },
+            ));
+        }
+        let mut grad = grad_out.clone();
+        for (g, &m) in grad.as_mut_slice().iter_mut().zip(mask.iter()) {
+            *g *= m;
+        }
+        Ok(grad)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_is_identity() {
+        let mut d = Dropout::new(0.8, 1).unwrap();
+        let x = Tensor::from_slice(&[1.0, 2.0, 3.0]);
+        assert_eq!(d.forward(&x, Mode::Eval).unwrap(), x);
+    }
+
+    #[test]
+    fn train_zeroes_about_p_and_preserves_expectation() {
+        let mut d = Dropout::new(0.5, 2).unwrap();
+        let x = Tensor::ones(&[1, 10_000]);
+        let y = d.forward(&x, Mode::Train).unwrap();
+        let zeros = y.as_slice().iter().filter(|&&v| v == 0.0).count();
+        assert!((zeros as f32 / 10_000.0 - 0.5).abs() < 0.05);
+        // Inverted scaling keeps the expectation ~1.
+        assert!((y.mean() - 1.0).abs() < 0.05, "mean {}", y.mean());
+    }
+
+    #[test]
+    fn backward_routes_through_the_same_mask() {
+        let mut d = Dropout::new(0.5, 3).unwrap();
+        let x = Tensor::ones(&[1, 64]);
+        let y = d.forward(&x, Mode::Train).unwrap();
+        let g = d.backward(&Tensor::ones(&[1, 64])).unwrap();
+        // Gradient is zero exactly where the output was zeroed.
+        for (o, gr) in y.as_slice().iter().zip(g.as_slice()) {
+            assert_eq!(*o == 0.0, *gr == 0.0);
+        }
+    }
+
+    #[test]
+    fn zero_probability_is_identity_in_train() {
+        let mut d = Dropout::new(0.0, 4).unwrap();
+        let x = Tensor::from_slice(&[1.0, -2.0]);
+        assert_eq!(d.forward(&x, Mode::Train).unwrap(), x);
+        let g = d.backward(&Tensor::from_slice(&[3.0, 4.0])).unwrap();
+        assert_eq!(g.as_slice(), &[3.0, 4.0]);
+    }
+
+    #[test]
+    fn invalid_probability_rejected() {
+        assert!(Dropout::new(1.0, 0).is_err());
+        assert!(Dropout::new(-0.1, 0).is_err());
+    }
+
+    #[test]
+    fn backward_before_forward_rejected() {
+        let mut d = Dropout::new(0.3, 5).unwrap();
+        assert!(d.backward(&Tensor::ones(&[2])).is_err());
+    }
+}

@@ -1,0 +1,229 @@
+use qce_tensor::Tensor;
+
+use crate::{Layer, Mode, NnError, Result};
+
+/// Elementwise sigmoid activation `σ(x) = 1 / (1 + e^-x)`.
+///
+/// # Examples
+///
+/// ```
+/// use qce_nn::layers::Sigmoid;
+/// use qce_nn::{Layer, Mode};
+/// use qce_tensor::Tensor;
+///
+/// # fn main() -> Result<(), qce_nn::NnError> {
+/// let mut s = Sigmoid::new();
+/// let y = s.forward(&Tensor::from_slice(&[0.0]), Mode::Eval)?;
+/// assert!((y.as_slice()[0] - 0.5).abs() < 1e-6);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Default)]
+pub struct Sigmoid {
+    output: Option<Tensor>,
+}
+
+impl Sigmoid {
+    /// Creates a sigmoid activation.
+    pub fn new() -> Self {
+        Sigmoid { output: None }
+    }
+}
+
+impl Layer for Sigmoid {
+    fn name(&self) -> &'static str {
+        "sigmoid"
+    }
+
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
+        let out = input.map(|x| 1.0 / (1.0 + (-x).exp()));
+        if mode == Mode::Train {
+            self.output = Some(out.clone());
+        }
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        let out = self
+            .output
+            .as_ref()
+            .ok_or(NnError::BackwardBeforeForward { layer: "sigmoid" })?;
+        // dσ/dx = σ(1 - σ)
+        let local = out.map(|s| s * (1.0 - s));
+        grad_out
+            .mul(&local)
+            .map_err(|e| NnError::tensor("sigmoid", e))
+    }
+}
+
+/// Elementwise hyperbolic tangent activation.
+#[derive(Debug, Default)]
+pub struct Tanh {
+    output: Option<Tensor>,
+}
+
+impl Tanh {
+    /// Creates a tanh activation.
+    pub fn new() -> Self {
+        Tanh { output: None }
+    }
+}
+
+impl Layer for Tanh {
+    fn name(&self) -> &'static str {
+        "tanh"
+    }
+
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
+        let out = input.map(f32::tanh);
+        if mode == Mode::Train {
+            self.output = Some(out.clone());
+        }
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        let out = self
+            .output
+            .as_ref()
+            .ok_or(NnError::BackwardBeforeForward { layer: "tanh" })?;
+        // d tanh/dx = 1 - tanh²
+        let local = out.map(|t| 1.0 - t * t);
+        grad_out
+            .mul(&local)
+            .map_err(|e| NnError::tensor("tanh", e))
+    }
+}
+
+/// Leaky rectified linear unit: `x` for `x > 0`, `alpha * x` otherwise.
+#[derive(Debug)]
+pub struct LeakyReLU {
+    alpha: f32,
+    mask: Option<Vec<bool>>,
+}
+
+impl LeakyReLU {
+    /// Creates a leaky ReLU with negative-side slope `alpha`
+    /// (conventionally 0.01).
+    pub fn new(alpha: f32) -> Self {
+        LeakyReLU { alpha, mask: None }
+    }
+
+    /// The negative-side slope.
+    pub fn alpha(&self) -> f32 {
+        self.alpha
+    }
+}
+
+impl Layer for LeakyReLU {
+    fn name(&self) -> &'static str {
+        "leaky_relu"
+    }
+
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
+        let alpha = self.alpha;
+        let out = input.map(|x| if x > 0.0 { x } else { alpha * x });
+        if mode == Mode::Train {
+            self.mask = Some(input.as_slice().iter().map(|&x| x > 0.0).collect());
+        }
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        let mask = self.mask.as_ref().ok_or(NnError::BackwardBeforeForward {
+            layer: "leaky_relu",
+        })?;
+        if mask.len() != grad_out.len() {
+            return Err(NnError::tensor(
+                "leaky_relu",
+                qce_tensor::TensorError::LengthMismatch {
+                    expected: mask.len(),
+                    actual: grad_out.len(),
+                },
+            ));
+        }
+        let mut grad = grad_out.clone();
+        for (g, &positive) in grad.as_mut_slice().iter_mut().zip(mask.iter()) {
+            if !positive {
+                *g *= self.alpha;
+            }
+        }
+        Ok(grad)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finite_difference_check<L: Layer>(layer: &mut L, xs: &[f32]) {
+        let x = Tensor::from_slice(xs);
+        layer.forward(&x, Mode::Train).unwrap();
+        let grad = layer
+            .backward(&Tensor::ones(&[xs.len()]))
+            .unwrap();
+        let eps = 1e-3;
+        for i in 0..xs.len() {
+            let mut hi_x = xs.to_vec();
+            hi_x[i] += eps;
+            let mut lo_x = xs.to_vec();
+            lo_x[i] -= eps;
+            let hi = layer
+                .forward(&Tensor::from_slice(&hi_x), Mode::Eval)
+                .unwrap()
+                .sum();
+            let lo = layer
+                .forward(&Tensor::from_slice(&lo_x), Mode::Eval)
+                .unwrap()
+                .sum();
+            let fd = (hi - lo) / (2.0 * eps);
+            assert!(
+                (fd - grad.as_slice()[i]).abs() < 1e-2,
+                "element {i}: fd {fd} vs analytic {}",
+                grad.as_slice()[i]
+            );
+        }
+    }
+
+    #[test]
+    fn sigmoid_shape_and_gradient() {
+        let mut s = Sigmoid::new();
+        let y = s
+            .forward(&Tensor::from_slice(&[-100.0, 0.0, 100.0]), Mode::Eval)
+            .unwrap();
+        assert!(y.as_slice()[0] < 1e-6);
+        assert!((y.as_slice()[1] - 0.5).abs() < 1e-6);
+        assert!(y.as_slice()[2] > 1.0 - 1e-6);
+        finite_difference_check(&mut Sigmoid::new(), &[-1.2, -0.1, 0.4, 2.0]);
+    }
+
+    #[test]
+    fn tanh_shape_and_gradient() {
+        let mut t = Tanh::new();
+        let y = t
+            .forward(&Tensor::from_slice(&[0.0, 1.0]), Mode::Eval)
+            .unwrap();
+        assert_eq!(y.as_slice()[0], 0.0);
+        assert!((y.as_slice()[1] - 1.0f32.tanh()).abs() < 1e-6);
+        finite_difference_check(&mut Tanh::new(), &[-0.8, 0.0, 0.3, 1.5]);
+    }
+
+    #[test]
+    fn leaky_relu_slopes() {
+        let mut l = LeakyReLU::new(0.1);
+        let y = l
+            .forward(&Tensor::from_slice(&[-2.0, 3.0]), Mode::Train)
+            .unwrap();
+        assert_eq!(y.as_slice(), &[-0.2, 3.0]);
+        let g = l.backward(&Tensor::from_slice(&[1.0, 1.0])).unwrap();
+        assert_eq!(g.as_slice(), &[0.1, 1.0]);
+        assert_eq!(l.alpha(), 0.1);
+    }
+
+    #[test]
+    fn backward_before_forward_rejected() {
+        assert!(Sigmoid::new().backward(&Tensor::ones(&[1])).is_err());
+        assert!(Tanh::new().backward(&Tensor::ones(&[1])).is_err());
+        assert!(LeakyReLU::new(0.01).backward(&Tensor::ones(&[1])).is_err());
+    }
+}

@@ -1,0 +1,91 @@
+use qce_tensor::Tensor;
+
+use crate::{Layer, Mode, NnError, Result};
+
+/// Flattens `[N, ...]` to `[N, prod(...)]`, preserving the batch dimension.
+///
+/// # Examples
+///
+/// ```
+/// use qce_nn::layers::Flatten;
+/// use qce_nn::{Layer, Mode};
+/// use qce_tensor::Tensor;
+///
+/// # fn main() -> Result<(), qce_nn::NnError> {
+/// let mut flat = Flatten::new();
+/// let y = flat.forward(&Tensor::zeros(&[2, 3, 4, 4]), Mode::Eval)?;
+/// assert_eq!(y.dims(), &[2, 48]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Default)]
+pub struct Flatten {
+    input_dims: Option<Vec<usize>>,
+}
+
+impl Flatten {
+    /// Creates a flatten layer.
+    pub fn new() -> Self {
+        Flatten { input_dims: None }
+    }
+}
+
+impl Layer for Flatten {
+    fn name(&self) -> &'static str {
+        "flatten"
+    }
+
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
+        if input.shape().rank() == 0 {
+            return Err(NnError::tensor(
+                "flatten",
+                qce_tensor::TensorError::RankMismatch {
+                    op: "flatten forward",
+                    expected: 2,
+                    actual: 0,
+                },
+            ));
+        }
+        let n = input.dims()[0];
+        let rest: usize = input.dims()[1..].iter().product();
+        let out = input
+            .reshape(&[n, rest])
+            .map_err(|e| NnError::tensor("flatten", e))?;
+        if mode == Mode::Train {
+            self.input_dims = Some(input.dims().to_vec());
+        }
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        let dims = self
+            .input_dims
+            .as_ref()
+            .ok_or(NnError::BackwardBeforeForward { layer: "flatten" })?;
+        grad_out
+            .reshape(dims)
+            .map_err(|e| NnError::tensor("flatten", e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let mut f = Flatten::new();
+        let x = Tensor::from_vec((0..24).map(|i| i as f32).collect(), &[2, 3, 2, 2]).unwrap();
+        let y = f.forward(&x, Mode::Train).unwrap();
+        assert_eq!(y.dims(), &[2, 12]);
+        let g = f.backward(&y).unwrap();
+        assert_eq!(g.dims(), x.dims());
+        assert_eq!(g.as_slice(), x.as_slice());
+    }
+
+    #[test]
+    fn backward_requires_forward() {
+        let mut f = Flatten::new();
+        assert!(f.backward(&Tensor::zeros(&[1, 4])).is_err());
+    }
+}

@@ -1,0 +1,199 @@
+use qce_tensor::{init, linalg, Tensor};
+use rand::rngs::StdRng;
+
+use crate::{Layer, Mode, NnError, Param, ParamKind, Result};
+
+/// Fully-connected layer: `y = x W^T + b` with `x` of shape
+/// `[N, in_features]` and `W` of shape `[out_features, in_features]`.
+///
+/// # Examples
+///
+/// ```
+/// use qce_nn::layers::Linear;
+/// use qce_nn::{Layer, Mode};
+/// use qce_tensor::{init, Tensor};
+///
+/// # fn main() -> Result<(), qce_nn::NnError> {
+/// let mut rng = init::seeded_rng(1);
+/// let mut fc = Linear::new(16, 10, &mut rng);
+/// let out = fc.forward(&Tensor::zeros(&[4, 16]), Mode::Eval)?;
+/// assert_eq!(out.dims(), &[4, 10]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Linear {
+    weight: Param,
+    bias: Param,
+    cached_input: Option<Tensor>,
+}
+
+impl Linear {
+    /// Creates a fully-connected layer with Xavier-initialized weights.
+    pub fn new(in_features: usize, out_features: usize, rng: &mut StdRng) -> Self {
+        let weight = init::xavier(
+            &[out_features, in_features],
+            in_features,
+            out_features,
+            rng,
+        );
+        Linear {
+            weight: Param::new(weight, ParamKind::Weight),
+            bias: Param::new(Tensor::zeros(&[out_features]), ParamKind::Bias),
+            cached_input: None,
+        }
+    }
+
+    /// Number of input features.
+    pub fn in_features(&self) -> usize {
+        self.weight.value().dims()[1]
+    }
+
+    /// Number of output features.
+    pub fn out_features(&self) -> usize {
+        self.weight.value().dims()[0]
+    }
+}
+
+impl Layer for Linear {
+    fn name(&self) -> &'static str {
+        "linear"
+    }
+
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
+        if input.shape().rank() != 2 {
+            return Err(NnError::tensor(
+                self.name(),
+                qce_tensor::TensorError::RankMismatch {
+                    op: "linear forward",
+                    expected: 2,
+                    actual: input.shape().rank(),
+                },
+            ));
+        }
+        let w_t = linalg::transpose(self.weight.value())
+            .map_err(|e| NnError::tensor(self.name(), e))?;
+        let mut out =
+            linalg::matmul(input, &w_t).map_err(|e| NnError::tensor(self.name(), e))?;
+        let (n, o) = (out.dims()[0], out.dims()[1]);
+        let bias = self.bias.value().as_slice().to_vec();
+        let ov = out.as_mut_slice();
+        for row in 0..n {
+            for (col, &b) in bias.iter().enumerate() {
+                ov[row * o + col] += b;
+            }
+        }
+        if mode == Mode::Train {
+            self.cached_input = Some(input.clone());
+        }
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        let input = self
+            .cached_input
+            .as_ref()
+            .ok_or(NnError::BackwardBeforeForward { layer: "linear" })?;
+        // dW = grad_out^T . input        [O, I]
+        let g_t = linalg::transpose(grad_out).map_err(|e| NnError::tensor(self.name(), e))?;
+        let dw = linalg::matmul(&g_t, input).map_err(|e| NnError::tensor(self.name(), e))?;
+        self.weight
+            .grad_mut()
+            .axpy(1.0, &dw)
+            .map_err(|e| NnError::tensor("linear weight grad", e))?;
+        // db = column sums of grad_out   [O]
+        let (n, o) = (grad_out.dims()[0], grad_out.dims()[1]);
+        let gv = grad_out.as_slice();
+        let db = self.bias.grad_mut().as_mut_slice();
+        for row in 0..n {
+            for (col, d) in db.iter_mut().enumerate() {
+                *d += gv[row * o + col];
+            }
+        }
+        // dx = grad_out . W              [N, I]
+        linalg::matmul(grad_out, self.weight.value())
+            .map_err(|e| NnError::tensor(self.name(), e))
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        vec![&self.weight, &self.bias]
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.weight, &mut self.bias]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_applies_bias() {
+        let mut rng = init::seeded_rng(1);
+        let mut fc = Linear::new(2, 2, &mut rng);
+        fc.params_mut()[0].value_mut().fill(0.0);
+        fc.params_mut()[1].value_mut().as_mut_slice()[0] = 3.0;
+        fc.params_mut()[1].value_mut().as_mut_slice()[1] = -1.0;
+        let out = fc.forward(&Tensor::zeros(&[2, 2]), Mode::Eval).unwrap();
+        assert_eq!(out.as_slice(), &[3.0, -1.0, 3.0, -1.0]);
+    }
+
+    #[test]
+    fn backward_gradients_match_finite_difference() {
+        let mut rng = init::seeded_rng(2);
+        let mut fc = Linear::new(3, 2, &mut rng);
+        let x = init::uniform(&[4, 3], -1.0, 1.0, &mut rng);
+        let out = fc.forward(&x, Mode::Train).unwrap();
+        let grad_out = Tensor::ones(out.dims());
+        let grad_in = fc.backward(&grad_out).unwrap();
+        assert_eq!(grad_in.dims(), x.dims());
+
+        let eps = 1e-2;
+        for probe in [0usize, 3, 5] {
+            let orig = fc.params()[0].value().as_slice()[probe];
+            fc.params_mut()[0].value_mut().as_mut_slice()[probe] = orig + eps;
+            let hi = fc.forward(&x, Mode::Eval).unwrap().sum();
+            fc.params_mut()[0].value_mut().as_mut_slice()[probe] = orig - eps;
+            let lo = fc.forward(&x, Mode::Eval).unwrap().sum();
+            fc.params_mut()[0].value_mut().as_mut_slice()[probe] = orig;
+            let fd = (hi - lo) / (2.0 * eps);
+            let an = fc.params()[0].grad().as_slice()[probe];
+            assert!((fd - an).abs() < 1e-2, "probe {probe}: fd={fd} an={an}");
+        }
+    }
+
+    #[test]
+    fn input_gradient_matches_finite_difference() {
+        let mut rng = init::seeded_rng(3);
+        let mut fc = Linear::new(3, 2, &mut rng);
+        let mut x = init::uniform(&[2, 3], -1.0, 1.0, &mut rng);
+        let out = fc.forward(&x, Mode::Train).unwrap();
+        let grad_in = fc.backward(&Tensor::ones(out.dims())).unwrap();
+        let eps = 1e-2;
+        let orig = x.as_slice()[4];
+        x.as_mut_slice()[4] = orig + eps;
+        let hi = fc.forward(&x, Mode::Eval).unwrap().sum();
+        x.as_mut_slice()[4] = orig - eps;
+        let lo = fc.forward(&x, Mode::Eval).unwrap().sum();
+        let fd = (hi - lo) / (2.0 * eps);
+        assert!((fd - grad_in.as_slice()[4]).abs() < 1e-2);
+    }
+
+    #[test]
+    fn rejects_non_rank2_input() {
+        let mut rng = init::seeded_rng(4);
+        let mut fc = Linear::new(4, 2, &mut rng);
+        assert!(fc.forward(&Tensor::zeros(&[1, 4, 1]), Mode::Eval).is_err());
+    }
+
+    #[test]
+    fn backward_before_forward_rejected() {
+        let mut rng = init::seeded_rng(5);
+        let mut fc = Linear::new(2, 2, &mut rng);
+        assert!(matches!(
+            fc.backward(&Tensor::zeros(&[1, 2])),
+            Err(NnError::BackwardBeforeForward { .. })
+        ));
+    }
+}

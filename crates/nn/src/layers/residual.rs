@@ -1,0 +1,257 @@
+use qce_tensor::conv::ConvGeometry;
+use qce_tensor::Tensor;
+use rand::rngs::StdRng;
+
+use crate::layers::{BatchNorm2d, Conv2d, ReLU};
+use crate::{Layer, Mode, NnError, Param, Result};
+
+/// A ResNet basic block: two 3×3 convolutions with batch norm and a
+/// (possibly projected) shortcut connection.
+///
+/// ```text
+/// x ── conv3x3(s) ─ bn ─ relu ─ conv3x3(1) ─ bn ──(+)── relu ── y
+///  └───────────── identity or conv1x1(s)+bn ──────┘
+/// ```
+///
+/// The projection shortcut is inserted automatically when the block changes
+/// the channel count or strides. Parameter order is main path first, then
+/// the projection — the order [`Network::weight_slots`](crate::Network)
+/// uses to number convolution "layers" for the paper's layer groups.
+#[derive(Debug)]
+pub struct ResidualBlock {
+    conv1: Conv2d,
+    bn1: BatchNorm2d,
+    relu1: ReLU,
+    conv2: Conv2d,
+    bn2: BatchNorm2d,
+    downsample: Option<(Conv2d, BatchNorm2d)>,
+    relu_out: ReLU,
+    cached_input: Option<Tensor>,
+}
+
+impl ResidualBlock {
+    /// Creates a basic block mapping `in_channels` to `out_channels` with
+    /// the given stride on the first convolution.
+    pub fn new(in_channels: usize, out_channels: usize, stride: usize, rng: &mut StdRng) -> Self {
+        let downsample = if stride != 1 || in_channels != out_channels {
+            Some((
+                Conv2d::new(
+                    in_channels,
+                    out_channels,
+                    1,
+                    ConvGeometry::new(stride, 0),
+                    rng,
+                ),
+                BatchNorm2d::new(out_channels),
+            ))
+        } else {
+            None
+        };
+        ResidualBlock {
+            conv1: Conv2d::new(
+                in_channels,
+                out_channels,
+                3,
+                ConvGeometry::new(stride, 1),
+                rng,
+            ),
+            bn1: BatchNorm2d::new(out_channels),
+            relu1: ReLU::new(),
+            conv2: Conv2d::new(out_channels, out_channels, 3, ConvGeometry::new(1, 1), rng),
+            bn2: BatchNorm2d::new(out_channels),
+            downsample,
+            relu_out: ReLU::new(),
+            cached_input: None,
+        }
+    }
+
+    /// Whether the block carries a projection shortcut.
+    pub fn has_projection(&self) -> bool {
+        self.downsample.is_some()
+    }
+}
+
+impl Layer for ResidualBlock {
+    fn name(&self) -> &'static str {
+        "residual_block"
+    }
+
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
+        let mut main = self.conv1.forward(input, mode)?;
+        main = self.bn1.forward(&main, mode)?;
+        main = self.relu1.forward(&main, mode)?;
+        main = self.conv2.forward(&main, mode)?;
+        main = self.bn2.forward(&main, mode)?;
+        let shortcut = match &mut self.downsample {
+            Some((conv, bn)) => {
+                let s = conv.forward(input, mode)?;
+                bn.forward(&s, mode)?
+            }
+            None => input.clone(),
+        };
+        let sum = main
+            .add(&shortcut)
+            .map_err(|e| NnError::tensor("residual add", e))?;
+        if mode == Mode::Train {
+            self.cached_input = Some(input.clone());
+        }
+        self.relu_out.forward(&sum, mode)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        if self.cached_input.is_none() {
+            return Err(NnError::BackwardBeforeForward {
+                layer: "residual_block",
+            });
+        }
+        let grad_sum = self.relu_out.backward(grad_out)?;
+        // Main path.
+        let mut g = self.bn2.backward(&grad_sum)?;
+        g = self.conv2.backward(&g)?;
+        g = self.relu1.backward(&g)?;
+        g = self.bn1.backward(&g)?;
+        let grad_main = self.conv1.backward(&g)?;
+        // Shortcut path.
+        let grad_shortcut = match &mut self.downsample {
+            Some((conv, bn)) => {
+                let g = bn.backward(&grad_sum)?;
+                conv.backward(&g)?
+            }
+            None => grad_sum,
+        };
+        grad_main
+            .add(&grad_shortcut)
+            .map_err(|e| NnError::tensor("residual grad add", e))
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        let mut out = Vec::new();
+        out.extend(self.conv1.params());
+        out.extend(self.bn1.params());
+        out.extend(self.conv2.params());
+        out.extend(self.bn2.params());
+        if let Some((conv, bn)) = &self.downsample {
+            out.extend(conv.params());
+            out.extend(bn.params());
+        }
+        out
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        let mut out = Vec::new();
+        out.extend(self.conv1.params_mut());
+        out.extend(self.bn1.params_mut());
+        out.extend(self.conv2.params_mut());
+        out.extend(self.bn2.params_mut());
+        if let Some((conv, bn)) = &mut self.downsample {
+            out.extend(conv.params_mut());
+            out.extend(bn.params_mut());
+        }
+        out
+    }
+
+    fn buffers(&self) -> Vec<&[f32]> {
+        let mut out = Vec::new();
+        out.extend(self.bn1.buffers());
+        out.extend(self.bn2.buffers());
+        if let Some((_, bn)) = &self.downsample {
+            out.extend(bn.buffers());
+        }
+        out
+    }
+
+    fn buffers_mut(&mut self) -> Vec<&mut Vec<f32>> {
+        let mut out = Vec::new();
+        out.extend(self.bn1.buffers_mut());
+        out.extend(self.bn2.buffers_mut());
+        if let Some((_, bn)) = &mut self.downsample {
+            out.extend(bn.buffers_mut());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qce_tensor::init;
+
+    #[test]
+    fn identity_block_shapes() {
+        let mut rng = init::seeded_rng(1);
+        let mut block = ResidualBlock::new(4, 4, 1, &mut rng);
+        assert!(!block.has_projection());
+        let y = block
+            .forward(&Tensor::zeros(&[2, 4, 8, 8]), Mode::Eval)
+            .unwrap();
+        assert_eq!(y.dims(), &[2, 4, 8, 8]);
+        assert_eq!(block.params().len(), 8);
+    }
+
+    #[test]
+    fn projection_block_shapes() {
+        let mut rng = init::seeded_rng(2);
+        let mut block = ResidualBlock::new(4, 8, 2, &mut rng);
+        assert!(block.has_projection());
+        let y = block
+            .forward(&Tensor::zeros(&[2, 4, 8, 8]), Mode::Eval)
+            .unwrap();
+        assert_eq!(y.dims(), &[2, 8, 4, 4]);
+        assert_eq!(block.params().len(), 12);
+    }
+
+    #[test]
+    fn backward_produces_input_grad() {
+        let mut rng = init::seeded_rng(3);
+        let mut block = ResidualBlock::new(2, 4, 2, &mut rng);
+        let x = init::uniform(&[1, 2, 6, 6], -1.0, 1.0, &mut rng);
+        let y = block.forward(&x, Mode::Train).unwrap();
+        let g = block.backward(&Tensor::ones(y.dims())).unwrap();
+        assert_eq!(g.dims(), x.dims());
+        // Conv weights should have received gradient.
+        assert!(block.params()[0].grad().squared_norm() > 0.0);
+    }
+
+    #[test]
+    fn backward_input_grad_matches_finite_difference() {
+        let mut rng = init::seeded_rng(4);
+        let mut block = ResidualBlock::new(2, 2, 1, &mut rng);
+        let mut x = init::uniform(&[1, 2, 4, 4], -1.0, 1.0, &mut rng);
+        let weights: Vec<f32> = (0..32).map(|i| (i as f32 * 0.7).cos()).collect();
+        let loss = |t: &Tensor| -> f32 {
+            t.as_slice()
+                .iter()
+                .zip(weights.iter())
+                .map(|(&a, &b)| a * b)
+                .sum()
+        };
+        let y = block.forward(&x, Mode::Train).unwrap();
+        let grad_out = Tensor::from_vec(weights.clone(), y.dims()).unwrap();
+        let grad_in = block.backward(&grad_out).unwrap();
+
+        let eps = 1e-2;
+        for probe in [0usize, 9, 20, 31] {
+            let orig = x.as_slice()[probe];
+            x.as_mut_slice()[probe] = orig + eps;
+            let hi = loss(&block.forward(&x, Mode::Train).unwrap());
+            x.as_mut_slice()[probe] = orig - eps;
+            let lo = loss(&block.forward(&x, Mode::Train).unwrap());
+            x.as_mut_slice()[probe] = orig;
+            let fd = (hi - lo) / (2.0 * eps);
+            let an = grad_in.as_slice()[probe];
+            // BatchNorm in train mode makes the finite-difference noisy;
+            // accept a loose tolerance.
+            assert!((fd - an).abs() < 5e-2, "probe {probe}: fd={fd} an={an}");
+        }
+    }
+
+    #[test]
+    fn backward_before_forward_rejected() {
+        let mut rng = init::seeded_rng(5);
+        let mut block = ResidualBlock::new(2, 2, 1, &mut rng);
+        assert!(matches!(
+            block.backward(&Tensor::zeros(&[1, 2, 4, 4])),
+            Err(NnError::BackwardBeforeForward { .. })
+        ));
+    }
+}

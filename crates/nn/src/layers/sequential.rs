@@ -1,0 +1,176 @@
+use qce_tensor::Tensor;
+
+use crate::{Layer, Mode, NnError, Param, Result};
+
+/// A composite layer running an ordered list of sub-layers — lets model
+/// builders treat a whole stage as one [`Layer`].
+///
+/// # Examples
+///
+/// ```
+/// use qce_nn::layers::{Linear, ReLU, Sequential};
+/// use qce_nn::{Layer, Mode};
+/// use qce_tensor::{init, Tensor};
+///
+/// # fn main() -> Result<(), qce_nn::NnError> {
+/// let mut rng = init::seeded_rng(0);
+/// let mut block = Sequential::new(vec![
+///     Box::new(Linear::new(4, 8, &mut rng)),
+///     Box::new(ReLU::new()),
+///     Box::new(Linear::new(8, 2, &mut rng)),
+/// ]);
+/// let y = block.forward(&Tensor::zeros(&[3, 4]), Mode::Eval)?;
+/// assert_eq!(y.dims(), &[3, 2]);
+/// # Ok(())
+/// # }
+/// ```
+pub struct Sequential {
+    layers: Vec<Box<dyn Layer>>,
+    ran_forward: bool,
+}
+
+impl std::fmt::Debug for Sequential {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Sequential")
+            .field(
+                "layers",
+                &self.layers.iter().map(|l| l.name()).collect::<Vec<_>>(),
+            )
+            .finish()
+    }
+}
+
+impl Sequential {
+    /// Creates a sequential block from an ordered list of layers.
+    pub fn new(layers: Vec<Box<dyn Layer>>) -> Self {
+        Sequential {
+            layers,
+            ran_forward: false,
+        }
+    }
+
+    /// Number of sub-layers.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Whether the block has no sub-layers.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// Appends a layer to the end of the block.
+    pub fn push(&mut self, layer: Box<dyn Layer>) {
+        self.layers.push(layer);
+    }
+}
+
+impl Layer for Sequential {
+    fn name(&self) -> &'static str {
+        "sequential"
+    }
+
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
+        let mut x = input.clone();
+        for layer in &mut self.layers {
+            x = layer.forward(&x, mode)?;
+        }
+        if mode == Mode::Train {
+            self.ran_forward = true;
+        }
+        Ok(x)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        if !self.ran_forward {
+            return Err(NnError::BackwardBeforeForward {
+                layer: "sequential",
+            });
+        }
+        let mut g = grad_out.clone();
+        for layer in self.layers.iter_mut().rev() {
+            g = layer.backward(&g)?;
+        }
+        Ok(g)
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        self.layers.iter().flat_map(|l| l.params()).collect()
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        self.layers.iter_mut().flat_map(|l| l.params_mut()).collect()
+    }
+
+    fn buffers(&self) -> Vec<&[f32]> {
+        self.layers.iter().flat_map(|l| l.buffers()).collect()
+    }
+
+    fn buffers_mut(&mut self) -> Vec<&mut Vec<f32>> {
+        self.layers.iter_mut().flat_map(|l| l.buffers_mut()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{BatchNorm2d, Conv2d, Linear, ReLU};
+    use qce_tensor::conv::ConvGeometry;
+    use qce_tensor::init;
+
+    fn block(seed: u64) -> Sequential {
+        let mut rng = init::seeded_rng(seed);
+        Sequential::new(vec![
+            Box::new(Conv2d::new(1, 2, 3, ConvGeometry::new(1, 1), &mut rng)),
+            Box::new(BatchNorm2d::new(2)),
+            Box::new(ReLU::new()),
+        ])
+    }
+
+    #[test]
+    fn forward_backward_chain() {
+        let mut b = block(1);
+        let x = init::uniform(&[2, 1, 4, 4], -1.0, 1.0, &mut init::seeded_rng(2));
+        let y = b.forward(&x, Mode::Train).unwrap();
+        assert_eq!(y.dims(), &[2, 2, 4, 4]);
+        let g = b.backward(&Tensor::ones(y.dims())).unwrap();
+        assert_eq!(g.dims(), x.dims());
+        // Conv weights received gradient.
+        assert!(b.params()[0].grad().squared_norm() > 0.0);
+    }
+
+    #[test]
+    fn aggregates_params_and_buffers() {
+        let b = block(3);
+        // Conv (w, b) + BN (gamma, beta) = 4 params; BN = 2 buffers.
+        assert_eq!(b.params().len(), 4);
+        assert_eq!(b.buffers().len(), 2);
+    }
+
+    #[test]
+    fn push_extends_block() {
+        let mut rng = init::seeded_rng(4);
+        let mut b = Sequential::new(vec![Box::new(Linear::new(4, 4, &mut rng))]);
+        assert_eq!(b.len(), 1);
+        b.push(Box::new(ReLU::new()));
+        assert_eq!(b.len(), 2);
+        assert!(!b.is_empty());
+    }
+
+    #[test]
+    fn backward_before_forward_rejected() {
+        let mut b = block(5);
+        assert!(matches!(
+            b.backward(&Tensor::zeros(&[1, 2, 4, 4])),
+            Err(NnError::BackwardBeforeForward { .. })
+        ));
+    }
+
+    #[test]
+    fn debug_lists_sublayers() {
+        let b = block(6);
+        let s = format!("{b:?}");
+        assert!(s.contains("conv2d"));
+        assert!(s.contains("relu"));
+    }
+}

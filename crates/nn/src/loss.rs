@@ -1,0 +1,186 @@
+//! Classification losses with analytic gradients.
+
+use qce_tensor::{Tensor, TensorError};
+
+use crate::{NnError, Result};
+
+/// Output of [`softmax_cross_entropy`]: the scalar loss and the gradient
+/// w.r.t. the logits.
+#[derive(Debug, Clone)]
+pub struct LossOutput {
+    /// Mean cross-entropy over the batch.
+    pub loss: f32,
+    /// Gradient w.r.t. the logits, `[N, K]`, already divided by the batch
+    /// size (so it feeds straight into `Network::backward`).
+    pub grad: Tensor,
+}
+
+/// Numerically-stable softmax over the last axis of a `[N, K]` tensor.
+///
+/// # Errors
+///
+/// Returns an error if `logits` is not rank 2.
+pub fn softmax(logits: &Tensor) -> Result<Tensor> {
+    if logits.shape().rank() != 2 {
+        return Err(NnError::tensor(
+            "softmax",
+            TensorError::RankMismatch {
+                op: "softmax",
+                expected: 2,
+                actual: logits.shape().rank(),
+            },
+        ));
+    }
+    let (n, k) = (logits.dims()[0], logits.dims()[1]);
+    let lv = logits.as_slice();
+    let mut out = vec![0.0f32; n * k];
+    for i in 0..n {
+        let row = &lv[i * k..(i + 1) * k];
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut denom = 0.0f32;
+        for (j, &x) in row.iter().enumerate() {
+            let e = (x - max).exp();
+            out[i * k + j] = e;
+            denom += e;
+        }
+        for v in &mut out[i * k..(i + 1) * k] {
+            *v /= denom;
+        }
+    }
+    Tensor::from_vec(out, &[n, k]).map_err(|e| NnError::tensor("softmax", e))
+}
+
+/// Mean softmax cross-entropy over a batch, with the gradient w.r.t. the
+/// logits.
+///
+/// # Errors
+///
+/// Returns [`NnError::SampleLabelMismatch`] if `labels.len()` differs from
+/// the batch size, or [`NnError::InvalidLabel`] if any label is out of
+/// range.
+///
+/// # Examples
+///
+/// ```
+/// use qce_nn::loss::softmax_cross_entropy;
+/// use qce_tensor::Tensor;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let logits = Tensor::from_vec(vec![10.0, -10.0, -10.0, 10.0], &[2, 2])?;
+/// let out = softmax_cross_entropy(&logits, &[0, 1])?;
+/// assert!(out.loss < 1e-3); // confident and correct
+/// # Ok(())
+/// # }
+/// ```
+pub fn softmax_cross_entropy(logits: &Tensor, labels: &[usize]) -> Result<LossOutput> {
+    let probs = softmax(logits)?;
+    let (n, k) = (probs.dims()[0], probs.dims()[1]);
+    if labels.len() != n {
+        return Err(NnError::SampleLabelMismatch {
+            samples: n,
+            labels: labels.len(),
+        });
+    }
+    let pv = probs.as_slice();
+    let mut loss = 0.0f64;
+    let mut grad = pv.to_vec();
+    let inv_n = 1.0 / n as f32;
+    for (i, &label) in labels.iter().enumerate() {
+        if label >= k {
+            return Err(NnError::InvalidLabel { label, classes: k });
+        }
+        let p = pv[i * k + label].max(1e-12);
+        loss -= (p as f64).ln();
+        grad[i * k + label] -= 1.0;
+    }
+    for g in &mut grad {
+        *g *= inv_n;
+    }
+    Ok(LossOutput {
+        loss: (loss / n as f64) as f32,
+        grad: Tensor::from_vec(grad, &[n, k]).map_err(|e| NnError::tensor("cross_entropy", e))?,
+    })
+}
+
+impl From<Tensor> for LossOutput {
+    fn from(grad: Tensor) -> Self {
+        LossOutput { loss: 0.0, grad }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let logits = Tensor::from_vec(vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0], &[2, 3]).unwrap();
+        let p = softmax(&logits).unwrap();
+        for i in 0..2 {
+            let s: f32 = p.as_slice()[i * 3..(i + 1) * 3].iter().sum();
+            assert!((s - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant_and_stable() {
+        let a = Tensor::from_vec(vec![1.0, 2.0], &[1, 2]).unwrap();
+        let b = Tensor::from_vec(vec![1001.0, 1002.0], &[1, 2]).unwrap();
+        let pa = softmax(&a).unwrap();
+        let pb = softmax(&b).unwrap();
+        for (x, y) in pa.as_slice().iter().zip(pb.as_slice()) {
+            assert!((x - y).abs() < 1e-6);
+            assert!(x.is_finite());
+        }
+    }
+
+    #[test]
+    fn uniform_logits_give_ln_k_loss() {
+        let logits = Tensor::zeros(&[4, 10]);
+        let out = softmax_cross_entropy(&logits, &[0, 3, 5, 9]).unwrap();
+        assert!((out.loss - 10.0f32.ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        let mut logits =
+            Tensor::from_vec(vec![0.5, -0.3, 0.8, 0.1, 0.9, -0.2], &[2, 3]).unwrap();
+        let labels = [2usize, 0];
+        let out = softmax_cross_entropy(&logits, &labels).unwrap();
+        let eps = 1e-3;
+        for probe in 0..6 {
+            let orig = logits.as_slice()[probe];
+            logits.as_mut_slice()[probe] = orig + eps;
+            let hi = softmax_cross_entropy(&logits, &labels).unwrap().loss;
+            logits.as_mut_slice()[probe] = orig - eps;
+            let lo = softmax_cross_entropy(&logits, &labels).unwrap().loss;
+            logits.as_mut_slice()[probe] = orig;
+            let fd = (hi - lo) / (2.0 * eps);
+            let an = out.grad.as_slice()[probe];
+            assert!((fd - an).abs() < 1e-3, "probe {probe}: fd={fd} an={an}");
+        }
+    }
+
+    #[test]
+    fn grad_rows_sum_to_zero() {
+        let logits = Tensor::from_vec(vec![1.0, -2.0, 0.3, 0.4], &[2, 2]).unwrap();
+        let out = softmax_cross_entropy(&logits, &[0, 1]).unwrap();
+        for i in 0..2 {
+            let s: f32 = out.grad.as_slice()[i * 2..(i + 1) * 2].iter().sum();
+            assert!(s.abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn label_validation() {
+        let logits = Tensor::zeros(&[2, 3]);
+        assert!(matches!(
+            softmax_cross_entropy(&logits, &[0]),
+            Err(NnError::SampleLabelMismatch { .. })
+        ));
+        assert!(matches!(
+            softmax_cross_entropy(&logits, &[0, 3]),
+            Err(NnError::InvalidLabel { label: 3, classes: 3 })
+        ));
+    }
+}

@@ -1,0 +1,200 @@
+use qce_tensor::conv::ConvGeometry;
+use qce_tensor::init;
+
+use crate::layers::{
+    BatchNorm2d, Conv2d, Flatten, GlobalAvgPool, Linear, MaxPool2d, ReLU, Sequential,
+};
+use crate::{Layer, Network, NnError, Result};
+
+/// A plain VGG-style CNN (conv-bn-relu ×2 + maxpool per stage) — the
+/// non-residual counterpart of [`ResNetLite`](crate::models::ResNetLite),
+/// useful for checking that the attack mechanics do not depend on skip
+/// connections.
+///
+/// Use [`ConvNet::builder`] to construct one.
+#[derive(Debug)]
+pub struct ConvNet;
+
+impl ConvNet {
+    /// Starts building a `ConvNet`.
+    pub fn builder() -> ConvNetBuilder {
+        ConvNetBuilder::default()
+    }
+}
+
+/// Builder for [`ConvNet`] networks.
+///
+/// # Examples
+///
+/// ```
+/// use qce_nn::models::ConvNet;
+///
+/// # fn main() -> Result<(), qce_nn::NnError> {
+/// let net = ConvNet::builder()
+///     .input(3, 16)
+///     .classes(10)
+///     .stage_channels(&[8, 16])
+///     .build(5)?;
+/// assert!(net.num_weights() > 0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct ConvNetBuilder {
+    in_channels: usize,
+    input_size: usize,
+    classes: usize,
+    stage_channels: Vec<usize>,
+}
+
+impl Default for ConvNetBuilder {
+    fn default() -> Self {
+        ConvNetBuilder {
+            in_channels: 3,
+            input_size: 32,
+            classes: 10,
+            stage_channels: vec![16, 32],
+        }
+    }
+}
+
+impl ConvNetBuilder {
+    /// Sets the input channel count and square spatial size.
+    pub fn input(mut self, channels: usize, size: usize) -> Self {
+        self.in_channels = channels;
+        self.input_size = size;
+        self
+    }
+
+    /// Sets the number of output classes.
+    pub fn classes(mut self, classes: usize) -> Self {
+        self.classes = classes;
+        self
+    }
+
+    /// Sets the channel width of each stage (each stage halves the
+    /// spatial extent with a 2×2 max pool).
+    pub fn stage_channels(mut self, channels: &[usize]) -> Self {
+        self.stage_channels = channels.to_vec();
+        self
+    }
+
+    /// Builds the network with deterministic initialization from `seed`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidConfig`] for an empty stage list, zero
+    /// classes/channels, or an input too small for the per-stage pooling.
+    pub fn build(&self, seed: u64) -> Result<Network> {
+        if self.stage_channels.is_empty() || self.classes == 0 || self.in_channels == 0 {
+            return Err(NnError::InvalidConfig {
+                reason: "stages, classes and input channels must be non-zero".to_string(),
+            });
+        }
+        let reduction = 1usize << self.stage_channels.len();
+        if self.input_size / reduction == 0 {
+            return Err(NnError::InvalidConfig {
+                reason: format!(
+                    "input size {} too small for {} pooling stages",
+                    self.input_size,
+                    self.stage_channels.len()
+                ),
+            });
+        }
+        let mut rng = init::seeded_rng(seed);
+        let mut layers: Vec<Box<dyn Layer>> = Vec::new();
+        let mut prev = self.in_channels;
+        for &ch in &self.stage_channels {
+            let stage: Vec<Box<dyn Layer>> = vec![
+                Box::new(Conv2d::new(prev, ch, 3, ConvGeometry::new(1, 1), &mut rng)),
+                Box::new(BatchNorm2d::new(ch)),
+                Box::new(ReLU::new()),
+                Box::new(Conv2d::new(ch, ch, 3, ConvGeometry::new(1, 1), &mut rng)),
+                Box::new(BatchNorm2d::new(ch)),
+                Box::new(ReLU::new()),
+                Box::new(MaxPool2d::new(2, 2)),
+            ];
+            layers.push(Box::new(Sequential::new(stage)));
+            prev = ch;
+        }
+        layers.push(Box::new(GlobalAvgPool::new()));
+        layers.push(Box::new(Flatten::new()));
+        layers.push(Box::new(Linear::new(prev, self.classes, &mut rng)));
+        Ok(Network::new(layers))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Mode, Trainer, TrainConfig};
+    use qce_tensor::Tensor;
+
+    #[test]
+    fn forward_shape() {
+        let mut net = ConvNet::builder()
+            .input(3, 16)
+            .classes(5)
+            .stage_channels(&[4, 8])
+            .build(1)
+            .unwrap();
+        let y = net
+            .forward(&Tensor::zeros(&[2, 3, 16, 16]), Mode::Eval)
+            .unwrap();
+        assert_eq!(y.dims(), &[2, 5]);
+    }
+
+    #[test]
+    fn weight_slots_count_convs_plus_head() {
+        let net = ConvNet::builder()
+            .input(1, 8)
+            .classes(2)
+            .stage_channels(&[4])
+            .build(2)
+            .unwrap();
+        // 2 convs per stage + 1 linear.
+        assert_eq!(net.weight_slots().len(), 3);
+    }
+
+    #[test]
+    fn trains_end_to_end() {
+        let mut rng = init::seeded_rng(3);
+        let n = 32;
+        let mut data = Vec::with_capacity(n * 64);
+        let mut labels = Vec::with_capacity(n);
+        for i in 0..n {
+            let class = i % 2;
+            for p in 0..64 {
+                let bright = if (class == 0) == (p < 32) { 0.9 } else { 0.1 };
+                data.push(bright + 0.05 * init::standard_normal(&mut rng));
+            }
+            labels.push(class);
+        }
+        let x = Tensor::from_vec(data, &[n, 1, 8, 8]).unwrap();
+        let mut net = ConvNet::builder()
+            .input(1, 8)
+            .classes(2)
+            .stage_channels(&[4])
+            .build(4)
+            .unwrap();
+        let mut trainer = Trainer::new(TrainConfig {
+            epochs: 8,
+            batch_size: 16,
+            lr: 0.05,
+            ..TrainConfig::default()
+        });
+        let history = trainer.fit(&mut net, &x, &labels, None).unwrap();
+        assert!(history.epoch_losses[7] < history.epoch_losses[0]);
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        assert!(ConvNet::builder().stage_channels(&[]).build(0).is_err());
+        assert!(ConvNet::builder().classes(0).build(0).is_err());
+        assert!(ConvNet::builder()
+            .input(3, 4)
+            .stage_channels(&[4, 8, 16])
+            .build(0)
+            .is_err());
+    }
+}

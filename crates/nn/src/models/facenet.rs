@@ -1,0 +1,91 @@
+use crate::models::ResNetLite;
+use crate::{Network, Result};
+
+/// A deeper residual CNN with a many-class softmax head, standing in for
+/// the Inception-ResNet-v1 face-recognition model of the paper's
+/// FaceScrub experiment (Table IV / Fig. 5).
+///
+/// Architecturally this is a [`ResNetLite`] with one extra stage and wider
+/// late layers — what matters for the reproduction is (a) a many-class
+/// recognition task and (b) abundant late-layer weight capacity for face
+/// encoding, both of which this configuration provides.
+///
+/// # Examples
+///
+/// ```
+/// use qce_nn::models::FaceNetLite;
+///
+/// # fn main() -> Result<(), qce_nn::NnError> {
+/// let net = FaceNetLite::build(1, 16, 40, 7)?;
+/// assert!(net.num_weights() > 10_000);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct FaceNetLite;
+
+impl FaceNetLite {
+    /// Builds a face-recognition network for `identities` classes on
+    /// square `input_size` images with `in_channels` channels.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidConfig`](crate::NnError::InvalidConfig)
+    /// for infeasible geometry (e.g. an input too small for the four
+    /// downsampling stages).
+    pub fn build(
+        in_channels: usize,
+        input_size: usize,
+        identities: usize,
+        seed: u64,
+    ) -> Result<Network> {
+        ResNetLite::builder()
+            .input(in_channels, input_size)
+            .classes(identities)
+            .stage_channels(&[16, 32, 64])
+            .blocks_per_stage(2)
+            .build(seed)
+    }
+
+    /// A reduced configuration for fast tests and benches.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`FaceNetLite::build`].
+    pub fn small(
+        in_channels: usize,
+        input_size: usize,
+        identities: usize,
+        seed: u64,
+    ) -> Result<Network> {
+        ResNetLite::builder()
+            .input(in_channels, input_size)
+            .classes(identities)
+            .stage_channels(&[8, 16, 32])
+            .blocks_per_stage(1)
+            .build(seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Mode;
+    use qce_tensor::Tensor;
+
+    #[test]
+    fn forward_shape_many_classes() {
+        let mut net = FaceNetLite::small(1, 16, 45, 1).unwrap();
+        let y = net
+            .forward(&Tensor::zeros(&[2, 1, 16, 16]), Mode::Eval)
+            .unwrap();
+        assert_eq!(y.dims(), &[2, 45]);
+    }
+
+    #[test]
+    fn full_model_has_more_capacity_than_small() {
+        let full = FaceNetLite::build(1, 16, 40, 2).unwrap();
+        let small = FaceNetLite::small(1, 16, 40, 2).unwrap();
+        assert!(full.num_weights() > small.num_weights());
+    }
+}

@@ -1,0 +1,17 @@
+//! Reference model architectures.
+//!
+//! * [`ResNetLite`] — a scaled-down residual CNN standing in for the
+//!   paper's ResNet-34 on CIFAR-10 (see DESIGN.md for the substitution
+//!   argument).
+//! * [`FaceNetLite`] — a deeper/wider residual CNN with a many-class head
+//!   standing in for Inception-ResNet-v1 on FaceScrub.
+//! * [`ConvNet`] — a plain VGG-style CNN without skip connections, for
+//!   checking architecture-independence of the attack.
+
+mod convnet;
+mod facenet;
+mod resnet;
+
+pub use convnet::{ConvNet, ConvNetBuilder};
+pub use facenet::FaceNetLite;
+pub use resnet::{ResNetLite, ResNetLiteBuilder};

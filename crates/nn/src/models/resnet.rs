@@ -1,0 +1,261 @@
+use qce_tensor::conv::ConvGeometry;
+use qce_tensor::init;
+
+use crate::layers::{BatchNorm2d, Conv2d, Flatten, GlobalAvgPool, Linear, ReLU, ResidualBlock};
+use crate::{Layer, Network, NnError, Result};
+
+/// A scaled-down residual CNN in the ResNet-34 family.
+///
+/// ```text
+/// stem conv3x3 ─ bn ─ relu ─ [stage 0: B blocks] ─ [stage 1] ─ ...
+///   ─ global avg pool ─ flatten(noop) ─ linear ─ logits
+/// ```
+///
+/// Stage `i > 0` starts with a stride-2 projection block that doubles the
+/// spatial reduction; within a stage all blocks keep the channel count of
+/// the stage. This mirrors the stage/depth structure the paper's
+/// layer-group analysis relies on while keeping CPU training tractable.
+///
+/// Use [`ResNetLite::builder`] to construct one.
+#[derive(Debug)]
+pub struct ResNetLite;
+
+impl ResNetLite {
+    /// Starts building a `ResNetLite`.
+    pub fn builder() -> ResNetLiteBuilder {
+        ResNetLiteBuilder::default()
+    }
+}
+
+/// Builder for [`ResNetLite`] networks.
+///
+/// # Examples
+///
+/// ```
+/// use qce_nn::models::ResNetLite;
+///
+/// # fn main() -> Result<(), qce_nn::NnError> {
+/// let net = ResNetLite::builder()
+///     .input(3, 16)
+///     .classes(10)
+///     .stage_channels(&[8, 16, 32])
+///     .blocks_per_stage(2)
+///     .build(7)?;
+/// assert!(net.num_weights() > 0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct ResNetLiteBuilder {
+    in_channels: usize,
+    input_size: usize,
+    classes: usize,
+    stage_channels: Vec<usize>,
+    blocks_per_stage: usize,
+}
+
+impl Default for ResNetLiteBuilder {
+    fn default() -> Self {
+        ResNetLiteBuilder {
+            in_channels: 3,
+            input_size: 32,
+            classes: 10,
+            stage_channels: vec![16, 32, 64],
+            blocks_per_stage: 2,
+        }
+    }
+}
+
+impl ResNetLiteBuilder {
+    /// Sets the input channel count and square spatial size.
+    pub fn input(mut self, channels: usize, size: usize) -> Self {
+        self.in_channels = channels;
+        self.input_size = size;
+        self
+    }
+
+    /// Sets the number of output classes.
+    pub fn classes(mut self, classes: usize) -> Self {
+        self.classes = classes;
+        self
+    }
+
+    /// Sets the channel width of each stage (one entry per stage).
+    pub fn stage_channels(mut self, channels: &[usize]) -> Self {
+        self.stage_channels = channels.to_vec();
+        self
+    }
+
+    /// Sets the number of residual blocks per stage.
+    pub fn blocks_per_stage(mut self, blocks: usize) -> Self {
+        self.blocks_per_stage = blocks;
+        self
+    }
+
+    /// Number of convolution/linear weight tensors the built network will
+    /// contain (useful for planning the paper's layer groups without
+    /// building the model).
+    pub fn weight_tensor_count(&self) -> usize {
+        // stem + per block (2 convs + projection?) + final linear
+        let mut count = 1;
+        let mut prev = *self.stage_channels.first().unwrap_or(&0);
+        for (i, &ch) in self.stage_channels.iter().enumerate() {
+            for b in 0..self.blocks_per_stage {
+                count += 2;
+                let stride = if i > 0 && b == 0 { 2 } else { 1 };
+                if stride != 1 || prev != ch {
+                    count += 1;
+                }
+                prev = ch;
+            }
+        }
+        count + 1
+    }
+
+    /// Builds the network with deterministic initialization from `seed`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidConfig`] if the configuration is
+    /// infeasible (no stages, zero classes, or an input too small for the
+    /// stage downsampling).
+    pub fn build(&self, seed: u64) -> Result<Network> {
+        if self.stage_channels.is_empty() {
+            return Err(NnError::InvalidConfig {
+                reason: "at least one stage is required".to_string(),
+            });
+        }
+        if self.classes == 0 || self.in_channels == 0 || self.blocks_per_stage == 0 {
+            return Err(NnError::InvalidConfig {
+                reason: "classes, input channels and blocks must be non-zero".to_string(),
+            });
+        }
+        // Each stage after the first halves the spatial extent.
+        let reduction = 1usize << (self.stage_channels.len() - 1);
+        if self.input_size / reduction == 0 {
+            return Err(NnError::InvalidConfig {
+                reason: format!(
+                    "input size {} too small for {} stages",
+                    self.input_size,
+                    self.stage_channels.len()
+                ),
+            });
+        }
+
+        let mut rng = init::seeded_rng(seed);
+        let mut layers: Vec<Box<dyn Layer>> = Vec::new();
+        let c0 = self.stage_channels[0];
+        layers.push(Box::new(Conv2d::new(
+            self.in_channels,
+            c0,
+            3,
+            ConvGeometry::new(1, 1),
+            &mut rng,
+        )));
+        layers.push(Box::new(BatchNorm2d::new(c0)));
+        layers.push(Box::new(ReLU::new()));
+
+        let mut prev = c0;
+        for (i, &ch) in self.stage_channels.iter().enumerate() {
+            for b in 0..self.blocks_per_stage {
+                let stride = if i > 0 && b == 0 { 2 } else { 1 };
+                layers.push(Box::new(ResidualBlock::new(prev, ch, stride, &mut rng)));
+                prev = ch;
+            }
+        }
+
+        layers.push(Box::new(GlobalAvgPool::new()));
+        layers.push(Box::new(Flatten::new()));
+        layers.push(Box::new(Linear::new(prev, self.classes, &mut rng)));
+        Ok(Network::new(layers))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Mode;
+    use qce_tensor::Tensor;
+
+    #[test]
+    fn default_build_forward() {
+        let mut net = ResNetLite::builder()
+            .input(3, 16)
+            .stage_channels(&[4, 8])
+            .blocks_per_stage(1)
+            .classes(10)
+            .build(1)
+            .unwrap();
+        let y = net
+            .forward(&Tensor::zeros(&[2, 3, 16, 16]), Mode::Eval)
+            .unwrap();
+        assert_eq!(y.dims(), &[2, 10]);
+    }
+
+    #[test]
+    fn weight_tensor_count_matches_built_model() {
+        let builder = ResNetLite::builder()
+            .input(3, 16)
+            .stage_channels(&[4, 8, 16])
+            .blocks_per_stage(2)
+            .classes(5);
+        let net = builder.build(2).unwrap();
+        assert_eq!(net.weight_slots().len(), builder.weight_tensor_count());
+    }
+
+    #[test]
+    fn deterministic_initialization() {
+        let build = || {
+            ResNetLite::builder()
+                .input(1, 8)
+                .stage_channels(&[4])
+                .blocks_per_stage(1)
+                .classes(2)
+                .build(9)
+                .unwrap()
+                .flat_weights()
+        };
+        assert_eq!(build(), build());
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        assert!(ResNetLite::builder()
+            .stage_channels(&[])
+            .build(0)
+            .is_err());
+        assert!(ResNetLite::builder().classes(0).build(0).is_err());
+        assert!(ResNetLite::builder()
+            .input(3, 2)
+            .stage_channels(&[4, 8, 16, 32])
+            .build(0)
+            .is_err());
+    }
+
+    #[test]
+    fn grad_flows_end_to_end() {
+        let mut net = ResNetLite::builder()
+            .input(1, 8)
+            .stage_channels(&[4, 8])
+            .blocks_per_stage(1)
+            .classes(3)
+            .build(3)
+            .unwrap();
+        let x = qce_tensor::init::uniform(
+            &[2, 1, 8, 8],
+            0.0,
+            1.0,
+            &mut qce_tensor::init::seeded_rng(4),
+        );
+        let y = net.forward(&x, Mode::Train).unwrap();
+        let out = crate::loss::softmax_cross_entropy(&y, &[0, 2]).unwrap();
+        net.backward(&out.grad).unwrap();
+        // Every weight tensor received some gradient.
+        let with_grad = net
+            .params()
+            .iter()
+            .filter(|p| p.grad().squared_norm() > 0.0)
+            .count();
+        assert!(with_grad > net.params().len() / 2);
+    }
+}

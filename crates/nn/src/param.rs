@@ -1,0 +1,103 @@
+use qce_tensor::Tensor;
+
+/// What role a parameter tensor plays in its layer.
+///
+/// The correlation-encoding attack and the quantizers only touch
+/// [`ParamKind::Weight`] tensors (convolution kernels and fully-connected
+/// matrices); biases and batch-norm affine parameters are left alone, which
+/// matches how quantization is deployed in practice (weights dominate model
+/// size).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ParamKind {
+    /// Convolution kernel or fully-connected weight matrix — the tensors
+    /// the attack encodes into and the quantizers compress.
+    Weight,
+    /// Additive bias.
+    Bias,
+    /// Batch-norm scale (γ).
+    Gamma,
+    /// Batch-norm shift (β).
+    Beta,
+}
+
+/// A trainable tensor together with its gradient accumulator.
+///
+/// Layers own their `Param`s; the [`Network`](crate::Network) exposes them
+/// in a deterministic order so the optimizer, the attack regularizer and
+/// the quantizers all agree on parameter identity.
+#[derive(Debug, Clone)]
+pub struct Param {
+    value: Tensor,
+    grad: Tensor,
+    kind: ParamKind,
+}
+
+impl Param {
+    /// Creates a parameter from an initial value; the gradient starts at
+    /// zero with the same shape.
+    pub fn new(value: Tensor, kind: ParamKind) -> Self {
+        let grad = Tensor::zeros(value.dims());
+        Param { value, grad, kind }
+    }
+
+    /// The parameter's role in its layer.
+    pub fn kind(&self) -> ParamKind {
+        self.kind
+    }
+
+    /// Current value.
+    pub fn value(&self) -> &Tensor {
+        &self.value
+    }
+
+    /// Mutable value (used by the optimizer and the quantizers).
+    pub fn value_mut(&mut self) -> &mut Tensor {
+        &mut self.value
+    }
+
+    /// Accumulated gradient.
+    pub fn grad(&self) -> &Tensor {
+        &self.grad
+    }
+
+    /// Mutable gradient accumulator.
+    pub fn grad_mut(&mut self) -> &mut Tensor {
+        &mut self.grad
+    }
+
+    /// Resets the gradient accumulator to zero.
+    pub fn zero_grad(&mut self) {
+        self.grad.fill(0.0);
+    }
+
+    /// Number of scalar elements.
+    pub fn len(&self) -> usize {
+        self.value.len()
+    }
+
+    /// Whether the parameter is empty.
+    pub fn is_empty(&self) -> bool {
+        self.value.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_param_zero_grad() {
+        let p = Param::new(Tensor::ones(&[2, 2]), ParamKind::Weight);
+        assert_eq!(p.kind(), ParamKind::Weight);
+        assert_eq!(p.len(), 4);
+        assert!(p.grad().as_slice().iter().all(|&g| g == 0.0));
+    }
+
+    #[test]
+    fn zero_grad_resets() {
+        let mut p = Param::new(Tensor::ones(&[3]), ParamKind::Bias);
+        p.grad_mut().fill(5.0);
+        p.zero_grad();
+        assert!(p.grad().as_slice().iter().all(|&g| g == 0.0));
+    }
+}

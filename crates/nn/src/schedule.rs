@@ -1,0 +1,104 @@
+//! Learning-rate schedules.
+
+/// Epoch-indexed learning-rate schedule.
+///
+/// # Examples
+///
+/// ```
+/// use qce_nn::LrSchedule;
+///
+/// let s = LrSchedule::StepDecay { every: 2, factor: 0.5 };
+/// assert_eq!(s.lr_at(0, 0.1), 0.1);
+/// assert_eq!(s.lr_at(2, 0.1), 0.05);
+/// assert_eq!(s.lr_at(4, 0.1), 0.025);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Default)]
+pub enum LrSchedule {
+    /// Constant learning rate.
+    #[default]
+    Constant,
+    /// Multiply the rate by `factor` every `every` epochs.
+    StepDecay {
+        /// Number of epochs between decays.
+        every: usize,
+        /// Multiplicative factor applied at each decay point.
+        factor: f32,
+    },
+    /// Cosine annealing from the base rate to `min_lr` over `total_epochs`.
+    Cosine {
+        /// Total schedule length in epochs.
+        total_epochs: usize,
+        /// Floor learning rate at the end of the schedule.
+        min_lr: f32,
+    },
+}
+
+impl LrSchedule {
+    /// The learning rate to use for `epoch` (0-based) given the base rate.
+    pub fn lr_at(&self, epoch: usize, base_lr: f32) -> f32 {
+        match *self {
+            LrSchedule::Constant => base_lr,
+            LrSchedule::StepDecay { every, factor } => {
+                if every == 0 {
+                    return base_lr;
+                }
+                base_lr * factor.powi((epoch / every) as i32)
+            }
+            LrSchedule::Cosine {
+                total_epochs,
+                min_lr,
+            } => {
+                if total_epochs <= 1 {
+                    return base_lr;
+                }
+                let t = (epoch.min(total_epochs - 1)) as f32 / (total_epochs - 1) as f32;
+                min_lr + 0.5 * (base_lr - min_lr) * (1.0 + (std::f32::consts::PI * t).cos())
+            }
+        }
+    }
+}
+
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_is_constant() {
+        let s = LrSchedule::Constant;
+        for e in 0..10 {
+            assert_eq!(s.lr_at(e, 0.3), 0.3);
+        }
+    }
+
+    #[test]
+    fn step_decay_steps() {
+        let s = LrSchedule::StepDecay { every: 3, factor: 0.1 };
+        assert_eq!(s.lr_at(2, 1.0), 1.0);
+        assert!((s.lr_at(3, 1.0) - 0.1).abs() < 1e-7);
+        assert!((s.lr_at(6, 1.0) - 0.01).abs() < 1e-8);
+    }
+
+    #[test]
+    fn step_decay_zero_every_is_constant() {
+        let s = LrSchedule::StepDecay { every: 0, factor: 0.1 };
+        assert_eq!(s.lr_at(5, 1.0), 1.0);
+    }
+
+    #[test]
+    fn cosine_endpoints() {
+        let s = LrSchedule::Cosine { total_epochs: 10, min_lr: 0.01 };
+        assert!((s.lr_at(0, 1.0) - 1.0).abs() < 1e-6);
+        assert!((s.lr_at(9, 1.0) - 0.01).abs() < 1e-6);
+        // Monotone decreasing.
+        let mut prev = f32::INFINITY;
+        for e in 0..10 {
+            let lr = s.lr_at(e, 1.0);
+            assert!(lr <= prev);
+            prev = lr;
+        }
+        // Clamped past the end.
+        assert!((s.lr_at(100, 1.0) - 0.01).abs() < 1e-6);
+    }
+}

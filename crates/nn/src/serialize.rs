@@ -1,0 +1,242 @@
+//! Binary (de)serialization of network parameters — the "released model"
+//! artifact of the threat model.
+//!
+//! The data holder publishes the trained weights; the adversary, who
+//! knows the architecture (they shipped the training code), rebuilds the
+//! network shell and loads the published parameters into it. The format
+//! is a minimal little-endian container:
+//!
+//! ```text
+//! magic "QCEM" | version u16 | param count u32
+//! per param:  kind u8 | rank u8 | dims (u32 each) | f32 data
+//! buffer count u32
+//! per buffer: len u32 | f32 data
+//! ```
+
+use std::io::{Read, Write};
+
+use qce_tensor::Tensor;
+
+use crate::{Network, NnError, ParamKind, Result};
+
+const MAGIC: &[u8; 4] = b"QCEM";
+const VERSION: u16 = 1;
+
+fn kind_tag(kind: ParamKind) -> u8 {
+    match kind {
+        ParamKind::Weight => 0,
+        ParamKind::Bias => 1,
+        ParamKind::Gamma => 2,
+        ParamKind::Beta => 3,
+    }
+}
+
+fn io_err(e: std::io::Error) -> NnError {
+    NnError::InvalidConfig {
+        reason: format!("model io failed: {e}"),
+    }
+}
+
+fn format_err(reason: impl Into<String>) -> NnError {
+    NnError::InvalidConfig {
+        reason: reason.into(),
+    }
+}
+
+/// Writes a network's parameters and buffers to `writer`.
+///
+/// Note the `W: Write` bound is by value; pass `&mut file` to keep using
+/// the writer afterwards.
+///
+/// # Errors
+///
+/// Returns [`NnError::InvalidConfig`] wrapping any I/O failure.
+pub fn save_network<W: Write>(net: &Network, mut writer: W) -> Result<()> {
+    writer.write_all(MAGIC).map_err(io_err)?;
+    writer.write_all(&VERSION.to_le_bytes()).map_err(io_err)?;
+    let params = net.params();
+    writer
+        .write_all(&(params.len() as u32).to_le_bytes())
+        .map_err(io_err)?;
+    for p in &params {
+        writer.write_all(&[kind_tag(p.kind())]).map_err(io_err)?;
+        let dims = p.value().dims();
+        writer.write_all(&[dims.len() as u8]).map_err(io_err)?;
+        for &d in dims {
+            writer.write_all(&(d as u32).to_le_bytes()).map_err(io_err)?;
+        }
+        for &v in p.value().as_slice() {
+            writer.write_all(&v.to_le_bytes()).map_err(io_err)?;
+        }
+    }
+    let snapshot = net.snapshot();
+    let buffers = snapshot.buffers();
+    writer
+        .write_all(&(buffers.len() as u32).to_le_bytes())
+        .map_err(io_err)?;
+    for b in buffers {
+        writer
+            .write_all(&(b.len() as u32).to_le_bytes())
+            .map_err(io_err)?;
+        for &v in b {
+            writer.write_all(&v.to_le_bytes()).map_err(io_err)?;
+        }
+    }
+    Ok(())
+}
+
+fn read_exact<R: Read, const N: usize>(reader: &mut R) -> Result<[u8; N]> {
+    let mut buf = [0u8; N];
+    reader.read_exact(&mut buf).map_err(io_err)?;
+    Ok(buf)
+}
+
+fn read_u32<R: Read>(reader: &mut R) -> Result<u32> {
+    Ok(u32::from_le_bytes(read_exact::<R, 4>(reader)?))
+}
+
+fn read_f32s<R: Read>(reader: &mut R, n: usize) -> Result<Vec<f32>> {
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(f32::from_le_bytes(read_exact::<R, 4>(reader)?));
+    }
+    Ok(out)
+}
+
+/// Loads parameters and buffers saved by [`save_network`] into an
+/// existing network of the same architecture.
+///
+/// Note the `R: Read` bound is by value; pass `&mut file` to keep using
+/// the reader afterwards.
+///
+/// # Errors
+///
+/// Returns [`NnError::InvalidConfig`] for a malformed file and
+/// [`NnError::WeightLengthMismatch`] when the stored layout does not
+/// match `net`.
+pub fn load_network<R: Read>(net: &mut Network, mut reader: R) -> Result<()> {
+    if &read_exact::<R, 4>(&mut reader)? != MAGIC {
+        return Err(format_err("bad magic, not a qce model file"));
+    }
+    let version = u16::from_le_bytes(read_exact::<R, 2>(&mut reader)?);
+    if version != VERSION {
+        return Err(format_err(format!("unsupported model version {version}")));
+    }
+    let count = read_u32(&mut reader)? as usize;
+    {
+        let mut params = net.params_mut();
+        if params.len() != count {
+            return Err(NnError::WeightLengthMismatch {
+                expected: params.len(),
+                actual: count,
+            });
+        }
+        for p in params.iter_mut() {
+            let [tag] = read_exact::<R, 1>(&mut reader)?;
+            if tag != kind_tag(p.kind()) {
+                return Err(format_err(format!(
+                    "parameter kind mismatch: stored tag {tag}, expected {}",
+                    kind_tag(p.kind())
+                )));
+            }
+            let [rank] = read_exact::<R, 1>(&mut reader)?;
+            let mut dims = Vec::with_capacity(rank as usize);
+            for _ in 0..rank {
+                dims.push(read_u32(&mut reader)? as usize);
+            }
+            if dims != p.value().dims() {
+                return Err(NnError::WeightLengthMismatch {
+                    expected: p.len(),
+                    actual: dims.iter().product(),
+                });
+            }
+            let data = read_f32s(&mut reader, p.len())?;
+            let tensor = Tensor::from_vec(data, &dims)
+                .map_err(|e| NnError::tensor("load_network", e))?;
+            *p.value_mut() = tensor;
+        }
+    }
+    // Buffers.
+    let buffer_count = read_u32(&mut reader)? as usize;
+    let mut stored = Vec::with_capacity(buffer_count);
+    for _ in 0..buffer_count {
+        let len = read_u32(&mut reader)? as usize;
+        stored.push(read_f32s(&mut reader, len)?);
+    }
+    let mut snapshot = net.snapshot();
+    snapshot.set_buffers(stored)?;
+    net.restore(&snapshot)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::ResNetLite;
+    use crate::Mode;
+    use qce_tensor::init;
+
+    fn net(seed: u64) -> Network {
+        ResNetLite::builder()
+            .input(1, 8)
+            .classes(3)
+            .stage_channels(&[4, 8])
+            .blocks_per_stage(1)
+            .build(seed)
+            .unwrap()
+    }
+
+    #[test]
+    fn round_trip_preserves_inference() {
+        let mut original = net(1);
+        // Touch batch-norm running stats so buffers are non-trivial.
+        let x = init::uniform(&[4, 1, 8, 8], 0.0, 1.0, &mut init::seeded_rng(2));
+        original.forward(&x, Mode::Train).unwrap();
+        let expected = original.forward(&x, Mode::Eval).unwrap();
+
+        let mut bytes = Vec::new();
+        save_network(&original, &mut bytes).unwrap();
+
+        // Same architecture, different init.
+        let mut restored = net(99);
+        assert_ne!(restored.forward(&x, Mode::Eval).unwrap(), expected);
+        load_network(&mut restored, bytes.as_slice()).unwrap();
+        assert_eq!(restored.forward(&x, Mode::Eval).unwrap(), expected);
+    }
+
+    #[test]
+    fn rejects_wrong_magic_and_version() {
+        let mut n = net(3);
+        assert!(load_network(&mut n, &b"NOPE"[..]).is_err());
+        let mut bytes = Vec::new();
+        save_network(&n, &mut bytes).unwrap();
+        bytes[4] = 9; // corrupt version
+        let mut m = net(3);
+        assert!(load_network(&mut m, bytes.as_slice()).is_err());
+    }
+
+    #[test]
+    fn rejects_architecture_mismatch() {
+        let a = net(4);
+        let mut bytes = Vec::new();
+        save_network(&a, &mut bytes).unwrap();
+        let mut other = ResNetLite::builder()
+            .input(1, 8)
+            .classes(3)
+            .stage_channels(&[6])
+            .blocks_per_stage(1)
+            .build(4)
+            .unwrap();
+        assert!(load_network(&mut other, bytes.as_slice()).is_err());
+    }
+
+    #[test]
+    fn truncated_file_rejected() {
+        let n = net(5);
+        let mut bytes = Vec::new();
+        save_network(&n, &mut bytes).unwrap();
+        bytes.truncate(bytes.len() / 2);
+        let mut m = net(5);
+        assert!(load_network(&mut m, bytes.as_slice()).is_err());
+    }
+}

@@ -1,0 +1,387 @@
+use qce_tensor::Tensor;
+use rand::seq::SliceRandom;
+
+use crate::loss::softmax_cross_entropy;
+use crate::optim::Adam;
+use crate::{LrSchedule, Mode, Network, NnError, Result, Sgd};
+
+/// Which optimizer the [`Trainer`] runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OptimizerKind {
+    /// SGD with momentum and weight decay (the default; what the paper's
+    /// training pipelines use).
+    #[default]
+    Sgd,
+    /// AdamW (decoupled weight decay) — useful when layer-wise gradient
+    /// scales differ strongly.
+    Adam,
+}
+
+enum AnyOptimizer {
+    Sgd(Sgd),
+    Adam(Adam),
+}
+
+impl AnyOptimizer {
+    fn set_lr(&mut self, lr: f32) {
+        match self {
+            AnyOptimizer::Sgd(o) => o.set_lr(lr),
+            AnyOptimizer::Adam(o) => o.set_lr(lr),
+        }
+    }
+
+    fn step(&mut self, params: &mut [&mut crate::Param]) {
+        match self {
+            AnyOptimizer::Sgd(o) => o.step(params),
+            AnyOptimizer::Adam(o) => o.step(params),
+        }
+    }
+}
+
+/// A training-time loss add-on with direct gradient access to the network.
+///
+/// This is the hook the DAC'20 attack exploits: the malicious
+/// correlation-encoding term is implemented as a `Regularizer` that looks
+/// indistinguishable from a benign weight penalty in the training code.
+/// `apply` is called once per mini-batch *after* the task-loss backward
+/// pass; it must add its own gradient contribution to the network
+/// parameters (e.g. via
+/// [`Network::add_flat_weight_grads`](crate::Network::add_flat_weight_grads))
+/// and return its penalty value for logging.
+pub trait Regularizer {
+    /// Accumulates the regularizer's gradient into `net` and returns the
+    /// penalty value added to the loss.
+    ///
+    /// # Errors
+    ///
+    /// Implementations should propagate layout errors.
+    fn apply(&mut self, net: &mut Network) -> Result<f32>;
+}
+
+/// Hyper-parameters of a [`Trainer`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainConfig {
+    /// Number of passes over the training set.
+    pub epochs: usize,
+    /// Mini-batch size (the last batch of an epoch may be smaller).
+    pub batch_size: usize,
+    /// Base learning rate.
+    pub lr: f32,
+    /// Momentum coefficient.
+    pub momentum: f32,
+    /// Weight decay applied to `Weight`-kind parameters.
+    pub weight_decay: f32,
+    /// Learning-rate schedule over epochs.
+    pub schedule: LrSchedule,
+    /// Which optimizer to run.
+    pub optimizer: OptimizerKind,
+    /// Seed for the per-epoch shuffle.
+    pub shuffle_seed: u64,
+    /// Print one line per epoch to stderr.
+    pub verbose: bool,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig {
+            epochs: 10,
+            batch_size: 32,
+            lr: 0.05,
+            momentum: 0.9,
+            weight_decay: 5e-4,
+            schedule: LrSchedule::Constant,
+            optimizer: OptimizerKind::Sgd,
+            shuffle_seed: 0x5eed,
+            verbose: false,
+        }
+    }
+}
+
+/// Per-epoch records returned by [`Trainer::fit`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TrainingHistory {
+    /// Mean task loss of each epoch.
+    pub epoch_losses: Vec<f32>,
+    /// Mean regularizer penalty of each epoch (zero without a regularizer).
+    pub epoch_penalties: Vec<f32>,
+}
+
+/// Mini-batch SGD training loop with an optional [`Regularizer`] hook.
+///
+/// # Examples
+///
+/// See the crate-level example.
+#[derive(Debug)]
+pub struct Trainer {
+    config: TrainConfig,
+}
+
+impl Trainer {
+    /// Creates a trainer with the given configuration.
+    pub fn new(config: TrainConfig) -> Self {
+        Trainer { config }
+    }
+
+    /// The trainer's configuration.
+    pub fn config(&self) -> &TrainConfig {
+        &self.config
+    }
+
+    /// Trains `net` on images `x` (`[N, C, H, W]`) with class `labels`.
+    ///
+    /// When `regularizer` is provided, its gradient is accumulated after
+    /// every task-loss backward pass — exactly how a malicious training
+    /// algorithm smuggles the correlation term into a normal pipeline.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::SampleLabelMismatch`] if `x` and `labels`
+    /// disagree, or propagates layer errors.
+    pub fn fit(
+        &mut self,
+        net: &mut Network,
+        x: &Tensor,
+        labels: &[usize],
+        mut regularizer: Option<&mut dyn Regularizer>,
+    ) -> Result<TrainingHistory> {
+        let n = x.dims()[0];
+        if labels.len() != n {
+            return Err(NnError::SampleLabelMismatch {
+                samples: n,
+                labels: labels.len(),
+            });
+        }
+        if n == 0 || self.config.batch_size == 0 {
+            return Err(NnError::InvalidConfig {
+                reason: "empty dataset or zero batch size".to_string(),
+            });
+        }
+        let mut optimizer = match self.config.optimizer {
+            OptimizerKind::Sgd => AnyOptimizer::Sgd(Sgd::with_momentum(
+                self.config.lr,
+                self.config.momentum,
+                self.config.weight_decay,
+            )),
+            OptimizerKind::Adam => AnyOptimizer::Adam(Adam::with_weight_decay(
+                self.config.lr,
+                self.config.weight_decay,
+            )),
+        };
+        let mut rng = qce_tensor::init::seeded_rng(self.config.shuffle_seed);
+        let mut order: Vec<usize> = (0..n).collect();
+        let mut history = TrainingHistory::default();
+
+        for epoch in 0..self.config.epochs {
+            optimizer.set_lr(self.config.schedule.lr_at(epoch, self.config.lr));
+            order.shuffle(&mut rng);
+            let mut loss_sum = 0.0f64;
+            let mut penalty_sum = 0.0f64;
+            let mut batches = 0usize;
+
+            for chunk in order.chunks(self.config.batch_size) {
+                let bx = gather_batch(x, chunk)?;
+                let by: Vec<usize> = chunk.iter().map(|&i| labels[i]).collect();
+                net.zero_grad();
+                let logits = net.forward(&bx, Mode::Train)?;
+                let out = softmax_cross_entropy(&logits, &by)?;
+                net.backward(&out.grad)?;
+                if let Some(reg) = regularizer.as_deref_mut() {
+                    penalty_sum += reg.apply(net)? as f64;
+                }
+                optimizer.step(&mut net.params_mut());
+                loss_sum += out.loss as f64;
+                batches += 1;
+            }
+
+            let mean_loss = (loss_sum / batches as f64) as f32;
+            let mean_penalty = (penalty_sum / batches as f64) as f32;
+            history.epoch_losses.push(mean_loss);
+            history.epoch_penalties.push(mean_penalty);
+            if self.config.verbose {
+                eprintln!(
+                    "epoch {epoch}: loss={mean_loss:.4} penalty={mean_penalty:.4} lr={:.5}",
+                    self.config.schedule.lr_at(epoch, self.config.lr)
+                );
+            }
+        }
+        Ok(history)
+    }
+}
+
+/// Copies the rows of `x` (`[N, ...]`) selected by `indices` into a new
+/// batch tensor.
+///
+/// # Errors
+///
+/// Returns an error if any index is out of bounds.
+pub fn gather_batch(x: &Tensor, indices: &[usize]) -> Result<Tensor> {
+    let n = x.dims()[0];
+    let row = x.len() / n.max(1);
+    let mut data = Vec::with_capacity(indices.len() * row);
+    for &i in indices {
+        if i >= n {
+            return Err(NnError::InvalidConfig {
+                reason: format!("batch index {i} out of range for {n} samples"),
+            });
+        }
+        data.extend_from_slice(&x.as_slice()[i * row..(i + 1) * row]);
+    }
+    let mut dims = x.dims().to_vec();
+    dims[0] = indices.len();
+    Tensor::from_vec(data, &dims).map_err(|e| NnError::tensor("gather_batch", e))
+}
+
+/// Top-1 accuracy of `net` on images `x` with `labels`, evaluated in
+/// mini-batches.
+///
+/// # Errors
+///
+/// Returns [`NnError::SampleLabelMismatch`] on length disagreement, or
+/// propagates forward errors.
+pub fn accuracy(net: &mut Network, x: &Tensor, labels: &[usize], batch_size: usize) -> Result<f32> {
+    let n = x.dims()[0];
+    if labels.len() != n {
+        return Err(NnError::SampleLabelMismatch {
+            samples: n,
+            labels: labels.len(),
+        });
+    }
+    if n == 0 {
+        return Ok(0.0);
+    }
+    let mut correct = 0usize;
+    let indices: Vec<usize> = (0..n).collect();
+    for chunk in indices.chunks(batch_size.max(1)) {
+        let bx = gather_batch(x, chunk)?;
+        let preds = net.predict(&bx)?;
+        for (p, &i) in preds.iter().zip(chunk.iter()) {
+            if *p == labels[i] {
+                correct += 1;
+            }
+        }
+    }
+    Ok(correct as f32 / n as f32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{Flatten, Linear, ReLU};
+    use qce_tensor::init;
+
+    fn toy_problem(seed: u64) -> (Tensor, Vec<usize>) {
+        // Two linearly separable blobs in 4-d, rendered as [N,1,2,2] images.
+        let mut rng = init::seeded_rng(seed);
+        let n = 64;
+        let mut data = Vec::with_capacity(n * 4);
+        let mut labels = Vec::with_capacity(n);
+        for i in 0..n {
+            let class = i % 2;
+            let center = if class == 0 { -1.0 } else { 1.0 };
+            for _ in 0..4 {
+                data.push(center + 0.3 * qce_tensor::init::standard_normal(&mut rng));
+            }
+            labels.push(class);
+        }
+        (
+            Tensor::from_vec(data, &[n, 1, 2, 2]).unwrap(),
+            labels,
+        )
+    }
+
+    fn mlp(seed: u64) -> Network {
+        let mut rng = init::seeded_rng(seed);
+        Network::new(vec![
+            Box::new(Flatten::new()),
+            Box::new(Linear::new(4, 8, &mut rng)),
+            Box::new(ReLU::new()),
+            Box::new(Linear::new(8, 2, &mut rng)),
+        ])
+    }
+
+    #[test]
+    fn training_reduces_loss_and_reaches_high_accuracy() {
+        let (x, y) = toy_problem(1);
+        let mut net = mlp(2);
+        let mut trainer = Trainer::new(TrainConfig {
+            epochs: 30,
+            batch_size: 16,
+            lr: 0.1,
+            momentum: 0.9,
+            weight_decay: 0.0,
+            ..TrainConfig::default()
+        });
+        let history = trainer.fit(&mut net, &x, &y, None).unwrap();
+        assert_eq!(history.epoch_losses.len(), 30);
+        assert!(history.epoch_losses[29] < history.epoch_losses[0] * 0.5);
+        let acc = accuracy(&mut net, &x, &y, 16).unwrap();
+        assert!(acc > 0.95, "accuracy {acc}");
+    }
+
+    #[test]
+    fn fit_is_deterministic_given_seeds() {
+        let (x, y) = toy_problem(3);
+        let run = || {
+            let mut net = mlp(4);
+            let mut trainer = Trainer::new(TrainConfig {
+                epochs: 3,
+                batch_size: 8,
+                ..TrainConfig::default()
+            });
+            trainer.fit(&mut net, &x, &y, None).unwrap();
+            net.flat_weights()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn regularizer_hook_is_called_and_logged() {
+        struct CountingReg {
+            calls: usize,
+        }
+        impl Regularizer for CountingReg {
+            fn apply(&mut self, _net: &mut Network) -> Result<f32> {
+                self.calls += 1;
+                Ok(1.5)
+            }
+        }
+        let (x, y) = toy_problem(5);
+        let mut net = mlp(6);
+        let mut reg = CountingReg { calls: 0 };
+        let mut trainer = Trainer::new(TrainConfig {
+            epochs: 2,
+            batch_size: 16,
+            ..TrainConfig::default()
+        });
+        let history = trainer.fit(&mut net, &x, &y, Some(&mut reg)).unwrap();
+        assert_eq!(reg.calls, 2 * 4); // 2 epochs x ceil(64/16) batches
+        assert!((history.epoch_penalties[0] - 1.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fit_validates_inputs() {
+        let (x, _) = toy_problem(7);
+        let mut net = mlp(8);
+        let mut trainer = Trainer::new(TrainConfig::default());
+        assert!(matches!(
+            trainer.fit(&mut net, &x, &[0, 1], None),
+            Err(NnError::SampleLabelMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn gather_batch_selects_rows() {
+        let x = Tensor::from_vec((0..8).map(|v| v as f32).collect(), &[4, 2]).unwrap();
+        let b = gather_batch(&x, &[3, 0]).unwrap();
+        assert_eq!(b.dims(), &[2, 2]);
+        assert_eq!(b.as_slice(), &[6.0, 7.0, 0.0, 1.0]);
+        assert!(gather_batch(&x, &[4]).is_err());
+    }
+
+    #[test]
+    fn accuracy_on_empty_is_zero() {
+        let mut net = mlp(9);
+        let x = Tensor::zeros(&[0, 1, 2, 2]);
+        assert_eq!(accuracy(&mut net, &x, &[], 4).unwrap(), 0.0);
+    }
+}

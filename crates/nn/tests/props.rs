@@ -1,0 +1,138 @@
+//! Property-based tests of the network substrate: gradient correctness
+//! over random layer configurations and structural invariants.
+
+use proptest::prelude::*;
+use qce_nn::layers::{BatchNorm2d, Conv2d, Linear, ReLU};
+use qce_nn::loss::softmax_cross_entropy;
+use qce_nn::{Layer, Mode, Network, ParamKind};
+use qce_tensor::conv::ConvGeometry;
+use qce_tensor::{init, Tensor};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn conv_weight_gradients_match_finite_difference(
+        seed in 0u64..500,
+        in_ch in 1usize..3,
+        out_ch in 1usize..4,
+        stride in 1usize..3,
+    ) {
+        let mut rng = init::seeded_rng(seed);
+        let mut conv = Conv2d::new(in_ch, out_ch, 3, ConvGeometry::new(stride, 1), &mut rng);
+        let x = init::uniform(&[1, in_ch, 6, 6], -1.0, 1.0, &mut rng);
+        let out = conv.forward(&x, Mode::Train).unwrap();
+        conv.backward(&Tensor::ones(out.dims())).unwrap();
+        let probe = (seed as usize * 7) % conv.params()[0].len();
+        let analytic = conv.params()[0].grad().as_slice()[probe];
+        let eps = 1e-2;
+        let orig = conv.params()[0].value().as_slice()[probe];
+        conv.params_mut()[0].value_mut().as_mut_slice()[probe] = orig + eps;
+        let hi = conv.forward(&x, Mode::Eval).unwrap().sum();
+        conv.params_mut()[0].value_mut().as_mut_slice()[probe] = orig - eps;
+        let lo = conv.forward(&x, Mode::Eval).unwrap().sum();
+        let fd = (hi - lo) / (2.0 * eps);
+        prop_assert!((fd - analytic).abs() < 2e-2, "fd {fd} vs analytic {analytic}");
+    }
+
+    #[test]
+    fn linear_input_gradients_match_finite_difference(
+        seed in 0u64..500,
+        in_f in 1usize..8,
+        out_f in 1usize..8,
+    ) {
+        let mut rng = init::seeded_rng(seed);
+        let mut fc = Linear::new(in_f, out_f, &mut rng);
+        let mut x = init::uniform(&[3, in_f], -1.0, 1.0, &mut rng);
+        let out = fc.forward(&x, Mode::Train).unwrap();
+        let grad_in = fc.backward(&Tensor::ones(out.dims())).unwrap();
+        let probe = (seed as usize) % x.len();
+        let eps = 1e-2;
+        let orig = x.as_slice()[probe];
+        x.as_mut_slice()[probe] = orig + eps;
+        let hi = fc.forward(&x, Mode::Eval).unwrap().sum();
+        x.as_mut_slice()[probe] = orig - eps;
+        let lo = fc.forward(&x, Mode::Eval).unwrap().sum();
+        let fd = (hi - lo) / (2.0 * eps);
+        prop_assert!((fd - grad_in.as_slice()[probe]).abs() < 2e-2);
+    }
+
+    #[test]
+    fn batchnorm_train_output_is_normalized(seed in 0u64..500, channels in 1usize..4) {
+        let mut bn = BatchNorm2d::new(channels);
+        let mut rng = init::seeded_rng(seed);
+        let x = init::uniform(&[4, channels, 3, 3], -3.0, 7.0, &mut rng);
+        let y = bn.forward(&x, Mode::Train).unwrap();
+        for ch in 0..channels {
+            let mut vals = Vec::new();
+            for s in 0..4 {
+                for i in 0..9 {
+                    vals.push(y.as_slice()[(s * channels + ch) * 9 + i]);
+                }
+            }
+            let mean: f32 = vals.iter().sum::<f32>() / vals.len() as f32;
+            prop_assert!(mean.abs() < 1e-3, "channel {ch} mean {mean}");
+        }
+    }
+
+    #[test]
+    fn cross_entropy_gradient_rows_sum_to_zero(seed in 0u64..1000, n in 1usize..6, k in 2usize..8) {
+        let mut rng = init::seeded_rng(seed);
+        let logits = init::uniform(&[n, k], -3.0, 3.0, &mut rng);
+        let labels: Vec<usize> = (0..n).map(|i| i % k).collect();
+        let out = softmax_cross_entropy(&logits, &labels).unwrap();
+        prop_assert!(out.loss >= 0.0);
+        for row in 0..n {
+            let s: f32 = out.grad.as_slice()[row * k..(row + 1) * k].iter().sum();
+            prop_assert!(s.abs() < 1e-5, "row {row} grad sum {s}");
+        }
+    }
+
+    #[test]
+    fn flat_weight_round_trip_is_identity(seed in 0u64..200) {
+        let mut rng = init::seeded_rng(seed);
+        let mut net = Network::new(vec![
+            Box::new(Conv2d::new(1, 2, 3, ConvGeometry::new(1, 1), &mut rng)),
+            Box::new(ReLU::new()),
+        ]);
+        let flat = net.flat_weights();
+        net.set_flat_weights(&flat).unwrap();
+        prop_assert_eq!(net.flat_weights(), flat);
+    }
+
+    #[test]
+    fn weight_slots_partition_flat_space(seed in 0u64..200, hidden in 1usize..6) {
+        let mut rng = init::seeded_rng(seed);
+        let net = Network::new(vec![
+            Box::new(Conv2d::new(1, hidden, 3, ConvGeometry::new(1, 1), &mut rng)),
+            Box::new(Linear::new(hidden, 2, &mut rng)),
+        ]);
+        let slots = net.weight_slots();
+        let mut expected_offset = 0usize;
+        for (i, slot) in slots.iter().enumerate() {
+            prop_assert_eq!(slot.ordinal, i);
+            prop_assert_eq!(slot.offset, expected_offset);
+            prop_assert_eq!(slot.len, slot.dims.iter().product::<usize>());
+            expected_offset += slot.len;
+        }
+        prop_assert_eq!(expected_offset, net.num_weights());
+    }
+
+    #[test]
+    fn grads_only_touch_weights_via_flat_injection(seed in 0u64..200) {
+        let mut rng = init::seeded_rng(seed);
+        let mut net = Network::new(vec![
+            Box::new(Conv2d::new(1, 2, 3, ConvGeometry::new(1, 1), &mut rng)),
+            Box::new(BatchNorm2d::new(2)),
+        ]);
+        net.zero_grad();
+        let inject: Vec<f32> = (0..net.num_weights()).map(|i| i as f32).collect();
+        net.add_flat_weight_grads(&inject).unwrap();
+        for p in net.params() {
+            match p.kind() {
+                ParamKind::Weight => prop_assert!(p.grad().squared_norm() > 0.0),
+                _ => prop_assert_eq!(p.grad().squared_norm(), 0.0),
+            }
+        }
+    }
+}

@@ -1,0 +1,214 @@
+use crate::{QuantError, Result};
+
+/// A fitted quantization codebook: `l` clusters defined by sorted lower
+/// boundaries `v_0..v_{l-1}` (with an implicit `v_l = +∞`) and one
+/// representative value `r_i` per cluster.
+///
+/// A weight `w` belongs to cluster `i` when `v_i <= w < v_{i+1}`; weights
+/// below `v_0` clamp into cluster 0 (this can only happen when quantizing
+/// data the codebook was not fitted on).
+///
+/// # Examples
+///
+/// ```
+/// use qce_quant::Codebook;
+///
+/// # fn main() -> Result<(), qce_quant::QuantError> {
+/// let cb = Codebook::new(vec![-0.5, 0.5], vec![-1.0, 0.0])?;
+/// assert_eq!(cb.quantize_value(-0.2), (0, -0.5));
+/// assert_eq!(cb.quantize_value(0.7), (1, 0.5));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Codebook {
+    representatives: Vec<f32>,
+    boundaries: Vec<f32>,
+}
+
+impl Codebook {
+    /// Creates a codebook from `l` representatives and `l` lower
+    /// boundaries.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantError::InvalidCodebook`] if the lengths differ, the
+    /// codebook is empty, boundaries are not non-decreasing, or any value
+    /// is non-finite.
+    pub fn new(representatives: Vec<f32>, boundaries: Vec<f32>) -> Result<Self> {
+        if representatives.is_empty() {
+            return Err(QuantError::InvalidCodebook {
+                reason: "no clusters".to_string(),
+            });
+        }
+        if representatives.len() != boundaries.len() {
+            return Err(QuantError::InvalidCodebook {
+                reason: format!(
+                    "{} representatives but {} boundaries",
+                    representatives.len(),
+                    boundaries.len()
+                ),
+            });
+        }
+        if boundaries.windows(2).any(|w| w[0] > w[1]) {
+            return Err(QuantError::InvalidCodebook {
+                reason: "boundaries must be non-decreasing".to_string(),
+            });
+        }
+        if representatives
+            .iter()
+            .chain(boundaries.iter())
+            .any(|v| !v.is_finite())
+        {
+            return Err(QuantError::InvalidCodebook {
+                reason: "non-finite value".to_string(),
+            });
+        }
+        Ok(Codebook {
+            representatives,
+            boundaries,
+        })
+    }
+
+    /// Number of clusters.
+    pub fn levels(&self) -> usize {
+        self.representatives.len()
+    }
+
+    /// The per-cluster representative values, in cluster order.
+    pub fn representatives(&self) -> &[f32] {
+        &self.representatives
+    }
+
+    /// The per-cluster lower boundaries, in cluster order.
+    pub fn boundaries(&self) -> &[f32] {
+        &self.boundaries
+    }
+
+    /// Cluster index for `w` (binary search over the boundaries).
+    pub fn assign_value(&self, w: f32) -> usize {
+        // partition_point returns the count of boundaries <= w; the cluster
+        // is that count minus one, clamped at 0.
+        let count = self.boundaries.partition_point(|&b| b <= w);
+        count.saturating_sub(1)
+    }
+
+    /// `(cluster index, representative)` for `w`.
+    pub fn quantize_value(&self, w: f32) -> (usize, f32) {
+        let idx = self.assign_value(w);
+        (idx, self.representatives[idx])
+    }
+
+    /// Quantizes a full weight vector to representatives.
+    pub fn quantize(&self, weights: &[f32]) -> Vec<f32> {
+        weights
+            .iter()
+            .map(|&w| self.representatives[self.assign_value(w)])
+            .collect()
+    }
+
+    /// Cluster index of every weight.
+    pub fn assign(&self, weights: &[f32]) -> Vec<u32> {
+        weights.iter().map(|&w| self.assign_value(w) as u32).collect()
+    }
+
+    /// Reconstructs weight values from cluster indices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantError::AssignmentMismatch`] if any index is out of
+    /// range.
+    pub fn decode(&self, indices: &[u32]) -> Result<Vec<f32>> {
+        let l = self.levels() as u32;
+        if let Some(&bad) = indices.iter().find(|&&i| i >= l) {
+            return Err(QuantError::AssignmentMismatch {
+                expected: self.levels(),
+                actual: bad as usize,
+            });
+        }
+        Ok(indices
+            .iter()
+            .map(|&i| self.representatives[i as usize])
+            .collect())
+    }
+
+    /// Per-cluster occupancy counts for a weight vector.
+    pub fn occupancy(&self, weights: &[f32]) -> Vec<usize> {
+        let mut counts = vec![0usize; self.levels()];
+        for &w in weights {
+            counts[self.assign_value(w)] += 1;
+        }
+        counts
+    }
+
+    /// Minimum number of bits needed to store one cluster index.
+    pub fn bits(&self) -> u32 {
+        (self.levels().max(2) as u32 - 1).ilog2() + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cb() -> Codebook {
+        Codebook::new(vec![-1.0, 0.0, 1.0], vec![-2.0, -0.5, 0.5]).unwrap()
+    }
+
+    #[test]
+    fn validation() {
+        assert!(Codebook::new(vec![], vec![]).is_err());
+        assert!(Codebook::new(vec![1.0], vec![1.0, 2.0]).is_err());
+        assert!(Codebook::new(vec![1.0, 2.0], vec![1.0, 0.0]).is_err());
+        assert!(Codebook::new(vec![f32::NAN], vec![0.0]).is_err());
+        assert!(Codebook::new(vec![1.0], vec![f32::INFINITY]).is_err());
+    }
+
+    #[test]
+    fn assignment_boundaries() {
+        let cb = cb();
+        assert_eq!(cb.assign_value(-3.0), 0); // below v_0 clamps
+        assert_eq!(cb.assign_value(-2.0), 0);
+        assert_eq!(cb.assign_value(-0.5), 1); // boundary belongs to upper cluster
+        assert_eq!(cb.assign_value(0.49), 1);
+        assert_eq!(cb.assign_value(0.5), 2);
+        assert_eq!(cb.assign_value(99.0), 2); // implicit +inf top
+    }
+
+    #[test]
+    fn quantize_idempotent() {
+        let cb = cb();
+        let w = vec![-1.7, -0.2, 0.3, 2.0, -0.5];
+        let q1 = cb.quantize(&w);
+        let q2 = cb.quantize(&q1);
+        assert_eq!(q1, q2);
+    }
+
+    #[test]
+    fn assign_decode_round_trip() {
+        let cb = cb();
+        let w = vec![-1.7, -0.2, 0.3, 2.0];
+        let idx = cb.assign(&w);
+        let decoded = cb.decode(&idx).unwrap();
+        assert_eq!(decoded, cb.quantize(&w));
+        assert!(cb.decode(&[3]).is_err());
+    }
+
+    #[test]
+    fn occupancy_counts() {
+        let cb = cb();
+        let w = vec![-1.0, -1.0, 0.0, 1.0];
+        assert_eq!(cb.occupancy(&w), vec![2, 1, 1]);
+    }
+
+    #[test]
+    fn bits_per_level() {
+        assert_eq!(cb().bits(), 2);
+        let two = Codebook::new(vec![0.0, 1.0], vec![0.0, 0.5]).unwrap();
+        assert_eq!(two.bits(), 1);
+        let sixteen =
+            Codebook::new((0..16).map(|i| i as f32).collect(), (0..16).map(|i| i as f32).collect())
+                .unwrap();
+        assert_eq!(sixteen.bits(), 4);
+    }
+}

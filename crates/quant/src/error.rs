@@ -1,0 +1,92 @@
+use std::fmt;
+
+use qce_nn::NnError;
+
+/// Error type for quantizer fitting and application.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum QuantError {
+    /// The requested number of quantization levels is unusable (0, 1, or
+    /// more levels than distinct representable weights).
+    InvalidLevels {
+        /// The rejected level count.
+        levels: usize,
+        /// Why it is rejected.
+        reason: String,
+    },
+    /// The weight vector to quantize is empty.
+    EmptyWeights,
+    /// A codebook was constructed with inconsistent boundaries or
+    /// representatives.
+    InvalidCodebook {
+        /// Why the codebook is rejected.
+        reason: String,
+    },
+    /// A stored assignment no longer matches the network layout.
+    AssignmentMismatch {
+        /// Expected number of weights.
+        expected: usize,
+        /// Provided number of assignments.
+        actual: usize,
+    },
+    /// A wrapped network error (from fine-tuning).
+    Nn(NnError),
+    /// Bit-packing parameters are invalid.
+    InvalidPacking {
+        /// Why the packing is rejected.
+        reason: String,
+    },
+}
+
+impl fmt::Display for QuantError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QuantError::InvalidLevels { levels, reason } => {
+                write!(f, "invalid level count {levels}: {reason}")
+            }
+            QuantError::EmptyWeights => write!(f, "cannot quantize an empty weight vector"),
+            QuantError::InvalidCodebook { reason } => write!(f, "invalid codebook: {reason}"),
+            QuantError::AssignmentMismatch { expected, actual } => {
+                write!(f, "assignment length {actual}, expected {expected}")
+            }
+            QuantError::Nn(e) => write!(f, "network error during quantization: {e}"),
+            QuantError::InvalidPacking { reason } => write!(f, "invalid packing: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for QuantError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            QuantError::Nn(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NnError> for QuantError {
+    fn from(e: NnError) -> Self {
+        QuantError::Nn(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        use std::error::Error;
+        let e = QuantError::from(NnError::InvalidConfig {
+            reason: "x".to_string(),
+        });
+        assert!(e.source().is_some());
+        assert!(QuantError::EmptyWeights.to_string().contains("empty"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<QuantError>();
+    }
+}

@@ -1,0 +1,128 @@
+//! Bit-packing of cluster indices — the storage format a deployed
+//! quantized model would actually ship, used by the compression-ratio
+//! accounting.
+
+use crate::{QuantError, Result};
+
+/// Packs cluster indices into a little-endian bitstream with `bits` bits
+/// per index.
+///
+/// # Errors
+///
+/// Returns [`QuantError::InvalidPacking`] if `bits` is outside `1..=16` or
+/// any index needs more than `bits` bits.
+///
+/// # Examples
+///
+/// ```
+/// use qce_quant::pack::{pack, unpack};
+///
+/// # fn main() -> Result<(), qce_quant::QuantError> {
+/// let indices = vec![3, 0, 2, 1, 3];
+/// let bytes = pack(&indices, 2)?;
+/// assert_eq!(bytes.len(), 2); // ceil(5 * 2 / 8)
+/// assert_eq!(unpack(&bytes, 2, 5)?, indices);
+/// # Ok(())
+/// # }
+/// ```
+pub fn pack(indices: &[u32], bits: u32) -> Result<Vec<u8>> {
+    if !(1..=16).contains(&bits) {
+        return Err(QuantError::InvalidPacking {
+            reason: format!("bits {bits} outside 1..=16"),
+        });
+    }
+    let max = if bits == 32 { u32::MAX } else { (1u32 << bits) - 1 };
+    if let Some(&bad) = indices.iter().find(|&&i| i > max) {
+        return Err(QuantError::InvalidPacking {
+            reason: format!("index {bad} does not fit in {bits} bits"),
+        });
+    }
+    let total_bits = indices.len() * bits as usize;
+    let mut bytes = vec![0u8; total_bits.div_ceil(8)];
+    let mut bit_pos = 0usize;
+    for &idx in indices {
+        for b in 0..bits {
+            if (idx >> b) & 1 == 1 {
+                bytes[bit_pos / 8] |= 1 << (bit_pos % 8);
+            }
+            bit_pos += 1;
+        }
+    }
+    Ok(bytes)
+}
+
+/// Unpacks `n` indices of `bits` bits each from a bitstream produced by
+/// [`pack`].
+///
+/// # Errors
+///
+/// Returns [`QuantError::InvalidPacking`] if `bits` is out of range or the
+/// byte buffer is too short for `n` indices.
+pub fn unpack(bytes: &[u8], bits: u32, n: usize) -> Result<Vec<u32>> {
+    if !(1..=16).contains(&bits) {
+        return Err(QuantError::InvalidPacking {
+            reason: format!("bits {bits} outside 1..=16"),
+        });
+    }
+    let needed = (n * bits as usize).div_ceil(8);
+    if bytes.len() < needed {
+        return Err(QuantError::InvalidPacking {
+            reason: format!("{} bytes given, {needed} needed", bytes.len()),
+        });
+    }
+    let mut out = Vec::with_capacity(n);
+    let mut bit_pos = 0usize;
+    for _ in 0..n {
+        let mut v = 0u32;
+        for b in 0..bits {
+            if (bytes[bit_pos / 8] >> (bit_pos % 8)) & 1 == 1 {
+                v |= 1 << b;
+            }
+            bit_pos += 1;
+        }
+        out.push(v);
+    }
+    Ok(out)
+}
+
+/// Packed size in bytes for `n` indices at `bits` bits each.
+pub fn packed_len(n: usize, bits: u32) -> usize {
+    (n * bits as usize).div_ceil(8)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_various_bit_widths() {
+        for bits in [1u32, 2, 3, 4, 5, 7, 8, 11, 16] {
+            let max = (1u64 << bits) as u32 - 1;
+            let indices: Vec<u32> = (0..100).map(|i| (i * 37) % (max + 1)).collect();
+            let bytes = pack(&indices, bits).unwrap();
+            assert_eq!(bytes.len(), packed_len(100, bits));
+            assert_eq!(unpack(&bytes, bits, 100).unwrap(), indices, "bits={bits}");
+        }
+    }
+
+    #[test]
+    fn rejects_out_of_range() {
+        assert!(pack(&[4], 2).is_err());
+        assert!(pack(&[0], 0).is_err());
+        assert!(pack(&[0], 17).is_err());
+        assert!(unpack(&[0u8], 4, 3).is_err()); // needs 2 bytes
+        assert!(unpack(&[0u8], 0, 1).is_err());
+    }
+
+    #[test]
+    fn empty_input() {
+        assert_eq!(pack(&[], 4).unwrap().len(), 0);
+        assert_eq!(unpack(&[], 4, 0).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn four_bit_packs_two_per_byte() {
+        let bytes = pack(&[0xA, 0x5], 4).unwrap();
+        assert_eq!(bytes, vec![0x5A]);
+    }
+}

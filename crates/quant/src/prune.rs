@@ -1,0 +1,248 @@
+//! Magnitude pruning — the *other* hardware-oriented compression the
+//! paper's introduction names (Han et al.'s deep compression pipeline is
+//! pruning + quantization).
+//!
+//! Pruning interacts with the correlation attack differently than
+//! quantization: it zeroes the smallest-magnitude weights, which under
+//! the attack correspond to a *band of pixel values* (the ones the affine
+//! map sends near zero) rather than uniformly distributed noise. The
+//! `ablations` bench measures how reconstruction quality decays with
+//! sparsity.
+
+use qce_nn::{Network, ParamKind};
+
+use crate::{QuantError, Result};
+
+/// Which weights were pruned, per weight tensor (forward order).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PruneMask {
+    masks: Vec<Vec<bool>>,
+    sparsity: f32,
+}
+
+impl PruneMask {
+    /// Per-tensor keep/prune masks (`true` = pruned to zero).
+    pub fn masks(&self) -> &[Vec<bool>] {
+        &self.masks
+    }
+
+    /// The requested global sparsity.
+    pub fn sparsity(&self) -> f32 {
+        self.sparsity
+    }
+
+    /// Total number of pruned weights.
+    pub fn pruned_count(&self) -> usize {
+        self.masks
+            .iter()
+            .map(|m| m.iter().filter(|&&x| x).count())
+            .sum()
+    }
+
+    /// Total number of weights covered by the mask.
+    pub fn total(&self) -> usize {
+        self.masks.iter().map(Vec::len).sum()
+    }
+
+    /// Re-zeroes the pruned positions (e.g. after fine-tuning steps that
+    /// might have revived them).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantError::AssignmentMismatch`] if the network layout no
+    /// longer matches.
+    pub fn reapply(&self, net: &mut Network) -> Result<()> {
+        let mut mask_iter = self.masks.iter();
+        for p in net.params_mut() {
+            if p.kind() != ParamKind::Weight {
+                continue;
+            }
+            let mask = mask_iter.next().ok_or(QuantError::AssignmentMismatch {
+                expected: 0,
+                actual: p.len(),
+            })?;
+            if mask.len() != p.len() {
+                return Err(QuantError::AssignmentMismatch {
+                    expected: mask.len(),
+                    actual: p.len(),
+                });
+            }
+            for (w, &pruned) in p.value_mut().as_mut_slice().iter_mut().zip(mask.iter()) {
+                if pruned {
+                    *w = 0.0;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Prunes the smallest-magnitude fraction `sparsity` of each weight
+/// tensor to zero, in place, and returns the mask.
+///
+/// Per-tensor (rather than global) thresholds are the standard practice:
+/// layers have very different weight scales and a global threshold would
+/// wipe out the small-scale layers entirely.
+///
+/// # Errors
+///
+/// Returns [`QuantError::InvalidLevels`] if `sparsity` is outside
+/// `[0, 1)`.
+///
+/// # Examples
+///
+/// ```
+/// use qce_nn::models::ResNetLite;
+/// use qce_quant::prune::magnitude_prune;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut net = ResNetLite::builder()
+///     .input(1, 8).classes(2).stage_channels(&[4]).blocks_per_stage(1)
+///     .build(1)?;
+/// let mask = magnitude_prune(&mut net, 0.5)?;
+/// assert!(mask.pruned_count() >= mask.total() * 2 / 5);
+/// # Ok(())
+/// # }
+/// ```
+pub fn magnitude_prune(net: &mut Network, sparsity: f32) -> Result<PruneMask> {
+    if !(0.0..1.0).contains(&sparsity) {
+        return Err(QuantError::InvalidLevels {
+            levels: 0,
+            reason: format!("sparsity {sparsity} outside [0, 1)"),
+        });
+    }
+    let mut masks = Vec::new();
+    for p in net.params_mut() {
+        if p.kind() != ParamKind::Weight {
+            continue;
+        }
+        let values = p.value().as_slice().to_vec();
+        let prune_n = ((values.len() as f32) * sparsity).round() as usize;
+        let mut mask = vec![false; values.len()];
+        if prune_n > 0 {
+            let mut order: Vec<usize> = (0..values.len()).collect();
+            order.sort_by(|&a, &b| values[a].abs().total_cmp(&values[b].abs()));
+            for &i in order.iter().take(prune_n) {
+                mask[i] = true;
+            }
+            let pv = p.value_mut().as_mut_slice();
+            for (w, &pruned) in pv.iter_mut().zip(mask.iter()) {
+                if pruned {
+                    *w = 0.0;
+                }
+            }
+        }
+        masks.push(mask);
+    }
+    Ok(PruneMask { masks, sparsity })
+}
+
+/// Fraction of `Weight`-kind scalars that are exactly zero.
+pub fn measured_sparsity(net: &Network) -> f32 {
+    let mut zeros = 0usize;
+    let mut total = 0usize;
+    for p in net.params() {
+        if p.kind() == ParamKind::Weight {
+            total += p.len();
+            zeros += p.value().as_slice().iter().filter(|&&w| w == 0.0).count();
+        }
+    }
+    if total == 0 {
+        0.0
+    } else {
+        zeros as f32 / total as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qce_nn::models::ResNetLite;
+
+    fn net() -> Network {
+        ResNetLite::builder()
+            .input(1, 8)
+            .classes(2)
+            .stage_channels(&[4, 8])
+            .blocks_per_stage(1)
+            .build(21)
+            .unwrap()
+    }
+
+    #[test]
+    fn prunes_requested_fraction_per_tensor() {
+        let mut n = net();
+        let mask = magnitude_prune(&mut n, 0.3).unwrap();
+        let measured = measured_sparsity(&n);
+        assert!((measured - 0.3).abs() < 0.05, "sparsity {measured}");
+        assert_eq!(mask.total(), n.num_weights());
+        assert_eq!(mask.sparsity(), 0.3);
+    }
+
+    #[test]
+    fn prunes_smallest_magnitudes_first() {
+        let mut n = net();
+        let before = n.flat_weights();
+        magnitude_prune(&mut n, 0.5).unwrap();
+        let after = n.flat_weights();
+        // Every surviving weight has magnitude >= every pruned weight's
+        // original magnitude... per tensor; check the global weaker form:
+        // the mean |w| of survivors exceeds the mean |w| of pruned.
+        let mut survivor = 0.0f64;
+        let mut survivor_n = 0usize;
+        let mut pruned = 0.0f64;
+        let mut pruned_n = 0usize;
+        for (b, a) in before.iter().zip(after.iter()) {
+            if *a == 0.0 && *b != 0.0 {
+                pruned += b.abs() as f64;
+                pruned_n += 1;
+            } else if *a != 0.0 {
+                survivor += b.abs() as f64;
+                survivor_n += 1;
+            }
+        }
+        assert!(survivor / survivor_n as f64 > pruned / pruned_n as f64);
+    }
+
+    #[test]
+    fn zero_sparsity_is_identity() {
+        let mut n = net();
+        let before = n.flat_weights();
+        let mask = magnitude_prune(&mut n, 0.0).unwrap();
+        assert_eq!(n.flat_weights(), before);
+        assert_eq!(mask.pruned_count(), 0);
+    }
+
+    #[test]
+    fn reapply_rezeros_revived_weights() {
+        let mut n = net();
+        let mask = magnitude_prune(&mut n, 0.4).unwrap();
+        // Revive everything.
+        let ones = vec![1.0f32; n.num_weights()];
+        n.set_flat_weights(&ones).unwrap();
+        mask.reapply(&mut n).unwrap();
+        let measured = measured_sparsity(&n);
+        assert!((measured - 0.4).abs() < 0.05);
+    }
+
+    #[test]
+    fn invalid_sparsity_rejected() {
+        let mut n = net();
+        assert!(magnitude_prune(&mut n, 1.0).is_err());
+        assert!(magnitude_prune(&mut n, -0.1).is_err());
+    }
+
+    #[test]
+    fn reapply_rejects_mismatched_network() {
+        let mut a = net();
+        let mask = magnitude_prune(&mut a, 0.2).unwrap();
+        let mut other = ResNetLite::builder()
+            .input(1, 8)
+            .classes(2)
+            .stage_channels(&[6])
+            .blocks_per_stage(1)
+            .build(5)
+            .unwrap();
+        assert!(mask.reapply(&mut other).is_err());
+    }
+}

@@ -1,0 +1,604 @@
+use qce_tensor::stats::Histogram;
+
+use crate::{Codebook, QuantError, Result};
+
+/// A boundary-selection strategy that fits a [`Codebook`] to a weight
+/// vector.
+///
+/// All implementations share the same output contract: `levels()` clusters
+/// whose boundaries are non-decreasing, fitted to (and typically spanning)
+/// the input range. They differ only in *where* the boundaries go — which
+/// is the entire design space the paper's quantization attack exploits.
+pub trait Quantizer {
+    /// Short name for reports (e.g. `"weq"`).
+    fn name(&self) -> &'static str;
+
+    /// Number of clusters this quantizer produces.
+    fn levels(&self) -> usize;
+
+    /// Fits a codebook to `weights`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantError::EmptyWeights`] for empty input or
+    /// [`QuantError::InvalidLevels`] when the configuration cannot produce
+    /// a valid codebook (e.g. more clusters than weights).
+    fn fit(&self, weights: &[f32]) -> Result<Codebook>;
+}
+
+fn check_common(levels: usize, weights: &[f32]) -> Result<()> {
+    if weights.is_empty() {
+        return Err(QuantError::EmptyWeights);
+    }
+    if levels < 2 {
+        return Err(QuantError::InvalidLevels {
+            levels,
+            reason: "need at least 2 clusters".to_string(),
+        });
+    }
+    if levels > weights.len() {
+        return Err(QuantError::InvalidLevels {
+            levels,
+            reason: format!("more clusters than weights ({})", weights.len()),
+        });
+    }
+    Ok(())
+}
+
+fn sorted(weights: &[f32]) -> Vec<f32> {
+    let mut s = weights.to_vec();
+    s.sort_by(f32::total_cmp);
+    s
+}
+
+/// Builds a codebook from sorted weights and cluster start indices
+/// `starts` (length `l`, non-decreasing, `starts[0] == 0`). Empty clusters
+/// inherit their lower boundary's value as representative.
+fn codebook_from_partition(s: &[f32], starts: &[usize]) -> Result<Codebook> {
+    let l = starts.len();
+    let n = s.len();
+    let mut reps = Vec::with_capacity(l);
+    let mut bounds = Vec::with_capacity(l);
+    for i in 0..l {
+        let lo = starts[i].min(n - 1);
+        let hi = if i + 1 < l { starts[i + 1] } else { n };
+        bounds.push(s[lo]);
+        if hi > starts[i] {
+            let seg = &s[starts[i]..hi];
+            reps.push(seg.iter().sum::<f32>() / seg.len() as f32);
+        } else {
+            reps.push(s[lo]);
+        }
+    }
+    Codebook::new(reps, bounds)
+}
+
+/// Equal-width (linear) quantizer — deep-compression-style linear centroid
+/// initialization over the weight range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinearQuantizer {
+    levels: usize,
+}
+
+impl LinearQuantizer {
+    /// Creates a linear quantizer with `levels` clusters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantError::InvalidLevels`] for fewer than 2 levels.
+    pub fn new(levels: usize) -> Result<Self> {
+        if levels < 2 {
+            return Err(QuantError::InvalidLevels {
+                levels,
+                reason: "need at least 2 clusters".to_string(),
+            });
+        }
+        Ok(LinearQuantizer { levels })
+    }
+}
+
+impl Quantizer for LinearQuantizer {
+    fn name(&self) -> &'static str {
+        "linear"
+    }
+
+    fn levels(&self) -> usize {
+        self.levels
+    }
+
+    fn fit(&self, weights: &[f32]) -> Result<Codebook> {
+        check_common(self.levels, weights)?;
+        let s = sorted(weights);
+        let (lo, hi) = (s[0], s[s.len() - 1]);
+        if lo == hi {
+            // Degenerate constant vector: all clusters collapse onto it.
+            return Codebook::new(vec![lo; self.levels], vec![lo; self.levels]);
+        }
+        let width = (hi - lo) / self.levels as f32;
+        let bounds: Vec<f32> = (0..self.levels).map(|i| lo + width * i as f32).collect();
+        let reps: Vec<f32> = (0..self.levels)
+            .map(|i| lo + width * (i as f32 + 0.5))
+            .collect();
+        Codebook::new(reps, bounds)
+    }
+}
+
+/// 1-D k-means (Lloyd) quantizer initialized from the linear grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KMeansQuantizer {
+    levels: usize,
+    iterations: usize,
+}
+
+impl KMeansQuantizer {
+    /// Creates a k-means quantizer with `levels` clusters and the default
+    /// 25 Lloyd iterations.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantError::InvalidLevels`] for fewer than 2 levels.
+    pub fn new(levels: usize) -> Result<Self> {
+        Self::with_iterations(levels, 25)
+    }
+
+    /// Creates a k-means quantizer with an explicit iteration budget.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantError::InvalidLevels`] for fewer than 2 levels.
+    pub fn with_iterations(levels: usize, iterations: usize) -> Result<Self> {
+        if levels < 2 {
+            return Err(QuantError::InvalidLevels {
+                levels,
+                reason: "need at least 2 clusters".to_string(),
+            });
+        }
+        Ok(KMeansQuantizer { levels, iterations })
+    }
+}
+
+impl Quantizer for KMeansQuantizer {
+    fn name(&self) -> &'static str {
+        "kmeans"
+    }
+
+    fn levels(&self) -> usize {
+        self.levels
+    }
+
+    fn fit(&self, weights: &[f32]) -> Result<Codebook> {
+        check_common(self.levels, weights)?;
+        let s = sorted(weights);
+        let n = s.len();
+        let (lo, hi) = (s[0], s[n - 1]);
+        if lo == hi {
+            return Codebook::new(vec![lo; self.levels], vec![lo; self.levels]);
+        }
+        let width = (hi - lo) / self.levels as f32;
+        let mut centers: Vec<f32> = (0..self.levels)
+            .map(|i| lo + width * (i as f32 + 0.5))
+            .collect();
+
+        // In sorted 1-D data the optimal assignment boundaries are the
+        // midpoints between adjacent centers, so each Lloyd step is two
+        // linear scans.
+        let mut starts = vec![0usize; self.levels];
+        for _ in 0..self.iterations {
+            // Assignment: cluster i covers values in
+            // [mid(i-1, i), mid(i, i+1)).
+            starts[0] = 0;
+            for i in 1..self.levels {
+                let mid = 0.5 * (centers[i - 1] + centers[i]);
+                starts[i] = s.partition_point(|&w| w < mid).max(starts[i - 1]);
+            }
+            // Update.
+            let mut moved = false;
+            for i in 0..self.levels {
+                let hi_idx = if i + 1 < self.levels { starts[i + 1] } else { n };
+                if hi_idx > starts[i] {
+                    let seg = &s[starts[i]..hi_idx];
+                    let mean = seg.iter().sum::<f32>() / seg.len() as f32;
+                    if (mean - centers[i]).abs() > 1e-7 {
+                        moved = true;
+                    }
+                    centers[i] = mean;
+                }
+            }
+            if !moved {
+                break;
+            }
+        }
+        // Final boundaries from the final centers.
+        starts[0] = 0;
+        for i in 1..self.levels {
+            let mid = 0.5 * (centers[i - 1] + centers[i]);
+            starts[i] = s.partition_point(|&w| w < mid).max(starts[i - 1]);
+        }
+        codebook_from_partition(&s, &starts)
+    }
+}
+
+/// Weighted-entropy quantizer (Park et al., CVPR'17) — the paper's defense
+/// baseline.
+///
+/// Each weight carries importance `w²`; clusters partition the sorted
+/// weight sequence into segments of (approximately) equal total
+/// importance, which is the partition that maximizes the weighted entropy
+/// `-Σ P_k log P_k` of cluster importance shares. Representatives are
+/// importance-weighted cluster means. The net effect: many narrow clusters
+/// at large magnitudes, few wide ones near zero — which *reshapes* the
+/// pixel-like weight distribution of a correlation-attacked model
+/// (Fig. 3a) and thereby destroys both its accuracy and its encoded data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WeightedEntropyQuantizer {
+    levels: usize,
+}
+
+impl WeightedEntropyQuantizer {
+    /// Creates a weighted-entropy quantizer with `levels` clusters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantError::InvalidLevels`] for fewer than 2 levels.
+    pub fn new(levels: usize) -> Result<Self> {
+        if levels < 2 {
+            return Err(QuantError::InvalidLevels {
+                levels,
+                reason: "need at least 2 clusters".to_string(),
+            });
+        }
+        Ok(WeightedEntropyQuantizer { levels })
+    }
+
+    /// Creates a quantizer for a bit width (`levels = 2^bits`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantError::InvalidLevels`] for `bits == 0` or
+    /// `bits > 16`.
+    pub fn from_bits(bits: u32) -> Result<Self> {
+        if bits == 0 || bits > 16 {
+            return Err(QuantError::InvalidLevels {
+                levels: 0,
+                reason: format!("bit width {bits} outside 1..=16"),
+            });
+        }
+        Self::new(1usize << bits)
+    }
+}
+
+impl Quantizer for WeightedEntropyQuantizer {
+    fn name(&self) -> &'static str {
+        "weq"
+    }
+
+    fn levels(&self) -> usize {
+        self.levels
+    }
+
+    fn fit(&self, weights: &[f32]) -> Result<Codebook> {
+        check_common(self.levels, weights)?;
+        let s = sorted(weights);
+        let n = s.len();
+        // Cumulative importance along the sorted sequence.
+        let total: f64 = s.iter().map(|&w| (w as f64) * (w as f64)).sum();
+        if total == 0.0 {
+            // All-zero weights degenerate to the constant codebook.
+            return Codebook::new(vec![0.0; self.levels], vec![0.0; self.levels]);
+        }
+        let mut starts = Vec::with_capacity(self.levels);
+        starts.push(0usize);
+        let mut acc = 0.0f64;
+        let mut next_cut = total / self.levels as f64;
+        for (i, &w) in s.iter().enumerate() {
+            acc += (w as f64) * (w as f64);
+            while starts.len() < self.levels && acc >= next_cut {
+                starts.push((i + 1).min(n - 1));
+                next_cut = total * (starts.len() as f64) / self.levels as f64;
+            }
+        }
+        while starts.len() < self.levels {
+            starts.push(n - 1);
+        }
+
+        // Importance-weighted representatives.
+        let mut reps = Vec::with_capacity(self.levels);
+        let mut bounds = Vec::with_capacity(self.levels);
+        for i in 0..self.levels {
+            let lo = starts[i];
+            let hi = if i + 1 < self.levels { starts[i + 1] } else { n };
+            bounds.push(s[lo.min(n - 1)]);
+            if hi > lo {
+                let seg = &s[lo..hi];
+                let imp: f64 = seg.iter().map(|&w| (w as f64) * (w as f64)).sum();
+                if imp > 0.0 {
+                    let wm: f64 = seg
+                        .iter()
+                        .map(|&w| (w as f64) * (w as f64) * (w as f64))
+                        .sum::<f64>()
+                        / imp;
+                    reps.push(wm as f32);
+                } else {
+                    reps.push(seg.iter().sum::<f32>() / seg.len() as f32);
+                }
+            } else {
+                reps.push(s[lo.min(n - 1)]);
+            }
+        }
+        Codebook::new(reps, bounds)
+    }
+}
+
+/// Target-correlated quantizer — Algorithm 1 of the paper.
+///
+/// Cluster occupancies are set proportional to the histogram of the
+/// *target images' pixel values*: bin `i` of the pixel histogram `H`
+/// (over `[0, 256)` with `l` bins) claims `H[i] · ℓ` of the sorted
+/// weights. Because the correlation attack has already pushed the weight
+/// distribution toward the pixel distribution, this boundary choice keeps
+/// the quantized weight histogram aligned with the encoded data (Fig. 3b)
+/// — preserving both decoding quality and accuracy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TargetCorrelatedQuantizer {
+    levels: usize,
+    histogram: Vec<f64>,
+}
+
+impl TargetCorrelatedQuantizer {
+    /// Creates the quantizer from the correlation-target pixel stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantError::InvalidLevels`] for fewer than 2 levels or
+    /// [`QuantError::EmptyWeights`] for an empty target stream.
+    pub fn new(levels: usize, target_pixels: &[u8]) -> Result<Self> {
+        if levels < 2 {
+            return Err(QuantError::InvalidLevels {
+                levels,
+                reason: "need at least 2 clusters".to_string(),
+            });
+        }
+        if target_pixels.is_empty() {
+            return Err(QuantError::EmptyWeights);
+        }
+        let values: Vec<f32> = target_pixels.iter().map(|&p| p as f32).collect();
+        let hist = Histogram::from_values(&values, levels, 0.0, 256.0);
+        Ok(TargetCorrelatedQuantizer {
+            levels,
+            histogram: hist.probabilities(),
+        })
+    }
+
+    /// The normalized target pixel histogram driving the cluster sizes.
+    pub fn histogram(&self) -> &[f64] {
+        &self.histogram
+    }
+}
+
+impl Quantizer for TargetCorrelatedQuantizer {
+    fn name(&self) -> &'static str {
+        "target_correlated"
+    }
+
+    fn levels(&self) -> usize {
+        self.levels
+    }
+
+    fn fit(&self, weights: &[f32]) -> Result<Codebook> {
+        check_common(self.levels, weights)?;
+        let s = sorted(weights);
+        let n = s.len();
+        // Algorithm 1 lines 4-7: b_i = b_{i-1} + H[i-1] * n, accumulated in
+        // float and rounded so that b_l == n exactly.
+        let mut starts = Vec::with_capacity(self.levels);
+        let mut acc = 0.0f64;
+        for i in 0..self.levels {
+            starts.push((acc.round() as usize).min(n - 1));
+            acc += self.histogram[i] * n as f64;
+        }
+        // Enforce monotonicity after rounding.
+        for i in 1..self.levels {
+            if starts[i] < starts[i - 1] {
+                starts[i] = starts[i - 1];
+            }
+        }
+        codebook_from_partition(&s, &starts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::RngExt;
+
+    fn random_weights(n: usize, seed: u64) -> Vec<f32> {
+        let mut rng = qce_tensor::init::seeded_rng(seed);
+        (0..n)
+            .map(|_| qce_tensor::init::standard_normal(&mut rng) * 0.1)
+            .collect()
+    }
+
+    #[test]
+    fn linear_splits_range_evenly() {
+        let w: Vec<f32> = (0..100).map(|i| i as f32 / 99.0).collect();
+        let cb = LinearQuantizer::new(4).unwrap().fit(&w).unwrap();
+        assert_eq!(cb.levels(), 4);
+        let b = cb.boundaries();
+        assert!((b[1] - 0.25).abs() < 1e-5);
+        assert!((b[2] - 0.5).abs() < 1e-5);
+        // Quantization error bounded by half a bin.
+        for &x in &w {
+            let (_, r) = cb.quantize_value(x);
+            assert!((x - r).abs() <= 0.125 + 1e-5);
+        }
+    }
+
+    #[test]
+    fn linear_handles_constant_vector() {
+        let cb = LinearQuantizer::new(4).unwrap().fit(&[0.5; 10]).unwrap();
+        assert_eq!(cb.quantize(&[0.5; 3]), vec![0.5; 3]);
+    }
+
+    #[test]
+    fn kmeans_reduces_mse_vs_linear() {
+        let w = random_weights(5000, 1);
+        let lin = LinearQuantizer::new(8).unwrap().fit(&w).unwrap();
+        let km = KMeansQuantizer::new(8).unwrap().fit(&w).unwrap();
+        let mse = |cb: &Codebook| -> f32 {
+            w.iter()
+                .map(|&x| {
+                    let (_, r) = cb.quantize_value(x);
+                    (x - r).powi(2)
+                })
+                .sum::<f32>()
+                / w.len() as f32
+        };
+        assert!(mse(&km) < mse(&lin), "kmeans {} linear {}", mse(&km), mse(&lin));
+    }
+
+    #[test]
+    fn kmeans_finds_obvious_clusters() {
+        let mut w = vec![0.0f32; 50];
+        w.extend(vec![10.0f32; 50]);
+        let cb = KMeansQuantizer::new(2).unwrap().fit(&w).unwrap();
+        let reps = cb.representatives();
+        assert!((reps[0] - 0.0).abs() < 1e-4);
+        assert!((reps[1] - 10.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn weq_equalizes_cluster_importance() {
+        let w = random_weights(20_000, 2);
+        let cb = WeightedEntropyQuantizer::new(8).unwrap().fit(&w).unwrap();
+        // Importance per cluster should be roughly equal.
+        let mut imp = [0.0f64; 8];
+        for &x in &w {
+            imp[cb.assign_value(x)] += (x as f64) * (x as f64);
+        }
+        let total: f64 = imp.iter().sum();
+        for (i, &v) in imp.iter().enumerate() {
+            let share = v / total;
+            assert!(
+                (share - 0.125).abs() < 0.05,
+                "cluster {i} importance share {share}"
+            );
+        }
+    }
+
+    #[test]
+    fn weq_concentrates_clusters_at_large_magnitudes() {
+        let w = random_weights(20_000, 3);
+        let cb = WeightedEntropyQuantizer::new(16).unwrap().fit(&w).unwrap();
+        // The occupancy of the middle clusters should dominate: few weights
+        // live in the many extreme clusters.
+        let occ = cb.occupancy(&w);
+        let mid: usize = occ[6..10].iter().sum();
+        let edges: usize = occ[..2].iter().sum::<usize>() + occ[14..].iter().sum::<usize>();
+        assert!(mid > edges * 5, "mid={mid} edges={edges}");
+    }
+
+    #[test]
+    fn weq_from_bits() {
+        assert_eq!(WeightedEntropyQuantizer::from_bits(4).unwrap().levels(), 16);
+        assert!(WeightedEntropyQuantizer::from_bits(0).is_err());
+        assert!(WeightedEntropyQuantizer::from_bits(17).is_err());
+    }
+
+    #[test]
+    fn weq_all_zero_weights() {
+        let cb = WeightedEntropyQuantizer::new(4).unwrap().fit(&[0.0; 10]).unwrap();
+        assert_eq!(cb.quantize(&[0.0]), vec![0.0]);
+    }
+
+    #[test]
+    fn target_correlated_matches_pixel_histogram() {
+        // Target pixels: 75% low values, 25% high values, 2 levels.
+        let mut pixels = vec![10u8; 750];
+        pixels.extend(vec![200u8; 250]);
+        let q = TargetCorrelatedQuantizer::new(2, &pixels).unwrap();
+        assert!((q.histogram()[0] - 0.75).abs() < 1e-9);
+
+        let w = random_weights(10_000, 4);
+        let cb = q.fit(&w).unwrap();
+        let occ = cb.occupancy(&w);
+        // Cluster occupancy should follow the pixel histogram.
+        let share0 = occ[0] as f64 / w.len() as f64;
+        assert!((share0 - 0.75).abs() < 0.02, "share0 {share0}");
+    }
+
+    #[test]
+    fn target_correlated_occupancy_within_rounding() {
+        let mut pixels = Vec::new();
+        for v in 0..=255u8 {
+            for _ in 0..(v as usize % 7 + 1) {
+                pixels.push(v);
+            }
+        }
+        let q = TargetCorrelatedQuantizer::new(16, &pixels).unwrap();
+        let w = random_weights(50_000, 5);
+        let cb = q.fit(&w).unwrap();
+        let occ = cb.occupancy(&w);
+        for (i, (&o, &h)) in occ.iter().zip(q.histogram()).enumerate() {
+            let expected = h * w.len() as f64;
+            assert!(
+                (o as f64 - expected).abs() <= w.len() as f64 * 0.01 + 2.0,
+                "cluster {i}: occupancy {o} vs expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn validation_errors() {
+        assert!(LinearQuantizer::new(1).is_err());
+        assert!(KMeansQuantizer::new(0).is_err());
+        assert!(WeightedEntropyQuantizer::new(1).is_err());
+        assert!(TargetCorrelatedQuantizer::new(1, &[1]).is_err());
+        assert!(TargetCorrelatedQuantizer::new(4, &[]).is_err());
+        let q = LinearQuantizer::new(4).unwrap();
+        assert!(q.fit(&[]).is_err());
+        assert!(q.fit(&[1.0, 2.0]).is_err()); // more levels than weights
+    }
+
+    #[test]
+    fn all_quantizers_produce_valid_codebooks_on_random_data() {
+        let w = random_weights(3000, 6);
+        let pixels: Vec<u8> = (0..1000).map(|i| (i % 256) as u8).collect();
+        let quantizers: Vec<Box<dyn Quantizer>> = vec![
+            Box::new(LinearQuantizer::new(16).unwrap()),
+            Box::new(KMeansQuantizer::new(16).unwrap()),
+            Box::new(WeightedEntropyQuantizer::new(16).unwrap()),
+            Box::new(TargetCorrelatedQuantizer::new(16, &pixels).unwrap()),
+        ];
+        for q in &quantizers {
+            let cb = q.fit(&w).unwrap();
+            assert_eq!(cb.levels(), 16, "{}", q.name());
+            let quantized = cb.quantize(&w);
+            // Idempotence.
+            assert_eq!(cb.quantize(&quantized), quantized, "{}", q.name());
+            // At most 16 distinct values.
+            let mut distinct: Vec<f32> = quantized.clone();
+            distinct.sort_by(f32::total_cmp);
+            distinct.dedup();
+            assert!(distinct.len() <= 16, "{}", q.name());
+        }
+    }
+
+    #[test]
+    fn quantizer_trait_is_object_safe() {
+        fn _takes(_: &dyn Quantizer) {}
+    }
+
+    #[test]
+    fn deterministic_fit() {
+        let w = random_weights(1000, 7);
+        let q = WeightedEntropyQuantizer::new(8).unwrap();
+        assert_eq!(q.fit(&w).unwrap(), q.fit(&w).unwrap());
+    }
+
+    #[test]
+    fn random_weights_helper_is_seeded() {
+        let mut rng = qce_tensor::init::seeded_rng(0);
+        let _: f32 = rng.random_range(0.0..1.0); // RngExt import used
+        assert_eq!(random_weights(10, 8), random_weights(10, 8));
+    }
+}

@@ -1,0 +1,128 @@
+//! Property-based tests of the quantization invariants (DESIGN.md §6).
+
+use proptest::prelude::*;
+use qce_quant::{
+    pack, Codebook, KMeansQuantizer, LinearQuantizer, Quantizer, TargetCorrelatedQuantizer,
+    WeightedEntropyQuantizer,
+};
+
+fn weights_strategy() -> impl Strategy<Value = Vec<f32>> {
+    prop::collection::vec(-10.0f32..10.0, 64..512)
+}
+
+fn check_codebook_invariants(cb: &Codebook, weights: &[f32]) -> Result<(), TestCaseError> {
+    // Boundaries non-decreasing.
+    prop_assert!(cb.boundaries().windows(2).all(|w| w[0] <= w[1]));
+    // Quantization is idempotent and uses only representatives.
+    let q = cb.quantize(weights);
+    prop_assert_eq!(cb.quantize(&q), q.clone());
+    for v in &q {
+        prop_assert!(cb.representatives().contains(v));
+    }
+    // Distinct output values bounded by levels.
+    let mut d = q.clone();
+    d.sort_by(f32::total_cmp);
+    d.dedup();
+    prop_assert!(d.len() <= cb.levels());
+    // assign/decode round trip equals quantize.
+    let decoded = cb.decode(&cb.assign(weights)).unwrap();
+    prop_assert_eq!(decoded, q);
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn linear_codebook_invariants(weights in weights_strategy(), levels in 2usize..33) {
+        let cb = LinearQuantizer::new(levels).unwrap().fit(&weights).unwrap();
+        check_codebook_invariants(&cb, &weights)?;
+    }
+
+    #[test]
+    fn kmeans_codebook_invariants(weights in weights_strategy(), levels in 2usize..17) {
+        let cb = KMeansQuantizer::new(levels).unwrap().fit(&weights).unwrap();
+        check_codebook_invariants(&cb, &weights)?;
+    }
+
+    #[test]
+    fn weq_codebook_invariants(weights in weights_strategy(), levels in 2usize..33) {
+        let cb = WeightedEntropyQuantizer::new(levels).unwrap().fit(&weights).unwrap();
+        check_codebook_invariants(&cb, &weights)?;
+    }
+
+    #[test]
+    fn target_correlated_codebook_invariants(
+        weights in weights_strategy(),
+        pixels in prop::collection::vec(0u8..=255, 64..512),
+        levels in 2usize..33,
+    ) {
+        let q = TargetCorrelatedQuantizer::new(levels, &pixels).unwrap();
+        let cb = q.fit(&weights).unwrap();
+        check_codebook_invariants(&cb, &weights)?;
+    }
+
+    #[test]
+    fn target_correlated_occupancy_tracks_histogram(
+        seed in 0u64..500,
+        levels in 2usize..17,
+    ) {
+        // Large uniform weight sample so rounding error is relatively small.
+        let mut rng = qce_tensor::init::seeded_rng(seed);
+        use rand::RngExt;
+        let weights: Vec<f32> = (0..20_000).map(|_| rng.random_range(-1.0f32..1.0)).collect();
+        let pixels: Vec<u8> = (0..4096).map(|_| rng.random_range(0u32..256) as u8).collect();
+        let q = TargetCorrelatedQuantizer::new(levels, &pixels).unwrap();
+        let cb = q.fit(&weights).unwrap();
+        let occ = cb.occupancy(&weights);
+        for (i, (&o, &h)) in occ.iter().zip(q.histogram()).enumerate() {
+            let expected = h * weights.len() as f64;
+            prop_assert!(
+                (o as f64 - expected).abs() <= weights.len() as f64 * 0.02 + 2.0,
+                "cluster {i}: {o} vs {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn kmeans_never_worse_mse_than_linear(seed in 0u64..200) {
+        let mut rng = qce_tensor::init::seeded_rng(seed);
+        let weights: Vec<f32> = (0..2000)
+            .map(|_| qce_tensor::init::standard_normal(&mut rng))
+            .collect();
+        let mse = |cb: &Codebook| -> f64 {
+            weights.iter().map(|&w| {
+                let (_, r) = cb.quantize_value(w);
+                ((w - r) as f64).powi(2)
+            }).sum::<f64>() / weights.len() as f64
+        };
+        let lin = LinearQuantizer::new(8).unwrap().fit(&weights).unwrap();
+        let km = KMeansQuantizer::new(8).unwrap().fit(&weights).unwrap();
+        prop_assert!(mse(&km) <= mse(&lin) * 1.05, "kmeans {} linear {}", mse(&km), mse(&lin));
+    }
+
+    #[test]
+    fn pack_round_trip(
+        indices in prop::collection::vec(0u32..16, 0..300),
+        extra_bits in 0u32..3,
+    ) {
+        let bits = 4 + extra_bits;
+        let bytes = pack::pack(&indices, bits).unwrap();
+        prop_assert_eq!(bytes.len(), pack::packed_len(indices.len(), bits));
+        let back = pack::unpack(&bytes, bits, indices.len()).unwrap();
+        prop_assert_eq!(back, indices);
+    }
+
+    #[test]
+    fn quantization_error_bounded_by_range(weights in weights_strategy(), levels in 2usize..17) {
+        let cb = LinearQuantizer::new(levels).unwrap().fit(&weights).unwrap();
+        let lo = weights.iter().cloned().fold(f32::INFINITY, f32::min);
+        let hi = weights.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let bin = (hi - lo) / levels as f32;
+        for &w in &weights {
+            let (_, r) = cb.quantize_value(w);
+            // Linear quantization error is at most one bin width.
+            prop_assert!((w - r).abs() <= bin + 1e-4);
+        }
+    }
+}

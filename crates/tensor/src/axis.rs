@@ -1,0 +1,253 @@
+//! Axis-wise reductions and broadcasts over one tensor dimension.
+//!
+//! These complement the whole-tensor reductions on
+//! [`Tensor`](crate::Tensor) with per-axis variants (e.g. per-channel
+//! statistics for normalization layers and audits).
+
+use crate::{Result, Tensor, TensorError};
+
+fn check_axis(op: &'static str, t: &Tensor, axis: usize) -> Result<()> {
+    if axis >= t.shape().rank() {
+        return Err(TensorError::RankMismatch {
+            op,
+            expected: axis + 1,
+            actual: t.shape().rank(),
+        });
+    }
+    Ok(())
+}
+
+/// Iterates the tensor as `(outer, axis, inner)` index triples where the
+/// flat offset is `(outer * axis_len + a) * inner_len + i`.
+fn axis_geometry(t: &Tensor, axis: usize) -> (usize, usize, usize) {
+    let dims = t.dims();
+    let outer: usize = dims[..axis].iter().product();
+    let axis_len = dims[axis];
+    let inner: usize = dims[axis + 1..].iter().product();
+    (outer, axis_len, inner)
+}
+
+fn reduced_dims(t: &Tensor, axis: usize) -> Vec<usize> {
+    let mut dims = t.dims().to_vec();
+    dims.remove(axis);
+    if dims.is_empty() {
+        dims.push(1);
+    }
+    dims
+}
+
+/// Sums over one axis, removing it (`[2, 3, 4]` summed over axis 1 gives
+/// `[2, 4]`; reducing a rank-1 tensor gives `[1]`).
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] if `axis` is out of range.
+///
+/// # Examples
+///
+/// ```
+/// use qce_tensor::{axis, Tensor};
+///
+/// # fn main() -> Result<(), qce_tensor::TensorError> {
+/// let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2])?;
+/// let rows = axis::sum_axis(&t, 1)?;
+/// assert_eq!(rows.as_slice(), &[3.0, 7.0]);
+/// let cols = axis::sum_axis(&t, 0)?;
+/// assert_eq!(cols.as_slice(), &[4.0, 6.0]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn sum_axis(t: &Tensor, axis: usize) -> Result<Tensor> {
+    check_axis("sum_axis", t, axis)?;
+    let (outer, axis_len, inner) = axis_geometry(t, axis);
+    let tv = t.as_slice();
+    let mut out = vec![0.0f32; outer * inner];
+    for o in 0..outer {
+        for a in 0..axis_len {
+            let base = (o * axis_len + a) * inner;
+            let dst = &mut out[o * inner..(o + 1) * inner];
+            for (d, &v) in dst.iter_mut().zip(&tv[base..base + inner]) {
+                *d += v;
+            }
+        }
+    }
+    Tensor::from_vec(out, &reduced_dims(t, axis))
+}
+
+/// Means over one axis, removing it.
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] if `axis` is out of range or
+/// [`TensorError::EmptyShape`] if the axis has zero length.
+pub fn mean_axis(t: &Tensor, axis: usize) -> Result<Tensor> {
+    check_axis("mean_axis", t, axis)?;
+    let len = t.dims()[axis];
+    if len == 0 {
+        return Err(TensorError::EmptyShape);
+    }
+    let mut out = sum_axis(t, axis)?;
+    out.scale_mut(1.0 / len as f32);
+    Ok(out)
+}
+
+/// Maxima over one axis, removing it.
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] if `axis` is out of range or
+/// [`TensorError::EmptyShape`] if the axis has zero length.
+pub fn max_axis(t: &Tensor, axis: usize) -> Result<Tensor> {
+    check_axis("max_axis", t, axis)?;
+    let (outer, axis_len, inner) = axis_geometry(t, axis);
+    if axis_len == 0 {
+        return Err(TensorError::EmptyShape);
+    }
+    let tv = t.as_slice();
+    let mut out = vec![f32::NEG_INFINITY; outer * inner];
+    for o in 0..outer {
+        for a in 0..axis_len {
+            let base = (o * axis_len + a) * inner;
+            let dst = &mut out[o * inner..(o + 1) * inner];
+            for (d, &v) in dst.iter_mut().zip(&tv[base..base + inner]) {
+                *d = d.max(v);
+            }
+        }
+    }
+    Tensor::from_vec(out, &reduced_dims(t, axis))
+}
+
+/// Argmax over one axis, removing it; ties resolve to the lowest index.
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] if `axis` is out of range or
+/// [`TensorError::EmptyShape`] if the axis has zero length.
+pub fn argmax_axis(t: &Tensor, axis: usize) -> Result<Vec<usize>> {
+    check_axis("argmax_axis", t, axis)?;
+    let (outer, axis_len, inner) = axis_geometry(t, axis);
+    if axis_len == 0 {
+        return Err(TensorError::EmptyShape);
+    }
+    let tv = t.as_slice();
+    let mut out = vec![0usize; outer * inner];
+    let mut best = vec![f32::NEG_INFINITY; outer * inner];
+    for o in 0..outer {
+        for a in 0..axis_len {
+            let base = (o * axis_len + a) * inner;
+            for i in 0..inner {
+                let v = tv[base + i];
+                let slot = o * inner + i;
+                if v > best[slot] {
+                    best[slot] = v;
+                    out[slot] = a;
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Adds a rank-1 tensor along `axis`, broadcasting it over every other
+/// dimension (e.g. a per-channel bias over `[N, C, H, W]` with
+/// `axis = 1`).
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] for a bad axis or
+/// [`TensorError::ShapeMismatch`] if `v.len()` differs from the axis
+/// length.
+pub fn broadcast_add(t: &Tensor, v: &Tensor, axis: usize) -> Result<Tensor> {
+    check_axis("broadcast_add", t, axis)?;
+    let (outer, axis_len, inner) = axis_geometry(t, axis);
+    if v.len() != axis_len {
+        return Err(TensorError::ShapeMismatch {
+            op: "broadcast_add",
+            lhs: t.dims().to_vec(),
+            rhs: v.dims().to_vec(),
+        });
+    }
+    let mut out = t.clone();
+    let ov = out.as_mut_slice();
+    let vv = v.as_slice();
+    for o in 0..outer {
+        for (a, &add) in vv.iter().enumerate() {
+            let base = (o * axis_len + a) * inner;
+            for x in &mut ov[base..base + inner] {
+                *x += add;
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t234() -> Tensor {
+        Tensor::from_vec((0..24).map(|i| i as f32).collect(), &[2, 3, 4]).unwrap()
+    }
+
+    #[test]
+    fn sum_axis_each_dimension() {
+        let t = t234();
+        let s0 = sum_axis(&t, 0).unwrap();
+        assert_eq!(s0.dims(), &[3, 4]);
+        assert_eq!(s0.as_slice()[0], 0.0 + 12.0);
+        let s1 = sum_axis(&t, 1).unwrap();
+        assert_eq!(s1.dims(), &[2, 4]);
+        assert_eq!(s1.as_slice()[0], 0.0 + 4.0 + 8.0);
+        let s2 = sum_axis(&t, 2).unwrap();
+        assert_eq!(s2.dims(), &[2, 3]);
+        assert_eq!(s2.as_slice()[0], 0.0 + 1.0 + 2.0 + 3.0);
+        // Total is preserved by every axis reduction.
+        assert_eq!(s0.sum(), t.sum());
+        assert_eq!(s1.sum(), t.sum());
+        assert_eq!(s2.sum(), t.sum());
+    }
+
+    #[test]
+    fn mean_axis_divides() {
+        let t = t234();
+        let m = mean_axis(&t, 1).unwrap();
+        assert_eq!(m.as_slice()[0], 4.0);
+    }
+
+    #[test]
+    fn max_and_argmax_axis() {
+        let t = Tensor::from_vec(vec![1.0, 9.0, 5.0, 3.0, 7.0, 2.0], &[2, 3]).unwrap();
+        let m = max_axis(&t, 1).unwrap();
+        assert_eq!(m.as_slice(), &[9.0, 7.0]);
+        assert_eq!(argmax_axis(&t, 1).unwrap(), vec![1, 1]);
+        let m0 = max_axis(&t, 0).unwrap();
+        assert_eq!(m0.as_slice(), &[3.0, 9.0, 5.0]);
+        assert_eq!(argmax_axis(&t, 0).unwrap(), vec![1, 0, 0]);
+    }
+
+    #[test]
+    fn rank1_reduction_gives_scalar_like() {
+        let t = Tensor::from_slice(&[1.0, 2.0, 3.0]);
+        let s = sum_axis(&t, 0).unwrap();
+        assert_eq!(s.dims(), &[1]);
+        assert_eq!(s.as_slice(), &[6.0]);
+    }
+
+    #[test]
+    fn broadcast_add_per_channel() {
+        let t = Tensor::zeros(&[2, 3, 2]);
+        let bias = Tensor::from_slice(&[1.0, 2.0, 3.0]);
+        let out = broadcast_add(&t, &bias, 1).unwrap();
+        assert_eq!(out.at(&[0, 0, 0]), 1.0);
+        assert_eq!(out.at(&[1, 2, 1]), 3.0);
+        assert_eq!(out.sum(), 2.0 * 2.0 * (1.0 + 2.0 + 3.0));
+    }
+
+    #[test]
+    fn errors_on_bad_axis_or_shape() {
+        let t = t234();
+        assert!(sum_axis(&t, 3).is_err());
+        assert!(mean_axis(&t, 9).is_err());
+        assert!(broadcast_add(&t, &Tensor::from_slice(&[1.0]), 1).is_err());
+    }
+}

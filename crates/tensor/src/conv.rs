@@ -1,0 +1,656 @@
+//! 2-D convolution and pooling kernels with full backward passes.
+//!
+//! Layout convention is `NCHW` for activations and `OIHW` for convolution
+//! weights, matching the layer definitions in `qce-nn`. The convolution is
+//! implemented with an explicit im2col lowering followed by
+//! [`matmul`](crate::linalg::matmul), and the backward pass reverses the
+//! lowering with a col2im scatter-add — the textbook formulation, easy to
+//! verify against finite differences (see the crate's property tests).
+
+use crate::{linalg, Result, Tensor, TensorError};
+
+/// Stride/padding geometry of a convolution or pooling window.
+///
+/// # Examples
+///
+/// ```
+/// use qce_tensor::conv::ConvGeometry;
+///
+/// let g = ConvGeometry::new(1, 1);
+/// assert_eq!(g.output_extent(32, 3).unwrap(), 32); // "same" conv for 3x3
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ConvGeometry {
+    /// Window step, identical in both spatial dimensions.
+    pub stride: usize,
+    /// Zero padding added to every spatial border.
+    pub padding: usize,
+}
+
+impl ConvGeometry {
+    /// Creates a geometry from stride and padding.
+    pub fn new(stride: usize, padding: usize) -> Self {
+        ConvGeometry { stride, padding }
+    }
+
+    /// Unit-stride, zero-padding geometry.
+    pub fn unit() -> Self {
+        ConvGeometry {
+            stride: 1,
+            padding: 0,
+        }
+    }
+
+    /// Output extent along one spatial dimension for input extent `n` and
+    /// kernel extent `k`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidGeometry`] if the stride is zero or
+    /// the kernel does not fit in the padded input.
+    pub fn output_extent(&self, n: usize, k: usize) -> Result<usize> {
+        if self.stride == 0 {
+            return Err(TensorError::InvalidGeometry {
+                reason: "stride must be non-zero".to_string(),
+            });
+        }
+        let padded = n + 2 * self.padding;
+        if k == 0 || k > padded {
+            return Err(TensorError::InvalidGeometry {
+                reason: format!("kernel extent {k} does not fit padded input {padded}"),
+            });
+        }
+        Ok((padded - k) / self.stride + 1)
+    }
+}
+
+impl Default for ConvGeometry {
+    fn default() -> Self {
+        ConvGeometry::unit()
+    }
+}
+
+fn check_rank4(op: &'static str, t: &Tensor) -> Result<()> {
+    if t.shape().rank() != 4 {
+        return Err(TensorError::RankMismatch {
+            op,
+            expected: 4,
+            actual: t.shape().rank(),
+        });
+    }
+    Ok(())
+}
+
+/// Lowers one `[C, H, W]` image (given as a flat slice) into an im2col
+/// matrix of shape `[C*kh*kw, ho*wo]`, stored row-major into `col`.
+#[allow(clippy::too_many_arguments)]
+fn im2col(
+    img: &[f32],
+    c: usize,
+    h: usize,
+    w: usize,
+    kh: usize,
+    kw: usize,
+    geom: ConvGeometry,
+    ho: usize,
+    wo: usize,
+    col: &mut [f32],
+) {
+    let pad = geom.padding as isize;
+    let stride = geom.stride;
+    debug_assert_eq!(col.len(), c * kh * kw * ho * wo);
+    let mut row = 0usize;
+    for ch in 0..c {
+        let img_ch = &img[ch * h * w..(ch + 1) * h * w];
+        for ky in 0..kh {
+            for kx in 0..kw {
+                let out_row = &mut col[row * ho * wo..(row + 1) * ho * wo];
+                let mut idx = 0usize;
+                for oy in 0..ho {
+                    let iy = (oy * stride) as isize + ky as isize - pad;
+                    for ox in 0..wo {
+                        let ix = (ox * stride) as isize + kx as isize - pad;
+                        out_row[idx] = if iy >= 0 && iy < h as isize && ix >= 0 && ix < w as isize
+                        {
+                            img_ch[iy as usize * w + ix as usize]
+                        } else {
+                            0.0
+                        };
+                        idx += 1;
+                    }
+                }
+                row += 1;
+            }
+        }
+    }
+}
+
+/// Reverses [`im2col`]: scatter-adds a `[C*kh*kw, ho*wo]` column matrix back
+/// into a `[C, H, W]` image buffer.
+#[allow(clippy::too_many_arguments)]
+fn col2im(
+    col: &[f32],
+    c: usize,
+    h: usize,
+    w: usize,
+    kh: usize,
+    kw: usize,
+    geom: ConvGeometry,
+    ho: usize,
+    wo: usize,
+    img: &mut [f32],
+) {
+    let pad = geom.padding as isize;
+    let stride = geom.stride;
+    let mut row = 0usize;
+    for ch in 0..c {
+        let img_ch = &mut img[ch * h * w..(ch + 1) * h * w];
+        for ky in 0..kh {
+            for kx in 0..kw {
+                let in_row = &col[row * ho * wo..(row + 1) * ho * wo];
+                let mut idx = 0usize;
+                for oy in 0..ho {
+                    let iy = (oy * stride) as isize + ky as isize - pad;
+                    for ox in 0..wo {
+                        let ix = (ox * stride) as isize + kx as isize - pad;
+                        if iy >= 0 && iy < h as isize && ix >= 0 && ix < w as isize {
+                            img_ch[iy as usize * w + ix as usize] += in_row[idx];
+                        }
+                        idx += 1;
+                    }
+                }
+                row += 1;
+            }
+        }
+    }
+}
+
+/// 2-D convolution forward pass.
+///
+/// `input` is `[N, C, H, W]`, `weight` is `[O, C, kh, kw]`, optional `bias`
+/// is `[O]`; the result is `[N, O, Ho, Wo]`.
+///
+/// # Errors
+///
+/// Returns an error if ranks, channel counts, bias length or geometry are
+/// inconsistent.
+///
+/// # Examples
+///
+/// ```
+/// use qce_tensor::conv::{conv2d, ConvGeometry};
+/// use qce_tensor::Tensor;
+///
+/// # fn main() -> Result<(), qce_tensor::TensorError> {
+/// let input = Tensor::ones(&[1, 1, 4, 4]);
+/// let weight = Tensor::ones(&[1, 1, 3, 3]);
+/// let out = conv2d(&input, &weight, None, ConvGeometry::new(1, 1))?;
+/// assert_eq!(out.dims(), &[1, 1, 4, 4]);
+/// assert_eq!(out.at(&[0, 0, 1, 1]), 9.0); // fully covered window
+/// # Ok(())
+/// # }
+/// ```
+pub fn conv2d(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: Option<&Tensor>,
+    geom: ConvGeometry,
+) -> Result<Tensor> {
+    check_rank4("conv2d input", input)?;
+    check_rank4("conv2d weight", weight)?;
+    let (n, c, h, w) = dims4(input);
+    let (o, ci, kh, kw) = dims4(weight);
+    if c != ci {
+        return Err(TensorError::ShapeMismatch {
+            op: "conv2d",
+            lhs: input.dims().to_vec(),
+            rhs: weight.dims().to_vec(),
+        });
+    }
+    if let Some(b) = bias {
+        if b.len() != o {
+            return Err(TensorError::ShapeMismatch {
+                op: "conv2d bias",
+                lhs: vec![o],
+                rhs: b.dims().to_vec(),
+            });
+        }
+    }
+    let ho = geom.output_extent(h, kh)?;
+    let wo = geom.output_extent(w, kw)?;
+
+    let wmat = weight.reshape(&[o, c * kh * kw])?;
+    let mut out = vec![0.0f32; n * o * ho * wo];
+    let mut col = vec![0.0f32; c * kh * kw * ho * wo];
+    for s in 0..n {
+        let img = &input.as_slice()[s * c * h * w..(s + 1) * c * h * w];
+        im2col(img, c, h, w, kh, kw, geom, ho, wo, &mut col);
+        let col_t = Tensor::from_vec(col.clone(), &[c * kh * kw, ho * wo])?;
+        let res = linalg::matmul(&wmat, &col_t)?;
+        let dst = &mut out[s * o * ho * wo..(s + 1) * o * ho * wo];
+        dst.copy_from_slice(res.as_slice());
+        if let Some(b) = bias {
+            for (oc, &bv) in b.as_slice().iter().enumerate() {
+                for v in &mut dst[oc * ho * wo..(oc + 1) * ho * wo] {
+                    *v += bv;
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out, &[n, o, ho, wo])
+}
+
+/// Gradients produced by [`conv2d_backward`].
+#[derive(Debug, Clone)]
+pub struct Conv2dGrads {
+    /// Gradient w.r.t. the input, `[N, C, H, W]`.
+    pub input: Tensor,
+    /// Gradient w.r.t. the weight, `[O, C, kh, kw]`.
+    pub weight: Tensor,
+    /// Gradient w.r.t. the bias, `[O]`.
+    pub bias: Tensor,
+}
+
+/// 2-D convolution backward pass.
+///
+/// Given the forward operands and the gradient of the loss w.r.t. the
+/// convolution output, computes gradients w.r.t. input, weight and bias.
+///
+/// # Errors
+///
+/// Returns an error if shapes are inconsistent with a forward call of the
+/// same geometry.
+pub fn conv2d_backward(
+    input: &Tensor,
+    weight: &Tensor,
+    grad_out: &Tensor,
+    geom: ConvGeometry,
+) -> Result<Conv2dGrads> {
+    check_rank4("conv2d_backward input", input)?;
+    check_rank4("conv2d_backward weight", weight)?;
+    check_rank4("conv2d_backward grad", grad_out)?;
+    let (n, c, h, w) = dims4(input);
+    let (o, _ci, kh, kw) = dims4(weight);
+    let ho = geom.output_extent(h, kh)?;
+    let wo = geom.output_extent(w, kw)?;
+    if grad_out.dims() != [n, o, ho, wo] {
+        return Err(TensorError::ShapeMismatch {
+            op: "conv2d_backward",
+            lhs: vec![n, o, ho, wo],
+            rhs: grad_out.dims().to_vec(),
+        });
+    }
+
+    let wmat = weight.reshape(&[o, c * kh * kw])?;
+    let wmat_t = linalg::transpose(&wmat)?;
+    let mut grad_w = Tensor::zeros(&[o, c * kh * kw]);
+    let mut grad_b = Tensor::zeros(&[o]);
+    let mut grad_in = vec![0.0f32; n * c * h * w];
+    let mut col = vec![0.0f32; c * kh * kw * ho * wo];
+
+    for s in 0..n {
+        let img = &input.as_slice()[s * c * h * w..(s + 1) * c * h * w];
+        im2col(img, c, h, w, kh, kw, geom, ho, wo, &mut col);
+        let col_t = Tensor::from_vec(col.clone(), &[c * kh * kw, ho * wo])?;
+        let g = Tensor::from_vec(
+            grad_out.as_slice()[s * o * ho * wo..(s + 1) * o * ho * wo].to_vec(),
+            &[o, ho * wo],
+        )?;
+        // dW += g . col^T
+        let col_tt = linalg::transpose(&col_t)?;
+        let dw = linalg::matmul(&g, &col_tt)?;
+        grad_w.axpy(1.0, &dw)?;
+        // db += row sums of g
+        for (oc, gb) in grad_b.as_mut_slice().iter_mut().enumerate() {
+            *gb += g.as_slice()[oc * ho * wo..(oc + 1) * ho * wo]
+                .iter()
+                .sum::<f32>();
+        }
+        // dInput via col2im(W^T . g)
+        let dcol = linalg::matmul(&wmat_t, &g)?;
+        col2im(
+            dcol.as_slice(),
+            c,
+            h,
+            w,
+            kh,
+            kw,
+            geom,
+            ho,
+            wo,
+            &mut grad_in[s * c * h * w..(s + 1) * c * h * w],
+        );
+    }
+
+    Ok(Conv2dGrads {
+        input: Tensor::from_vec(grad_in, &[n, c, h, w])?,
+        weight: grad_w.reshape(&[o, c, kh, kw])?,
+        bias: grad_b,
+    })
+}
+
+/// Output of [`max_pool2d`]: the pooled tensor plus the linear index (into
+/// the flattened input) of every selected maximum, which
+/// [`max_pool2d_backward`] uses to route gradients.
+#[derive(Debug, Clone)]
+pub struct MaxPoolOutput {
+    /// Pooled activations, `[N, C, Ho, Wo]`.
+    pub output: Tensor,
+    /// For each output element, the flat input index of its source maximum.
+    pub argmax: Vec<usize>,
+}
+
+/// 2-D max pooling with a square `k`×`k` window.
+///
+/// # Errors
+///
+/// Returns an error for non-rank-4 inputs or infeasible geometry.
+pub fn max_pool2d(input: &Tensor, k: usize, geom: ConvGeometry) -> Result<MaxPoolOutput> {
+    check_rank4("max_pool2d", input)?;
+    let (n, c, h, w) = dims4(input);
+    let ho = geom.output_extent(h, k)?;
+    let wo = geom.output_extent(w, k)?;
+    let pad = geom.padding as isize;
+    let iv = input.as_slice();
+    let mut out = vec![0.0f32; n * c * ho * wo];
+    let mut argmax = vec![0usize; n * c * ho * wo];
+    for s in 0..n {
+        for ch in 0..c {
+            let base = (s * c + ch) * h * w;
+            for oy in 0..ho {
+                for ox in 0..wo {
+                    let mut best = f32::NEG_INFINITY;
+                    let mut best_idx = base;
+                    for ky in 0..k {
+                        let iy = (oy * geom.stride) as isize + ky as isize - pad;
+                        if iy < 0 || iy >= h as isize {
+                            continue;
+                        }
+                        for kx in 0..k {
+                            let ix = (ox * geom.stride) as isize + kx as isize - pad;
+                            if ix < 0 || ix >= w as isize {
+                                continue;
+                            }
+                            let idx = base + iy as usize * w + ix as usize;
+                            if iv[idx] > best {
+                                best = iv[idx];
+                                best_idx = idx;
+                            }
+                        }
+                    }
+                    let o_idx = ((s * c + ch) * ho + oy) * wo + ox;
+                    out[o_idx] = best;
+                    argmax[o_idx] = best_idx;
+                }
+            }
+        }
+    }
+    Ok(MaxPoolOutput {
+        output: Tensor::from_vec(out, &[n, c, ho, wo])?,
+        argmax,
+    })
+}
+
+/// Backward pass of [`max_pool2d`]: routes each output gradient to the
+/// input position that produced the maximum.
+///
+/// # Errors
+///
+/// Returns an error if `grad_out` volume disagrees with `argmax` length.
+pub fn max_pool2d_backward(
+    grad_out: &Tensor,
+    argmax: &[usize],
+    input_dims: &[usize],
+) -> Result<Tensor> {
+    if grad_out.len() != argmax.len() {
+        return Err(TensorError::LengthMismatch {
+            expected: argmax.len(),
+            actual: grad_out.len(),
+        });
+    }
+    let mut grad_in = Tensor::zeros(input_dims);
+    let gi = grad_in.as_mut_slice();
+    for (&g, &idx) in grad_out.as_slice().iter().zip(argmax.iter()) {
+        gi[idx] += g;
+    }
+    Ok(grad_in)
+}
+
+/// Global average pooling: `[N, C, H, W] -> [N, C]`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] for non-rank-4 inputs.
+pub fn global_avg_pool(input: &Tensor) -> Result<Tensor> {
+    check_rank4("global_avg_pool", input)?;
+    let (n, c, h, w) = dims4(input);
+    let area = (h * w) as f32;
+    let iv = input.as_slice();
+    let mut out = vec![0.0f32; n * c];
+    for (i, o) in out.iter_mut().enumerate() {
+        *o = iv[i * h * w..(i + 1) * h * w].iter().sum::<f32>() / area;
+    }
+    Tensor::from_vec(out, &[n, c])
+}
+
+/// Backward pass of [`global_avg_pool`]: spreads each channel gradient
+/// uniformly over the spatial extent.
+///
+/// # Errors
+///
+/// Returns an error if `grad_out` is not `[N, C]` for the given input dims.
+pub fn global_avg_pool_backward(grad_out: &Tensor, input_dims: &[usize]) -> Result<Tensor> {
+    if input_dims.len() != 4 {
+        return Err(TensorError::RankMismatch {
+            op: "global_avg_pool_backward",
+            expected: 4,
+            actual: input_dims.len(),
+        });
+    }
+    let (n, c, h, w) = (input_dims[0], input_dims[1], input_dims[2], input_dims[3]);
+    if grad_out.dims() != [n, c] {
+        return Err(TensorError::ShapeMismatch {
+            op: "global_avg_pool_backward",
+            lhs: vec![n, c],
+            rhs: grad_out.dims().to_vec(),
+        });
+    }
+    let inv_area = 1.0 / (h * w) as f32;
+    let mut grad_in = vec![0.0f32; n * c * h * w];
+    for (i, &g) in grad_out.as_slice().iter().enumerate() {
+        let v = g * inv_area;
+        for x in &mut grad_in[i * h * w..(i + 1) * h * w] {
+            *x = v;
+        }
+    }
+    Tensor::from_vec(grad_in, input_dims)
+}
+
+fn dims4(t: &Tensor) -> (usize, usize, usize, usize) {
+    let d = t.dims();
+    (d[0], d[1], d[2], d[3])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Naive direct convolution used as the reference implementation.
+    fn naive_conv2d(
+        input: &Tensor,
+        weight: &Tensor,
+        bias: Option<&Tensor>,
+        geom: ConvGeometry,
+    ) -> Tensor {
+        let (n, c, h, w) = dims4(input);
+        let (o, _, kh, kw) = dims4(weight);
+        let ho = geom.output_extent(h, kh).unwrap();
+        let wo = geom.output_extent(w, kw).unwrap();
+        let mut out = Tensor::zeros(&[n, o, ho, wo]);
+        for s in 0..n {
+            for oc in 0..o {
+                for oy in 0..ho {
+                    for ox in 0..wo {
+                        let mut acc = bias.map_or(0.0, |b| b.as_slice()[oc]);
+                        for ch in 0..c {
+                            for ky in 0..kh {
+                                for kx in 0..kw {
+                                    let iy = (oy * geom.stride + ky) as isize
+                                        - geom.padding as isize;
+                                    let ix = (ox * geom.stride + kx) as isize
+                                        - geom.padding as isize;
+                                    if iy >= 0 && iy < h as isize && ix >= 0 && ix < w as isize {
+                                        acc += input.at(&[s, ch, iy as usize, ix as usize])
+                                            * weight.at(&[oc, ch, ky, kx]);
+                                    }
+                                }
+                            }
+                        }
+                        out.set(&[s, oc, oy, ox], acc);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn random_tensor(dims: &[usize], seed: u64) -> Tensor {
+        use rand::{RngExt, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let n: usize = dims.iter().product();
+        Tensor::from_vec((0..n).map(|_| rng.random_range(-1.0..1.0)).collect(), dims).unwrap()
+    }
+
+    #[test]
+    fn geometry_output_extent() {
+        let g = ConvGeometry::new(2, 1);
+        assert_eq!(g.output_extent(8, 3).unwrap(), 4);
+        assert!(ConvGeometry::new(0, 0).output_extent(8, 3).is_err());
+        assert!(ConvGeometry::new(1, 0).output_extent(2, 5).is_err());
+    }
+
+    #[test]
+    fn conv2d_matches_naive_various_geometries() {
+        for (stride, padding, seed) in [(1, 0, 1u64), (1, 1, 2), (2, 1, 3), (2, 0, 4)] {
+            let geom = ConvGeometry::new(stride, padding);
+            let input = random_tensor(&[2, 3, 7, 6], seed);
+            let weight = random_tensor(&[4, 3, 3, 3], seed + 100);
+            let bias = random_tensor(&[4], seed + 200);
+            let fast = conv2d(&input, &weight, Some(&bias), geom).unwrap();
+            let slow = naive_conv2d(&input, &weight, Some(&bias), geom);
+            assert_eq!(fast.dims(), slow.dims());
+            for (a, b) in fast.as_slice().iter().zip(slow.as_slice()) {
+                assert!((a - b).abs() < 1e-4, "stride={stride} pad={padding}");
+            }
+        }
+    }
+
+    #[test]
+    fn conv2d_rejects_channel_mismatch() {
+        let input = Tensor::zeros(&[1, 3, 4, 4]);
+        let weight = Tensor::zeros(&[2, 4, 3, 3]);
+        assert!(conv2d(&input, &weight, None, ConvGeometry::unit()).is_err());
+    }
+
+    #[test]
+    fn conv2d_backward_weight_matches_finite_difference() {
+        let geom = ConvGeometry::new(1, 1);
+        let input = random_tensor(&[1, 2, 5, 5], 11);
+        let mut weight = random_tensor(&[3, 2, 3, 3], 12);
+        let out = conv2d(&input, &weight, None, geom).unwrap();
+        // Loss = sum of outputs => grad_out = ones.
+        let grad_out = Tensor::ones(out.dims());
+        let grads = conv2d_backward(&input, &weight, &grad_out, geom).unwrap();
+        let eps = 1e-2;
+        for probe in [0usize, 7, 17, weight.len() - 1] {
+            let orig = weight.as_slice()[probe];
+            weight.as_mut_slice()[probe] = orig + eps;
+            let hi = conv2d(&input, &weight, None, geom).unwrap().sum();
+            weight.as_mut_slice()[probe] = orig - eps;
+            let lo = conv2d(&input, &weight, None, geom).unwrap().sum();
+            weight.as_mut_slice()[probe] = orig;
+            let fd = (hi - lo) / (2.0 * eps);
+            let an = grads.weight.as_slice()[probe];
+            assert!((fd - an).abs() < 1e-2, "probe {probe}: fd={fd} an={an}");
+        }
+    }
+
+    #[test]
+    fn conv2d_backward_input_matches_finite_difference() {
+        let geom = ConvGeometry::new(2, 1);
+        let mut input = random_tensor(&[1, 2, 6, 6], 21);
+        let weight = random_tensor(&[2, 2, 3, 3], 22);
+        let out = conv2d(&input, &weight, None, geom).unwrap();
+        let grad_out = Tensor::ones(out.dims());
+        let grads = conv2d_backward(&input, &weight, &grad_out, geom).unwrap();
+        let eps = 1e-2;
+        for probe in [0usize, 13, 40, input.len() - 1] {
+            let orig = input.as_slice()[probe];
+            input.as_mut_slice()[probe] = orig + eps;
+            let hi = conv2d(&input, &weight, None, geom).unwrap().sum();
+            input.as_mut_slice()[probe] = orig - eps;
+            let lo = conv2d(&input, &weight, None, geom).unwrap().sum();
+            input.as_mut_slice()[probe] = orig;
+            let fd = (hi - lo) / (2.0 * eps);
+            let an = grads.input.as_slice()[probe];
+            assert!((fd - an).abs() < 1e-2, "probe {probe}: fd={fd} an={an}");
+        }
+    }
+
+    #[test]
+    fn conv2d_backward_bias_is_grad_sum() {
+        let geom = ConvGeometry::unit();
+        let input = random_tensor(&[2, 1, 4, 4], 31);
+        let weight = random_tensor(&[2, 1, 2, 2], 32);
+        let out = conv2d(&input, &weight, None, geom).unwrap();
+        let grad_out = Tensor::ones(out.dims());
+        let grads = conv2d_backward(&input, &weight, &grad_out, geom).unwrap();
+        let per_channel = (out.len() / 2) as f32;
+        for &g in grads.bias.as_slice() {
+            assert!((g - per_channel).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn max_pool_selects_maxima_and_routes_gradients() {
+        let input = Tensor::from_vec(
+            vec![
+                1.0, 2.0, 5.0, 6.0, //
+                3.0, 4.0, 7.0, 8.0, //
+                -1.0, -2.0, 0.5, 0.25, //
+                -3.0, -4.0, 0.75, 0.125,
+            ],
+            &[1, 1, 4, 4],
+        )
+        .unwrap();
+        let pooled = max_pool2d(&input, 2, ConvGeometry::new(2, 0)).unwrap();
+        assert_eq!(pooled.output.as_slice(), &[4.0, 8.0, -1.0, 0.75]);
+        let grad_out = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 1, 2, 2]).unwrap();
+        let grad_in = max_pool2d_backward(&grad_out, &pooled.argmax, input.dims()).unwrap();
+        assert_eq!(grad_in.at(&[0, 0, 1, 1]), 1.0);
+        assert_eq!(grad_in.at(&[0, 0, 1, 3]), 2.0);
+        assert_eq!(grad_in.at(&[0, 0, 2, 0]), 3.0);
+        assert_eq!(grad_in.at(&[0, 0, 3, 2]), 4.0);
+        assert_eq!(grad_in.sum(), 10.0);
+    }
+
+    #[test]
+    fn global_avg_pool_round_trip() {
+        let input = random_tensor(&[2, 3, 4, 4], 41);
+        let out = global_avg_pool(&input).unwrap();
+        assert_eq!(out.dims(), &[2, 3]);
+        let manual: f32 = input.as_slice()[..16].iter().sum::<f32>() / 16.0;
+        assert!((out.as_slice()[0] - manual).abs() < 1e-5);
+
+        let grad = global_avg_pool_backward(&out, input.dims()).unwrap();
+        assert_eq!(grad.dims(), input.dims());
+        // Each spatial cell receives channel_grad / area.
+        assert!((grad.at(&[0, 0, 0, 0]) - out.as_slice()[0] / 16.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn pool_backward_length_checked() {
+        let grad_out = Tensor::zeros(&[1, 1, 2, 2]);
+        assert!(max_pool2d_backward(&grad_out, &[0, 1], &[1, 1, 4, 4]).is_err());
+    }
+}

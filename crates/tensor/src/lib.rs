@@ -1,0 +1,51 @@
+//! Minimal dense `f32` tensor library underpinning the `qce` workspace.
+//!
+//! This crate provides exactly the numerical substrate the DAC'20
+//! *quantized correlation encoding attack* reproduction needs:
+//!
+//! * [`Tensor`] — a contiguous, row-major, n-dimensional `f32` array with
+//!   elementwise arithmetic, reductions and reshaping.
+//! * [`linalg`] — 2-D matrix multiplication and transposition.
+//! * [`conv`] — im2col-based 2-D convolution and pooling with full
+//!   backward passes (the building blocks of `qce-nn` layers).
+//! * [`init`] — deterministic, seeded weight initializers (Kaiming,
+//!   Xavier, uniform) built on a Box–Muller normal sampler.
+//! * [`stats`] — scalar statistics (mean/std/histogram) shared by the
+//!   data-preprocessing and quantization stages of the attack flow.
+//!
+//! Everything is deterministic given explicit seeds; no threading, no
+//! SIMD intrinsics — clarity and reproducibility over raw speed.
+//!
+//! # Examples
+//!
+//! ```
+//! use qce_tensor::Tensor;
+//!
+//! # fn main() -> Result<(), qce_tensor::TensorError> {
+//! let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2])?;
+//! let b = Tensor::eye(2);
+//! let c = qce_tensor::linalg::matmul(&a, &b)?;
+//! assert_eq!(c.as_slice(), a.as_slice());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod shape;
+mod tensor;
+
+pub mod axis;
+pub mod conv;
+pub mod init;
+pub mod linalg;
+pub mod stats;
+
+pub use error::TensorError;
+pub use shape::Shape;
+pub use tensor::Tensor;
+
+/// Crate-wide result alias for fallible tensor operations.
+pub type Result<T> = std::result::Result<T, TensorError>;

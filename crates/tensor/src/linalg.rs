@@ -1,0 +1,233 @@
+//! Dense 2-D linear algebra: matrix multiplication and transposition.
+//!
+//! These are the inner kernels of the `qce-nn` fully-connected and
+//! im2col-convolution layers. The matmul uses a cache-friendly i-k-j loop
+//! order over contiguous rows; no unsafe, no SIMD intrinsics.
+
+use crate::{Result, Tensor, TensorError};
+
+/// Multiplies two rank-2 tensors: `[m, k] x [k, n] -> [m, n]`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] if either operand is not rank 2,
+/// or [`TensorError::ShapeMismatch`] if the inner dimensions disagree.
+///
+/// # Examples
+///
+/// ```
+/// use qce_tensor::{linalg, Tensor};
+///
+/// # fn main() -> Result<(), qce_tensor::TensorError> {
+/// let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2])?;
+/// let b = Tensor::from_vec(vec![5.0, 6.0, 7.0, 8.0], &[2, 2])?;
+/// let c = linalg::matmul(&a, &b)?;
+/// assert_eq!(c.as_slice(), &[19.0, 22.0, 43.0, 50.0]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    check_rank2("matmul", a)?;
+    check_rank2("matmul", b)?;
+    let (m, k) = (a.dims()[0], a.dims()[1]);
+    let (k2, n) = (b.dims()[0], b.dims()[1]);
+    if k != k2 {
+        return Err(TensorError::ShapeMismatch {
+            op: "matmul",
+            lhs: a.dims().to_vec(),
+            rhs: b.dims().to_vec(),
+        });
+    }
+    let av = a.as_slice();
+    let bv = b.as_slice();
+    let mut out = vec![0.0f32; m * n];
+    for i in 0..m {
+        let arow = &av[i * k..(i + 1) * k];
+        let orow = &mut out[i * n..(i + 1) * n];
+        for (p, &aip) in arow.iter().enumerate() {
+            if aip == 0.0 {
+                continue;
+            }
+            let brow = &bv[p * n..(p + 1) * n];
+            for (o, &bpn) in orow.iter_mut().zip(brow.iter()) {
+                *o += aip * bpn;
+            }
+        }
+    }
+    Tensor::from_vec(out, &[m, n])
+}
+
+/// Transposes a rank-2 tensor: `[m, n] -> [n, m]`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] if `a` is not rank 2.
+pub fn transpose(a: &Tensor) -> Result<Tensor> {
+    check_rank2("transpose", a)?;
+    let (m, n) = (a.dims()[0], a.dims()[1]);
+    let av = a.as_slice();
+    let mut out = vec![0.0f32; m * n];
+    for i in 0..m {
+        for j in 0..n {
+            out[j * m + i] = av[i * n + j];
+        }
+    }
+    Tensor::from_vec(out, &[n, m])
+}
+
+/// Matrix–vector product: `[m, k] x [k] -> [m]`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] or [`TensorError::ShapeMismatch`]
+/// on incompatible operands.
+pub fn matvec(a: &Tensor, x: &Tensor) -> Result<Tensor> {
+    check_rank2("matvec", a)?;
+    if x.shape().rank() != 1 {
+        return Err(TensorError::RankMismatch {
+            op: "matvec",
+            expected: 1,
+            actual: x.shape().rank(),
+        });
+    }
+    let (m, k) = (a.dims()[0], a.dims()[1]);
+    if k != x.len() {
+        return Err(TensorError::ShapeMismatch {
+            op: "matvec",
+            lhs: a.dims().to_vec(),
+            rhs: x.dims().to_vec(),
+        });
+    }
+    let av = a.as_slice();
+    let xv = x.as_slice();
+    let mut out = vec![0.0f32; m];
+    for (i, o) in out.iter_mut().enumerate() {
+        let row = &av[i * k..(i + 1) * k];
+        *o = row.iter().zip(xv.iter()).map(|(&p, &q)| p * q).sum();
+    }
+    Tensor::from_vec(out, &[m])
+}
+
+/// Dot product of two rank-1 tensors.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if the lengths differ.
+pub fn dot(a: &Tensor, b: &Tensor) -> Result<f32> {
+    if a.len() != b.len() {
+        return Err(TensorError::ShapeMismatch {
+            op: "dot",
+            lhs: a.dims().to_vec(),
+            rhs: b.dims().to_vec(),
+        });
+    }
+    Ok(a.as_slice()
+        .iter()
+        .zip(b.as_slice().iter())
+        .map(|(&p, &q)| p * q)
+        .sum())
+}
+
+fn check_rank2(op: &'static str, t: &Tensor) -> Result<()> {
+    if t.shape().rank() != 2 {
+        return Err(TensorError::RankMismatch {
+            op,
+            expected: 2,
+            actual: t.shape().rank(),
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_matmul(a: &Tensor, b: &Tensor) -> Tensor {
+        let (m, k) = (a.dims()[0], a.dims()[1]);
+        let n = b.dims()[1];
+        let mut out = Tensor::zeros(&[m, n]);
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0;
+                for p in 0..k {
+                    acc += a.at(&[i, p]) * b.at(&[p, j]);
+                }
+                out.set(&[i, j], acc);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn matmul_small_known() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]).unwrap();
+        let b = Tensor::from_vec(vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0], &[3, 2]).unwrap();
+        let c = matmul(&a, &b).unwrap();
+        assert_eq!(c.dims(), &[2, 2]);
+        assert_eq!(c.as_slice(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_matches_naive() {
+        use rand::{RngExt, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let a = Tensor::from_vec(
+            (0..12 * 5).map(|_| rng.random_range(-1.0..1.0)).collect(),
+            &[12, 5],
+        )
+        .unwrap();
+        let b = Tensor::from_vec(
+            (0..5 * 9).map(|_| rng.random_range(-1.0..1.0)).collect(),
+            &[5, 9],
+        )
+        .unwrap();
+        let fast = matmul(&a, &b).unwrap();
+        let slow = naive_matmul(&a, &b);
+        for (x, y) in fast.as_slice().iter().zip(slow.as_slice()) {
+            assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap();
+        let c = matmul(&a, &Tensor::eye(2)).unwrap();
+        assert_eq!(c.as_slice(), a.as_slice());
+    }
+
+    #[test]
+    fn matmul_rejects_bad_shapes() {
+        let a = Tensor::zeros(&[2, 3]);
+        let b = Tensor::zeros(&[4, 2]);
+        assert!(matches!(
+            matmul(&a, &b),
+            Err(TensorError::ShapeMismatch { .. })
+        ));
+        let v = Tensor::zeros(&[3]);
+        assert!(matches!(
+            matmul(&a, &v),
+            Err(TensorError::RankMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]).unwrap();
+        let t = transpose(&a).unwrap();
+        assert_eq!(t.dims(), &[3, 2]);
+        assert_eq!(t.at(&[2, 1]), a.at(&[1, 2]));
+        let tt = transpose(&t).unwrap();
+        assert_eq!(tt, a);
+    }
+
+    #[test]
+    fn matvec_and_dot() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap();
+        let x = Tensor::from_slice(&[1.0, -1.0]);
+        let y = matvec(&a, &x).unwrap();
+        assert_eq!(y.as_slice(), &[-1.0, -1.0]);
+        assert_eq!(dot(&x, &x).unwrap(), 2.0);
+        assert!(dot(&x, &Tensor::zeros(&[3])).is_err());
+    }
+}

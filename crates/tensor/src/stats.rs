@@ -1,0 +1,252 @@
+//! Scalar statistics over `f32` slices.
+//!
+//! These helpers are shared by the data-preprocessing stage (per-image
+//! pixel standard deviation, §IV-A of the paper), the correlation
+//! regularizer (means and centered norms), and the quantizers (histograms
+//! of targets and weights).
+
+/// Arithmetic mean of a slice (0 for an empty slice).
+pub fn mean(xs: &[f32]) -> f32 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f32>() / xs.len() as f32
+    }
+}
+
+/// Population variance of a slice (0 for an empty slice).
+pub fn variance(xs: &[f32]) -> f32 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|&x| (x - m).powi(2)).sum::<f32>() / xs.len() as f32
+}
+
+/// Population standard deviation of a slice.
+pub fn std_dev(xs: &[f32]) -> f32 {
+    variance(xs).sqrt()
+}
+
+/// Pearson correlation coefficient between two equal-length slices.
+///
+/// Returns 0 when either slice is constant (zero variance) or empty, which
+/// is the convention the correlation-encoding attack needs: a constant
+/// weight vector carries no data.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn pearson(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "pearson requires equal lengths");
+    if a.is_empty() {
+        return 0.0;
+    }
+    let (ma, mb) = (mean(a), mean(b));
+    let mut cov = 0.0f64;
+    let (mut va, mut vb) = (0.0f64, 0.0f64);
+    for (&x, &y) in a.iter().zip(b.iter()) {
+        let dx = (x - ma) as f64;
+        let dy = (y - mb) as f64;
+        cov += dx * dy;
+        va += dx * dx;
+        vb += dy * dy;
+    }
+    if va == 0.0 || vb == 0.0 {
+        return 0.0;
+    }
+    (cov / (va.sqrt() * vb.sqrt())) as f32
+}
+
+/// A fixed-bin histogram over a closed value range.
+///
+/// # Examples
+///
+/// ```
+/// use qce_tensor::stats::Histogram;
+///
+/// let h = Histogram::from_values(&[0.0, 0.4, 0.9, 1.0], 2, 0.0, 1.0);
+/// assert_eq!(h.counts(), &[2, 2]);
+/// assert_eq!(h.total(), 4);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    lo: f32,
+    hi: f32,
+}
+
+impl Histogram {
+    /// Builds a histogram of `values` with `bins` equal-width bins covering
+    /// `[lo, hi]`. Values outside the range are clamped into the edge bins;
+    /// the top edge value falls into the last bin.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins == 0` or `lo >= hi`.
+    pub fn from_values(values: &[f32], bins: usize, lo: f32, hi: f32) -> Self {
+        assert!(bins > 0, "histogram requires at least one bin");
+        assert!(lo < hi, "histogram requires lo < hi, got [{lo}, {hi}]");
+        let mut counts = vec![0u64; bins];
+        let width = (hi - lo) / bins as f32;
+        for &v in values {
+            let idx = (((v - lo) / width) as isize).clamp(0, bins as isize - 1) as usize;
+            counts[idx] += 1;
+        }
+        Histogram { counts, lo, hi }
+    }
+
+    /// Per-bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Number of bins.
+    pub fn bins(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Total number of counted values.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// The inclusive lower edge of the histogram range.
+    pub fn lo(&self) -> f32 {
+        self.lo
+    }
+
+    /// The inclusive upper edge of the histogram range.
+    pub fn hi(&self) -> f32 {
+        self.hi
+    }
+
+    /// Normalized bin probabilities (all zeros if the histogram is empty).
+    pub fn probabilities(&self) -> Vec<f64> {
+        let total = self.total();
+        if total == 0 {
+            return vec![0.0; self.counts.len()];
+        }
+        self.counts
+            .iter()
+            .map(|&c| c as f64 / total as f64)
+            .collect()
+    }
+
+    /// Center value of bin `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= bins()`.
+    pub fn bin_center(&self, i: usize) -> f32 {
+        assert!(i < self.counts.len());
+        let width = (self.hi - self.lo) / self.counts.len() as f32;
+        self.lo + width * (i as f32 + 0.5)
+    }
+}
+
+/// Returns `(min, max)` of a slice, or `None` when empty.
+pub fn min_max(xs: &[f32]) -> Option<(f32, f32)> {
+    if xs.is_empty() {
+        return None;
+    }
+    let mut lo = xs[0];
+    let mut hi = xs[0];
+    for &x in &xs[1..] {
+        lo = lo.min(x);
+        hi = hi.max(x);
+    }
+    Some((lo, hi))
+}
+
+/// The `q`-th quantile (0 ≤ q ≤ 1) of a slice by linear interpolation on the
+/// sorted copy. Returns `None` for empty input.
+///
+/// # Panics
+///
+/// Panics if `q` is outside `[0, 1]`.
+pub fn quantile(xs: &[f32], q: f32) -> Option<f32> {
+    assert!((0.0..=1.0).contains(&q), "quantile requires q in [0,1]");
+    if xs.is_empty() {
+        return None;
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(f32::total_cmp);
+    let pos = q * (sorted.len() - 1) as f32;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f32;
+    Some(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_variance_std() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert_eq!(mean(&xs), 5.0);
+        assert_eq!(variance(&xs), 4.0);
+        assert_eq!(std_dev(&xs), 2.0);
+    }
+
+    #[test]
+    fn empty_slices() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(variance(&[]), 0.0);
+        assert_eq!(pearson(&[], &[]), 0.0);
+        assert_eq!(min_max(&[]), None);
+        assert_eq!(quantile(&[], 0.5), None);
+    }
+
+    #[test]
+    fn pearson_perfect_correlation() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [10.0, 20.0, 30.0, 40.0];
+        assert!((pearson(&a, &b) - 1.0).abs() < 1e-6);
+        let c = [40.0, 30.0, 20.0, 10.0];
+        assert!((pearson(&a, &c) + 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn pearson_affine_invariance() {
+        let a = [0.3, -1.2, 2.4, 0.0, 1.0];
+        let b: Vec<f32> = a.iter().map(|&x| 3.0 * x - 7.0).collect();
+        assert!((pearson(&a, &b) - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn pearson_constant_input_is_zero() {
+        assert_eq!(pearson(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]), 0.0);
+    }
+
+    #[test]
+    fn histogram_counts_and_probabilities() {
+        let h = Histogram::from_values(&[0.0, 0.1, 0.6, 0.9, 1.0, 2.0, -5.0], 2, 0.0, 1.0);
+        // -5 clamps into bin 0, 2.0 and 1.0 into bin 1.
+        assert_eq!(h.counts(), &[3, 4]);
+        assert_eq!(h.total(), 7);
+        let p = h.probabilities();
+        assert!((p[0] - 3.0 / 7.0).abs() < 1e-12);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_bin_center() {
+        let h = Histogram::from_values(&[], 4, 0.0, 8.0);
+        assert_eq!(h.bin_center(0), 1.0);
+        assert_eq!(h.bin_center(3), 7.0);
+        assert_eq!(h.probabilities(), vec![0.0; 4]);
+    }
+
+    #[test]
+    fn min_max_and_quantile() {
+        let xs = [3.0, 1.0, 2.0, 5.0, 4.0];
+        assert_eq!(min_max(&xs), Some((1.0, 5.0)));
+        assert_eq!(quantile(&xs, 0.0), Some(1.0));
+        assert_eq!(quantile(&xs, 1.0), Some(5.0));
+        assert_eq!(quantile(&xs, 0.5), Some(3.0));
+        assert_eq!(quantile(&xs, 0.25), Some(2.0));
+    }
+}

@@ -1,0 +1,126 @@
+//! Property-based tests of the tensor substrate's invariants.
+
+use proptest::prelude::*;
+use qce_tensor::conv::{conv2d, ConvGeometry};
+use qce_tensor::{linalg, stats, Tensor};
+
+fn small_vec(max_len: usize) -> impl Strategy<Value = Vec<f32>> {
+    prop::collection::vec(-100.0f32..100.0, 1..max_len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn shape_offsets_are_a_bijection(dims in prop::collection::vec(1usize..5, 1..4)) {
+        let shape = qce_tensor::Shape::new(&dims);
+        let volume = shape.volume();
+        let mut seen = std::collections::HashSet::new();
+        let mut index = vec![0usize; dims.len()];
+        for _ in 0..volume {
+            let off = shape.offset(&index);
+            prop_assert!(off < volume);
+            prop_assert!(seen.insert(off));
+            // Odometer increment.
+            for d in (0..dims.len()).rev() {
+                index[d] += 1;
+                if index[d] < dims[d] {
+                    break;
+                }
+                index[d] = 0;
+            }
+        }
+        prop_assert_eq!(seen.len(), volume);
+    }
+
+    #[test]
+    fn matmul_identity_is_identity(rows in 1usize..8, cols in 1usize..8, seed in 0u64..1000) {
+        let mut rng = qce_tensor::init::seeded_rng(seed);
+        let a = qce_tensor::init::uniform(&[rows, cols], -10.0, 10.0, &mut rng);
+        let c = linalg::matmul(&a, &Tensor::eye(cols)).unwrap();
+        prop_assert_eq!(c, a);
+    }
+
+    #[test]
+    fn matmul_distributes_over_addition(seed in 0u64..1000) {
+        let mut rng = qce_tensor::init::seeded_rng(seed);
+        let a = qce_tensor::init::uniform(&[4, 5], -2.0, 2.0, &mut rng);
+        let b = qce_tensor::init::uniform(&[5, 3], -2.0, 2.0, &mut rng);
+        let c = qce_tensor::init::uniform(&[5, 3], -2.0, 2.0, &mut rng);
+        let lhs = linalg::matmul(&a, &b.add(&c).unwrap()).unwrap();
+        let rhs = linalg::matmul(&a, &b).unwrap().add(&linalg::matmul(&a, &c).unwrap()).unwrap();
+        for (x, y) in lhs.as_slice().iter().zip(rhs.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn transpose_is_involution(rows in 1usize..10, cols in 1usize..10, seed in 0u64..1000) {
+        let mut rng = qce_tensor::init::seeded_rng(seed);
+        let a = qce_tensor::init::uniform(&[rows, cols], -5.0, 5.0, &mut rng);
+        let tt = linalg::transpose(&linalg::transpose(&a).unwrap()).unwrap();
+        prop_assert_eq!(tt, a);
+    }
+
+    #[test]
+    fn pearson_is_affine_invariant(xs in small_vec(64), scale in 0.1f32..10.0, shift in -50.0f32..50.0) {
+        prop_assume!(stats::std_dev(&xs) > 1e-3);
+        let ys: Vec<f32> = xs.iter().map(|&x| scale * x + shift).collect();
+        let rho = stats::pearson(&xs, &ys);
+        prop_assert!((rho - 1.0).abs() < 1e-3, "rho = {rho}");
+    }
+
+    #[test]
+    fn pearson_bounded(seed in 0u64..2000, n in 2usize..128) {
+        let mut rng = qce_tensor::init::seeded_rng(seed);
+        let a: Vec<f32> = (0..n).map(|_| qce_tensor::init::standard_normal(&mut rng)).collect();
+        let b: Vec<f32> = (0..n).map(|_| qce_tensor::init::standard_normal(&mut rng)).collect();
+        let rho = stats::pearson(&a, &b);
+        prop_assert!((-1.0001..=1.0001).contains(&rho));
+    }
+
+    #[test]
+    fn histogram_conserves_mass(xs in small_vec(200), bins in 1usize..32) {
+        let h = stats::Histogram::from_values(&xs, bins, -100.0, 100.0);
+        prop_assert_eq!(h.total() as usize, xs.len());
+        let p: f64 = h.probabilities().iter().sum();
+        prop_assert!((p - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantile_is_monotone_and_bounded(xs in small_vec(100), q1 in 0.0f32..1.0, q2 in 0.0f32..1.0) {
+        let (lo, hi) = (q1.min(q2), q1.max(q2));
+        let a = stats::quantile(&xs, lo).unwrap();
+        let b = stats::quantile(&xs, hi).unwrap();
+        prop_assert!(a <= b);
+        let (min, max) = stats::min_max(&xs).unwrap();
+        prop_assert!(a >= min && b <= max);
+    }
+
+    #[test]
+    fn conv_output_geometry_consistent(
+        h in 3usize..12, w in 3usize..12, k in 1usize..4,
+        stride in 1usize..3, padding in 0usize..2,
+    ) {
+        let geom = ConvGeometry::new(stride, padding);
+        prop_assume!(geom.output_extent(h, k).is_ok() && geom.output_extent(w, k).is_ok());
+        let input = Tensor::ones(&[1, 1, h, w]);
+        let weight = Tensor::ones(&[1, 1, k, k]);
+        let out = conv2d(&input, &weight, None, geom).unwrap();
+        prop_assert_eq!(out.dims()[2], geom.output_extent(h, k).unwrap());
+        prop_assert_eq!(out.dims()[3], geom.output_extent(w, k).unwrap());
+        // Every output value is the count of covered input cells, bounded
+        // by the kernel area.
+        for &v in out.as_slice() {
+            prop_assert!(v >= 0.0 && v <= (k * k) as f32 + 1e-5);
+        }
+    }
+
+    #[test]
+    fn tensor_add_commutes(xs in small_vec(64), seed in 0u64..100) {
+        let mut rng = qce_tensor::init::seeded_rng(seed);
+        let a = Tensor::from_slice(&xs);
+        let b = qce_tensor::init::uniform(&[xs.len()], -1.0, 1.0, &mut rng);
+        prop_assert_eq!(a.add(&b).unwrap(), b.add(&a).unwrap());
+    }
+}

@@ -1,0 +1,65 @@
+//! Quickstart: run the full quantized correlation encoding attack flow on
+//! a synthetic CIFAR-like dataset and print what the adversary recovers.
+//!
+//! ```text
+//! cargo run --release -p qce --example quickstart
+//! ```
+
+use qce::{AttackFlow, FlowConfig};
+use qce_data::SynthCifar;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The data holder's private dataset (synthetic stand-in for CIFAR-10).
+    let dataset = SynthCifar::new(16).generate(1200, 1)?;
+
+    // What an honest provider's algorithm would produce, for reference.
+    let benign = AttackFlow::new(FlowConfig {
+        grouping: qce::Grouping::Benign,
+        quant: None,
+        ..FlowConfig::small()
+    })
+    .run(&dataset)?;
+    println!(
+        "benign baseline accuracy: {:.2}%",
+        100.0 * benign.pre_quant.accuracy
+    );
+
+    // The "training algorithm" the malicious provider shipped: looks like
+    // preprocessing + regularized training + quantization with
+    // fine-tuning; actually encodes training images into the weights.
+    let config = FlowConfig::small();
+    println!(
+        "running attack flow: {:?} + {:?}",
+        config.grouping, config.quant
+    );
+
+    let outcome = AttackFlow::new(config).run(&dataset)?;
+
+    let pre = &outcome.pre_quant;
+    println!("\n=== float model (before quantization) ===");
+    println!("validation accuracy : {:.2}%", 100.0 * pre.accuracy);
+    println!("images encoded      : {}", pre.images.len());
+    println!("mean MAPE           : {:.2}", pre.mean_mape());
+    println!(
+        "recognized by model : {} ({:.1}%)",
+        pre.recognized_count(),
+        100.0 * pre.recognized_fraction()
+    );
+    println!("group correlations  : {:?}", pre.group_correlations);
+
+    if let Some(post) = &outcome.post_quant {
+        println!("\n=== released model ({}) ===", post.label);
+        println!("validation accuracy : {:.2}%", 100.0 * post.accuracy);
+        println!("mean MAPE           : {:.2}", post.mean_mape());
+        println!(
+            "recognized by model : {} ({:.1}%)",
+            post.recognized_count(),
+            100.0 * post.recognized_fraction()
+        );
+        println!(
+            "compression         : {:.2}x vs float32",
+            outcome.compression_ratio.unwrap_or(1.0)
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,94 @@
+//! The complete threat-model loop, with real release artifacts:
+//!
+//! 1. the data holder trains with the malicious algorithm and publishes
+//!    the quantized model as a *packed deployment file* (what an edge
+//!    device flashes);
+//! 2. the adversary — a separate code path that only sees that file and
+//!    knows the architecture — reconstructs the weights and decodes the
+//!    training images.
+//!
+//! ```text
+//! cargo run --release -p qce --example release_roundtrip
+//! ```
+
+use qce::{AttackFlow, BandRule, FlowConfig, Grouping, QuantConfig, QuantMethod};
+use qce_attack::{correlation::SignConvention, Decoder, EncodingLayout, GroupSpec};
+use qce_data::SynthCifar;
+use qce_metrics::mape;
+use qce_nn::models::ResNetLite;
+use qce_quant::deploy;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let dataset = SynthCifar::new(16).generate(1200, 1)?;
+    let config = FlowConfig {
+        grouping: Grouping::LayerWise([0.0, 0.0, 5.0]),
+        band: BandRule::Explicit { min: 50.0, max: 55.0 },
+        quant: None,
+        ..FlowConfig::small()
+    };
+
+    // --- victim side: train, quantize, publish -------------------------
+    let mut trained = AttackFlow::new(config.clone()).train(&dataset)?;
+    let qcfg = QuantConfig::new(QuantMethod::TargetCorrelated, 4);
+    trained.apply_quantized_state(qcfg)?;
+
+    // Re-derive the quantization handle from the released weights (the
+    // deployment is produced from the final quantized model).
+    let qnet = qce_quant::quantize_network(
+        trained.network_mut(),
+        &qce_quant::LinearQuantizer::new(16)?,
+    )?;
+    std::fs::create_dir_all("target/release_roundtrip")?;
+    let path = "target/release_roundtrip/model.qceq";
+    let mut file = std::fs::File::create(path)?;
+    deploy::write_deployment(&qnet, &mut file)?;
+    let float_bytes = trained.network().num_weights() * 4;
+    let file_bytes = std::fs::metadata(path)?.len();
+    println!(
+        "victim published {path}: {file_bytes} bytes ({:.1}x smaller than {float_bytes}-byte float weights)",
+        float_bytes as f64 / file_bytes as f64
+    );
+    // Keep the originals around only to score the adversary at the end.
+    let originals = trained.targets().to_vec();
+
+    // --- adversary side: file + architecture knowledge only ------------
+    // Rebuild the architecture shell (the adversary wrote the training
+    // code, so every hyper-parameter below is known to them).
+    let sample = dataset.image(0);
+    let mut shell = ResNetLite::builder()
+        .input(sample.channels(), sample.height())
+        .classes(dataset.classes())
+        .stage_channels(&config.stage_channels)
+        .blocks_per_stage(config.blocks_per_stage)
+        .build(0)?; // init is irrelevant; weights come from the file
+    let deployment = deploy::read_deployment(std::fs::File::open(path)?)?;
+    deployment.reapply(&mut shell)?;
+
+    // Re-derive the encoding layout. The adversary cannot see the victim's
+    // images, but the layout only needs the *geometry* and count of the
+    // targets, both fixed by the architecture and the shipped algorithm.
+    let total = shell.weight_slots().len();
+    let scale = config.lambda_scale;
+    let specs = GroupSpec::paper_thirds(total, [0.0, 0.0, 5.0 * scale]);
+    let placeholders: Vec<qce_data::Image> = (0..originals.len())
+        .map(|_| qce_data::Image::black(sample.channels(), sample.height(), sample.width()))
+        .collect::<Result<_, _>>()?;
+    let layout = EncodingLayout::plan(&shell, &specs, &placeholders)?;
+    let decoder = Decoder::new(layout, SignConvention::Positive);
+    let stolen = decoder.decode(&shell.flat_weights())?;
+
+    println!("adversary decoded {} images from the file", stolen.len());
+    let mean_mape: f32 = stolen
+        .iter()
+        .map(|d| mape(&originals[d.target_index], &d.image))
+        .sum::<f32>()
+        / stolen.len() as f32;
+    println!("mean MAPE vs the victim's private images: {mean_mape:.2}");
+    let strip: Vec<_> = stolen.iter().take(8).map(|d| d.image.clone()).collect();
+    qce_data::io::write_ppm(
+        &qce_data::io::tile_row(&strip)?,
+        "target/release_roundtrip/stolen.ppm",
+    )?;
+    println!("first 8 stolen images written to target/release_roundtrip/stolen.ppm");
+    Ok(())
+}

@@ -1,0 +1,303 @@
+//! End-to-end integration tests of the full attack flow across all
+//! workspace crates.
+
+use qce::{AttackFlow, BandRule, FlowConfig, Grouping, QuantConfig, QuantMethod};
+use qce_data::SynthCifar;
+
+fn data() -> qce_data::Dataset {
+    SynthCifar::new(8).classes(4).generate(240, 21).unwrap()
+}
+
+fn tiny(grouping: Grouping, band: BandRule, quant: Option<QuantConfig>) -> FlowConfig {
+    FlowConfig {
+        grouping,
+        band,
+        quant,
+        ..FlowConfig::tiny()
+    }
+}
+
+#[test]
+fn attack_flow_beats_noise_floor_and_keeps_accuracy() {
+    let dataset = data();
+    let benign = AttackFlow::new(tiny(Grouping::Benign, BandRule::FirstN, None))
+        .run(&dataset)
+        .unwrap();
+    let attacked = AttackFlow::new(tiny(Grouping::Uniform(5.0), BandRule::FirstN, None))
+        .run(&dataset)
+        .unwrap();
+
+    // The attack encodes data...
+    assert!(attacked.pre_quant.images.len() > 4);
+    // ...with far better quality than a random remap (MAPE ~85)...
+    assert!(
+        attacked.pre_quant.mean_mape() < 40.0,
+        "mape {}",
+        attacked.pre_quant.mean_mape()
+    );
+    // ...while accuracy stays in the same regime as benign training.
+    assert!(
+        attacked.pre_quant.accuracy > benign.pre_quant.accuracy - 0.35,
+        "benign {} vs attacked {}",
+        benign.pre_quant.accuracy,
+        attacked.pre_quant.accuracy
+    );
+}
+
+#[test]
+fn full_paper_flow_with_target_correlated_quantization() {
+    let dataset = data();
+    let out = AttackFlow::new(tiny(
+        Grouping::LayerWise([0.0, 0.0, 5.0]),
+        BandRule::Auto { width: 10.0 },
+        Some(QuantConfig::new(QuantMethod::TargetCorrelated, 4)),
+    ))
+    .run(&dataset)
+    .unwrap();
+
+    let post = out.post_quant.as_ref().unwrap();
+    assert!(!post.images.is_empty());
+    // Quantization to 16 levels should not destroy the encoding.
+    assert!(
+        post.mean_mape() < out.pre_quant.mean_mape() + 25.0,
+        "pre {} post {}",
+        out.pre_quant.mean_mape(),
+        post.mean_mape()
+    );
+    // Three groups are reported under the paper's grouping.
+    assert_eq!(post.group_correlations.len(), 3);
+    assert!(out.compression_ratio.unwrap() > 3.0);
+}
+
+#[test]
+fn layerwise_flow_encodes_only_late_groups() {
+    let dataset = data();
+    let out = AttackFlow::new(tiny(
+        Grouping::LayerWise([0.0, 0.0, 8.0]),
+        BandRule::FirstN,
+        None,
+    ))
+    .run(&dataset)
+    .unwrap();
+    let layout = out.layout.as_ref().unwrap();
+    assert!(layout.groups()[0].image_indices().is_empty());
+    assert!(layout.groups()[1].image_indices().is_empty());
+    assert!(!layout.groups()[2].image_indices().is_empty());
+    assert!(out.pre_quant.images.iter().all(|i| i.group == 2));
+}
+
+#[test]
+fn weq_degrades_encoding_more_than_target_correlated() {
+    let dataset = data();
+    let run = |method: QuantMethod| {
+        AttackFlow::new(tiny(
+            Grouping::Uniform(8.0),
+            BandRule::FirstN,
+            Some(QuantConfig {
+                method,
+                bits: 3,
+                finetune_epochs: 1,
+                finetune_lr: 0.01,
+                regularize_finetune: true,
+            }),
+        ))
+        .run(&dataset)
+        .unwrap()
+    };
+    let weq = run(QuantMethod::WeightedEntropy);
+    let tc = run(QuantMethod::TargetCorrelated);
+    let weq_mape = weq.post_quant.as_ref().unwrap().mean_mape();
+    let tc_mape = tc.post_quant.as_ref().unwrap().mean_mape();
+    assert!(
+        tc_mape < weq_mape,
+        "target-correlated {tc_mape} should beat weq {weq_mape} at 3 bits"
+    );
+}
+
+#[test]
+fn std_band_selection_feeds_flow() {
+    let dataset = SynthCifar::new(8).classes(4).generate(400, 22).unwrap();
+    let out = AttackFlow::new(tiny(
+        Grouping::Uniform(5.0),
+        BandRule::Auto { width: 10.0 },
+        None,
+    ))
+    .run(&dataset)
+    .unwrap();
+    // Every selected image really comes from the training split and the
+    // layout encodes them all.
+    let layout = out.layout.as_ref().unwrap();
+    assert_eq!(out.targets.len(), out.selection_indices.len());
+    assert_eq!(layout.total_encoded_images(), out.pre_quant.images.len());
+}
+
+#[test]
+fn audit_separates_attacked_from_benign() {
+    let dataset = data();
+    let benign = AttackFlow::new(tiny(Grouping::Benign, BandRule::FirstN, None))
+        .run(&dataset)
+        .unwrap();
+    let attacked = AttackFlow::new(tiny(Grouping::Uniform(10.0), BandRule::FirstN, None))
+        .run(&dataset)
+        .unwrap();
+    let b = qce::audit::audit_network(&benign.network);
+    let a = qce::audit::audit_network(&attacked.network);
+    assert!(
+        a.max_suspicion() > b.max_suspicion(),
+        "benign {} vs attacked {}",
+        b.max_suspicion(),
+        a.max_suspicion()
+    );
+}
+
+#[test]
+fn outcome_reports_are_internally_consistent() {
+    let dataset = data();
+    let out = AttackFlow::new(tiny(
+        Grouping::Uniform(5.0),
+        BandRule::FirstN,
+        Some(QuantConfig::new(QuantMethod::Linear, 4)),
+    ))
+    .run(&dataset)
+    .unwrap();
+    for report in [&out.pre_quant, out.post_quant.as_ref().unwrap()] {
+        assert!(report.accuracy >= 0.0 && report.accuracy <= 1.0);
+        assert!(report.recognized_count() <= report.images.len());
+        assert_eq!(
+            report.count_mape_below(20.0)
+                + report.count_mape_above(20.0)
+                + report.images.iter().filter(|i| i.mape == 20.0).count(),
+            report.images.len()
+        );
+        for img in &report.images {
+            assert!(img.mape >= 0.0);
+            assert!((-1.0..=1.0).contains(&img.ssim));
+            assert!(img.dataset_index < 200); // inside the training split
+        }
+    }
+}
+
+#[test]
+fn image_level_detection_recovers_encoded_set() {
+    let dataset = data();
+    let cfg = tiny(Grouping::Uniform(8.0), BandRule::FirstN, None);
+    let seed = cfg.seed;
+    let train_fraction = cfg.train_fraction;
+    let out = AttackFlow::new(cfg).run(&dataset).unwrap();
+
+    // The defender audits their own training split against the release.
+    let (train, _) = dataset.split(train_fraction, seed).unwrap();
+    let detected = qce::audit::detect_encoded_images(&out.network, &train, 0.85);
+    let encoded: std::collections::HashSet<usize> =
+        out.selection_indices.iter().copied().collect();
+    assert!(!encoded.is_empty());
+
+    let true_hits = detected
+        .iter()
+        .filter(|d| encoded.contains(&d.dataset_index))
+        .count();
+    // High recall on the encoded set...
+    assert!(
+        true_hits * 2 >= encoded.len(),
+        "recall too low: {true_hits}/{}",
+        encoded.len()
+    );
+    // ...and high precision against the rest of the split.
+    assert!(
+        true_hits * 2 >= detected.len(),
+        "precision too low: {true_hits}/{}",
+        detected.len()
+    );
+
+    // A benign model detects nothing at the same threshold.
+    let benign = AttackFlow::new(tiny(Grouping::Benign, BandRule::FirstN, None))
+        .run(&dataset)
+        .unwrap();
+    let clean = qce::audit::detect_encoded_images(&benign.network, &train, 0.85);
+    assert!(clean.len() <= 2, "benign false positives: {}", clean.len());
+}
+
+#[test]
+fn released_model_survives_serialization_round_trip() {
+    use qce_nn::serialize::{load_network, save_network};
+    let dataset = data();
+    let out = AttackFlow::new(tiny(
+        Grouping::Uniform(5.0),
+        BandRule::FirstN,
+        Some(QuantConfig::new(QuantMethod::TargetCorrelated, 4)),
+    ))
+    .run(&dataset)
+    .unwrap();
+
+    let mut bytes = Vec::new();
+    save_network(&out.network, &mut bytes).unwrap();
+
+    // A fresh shell of the same architecture, loaded from the file,
+    // decodes the same images.
+    let mut shell = qce_nn::models::ResNetLite::builder()
+        .input(3, 8)
+        .classes(4)
+        .stage_channels(&[8, 16])
+        .blocks_per_stage(1)
+        .build(12345)
+        .unwrap();
+    load_network(&mut shell, bytes.as_slice()).unwrap();
+    assert_eq!(shell.flat_weights(), out.network.flat_weights());
+
+    let layout = out.layout.as_ref().unwrap();
+    let decoder = qce_attack::Decoder::new(
+        layout.clone(),
+        qce_attack::correlation::SignConvention::Positive,
+    );
+    let from_file = decoder.decode(&shell.flat_weights()).unwrap();
+    assert_eq!(from_file.len(), layout.total_encoded_images());
+}
+
+#[test]
+fn pruning_degrades_but_does_not_erase_the_attack() {
+    let dataset = data();
+    let mut trained = AttackFlow::new(tiny(Grouping::Uniform(8.0), BandRule::FirstN, None))
+        .train(&dataset)
+        .unwrap();
+    let targets = trained.targets().to_vec();
+    let mean_mape = |t: &qce::TrainedAttack| -> f32 {
+        let decoded = t.decode_images().unwrap();
+        decoded
+            .iter()
+            .map(|d| qce_metrics::mape(&targets[d.target_index], &d.image))
+            .sum::<f32>()
+            / decoded.len() as f32
+    };
+    let float_mape = mean_mape(&trained);
+    qce_quant::prune::magnitude_prune(trained.network_mut(), 0.5).unwrap();
+    let pruned_mape = mean_mape(&trained);
+    assert!(pruned_mape > float_mape, "{float_mape} -> {pruned_mape}");
+    // Half the weights are gone, yet reconstruction is still far above
+    // the random-remap floor (~85).
+    assert!(pruned_mape < 60.0, "pruning erased the attack: {pruned_mape}");
+}
+
+#[test]
+fn attack_is_architecture_independent() {
+    // The correlation attack exploits white-box weight access, not
+    // residual structure: it must work identically on a plain CNN.
+    let dataset = data();
+    let cfg = FlowConfig {
+        arch: qce::Architecture::ConvNet,
+        grouping: Grouping::Uniform(8.0),
+        band: BandRule::FirstN,
+        quant: None,
+        ..FlowConfig::tiny()
+    };
+    let out = AttackFlow::new(cfg).run(&dataset).unwrap();
+    assert!(
+        out.pre_quant.group_correlations[0] > 0.5,
+        "rho = {}",
+        out.pre_quant.group_correlations[0]
+    );
+    assert!(
+        out.pre_quant.mean_mape() < 40.0,
+        "mape = {}",
+        out.pre_quant.mean_mape()
+    );
+}
