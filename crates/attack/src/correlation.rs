@@ -191,8 +191,12 @@ mod tests {
 
     #[test]
     fn degenerate_inputs_are_zero() {
-        let (c, g) = correlation_penalty(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0], 5.0,
-            SignConvention::Positive);
+        let (c, g) = correlation_penalty(
+            &[1.0, 1.0, 1.0],
+            &[1.0, 2.0, 3.0],
+            5.0,
+            SignConvention::Positive,
+        );
         assert_eq!(c, 0.0);
         assert!(g.iter().all(|&x| x == 0.0));
         let (c2, g2) = correlation_penalty(&[1.0], &[2.0], 5.0, SignConvention::Positive);

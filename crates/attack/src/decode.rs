@@ -1,5 +1,5 @@
 use qce_data::Image;
-use qce_tensor::stats;
+use qce_tensor::stats::{self, Histogram};
 
 use crate::correlation::SignConvention;
 use crate::{AttackError, EncodingLayout, Result};
@@ -14,6 +14,123 @@ pub struct DecodedImage {
     /// Index into the planner's target image list (identifies the original
     /// for evaluation).
     pub target_index: usize,
+}
+
+/// How well one image survived a perturbed release.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ImageStatus {
+    /// Every carrier weight was present and finite.
+    Ok,
+    /// Some carrier weights were missing or non-finite and were repaired
+    /// with the group median before remapping.
+    Degraded {
+        /// Number of pixels decoded from repaired weights.
+        repaired_pixels: usize,
+    },
+    /// The image could not be decoded at all.
+    Failed {
+        /// Why decoding gave up on this image.
+        reason: String,
+    },
+}
+
+impl ImageStatus {
+    /// Whether an image was produced (possibly degraded).
+    pub fn is_decoded(&self) -> bool {
+        !matches!(self, ImageStatus::Failed { .. })
+    }
+}
+
+/// One image slot of a resilient decode: always present, even when the
+/// image itself could not be reconstructed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResilientImage {
+    /// Index into the planner's target image list.
+    pub target_index: usize,
+    /// Index of the group it was decoded from.
+    pub group: usize,
+    /// Decode outcome for this slot.
+    pub status: ImageStatus,
+    /// The reconstructed image (`None` only when `status` is `Failed`).
+    pub image: Option<Image>,
+}
+
+/// Per-group diagnostics of a resilient decode.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecodeDiagnostics {
+    /// Group index.
+    pub group: usize,
+    /// Whether the weight→pixel map was inverted (polarity disambiguation
+    /// under [`SignConvention::Absolute`]).
+    pub flipped: bool,
+    /// Histogram agreement between the decoded pixels and the group's
+    /// planned target stream, in `[0, 1]` (1 = identical 16-bin
+    /// histograms). Low values signal a damaged or benign release.
+    pub confidence: f32,
+    /// Fraction of the group's carrier weights that were present and
+    /// finite.
+    pub finite_fraction: f32,
+    /// Whether the released weight vector was shorter than the plan.
+    pub truncated: bool,
+}
+
+/// Everything a [`Decoder::decode_resilient`] call produces: one entry per
+/// planned image (decoded, degraded or failed) plus per-group diagnostics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResilientDecode {
+    /// One slot per planned image, in encoding order.
+    pub images: Vec<ResilientImage>,
+    /// One diagnostics record per encoding group (groups that encode
+    /// nothing are skipped).
+    pub diagnostics: Vec<DecodeDiagnostics>,
+}
+
+impl ResilientDecode {
+    /// Number of images decoded cleanly.
+    pub fn ok_count(&self) -> usize {
+        self.images
+            .iter()
+            .filter(|i| matches!(i.status, ImageStatus::Ok))
+            .count()
+    }
+
+    /// Number of images decoded from repaired carriers.
+    pub fn degraded_count(&self) -> usize {
+        self.images
+            .iter()
+            .filter(|i| matches!(i.status, ImageStatus::Degraded { .. }))
+            .count()
+    }
+
+    /// Number of image slots that produced nothing.
+    pub fn failed_count(&self) -> usize {
+        self.images
+            .iter()
+            .filter(|i| matches!(i.status, ImageStatus::Failed { .. }))
+            .count()
+    }
+
+    /// Mean per-group confidence (0 when no group decoded).
+    pub fn mean_confidence(&self) -> f32 {
+        if self.diagnostics.is_empty() {
+            return 0.0;
+        }
+        self.diagnostics.iter().map(|d| d.confidence).sum::<f32>() / self.diagnostics.len() as f32
+    }
+
+    /// The successfully decoded images as plain [`DecodedImage`]s.
+    pub fn decoded(&self) -> Vec<DecodedImage> {
+        self.images
+            .iter()
+            .filter_map(|r| {
+                r.image.as_ref().map(|img| DecodedImage {
+                    image: img.clone(),
+                    group: r.group,
+                    target_index: r.target_index,
+                })
+            })
+            .collect()
+    }
 }
 
 /// The white-box extraction step: given the released model's flat weights
@@ -141,6 +258,154 @@ impl Decoder {
         }
         Ok(out)
     }
+
+    /// Decodes a possibly perturbed release without ever erroring or
+    /// panicking: every planned image gets a slot with an explicit
+    /// [`ImageStatus`], missing or non-finite carrier weights are repaired
+    /// with the group median, and — under [`SignConvention::Absolute`] —
+    /// each group's polarity is disambiguated automatically by decoding
+    /// both ways and scoring the pixel histograms against the group's
+    /// planned target stream.
+    ///
+    /// Use this instead of [`Decoder::decode`] whenever the released
+    /// weights may have been pruned, noised, bit-flipped or truncated.
+    pub fn decode_resilient(&self, flat_weights: &[f32]) -> ResilientDecode {
+        let (c, h, w) = self.layout.geometry();
+        let px = self.layout.image_pixels();
+        let mut images = Vec::with_capacity(self.layout.total_encoded_images());
+        let mut diagnostics = Vec::new();
+        for (gi, g) in self.layout.groups().iter().enumerate() {
+            if g.image_indices().is_empty() {
+                continue;
+            }
+            let (stream, complete) = g.extract_lossy(flat_weights);
+            let n_images = g.image_indices().len();
+            let encoded = &stream[..(n_images * px).min(stream.len())];
+
+            // Repair: non-finite carriers take the group's finite median so
+            // the affine anchors and their neighbours stay usable.
+            let finite: Vec<f32> = encoded.iter().copied().filter(|v| v.is_finite()).collect();
+            let finite_fraction = if encoded.is_empty() {
+                0.0
+            } else {
+                finite.len() as f32 / encoded.len() as f32
+            };
+            let median = stats::quantile(&finite, 0.5).unwrap_or(0.0);
+            let repaired: Vec<bool> = encoded.iter().map(|v| !v.is_finite()).collect();
+            let clean: Vec<f32> = encoded
+                .iter()
+                .map(|&v| if v.is_finite() { v } else { median })
+                .collect();
+
+            let lo = stats::quantile(&finite, 0.005).unwrap_or(0.0);
+            let hi = stats::quantile(&finite, 0.995).unwrap_or(1.0);
+            let span = (hi - lo).max(f32::EPSILON);
+            let remap = |v: f32, flip: bool| -> f32 {
+                let t = ((v - lo) / span).clamp(0.0, 1.0);
+                let t = if flip { 1.0 - t } else { t };
+                t * 255.0
+            };
+
+            // Polarity: fixed under Positive, histogram-scored otherwise.
+            let score = |flip: bool| -> f32 {
+                let pixels: Vec<f32> = clean.iter().map(|&v| remap(v, flip)).collect();
+                histogram_agreement(&pixels, g.target())
+            };
+            let (flipped, confidence) = match self.sign {
+                SignConvention::Positive => (false, score(false)),
+                SignConvention::Absolute => {
+                    let straight = score(false);
+                    let inverted = score(true);
+                    if inverted > straight {
+                        (true, inverted)
+                    } else {
+                        (false, straight)
+                    }
+                }
+            };
+
+            for (k, &target_index) in g.image_indices().iter().enumerate() {
+                let start = k * px;
+                let end = start + px;
+                if start >= clean.len() {
+                    images.push(ResilientImage {
+                        target_index,
+                        group: gi,
+                        status: ImageStatus::Failed {
+                            reason: "carrier stream exhausted".to_string(),
+                        },
+                        image: None,
+                    });
+                    continue;
+                }
+                let end = end.min(clean.len());
+                let mut pixels: Vec<f32> = clean[start..end]
+                    .iter()
+                    .map(|&v| remap(v, flipped))
+                    .collect();
+                let mut repaired_pixels = repaired[start..end].iter().filter(|&&r| r).count();
+                if pixels.len() < px {
+                    repaired_pixels += px - pixels.len();
+                    pixels.resize(px, remap(median, flipped));
+                }
+                if repaired_pixels >= px {
+                    images.push(ResilientImage {
+                        target_index,
+                        group: gi,
+                        status: ImageStatus::Failed {
+                            reason: "no finite carrier weights for this image".to_string(),
+                        },
+                        image: None,
+                    });
+                    continue;
+                }
+                match Image::from_f32(&pixels, c, h, w) {
+                    Ok(image) => images.push(ResilientImage {
+                        target_index,
+                        group: gi,
+                        status: if repaired_pixels == 0 {
+                            ImageStatus::Ok
+                        } else {
+                            ImageStatus::Degraded { repaired_pixels }
+                        },
+                        image: Some(image),
+                    }),
+                    Err(e) => images.push(ResilientImage {
+                        target_index,
+                        group: gi,
+                        status: ImageStatus::Failed {
+                            reason: format!("image build failed: {e}"),
+                        },
+                        image: None,
+                    }),
+                }
+            }
+            diagnostics.push(DecodeDiagnostics {
+                group: gi,
+                flipped,
+                confidence,
+                finite_fraction,
+                truncated: !complete,
+            });
+        }
+        ResilientDecode {
+            images,
+            diagnostics,
+        }
+    }
+}
+
+/// Agreement between two pixel-value samples as `1 − ½·L1` distance of
+/// their normalized 16-bin histograms over `[0, 256)` — 1 for identical
+/// distributions, 0 for disjoint ones.
+fn histogram_agreement(decoded: &[f32], target: &[f32]) -> f32 {
+    if decoded.is_empty() || target.is_empty() {
+        return 0.0;
+    }
+    let a = Histogram::from_values(decoded, 16, 0.0, 256.0).probabilities();
+    let b = Histogram::from_values(target, 16, 0.0, 256.0).probabilities();
+    let l1: f64 = a.iter().zip(b.iter()).map(|(x, y)| (x - y).abs()).sum();
+    (1.0 - 0.5 * l1).clamp(0.0, 1.0) as f32
 }
 
 #[cfg(test)]
@@ -168,7 +433,12 @@ mod tests {
 
     /// Builds a flat weight vector that encodes the targets perfectly
     /// (affine map pixel -> weight), leaving other weights untouched.
-    fn perfectly_encoded(net: &Network, layout: &EncodingLayout, scale: f32, offset: f32) -> Vec<f32> {
+    fn perfectly_encoded(
+        net: &Network,
+        layout: &EncodingLayout,
+        scale: f32,
+        offset: f32,
+    ) -> Vec<f32> {
         let mut flat = net.flat_weights();
         for g in layout.groups() {
             let mut values = g.extract(&flat);
@@ -242,6 +512,111 @@ mod tests {
         assert!(decoder
             .decode_group(&net.flat_weights(), 99, false)
             .is_err());
+    }
+
+    #[test]
+    fn resilient_decode_matches_plain_decode_on_clean_weights() {
+        let (net, layout, _) = setup();
+        let flat = perfectly_encoded(&net, &layout, 0.001, -0.12);
+        let decoder = Decoder::new(layout, SignConvention::Positive);
+        let plain = decoder.decode(&flat).unwrap();
+        let resilient = decoder.decode_resilient(&flat);
+        assert_eq!(resilient.failed_count(), 0);
+        assert_eq!(resilient.degraded_count(), 0);
+        assert_eq!(resilient.decoded(), plain);
+        assert!(resilient.mean_confidence() > 0.9);
+        assert!(!resilient.diagnostics[0].truncated);
+        assert_eq!(resilient.diagnostics[0].finite_fraction, 1.0);
+    }
+
+    #[test]
+    fn resilient_decode_repairs_nan_and_reports_partial_results() {
+        let (net, layout, images) = setup();
+        let mut flat = perfectly_encoded(&net, &layout, 0.001, -0.12);
+        // Poison one image's worth of carriers plus a few scattered ones.
+        let px = layout.image_pixels();
+        let (off0, _) = layout.groups()[0].flat_ranges()[0];
+        for v in flat[off0..off0 + px].iter_mut() {
+            *v = f32::NAN;
+        }
+        flat[off0 + px + 3] = f32::INFINITY;
+        let decoder = Decoder::new(layout, SignConvention::Positive);
+        let out = decoder.decode_resilient(&flat);
+        assert_eq!(out.failed_count(), 1);
+        assert!(out.degraded_count() >= 1);
+        // The undamaged images still decode well.
+        for r in &out.images {
+            if let (ImageStatus::Ok, Some(img)) = (&r.status, &r.image) {
+                let orig = &images[r.target_index];
+                let err: f32 = orig
+                    .to_f32()
+                    .iter()
+                    .zip(img.to_f32().iter())
+                    .map(|(a, b)| (a - b).abs())
+                    .sum::<f32>()
+                    / orig.num_pixels() as f32;
+                assert!(err < 8.0, "image {} error {err}", r.target_index);
+            }
+        }
+    }
+
+    #[test]
+    fn resilient_decode_disambiguates_polarity_by_histogram() {
+        let (net, layout, images) = setup();
+        let flat = perfectly_encoded(&net, &layout, -0.001, 0.3);
+        let decoder = Decoder::new(layout, SignConvention::Absolute);
+        let out = decoder.decode_resilient(&flat);
+        assert!(
+            out.diagnostics[0].flipped,
+            "anti-correlated group must flip"
+        );
+        let first = out.images[0].image.as_ref().unwrap();
+        let orig = &images[out.images[0].target_index];
+        let err: f32 = orig
+            .to_f32()
+            .iter()
+            .zip(first.to_f32().iter())
+            .map(|(a, b)| (a - b).abs())
+            .sum::<f32>()
+            / orig.num_pixels() as f32;
+        assert!(err < 8.0, "flipped decode error {err}");
+    }
+
+    #[test]
+    fn resilient_decode_survives_truncated_and_garbage_weights() {
+        let (net, layout, _) = setup();
+        let flat = perfectly_encoded(&net, &layout, 0.001, -0.12);
+        let decoder = Decoder::new(layout, SignConvention::Positive);
+        // Half the release missing: no panic, statuses explain the damage.
+        let out = decoder.decode_resilient(&flat[..flat.len() / 2]);
+        assert_eq!(out.images.len(), decoder.layout().total_encoded_images());
+        assert!(out.diagnostics[0].truncated);
+        // Entirely missing release: everything fails, still no panic.
+        let empty = decoder.decode_resilient(&[]);
+        assert_eq!(empty.failed_count(), empty.images.len());
+        assert!(empty.images.iter().all(|r| r.image.is_none()));
+    }
+
+    #[test]
+    fn resilient_decode_handles_empty_and_tiny_groups() {
+        // Group 0: single 1-element-slot group with λ > 0 (encodes nothing —
+        // capacity below one image); group 1: λ = 0; group 2: the carrier.
+        let (net, _, images) = setup();
+        let total = net.weight_slots().len();
+        let specs = vec![
+            crate::GroupSpec::new(1.0, vec![0]),
+            crate::GroupSpec::new(0.0, vec![1]),
+            crate::GroupSpec::new(3.0, (2..total).collect()),
+        ];
+        let layout = EncodingLayout::plan(&net, &specs, &images).unwrap();
+        // The λ = 0 group never encodes; the tiny group may or may not fit
+        // one image — either way nothing is allowed to panic.
+        assert!(layout.groups()[1].image_indices().is_empty());
+        let decoder = Decoder::new(layout, SignConvention::Positive);
+        let flat = net.flat_weights();
+        let plain = decoder.decode(&flat).unwrap();
+        let out = decoder.decode_resilient(&flat);
+        assert_eq!(out.images.len(), plain.len());
     }
 
     #[test]

@@ -54,7 +54,10 @@ impl fmt::Display for AttackError {
                 "no capacity: {weights} weights cannot hold one {image_pixels}-pixel image"
             ),
             AttackError::LayoutMismatch { expected, actual } => {
-                write!(f, "weight vector length {actual}, layout expects {expected}")
+                write!(
+                    f,
+                    "weight vector length {actual}, layout expects {expected}"
+                )
             }
             AttackError::InconsistentImages { reason } => {
                 write!(f, "inconsistent target images: {reason}")

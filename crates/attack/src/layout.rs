@@ -113,6 +113,28 @@ impl GroupLayout {
         out
     }
 
+    /// Gathers this group's weight stream from a weight vector that may be
+    /// shorter than planned — the resilient counterpart of
+    /// [`GroupLayout::extract`] for perturbed or truncated releases. The
+    /// stream always has the planned length: positions beyond `flat` are
+    /// filled with `NaN` so later image chunks keep their offsets, and the
+    /// second return value is `true` only when nothing was missing.
+    pub fn extract_lossy(&self, flat: &[f32]) -> (Vec<f32>, bool) {
+        let mut out = Vec::with_capacity(self.weight_len);
+        let mut complete = true;
+        for &(offset, len) in &self.flat_ranges {
+            let available = flat.len().saturating_sub(offset).min(len);
+            if available > 0 {
+                out.extend_from_slice(&flat[offset..offset + available]);
+            }
+            if available < len {
+                complete = false;
+                out.extend(std::iter::repeat_n(f32::NAN, len - available));
+            }
+        }
+        (out, complete)
+    }
+
     /// Scatters `values` (one per group weight, stream order) back into a
     /// flat-sized accumulation buffer, adding elementwise — the inverse of
     /// [`GroupLayout::extract`] for gradient injection and for synthesizing
@@ -199,12 +221,7 @@ impl EncodingLayout {
         let total_correlated: usize = specs
             .iter()
             .flat_map(|s| s.ordinals.iter())
-            .map(|&o| {
-                slots
-                    .get(o)
-                    .map(|slot| slot.len)
-                    .unwrap_or(0)
-            })
+            .map(|&o| slots.get(o).map(|slot| slot.len).unwrap_or(0))
             .sum();
 
         let mut next_image = 0usize;
@@ -360,8 +377,7 @@ mod tests {
         let n = net();
         let imgs = images(100);
         let total = n.weight_slots().len();
-        let layout =
-            EncodingLayout::plan(&n, &GroupSpec::uniform(total, 3.0), &imgs).unwrap();
+        let layout = EncodingLayout::plan(&n, &GroupSpec::uniform(total, 3.0), &imgs).unwrap();
         let g = &layout.groups()[0];
         let capacity = g.weight_len() / layout.image_pixels();
         assert_eq!(g.image_indices().len(), capacity.min(100));
@@ -393,8 +409,7 @@ mod tests {
         let n = net();
         let imgs = images(20);
         let total = n.weight_slots().len();
-        let layout =
-            EncodingLayout::plan(&n, &GroupSpec::uniform(total, 1.0), &imgs).unwrap();
+        let layout = EncodingLayout::plan(&n, &GroupSpec::uniform(total, 1.0), &imgs).unwrap();
         let flat = n.flat_weights();
         let g = &layout.groups()[0];
         let stream = g.extract(&flat);
@@ -404,6 +419,29 @@ mod tests {
         g.scatter_add(&stream, &mut acc);
         let back = g.extract(&acc);
         assert_eq!(back, stream);
+    }
+
+    #[test]
+    fn extract_lossy_pads_missing_with_nan() {
+        let n = net();
+        let imgs = images(20);
+        let total = n.weight_slots().len();
+        let layout = EncodingLayout::plan(&n, &GroupSpec::uniform(total, 1.0), &imgs).unwrap();
+        let flat = n.flat_weights();
+        let g = &layout.groups()[0];
+        // Complete vector: identical to extract.
+        let (full, complete) = g.extract_lossy(&flat);
+        assert!(complete);
+        assert_eq!(full, g.extract(&flat));
+        // Truncated vector: planned length is preserved, tail is NaN.
+        let (lossy, complete) = g.extract_lossy(&flat[..flat.len() / 2]);
+        assert!(!complete);
+        assert_eq!(lossy.len(), g.weight_len());
+        assert!(lossy.last().unwrap().is_nan());
+        // Empty vector never panics.
+        let (all_nan, complete) = g.extract_lossy(&[]);
+        assert!(!complete);
+        assert!(all_nan.iter().all(|v| v.is_nan()));
     }
 
     #[test]
@@ -444,8 +482,7 @@ mod tests {
         let n = net();
         let imgs = images(10);
         let total = n.weight_slots().len();
-        let layout =
-            EncodingLayout::plan(&n, &GroupSpec::uniform(total, 1.0), &imgs).unwrap();
+        let layout = EncodingLayout::plan(&n, &GroupSpec::uniform(total, 1.0), &imgs).unwrap();
         assert!(layout.check_flat(&n.flat_weights()).is_ok());
         assert!(layout.check_flat(&[0.0]).is_err());
     }
@@ -455,8 +492,7 @@ mod tests {
         let n = net();
         let imgs = images(100);
         let total = n.weight_slots().len();
-        let layout =
-            EncodingLayout::plan(&n, &GroupSpec::uniform(total, 2.0), &imgs).unwrap();
+        let layout = EncodingLayout::plan(&n, &GroupSpec::uniform(total, 2.0), &imgs).unwrap();
         let enumerated = layout.encoded_images();
         assert_eq!(enumerated.len(), layout.total_encoded_images());
         assert!(enumerated.iter().all(|&(g, _)| g == 0));

@@ -45,11 +45,14 @@ mod regularizer;
 
 pub mod capacity;
 pub mod correlation;
+pub mod ecc;
 pub mod lsb;
 pub mod payload;
 pub mod sign;
 
-pub use decode::{DecodedImage, Decoder};
+pub use decode::{
+    DecodeDiagnostics, DecodedImage, Decoder, ImageStatus, ResilientDecode, ResilientImage,
+};
 pub use error::AttackError;
 pub use layout::{EncodingLayout, GroupLayout, GroupSpec};
 pub use regularizer::CorrelationRegularizer;

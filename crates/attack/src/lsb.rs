@@ -163,7 +163,7 @@ mod tests {
 
     #[test]
     fn quantization_destroys_lsb_payload() {
-        let payload: Vec<u8> = (0..64).map(|i| (i * 73 + 11) as u8) .collect();
+        let payload: Vec<u8> = (0..64).map(|i| (i * 73 + 11) as u8).collect();
         let mut w = carrier(2048);
         embed(&mut w, &payload, 2).unwrap();
         // Simulate 8-bit uniform quantization of the released weights.

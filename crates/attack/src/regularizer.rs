@@ -37,6 +37,9 @@ use crate::EncodingLayout;
 pub struct CorrelationRegularizer {
     layout: EncodingLayout,
     sign: SignConvention,
+    warmup: bool,
+    ramp: f32,
+    backoff: f32,
     last_penalty: f32,
     last_correlations: Vec<f32>,
 }
@@ -48,9 +51,27 @@ impl CorrelationRegularizer {
         CorrelationRegularizer {
             layout,
             sign,
+            warmup: false,
+            ramp: 1.0,
+            backoff: 1.0,
             last_penalty: 0.0,
             last_correlations: vec![0.0; n_groups],
         }
+    }
+
+    /// Enables the linear warmup ramp: epoch `e` of `E` trains at
+    /// `λ·(e+1)/E`, so the task features form before the encoding
+    /// pressure peaks. The final epoch always runs at full strength, so
+    /// the released weights still reach the planned correlation.
+    pub fn with_warmup(mut self) -> Self {
+        self.warmup = true;
+        self
+    }
+
+    /// Current multiplier on every group's `λ` (warmup ramp × divergence
+    /// backoff).
+    pub fn strength(&self) -> f32 {
+        self.ramp * self.backoff
     }
 
     /// The encoding plan this regularizer drives.
@@ -89,7 +110,8 @@ impl Regularizer for CorrelationRegularizer {
             let n = group.target().len().min(stream.len());
             let theta = &stream[..n];
             let s = &group.target()[..n];
-            let (c, grad) = correlation_penalty(theta, s, group.lambda(), self.sign);
+            let lambda = group.lambda() * self.strength();
+            let (c, grad) = correlation_penalty(theta, s, lambda, self.sign);
             self.last_correlations[gi] = crate::correlation::correlation(theta, s);
             let share = group.share();
             penalty += c * share;
@@ -99,6 +121,16 @@ impl Regularizer for CorrelationRegularizer {
         net.add_flat_weight_grads(&grad_acc)?;
         self.last_penalty = penalty;
         Ok(penalty)
+    }
+
+    fn on_epoch(&mut self, epoch: usize, total_epochs: usize) {
+        if self.warmup {
+            self.ramp = (epoch + 1) as f32 / total_epochs.max(1) as f32;
+        }
+    }
+
+    fn on_divergence(&mut self) {
+        self.backoff *= 0.5;
     }
 }
 

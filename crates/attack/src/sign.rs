@@ -81,9 +81,8 @@ impl SignEncodingRegularizer {
     pub fn with_margin(payload: &[u8], lambda: f32, margin: f32) -> Result<Self> {
         if payload.is_empty() || lambda <= 0.0 || margin < 0.0 {
             return Err(AttackError::InconsistentImages {
-                reason:
-                    "sign encoding needs a payload, positive lambda and non-negative margin"
-                        .to_string(),
+                reason: "sign encoding needs a payload, positive lambda and non-negative margin"
+                    .to_string(),
             });
         }
         Ok(SignEncodingRegularizer {
@@ -220,6 +219,9 @@ mod tests {
         assert!(SignEncodingRegularizer::new(&[], 1.0).is_err());
         assert!(SignEncodingRegularizer::new(&[1], 0.0).is_err());
         assert!(SignEncodingRegularizer::with_margin(&[1], 1.0, -0.1).is_err());
-        assert_eq!(SignEncodingRegularizer::new(&[1], 1.0).unwrap().margin(), 0.05);
+        assert_eq!(
+            SignEncodingRegularizer::new(&[1], 1.0).unwrap().margin(),
+            0.05
+        );
     }
 }

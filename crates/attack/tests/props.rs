@@ -2,7 +2,7 @@
 
 use proptest::prelude::*;
 use qce_attack::correlation::{correlation, correlation_penalty, SignConvention};
-use qce_attack::{lsb, sign};
+use qce_attack::{ecc, lsb, sign};
 
 fn theta_strategy() -> impl Strategy<Value = Vec<f32>> {
     prop::collection::vec(-1.0f32..1.0, 8..128)
@@ -92,6 +92,39 @@ proptest! {
         lsb::embed(&mut weights, &payload, bits).unwrap();
         let extracted = lsb::extract(&weights, bits, payload.len()).unwrap();
         prop_assert_eq!(extracted, payload);
+    }
+
+    #[test]
+    fn ecc_round_trips_under_designed_flip_budget(
+        payload in prop::collection::vec(any::<u8>(), 1..24),
+        use_hamming in any::<bool>(),
+        wide in any::<bool>(),
+        start_pick in 0usize..10_000,
+        len_pick in 0usize..10_000,
+    ) {
+        let code = if use_hamming {
+            ecc::Ecc::Hamming74
+        } else {
+            ecc::Ecc::Repetition { copies: if wide { 5 } else { 3 } }
+        };
+        let frame_bits = (payload.len() + 4) * 8;
+        // The designed budget: a contiguous burst short enough that no
+        // frame bit loses its majority (repetition) and no codeword takes
+        // two hits (Hamming).
+        let budget = match code {
+            ecc::Ecc::Repetition { .. } => frame_bits,
+            ecc::Ecc::Hamming74 => frame_bits / 4,
+        };
+        let mut coded = ecc::encode(&payload, &code).unwrap();
+        let coded_bits = coded.len() * 8;
+        let burst_len = len_pick % budget + 1;
+        let start = start_pick % (coded_bits - burst_len);
+        for bit in start..start + burst_len {
+            coded[bit / 8] ^= 1 << (bit % 8);
+        }
+        let (recovered, report) = ecc::decode(&coded, payload.len(), &code).unwrap();
+        prop_assert_eq!(recovered, payload);
+        prop_assert!(report.crc_ok, "CRC must confirm recovery within budget");
     }
 
     #[test]

@@ -14,8 +14,8 @@
 use qce::{AttackFlow, BandRule, FlowConfig, Grouping, QuantConfig, QuantMethod};
 use qce_attack::{lsb, sign};
 use qce_bench::{banner, base_config, cifar_rgb, pct};
-use qce_nn::ParamKind;
 use qce_metrics::mape;
+use qce_nn::ParamKind;
 use qce_quant::{prune, quantize_network, LinearQuantizer};
 
 fn run(name: &str, cfg: FlowConfig, dataset: &qce_data::Dataset) {
@@ -41,7 +41,10 @@ fn main() {
         "full flow",
         FlowConfig {
             grouping: Grouping::LayerWise([0.0, 0.0, lambda]),
-            band: BandRule::Explicit { min: 50.0, max: 55.0 },
+            band: BandRule::Explicit {
+                min: 50.0,
+                max: 55.0,
+            },
             quant: tc4,
             ..base_config()
         },
@@ -61,7 +64,10 @@ fn main() {
         "- layer-wise rates",
         FlowConfig {
             grouping: Grouping::Uniform(lambda),
-            band: BandRule::Explicit { min: 50.0, max: 55.0 },
+            band: BandRule::Explicit {
+                min: 50.0,
+                max: 55.0,
+            },
             quant: tc4,
             ..base_config()
         },
@@ -71,7 +77,10 @@ fn main() {
         "- target-correlated quant",
         FlowConfig {
             grouping: Grouping::LayerWise([0.0, 0.0, lambda]),
-            band: BandRule::Explicit { min: 50.0, max: 55.0 },
+            band: BandRule::Explicit {
+                min: 50.0,
+                max: 55.0,
+            },
             quant: Some(QuantConfig::new(QuantMethod::WeightedEntropy, 4)),
             ..base_config()
         },
@@ -81,7 +90,10 @@ fn main() {
         "- regularized fine-tune",
         FlowConfig {
             grouping: Grouping::LayerWise([0.0, 0.0, lambda]),
-            band: BandRule::Explicit { min: 50.0, max: 55.0 },
+            band: BandRule::Explicit {
+                min: 50.0,
+                max: 55.0,
+            },
             quant: Some(QuantConfig {
                 regularize_finetune: false,
                 ..QuantConfig::new(QuantMethod::TargetCorrelated, 4)
@@ -122,8 +134,11 @@ fn main() {
         lsb::embed(&mut params, &payload, 4).expect("embedding failed");
         set_weights(&mut carrier, &params);
     }
-    quantize_network(carrier_net_mut(&mut carrier), &LinearQuantizer::new(16).expect("levels"))
-        .expect("quantization failed");
+    quantize_network(
+        carrier_net_mut(&mut carrier),
+        &LinearQuantizer::new(16).expect("levels"),
+    )
+    .expect("quantization failed");
     let after = lsb::bit_recovery_rate(
         &payload,
         &lsb::extract(&carrier_network_weights(&mut carrier), 4, payload.len())
@@ -173,7 +188,10 @@ fn main() {
             .map(|d| mape(&targets[d.target_index], &d.image))
             .sum::<f32>()
             / decoded.len().max(1) as f32;
-        println!("sparsity {:>4.0}% : decoded MAPE {mean:>6.2}", 100.0 * sparsity);
+        println!(
+            "sparsity {:>4.0}% : decoded MAPE {mean:>6.2}",
+            100.0 * sparsity
+        );
     }
 
     println!(
@@ -191,7 +209,9 @@ fn carrier_network_weights(t: &mut qce::TrainedAttack) -> Vec<f32> {
 }
 
 fn set_weights(t: &mut qce::TrainedAttack, w: &[f32]) {
-    carrier_net_mut(t).set_flat_weights(w).expect("layout matches");
+    carrier_net_mut(t)
+        .set_flat_weights(w)
+        .expect("layout matches");
 }
 
 fn carrier_net_mut(t: &mut qce::TrainedAttack) -> &mut qce_nn::Network {

@@ -25,7 +25,9 @@ fn main() {
     };
     let split_seed = cfg.seed;
     let train_fraction = cfg.train_fraction;
-    let mut trained = AttackFlow::new(cfg).train(&dataset).expect("training failed");
+    let mut trained = AttackFlow::new(cfg)
+        .train(&dataset)
+        .expect("training failed");
     let targets = trained.targets().to_vec();
     let (train_split, _) = dataset
         .split(train_fraction, split_seed)

@@ -45,7 +45,10 @@ fn main() {
     println!("\n(b) pixel-value distributions by per-image std band\n");
     let bands = [
         ("std < 30", StdBand::new(0.0, 30.0).expect("valid band")),
-        ("std in [50, 55)", StdBand::new(50.0, 55.0).expect("valid band")),
+        (
+            "std in [50, 55)",
+            StdBand::new(50.0, 55.0).expect("valid band"),
+        ),
         ("std > 70", StdBand::new(70.0, 1000.0).expect("valid band")),
     ];
     for (label, band) in bands {

@@ -39,8 +39,14 @@ fn main() {
     };
 
     for (label, method) in [
-        ("(a) weighted-entropy quantization", QuantMethod::WeightedEntropy),
-        ("(b) target-correlated quantization", QuantMethod::TargetCorrelated),
+        (
+            "(a) weighted-entropy quantization",
+            QuantMethod::WeightedEntropy,
+        ),
+        (
+            "(b) target-correlated quantization",
+            QuantMethod::TargetCorrelated,
+        ),
     ] {
         trained
             .apply_quantized_state(quant(method))

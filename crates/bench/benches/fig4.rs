@@ -10,9 +10,7 @@
 //! Paper shape: `Cor+WQ` collapses (accuracy drop grows with λ, image
 //! quality drops), `Comb` restores both to (or above) the `Cor` level.
 
-use qce::{
-    AttackFlow, BandRule, FlowConfig, Grouping, QuantConfig, QuantMethod, StageReport,
-};
+use qce::{AttackFlow, BandRule, FlowConfig, Grouping, QuantConfig, QuantMethod, StageReport};
 use qce_bench::{banner, base_config, cifar_rgb, pct};
 
 fn print_bar(name: &str, r: &StageReport) {
@@ -49,7 +47,10 @@ fn main() {
 
         let comb = AttackFlow::new(FlowConfig {
             grouping: Grouping::LayerWise([0.0, 0.0, lambda]),
-            band: BandRule::Explicit { min: 50.0, max: 55.0 },
+            band: BandRule::Explicit {
+                min: 50.0,
+                max: 55.0,
+            },
             quant: Some(QuantConfig::new(QuantMethod::TargetCorrelated, 4)),
             ..base_config()
         })

@@ -35,8 +35,13 @@ fn bench_tensor_kernels(c: &mut Criterion) {
     let grad = Tensor::ones(out.dims());
     c.bench_function("conv2d_backward_8x12x16x16", |b| {
         b.iter(|| {
-            conv2d_backward(black_box(&input), black_box(&weight), black_box(&grad), geom)
-                .expect("conv backward")
+            conv2d_backward(
+                black_box(&input),
+                black_box(&weight),
+                black_box(&grad),
+                geom,
+            )
+            .expect("conv backward")
         })
     });
     let a = init::uniform(&[128, 256], -1.0, 1.0, &mut rng);

@@ -51,7 +51,10 @@ fn run_color(dataset: &Dataset, color: &str, lambda: f32) -> Vec<Row> {
     // Ours: layer-wise rates + std band, quantized at each bit width.
     let mut ours = AttackFlow::new(FlowConfig {
         grouping: Grouping::LayerWise([0.0, 0.0, lambda]),
-        band: BandRule::Explicit { min: 50.0, max: 55.0 },
+        band: BandRule::Explicit {
+            min: 50.0,
+            max: 55.0,
+        },
         ..base_config()
     })
     .train(dataset)
@@ -83,7 +86,10 @@ fn main() {
             "{:<16} {:>10} {:>12} {:>22}",
             "model", "MAPE", "accuracy", "recognized/encoded"
         );
-        for rows in [run_color(&gray, "GRAY", lambda), run_color(&rgb, "RGB", lambda)] {
+        for rows in [
+            run_color(&gray, "GRAY", lambda),
+            run_color(&rgb, "RGB", lambda),
+        ] {
             for row in rows {
                 println!(
                     "{:<16} {:>10.2} {:>12} {:>14}/{:<7}",

@@ -76,7 +76,10 @@ pub fn print_histogram(label: &str, values: &[f32], bins: usize, lo: f32, hi: f3
     use qce_tensor::stats::Histogram;
     let h = Histogram::from_values(values, bins, lo, hi);
     let max = h.counts().iter().copied().max().unwrap_or(1).max(1);
-    println!("--- {label} (n={}, range [{lo:.3}, {hi:.3}]) ---", values.len());
+    println!(
+        "--- {label} (n={}, range [{lo:.3}, {hi:.3}]) ---",
+        values.len()
+    );
     for (i, &c) in h.counts().iter().enumerate() {
         let bar = "#".repeat((c * 48 / max) as usize);
         println!("{:>9.4} | {bar} {c}", h.bin_center(i));

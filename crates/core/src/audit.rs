@@ -59,10 +59,7 @@ impl AuditReport {
 
     /// The maximum suspicion over all tensors (0 for an empty model).
     pub fn max_suspicion(&self) -> f32 {
-        self.tensors
-            .iter()
-            .map(|t| t.suspicion)
-            .fold(0.0, f32::max)
+        self.tensors.iter().map(|t| t.suspicion).fold(0.0, f32::max)
     }
 
     /// Weight-count-weighted mean suspicion.
@@ -116,16 +113,21 @@ pub fn audit_tensor(ordinal: usize, values: &[f32]) -> TensorAudit {
     let kurt = excess_kurtosis(values);
     let udiv = uniform_divergence(values);
     // Benign Gaussian-ish tensors: kurtosis >= ~0, uniform divergence
-    // >= ~0.4 nats. Pixel-like tensors: kurtosis near -1.2 (uniform) and
-    // divergence near 0. Map both onto [0, 1] and average.
+    // >= ~1.2 nats once trained. Pixel-like tensors: kurtosis near -1.2
+    // (uniform) and divergence well under 1. Map both onto [0, 1],
+    // average, then discount by an evidence weight: both statistics are
+    // noisy on small tensors (a 64-weight classifier head can land at
+    // kurtosis -1.2 by chance), so suspicion is shrunk toward zero as
+    // `len / (len + 128)`.
     let kurt_score = ((-kurt) / 1.2).clamp(0.0, 1.0);
-    let udiv_score = (1.0 - (udiv / 0.4)).clamp(0.0, 1.0) as f32;
+    let udiv_score = (1.0 - (udiv / 1.2)).clamp(0.0, 1.0) as f32;
+    let evidence = values.len() as f32 / (values.len() as f32 + 128.0);
     TensorAudit {
         ordinal,
         len: values.len(),
         excess_kurtosis: kurt,
         uniform_divergence: udiv,
-        suspicion: 0.5 * (kurt_score + udiv_score),
+        suspicion: evidence * 0.5 * (kurt_score + udiv_score),
     }
 }
 
@@ -225,8 +227,7 @@ pub fn detect_encoded_images(
             let sig = signature(&p)?;
             let mean = stats::mean(&p);
             let centered: Vec<f32> = p.iter().map(|&x| x - mean).collect();
-            let norm =
-                centered.iter().map(|&x| (x * x) as f64).sum::<f64>().sqrt() as f32;
+            let norm = centered.iter().map(|&x| (x * x) as f64).sum::<f64>().sqrt() as f32;
             Some(ImageRef {
                 centered,
                 norm,
@@ -378,7 +379,9 @@ mod tests {
 
     #[test]
     fn empty_report() {
-        let r = AuditReport { tensors: Vec::new() };
+        let r = AuditReport {
+            tensors: Vec::new(),
+        };
         assert_eq!(r.max_suspicion(), 0.0);
         assert_eq!(r.mean_suspicion(), 0.0);
         assert!(r.flagged(0.0).is_empty());

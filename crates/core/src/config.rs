@@ -175,7 +175,10 @@ impl FlowConfig {
             lr: 0.05,
             grouping: Grouping::LayerWise([0.0, 0.0, 5.0]),
             lambda_scale: 40.0,
-            band: BandRule::Explicit { min: 50.0, max: 55.0 },
+            band: BandRule::Explicit {
+                min: 50.0,
+                max: 55.0,
+            },
             sign: SignConvention::Positive,
             quant: Some(QuantConfig::new(QuantMethod::TargetCorrelated, 4)),
             verbose: false,

@@ -5,6 +5,8 @@ use qce_data::DataError;
 use qce_nn::NnError;
 use qce_quant::QuantError;
 
+use crate::faults::FaultError;
+
 /// Error type for the end-to-end attack flow.
 #[derive(Debug)]
 #[non_exhaustive]
@@ -17,6 +19,8 @@ pub enum FlowError {
     Attack(AttackError),
     /// Quantization or fine-tuning failed.
     Quant(QuantError),
+    /// Fault injection on a release failed.
+    Faults(FaultError),
     /// The flow configuration is inconsistent.
     InvalidConfig {
         /// Why the configuration is rejected.
@@ -31,6 +35,7 @@ impl fmt::Display for FlowError {
             FlowError::Nn(e) => write!(f, "training stage failed: {e}"),
             FlowError::Attack(e) => write!(f, "attack stage failed: {e}"),
             FlowError::Quant(e) => write!(f, "quantization stage failed: {e}"),
+            FlowError::Faults(e) => write!(f, "fault injection failed: {e}"),
             FlowError::InvalidConfig { reason } => write!(f, "invalid flow config: {reason}"),
         }
     }
@@ -43,6 +48,7 @@ impl std::error::Error for FlowError {
             FlowError::Nn(e) => Some(e),
             FlowError::Attack(e) => Some(e),
             FlowError::Quant(e) => Some(e),
+            FlowError::Faults(e) => Some(e),
             FlowError::InvalidConfig { .. } => None,
         }
     }
@@ -72,6 +78,12 @@ impl From<QuantError> for FlowError {
     }
 }
 
+impl From<FaultError> for FlowError {
+    fn from(e: FaultError) -> Self {
+        FlowError::Faults(e)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -87,6 +99,13 @@ mod tests {
         }
         .into();
         assert!(matches!(e, FlowError::Nn(_)));
+        let e: FlowError = FaultError::InvalidFault {
+            reason: "z".to_string(),
+        }
+        .into();
+        assert!(matches!(e, FlowError::Faults(_)));
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("fault injection"));
     }
 
     #[test]

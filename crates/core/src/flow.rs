@@ -3,16 +3,21 @@ use qce_attack::{CorrelationRegularizer, Decoder, EncodingLayout, GroupSpec};
 use qce_data::{select, Dataset, Image};
 use qce_metrics::{mape, ssim};
 use qce_nn::models::ResNetLite;
-use qce_nn::{accuracy, LrSchedule, Network, NetworkSnapshot, Regularizer, TrainConfig, Trainer,
-    TrainingHistory};
+use qce_nn::{
+    accuracy, LrSchedule, Network, NetworkSnapshot, Regularizer, TrainConfig, Trainer,
+    TrainingHistory,
+};
 use qce_quant::{
     finetune, quantize_network, FinetuneConfig, KMeansQuantizer, LinearQuantizer, Quantizer,
     TargetCorrelatedQuantizer, WeightedEntropyQuantizer,
 };
 use qce_tensor::Tensor;
 
-use crate::{Architecture, BandRule, FlowConfig, FlowError, Grouping, ImageReport, QuantConfig,
-    QuantMethod, Result, StageReport};
+use crate::faults::FaultPlan;
+use crate::{
+    Architecture, BandRule, FaultedImage, FaultedReport, FlowConfig, FlowError, Grouping,
+    ImageReport, QuantConfig, QuantMethod, Result, RobustnessPoint, RobustnessReport, StageReport,
+};
 
 /// The end-to-end quantized correlation encoding attack flow (Fig. 1 of
 /// the paper).
@@ -187,10 +192,9 @@ impl AttackFlow {
         let specs = match cfg.grouping {
             Grouping::Benign => Vec::new(),
             Grouping::Uniform(l) => GroupSpec::uniform(total_slots, l * scale),
-            Grouping::LayerWise(ls) => GroupSpec::paper_thirds(
-                total_slots,
-                [ls[0] * scale, ls[1] * scale, ls[2] * scale],
-            ),
+            Grouping::LayerWise(ls) => {
+                GroupSpec::paper_thirds(total_slots, [ls[0] * scale, ls[1] * scale, ls[2] * scale])
+            }
         };
         let mut layout = None;
         let mut selection_indices = Vec::new();
@@ -209,8 +213,13 @@ impl AttackFlow {
             let image_pixels = first.num_pixels();
             selection_indices = match cfg.band {
                 BandRule::Auto { width } => {
-                    select::select_targets(&train, width, capacity_pixels, cfg.seed.wrapping_add(2))?
-                        .indices
+                    select::select_targets(
+                        &train,
+                        width,
+                        capacity_pixels,
+                        cfg.seed.wrapping_add(2),
+                    )?
+                    .indices
                 }
                 BandRule::Explicit { min, max } => {
                     let band = select::StdBand::new(min, max)?;
@@ -238,7 +247,10 @@ impl AttackFlow {
                 .collect();
             target_labels = selection_indices.iter().map(|&i| train.label(i)).collect();
             let planned = EncodingLayout::plan(&net, &specs, &targets)?;
-            regularizer = Some(CorrelationRegularizer::new(planned.clone(), cfg.sign));
+            // Warmup lets task features form before the encoding pressure
+            // peaks; the final epoch still runs at full λ.
+            regularizer =
+                Some(CorrelationRegularizer::new(planned.clone(), cfg.sign).with_warmup());
             layout = Some(planned);
         }
 
@@ -255,6 +267,7 @@ impl AttackFlow {
             },
             optimizer: qce_nn::OptimizerKind::Sgd,
             shuffle_seed: cfg.seed.wrapping_add(3),
+            guard: qce_nn::DivergenceGuard::default(),
             verbose: cfg.verbose,
         });
         let training = trainer.fit(
@@ -335,7 +348,7 @@ impl TrainedAttack {
     /// Propagates quantization, fine-tuning or evaluation errors.
     pub fn quantize(&mut self, qcfg: QuantConfig) -> Result<QuantizedRelease> {
         self.restore_float()?;
-        let ratio = self.quantize_in_place(qcfg)?;
+        let (ratio, _) = self.quantize_in_place(qcfg)?;
         let label = format!("{:?} {}-bit", qcfg.method, qcfg.bits);
         let report = self.evaluate(label)?;
         self.restore_float()?;
@@ -355,7 +368,7 @@ impl TrainedAttack {
     /// Propagates quantization errors.
     pub fn apply_quantized_state(&mut self, qcfg: QuantConfig) -> Result<f64> {
         self.restore_float()?;
-        self.quantize_in_place(qcfg)
+        Ok(self.quantize_in_place(qcfg)?.0)
     }
 
     /// Restores the network to its float (post-training) state.
@@ -370,7 +383,10 @@ impl TrainedAttack {
         Ok(())
     }
 
-    fn quantize_in_place(&mut self, qcfg: QuantConfig) -> Result<f64> {
+    fn quantize_in_place(
+        &mut self,
+        qcfg: QuantConfig,
+    ) -> Result<(f64, qce_quant::QuantizedNetwork)> {
         let levels = 1usize << qcfg.bits;
         let quantizer: Box<dyn Quantizer> = match qcfg.method {
             QuantMethod::Linear => Box::new(LinearQuantizer::new(levels)?),
@@ -416,7 +432,108 @@ impl TrainedAttack {
                 reg.as_mut().map(|r| r as &mut dyn Regularizer),
             )?;
         }
-        Ok(qnet.compression_ratio())
+        Ok((qnet.compression_ratio(), qnet))
+    }
+
+    /// Evaluates a *faulted* release: restores the float state, optionally
+    /// quantizes with `qcfg`, applies `plan` to whatever is being released
+    /// (the packed index stream for quantized releases, raw weights
+    /// otherwise), then measures task accuracy and resilient extraction
+    /// quality. The float state is restored before returning.
+    ///
+    /// # Errors
+    ///
+    /// Propagates quantization, fault-application or evaluation errors.
+    pub fn evaluate_faulted(
+        &mut self,
+        qcfg: Option<QuantConfig>,
+        plan: &FaultPlan,
+        label: String,
+    ) -> Result<FaultedReport> {
+        let result = self.evaluate_faulted_inner(qcfg, plan, label);
+        self.restore_float()?;
+        result
+    }
+
+    fn evaluate_faulted_inner(
+        &mut self,
+        qcfg: Option<QuantConfig>,
+        plan: &FaultPlan,
+        label: String,
+    ) -> Result<FaultedReport> {
+        self.restore_float()?;
+        match qcfg {
+            Some(qcfg) => {
+                let (_, mut qnet) = self.quantize_in_place(qcfg)?;
+                plan.apply_to_quantized(&mut qnet, &mut self.network)?;
+            }
+            None => plan.apply_to_network(&mut self.network)?,
+        }
+        let acc = accuracy(&mut self.network, &self.test_x, &self.test_y, 64)?;
+        let mut images = Vec::new();
+        let mut mean_confidence = 0.0;
+        if let Some(layout) = &self.layout {
+            let decoder = Decoder::new(layout.clone(), self.config.sign);
+            let resilient = decoder.decode_resilient(&self.network.flat_weights());
+            mean_confidence = resilient.mean_confidence();
+            for r in &resilient.images {
+                let (mape_v, ssim_v) = match &r.image {
+                    Some(img) => {
+                        let original = &self.targets[r.target_index];
+                        (Some(mape(original, img)), Some(ssim(original, img)))
+                    }
+                    None => (None, None),
+                };
+                images.push(FaultedImage {
+                    target_index: r.target_index,
+                    group: r.group,
+                    status: r.status.clone(),
+                    mape: mape_v,
+                    ssim: ssim_v,
+                });
+            }
+        }
+        Ok(FaultedReport {
+            label,
+            accuracy: acc,
+            images,
+            mean_confidence,
+        })
+    }
+
+    /// Sweeps `plan` over severity factors (each point evaluates
+    /// [`TrainedAttack::evaluate_faulted`] on `plan.scaled(severity)`) —
+    /// the raw material of the robustness tables. Pass severities in
+    /// ascending order if you intend to check monotonicity.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first failing evaluation.
+    pub fn robustness_sweep(
+        &mut self,
+        qcfg: Option<QuantConfig>,
+        plan: &FaultPlan,
+        severities: &[f32],
+    ) -> Result<RobustnessReport> {
+        let mut points = Vec::with_capacity(severities.len());
+        for &severity in severities {
+            let scaled = plan.scaled(severity);
+            let rep = self.evaluate_faulted(qcfg, &scaled, format!("severity {severity}"))?;
+            points.push(RobustnessPoint {
+                severity,
+                accuracy: rep.accuracy,
+                mean_mape: rep.mean_mape(),
+                mean_ssim: rep.mean_ssim(),
+                decoded: rep.ok_count(),
+                degraded: rep.degraded_count(),
+                failed: rep.failed_count(),
+                mean_confidence: rep.mean_confidence,
+            });
+        }
+        Ok(RobustnessReport {
+            label: format!("plan seed {}", plan.seed()),
+            points,
+        })
     }
 
     /// Evaluates the network in its *current* state (float or quantized):
@@ -605,7 +722,12 @@ mod tests {
             let mut vals: Vec<f32> = flat[slot.offset..slot.offset + slot.len].to_vec();
             vals.sort_by(f32::total_cmp);
             vals.dedup();
-            assert!(vals.len() <= 16, "slot {} has {} values", slot.ordinal, vals.len());
+            assert!(
+                vals.len() <= 16,
+                "slot {} has {} values",
+                slot.ordinal,
+                vals.len()
+            );
         }
     }
 

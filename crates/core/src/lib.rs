@@ -26,6 +26,10 @@
 //!   recognized-image counts, group correlations, compression ratio.
 //! * [`audit`] — the defender's view: distribution-level heuristics that
 //!   flag correlation-encoded weight tensors.
+//! * [`faults`] / [`RobustnessReport`] — seeded fault injection on the
+//!   released model (bit flips in the packed index stream, noise, pruning,
+//!   centroid jitter, fine-tune drift) plus severity sweeps measuring how
+//!   gracefully the resilient decoder degrades.
 //!
 //! # Examples
 //!
@@ -55,11 +59,15 @@ mod report;
 
 pub mod audit;
 pub mod defense;
+pub mod faults;
 
 pub use config::{Architecture, BandRule, FlowConfig, Grouping, QuantConfig, QuantMethod};
 pub use error::FlowError;
+pub use faults::{FaultError, FaultKind, FaultPlan};
 pub use flow::{AttackFlow, FlowOutcome, QuantizedRelease, TrainedAttack};
-pub use report::{ImageReport, StageReport};
+pub use report::{
+    FaultedImage, FaultedReport, ImageReport, RobustnessPoint, RobustnessReport, StageReport,
+};
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, FlowError>;

@@ -1,5 +1,7 @@
 use serde::{Deserialize, Serialize};
 
+use qce_attack::ImageStatus;
+
 /// Reconstruction quality of one extracted image.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ImageReport {
@@ -119,6 +121,194 @@ impl StageReport {
     }
 }
 
+/// Quality of one extraction attempt from a *faulted* release.
+///
+/// Unlike [`ImageReport`], quality metrics are optional: a chunk the
+/// resilient decoder marked [`ImageStatus::Failed`] has no image to score.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct FaultedImage {
+    /// Index into the attack's target image list.
+    pub target_index: usize,
+    /// Layer group the image was decoded from.
+    pub group: usize,
+    /// The resilient decoder's verdict for this chunk.
+    pub status: ImageStatus,
+    /// Mean absolute pixel error vs. the original (decoded chunks only).
+    pub mape: Option<f32>,
+    /// Structural similarity vs. the original (decoded chunks only).
+    pub ssim: Option<f32>,
+}
+
+/// Evaluation of one faulted release: task accuracy plus resilient-decode
+/// quality with per-image status.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct FaultedReport {
+    /// Human-readable label (e.g. `"bitflip 0.1%"`).
+    pub label: String,
+    /// Top-1 accuracy of the faulted model on the held-out split.
+    pub accuracy: f32,
+    /// Per-chunk extraction outcome.
+    pub images: Vec<FaultedImage>,
+    /// Mean decoder confidence (histogram agreement) across groups.
+    pub mean_confidence: f32,
+}
+
+impl FaultedReport {
+    /// Chunks decoded without any repair.
+    pub fn ok_count(&self) -> usize {
+        self.images
+            .iter()
+            .filter(|i| matches!(i.status, ImageStatus::Ok))
+            .count()
+    }
+
+    /// Chunks decoded after carrier repair.
+    pub fn degraded_count(&self) -> usize {
+        self.images
+            .iter()
+            .filter(|i| matches!(i.status, ImageStatus::Degraded { .. }))
+            .count()
+    }
+
+    /// Chunks the decoder gave up on.
+    pub fn failed_count(&self) -> usize {
+        self.images
+            .iter()
+            .filter(|i| matches!(i.status, ImageStatus::Failed { .. }))
+            .count()
+    }
+
+    /// Mean MAPE over decoded chunks (`None` when nothing decoded).
+    pub fn mean_mape(&self) -> Option<f32> {
+        mean_of(self.images.iter().filter_map(|i| i.mape))
+    }
+
+    /// Mean SSIM over decoded chunks (`None` when nothing decoded).
+    pub fn mean_ssim(&self) -> Option<f32> {
+        mean_of(self.images.iter().filter_map(|i| i.ssim))
+    }
+}
+
+fn mean_of(values: impl Iterator<Item = f32>) -> Option<f32> {
+    let (sum, n) = values.fold((0.0f32, 0usize), |(s, n), v| (s + v, n + 1));
+    (n > 0).then(|| sum / n as f32)
+}
+
+/// One severity step of a robustness sweep.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct RobustnessPoint {
+    /// The severity factor the base [`FaultPlan`](crate::FaultPlan) was
+    /// scaled by.
+    pub severity: f32,
+    /// Task accuracy of the faulted release.
+    pub accuracy: f32,
+    /// Mean MAPE over decoded chunks (`None` when decoding failed
+    /// entirely).
+    pub mean_mape: Option<f32>,
+    /// Mean SSIM over decoded chunks.
+    pub mean_ssim: Option<f32>,
+    /// Chunks decoded without repair.
+    pub decoded: usize,
+    /// Chunks decoded after repair.
+    pub degraded: usize,
+    /// Chunks the decoder gave up on.
+    pub failed: usize,
+    /// Mean decoder confidence.
+    pub mean_confidence: f32,
+}
+
+/// Fault severity vs. extraction quality — the robustness analogue of the
+/// paper's quantization sweeps: instead of "how few bits survive the
+/// attack", it answers "how much release perturbation does".
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct RobustnessReport {
+    /// Label of the base fault plan that was swept.
+    pub label: String,
+    /// One point per severity, in ascending severity order.
+    pub points: Vec<RobustnessPoint>,
+}
+
+impl RobustnessReport {
+    /// The header matching [`RobustnessReport::to_csv`] rows.
+    pub fn csv_header() -> &'static str {
+        "label,severity,accuracy,mean_mape,mean_ssim,decoded,degraded,failed,mean_confidence"
+    }
+
+    /// All points as CSV rows (no header). Missing means render empty.
+    pub fn to_csv(&self) -> String {
+        let fmt_opt = |v: Option<f32>| v.map(|v| format!("{v:.4}")).unwrap_or_default();
+        self.points
+            .iter()
+            .map(|p| {
+                format!(
+                    "{},{},{:.6},{},{},{},{},{},{:.4}",
+                    self.label.replace(',', ";"),
+                    p.severity,
+                    p.accuracy,
+                    fmt_opt(p.mean_mape),
+                    fmt_opt(p.mean_ssim),
+                    p.decoded,
+                    p.degraded,
+                    p.failed,
+                    p.mean_confidence,
+                )
+            })
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+
+    /// Whether MAPE never *improves* by more than `tolerance` as severity
+    /// rises (chunks that stop decoding count as degradation).
+    pub fn mape_monotone(&self, tolerance: f32) -> bool {
+        self.points.windows(2).all(|w| {
+            match (w[0].mean_mape, w[1].mean_mape) {
+                (Some(a), Some(b)) => b >= a - tolerance,
+                // Losing all decodable chunks is degradation, not a dip.
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                (None, None) => true,
+            }
+        })
+    }
+
+    /// Whether SSIM never *improves* by more than `tolerance` as severity
+    /// rises.
+    pub fn ssim_monotone(&self, tolerance: f32) -> bool {
+        self.points
+            .windows(2)
+            .all(|w| match (w[0].mean_ssim, w[1].mean_ssim) {
+                (Some(a), Some(b)) => b <= a + tolerance,
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                (None, None) => true,
+            })
+    }
+
+    /// A compact human-readable table of the sweep.
+    pub fn summary(&self) -> String {
+        let mut out = format!(
+            "{:<10} {:>8} {:>10} {:>10} {:>5} {:>5} {:>5} {:>6}\n",
+            "severity", "acc", "mape", "ssim", "ok", "deg", "fail", "conf"
+        );
+        for p in &self.points {
+            let mape = p.mean_mape.map(|v| format!("{v:.1}")).unwrap_or("-".into());
+            let ssim = p.mean_ssim.map(|v| format!("{v:.3}")).unwrap_or("-".into());
+            out.push_str(&format!(
+                "{:<10} {:>8.3} {:>10} {:>10} {:>5} {:>5} {:>5} {:>6.3}\n",
+                p.severity,
+                p.accuracy,
+                mape,
+                ssim,
+                p.decoded,
+                p.degraded,
+                p.failed,
+                p.mean_confidence,
+            ));
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -184,6 +374,114 @@ mod tests {
         let mut r = report();
         r.label = "weq, 4-bit".to_string();
         assert!(r.to_csv_row().starts_with("weq; 4-bit,"));
+    }
+
+    fn point(severity: f32, mape: Option<f32>, ssim: Option<f32>) -> RobustnessPoint {
+        RobustnessPoint {
+            severity,
+            accuracy: 0.5,
+            mean_mape: mape,
+            mean_ssim: ssim,
+            decoded: 1,
+            degraded: 1,
+            failed: 1,
+            mean_confidence: 0.9,
+        }
+    }
+
+    #[test]
+    fn faulted_report_counts_and_means() {
+        let r = FaultedReport {
+            label: "f".to_string(),
+            accuracy: 0.4,
+            images: vec![
+                FaultedImage {
+                    target_index: 0,
+                    group: 2,
+                    status: ImageStatus::Ok,
+                    mape: Some(10.0),
+                    ssim: Some(0.9),
+                },
+                FaultedImage {
+                    target_index: 1,
+                    group: 2,
+                    status: ImageStatus::Degraded { repaired_pixels: 3 },
+                    mape: Some(30.0),
+                    ssim: Some(0.5),
+                },
+                FaultedImage {
+                    target_index: 2,
+                    group: 2,
+                    status: ImageStatus::Failed {
+                        reason: "gone".to_string(),
+                    },
+                    mape: None,
+                    ssim: None,
+                },
+            ],
+            mean_confidence: 0.8,
+        };
+        assert_eq!(r.ok_count(), 1);
+        assert_eq!(r.degraded_count(), 1);
+        assert_eq!(r.failed_count(), 1);
+        assert_eq!(r.mean_mape(), Some(20.0));
+        assert!((r.mean_ssim().unwrap() - 0.7).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_faulted_report_has_no_means() {
+        let r = FaultedReport {
+            label: String::new(),
+            accuracy: 0.0,
+            images: Vec::new(),
+            mean_confidence: 0.0,
+        };
+        assert_eq!(r.mean_mape(), None);
+        assert_eq!(r.mean_ssim(), None);
+    }
+
+    #[test]
+    fn robustness_monotonicity_checks() {
+        let rising = RobustnessReport {
+            label: "r".to_string(),
+            points: vec![
+                point(0.0, Some(1.0), Some(0.99)),
+                point(1.0, Some(5.0), Some(0.80)),
+                point(2.0, Some(40.0), Some(0.20)),
+                point(4.0, None, None),
+            ],
+        };
+        assert!(rising.mape_monotone(0.5));
+        assert!(rising.ssim_monotone(0.05));
+        let dipping = RobustnessReport {
+            label: "d".to_string(),
+            points: vec![
+                point(0.0, Some(30.0), Some(0.2)),
+                point(1.0, Some(5.0), Some(0.9)),
+            ],
+        };
+        assert!(!dipping.mape_monotone(0.5));
+        assert!(!dipping.ssim_monotone(0.05));
+        // Chunks reappearing after total failure is non-monotone too.
+        let resurrect = RobustnessReport {
+            label: "z".to_string(),
+            points: vec![point(0.0, None, None), point(1.0, Some(5.0), Some(0.9))],
+        };
+        assert!(!resurrect.mape_monotone(0.5));
+    }
+
+    #[test]
+    fn robustness_csv_matches_header_arity() {
+        let r = RobustnessReport {
+            label: "sweep, base".to_string(),
+            points: vec![point(0.0, Some(1.0), Some(0.9)), point(2.0, None, None)],
+        };
+        let cols = RobustnessReport::csv_header().split(',').count();
+        for row in r.to_csv().lines() {
+            assert_eq!(row.split(',').count(), cols, "row {row}");
+            assert!(row.starts_with("sweep; base,"));
+        }
+        assert!(!r.summary().is_empty());
     }
 
     #[test]

@@ -178,7 +178,7 @@ mod tests {
         assert_eq!(a.labels(), d.labels());
         assert_eq!(a.image(0).channels(), d.image(0).channels());
         assert_ne!(a, d); // something actually changed
-        // Deterministic given the seed.
+                          // Deterministic given the seed.
         let b = augment_dataset(&d, AugmentConfig::default(), 2).unwrap();
         assert_eq!(a, b);
     }

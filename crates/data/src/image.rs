@@ -153,7 +153,9 @@ impl Image {
                 let v = self.pixels[i] as f32;
                 (v, v, v)
             };
-            *g = (0.299 * r + 0.587 * gg + 0.114 * b).round().clamp(0.0, 255.0) as u8;
+            *g = (0.299 * r + 0.587 * gg + 0.114 * b)
+                .round()
+                .clamp(0.0, 255.0) as u8;
         }
         Image {
             pixels: gray,
@@ -173,7 +175,10 @@ mod tests {
         assert!(Image::new(vec![0; 12], 3, 2, 2).is_ok());
         assert!(matches!(
             Image::new(vec![0; 11], 3, 2, 2),
-            Err(DataError::InvalidDimensions { expected: 12, actual: 11 })
+            Err(DataError::InvalidDimensions {
+                expected: 12,
+                actual: 11
+            })
         ));
         assert!(Image::new(vec![], 0, 2, 2).is_err());
     }

@@ -57,7 +57,9 @@ pub fn write_ppm<P: AsRef<Path>>(image: &Image, path: P) -> Result<()> {
 /// if the images are empty or differ in geometry.
 pub fn tile_row(images: &[Image]) -> Result<Image> {
     use crate::DataError;
-    let first = images.first().ok_or(DataError::EmptySelection { stage: "tile" })?;
+    let first = images
+        .first()
+        .ok_or(DataError::EmptySelection { stage: "tile" })?;
     let (h, w) = (first.height(), first.width());
     let grays: Vec<Image> = images.iter().map(Image::to_grayscale).collect();
     if grays.iter().any(|g| g.height() != h || g.width() != w) {

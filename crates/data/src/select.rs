@@ -137,7 +137,9 @@ pub fn select_targets_in_band(
 ) -> Result<TargetSelection> {
     let mut candidates = candidates_in_band(dataset, band);
     if candidates.is_empty() {
-        return Err(DataError::EmptySelection { stage: "candidates" });
+        return Err(DataError::EmptySelection {
+            stage: "candidates",
+        });
     }
     let per_image = dataset.image(candidates[0]).num_pixels();
     let capacity_images = capacity_pixels / per_image;
@@ -165,15 +167,7 @@ mod tests {
         // Image with two pixel values v±k has std k.
         let images = stds
             .iter()
-            .map(|&k| {
-                Image::new(
-                    vec![128 - k, 128 + k, 128 - k, 128 + k],
-                    1,
-                    2,
-                    2,
-                )
-                .unwrap()
-            })
+            .map(|&k| Image::new(vec![128 - k, 128 + k, 128 - k, 128 + k], 1, 2, 2).unwrap())
             .collect();
         let labels = vec![0; stds.len()];
         Dataset::new(images, labels, 1).unwrap()
@@ -237,7 +231,9 @@ mod tests {
         let band = StdBand::new(100.0, 110.0).unwrap();
         assert!(matches!(
             select_targets_in_band(&d, band, 100, 0),
-            Err(DataError::EmptySelection { stage: "candidates" })
+            Err(DataError::EmptySelection {
+                stage: "candidates"
+            })
         ));
         let band2 = StdBand::new(5.0, 15.0).unwrap();
         assert!(matches!(

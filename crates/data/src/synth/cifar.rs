@@ -109,12 +109,7 @@ impl SynthCifar {
     }
 
     /// Renders one image of `class`.
-    fn render<R: Rng + RngExt>(
-        &self,
-        class: usize,
-        channels: usize,
-        rng: &mut R,
-    ) -> Result<Image> {
+    fn render<R: Rng + RngExt>(&self, class: usize, channels: usize, rng: &mut R) -> Result<Image> {
         let s = self.size as f32;
         let k = class as f32;
         // Class-specific texture parameters.
@@ -208,11 +203,13 @@ mod tests {
     fn classes_are_visually_distinct() {
         // Mean absolute pixel difference between class exemplars with the
         // same jitter seed should be large.
-        let d = SynthCifar::new(16).contrast_range(0.9, 1.0).generate(10, 3).unwrap();
+        let d = SynthCifar::new(16)
+            .contrast_range(0.9, 1.0)
+            .generate(10, 3)
+            .unwrap();
         let a = d.image(0).to_f32();
         let b = d.image(1).to_f32();
-        let mad: f32 =
-            a.iter().zip(&b).map(|(x, y)| (x - y).abs()).sum::<f32>() / a.len() as f32;
+        let mad: f32 = a.iter().zip(&b).map(|(x, y)| (x - y).abs()).sum::<f32>() / a.len() as f32;
         assert!(mad > 20.0, "classes look identical, mad={mad}");
     }
 

@@ -19,7 +19,11 @@ pub fn mape(original: &Image, reconstructed: &Image) -> f32 {
 pub fn mape_slices(a: &[f32], b: &[f32]) -> f32 {
     assert_eq!(a.len(), b.len(), "mape requires equal lengths");
     assert!(!a.is_empty(), "mape of empty images is undefined");
-    a.iter().zip(b.iter()).map(|(&x, &y)| (x - y).abs()).sum::<f32>() / a.len() as f32
+    a.iter()
+        .zip(b.iter())
+        .map(|(&x, &y)| (x - y).abs())
+        .sum::<f32>()
+        / a.len() as f32
 }
 
 /// Peak signal-to-noise ratio in dB for 8-bit images; `f32::INFINITY` for
@@ -59,11 +63,7 @@ const SSIM_C2: f64 = (0.03 * 255.0) * (0.03 * 255.0);
 /// Panics if the images differ in geometry.
 pub fn ssim(original: &Image, reconstructed: &Image) -> f32 {
     assert_eq!(
-        (
-            original.channels(),
-            original.height(),
-            original.width()
-        ),
+        (original.channels(), original.height(), original.width()),
         (
             reconstructed.channels(),
             reconstructed.height(),

@@ -45,6 +45,14 @@ pub enum NnError {
         /// Provided length.
         actual: usize,
     },
+    /// Training produced NaN/Inf state and the divergence guard's
+    /// rollback budget is exhausted (or the guard is disabled).
+    Diverged {
+        /// Epoch index at which the final divergence happened.
+        epoch: usize,
+        /// How many rollbacks were attempted before giving up.
+        rollbacks: usize,
+    },
 }
 
 impl NnError {
@@ -74,6 +82,10 @@ impl fmt::Display for NnError {
             NnError::WeightLengthMismatch { expected, actual } => {
                 write!(f, "flat weight vector length {actual}, expected {expected}")
             }
+            NnError::Diverged { epoch, rollbacks } => write!(
+                f,
+                "training diverged at epoch {epoch} after {rollbacks} rollback(s)"
+            ),
         }
     }
 }

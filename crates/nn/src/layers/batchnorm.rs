@@ -321,7 +321,9 @@ mod tests {
     #[test]
     fn rejects_wrong_channel_count() {
         let mut bn = BatchNorm2d::new(3);
-        assert!(bn.forward(&Tensor::zeros(&[1, 2, 2, 2]), Mode::Eval).is_err());
+        assert!(bn
+            .forward(&Tensor::zeros(&[1, 2, 2, 2]), Mode::Eval)
+            .is_err());
     }
 
     #[test]

@@ -89,9 +89,7 @@ impl Layer for Tanh {
             .ok_or(NnError::BackwardBeforeForward { layer: "tanh" })?;
         // d tanh/dx = 1 - tanh²
         let local = out.map(|t| 1.0 - t * t);
-        grad_out
-            .mul(&local)
-            .map_err(|e| NnError::tensor("tanh", e))
+        grad_out.mul(&local).map_err(|e| NnError::tensor("tanh", e))
     }
 }
 
@@ -159,9 +157,7 @@ mod tests {
     fn finite_difference_check<L: Layer>(layer: &mut L, xs: &[f32]) {
         let x = Tensor::from_slice(xs);
         layer.forward(&x, Mode::Train).unwrap();
-        let grad = layer
-            .backward(&Tensor::ones(&[xs.len()]))
-            .unwrap();
+        let grad = layer.backward(&Tensor::ones(&[xs.len()])).unwrap();
         let eps = 1e-3;
         for i in 0..xs.len() {
             let mut hi_x = xs.to_vec();

@@ -31,12 +31,7 @@ pub struct Linear {
 impl Linear {
     /// Creates a fully-connected layer with Xavier-initialized weights.
     pub fn new(in_features: usize, out_features: usize, rng: &mut StdRng) -> Self {
-        let weight = init::xavier(
-            &[out_features, in_features],
-            in_features,
-            out_features,
-            rng,
-        );
+        let weight = init::xavier(&[out_features, in_features], in_features, out_features, rng);
         Linear {
             weight: Param::new(weight, ParamKind::Weight),
             bias: Param::new(Tensor::zeros(&[out_features]), ParamKind::Bias),
@@ -71,10 +66,9 @@ impl Layer for Linear {
                 },
             ));
         }
-        let w_t = linalg::transpose(self.weight.value())
-            .map_err(|e| NnError::tensor(self.name(), e))?;
-        let mut out =
-            linalg::matmul(input, &w_t).map_err(|e| NnError::tensor(self.name(), e))?;
+        let w_t =
+            linalg::transpose(self.weight.value()).map_err(|e| NnError::tensor(self.name(), e))?;
+        let mut out = linalg::matmul(input, &w_t).map_err(|e| NnError::tensor(self.name(), e))?;
         let (n, o) = (out.dims()[0], out.dims()[1]);
         let bias = self.bias.value().as_slice().to_vec();
         let ov = out.as_mut_slice();
@@ -111,8 +105,7 @@ impl Layer for Linear {
             }
         }
         // dx = grad_out . W              [N, I]
-        linalg::matmul(grad_out, self.weight.value())
-            .map_err(|e| NnError::tensor(self.name(), e))
+        linalg::matmul(grad_out, self.weight.value()).map_err(|e| NnError::tensor(self.name(), e))
     }
 
     fn params(&self) -> Vec<&Param> {

@@ -184,7 +184,9 @@ impl Layer for AvgPool2d {
         let dims = self
             .input_dims
             .as_ref()
-            .ok_or(NnError::BackwardBeforeForward { layer: "avg_pool2d" })?;
+            .ok_or(NnError::BackwardBeforeForward {
+                layer: "avg_pool2d",
+            })?;
         let (n, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
         let (ho, wo) = (grad_out.dims()[2], grad_out.dims()[3]);
         let area = (self.k * self.k) as f32;
@@ -219,7 +221,10 @@ mod tests {
     fn max_pool_forward_backward() {
         let mut pool = MaxPool2d::new(2, 2);
         let x = Tensor::from_vec(
-            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0, 12.0, 13.0, 14.0, 15.0, 16.0],
+            vec![
+                1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0, 12.0, 13.0, 14.0, 15.0,
+                16.0,
+            ],
             &[1, 1, 4, 4],
         )
         .unwrap();

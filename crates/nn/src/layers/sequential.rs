@@ -99,7 +99,10 @@ impl Layer for Sequential {
     }
 
     fn params_mut(&mut self) -> Vec<&mut Param> {
-        self.layers.iter_mut().flat_map(|l| l.params_mut()).collect()
+        self.layers
+            .iter_mut()
+            .flat_map(|l| l.params_mut())
+            .collect()
     }
 
     fn buffers(&self) -> Vec<&[f32]> {
@@ -107,7 +110,10 @@ impl Layer for Sequential {
     }
 
     fn buffers_mut(&mut self) -> Vec<&mut Vec<f32>> {
-        self.layers.iter_mut().flat_map(|l| l.buffers_mut()).collect()
+        self.layers
+            .iter_mut()
+            .flat_map(|l| l.buffers_mut())
+            .collect()
     }
 }
 

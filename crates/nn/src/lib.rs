@@ -71,8 +71,10 @@ pub use network::{Network, NetworkSnapshot, WeightSlot};
 pub use optim::{Adam, Sgd};
 pub use param::{Param, ParamKind};
 pub use schedule::LrSchedule;
-pub use trainer::{accuracy, gather_batch, OptimizerKind, Regularizer, TrainConfig, Trainer,
-    TrainingHistory};
+pub use trainer::{
+    accuracy, gather_batch, DivergenceGuard, OptimizerKind, Regularizer, TrainConfig, Trainer,
+    TrainingHistory,
+};
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, NnError>;

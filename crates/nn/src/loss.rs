@@ -143,8 +143,7 @@ mod tests {
 
     #[test]
     fn gradient_matches_finite_difference() {
-        let mut logits =
-            Tensor::from_vec(vec![0.5, -0.3, 0.8, 0.1, 0.9, -0.2], &[2, 3]).unwrap();
+        let mut logits = Tensor::from_vec(vec![0.5, -0.3, 0.8, 0.1, 0.9, -0.2], &[2, 3]).unwrap();
         let labels = [2usize, 0];
         let out = softmax_cross_entropy(&logits, &labels).unwrap();
         let eps = 1e-3;
@@ -180,7 +179,10 @@ mod tests {
         ));
         assert!(matches!(
             softmax_cross_entropy(&logits, &[0, 3]),
-            Err(NnError::InvalidLabel { label: 3, classes: 3 })
+            Err(NnError::InvalidLabel {
+                label: 3,
+                classes: 3
+            })
         ));
     }
 }

@@ -127,7 +127,7 @@ impl ConvNetBuilder {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{Mode, Trainer, TrainConfig};
+    use crate::{Mode, TrainConfig, Trainer};
     use qce_tensor::Tensor;
 
     #[test]

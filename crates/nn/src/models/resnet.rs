@@ -220,10 +220,7 @@ mod tests {
 
     #[test]
     fn invalid_configs_rejected() {
-        assert!(ResNetLite::builder()
-            .stage_channels(&[])
-            .build(0)
-            .is_err());
+        assert!(ResNetLite::builder().stage_channels(&[]).build(0).is_err());
         assert!(ResNetLite::builder().classes(0).build(0).is_err());
         assert!(ResNetLite::builder()
             .input(3, 2)

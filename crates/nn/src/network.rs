@@ -97,7 +97,10 @@ pub struct Network {
 impl std::fmt::Debug for Network {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Network")
-            .field("layers", &self.layers.iter().map(|l| l.name()).collect::<Vec<_>>())
+            .field(
+                "layers",
+                &self.layers.iter().map(|l| l.name()).collect::<Vec<_>>(),
+            )
             .field("num_params", &self.num_params())
             .finish()
     }
@@ -157,7 +160,10 @@ impl Network {
     /// Mutable access to all parameters in the same order as
     /// [`Network::params`].
     pub fn params_mut(&mut self) -> Vec<&mut Param> {
-        self.layers.iter_mut().flat_map(|l| l.params_mut()).collect()
+        self.layers
+            .iter_mut()
+            .flat_map(|l| l.params_mut())
+            .collect()
     }
 
     /// Total number of scalar parameters.
@@ -390,7 +396,9 @@ mod tests {
     #[test]
     fn forward_shape() {
         let mut net = small_net(1);
-        let y = net.forward(&Tensor::zeros(&[2, 1, 4, 4]), Mode::Eval).unwrap();
+        let y = net
+            .forward(&Tensor::zeros(&[2, 1, 4, 4]), Mode::Eval)
+            .unwrap();
         assert_eq!(y.dims(), &[2, 3]);
     }
 
@@ -428,7 +436,11 @@ mod tests {
         let inject = vec![1.0f32; net.num_weights()];
         net.add_flat_weight_grads(&inject).unwrap();
         for p in net.params() {
-            let expect = if p.kind() == ParamKind::Weight { 1.0 } else { 0.0 };
+            let expect = if p.kind() == ParamKind::Weight {
+                1.0
+            } else {
+                0.0
+            };
             assert!(p.grad().as_slice().iter().all(|&g| g == expect));
         }
     }
@@ -460,7 +472,13 @@ mod tests {
     fn snapshot_restores_batchnorm_running_stats() {
         use crate::layers::BatchNorm2d;
         let mut net = Network::new(vec![
-            Box::new(Conv2d::new(1, 2, 3, ConvGeometry::new(1, 1), &mut init::seeded_rng(9))),
+            Box::new(Conv2d::new(
+                1,
+                2,
+                3,
+                ConvGeometry::new(1, 1),
+                &mut init::seeded_rng(9),
+            )),
             Box::new(BatchNorm2d::new(2)),
         ]);
         // Drive the running statistics away from their init.

@@ -76,7 +76,10 @@ impl Sgd {
     /// Panics if the parameter list length changes between steps.
     pub fn step(&mut self, params: &mut [&mut Param]) {
         if self.velocity.is_empty() {
-            self.velocity = params.iter().map(|p| Tensor::zeros(p.value().dims())).collect();
+            self.velocity = params
+                .iter()
+                .map(|p| Tensor::zeros(p.value().dims()))
+                .collect();
         }
         assert_eq!(
             self.velocity.len(),
@@ -178,8 +181,14 @@ impl Adam {
     /// Panics if the parameter list length changes between steps.
     pub fn step(&mut self, params: &mut [&mut Param]) {
         if self.m.is_empty() {
-            self.m = params.iter().map(|p| Tensor::zeros(p.value().dims())).collect();
-            self.v = params.iter().map(|p| Tensor::zeros(p.value().dims())).collect();
+            self.m = params
+                .iter()
+                .map(|p| Tensor::zeros(p.value().dims()))
+                .collect();
+            self.v = params
+                .iter()
+                .map(|p| Tensor::zeros(p.value().dims()))
+                .collect();
         }
         assert_eq!(
             self.m.len(),
@@ -189,7 +198,11 @@ impl Adam {
         self.step += 1;
         let bc1 = 1.0 - self.beta1.powi(self.step as i32);
         let bc2 = 1.0 - self.beta2.powi(self.step as i32);
-        for ((p, m), v) in params.iter_mut().zip(self.m.iter_mut()).zip(self.v.iter_mut()) {
+        for ((p, m), v) in params
+            .iter_mut()
+            .zip(self.m.iter_mut())
+            .zip(self.v.iter_mut())
+        {
             let grad = p.grad().as_slice().to_vec();
             let decay = if p.kind() == ParamKind::Weight {
                 self.weight_decay

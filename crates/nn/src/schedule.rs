@@ -12,8 +12,7 @@
 /// assert_eq!(s.lr_at(2, 0.1), 0.05);
 /// assert_eq!(s.lr_at(4, 0.1), 0.025);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum LrSchedule {
     /// Constant learning rate.
     #[default]
@@ -59,7 +58,6 @@ impl LrSchedule {
     }
 }
 
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -74,7 +72,10 @@ mod tests {
 
     #[test]
     fn step_decay_steps() {
-        let s = LrSchedule::StepDecay { every: 3, factor: 0.1 };
+        let s = LrSchedule::StepDecay {
+            every: 3,
+            factor: 0.1,
+        };
         assert_eq!(s.lr_at(2, 1.0), 1.0);
         assert!((s.lr_at(3, 1.0) - 0.1).abs() < 1e-7);
         assert!((s.lr_at(6, 1.0) - 0.01).abs() < 1e-8);
@@ -82,13 +83,19 @@ mod tests {
 
     #[test]
     fn step_decay_zero_every_is_constant() {
-        let s = LrSchedule::StepDecay { every: 0, factor: 0.1 };
+        let s = LrSchedule::StepDecay {
+            every: 0,
+            factor: 0.1,
+        };
         assert_eq!(s.lr_at(5, 1.0), 1.0);
     }
 
     #[test]
     fn cosine_endpoints() {
-        let s = LrSchedule::Cosine { total_epochs: 10, min_lr: 0.01 };
+        let s = LrSchedule::Cosine {
+            total_epochs: 10,
+            min_lr: 0.01,
+        };
         assert!((s.lr_at(0, 1.0) - 1.0).abs() < 1e-6);
         assert!((s.lr_at(9, 1.0) - 0.01).abs() < 1e-6);
         // Monotone decreasing.

@@ -63,7 +63,9 @@ pub fn save_network<W: Write>(net: &Network, mut writer: W) -> Result<()> {
         let dims = p.value().dims();
         writer.write_all(&[dims.len() as u8]).map_err(io_err)?;
         for &d in dims {
-            writer.write_all(&(d as u32).to_le_bytes()).map_err(io_err)?;
+            writer
+                .write_all(&(d as u32).to_le_bytes())
+                .map_err(io_err)?;
         }
         for &v in p.value().as_slice() {
             writer.write_all(&v.to_le_bytes()).map_err(io_err)?;
@@ -151,8 +153,8 @@ pub fn load_network<R: Read>(net: &mut Network, mut reader: R) -> Result<()> {
                 });
             }
             let data = read_f32s(&mut reader, p.len())?;
-            let tensor = Tensor::from_vec(data, &dims)
-                .map_err(|e| NnError::tensor("load_network", e))?;
+            let tensor =
+                Tensor::from_vec(data, &dims).map_err(|e| NnError::tensor("load_network", e))?;
             *p.value_mut() = tensor;
         }
     }

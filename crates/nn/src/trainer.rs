@@ -56,6 +56,59 @@ pub trait Regularizer {
     ///
     /// Implementations should propagate layout errors.
     fn apply(&mut self, net: &mut Network) -> Result<f32>;
+
+    /// Called once at the start of every epoch with the epoch index and
+    /// the total epoch count, so schedule-aware regularizers (e.g. a
+    /// warmup ramp on the correlation weight) can adjust their strength.
+    /// The default does nothing.
+    fn on_epoch(&mut self, _epoch: usize, _total_epochs: usize) {}
+
+    /// Called when the trainer detects numerical divergence and rolls the
+    /// network back to its last good snapshot; implementations should
+    /// permanently reduce their aggressiveness before the retry. The
+    /// default does nothing.
+    fn on_divergence(&mut self) {}
+}
+
+/// Divergence-recovery policy of a [`Trainer`].
+///
+/// After every epoch the trainer checks the epoch's mean loss, the
+/// regularizer penalty and all network weights for NaN/Inf. On
+/// divergence it rolls the network back to the snapshot taken after the
+/// last healthy epoch, rebuilds the optimizer (clearing momentum that
+/// points into the blow-up), scales the learning rate down by
+/// `lr_backoff`, notifies the regularizer via
+/// [`Regularizer::on_divergence`], and retries the epoch — at most
+/// `max_retries` times over the whole run before giving up with
+/// [`NnError::Diverged`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DivergenceGuard {
+    /// Whether the guard is active at all.
+    pub enabled: bool,
+    /// Total rollback budget for the run.
+    pub max_retries: usize,
+    /// Learning-rate multiplier applied at every rollback.
+    pub lr_backoff: f32,
+}
+
+impl Default for DivergenceGuard {
+    fn default() -> Self {
+        DivergenceGuard {
+            enabled: true,
+            max_retries: 2,
+            lr_backoff: 0.5,
+        }
+    }
+}
+
+impl DivergenceGuard {
+    /// A guard that never intervenes (training fails fast instead).
+    pub fn disabled() -> Self {
+        DivergenceGuard {
+            enabled: false,
+            ..DivergenceGuard::default()
+        }
+    }
 }
 
 /// Hyper-parameters of a [`Trainer`].
@@ -77,6 +130,8 @@ pub struct TrainConfig {
     pub optimizer: OptimizerKind,
     /// Seed for the per-epoch shuffle.
     pub shuffle_seed: u64,
+    /// Divergence detection and rollback policy.
+    pub guard: DivergenceGuard,
     /// Print one line per epoch to stderr.
     pub verbose: bool,
 }
@@ -92,6 +147,7 @@ impl Default for TrainConfig {
             schedule: LrSchedule::Constant,
             optimizer: OptimizerKind::Sgd,
             shuffle_seed: 0x5eed,
+            guard: DivergenceGuard::default(),
             verbose: false,
         }
     }
@@ -104,6 +160,8 @@ pub struct TrainingHistory {
     pub epoch_losses: Vec<f32>,
     /// Mean regularizer penalty of each epoch (zero without a regularizer).
     pub epoch_penalties: Vec<f32>,
+    /// How many divergence rollbacks the [`DivergenceGuard`] performed.
+    pub rollbacks: usize,
 }
 
 /// Mini-batch SGD training loop with an optional [`Regularizer`] hook.
@@ -156,23 +214,32 @@ impl Trainer {
                 reason: "empty dataset or zero batch size".to_string(),
             });
         }
-        let mut optimizer = match self.config.optimizer {
+        let make_optimizer = |config: &TrainConfig| match config.optimizer {
             OptimizerKind::Sgd => AnyOptimizer::Sgd(Sgd::with_momentum(
-                self.config.lr,
-                self.config.momentum,
-                self.config.weight_decay,
+                config.lr,
+                config.momentum,
+                config.weight_decay,
             )),
-            OptimizerKind::Adam => AnyOptimizer::Adam(Adam::with_weight_decay(
-                self.config.lr,
-                self.config.weight_decay,
-            )),
+            OptimizerKind::Adam => {
+                AnyOptimizer::Adam(Adam::with_weight_decay(config.lr, config.weight_decay))
+            }
         };
+        let mut optimizer = make_optimizer(&self.config);
         let mut rng = qce_tensor::init::seeded_rng(self.config.shuffle_seed);
         let mut order: Vec<usize> = (0..n).collect();
         let mut history = TrainingHistory::default();
+        let total_epochs = self.config.epochs;
+        let mut last_good = net.snapshot();
+        let mut lr_scale = 1.0f32;
+        let mut retries_left = self.config.guard.max_retries;
+        let mut epoch = 0usize;
 
-        for epoch in 0..self.config.epochs {
-            optimizer.set_lr(self.config.schedule.lr_at(epoch, self.config.lr));
+        while epoch < total_epochs {
+            if let Some(reg) = regularizer.as_deref_mut() {
+                reg.on_epoch(epoch, total_epochs);
+            }
+            let lr = self.config.schedule.lr_at(epoch, self.config.lr) * lr_scale;
+            optimizer.set_lr(lr);
             order.shuffle(&mut rng);
             let mut loss_sum = 0.0f64;
             let mut penalty_sum = 0.0f64;
@@ -195,17 +262,52 @@ impl Trainer {
 
             let mean_loss = (loss_sum / batches as f64) as f32;
             let mean_penalty = (penalty_sum / batches as f64) as f32;
+
+            if self.config.guard.enabled && !epoch_is_healthy(net, mean_loss, mean_penalty) {
+                if retries_left == 0 {
+                    return Err(NnError::Diverged {
+                        epoch,
+                        rollbacks: history.rollbacks,
+                    });
+                }
+                retries_left -= 1;
+                history.rollbacks += 1;
+                net.restore(&last_good)?;
+                // Momentum state points into the blow-up; rebuild it.
+                optimizer = make_optimizer(&self.config);
+                lr_scale *= self.config.guard.lr_backoff;
+                if let Some(reg) = regularizer.as_deref_mut() {
+                    reg.on_divergence();
+                }
+                if self.config.verbose {
+                    eprintln!(
+                        "epoch {epoch}: diverged (loss={mean_loss}), rolled back; \
+                         retrying at lr scale {lr_scale}"
+                    );
+                }
+                continue;
+            }
+
+            last_good = net.snapshot();
             history.epoch_losses.push(mean_loss);
             history.epoch_penalties.push(mean_penalty);
+            epoch += 1;
             if self.config.verbose {
                 eprintln!(
-                    "epoch {epoch}: loss={mean_loss:.4} penalty={mean_penalty:.4} lr={:.5}",
-                    self.config.schedule.lr_at(epoch, self.config.lr)
+                    "epoch {epoch}: loss={mean_loss:.4} penalty={mean_penalty:.4} lr={lr:.5}"
                 );
             }
         }
         Ok(history)
     }
+}
+
+/// Whether an epoch left the model in a numerically sound state: finite
+/// loss, finite regularizer penalty and finite weights.
+fn epoch_is_healthy(net: &Network, mean_loss: f32, mean_penalty: f32) -> bool {
+    mean_loss.is_finite()
+        && mean_penalty.is_finite()
+        && net.flat_weights().iter().all(|w| w.is_finite())
 }
 
 /// Copies the rows of `x` (`[N, ...]`) selected by `indices` into a new
@@ -283,10 +385,7 @@ mod tests {
             }
             labels.push(class);
         }
-        (
-            Tensor::from_vec(data, &[n, 1, 2, 2]).unwrap(),
-            labels,
-        )
+        (Tensor::from_vec(data, &[n, 1, 2, 2]).unwrap(), labels)
     }
 
     fn mlp(seed: u64) -> Network {

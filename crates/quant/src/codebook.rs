@@ -85,6 +85,34 @@ impl Codebook {
         &self.boundaries
     }
 
+    /// Replaces the representative values (fine-tune drift and centroid
+    /// jitter move representatives while assignments stay fixed). The
+    /// boundaries are untouched, so subsequent [`Codebook::assign`] calls
+    /// still partition by the original fit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantError::InvalidCodebook`] if the length differs from
+    /// [`Codebook::levels`] or any value is non-finite.
+    pub fn set_representatives(&mut self, representatives: Vec<f32>) -> Result<()> {
+        if representatives.len() != self.representatives.len() {
+            return Err(QuantError::InvalidCodebook {
+                reason: format!(
+                    "{} representatives for a {}-level codebook",
+                    representatives.len(),
+                    self.representatives.len()
+                ),
+            });
+        }
+        if representatives.iter().any(|v| !v.is_finite()) {
+            return Err(QuantError::InvalidCodebook {
+                reason: "non-finite value".to_string(),
+            });
+        }
+        self.representatives = representatives;
+        Ok(())
+    }
+
     /// Cluster index for `w` (binary search over the boundaries).
     pub fn assign_value(&self, w: f32) -> usize {
         // partition_point returns the count of boundaries <= w; the cluster
@@ -109,7 +137,10 @@ impl Codebook {
 
     /// Cluster index of every weight.
     pub fn assign(&self, weights: &[f32]) -> Vec<u32> {
-        weights.iter().map(|&w| self.assign_value(w) as u32).collect()
+        weights
+            .iter()
+            .map(|&w| self.assign_value(w) as u32)
+            .collect()
     }
 
     /// Reconstructs weight values from cluster indices.
@@ -202,13 +233,26 @@ mod tests {
     }
 
     #[test]
+    fn set_representatives_validates() {
+        let mut cb = cb();
+        assert!(cb.set_representatives(vec![0.0, 1.0]).is_err());
+        assert!(cb.set_representatives(vec![0.0, f32::NAN, 1.0]).is_err());
+        cb.set_representatives(vec![-2.0, 0.5, 3.0]).unwrap();
+        assert_eq!(cb.quantize_value(0.7), (2, 3.0));
+        // Boundaries are untouched by the swap.
+        assert_eq!(cb.assign_value(-3.0), 0);
+    }
+
+    #[test]
     fn bits_per_level() {
         assert_eq!(cb().bits(), 2);
         let two = Codebook::new(vec![0.0, 1.0], vec![0.0, 0.5]).unwrap();
         assert_eq!(two.bits(), 1);
-        let sixteen =
-            Codebook::new((0..16).map(|i| i as f32).collect(), (0..16).map(|i| i as f32).collect())
-                .unwrap();
+        let sixteen = Codebook::new(
+            (0..16).map(|i| i as f32).collect(),
+            (0..16).map(|i| i as f32).collect(),
+        )
+        .unwrap();
         assert_eq!(sixteen.bits(), 4);
     }
 }

@@ -203,8 +203,8 @@ fn centroid_step(
 mod tests {
     use super::*;
     use crate::{quantize_network, LinearQuantizer};
-    use qce_nn::models::ResNetLite;
     use qce_nn::accuracy;
+    use qce_nn::models::ResNetLite;
 
     fn toy() -> (Network, Tensor, Vec<usize>) {
         let data = qce_data_free_toy();
@@ -292,8 +292,7 @@ mod tests {
             .blocks_per_stage(1)
             .build(9)
             .unwrap();
-        let mut qnet =
-            quantize_network(&mut other, &LinearQuantizer::new(4).unwrap()).unwrap();
+        let mut qnet = quantize_network(&mut other, &LinearQuantizer::new(4).unwrap()).unwrap();
         let cfg = FinetuneConfig::default();
         assert!(matches!(
             finetune(&mut net, &mut qnet, &x, &y, &cfg, None),

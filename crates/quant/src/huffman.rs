@@ -65,10 +65,7 @@ impl HuffmanCode {
                 fn cmp(&self, other: &Self) -> std::cmp::Ordering {
                     // Reverse for a min-heap; tie-break on id for
                     // determinism.
-                    other
-                        .weight
-                        .cmp(&self.weight)
-                        .then(other.id.cmp(&self.id))
+                    other.weight.cmp(&self.weight).then(other.id.cmp(&self.id))
                 }
             }
             impl PartialOrd for Node {
@@ -157,9 +154,12 @@ impl HuffmanCode {
         let mut bit_count = 0u8;
         for &s in symbols {
             let s = s as usize;
-            let len = *self.lengths.get(s).ok_or_else(|| QuantError::InvalidPacking {
-                reason: format!("symbol {s} outside alphabet"),
-            })?;
+            let len = *self
+                .lengths
+                .get(s)
+                .ok_or_else(|| QuantError::InvalidPacking {
+                    reason: format!("symbol {s} outside alphabet"),
+                })?;
             if len == 0 {
                 return Err(QuantError::InvalidPacking {
                     reason: format!("symbol {s} has no code"),
@@ -347,17 +347,28 @@ mod tests {
             .collect();
         for (i, &(la, ca)) in entries.iter().enumerate() {
             for &(lb, cb) in entries.iter().skip(i + 1) {
-                let (short, long) = if la <= lb { ((la, ca), (lb, cb)) } else { ((lb, cb), (la, ca)) };
-                let prefix = long.1 >> (long.0 - short.0);
-                assert!(
-                    !(short.0 == long.0 && short.1 == long.1) && prefix != short.1
-                        || short.0 == long.0,
-                    "codeword {:b}/{} is a prefix of {:b}/{}",
-                    short.1,
-                    short.0,
-                    long.1,
-                    long.0
-                );
+                let (short, long) = if la <= lb {
+                    ((la, ca), (lb, cb))
+                } else {
+                    ((lb, cb), (la, ca))
+                };
+                if short.0 == long.0 {
+                    assert_ne!(
+                        short.1, long.1,
+                        "duplicate codeword {:b} at length {}",
+                        short.1, short.0
+                    );
+                } else {
+                    let prefix = long.1 >> (long.0 - short.0);
+                    assert!(
+                        prefix != short.1,
+                        "codeword {:b}/{} is a prefix of {:b}/{}",
+                        short.1,
+                        short.0,
+                        long.1,
+                        long.0
+                    );
+                }
             }
         }
     }
@@ -374,6 +385,9 @@ mod tests {
     #[test]
     fn deterministic_construction() {
         let freq = vec![100u64, 50, 25, 25, 10, 1];
-        assert_eq!(HuffmanCode::fit(&freq).unwrap(), HuffmanCode::fit(&freq).unwrap());
+        assert_eq!(
+            HuffmanCode::fit(&freq).unwrap(),
+            HuffmanCode::fit(&freq).unwrap()
+        );
     }
 }

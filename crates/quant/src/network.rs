@@ -42,8 +42,11 @@ impl QuantizedNetwork {
         &self.slots
     }
 
-    /// Mutable access to the slots (fine-tuning updates representatives).
-    pub(crate) fn slots_mut(&mut self) -> &mut [QuantizedSlot] {
+    /// Mutable access to the slots — fine-tuning updates representatives,
+    /// and fault injection perturbs codebooks and assignments in place.
+    /// Call [`QuantizedNetwork::reapply`] afterwards to propagate the
+    /// mutation into a network's weights.
+    pub fn slots_mut(&mut self) -> &mut [QuantizedSlot] {
         &mut self.slots
     }
 
@@ -107,8 +110,7 @@ impl QuantizedNetwork {
         self.slots
             .iter()
             .map(|s| {
-                s.len() as u64 * u64::from(s.codebook.bits())
-                    + 32 * s.codebook.levels() as u64
+                s.len() as u64 * u64::from(s.codebook.bits()) + 32 * s.codebook.levels() as u64
             })
             .sum()
     }
@@ -182,10 +184,7 @@ fn exact_codebook(values: &[f32]) -> Result<Codebook> {
 /// # Ok(())
 /// # }
 /// ```
-pub fn quantize_network(
-    net: &mut Network,
-    quantizer: &dyn Quantizer,
-) -> Result<QuantizedNetwork> {
+pub fn quantize_network(net: &mut Network, quantizer: &dyn Quantizer) -> Result<QuantizedNetwork> {
     let mut slots = Vec::new();
     for p in net.params_mut() {
         if p.kind() != ParamKind::Weight {
@@ -233,11 +232,11 @@ mod tests {
         let q = quantize_network(&mut n, &LinearQuantizer::new(8).unwrap()).unwrap();
         assert_eq!(q.num_weights(), n.num_weights());
         assert_eq!(q.requested_levels(), 8);
-        for (slot, p) in q
-            .slots()
-            .iter()
-            .zip(n.params().into_iter().filter(|p| p.kind() == ParamKind::Weight))
-        {
+        for (slot, p) in q.slots().iter().zip(
+            n.params()
+                .into_iter()
+                .filter(|p| p.kind() == ParamKind::Weight),
+        ) {
             let mut distinct: Vec<f32> = p.value().as_slice().to_vec();
             distinct.sort_by(f32::total_cmp);
             distinct.dedup();

@@ -31,7 +31,11 @@ pub fn pack(indices: &[u32], bits: u32) -> Result<Vec<u8>> {
             reason: format!("bits {bits} outside 1..=16"),
         });
     }
-    let max = if bits == 32 { u32::MAX } else { (1u32 << bits) - 1 };
+    let max = if bits == 32 {
+        u32::MAX
+    } else {
+        (1u32 << bits) - 1
+    };
     if let Some(&bad) = indices.iter().find(|&&i| i > max) {
         return Err(QuantError::InvalidPacking {
             reason: format!("index {bad} does not fit in {bits} bits"),

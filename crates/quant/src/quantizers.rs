@@ -194,7 +194,11 @@ impl Quantizer for KMeansQuantizer {
             // Update.
             let mut moved = false;
             for i in 0..self.levels {
-                let hi_idx = if i + 1 < self.levels { starts[i + 1] } else { n };
+                let hi_idx = if i + 1 < self.levels {
+                    starts[i + 1]
+                } else {
+                    n
+                };
                 if hi_idx > starts[i] {
                     let seg = &s[starts[i]..hi_idx];
                     let mean = seg.iter().sum::<f32>() / seg.len() as f32;
@@ -306,7 +310,11 @@ impl Quantizer for WeightedEntropyQuantizer {
         let mut bounds = Vec::with_capacity(self.levels);
         for i in 0..self.levels {
             let lo = starts[i];
-            let hi = if i + 1 < self.levels { starts[i + 1] } else { n };
+            let hi = if i + 1 < self.levels {
+                starts[i + 1]
+            } else {
+                n
+            };
             bounds.push(s[lo.min(n - 1)]);
             if hi > lo {
                 let seg = &s[lo..hi];
@@ -440,6 +448,18 @@ mod tests {
     }
 
     #[test]
+    fn kmeans_handles_single_distinct_value() {
+        // A constant tensor collapses every cluster onto the one value and
+        // must round-trip losslessly (regression: a released model can
+        // legitimately ship an all-equal tensor, e.g. after pruning).
+        let cb = KMeansQuantizer::new(4).unwrap().fit(&[-0.25; 16]).unwrap();
+        assert_eq!(cb.levels(), 4);
+        assert_eq!(cb.quantize(&[-0.25; 5]), vec![-0.25; 5]);
+        let idx = cb.assign(&[-0.25; 5]);
+        assert_eq!(cb.decode(&idx).unwrap(), vec![-0.25; 5]);
+    }
+
+    #[test]
     fn kmeans_reduces_mse_vs_linear() {
         let w = random_weights(5000, 1);
         let lin = LinearQuantizer::new(8).unwrap().fit(&w).unwrap();
@@ -453,7 +473,12 @@ mod tests {
                 .sum::<f32>()
                 / w.len() as f32
         };
-        assert!(mse(&km) < mse(&lin), "kmeans {} linear {}", mse(&km), mse(&lin));
+        assert!(
+            mse(&km) < mse(&lin),
+            "kmeans {} linear {}",
+            mse(&km),
+            mse(&lin)
+        );
     }
 
     #[test]
@@ -506,7 +531,10 @@ mod tests {
 
     #[test]
     fn weq_all_zero_weights() {
-        let cb = WeightedEntropyQuantizer::new(4).unwrap().fit(&[0.0; 10]).unwrap();
+        let cb = WeightedEntropyQuantizer::new(4)
+            .unwrap()
+            .fit(&[0.0; 10])
+            .unwrap();
         assert_eq!(cb.quantize(&[0.0]), vec![0.0]);
     }
 

@@ -110,8 +110,7 @@ fn im2col(
                     let iy = (oy * stride) as isize + ky as isize - pad;
                     for ox in 0..wo {
                         let ix = (ox * stride) as isize + kx as isize - pad;
-                        out_row[idx] = if iy >= 0 && iy < h as isize && ix >= 0 && ix < w as isize
-                        {
+                        out_row[idx] = if iy >= 0 && iy < h as isize && ix >= 0 && ix < w as isize {
                             img_ch[iy as usize * w + ix as usize]
                         } else {
                             0.0
@@ -495,10 +494,10 @@ mod tests {
                         for ch in 0..c {
                             for ky in 0..kh {
                                 for kx in 0..kw {
-                                    let iy = (oy * geom.stride + ky) as isize
-                                        - geom.padding as isize;
-                                    let ix = (ox * geom.stride + kx) as isize
-                                        - geom.padding as isize;
+                                    let iy =
+                                        (oy * geom.stride + ky) as isize - geom.padding as isize;
+                                    let ix =
+                                        (ox * geom.stride + kx) as isize - geom.padding as isize;
                                     if iy >= 0 && iy < h as isize && ix >= 0 && ix < w as isize {
                                         acc += input.at(&[s, ch, iy as usize, ix as usize])
                                             * weight.at(&[oc, ch, ky, kx]);

@@ -75,10 +75,7 @@ mod tests {
             expected: 4,
             actual: 3,
         };
-        assert_eq!(
-            e.to_string(),
-            "data length 3 does not match shape volume 4"
-        );
+        assert_eq!(e.to_string(), "data length 3 does not match shape volume 4");
     }
 
     #[test]

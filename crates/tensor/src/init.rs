@@ -102,7 +102,11 @@ mod tests {
     fn normal_moments_are_plausible() {
         let t = normal(&[20_000], 1.0, &mut seeded_rng(3));
         let mean = t.mean();
-        let var = t.as_slice().iter().map(|&x| (x - mean).powi(2)).sum::<f32>()
+        let var = t
+            .as_slice()
+            .iter()
+            .map(|&x| (x - mean).powi(2))
+            .sum::<f32>()
             / t.len() as f32;
         assert!(mean.abs() < 0.05, "mean {mean}");
         assert!((var - 1.0).abs() < 0.05, "var {var}");

@@ -63,7 +63,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The paper's combined flow.
     let comb = AttackFlow::new(FlowConfig {
         grouping: Grouping::LayerWise([0.0, 0.0, lambda]),
-        band: BandRule::Explicit { min: 50.0, max: 55.0 },
+        band: BandRule::Explicit {
+            min: 50.0,
+            max: 55.0,
+        },
         quant: Some(QuantConfig::new(QuantMethod::TargetCorrelated, bits)),
         ..base
     })

@@ -21,7 +21,11 @@ fn print_report(name: &str, report: &qce::audit::AuditReport) {
             t.excess_kurtosis,
             t.uniform_divergence,
             t.suspicion,
-            if t.suspicion > 0.5 { "  <-- flagged" } else { "" },
+            if t.suspicion > 0.5 {
+                "  <-- flagged"
+            } else {
+                ""
+            },
         );
     }
     println!(

@@ -22,7 +22,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let dataset = SynthCifar::new(16).generate(1200, 1)?;
     let config = FlowConfig {
         grouping: Grouping::LayerWise([0.0, 0.0, 5.0]),
-        band: BandRule::Explicit { min: 50.0, max: 55.0 },
+        band: BandRule::Explicit {
+            min: 50.0,
+            max: 55.0,
+        },
         quant: None,
         ..FlowConfig::small()
     };
@@ -34,10 +37,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Re-derive the quantization handle from the released weights (the
     // deployment is produced from the final quantized model).
-    let qnet = qce_quant::quantize_network(
-        trained.network_mut(),
-        &qce_quant::LinearQuantizer::new(16)?,
-    )?;
+    let qnet =
+        qce_quant::quantize_network(trained.network_mut(), &qce_quant::LinearQuantizer::new(16)?)?;
     std::fs::create_dir_all("target/release_roundtrip")?;
     let path = "target/release_roundtrip/model.qceq";
     let mut file = std::fs::File::create(path)?;

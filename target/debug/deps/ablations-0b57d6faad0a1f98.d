@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-0b57d6faad0a1f98.d: crates/bench/benches/ablations.rs
+
+/root/repo/target/debug/deps/ablations-0b57d6faad0a1f98: crates/bench/benches/ablations.rs
+
+crates/bench/benches/ablations.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/attacks-944bf4e1fb4c79af.d: crates/core/../../tests/attacks.rs
+
+/root/repo/target/debug/deps/attacks-944bf4e1fb4c79af: crates/core/../../tests/attacks.rs
+
+crates/core/../../tests/attacks.rs:

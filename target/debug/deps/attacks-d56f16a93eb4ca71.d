@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/attacks-d56f16a93eb4ca71.d: crates/core/../../tests/attacks.rs Cargo.toml
+
+/root/repo/target/debug/deps/libattacks-d56f16a93eb4ca71.rmeta: crates/core/../../tests/attacks.rs Cargo.toml
+
+crates/core/../../tests/attacks.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

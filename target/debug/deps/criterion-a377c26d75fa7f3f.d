@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-a377c26d75fa7f3f.d: vendor/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-a377c26d75fa7f3f.rmeta: vendor/criterion/src/lib.rs
+
+vendor/criterion/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/criterion-d32a212ce653665e.d: vendor/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-d32a212ce653665e.rlib: vendor/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-d32a212ce653665e.rmeta: vendor/criterion/src/lib.rs
+
+vendor/criterion/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/defenses-700343aa24ff2405.d: crates/bench/benches/defenses.rs
+
+/root/repo/target/debug/deps/defenses-700343aa24ff2405: crates/bench/benches/defenses.rs
+
+crates/bench/benches/defenses.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/defenses-eaff81d2e00aacfe.d: crates/bench/benches/defenses.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdefenses-eaff81d2e00aacfe.rmeta: crates/bench/benches/defenses.rs Cargo.toml
+
+crates/bench/benches/defenses.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

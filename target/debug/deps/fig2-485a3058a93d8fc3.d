@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2-485a3058a93d8fc3.d: crates/bench/benches/fig2.rs
+
+/root/repo/target/debug/deps/fig2-485a3058a93d8fc3: crates/bench/benches/fig2.rs
+
+crates/bench/benches/fig2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3-45dc0df243a8f422.d: crates/bench/benches/fig3.rs
+
+/root/repo/target/debug/deps/fig3-45dc0df243a8f422: crates/bench/benches/fig3.rs
+
+crates/bench/benches/fig3.rs:

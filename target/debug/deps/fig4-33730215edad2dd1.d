@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig4-33730215edad2dd1.d: crates/bench/benches/fig4.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig4-33730215edad2dd1.rmeta: crates/bench/benches/fig4.rs Cargo.toml
+
+crates/bench/benches/fig4.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4-6d2ea9c4cc0fa027.d: crates/bench/benches/fig4.rs
+
+/root/repo/target/debug/deps/fig4-6d2ea9c4cc0fa027: crates/bench/benches/fig4.rs
+
+crates/bench/benches/fig4.rs:

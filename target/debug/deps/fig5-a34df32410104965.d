@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig5-a34df32410104965.d: crates/bench/benches/fig5.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig5-a34df32410104965.rmeta: crates/bench/benches/fig5.rs Cargo.toml
+
+crates/bench/benches/fig5.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5-a463f7b332fe850a.d: crates/bench/benches/fig5.rs
+
+/root/repo/target/debug/deps/fig5-a463f7b332fe850a: crates/bench/benches/fig5.rs
+
+crates/bench/benches/fig5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/kernels-483d41a3f50c0d78.d: crates/bench/benches/kernels.rs
+
+/root/repo/target/debug/deps/kernels-483d41a3f50c0d78: crates/bench/benches/kernels.rs
+
+crates/bench/benches/kernels.rs:

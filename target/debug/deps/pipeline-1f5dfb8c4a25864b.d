@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pipeline-1f5dfb8c4a25864b.d: crates/core/../../tests/pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpipeline-1f5dfb8c4a25864b.rmeta: crates/core/../../tests/pipeline.rs Cargo.toml
+
+crates/core/../../tests/pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline-b579c25954c9cae9.d: crates/core/../../tests/pipeline.rs
+
+/root/repo/target/debug/deps/pipeline-b579c25954c9cae9: crates/core/../../tests/pipeline.rs
+
+crates/core/../../tests/pipeline.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/props-131cde5dd6c30c9e.d: crates/quant/tests/props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprops-131cde5dd6c30c9e.rmeta: crates/quant/tests/props.rs Cargo.toml
+
+crates/quant/tests/props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/props-233704e8accd30d7.d: crates/data/tests/props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprops-233704e8accd30d7.rmeta: crates/data/tests/props.rs Cargo.toml
+
+crates/data/tests/props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

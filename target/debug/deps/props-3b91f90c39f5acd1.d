@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/props-3b91f90c39f5acd1.d: crates/quant/tests/props.rs
+
+/root/repo/target/debug/deps/props-3b91f90c39f5acd1: crates/quant/tests/props.rs
+
+crates/quant/tests/props.rs:

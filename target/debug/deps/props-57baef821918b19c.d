@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/props-57baef821918b19c.d: crates/nn/tests/props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprops-57baef821918b19c.rmeta: crates/nn/tests/props.rs Cargo.toml
+
+crates/nn/tests/props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/props-84df4c1892652cdd.d: crates/data/tests/props.rs
+
+/root/repo/target/debug/deps/props-84df4c1892652cdd: crates/data/tests/props.rs
+
+crates/data/tests/props.rs:

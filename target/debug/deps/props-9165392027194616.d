@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/props-9165392027194616.d: crates/attack/tests/props.rs
+
+/root/repo/target/debug/deps/props-9165392027194616: crates/attack/tests/props.rs
+
+crates/attack/tests/props.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/props-a29940fbfeb2b822.d: crates/tensor/tests/props.rs
+
+/root/repo/target/debug/deps/props-a29940fbfeb2b822: crates/tensor/tests/props.rs
+
+crates/tensor/tests/props.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/props-bb6f5acd224bc54e.d: crates/metrics/tests/props.rs
+
+/root/repo/target/debug/deps/props-bb6f5acd224bc54e: crates/metrics/tests/props.rs
+
+crates/metrics/tests/props.rs:

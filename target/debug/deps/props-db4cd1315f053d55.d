@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/props-db4cd1315f053d55.d: crates/tensor/tests/props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprops-db4cd1315f053d55.rmeta: crates/tensor/tests/props.rs Cargo.toml
+
+crates/tensor/tests/props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/props-de1c44048006112e.d: crates/nn/tests/props.rs
+
+/root/repo/target/debug/deps/props-de1c44048006112e: crates/nn/tests/props.rs
+
+crates/nn/tests/props.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/props-e3e2eeb76dc2412c.d: crates/metrics/tests/props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprops-e3e2eeb76dc2412c.rmeta: crates/metrics/tests/props.rs Cargo.toml
+
+crates/metrics/tests/props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/props-e68356576c74dc78.d: crates/attack/tests/props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprops-e68356576c74dc78.rmeta: crates/attack/tests/props.rs Cargo.toml
+
+crates/attack/tests/props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-c99ac1a43d978407.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-c99ac1a43d978407.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/qce-38a89339c92503f5.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/error.rs crates/core/src/flow.rs crates/core/src/report.rs crates/core/src/audit.rs crates/core/src/defense.rs crates/core/src/faults.rs
+
+/root/repo/target/debug/deps/qce-38a89339c92503f5: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/error.rs crates/core/src/flow.rs crates/core/src/report.rs crates/core/src/audit.rs crates/core/src/defense.rs crates/core/src/faults.rs
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/error.rs:
+crates/core/src/flow.rs:
+crates/core/src/report.rs:
+crates/core/src/audit.rs:
+crates/core/src/defense.rs:
+crates/core/src/faults.rs:

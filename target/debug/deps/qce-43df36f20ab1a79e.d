@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/qce-43df36f20ab1a79e.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/error.rs crates/core/src/flow.rs crates/core/src/report.rs crates/core/src/audit.rs crates/core/src/defense.rs crates/core/src/faults.rs
+
+/root/repo/target/debug/deps/libqce-43df36f20ab1a79e.rlib: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/error.rs crates/core/src/flow.rs crates/core/src/report.rs crates/core/src/audit.rs crates/core/src/defense.rs crates/core/src/faults.rs
+
+/root/repo/target/debug/deps/libqce-43df36f20ab1a79e.rmeta: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/error.rs crates/core/src/flow.rs crates/core/src/report.rs crates/core/src/audit.rs crates/core/src/defense.rs crates/core/src/faults.rs
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/error.rs:
+crates/core/src/flow.rs:
+crates/core/src/report.rs:
+crates/core/src/audit.rs:
+crates/core/src/defense.rs:
+crates/core/src/faults.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/qce-5cf2503062fb42f0.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/error.rs crates/core/src/flow.rs crates/core/src/report.rs crates/core/src/audit.rs crates/core/src/defense.rs crates/core/src/faults.rs
+
+/root/repo/target/debug/deps/libqce-5cf2503062fb42f0.rlib: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/error.rs crates/core/src/flow.rs crates/core/src/report.rs crates/core/src/audit.rs crates/core/src/defense.rs crates/core/src/faults.rs
+
+/root/repo/target/debug/deps/libqce-5cf2503062fb42f0.rmeta: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/error.rs crates/core/src/flow.rs crates/core/src/report.rs crates/core/src/audit.rs crates/core/src/defense.rs crates/core/src/faults.rs
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/error.rs:
+crates/core/src/flow.rs:
+crates/core/src/report.rs:
+crates/core/src/audit.rs:
+crates/core/src/defense.rs:
+crates/core/src/faults.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/qce-fe030edf09415ab7.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/error.rs crates/core/src/flow.rs crates/core/src/report.rs crates/core/src/audit.rs crates/core/src/defense.rs crates/core/src/faults.rs Cargo.toml
+
+/root/repo/target/debug/deps/libqce-fe030edf09415ab7.rmeta: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/error.rs crates/core/src/flow.rs crates/core/src/report.rs crates/core/src/audit.rs crates/core/src/defense.rs crates/core/src/faults.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/error.rs:
+crates/core/src/flow.rs:
+crates/core/src/report.rs:
+crates/core/src/audit.rs:
+crates/core/src/defense.rs:
+crates/core/src/faults.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/qce_attack-5d9e3fe0941b6d68.d: crates/attack/src/lib.rs crates/attack/src/decode.rs crates/attack/src/error.rs crates/attack/src/layout.rs crates/attack/src/regularizer.rs crates/attack/src/capacity.rs crates/attack/src/correlation.rs crates/attack/src/ecc.rs crates/attack/src/lsb.rs crates/attack/src/payload.rs crates/attack/src/sign.rs
+
+/root/repo/target/debug/deps/libqce_attack-5d9e3fe0941b6d68.rlib: crates/attack/src/lib.rs crates/attack/src/decode.rs crates/attack/src/error.rs crates/attack/src/layout.rs crates/attack/src/regularizer.rs crates/attack/src/capacity.rs crates/attack/src/correlation.rs crates/attack/src/ecc.rs crates/attack/src/lsb.rs crates/attack/src/payload.rs crates/attack/src/sign.rs
+
+/root/repo/target/debug/deps/libqce_attack-5d9e3fe0941b6d68.rmeta: crates/attack/src/lib.rs crates/attack/src/decode.rs crates/attack/src/error.rs crates/attack/src/layout.rs crates/attack/src/regularizer.rs crates/attack/src/capacity.rs crates/attack/src/correlation.rs crates/attack/src/ecc.rs crates/attack/src/lsb.rs crates/attack/src/payload.rs crates/attack/src/sign.rs
+
+crates/attack/src/lib.rs:
+crates/attack/src/decode.rs:
+crates/attack/src/error.rs:
+crates/attack/src/layout.rs:
+crates/attack/src/regularizer.rs:
+crates/attack/src/capacity.rs:
+crates/attack/src/correlation.rs:
+crates/attack/src/ecc.rs:
+crates/attack/src/lsb.rs:
+crates/attack/src/payload.rs:
+crates/attack/src/sign.rs:

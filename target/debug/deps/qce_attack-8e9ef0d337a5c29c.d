@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/qce_attack-8e9ef0d337a5c29c.d: crates/attack/src/lib.rs crates/attack/src/decode.rs crates/attack/src/error.rs crates/attack/src/layout.rs crates/attack/src/regularizer.rs crates/attack/src/capacity.rs crates/attack/src/correlation.rs crates/attack/src/ecc.rs crates/attack/src/lsb.rs crates/attack/src/payload.rs crates/attack/src/sign.rs
+
+/root/repo/target/debug/deps/qce_attack-8e9ef0d337a5c29c: crates/attack/src/lib.rs crates/attack/src/decode.rs crates/attack/src/error.rs crates/attack/src/layout.rs crates/attack/src/regularizer.rs crates/attack/src/capacity.rs crates/attack/src/correlation.rs crates/attack/src/ecc.rs crates/attack/src/lsb.rs crates/attack/src/payload.rs crates/attack/src/sign.rs
+
+crates/attack/src/lib.rs:
+crates/attack/src/decode.rs:
+crates/attack/src/error.rs:
+crates/attack/src/layout.rs:
+crates/attack/src/regularizer.rs:
+crates/attack/src/capacity.rs:
+crates/attack/src/correlation.rs:
+crates/attack/src/ecc.rs:
+crates/attack/src/lsb.rs:
+crates/attack/src/payload.rs:
+crates/attack/src/sign.rs:

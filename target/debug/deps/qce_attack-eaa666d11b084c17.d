@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/qce_attack-eaa666d11b084c17.d: crates/attack/src/lib.rs crates/attack/src/decode.rs crates/attack/src/error.rs crates/attack/src/layout.rs crates/attack/src/regularizer.rs crates/attack/src/capacity.rs crates/attack/src/correlation.rs crates/attack/src/ecc.rs crates/attack/src/lsb.rs crates/attack/src/payload.rs crates/attack/src/sign.rs Cargo.toml
+
+/root/repo/target/debug/deps/libqce_attack-eaa666d11b084c17.rmeta: crates/attack/src/lib.rs crates/attack/src/decode.rs crates/attack/src/error.rs crates/attack/src/layout.rs crates/attack/src/regularizer.rs crates/attack/src/capacity.rs crates/attack/src/correlation.rs crates/attack/src/ecc.rs crates/attack/src/lsb.rs crates/attack/src/payload.rs crates/attack/src/sign.rs Cargo.toml
+
+crates/attack/src/lib.rs:
+crates/attack/src/decode.rs:
+crates/attack/src/error.rs:
+crates/attack/src/layout.rs:
+crates/attack/src/regularizer.rs:
+crates/attack/src/capacity.rs:
+crates/attack/src/correlation.rs:
+crates/attack/src/ecc.rs:
+crates/attack/src/lsb.rs:
+crates/attack/src/payload.rs:
+crates/attack/src/sign.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

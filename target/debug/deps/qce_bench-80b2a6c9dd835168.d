@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/qce_bench-80b2a6c9dd835168.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libqce_bench-80b2a6c9dd835168.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libqce_bench-80b2a6c9dd835168.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

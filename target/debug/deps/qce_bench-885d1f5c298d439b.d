@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/qce_bench-885d1f5c298d439b.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libqce_bench-885d1f5c298d439b.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/qce_bench-a2e972c2031c304d.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libqce_bench-a2e972c2031c304d.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libqce_bench-a2e972c2031c304d.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/qce_bench-b8c6e296e52c5493.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/qce_bench-b8c6e296e52c5493: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/qce_bench-d3aaaef595f689e0.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/qce_bench-d3aaaef595f689e0: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

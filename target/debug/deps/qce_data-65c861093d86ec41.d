@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/qce_data-65c861093d86ec41.d: crates/data/src/lib.rs crates/data/src/dataset.rs crates/data/src/error.rs crates/data/src/image.rs crates/data/src/augment.rs crates/data/src/io.rs crates/data/src/select.rs crates/data/src/synth/mod.rs crates/data/src/synth/cifar.rs crates/data/src/synth/faces.rs
+
+/root/repo/target/debug/deps/libqce_data-65c861093d86ec41.rlib: crates/data/src/lib.rs crates/data/src/dataset.rs crates/data/src/error.rs crates/data/src/image.rs crates/data/src/augment.rs crates/data/src/io.rs crates/data/src/select.rs crates/data/src/synth/mod.rs crates/data/src/synth/cifar.rs crates/data/src/synth/faces.rs
+
+/root/repo/target/debug/deps/libqce_data-65c861093d86ec41.rmeta: crates/data/src/lib.rs crates/data/src/dataset.rs crates/data/src/error.rs crates/data/src/image.rs crates/data/src/augment.rs crates/data/src/io.rs crates/data/src/select.rs crates/data/src/synth/mod.rs crates/data/src/synth/cifar.rs crates/data/src/synth/faces.rs
+
+crates/data/src/lib.rs:
+crates/data/src/dataset.rs:
+crates/data/src/error.rs:
+crates/data/src/image.rs:
+crates/data/src/augment.rs:
+crates/data/src/io.rs:
+crates/data/src/select.rs:
+crates/data/src/synth/mod.rs:
+crates/data/src/synth/cifar.rs:
+crates/data/src/synth/faces.rs:

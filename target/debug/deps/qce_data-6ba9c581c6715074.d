@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/qce_data-6ba9c581c6715074.d: crates/data/src/lib.rs crates/data/src/dataset.rs crates/data/src/error.rs crates/data/src/image.rs crates/data/src/augment.rs crates/data/src/io.rs crates/data/src/select.rs crates/data/src/synth/mod.rs crates/data/src/synth/cifar.rs crates/data/src/synth/faces.rs
+
+/root/repo/target/debug/deps/qce_data-6ba9c581c6715074: crates/data/src/lib.rs crates/data/src/dataset.rs crates/data/src/error.rs crates/data/src/image.rs crates/data/src/augment.rs crates/data/src/io.rs crates/data/src/select.rs crates/data/src/synth/mod.rs crates/data/src/synth/cifar.rs crates/data/src/synth/faces.rs
+
+crates/data/src/lib.rs:
+crates/data/src/dataset.rs:
+crates/data/src/error.rs:
+crates/data/src/image.rs:
+crates/data/src/augment.rs:
+crates/data/src/io.rs:
+crates/data/src/select.rs:
+crates/data/src/synth/mod.rs:
+crates/data/src/synth/cifar.rs:
+crates/data/src/synth/faces.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/qce_data-7e53c009fe981645.d: crates/data/src/lib.rs crates/data/src/dataset.rs crates/data/src/error.rs crates/data/src/image.rs crates/data/src/augment.rs crates/data/src/io.rs crates/data/src/select.rs crates/data/src/synth/mod.rs crates/data/src/synth/cifar.rs crates/data/src/synth/faces.rs Cargo.toml
+
+/root/repo/target/debug/deps/libqce_data-7e53c009fe981645.rmeta: crates/data/src/lib.rs crates/data/src/dataset.rs crates/data/src/error.rs crates/data/src/image.rs crates/data/src/augment.rs crates/data/src/io.rs crates/data/src/select.rs crates/data/src/synth/mod.rs crates/data/src/synth/cifar.rs crates/data/src/synth/faces.rs Cargo.toml
+
+crates/data/src/lib.rs:
+crates/data/src/dataset.rs:
+crates/data/src/error.rs:
+crates/data/src/image.rs:
+crates/data/src/augment.rs:
+crates/data/src/io.rs:
+crates/data/src/select.rs:
+crates/data/src/synth/mod.rs:
+crates/data/src/synth/cifar.rs:
+crates/data/src/synth/faces.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

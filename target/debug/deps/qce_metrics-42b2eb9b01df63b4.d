@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/qce_metrics-42b2eb9b01df63b4.d: crates/metrics/src/lib.rs crates/metrics/src/classify.rs crates/metrics/src/image.rs crates/metrics/src/distribution.rs
+
+/root/repo/target/debug/deps/qce_metrics-42b2eb9b01df63b4: crates/metrics/src/lib.rs crates/metrics/src/classify.rs crates/metrics/src/image.rs crates/metrics/src/distribution.rs
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/classify.rs:
+crates/metrics/src/image.rs:
+crates/metrics/src/distribution.rs:

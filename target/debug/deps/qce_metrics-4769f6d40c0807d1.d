@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/qce_metrics-4769f6d40c0807d1.d: crates/metrics/src/lib.rs crates/metrics/src/classify.rs crates/metrics/src/image.rs crates/metrics/src/distribution.rs
+
+/root/repo/target/debug/deps/libqce_metrics-4769f6d40c0807d1.rlib: crates/metrics/src/lib.rs crates/metrics/src/classify.rs crates/metrics/src/image.rs crates/metrics/src/distribution.rs
+
+/root/repo/target/debug/deps/libqce_metrics-4769f6d40c0807d1.rmeta: crates/metrics/src/lib.rs crates/metrics/src/classify.rs crates/metrics/src/image.rs crates/metrics/src/distribution.rs
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/classify.rs:
+crates/metrics/src/image.rs:
+crates/metrics/src/distribution.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/qce_metrics-a4f1f9885acb42cf.d: crates/metrics/src/lib.rs crates/metrics/src/classify.rs crates/metrics/src/image.rs crates/metrics/src/distribution.rs Cargo.toml
+
+/root/repo/target/debug/deps/libqce_metrics-a4f1f9885acb42cf.rmeta: crates/metrics/src/lib.rs crates/metrics/src/classify.rs crates/metrics/src/image.rs crates/metrics/src/distribution.rs Cargo.toml
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/classify.rs:
+crates/metrics/src/image.rs:
+crates/metrics/src/distribution.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

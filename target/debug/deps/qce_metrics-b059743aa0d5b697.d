@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/qce_metrics-b059743aa0d5b697.d: crates/metrics/src/lib.rs crates/metrics/src/classify.rs crates/metrics/src/image.rs crates/metrics/src/distribution.rs
+
+/root/repo/target/debug/deps/libqce_metrics-b059743aa0d5b697.rlib: crates/metrics/src/lib.rs crates/metrics/src/classify.rs crates/metrics/src/image.rs crates/metrics/src/distribution.rs
+
+/root/repo/target/debug/deps/libqce_metrics-b059743aa0d5b697.rmeta: crates/metrics/src/lib.rs crates/metrics/src/classify.rs crates/metrics/src/image.rs crates/metrics/src/distribution.rs
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/classify.rs:
+crates/metrics/src/image.rs:
+crates/metrics/src/distribution.rs:

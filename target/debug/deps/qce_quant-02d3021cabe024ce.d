@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/qce_quant-02d3021cabe024ce.d: crates/quant/src/lib.rs crates/quant/src/codebook.rs crates/quant/src/error.rs crates/quant/src/finetune.rs crates/quant/src/network.rs crates/quant/src/quantizers.rs crates/quant/src/deploy.rs crates/quant/src/huffman.rs crates/quant/src/pack.rs crates/quant/src/prune.rs Cargo.toml
+
+/root/repo/target/debug/deps/libqce_quant-02d3021cabe024ce.rmeta: crates/quant/src/lib.rs crates/quant/src/codebook.rs crates/quant/src/error.rs crates/quant/src/finetune.rs crates/quant/src/network.rs crates/quant/src/quantizers.rs crates/quant/src/deploy.rs crates/quant/src/huffman.rs crates/quant/src/pack.rs crates/quant/src/prune.rs Cargo.toml
+
+crates/quant/src/lib.rs:
+crates/quant/src/codebook.rs:
+crates/quant/src/error.rs:
+crates/quant/src/finetune.rs:
+crates/quant/src/network.rs:
+crates/quant/src/quantizers.rs:
+crates/quant/src/deploy.rs:
+crates/quant/src/huffman.rs:
+crates/quant/src/pack.rs:
+crates/quant/src/prune.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/qce_quant-0d2bd69a3c6af013.d: crates/quant/src/lib.rs crates/quant/src/codebook.rs crates/quant/src/error.rs crates/quant/src/finetune.rs crates/quant/src/network.rs crates/quant/src/quantizers.rs crates/quant/src/deploy.rs crates/quant/src/huffman.rs crates/quant/src/pack.rs crates/quant/src/prune.rs
+
+/root/repo/target/debug/deps/qce_quant-0d2bd69a3c6af013: crates/quant/src/lib.rs crates/quant/src/codebook.rs crates/quant/src/error.rs crates/quant/src/finetune.rs crates/quant/src/network.rs crates/quant/src/quantizers.rs crates/quant/src/deploy.rs crates/quant/src/huffman.rs crates/quant/src/pack.rs crates/quant/src/prune.rs
+
+crates/quant/src/lib.rs:
+crates/quant/src/codebook.rs:
+crates/quant/src/error.rs:
+crates/quant/src/finetune.rs:
+crates/quant/src/network.rs:
+crates/quant/src/quantizers.rs:
+crates/quant/src/deploy.rs:
+crates/quant/src/huffman.rs:
+crates/quant/src/pack.rs:
+crates/quant/src/prune.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/qce_quant-1d997be24103f80b.d: crates/quant/src/lib.rs crates/quant/src/codebook.rs crates/quant/src/error.rs crates/quant/src/finetune.rs crates/quant/src/network.rs crates/quant/src/quantizers.rs crates/quant/src/deploy.rs crates/quant/src/huffman.rs crates/quant/src/pack.rs crates/quant/src/prune.rs
+
+/root/repo/target/debug/deps/libqce_quant-1d997be24103f80b.rlib: crates/quant/src/lib.rs crates/quant/src/codebook.rs crates/quant/src/error.rs crates/quant/src/finetune.rs crates/quant/src/network.rs crates/quant/src/quantizers.rs crates/quant/src/deploy.rs crates/quant/src/huffman.rs crates/quant/src/pack.rs crates/quant/src/prune.rs
+
+/root/repo/target/debug/deps/libqce_quant-1d997be24103f80b.rmeta: crates/quant/src/lib.rs crates/quant/src/codebook.rs crates/quant/src/error.rs crates/quant/src/finetune.rs crates/quant/src/network.rs crates/quant/src/quantizers.rs crates/quant/src/deploy.rs crates/quant/src/huffman.rs crates/quant/src/pack.rs crates/quant/src/prune.rs
+
+crates/quant/src/lib.rs:
+crates/quant/src/codebook.rs:
+crates/quant/src/error.rs:
+crates/quant/src/finetune.rs:
+crates/quant/src/network.rs:
+crates/quant/src/quantizers.rs:
+crates/quant/src/deploy.rs:
+crates/quant/src/huffman.rs:
+crates/quant/src/pack.rs:
+crates/quant/src/prune.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/qce_tensor-3124eafbc9c79859.d: crates/tensor/src/lib.rs crates/tensor/src/error.rs crates/tensor/src/shape.rs crates/tensor/src/tensor.rs crates/tensor/src/axis.rs crates/tensor/src/conv.rs crates/tensor/src/init.rs crates/tensor/src/linalg.rs crates/tensor/src/stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libqce_tensor-3124eafbc9c79859.rmeta: crates/tensor/src/lib.rs crates/tensor/src/error.rs crates/tensor/src/shape.rs crates/tensor/src/tensor.rs crates/tensor/src/axis.rs crates/tensor/src/conv.rs crates/tensor/src/init.rs crates/tensor/src/linalg.rs crates/tensor/src/stats.rs Cargo.toml
+
+crates/tensor/src/lib.rs:
+crates/tensor/src/error.rs:
+crates/tensor/src/shape.rs:
+crates/tensor/src/tensor.rs:
+crates/tensor/src/axis.rs:
+crates/tensor/src/conv.rs:
+crates/tensor/src/init.rs:
+crates/tensor/src/linalg.rs:
+crates/tensor/src/stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

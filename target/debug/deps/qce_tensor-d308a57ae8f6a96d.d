@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/qce_tensor-d308a57ae8f6a96d.d: crates/tensor/src/lib.rs crates/tensor/src/error.rs crates/tensor/src/shape.rs crates/tensor/src/tensor.rs crates/tensor/src/axis.rs crates/tensor/src/conv.rs crates/tensor/src/init.rs crates/tensor/src/linalg.rs crates/tensor/src/stats.rs
+
+/root/repo/target/debug/deps/qce_tensor-d308a57ae8f6a96d: crates/tensor/src/lib.rs crates/tensor/src/error.rs crates/tensor/src/shape.rs crates/tensor/src/tensor.rs crates/tensor/src/axis.rs crates/tensor/src/conv.rs crates/tensor/src/init.rs crates/tensor/src/linalg.rs crates/tensor/src/stats.rs
+
+crates/tensor/src/lib.rs:
+crates/tensor/src/error.rs:
+crates/tensor/src/shape.rs:
+crates/tensor/src/tensor.rs:
+crates/tensor/src/axis.rs:
+crates/tensor/src/conv.rs:
+crates/tensor/src/init.rs:
+crates/tensor/src/linalg.rs:
+crates/tensor/src/stats.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/qce_tensor-db09d86b59816a0b.d: crates/tensor/src/lib.rs crates/tensor/src/error.rs crates/tensor/src/shape.rs crates/tensor/src/tensor.rs crates/tensor/src/axis.rs crates/tensor/src/conv.rs crates/tensor/src/init.rs crates/tensor/src/linalg.rs crates/tensor/src/stats.rs
+
+/root/repo/target/debug/deps/libqce_tensor-db09d86b59816a0b.rlib: crates/tensor/src/lib.rs crates/tensor/src/error.rs crates/tensor/src/shape.rs crates/tensor/src/tensor.rs crates/tensor/src/axis.rs crates/tensor/src/conv.rs crates/tensor/src/init.rs crates/tensor/src/linalg.rs crates/tensor/src/stats.rs
+
+/root/repo/target/debug/deps/libqce_tensor-db09d86b59816a0b.rmeta: crates/tensor/src/lib.rs crates/tensor/src/error.rs crates/tensor/src/shape.rs crates/tensor/src/tensor.rs crates/tensor/src/axis.rs crates/tensor/src/conv.rs crates/tensor/src/init.rs crates/tensor/src/linalg.rs crates/tensor/src/stats.rs
+
+crates/tensor/src/lib.rs:
+crates/tensor/src/error.rs:
+crates/tensor/src/shape.rs:
+crates/tensor/src/tensor.rs:
+crates/tensor/src/axis.rs:
+crates/tensor/src/conv.rs:
+crates/tensor/src/init.rs:
+crates/tensor/src/linalg.rs:
+crates/tensor/src/stats.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/quantization-19b12181a030eb0e.d: crates/core/../../tests/quantization.rs Cargo.toml
+
+/root/repo/target/debug/deps/libquantization-19b12181a030eb0e.rmeta: crates/core/../../tests/quantization.rs Cargo.toml
+
+crates/core/../../tests/quantization.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

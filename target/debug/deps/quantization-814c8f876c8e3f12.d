@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/quantization-814c8f876c8e3f12.d: crates/core/../../tests/quantization.rs
+
+/root/repo/target/debug/deps/quantization-814c8f876c8e3f12: crates/core/../../tests/quantization.rs
+
+crates/core/../../tests/quantization.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-39f1d401273760a7.d: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-39f1d401273760a7.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

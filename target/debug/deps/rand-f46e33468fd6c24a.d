@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-f46e33468fd6c24a.d: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-f46e33468fd6c24a.rlib: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-f46e33468fd6c24a.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/robustness-20fb0c0dfc1ec12d.d: crates/core/../../tests/robustness.rs Cargo.toml
+
+/root/repo/target/debug/deps/librobustness-20fb0c0dfc1ec12d.rmeta: crates/core/../../tests/robustness.rs Cargo.toml
+
+crates/core/../../tests/robustness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/robustness-318c169f6af58dbc.d: crates/bench/benches/robustness.rs
+
+/root/repo/target/debug/deps/robustness-318c169f6af58dbc: crates/bench/benches/robustness.rs
+
+crates/bench/benches/robustness.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/robustness-7c41a9e91c8f074a.d: crates/bench/benches/robustness.rs Cargo.toml
+
+/root/repo/target/debug/deps/librobustness-7c41a9e91c8f074a.rmeta: crates/bench/benches/robustness.rs Cargo.toml
+
+crates/bench/benches/robustness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

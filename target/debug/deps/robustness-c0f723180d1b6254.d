@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/robustness-c0f723180d1b6254.d: crates/core/../../tests/robustness.rs
+
+/root/repo/target/debug/deps/robustness-c0f723180d1b6254: crates/core/../../tests/robustness.rs
+
+crates/core/../../tests/robustness.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde-14f3f93aa00efa4e.d: vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-14f3f93aa00efa4e.rlib: vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-14f3f93aa00efa4e.rmeta: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

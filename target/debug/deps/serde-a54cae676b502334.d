@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde-a54cae676b502334.d: vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-a54cae676b502334.rlib: vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-a54cae676b502334.rmeta: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

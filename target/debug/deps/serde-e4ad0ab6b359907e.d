@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-e4ad0ab6b359907e.d: vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-e4ad0ab6b359907e.rmeta: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

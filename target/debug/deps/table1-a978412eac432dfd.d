@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-a978412eac432dfd.d: crates/bench/benches/table1.rs
+
+/root/repo/target/debug/deps/table1-a978412eac432dfd: crates/bench/benches/table1.rs
+
+crates/bench/benches/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-3768a5cd285da67b.d: crates/bench/benches/table2.rs
+
+/root/repo/target/debug/deps/table2-3768a5cd285da67b: crates/bench/benches/table2.rs
+
+crates/bench/benches/table2.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table3-123dd213d4c774dc.d: crates/bench/benches/table3.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable3-123dd213d4c774dc.rmeta: crates/bench/benches/table3.rs Cargo.toml
+
+crates/bench/benches/table3.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

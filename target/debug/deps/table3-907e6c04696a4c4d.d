@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-907e6c04696a4c4d.d: crates/bench/benches/table3.rs
+
+/root/repo/target/debug/deps/table3-907e6c04696a4c4d: crates/bench/benches/table3.rs
+
+crates/bench/benches/table3.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table4-1ef5aebffa3fd380.d: crates/bench/benches/table4.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable4-1ef5aebffa3fd380.rmeta: crates/bench/benches/table4.rs Cargo.toml
+
+crates/bench/benches/table4.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

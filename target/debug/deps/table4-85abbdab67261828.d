@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4-85abbdab67261828.d: crates/bench/benches/table4.rs
+
+/root/repo/target/debug/deps/table4-85abbdab67261828: crates/bench/benches/table4.rs
+
+crates/bench/benches/table4.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/training-6081dbc1867aaaf4.d: crates/core/../../tests/training.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtraining-6081dbc1867aaaf4.rmeta: crates/core/../../tests/training.rs Cargo.toml
+
+crates/core/../../tests/training.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

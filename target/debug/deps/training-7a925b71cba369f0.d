@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/training-7a925b71cba369f0.d: crates/core/../../tests/training.rs
+
+/root/repo/target/debug/deps/training-7a925b71cba369f0: crates/core/../../tests/training.rs
+
+crates/core/../../tests/training.rs:

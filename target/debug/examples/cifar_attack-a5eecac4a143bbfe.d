@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/cifar_attack-a5eecac4a143bbfe.d: crates/core/../../examples/cifar_attack.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcifar_attack-a5eecac4a143bbfe.rmeta: crates/core/../../examples/cifar_attack.rs Cargo.toml
+
+crates/core/../../examples/cifar_attack.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/cifar_attack-f7f88f89c8822efd.d: crates/core/../../examples/cifar_attack.rs
+
+/root/repo/target/debug/examples/cifar_attack-f7f88f89c8822efd: crates/core/../../examples/cifar_attack.rs
+
+crates/core/../../examples/cifar_attack.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/defense_audit-26041d6d182dabc7.d: crates/core/../../examples/defense_audit.rs
+
+/root/repo/target/debug/examples/defense_audit-26041d6d182dabc7: crates/core/../../examples/defense_audit.rs
+
+crates/core/../../examples/defense_audit.rs:

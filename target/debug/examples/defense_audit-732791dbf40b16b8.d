@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/defense_audit-732791dbf40b16b8.d: crates/core/../../examples/defense_audit.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdefense_audit-732791dbf40b16b8.rmeta: crates/core/../../examples/defense_audit.rs Cargo.toml
+
+crates/core/../../examples/defense_audit.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/face_attack-7a614b6afd3e23ec.d: crates/core/../../examples/face_attack.rs
+
+/root/repo/target/debug/examples/face_attack-7a614b6afd3e23ec: crates/core/../../examples/face_attack.rs
+
+crates/core/../../examples/face_attack.rs:

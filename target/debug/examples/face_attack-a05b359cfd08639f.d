@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/face_attack-a05b359cfd08639f.d: crates/core/../../examples/face_attack.rs Cargo.toml
+
+/root/repo/target/debug/examples/libface_attack-a05b359cfd08639f.rmeta: crates/core/../../examples/face_attack.rs Cargo.toml
+
+crates/core/../../examples/face_attack.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/fault_sweep-217116664889c8ce.d: crates/core/../../examples/fault_sweep.rs Cargo.toml
+
+/root/repo/target/debug/examples/libfault_sweep-217116664889c8ce.rmeta: crates/core/../../examples/fault_sweep.rs Cargo.toml
+
+crates/core/../../examples/fault_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

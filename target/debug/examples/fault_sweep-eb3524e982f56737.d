@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/fault_sweep-eb3524e982f56737.d: crates/core/../../examples/fault_sweep.rs
+
+/root/repo/target/debug/examples/fault_sweep-eb3524e982f56737: crates/core/../../examples/fault_sweep.rs
+
+crates/core/../../examples/fault_sweep.rs:

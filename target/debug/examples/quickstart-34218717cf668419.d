@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-34218717cf668419.d: crates/core/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-34218717cf668419: crates/core/../../examples/quickstart.rs
+
+crates/core/../../examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/release_roundtrip-307a31e2251b3995.d: crates/core/../../examples/release_roundtrip.rs
+
+/root/repo/target/debug/examples/release_roundtrip-307a31e2251b3995: crates/core/../../examples/release_roundtrip.rs
+
+crates/core/../../examples/release_roundtrip.rs:

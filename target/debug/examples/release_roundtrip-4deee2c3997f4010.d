@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/release_roundtrip-4deee2c3997f4010.d: crates/core/../../examples/release_roundtrip.rs Cargo.toml
+
+/root/repo/target/debug/examples/librelease_roundtrip-4deee2c3997f4010.rmeta: crates/core/../../examples/release_roundtrip.rs Cargo.toml
+
+crates/core/../../examples/release_roundtrip.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-7e1eb10dbdc06a25.d: vendor/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-7e1eb10dbdc06a25.rlib: vendor/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-7e1eb10dbdc06a25.rmeta: vendor/criterion/src/lib.rs
+
+vendor/criterion/src/lib.rs:

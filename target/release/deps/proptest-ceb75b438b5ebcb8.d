@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-ceb75b438b5ebcb8.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-ceb75b438b5ebcb8.rlib: vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-ceb75b438b5ebcb8.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/qce-caf637e35fd172d2.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/error.rs crates/core/src/flow.rs crates/core/src/report.rs crates/core/src/audit.rs crates/core/src/defense.rs crates/core/src/faults.rs
+
+/root/repo/target/release/deps/libqce-caf637e35fd172d2.rlib: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/error.rs crates/core/src/flow.rs crates/core/src/report.rs crates/core/src/audit.rs crates/core/src/defense.rs crates/core/src/faults.rs
+
+/root/repo/target/release/deps/libqce-caf637e35fd172d2.rmeta: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/error.rs crates/core/src/flow.rs crates/core/src/report.rs crates/core/src/audit.rs crates/core/src/defense.rs crates/core/src/faults.rs
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/error.rs:
+crates/core/src/flow.rs:
+crates/core/src/report.rs:
+crates/core/src/audit.rs:
+crates/core/src/defense.rs:
+crates/core/src/faults.rs:

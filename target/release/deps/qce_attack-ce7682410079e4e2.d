@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/qce_attack-ce7682410079e4e2.d: crates/attack/src/lib.rs crates/attack/src/decode.rs crates/attack/src/error.rs crates/attack/src/layout.rs crates/attack/src/regularizer.rs crates/attack/src/capacity.rs crates/attack/src/correlation.rs crates/attack/src/ecc.rs crates/attack/src/lsb.rs crates/attack/src/payload.rs crates/attack/src/sign.rs
+
+/root/repo/target/release/deps/libqce_attack-ce7682410079e4e2.rlib: crates/attack/src/lib.rs crates/attack/src/decode.rs crates/attack/src/error.rs crates/attack/src/layout.rs crates/attack/src/regularizer.rs crates/attack/src/capacity.rs crates/attack/src/correlation.rs crates/attack/src/ecc.rs crates/attack/src/lsb.rs crates/attack/src/payload.rs crates/attack/src/sign.rs
+
+/root/repo/target/release/deps/libqce_attack-ce7682410079e4e2.rmeta: crates/attack/src/lib.rs crates/attack/src/decode.rs crates/attack/src/error.rs crates/attack/src/layout.rs crates/attack/src/regularizer.rs crates/attack/src/capacity.rs crates/attack/src/correlation.rs crates/attack/src/ecc.rs crates/attack/src/lsb.rs crates/attack/src/payload.rs crates/attack/src/sign.rs
+
+crates/attack/src/lib.rs:
+crates/attack/src/decode.rs:
+crates/attack/src/error.rs:
+crates/attack/src/layout.rs:
+crates/attack/src/regularizer.rs:
+crates/attack/src/capacity.rs:
+crates/attack/src/correlation.rs:
+crates/attack/src/ecc.rs:
+crates/attack/src/lsb.rs:
+crates/attack/src/payload.rs:
+crates/attack/src/sign.rs:

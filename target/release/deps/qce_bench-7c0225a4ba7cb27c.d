@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/qce_bench-7c0225a4ba7cb27c.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libqce_bench-7c0225a4ba7cb27c.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libqce_bench-7c0225a4ba7cb27c.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

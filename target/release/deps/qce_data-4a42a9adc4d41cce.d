@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/qce_data-4a42a9adc4d41cce.d: crates/data/src/lib.rs crates/data/src/dataset.rs crates/data/src/error.rs crates/data/src/image.rs crates/data/src/augment.rs crates/data/src/io.rs crates/data/src/select.rs crates/data/src/synth/mod.rs crates/data/src/synth/cifar.rs crates/data/src/synth/faces.rs
+
+/root/repo/target/release/deps/libqce_data-4a42a9adc4d41cce.rlib: crates/data/src/lib.rs crates/data/src/dataset.rs crates/data/src/error.rs crates/data/src/image.rs crates/data/src/augment.rs crates/data/src/io.rs crates/data/src/select.rs crates/data/src/synth/mod.rs crates/data/src/synth/cifar.rs crates/data/src/synth/faces.rs
+
+/root/repo/target/release/deps/libqce_data-4a42a9adc4d41cce.rmeta: crates/data/src/lib.rs crates/data/src/dataset.rs crates/data/src/error.rs crates/data/src/image.rs crates/data/src/augment.rs crates/data/src/io.rs crates/data/src/select.rs crates/data/src/synth/mod.rs crates/data/src/synth/cifar.rs crates/data/src/synth/faces.rs
+
+crates/data/src/lib.rs:
+crates/data/src/dataset.rs:
+crates/data/src/error.rs:
+crates/data/src/image.rs:
+crates/data/src/augment.rs:
+crates/data/src/io.rs:
+crates/data/src/select.rs:
+crates/data/src/synth/mod.rs:
+crates/data/src/synth/cifar.rs:
+crates/data/src/synth/faces.rs:

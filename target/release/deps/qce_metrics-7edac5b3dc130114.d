@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/qce_metrics-7edac5b3dc130114.d: crates/metrics/src/lib.rs crates/metrics/src/classify.rs crates/metrics/src/image.rs crates/metrics/src/distribution.rs
+
+/root/repo/target/release/deps/libqce_metrics-7edac5b3dc130114.rlib: crates/metrics/src/lib.rs crates/metrics/src/classify.rs crates/metrics/src/image.rs crates/metrics/src/distribution.rs
+
+/root/repo/target/release/deps/libqce_metrics-7edac5b3dc130114.rmeta: crates/metrics/src/lib.rs crates/metrics/src/classify.rs crates/metrics/src/image.rs crates/metrics/src/distribution.rs
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/classify.rs:
+crates/metrics/src/image.rs:
+crates/metrics/src/distribution.rs:

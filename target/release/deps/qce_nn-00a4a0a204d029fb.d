@@ -1,0 +1,31 @@
+/root/repo/target/release/deps/qce_nn-00a4a0a204d029fb.d: crates/nn/src/lib.rs crates/nn/src/error.rs crates/nn/src/layer.rs crates/nn/src/network.rs crates/nn/src/param.rs crates/nn/src/trainer.rs crates/nn/src/layers/mod.rs crates/nn/src/layers/activation.rs crates/nn/src/layers/batchnorm.rs crates/nn/src/layers/conv.rs crates/nn/src/layers/dropout.rs crates/nn/src/layers/elementwise.rs crates/nn/src/layers/flatten.rs crates/nn/src/layers/linear.rs crates/nn/src/layers/pool.rs crates/nn/src/layers/residual.rs crates/nn/src/layers/sequential.rs crates/nn/src/loss.rs crates/nn/src/models/mod.rs crates/nn/src/models/convnet.rs crates/nn/src/models/facenet.rs crates/nn/src/models/resnet.rs crates/nn/src/optim.rs crates/nn/src/schedule.rs crates/nn/src/serialize.rs
+
+/root/repo/target/release/deps/libqce_nn-00a4a0a204d029fb.rlib: crates/nn/src/lib.rs crates/nn/src/error.rs crates/nn/src/layer.rs crates/nn/src/network.rs crates/nn/src/param.rs crates/nn/src/trainer.rs crates/nn/src/layers/mod.rs crates/nn/src/layers/activation.rs crates/nn/src/layers/batchnorm.rs crates/nn/src/layers/conv.rs crates/nn/src/layers/dropout.rs crates/nn/src/layers/elementwise.rs crates/nn/src/layers/flatten.rs crates/nn/src/layers/linear.rs crates/nn/src/layers/pool.rs crates/nn/src/layers/residual.rs crates/nn/src/layers/sequential.rs crates/nn/src/loss.rs crates/nn/src/models/mod.rs crates/nn/src/models/convnet.rs crates/nn/src/models/facenet.rs crates/nn/src/models/resnet.rs crates/nn/src/optim.rs crates/nn/src/schedule.rs crates/nn/src/serialize.rs
+
+/root/repo/target/release/deps/libqce_nn-00a4a0a204d029fb.rmeta: crates/nn/src/lib.rs crates/nn/src/error.rs crates/nn/src/layer.rs crates/nn/src/network.rs crates/nn/src/param.rs crates/nn/src/trainer.rs crates/nn/src/layers/mod.rs crates/nn/src/layers/activation.rs crates/nn/src/layers/batchnorm.rs crates/nn/src/layers/conv.rs crates/nn/src/layers/dropout.rs crates/nn/src/layers/elementwise.rs crates/nn/src/layers/flatten.rs crates/nn/src/layers/linear.rs crates/nn/src/layers/pool.rs crates/nn/src/layers/residual.rs crates/nn/src/layers/sequential.rs crates/nn/src/loss.rs crates/nn/src/models/mod.rs crates/nn/src/models/convnet.rs crates/nn/src/models/facenet.rs crates/nn/src/models/resnet.rs crates/nn/src/optim.rs crates/nn/src/schedule.rs crates/nn/src/serialize.rs
+
+crates/nn/src/lib.rs:
+crates/nn/src/error.rs:
+crates/nn/src/layer.rs:
+crates/nn/src/network.rs:
+crates/nn/src/param.rs:
+crates/nn/src/trainer.rs:
+crates/nn/src/layers/mod.rs:
+crates/nn/src/layers/activation.rs:
+crates/nn/src/layers/batchnorm.rs:
+crates/nn/src/layers/conv.rs:
+crates/nn/src/layers/dropout.rs:
+crates/nn/src/layers/elementwise.rs:
+crates/nn/src/layers/flatten.rs:
+crates/nn/src/layers/linear.rs:
+crates/nn/src/layers/pool.rs:
+crates/nn/src/layers/residual.rs:
+crates/nn/src/layers/sequential.rs:
+crates/nn/src/loss.rs:
+crates/nn/src/models/mod.rs:
+crates/nn/src/models/convnet.rs:
+crates/nn/src/models/facenet.rs:
+crates/nn/src/models/resnet.rs:
+crates/nn/src/optim.rs:
+crates/nn/src/schedule.rs:
+crates/nn/src/serialize.rs:

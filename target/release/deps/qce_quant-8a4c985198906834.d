@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/qce_quant-8a4c985198906834.d: crates/quant/src/lib.rs crates/quant/src/codebook.rs crates/quant/src/error.rs crates/quant/src/finetune.rs crates/quant/src/network.rs crates/quant/src/quantizers.rs crates/quant/src/deploy.rs crates/quant/src/huffman.rs crates/quant/src/pack.rs crates/quant/src/prune.rs
+
+/root/repo/target/release/deps/libqce_quant-8a4c985198906834.rlib: crates/quant/src/lib.rs crates/quant/src/codebook.rs crates/quant/src/error.rs crates/quant/src/finetune.rs crates/quant/src/network.rs crates/quant/src/quantizers.rs crates/quant/src/deploy.rs crates/quant/src/huffman.rs crates/quant/src/pack.rs crates/quant/src/prune.rs
+
+/root/repo/target/release/deps/libqce_quant-8a4c985198906834.rmeta: crates/quant/src/lib.rs crates/quant/src/codebook.rs crates/quant/src/error.rs crates/quant/src/finetune.rs crates/quant/src/network.rs crates/quant/src/quantizers.rs crates/quant/src/deploy.rs crates/quant/src/huffman.rs crates/quant/src/pack.rs crates/quant/src/prune.rs
+
+crates/quant/src/lib.rs:
+crates/quant/src/codebook.rs:
+crates/quant/src/error.rs:
+crates/quant/src/finetune.rs:
+crates/quant/src/network.rs:
+crates/quant/src/quantizers.rs:
+crates/quant/src/deploy.rs:
+crates/quant/src/huffman.rs:
+crates/quant/src/pack.rs:
+crates/quant/src/prune.rs:

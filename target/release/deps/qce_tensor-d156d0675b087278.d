@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/qce_tensor-d156d0675b087278.d: crates/tensor/src/lib.rs crates/tensor/src/error.rs crates/tensor/src/shape.rs crates/tensor/src/tensor.rs crates/tensor/src/axis.rs crates/tensor/src/conv.rs crates/tensor/src/init.rs crates/tensor/src/linalg.rs crates/tensor/src/stats.rs
+
+/root/repo/target/release/deps/libqce_tensor-d156d0675b087278.rlib: crates/tensor/src/lib.rs crates/tensor/src/error.rs crates/tensor/src/shape.rs crates/tensor/src/tensor.rs crates/tensor/src/axis.rs crates/tensor/src/conv.rs crates/tensor/src/init.rs crates/tensor/src/linalg.rs crates/tensor/src/stats.rs
+
+/root/repo/target/release/deps/libqce_tensor-d156d0675b087278.rmeta: crates/tensor/src/lib.rs crates/tensor/src/error.rs crates/tensor/src/shape.rs crates/tensor/src/tensor.rs crates/tensor/src/axis.rs crates/tensor/src/conv.rs crates/tensor/src/init.rs crates/tensor/src/linalg.rs crates/tensor/src/stats.rs
+
+crates/tensor/src/lib.rs:
+crates/tensor/src/error.rs:
+crates/tensor/src/shape.rs:
+crates/tensor/src/tensor.rs:
+crates/tensor/src/axis.rs:
+crates/tensor/src/conv.rs:
+crates/tensor/src/init.rs:
+crates/tensor/src/linalg.rs:
+crates/tensor/src/stats.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-7e10b78951d3e1f5.d: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-7e10b78951d3e1f5.rlib: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-7e10b78951d3e1f5.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/robustness-92547fb0aaec3417.d: crates/bench/benches/robustness.rs
+
+/root/repo/target/release/deps/robustness-92547fb0aaec3417: crates/bench/benches/robustness.rs
+
+crates/bench/benches/robustness.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde-02dfd8536b2c965f.d: vendor/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-02dfd8536b2c965f.rlib: vendor/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-02dfd8536b2c965f.rmeta: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

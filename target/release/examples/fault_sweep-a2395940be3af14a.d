@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/fault_sweep-a2395940be3af14a.d: crates/core/../../examples/fault_sweep.rs
+
+/root/repo/target/release/examples/fault_sweep-a2395940be3af14a: crates/core/../../examples/fault_sweep.rs
+
+crates/core/../../examples/fault_sweep.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/probe_faults-9f7ac7fbb5c1d023.d: crates/core/examples/probe_faults.rs
+
+/root/repo/target/release/examples/probe_faults-9f7ac7fbb5c1d023: crates/core/examples/probe_faults.rs
+
+crates/core/examples/probe_faults.rs:

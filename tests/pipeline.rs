@@ -188,8 +188,7 @@ fn image_level_detection_recovers_encoded_set() {
     // The defender audits their own training split against the release.
     let (train, _) = dataset.split(train_fraction, seed).unwrap();
     let detected = qce::audit::detect_encoded_images(&out.network, &train, 0.85);
-    let encoded: std::collections::HashSet<usize> =
-        out.selection_indices.iter().copied().collect();
+    let encoded: std::collections::HashSet<usize> = out.selection_indices.iter().copied().collect();
     assert!(!encoded.is_empty());
 
     let true_hits = detected
@@ -274,7 +273,10 @@ fn pruning_degrades_but_does_not_erase_the_attack() {
     assert!(pruned_mape > float_mape, "{float_mape} -> {pruned_mape}");
     // Half the weights are gone, yet reconstruction is still far above
     // the random-remap floor (~85).
-    assert!(pruned_mape < 60.0, "pruning erased the attack: {pruned_mape}");
+    assert!(
+        pruned_mape < 60.0,
+        "pruning erased the attack: {pruned_mape}"
+    );
 }
 
 #[test]

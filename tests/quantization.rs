@@ -6,8 +6,8 @@ use qce_metrics::distribution::histogram_divergence;
 use qce_nn::models::ResNetLite;
 use qce_nn::{accuracy, Network, ParamKind, TrainConfig, Trainer};
 use qce_quant::{
-    finetune, pack, quantize_network, FinetuneConfig, KMeansQuantizer, LinearQuantizer,
-    Quantizer, TargetCorrelatedQuantizer, WeightedEntropyQuantizer,
+    finetune, pack, quantize_network, FinetuneConfig, KMeansQuantizer, LinearQuantizer, Quantizer,
+    TargetCorrelatedQuantizer, WeightedEntropyQuantizer,
 };
 
 fn trained_net() -> (Network, qce_tensor::Tensor, Vec<usize>) {
@@ -105,7 +105,10 @@ fn target_correlated_tracks_pixel_distribution_better_than_weq() {
         .collect();
     let weights: Vec<f32> = pixels.iter().map(|&p| 0.002 * p as f32 - 0.25).collect();
 
-    let weq = WeightedEntropyQuantizer::new(32).unwrap().fit(&weights).unwrap();
+    let weq = WeightedEntropyQuantizer::new(32)
+        .unwrap()
+        .fit(&weights)
+        .unwrap();
     let tc = TargetCorrelatedQuantizer::new(32, &pixels)
         .unwrap()
         .fit(&weights)

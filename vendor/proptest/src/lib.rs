@@ -1,0 +1,405 @@
+//! Offline vendored stand-in for `proptest`.
+//!
+//! Implements the subset the workspace's property tests use: the
+//! [`Strategy`] trait with `prop_map`, numeric-range and
+//! [`collection::vec`] strategies, [`arbitrary::any`], the
+//! [`proptest!`]/[`prop_assert!`]/[`prop_assert_eq!`]/[`prop_assume!`]
+//! macros, and [`test_runner::ProptestConfig`].
+//!
+//! Differences from upstream are intentional simplifications: cases are
+//! drawn from a deterministic per-test RNG (seeded from the test name) with
+//! no shrinking, and a rejected case (`prop_assume!`) simply redraws. The
+//! property-test *contract* — run each body over `cases` random inputs and
+//! fail loudly with the offending message — is preserved.
+
+#![forbid(unsafe_code)]
+
+pub mod strategy {
+    //! Value-generation strategies.
+
+    use crate::test_runner::TestRng;
+    use rand::RngExt;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A recipe for generating random values of one type.
+    pub trait Strategy {
+        /// The type of value this strategy produces.
+        type Value;
+
+        /// Draws one value from the strategy.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Post-processes generated values with `map`.
+        fn prop_map<O, F>(self, map: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, map }
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        map: F,
+    }
+
+    impl<S, F, O> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.map)(self.inner.generate(rng))
+        }
+    }
+
+    /// Strategy that always yields a clone of one fixed value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.inner.random_range(self.clone())
+                }
+            }
+
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.inner.random_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    range_strategy!(f32, f64, i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+}
+
+pub mod arbitrary {
+    //! Type-directed default strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical "any value" strategy.
+    pub trait Arbitrary: Sized {
+        /// Draws an unconstrained value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.inner.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.inner.next_u64() & 1 == 1
+        }
+    }
+
+    /// Strategy returned by [`any`].
+    #[derive(Debug, Clone, Default)]
+    pub struct Any<A>(PhantomData<A>);
+
+    impl<A: Arbitrary> Strategy for Any<A> {
+        type Value = A;
+
+        fn generate(&self, rng: &mut TestRng) -> A {
+            A::arbitrary(rng)
+        }
+    }
+
+    /// The canonical unconstrained strategy for `A`.
+    pub fn any<A: Arbitrary>() -> Any<A> {
+        Any(PhantomData)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::RngExt;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Length specifications accepted by [`vec`]: an exact `usize` or a
+    /// (half-open or inclusive) `usize` range.
+    pub trait IntoSizeRange {
+        /// Draws a concrete length.
+        fn pick_len(&self, rng: &mut TestRng) -> usize;
+    }
+
+    impl IntoSizeRange for usize {
+        fn pick_len(&self, _rng: &mut TestRng) -> usize {
+            *self
+        }
+    }
+
+    impl IntoSizeRange for Range<usize> {
+        fn pick_len(&self, rng: &mut TestRng) -> usize {
+            rng.inner.random_range(self.clone())
+        }
+    }
+
+    impl IntoSizeRange for RangeInclusive<usize> {
+        fn pick_len(&self, rng: &mut TestRng) -> usize {
+            rng.inner.random_range(self.clone())
+        }
+    }
+
+    /// Strategy returned by [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S, L> {
+        element: S,
+        len: L,
+    }
+
+    impl<S: Strategy, L: IntoSizeRange> Strategy for VecStrategy<S, L> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.len.pick_len(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Generates `Vec`s whose elements come from `element` and whose length
+    /// comes from `len`.
+    pub fn vec<S: Strategy, L: IntoSizeRange>(element: S, len: L) -> VecStrategy<S, L> {
+        VecStrategy { element, len }
+    }
+}
+
+pub mod test_runner {
+    //! Per-test configuration, RNG, and case outcomes.
+
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Number of cases (and little else) — mirrors upstream's config type.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// How many accepted cases each property must pass.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Config running `cases` accepted cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 32 }
+        }
+    }
+
+    /// Deterministic per-test random source (seeded from the test name, so
+    /// failures reproduce without recording a seed).
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        pub(crate) inner: StdRng,
+    }
+
+    impl TestRng {
+        /// Builds the RNG for the named test via an FNV-1a hash of the name.
+        pub fn for_test(name: &str) -> Self {
+            let mut hash = 0xcbf2_9ce4_8422_2325u64;
+            for byte in name.bytes() {
+                hash ^= u64::from(byte);
+                hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            TestRng {
+                inner: StdRng::seed_from_u64(hash),
+            }
+        }
+    }
+
+    /// Outcome of one drawn case.
+    #[derive(Debug, Clone)]
+    pub enum TestCaseError {
+        /// The case violated a `prop_assume!` precondition; redraw it.
+        Reject,
+        /// The property failed with this message.
+        Fail(String),
+    }
+}
+
+/// Defines property tests: an optional `#![proptest_config(..)]` inner
+/// attribute followed by `#[test] fn name(arg in strategy, ..) { body }`
+/// items. Each body runs over `config.cases` accepted random inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@run ($config) $($rest)*);
+    };
+    (@run ($config:expr) $(
+        #[test]
+        fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+    )*) => {$(
+        #[test]
+        fn $name() {
+            let config = $config;
+            let mut rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+            let mut accepted = 0u32;
+            let mut drawn = 0u32;
+            while accepted < config.cases {
+                drawn += 1;
+                assert!(
+                    drawn <= config.cases.saturating_mul(100).saturating_add(1000),
+                    "property '{}': too many inputs rejected by prop_assume!",
+                    stringify!($name),
+                );
+                $(
+                    let $arg = $crate::strategy::Strategy::generate(&($strategy), &mut rng);
+                )+
+                let outcome = (|| -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                    $body
+                    ::std::result::Result::Ok(())
+                })();
+                match outcome {
+                    ::std::result::Result::Ok(()) => accepted += 1,
+                    ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject) => {}
+                    ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                        panic!("property '{}' failed on case {}: {}", stringify!($name), drawn, msg)
+                    }
+                }
+            }
+        }
+    )*};
+    ($($rest:tt)*) => {
+        $crate::proptest!(@run ($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Fails the current case (with an optional formatted message) if the
+/// condition is false. Usable in any function returning
+/// `Result<_, TestCaseError>`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                ::std::format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fails the current case if the two expressions are unequal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = &$left;
+        let right = &$right;
+        if !(*left == *right) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                ::std::format!(
+                    "assertion failed: `{}` == `{}`\n  left: {:?}\n right: {:?}",
+                    stringify!($left),
+                    stringify!($right),
+                    left,
+                    right,
+                ),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let left = &$left;
+        let right = &$right;
+        if !(*left == *right) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    }};
+}
+
+/// Rejects (redraws) the current case if the precondition is false.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+pub mod prelude {
+    //! One-stop imports mirroring `proptest::prelude`.
+
+    pub use crate as prop;
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn ranges_and_vecs_respect_bounds(
+            x in -3.0f32..3.0,
+            v in prop::collection::vec(any::<u8>(), 4..9),
+        ) {
+            prop_assert!((-3.0..3.0).contains(&x));
+            prop_assert!((4..9).contains(&v.len()));
+        }
+
+        #[test]
+        fn assume_redraws_without_failing(n in 0u32..10) {
+            prop_assume!(n % 2 == 0);
+            prop_assert_eq!(n % 2, 0);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_runs(mapped in (1usize..5).prop_map(|n| n * 2)) {
+            prop_assert!(mapped % 2 == 0 && (2..10).contains(&mapped));
+        }
+    }
+}

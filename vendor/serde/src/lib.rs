@@ -1,0 +1,22 @@
+//! Offline vendored stand-in for `serde`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its config and report
+//! types so they are *ready* for serialization, but no code path actually
+//! serializes them yet (reports emit CSV by hand). This stand-in therefore
+//! only has to make the derives compile: the traits are markers and the
+//! derive macros emit empty impls while accepting `#[serde(...)]` field
+//! attributes such as `#[serde(skip, default)]`.
+//!
+//! When the real `serde` becomes available the vendored path dependency can
+//! be swapped back to the registry version without touching any call site.
+
+#![forbid(unsafe_code)]
+
+/// Marker for types that can be serialized (no-op in the vendored stub).
+pub trait Serialize {}
+
+/// Marker for types that can be deserialized (no-op in the vendored stub).
+pub trait Deserialize<'de>: Sized {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,43 @@
+//! Derive macros for the vendored `serde` stand-in.
+//!
+//! Each macro scans the raw token stream for the `struct`/`enum` keyword,
+//! takes the following identifier as the type name, and emits an empty
+//! marker-trait impl. Declaring `attributes(serde)` lets the derives accept
+//! field attributes like `#[serde(skip, default)]` without `syn`/`quote`
+//! (neither is available offline). Generic types are not supported — none
+//! of the workspace's serde-derived types are generic.
+
+use proc_macro::{TokenStream, TokenTree};
+
+fn type_name(input: TokenStream) -> String {
+    let mut tokens = input.into_iter();
+    while let Some(tree) = tokens.next() {
+        if let TokenTree::Ident(ident) = tree {
+            let word = ident.to_string();
+            if word == "struct" || word == "enum" || word == "union" {
+                if let Some(TokenTree::Ident(name)) = tokens.next() {
+                    return name.to_string();
+                }
+            }
+        }
+    }
+    panic!("serde_derive stub: could not find a type name in the derive input");
+}
+
+/// Emits `impl ::serde::Serialize for <Type> {}`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl ::serde::Serialize for {name} {{}}")
+        .parse()
+        .expect("serde_derive stub: generated impl must parse")
+}
+
+/// Emits `impl<'de> ::serde::Deserialize<'de> for <Type> {}`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+        .parse()
+        .expect("serde_derive stub: generated impl must parse")
+}
