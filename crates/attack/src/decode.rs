@@ -1,4 +1,5 @@
 use qce_data::Image;
+use qce_tensor::par::{self, Pool};
 use qce_tensor::stats::{self, Histogram};
 
 use crate::correlation::SignConvention;
@@ -270,14 +271,58 @@ impl Decoder {
     /// Use this instead of [`Decoder::decode`] whenever the released
     /// weights may have been pruned, noised, bit-flipped or truncated.
     pub fn decode_resilient(&self, flat_weights: &[f32]) -> ResilientDecode {
+        self.decode_resilient_with(Pool::global(), flat_weights)
+    }
+
+    /// [`Decoder::decode_resilient`] on an explicit pool.
+    ///
+    /// Groups are independent (each reads its own carrier ranges and
+    /// writes its own image slots), so they are decoded in parallel and
+    /// the per-group results are concatenated in group order — the output
+    /// is identical to the serial scan for any thread count. This is the
+    /// hot path of `robustness_sweep`, which re-decodes the same release
+    /// dozens of times at escalating fault severities.
+    pub fn decode_resilient_with(&self, pool: &Pool, flat_weights: &[f32]) -> ResilientDecode {
+        let active: Vec<usize> = self
+            .layout
+            .groups()
+            .iter()
+            .enumerate()
+            .filter(|(_, g)| !g.image_indices().is_empty())
+            .map(|(gi, _)| gi)
+            .collect();
+        let mut results: Vec<Option<GroupResilientDecode>> = active.iter().map(|_| None).collect();
+        let items: Vec<(usize, &mut Option<GroupResilientDecode>)> =
+            active.into_iter().zip(results.iter_mut()).collect();
+        par::for_each_item(
+            pool,
+            items,
+            || (),
+            |(), _, (gi, slot)| {
+                *slot = Some(self.decode_group_resilient(flat_weights, gi));
+            },
+        );
+        let mut images = Vec::with_capacity(self.layout.total_encoded_images());
+        let mut diagnostics = Vec::with_capacity(results.len());
+        for r in results {
+            let (imgs, diag) = r.expect("active group decoded");
+            images.extend(imgs);
+            diagnostics.push(diag);
+        }
+        ResilientDecode {
+            images,
+            diagnostics,
+        }
+    }
+
+    /// Resiliently decodes one group (see [`Decoder::decode_resilient`]).
+    fn decode_group_resilient(&self, flat_weights: &[f32], gi: usize) -> GroupResilientDecode {
         let (c, h, w) = self.layout.geometry();
         let px = self.layout.image_pixels();
-        let mut images = Vec::with_capacity(self.layout.total_encoded_images());
-        let mut diagnostics = Vec::new();
-        for (gi, g) in self.layout.groups().iter().enumerate() {
-            if g.image_indices().is_empty() {
-                continue;
-            }
+        let g = &self.layout.groups()[gi];
+        let mut images = Vec::with_capacity(g.image_indices().len());
+        let diagnostics;
+        {
             let (stream, complete) = g.extract_lossy(flat_weights);
             let n_images = g.image_indices().len();
             let encoded = &stream[..(n_images * px).min(stream.len())];
@@ -380,20 +425,21 @@ impl Decoder {
                     }),
                 }
             }
-            diagnostics.push(DecodeDiagnostics {
+            diagnostics = DecodeDiagnostics {
                 group: gi,
                 flipped,
                 confidence,
                 finite_fraction,
                 truncated: !complete,
-            });
+            };
         }
-        ResilientDecode {
-            images,
-            diagnostics,
-        }
+        (images, diagnostics)
     }
 }
+
+/// Per-group result of resilient decoding: the group's image slots (in
+/// target order) and its single diagnostics record.
+type GroupResilientDecode = (Vec<ResilientImage>, DecodeDiagnostics);
 
 /// Agreement between two pixel-value samples as `1 − ½·L1` distance of
 /// their normalized 16-bin histograms over `[0, 256)` — 1 for identical
@@ -527,6 +573,24 @@ mod tests {
         assert!(resilient.mean_confidence() > 0.9);
         assert!(!resilient.diagnostics[0].truncated);
         assert_eq!(resilient.diagnostics[0].finite_fraction, 1.0);
+    }
+
+    #[test]
+    fn resilient_decode_identical_across_pools() {
+        let (net, layout, _) = setup();
+        let mut flat = perfectly_encoded(&net, &layout, 0.001, -0.12);
+        // Damage the release so the repair/polarity paths run too.
+        let px = layout.image_pixels();
+        let (off0, _) = layout.groups()[0].flat_ranges()[0];
+        for v in flat[off0..off0 + px / 2].iter_mut() {
+            *v = f32::NAN;
+        }
+        let decoder = Decoder::new(layout, SignConvention::Absolute);
+        let reference = decoder.decode_resilient_with(&Pool::serial(), &flat);
+        for threads in [1usize, 2, 3, 8] {
+            let out = decoder.decode_resilient_with(&Pool::with_threads(threads), &flat);
+            assert_eq!(out, reference, "threads={threads}");
+        }
     }
 
     #[test]

@@ -1,10 +1,17 @@
 //! Criterion micro-benchmarks of the computational kernels every
-//! experiment leans on: convolution, matmul, the correlation-regularizer
+//! experiment leans on — convolution, matmul, the correlation-regularizer
 //! gradient, the four quantizer fits, SSIM, the image decoder and
-//! bit-packing.
+//! bit-packing — plus a before/after backend harness.
+//!
+//! Beyond the criterion samples, `main` runs every hot kernel once on the
+//! serial reference pool and once on a 4-thread pool (and the `QCE_THREADS`
+//! global), asserts the outputs are bit-for-bit identical, and writes the
+//! wall-clock and GFLOP/s comparison to `BENCH_kernels.json` so CI can
+//! archive the numbers next to the run.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use criterion::{criterion_group, BatchSize, Criterion};
 use std::hint::black_box;
+use std::time::Instant;
 
 use qce_attack::correlation::{correlation_penalty, SignConvention};
 use qce_data::{Image, SynthCifar};
@@ -13,7 +20,8 @@ use qce_quant::{
     pack, KMeansQuantizer, LinearQuantizer, Quantizer, TargetCorrelatedQuantizer,
     WeightedEntropyQuantizer,
 };
-use qce_tensor::conv::{conv2d, conv2d_backward, ConvGeometry};
+use qce_tensor::conv::{conv2d, conv2d_backward, conv2d_backward_with, conv2d_with, ConvGeometry};
+use qce_tensor::par::Pool;
 use qce_tensor::{init, linalg, Tensor};
 
 fn random_weights(n: usize, seed: u64) -> Vec<f32> {
@@ -49,6 +57,34 @@ fn bench_tensor_kernels(c: &mut Criterion) {
     c.bench_function("matmul_128x256x128", |b| {
         b.iter(|| linalg::matmul(black_box(&a), black_box(&bm)).expect("matmul"))
     });
+}
+
+/// Dense vs pruned inputs through the same dense kernel: the old scalar
+/// matmul special-cased `a[i] == 0.0` to skip work on pruned networks; the
+/// blocked kernel dropped that branch, so this pair proves the dense path
+/// is not slower when most weights are zero.
+fn bench_matmul_sparsity(c: &mut Criterion) {
+    let mut rng = init::seeded_rng(9);
+    let dense = init::uniform(&[128, 256], -1.0, 1.0, &mut rng);
+    let bm = init::uniform(&[256, 128], -1.0, 1.0, &mut rng);
+    let mut pruned = dense.clone();
+    // Magnitude-prune 70% of A, the regime the zero-skip branch targeted.
+    let mut mags: Vec<f32> = pruned.as_slice().iter().map(|v| v.abs()).collect();
+    mags.sort_by(f32::total_cmp);
+    let threshold = mags[(mags.len() as f64 * 0.7) as usize];
+    for v in pruned.as_mut_slice() {
+        if v.abs() < threshold {
+            *v = 0.0;
+        }
+    }
+    let mut group = c.benchmark_group("matmul_128x256x128_sparsity");
+    group.bench_function("dense", |b| {
+        b.iter(|| linalg::matmul(black_box(&dense), black_box(&bm)).expect("matmul"))
+    });
+    group.bench_function("pruned_70pct", |b| {
+        b.iter(|| linalg::matmul(black_box(&pruned), black_box(&bm)).expect("matmul"))
+    });
+    group.finish();
 }
 
 fn bench_correlation(c: &mut Criterion) {
@@ -120,10 +156,177 @@ fn bench_metrics_and_packing(c: &mut Criterion) {
     });
 }
 
+// ---------------------------------------------------------------------------
+// Backend comparison harness: serial vs parallel wall time + GFLOP/s, with a
+// bitwise-identity check, written to BENCH_kernels.json.
+// ---------------------------------------------------------------------------
+
+const HARNESS_REPS: usize = 5;
+
+/// Minimum wall time of `reps` runs, in seconds, plus the bits of the f32
+/// output (for the determinism check).
+fn time_min<F: FnMut() -> Vec<f32>>(mut f: F) -> (f64, Vec<u32>) {
+    let mut best = f64::INFINITY;
+    let mut bits = Vec::new();
+    for _ in 0..HARNESS_REPS {
+        let start = Instant::now();
+        let out = black_box(f());
+        best = best.min(start.elapsed().as_secs_f64());
+        bits = out.iter().map(|v| v.to_bits()).collect();
+    }
+    (best, bits)
+}
+
+struct KernelRow {
+    name: &'static str,
+    flops: u64,
+    serial_s: f64,
+    parallel_s: f64,
+    global_s: f64,
+    bitwise_identical: bool,
+}
+
+impl KernelRow {
+    fn measure<F>(name: &'static str, flops: u64, mut run: F) -> KernelRow
+    where
+        F: FnMut(&Pool) -> Vec<f32>,
+    {
+        let serial = Pool::serial();
+        let parallel = Pool::with_threads(4);
+        let (serial_s, serial_bits) = time_min(|| run(&serial));
+        let (parallel_s, parallel_bits) = time_min(|| run(&parallel));
+        let (global_s, global_bits) = time_min(|| run(Pool::global()));
+        KernelRow {
+            name,
+            flops,
+            serial_s,
+            parallel_s,
+            global_s,
+            bitwise_identical: serial_bits == parallel_bits && serial_bits == global_bits,
+        }
+    }
+
+    fn gflops(&self, seconds: f64) -> f64 {
+        if self.flops == 0 || seconds <= 0.0 {
+            return 0.0;
+        }
+        self.flops as f64 / seconds / 1e9
+    }
+
+    fn json(&self) -> String {
+        format!(
+            concat!(
+                "    {{\"name\": \"{}\", \"flops\": {}, ",
+                "\"serial_ms\": {:.4}, \"parallel_ms\": {:.4}, \"global_ms\": {:.4}, ",
+                "\"serial_gflops\": {:.4}, \"parallel_gflops\": {:.4}, ",
+                "\"speedup_parallel_over_serial\": {:.4}, ",
+                "\"bitwise_identical\": {}}}"
+            ),
+            self.name,
+            self.flops,
+            self.serial_s * 1e3,
+            self.parallel_s * 1e3,
+            self.global_s * 1e3,
+            self.gflops(self.serial_s),
+            self.gflops(self.parallel_s),
+            self.serial_s / self.parallel_s.max(1e-12),
+            self.bitwise_identical,
+        )
+    }
+}
+
+fn backend_comparison() {
+    println!("\nbackend comparison (serial vs 4-thread pool, min of {HARNESS_REPS} runs)");
+    let mut rng = init::seeded_rng(11);
+
+    let (m, k, n) = (128usize, 256, 128);
+    let a = init::uniform(&[m, k], -1.0, 1.0, &mut rng);
+    let bm = init::uniform(&[k, n], -1.0, 1.0, &mut rng);
+    let matmul_row = KernelRow::measure("matmul_128x256x128", (2 * m * k * n) as u64, |pool| {
+        linalg::matmul_with(pool, &a, &bm)
+            .expect("matmul")
+            .as_slice()
+            .to_vec()
+    });
+
+    let input = init::uniform(&[8, 12, 16, 16], -1.0, 1.0, &mut rng);
+    let weight = init::kaiming(&[24, 12, 3, 3], 108, &mut rng);
+    let geom = ConvGeometry::new(1, 1);
+    // One fused multiply-add pair per (sample, out-channel, out-pixel, tap).
+    let conv_flops = (2usize * 8 * 24 * 16 * 16 * 12 * 3 * 3) as u64;
+    let fwd_row = KernelRow::measure("conv2d_forward_8x12x16x16", conv_flops, |pool| {
+        conv2d_with(pool, &input, &weight, None, geom)
+            .expect("conv")
+            .as_slice()
+            .to_vec()
+    });
+    let out = conv2d(&input, &weight, None, geom).expect("conv");
+    let grad = Tensor::ones(out.dims());
+    let bwd_row = KernelRow::measure("conv2d_backward_8x12x16x16", 2 * conv_flops, |pool| {
+        let g = conv2d_backward_with(pool, &input, &weight, &grad, geom).expect("conv backward");
+        let mut flat = g.input.as_slice().to_vec();
+        flat.extend_from_slice(g.weight.as_slice());
+        flat.extend_from_slice(g.bias.as_slice());
+        flat
+    });
+
+    let weights = random_weights(100_000, 4);
+    let kmeans = KMeansQuantizer::new(16).expect("levels");
+    let fit_row = KernelRow::measure("kmeans_fit_100k_16_levels", 0, |pool| {
+        let cb = kmeans.fit_with(pool, &weights).expect("fit");
+        let mut flat = cb.representatives().to_vec();
+        flat.extend_from_slice(cb.boundaries());
+        flat
+    });
+    let codebook = kmeans.fit(&weights).expect("fit");
+    let assign_row = KernelRow::measure("codebook_assign_100k", 0, |pool| {
+        codebook
+            .assign_with(pool, &weights)
+            .iter()
+            .map(|&i| i as f32)
+            .collect()
+    });
+
+    let rows = [matmul_row, fwd_row, bwd_row, fit_row, assign_row];
+    for r in &rows {
+        println!(
+            "{:<28} serial {:9.3} ms | 4-thread {:9.3} ms | speedup {:5.2}x | {:7.2} GFLOP/s serial | bitwise_identical={}",
+            r.name,
+            r.serial_s * 1e3,
+            r.parallel_s * 1e3,
+            r.serial_s / r.parallel_s.max(1e-12),
+            r.gflops(r.serial_s),
+            r.bitwise_identical,
+        );
+        assert!(
+            r.bitwise_identical,
+            "{}: serial and parallel outputs differ",
+            r.name
+        );
+    }
+
+    let body: Vec<String> = rows.iter().map(KernelRow::json).collect();
+    let json = format!(
+        "{{\n  \"bench\": \"kernels\",\n  \"threads\": {{\"serial\": 1, \"parallel\": 4, \"global\": {}}},\n  \"reps\": {},\n  \"kernels\": [\n{}\n  ]\n}}\n",
+        Pool::global().threads(),
+        HARNESS_REPS,
+        body.join(",\n"),
+    );
+    // The bench binary's cwd is the package dir; anchor the report at the
+    // workspace root so CI can pick it up from a stable path.
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_kernels.json");
+    std::fs::write(path, json).expect("write BENCH_kernels.json");
+    println!("wrote {path}");
+}
+
 criterion_group! {
     name = kernels;
     config = Criterion::default().sample_size(20);
-    targets = bench_tensor_kernels, bench_correlation, bench_quantizers,
-        bench_metrics_and_packing
+    targets = bench_tensor_kernels, bench_matmul_sparsity, bench_correlation,
+        bench_quantizers, bench_metrics_and_packing
 }
-criterion_main!(kernels);
+
+fn main() {
+    kernels();
+    backend_comparison();
+}

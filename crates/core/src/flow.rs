@@ -11,6 +11,7 @@ use qce_quant::{
     finetune, quantize_network, FinetuneConfig, KMeansQuantizer, LinearQuantizer, Quantizer,
     TargetCorrelatedQuantizer, WeightedEntropyQuantizer,
 };
+use qce_tensor::par::Pool;
 use qce_tensor::Tensor;
 
 use crate::faults::FaultPlan;
@@ -155,6 +156,13 @@ impl AttackFlow {
     pub fn train(&self, dataset: &Dataset) -> Result<TrainedAttack> {
         let cfg = &self.config;
         cfg.validate()?;
+        if cfg.verbose {
+            println!(
+                "[flow] compute backend: {} thread(s) (override with QCE_THREADS; \
+                 results are identical for any thread count)",
+                Pool::global().threads()
+            );
+        }
         let first = dataset.images().first().ok_or(FlowError::InvalidConfig {
             reason: "empty dataset".to_string(),
         })?;

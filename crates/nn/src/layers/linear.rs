@@ -66,9 +66,10 @@ impl Layer for Linear {
                 },
             ));
         }
-        let w_t =
-            linalg::transpose(self.weight.value()).map_err(|e| NnError::tensor(self.name(), e))?;
-        let mut out = linalg::matmul(input, &w_t).map_err(|e| NnError::tensor(self.name(), e))?;
+        // W is stored [O, I], i.e. already the transpose the product needs —
+        // matmul_b_t consumes it directly, no transposed copy per step.
+        let mut out = linalg::matmul_b_t(input, self.weight.value())
+            .map_err(|e| NnError::tensor(self.name(), e))?;
         let (n, o) = (out.dims()[0], out.dims()[1]);
         let bias = self.bias.value().as_slice().to_vec();
         let ov = out.as_mut_slice();
@@ -88,9 +89,9 @@ impl Layer for Linear {
             .cached_input
             .as_ref()
             .ok_or(NnError::BackwardBeforeForward { layer: "linear" })?;
-        // dW = grad_out^T . input        [O, I]
-        let g_t = linalg::transpose(grad_out).map_err(|e| NnError::tensor(self.name(), e))?;
-        let dw = linalg::matmul(&g_t, input).map_err(|e| NnError::tensor(self.name(), e))?;
+        // dW = grad_out^T . input        [O, I] (transpose fused into the kernel)
+        let dw =
+            linalg::matmul_a_t(grad_out, input).map_err(|e| NnError::tensor(self.name(), e))?;
         self.weight
             .grad_mut()
             .axpy(1.0, &dw)

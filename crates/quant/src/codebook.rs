@@ -1,4 +1,15 @@
+use qce_tensor::par::{self, Pool};
+
 use crate::{QuantError, Result};
+
+/// Bulk assign/quantize/decode work is split into fixed-size chunks; the
+/// chunk length is a constant (never derived from the thread count) so
+/// the decomposition — and hence the output — is identical for any pool.
+const BULK_CHUNK: usize = 16 * 1024;
+
+/// Codebooks at or below this many levels use the branchless linear
+/// count in bulk assignment; larger ones binary-search per element.
+const BRANCHLESS_MAX_LEVELS: usize = 64;
 
 /// A fitted quantization codebook: `l` clusters defined by sorted lower
 /// boundaries `v_0..v_{l-1}` (with an implicit `v_l = +∞`) and one
@@ -121,6 +132,32 @@ impl Codebook {
         count.saturating_sub(1)
     }
 
+    /// Branchless [`Codebook::assign_value`] for the bulk paths.
+    ///
+    /// Counting `boundaries[1..]` entries `<= w` over non-decreasing
+    /// boundaries gives exactly `partition_point(<= w) - 1` when `w` is
+    /// at or above the first boundary, and 0 when it clamps below — the
+    /// same cluster, with no data-dependent branch in the loop.
+    fn assign_value_branchless(&self, w: f32) -> usize {
+        let mut idx = 0usize;
+        for &b in &self.boundaries[1..] {
+            idx += usize::from(b <= w);
+        }
+        idx
+    }
+
+    fn assign_chunk(&self, src: &[f32], dst: &mut [u32]) {
+        if self.levels() <= BRANCHLESS_MAX_LEVELS {
+            for (&w, d) in src.iter().zip(dst.iter_mut()) {
+                *d = self.assign_value_branchless(w) as u32;
+            }
+        } else {
+            for (&w, d) in src.iter().zip(dst.iter_mut()) {
+                *d = self.assign_value(w) as u32;
+            }
+        }
+    }
+
     /// `(cluster index, representative)` for `w`.
     pub fn quantize_value(&self, w: f32) -> (usize, f32) {
         let idx = self.assign_value(w);
@@ -129,18 +166,60 @@ impl Codebook {
 
     /// Quantizes a full weight vector to representatives.
     pub fn quantize(&self, weights: &[f32]) -> Vec<f32> {
-        weights
-            .iter()
-            .map(|&w| self.representatives[self.assign_value(w)])
-            .collect()
+        self.quantize_with(Pool::global(), weights)
+    }
+
+    /// [`Codebook::quantize`] on an explicit pool.
+    pub fn quantize_with(&self, pool: &Pool, weights: &[f32]) -> Vec<f32> {
+        let mut out = vec![0.0f32; weights.len()];
+        let items: Vec<(&[f32], &mut [f32])> = weights
+            .chunks(BULK_CHUNK)
+            .zip(out.chunks_mut(BULK_CHUNK))
+            .collect();
+        par::for_each_item(
+            pool,
+            items,
+            || (),
+            |(), _, (src, dst)| {
+                if self.levels() <= BRANCHLESS_MAX_LEVELS {
+                    for (&w, d) in src.iter().zip(dst.iter_mut()) {
+                        *d = self.representatives[self.assign_value_branchless(w)];
+                    }
+                } else {
+                    for (&w, d) in src.iter().zip(dst.iter_mut()) {
+                        *d = self.representatives[self.assign_value(w)];
+                    }
+                }
+            },
+        );
+        out
     }
 
     /// Cluster index of every weight.
     pub fn assign(&self, weights: &[f32]) -> Vec<u32> {
-        weights
-            .iter()
-            .map(|&w| self.assign_value(w) as u32)
-            .collect()
+        self.assign_with(Pool::global(), weights)
+    }
+
+    /// [`Codebook::assign`] on an explicit pool.
+    ///
+    /// Assignment is a pure per-element gather — no accumulation at all —
+    /// so any chunking of the input yields the same indices; the fixed
+    /// `BULK_CHUNK` split just bounds per-task granularity.
+    pub fn assign_with(&self, pool: &Pool, weights: &[f32]) -> Vec<u32> {
+        let mut out = vec![0u32; weights.len()];
+        let items: Vec<(&[f32], &mut [u32])> = weights
+            .chunks(BULK_CHUNK)
+            .zip(out.chunks_mut(BULK_CHUNK))
+            .collect();
+        par::for_each_item(
+            pool,
+            items,
+            || (),
+            |(), _, (src, dst)| {
+                self.assign_chunk(src, dst);
+            },
+        );
+        out
     }
 
     /// Reconstructs weight values from cluster indices.
@@ -150,6 +229,15 @@ impl Codebook {
     /// Returns [`QuantError::AssignmentMismatch`] if any index is out of
     /// range.
     pub fn decode(&self, indices: &[u32]) -> Result<Vec<f32>> {
+        self.decode_with(Pool::global(), indices)
+    }
+
+    /// [`Codebook::decode`] on an explicit pool.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Codebook::decode`].
+    pub fn decode_with(&self, pool: &Pool, indices: &[u32]) -> Result<Vec<f32>> {
         let l = self.levels() as u32;
         if let Some(&bad) = indices.iter().find(|&&i| i >= l) {
             return Err(QuantError::AssignmentMismatch {
@@ -157,10 +245,22 @@ impl Codebook {
                 actual: bad as usize,
             });
         }
-        Ok(indices
-            .iter()
-            .map(|&i| self.representatives[i as usize])
-            .collect())
+        let mut out = vec![0.0f32; indices.len()];
+        let items: Vec<(&[u32], &mut [f32])> = indices
+            .chunks(BULK_CHUNK)
+            .zip(out.chunks_mut(BULK_CHUNK))
+            .collect();
+        par::for_each_item(
+            pool,
+            items,
+            || (),
+            |(), _, (src, dst)| {
+                for (&i, d) in src.iter().zip(dst.iter_mut()) {
+                    *d = self.representatives[i as usize];
+                }
+            },
+        );
+        Ok(out)
     }
 
     /// Per-cluster occupancy counts for a weight vector.
@@ -241,6 +341,33 @@ mod tests {
         assert_eq!(cb.quantize_value(0.7), (2, 3.0));
         // Boundaries are untouched by the swap.
         assert_eq!(cb.assign_value(-3.0), 0);
+    }
+
+    #[test]
+    fn bulk_paths_match_scalar_assignment() {
+        use rand::RngExt;
+        let mut rng = qce_tensor::init::seeded_rng(9);
+        // 3-level codebook exercises the branchless path; 100 levels the
+        // binary-search path.
+        let wide = Codebook::new(
+            (0..100).map(|i| i as f32).collect(),
+            (0..100).map(|i| i as f32 * 0.1 - 5.0).collect(),
+        )
+        .unwrap();
+        for book in [cb(), wide] {
+            let w: Vec<f32> = (0..70_000).map(|_| rng.random_range(-6.0..6.0)).collect();
+            let scalar: Vec<u32> = w.iter().map(|&x| book.assign_value(x) as u32).collect();
+            for threads in [1, 2, 3, 8] {
+                let pool = Pool::with_threads(threads);
+                assert_eq!(book.assign_with(&pool, &w), scalar, "threads={threads}");
+                let q = book.quantize_with(&pool, &w);
+                let dec = book.decode_with(&pool, &scalar).unwrap();
+                for ((a, b), &idx) in q.iter().zip(&dec).zip(&scalar) {
+                    assert_eq!(a.to_bits(), book.representatives()[idx as usize].to_bits());
+                    assert_eq!(a.to_bits(), b.to_bits());
+                }
+            }
+        }
     }
 
     #[test]

@@ -55,7 +55,7 @@ pub mod prune;
 pub use codebook::Codebook;
 pub use error::QuantError;
 pub use finetune::{finetune, FinetuneConfig};
-pub use network::{quantize_network, QuantizedNetwork, QuantizedSlot};
+pub use network::{quantize_network, quantize_network_with, QuantizedNetwork, QuantizedSlot};
 pub use quantizers::{
     KMeansQuantizer, LinearQuantizer, Quantizer, TargetCorrelatedQuantizer,
     WeightedEntropyQuantizer,

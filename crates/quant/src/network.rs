@@ -1,4 +1,5 @@
 use qce_nn::{Network, ParamKind};
+use qce_tensor::par::Pool;
 
 use crate::{Codebook, QuantError, Quantizer, Result};
 
@@ -185,6 +186,24 @@ fn exact_codebook(values: &[f32]) -> Result<Codebook> {
 /// # }
 /// ```
 pub fn quantize_network(net: &mut Network, quantizer: &dyn Quantizer) -> Result<QuantizedNetwork> {
+    quantize_network_with(Pool::global(), net, quantizer)
+}
+
+/// [`quantize_network`] on an explicit compute pool.
+///
+/// The pool accelerates the per-tensor codebook fit (a sort) and the bulk
+/// assign/decode passes; every step is a fixed-order or order-free
+/// computation, so the deployed weights are bit-for-bit identical for any
+/// thread count.
+///
+/// # Errors
+///
+/// Same contract as [`quantize_network`].
+pub fn quantize_network_with(
+    pool: &Pool,
+    net: &mut Network,
+    quantizer: &dyn Quantizer,
+) -> Result<QuantizedNetwork> {
     let mut slots = Vec::new();
     for p in net.params_mut() {
         if p.kind() != ParamKind::Weight {
@@ -192,12 +211,12 @@ pub fn quantize_network(net: &mut Network, quantizer: &dyn Quantizer) -> Result<
         }
         let values = p.value().as_slice().to_vec();
         let codebook = if values.len() >= quantizer.levels() {
-            quantizer.fit(&values)?
+            quantizer.fit_with(pool, &values)?
         } else {
             exact_codebook(&values)?
         };
-        let assignment = codebook.assign(&values);
-        let quantized = codebook.decode(&assignment)?;
+        let assignment = codebook.assign_with(pool, &values);
+        let quantized = codebook.decode_with(pool, &assignment)?;
         p.value_mut().as_mut_slice().copy_from_slice(&quantized);
         slots.push(QuantizedSlot {
             codebook,

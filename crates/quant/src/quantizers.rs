@@ -1,3 +1,4 @@
+use qce_tensor::par::{self, Pool};
 use qce_tensor::stats::Histogram;
 
 use crate::{Codebook, QuantError, Result};
@@ -16,14 +17,28 @@ pub trait Quantizer {
     /// Number of clusters this quantizer produces.
     fn levels(&self) -> usize;
 
-    /// Fits a codebook to `weights`.
+    /// Fits a codebook to `weights` using an explicit compute pool.
+    ///
+    /// The dominant cost of every fit is sorting the weight vector; the
+    /// pool parallelises that sort (and nothing else), and because the
+    /// sort key is IEEE total order the sorted array — and therefore the
+    /// fitted codebook — is bit-for-bit identical for every thread count.
     ///
     /// # Errors
     ///
     /// Returns [`QuantError::EmptyWeights`] for empty input or
     /// [`QuantError::InvalidLevels`] when the configuration cannot produce
     /// a valid codebook (e.g. more clusters than weights).
-    fn fit(&self, weights: &[f32]) -> Result<Codebook>;
+    fn fit_with(&self, pool: &Pool, weights: &[f32]) -> Result<Codebook>;
+
+    /// Fits a codebook to `weights` on the global pool.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Quantizer::fit_with`].
+    fn fit(&self, weights: &[f32]) -> Result<Codebook> {
+        self.fit_with(Pool::global(), weights)
+    }
 }
 
 fn check_common(levels: usize, weights: &[f32]) -> Result<()> {
@@ -45,9 +60,9 @@ fn check_common(levels: usize, weights: &[f32]) -> Result<()> {
     Ok(())
 }
 
-fn sorted(weights: &[f32]) -> Vec<f32> {
+fn sorted_with(pool: &Pool, weights: &[f32]) -> Vec<f32> {
     let mut s = weights.to_vec();
-    s.sort_by(f32::total_cmp);
+    par::sort_f32(pool, &mut s);
     s
 }
 
@@ -106,9 +121,9 @@ impl Quantizer for LinearQuantizer {
         self.levels
     }
 
-    fn fit(&self, weights: &[f32]) -> Result<Codebook> {
+    fn fit_with(&self, pool: &Pool, weights: &[f32]) -> Result<Codebook> {
         check_common(self.levels, weights)?;
-        let s = sorted(weights);
+        let s = sorted_with(pool, weights);
         let (lo, hi) = (s[0], s[s.len() - 1]);
         if lo == hi {
             // Degenerate constant vector: all clusters collapse onto it.
@@ -166,9 +181,9 @@ impl Quantizer for KMeansQuantizer {
         self.levels
     }
 
-    fn fit(&self, weights: &[f32]) -> Result<Codebook> {
+    fn fit_with(&self, pool: &Pool, weights: &[f32]) -> Result<Codebook> {
         check_common(self.levels, weights)?;
-        let s = sorted(weights);
+        let s = sorted_with(pool, weights);
         let n = s.len();
         let (lo, hi) = (s[0], s[n - 1]);
         if lo == hi {
@@ -280,9 +295,9 @@ impl Quantizer for WeightedEntropyQuantizer {
         self.levels
     }
 
-    fn fit(&self, weights: &[f32]) -> Result<Codebook> {
+    fn fit_with(&self, pool: &Pool, weights: &[f32]) -> Result<Codebook> {
         check_common(self.levels, weights)?;
-        let s = sorted(weights);
+        let s = sorted_with(pool, weights);
         let n = s.len();
         // Cumulative importance along the sorted sequence.
         let total: f64 = s.iter().map(|&w| (w as f64) * (w as f64)).sum();
@@ -392,9 +407,9 @@ impl Quantizer for TargetCorrelatedQuantizer {
         self.levels
     }
 
-    fn fit(&self, weights: &[f32]) -> Result<Codebook> {
+    fn fit_with(&self, pool: &Pool, weights: &[f32]) -> Result<Codebook> {
         check_common(self.levels, weights)?;
-        let s = sorted(weights);
+        let s = sorted_with(pool, weights);
         let n = s.len();
         // Algorithm 1 lines 4-7: b_i = b_{i-1} + H[i-1] * n, accumulated in
         // float and rounded so that b_l == n exactly.

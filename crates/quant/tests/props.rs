@@ -1,10 +1,14 @@
-//! Property-based tests of the quantization invariants (DESIGN.md §6).
+//! Property-based tests of the quantization invariants (DESIGN.md §6)
+//! and of compute-backend determinism (DESIGN.md "Compute backend &
+//! determinism"): fits and bulk assignments must be bit-for-bit equal
+//! between the serial reference and every parallel pool.
 
 use proptest::prelude::*;
 use qce_quant::{
     pack, Codebook, KMeansQuantizer, LinearQuantizer, Quantizer, TargetCorrelatedQuantizer,
     WeightedEntropyQuantizer,
 };
+use qce_tensor::par::Pool;
 
 fn weights_strategy() -> impl Strategy<Value = Vec<f32>> {
     prop::collection::vec(-10.0f32..10.0, 64..512)
@@ -111,6 +115,54 @@ proptest! {
         prop_assert_eq!(bytes.len(), pack::packed_len(indices.len(), bits));
         let back = pack::unpack(&bytes, bits, indices.len()).unwrap();
         prop_assert_eq!(back, indices);
+    }
+
+    #[test]
+    fn quantizer_fit_bitwise_equal_across_pools(
+        weights in prop::collection::vec(-10.0f32..10.0, 64..4000),
+        levels in 2usize..33,
+        pixel_seed in 0u64..1000,
+    ) {
+        let mut rng = qce_tensor::init::seeded_rng(pixel_seed);
+        use rand::RngExt;
+        let pixels: Vec<u8> = (0..512).map(|_| rng.random_range(0u32..256) as u8).collect();
+        let quantizers: Vec<Box<dyn Quantizer>> = vec![
+            Box::new(LinearQuantizer::new(levels).unwrap()),
+            Box::new(KMeansQuantizer::new(levels).unwrap()),
+            Box::new(WeightedEntropyQuantizer::new(levels).unwrap()),
+            Box::new(TargetCorrelatedQuantizer::new(levels, &pixels).unwrap()),
+        ];
+        for q in &quantizers {
+            let reference = q.fit_with(&Pool::serial(), &weights).unwrap();
+            for threads in [1usize, 2, 3, 8] {
+                let cb = q.fit_with(&Pool::with_threads(threads), &weights).unwrap();
+                let reps_eq = cb.representatives().iter().zip(reference.representatives())
+                    .all(|(a, b)| a.to_bits() == b.to_bits());
+                let bounds_eq = cb.boundaries().iter().zip(reference.boundaries())
+                    .all(|(a, b)| a.to_bits() == b.to_bits());
+                prop_assert!(
+                    reps_eq && bounds_eq,
+                    "{} fit differs at threads={}", q.name(), threads
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bulk_assignment_bitwise_equal_across_pools(
+        weights in prop::collection::vec(-10.0f32..10.0, 64..40_000),
+        levels in 2usize..33,
+    ) {
+        let cb = KMeansQuantizer::new(levels).unwrap().fit_with(&Pool::serial(), &weights).unwrap();
+        let scalar_idx: Vec<u32> = weights.iter().map(|&w| cb.assign_value(w) as u32).collect();
+        for threads in [1usize, 2, 3, 8] {
+            let pool = Pool::with_threads(threads);
+            prop_assert_eq!(&cb.assign_with(&pool, &weights), &scalar_idx, "threads={}", threads);
+            let q = cb.quantize_with(&pool, &weights);
+            let d = cb.decode_with(&pool, &scalar_idx).unwrap();
+            let same = q.iter().zip(&d).all(|(a, b)| a.to_bits() == b.to_bits());
+            prop_assert!(same, "quantize/decode disagree at threads={}", threads);
+        }
     }
 
     #[test]

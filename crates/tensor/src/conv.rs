@@ -2,11 +2,20 @@
 //!
 //! Layout convention is `NCHW` for activations and `OIHW` for convolution
 //! weights, matching the layer definitions in `qce-nn`. The convolution is
-//! implemented with an explicit im2col lowering followed by
-//! [`matmul`](crate::linalg::matmul), and the backward pass reverses the
-//! lowering with a col2im scatter-add — the textbook formulation, easy to
-//! verify against finite differences (see the crate's property tests).
+//! implemented with an explicit im2col lowering followed by the blocked
+//! [`matmul`](crate::linalg::matmul) kernel, and the backward pass reverses
+//! the lowering with a col2im scatter-add — the textbook formulation, easy
+//! to verify against finite differences (see the crate's property tests).
+//!
+//! Forward and backward are **batch-parallel**: samples are distributed
+//! over the [`crate::par::Pool`] (falling back to an in-sample parallel
+//! matmul when the batch is smaller than the pool), each worker reuses one
+//! im2col scratch buffer across its samples, and per-sample weight/bias
+//! gradients land in disjoint partial buffers that are reduced serially in
+//! ascending sample order — so gradients are bit-for-bit identical for
+//! every thread count.
 
+use crate::par::{self, Pool};
 use crate::{linalg, Result, Tensor, TensorError};
 
 /// Stride/padding geometry of a convolution or pooling window.
@@ -195,6 +204,26 @@ pub fn conv2d(
     bias: Option<&Tensor>,
     geom: ConvGeometry,
 ) -> Result<Tensor> {
+    conv2d_with(Pool::global(), input, weight, bias, geom)
+}
+
+/// [`conv2d`] on an explicit pool (`Pool::serial()` is the scalar reference).
+///
+/// Samples are split over the pool when the batch is at least as wide as
+/// the pool; otherwise the per-sample matmul is parallelised instead.
+/// Both placements run identical per-sample arithmetic, so the output is
+/// the same bytes either way.
+///
+/// # Errors
+///
+/// Same contract as [`conv2d`].
+pub fn conv2d_with(
+    pool: &Pool,
+    input: &Tensor,
+    weight: &Tensor,
+    bias: Option<&Tensor>,
+    geom: ConvGeometry,
+) -> Result<Tensor> {
     check_rank4("conv2d input", input)?;
     check_rank4("conv2d weight", weight)?;
     let (n, c, h, w) = dims4(input);
@@ -218,24 +247,39 @@ pub fn conv2d(
     let ho = geom.output_extent(h, kh)?;
     let wo = geom.output_extent(w, kw)?;
 
-    let wmat = weight.reshape(&[o, c * kh * kw])?;
-    let mut out = vec![0.0f32; n * o * ho * wo];
-    let mut col = vec![0.0f32; c * kh * kw * ho * wo];
-    for s in 0..n {
-        let img = &input.as_slice()[s * c * h * w..(s + 1) * c * h * w];
-        im2col(img, c, h, w, kh, kw, geom, ho, wo, &mut col);
-        let col_t = Tensor::from_vec(col.clone(), &[c * kh * kw, ho * wo])?;
-        let res = linalg::matmul(&wmat, &col_t)?;
-        let dst = &mut out[s * o * ho * wo..(s + 1) * o * ho * wo];
-        dst.copy_from_slice(res.as_slice());
-        if let Some(b) = bias {
-            for (oc, &bv) in b.as_slice().iter().enumerate() {
-                for v in &mut dst[oc * ho * wo..(oc + 1) * ho * wo] {
-                    *v += bv;
+    let csize = c * h * w;
+    let osize = o * ho * wo;
+    let ckk = c * kh * kw;
+    let howo = ho * wo;
+    // OIHW weights are already the [o, c*kh*kw] matrix, row-major.
+    let wv = weight.as_slice();
+    let iv = input.as_slice();
+    let bslice = bias.map(Tensor::as_slice);
+    let mut out = vec![0.0f32; n * osize];
+    let serial = Pool::serial();
+    let (outer, inner) = if n >= pool.threads() {
+        (pool, &serial)
+    } else {
+        (&serial, pool)
+    };
+    par::for_each_chunk(
+        outer,
+        &mut out,
+        osize,
+        || vec![0.0f32; ckk * howo],
+        |col, s, dst| {
+            let img = &iv[s * csize..(s + 1) * csize];
+            im2col(img, c, h, w, kh, kw, geom, ho, wo, col);
+            linalg::matmul_into(inner, wv, col, dst, o, ckk, howo);
+            if let Some(b) = bslice {
+                for (oc, &bv) in b.iter().enumerate() {
+                    for v in &mut dst[oc * howo..(oc + 1) * howo] {
+                        *v += bv;
+                    }
                 }
             }
-        }
-    }
+        },
+    );
     Tensor::from_vec(out, &[n, o, ho, wo])
 }
 
@@ -265,6 +309,26 @@ pub fn conv2d_backward(
     grad_out: &Tensor,
     geom: ConvGeometry,
 ) -> Result<Conv2dGrads> {
+    conv2d_backward_with(Pool::global(), input, weight, grad_out, geom)
+}
+
+/// [`conv2d_backward`] on an explicit pool.
+///
+/// Each sample writes its weight/bias contribution into a disjoint
+/// partial buffer; the partials are reduced serially in ascending sample
+/// order afterwards, so no floating-point sum ever crosses a thread
+/// boundary and gradients match the serial reference bit-for-bit.
+///
+/// # Errors
+///
+/// Same contract as [`conv2d_backward`].
+pub fn conv2d_backward_with(
+    pool: &Pool,
+    input: &Tensor,
+    weight: &Tensor,
+    grad_out: &Tensor,
+    geom: ConvGeometry,
+) -> Result<Conv2dGrads> {
     check_rank4("conv2d_backward input", input)?;
     check_rank4("conv2d_backward weight", weight)?;
     check_rank4("conv2d_backward grad", grad_out)?;
@@ -280,51 +344,68 @@ pub fn conv2d_backward(
         });
     }
 
-    let wmat = weight.reshape(&[o, c * kh * kw])?;
-    let wmat_t = linalg::transpose(&wmat)?;
-    let mut grad_w = Tensor::zeros(&[o, c * kh * kw]);
-    let mut grad_b = Tensor::zeros(&[o]);
-    let mut grad_in = vec![0.0f32; n * c * h * w];
-    let mut col = vec![0.0f32; c * kh * kw * ho * wo];
+    let ckk = c * kh * kw;
+    let howo = ho * wo;
+    let csize = c * h * w;
+    let osize = o * howo;
+    let wv = weight.as_slice();
+    let mut wmat_t = vec![0.0f32; o * ckk];
+    linalg::transpose_into(wv, &mut wmat_t, o, ckk);
+    let wmat_t = &wmat_t;
+    let iv = input.as_slice();
+    let gv = grad_out.as_slice();
 
-    for s in 0..n {
-        let img = &input.as_slice()[s * c * h * w..(s + 1) * c * h * w];
-        im2col(img, c, h, w, kh, kw, geom, ho, wo, &mut col);
-        let col_t = Tensor::from_vec(col.clone(), &[c * kh * kw, ho * wo])?;
-        let g = Tensor::from_vec(
-            grad_out.as_slice()[s * o * ho * wo..(s + 1) * o * ho * wo].to_vec(),
-            &[o, ho * wo],
-        )?;
-        // dW += g . col^T
-        let col_tt = linalg::transpose(&col_t)?;
-        let dw = linalg::matmul(&g, &col_tt)?;
-        grad_w.axpy(1.0, &dw)?;
-        // db += row sums of g
-        for (oc, gb) in grad_b.as_mut_slice().iter_mut().enumerate() {
-            *gb += g.as_slice()[oc * ho * wo..(oc + 1) * ho * wo]
-                .iter()
-                .sum::<f32>();
+    let mut grad_in = vec![0.0f32; n * csize];
+    let mut dw_part = vec![0.0f32; n * o * ckk];
+    let mut db_part = vec![0.0f32; n * o];
+    let serial = Pool::serial();
+    let (outer, inner) = if n >= pool.threads() {
+        (pool, &serial)
+    } else {
+        (&serial, pool)
+    };
+    let items: Vec<(&mut [f32], &mut [f32], &mut [f32])> = grad_in
+        .chunks_mut(csize)
+        .zip(dw_part.chunks_mut(o * ckk))
+        .zip(db_part.chunks_mut(o))
+        .map(|((gin, dw), db)| (gin, dw, db))
+        .collect();
+    par::for_each_item(
+        outer,
+        items,
+        || (vec![0.0f32; ckk * howo], vec![0.0f32; ckk * howo]),
+        |(col, dcol), s, (gin, dw, db)| {
+            let img = &iv[s * csize..(s + 1) * csize];
+            im2col(img, c, h, w, kh, kw, geom, ho, wo, col);
+            let g_s = &gv[s * osize..(s + 1) * osize];
+            // dW_s = g_s · colᵀ — col rows are exactly the (col)ᵀ columns.
+            linalg::matmul_b_t_into(inner, g_s, col, dw, o, howo, ckk);
+            for (oc, gb) in db.iter_mut().enumerate() {
+                *gb = g_s[oc * howo..(oc + 1) * howo].iter().sum::<f32>();
+            }
+            // dInput_s via col2im(Wᵀ · g_s).
+            linalg::matmul_into(inner, wmat_t, g_s, dcol, ckk, o, howo);
+            col2im(dcol, c, h, w, kh, kw, geom, ho, wo, gin);
+        },
+    );
+
+    let mut grad_w = vec![0.0f32; o * ckk];
+    for dw in dw_part.chunks_exact(o * ckk) {
+        for (acc, &v) in grad_w.iter_mut().zip(dw) {
+            *acc += v;
         }
-        // dInput via col2im(W^T . g)
-        let dcol = linalg::matmul(&wmat_t, &g)?;
-        col2im(
-            dcol.as_slice(),
-            c,
-            h,
-            w,
-            kh,
-            kw,
-            geom,
-            ho,
-            wo,
-            &mut grad_in[s * c * h * w..(s + 1) * c * h * w],
-        );
+    }
+    let mut grad_b = vec![0.0f32; o];
+    for db in db_part.chunks_exact(o) {
+        for (acc, &v) in grad_b.iter_mut().zip(db) {
+            *acc += v;
+        }
     }
 
     Ok(Conv2dGrads {
         input: Tensor::from_vec(grad_in, &[n, c, h, w])?,
-        weight: grad_w.reshape(&[o, c, kh, kw])?,
-        bias: grad_b,
+        weight: Tensor::from_vec(grad_w, &[o, c, kh, kw])?,
+        bias: Tensor::from_vec(grad_b, &[o])?,
     })
 }
 
@@ -345,6 +426,25 @@ pub struct MaxPoolOutput {
 ///
 /// Returns an error for non-rank-4 inputs or infeasible geometry.
 pub fn max_pool2d(input: &Tensor, k: usize, geom: ConvGeometry) -> Result<MaxPoolOutput> {
+    max_pool2d_with(Pool::global(), input, k, geom)
+}
+
+/// [`max_pool2d`] on an explicit pool.
+///
+/// Pooling planes (one per sample×channel) are independent, so they are
+/// distributed over the pool; the max scan within a window is a fixed
+/// serial order, making the result (including argmax ties) identical for
+/// every thread count.
+///
+/// # Errors
+///
+/// Same contract as [`max_pool2d`].
+pub fn max_pool2d_with(
+    pool: &Pool,
+    input: &Tensor,
+    k: usize,
+    geom: ConvGeometry,
+) -> Result<MaxPoolOutput> {
     check_rank4("max_pool2d", input)?;
     let (n, c, h, w) = dims4(input);
     let ho = geom.output_extent(h, k)?;
@@ -353,9 +453,16 @@ pub fn max_pool2d(input: &Tensor, k: usize, geom: ConvGeometry) -> Result<MaxPoo
     let iv = input.as_slice();
     let mut out = vec![0.0f32; n * c * ho * wo];
     let mut argmax = vec![0usize; n * c * ho * wo];
-    for s in 0..n {
-        for ch in 0..c {
-            let base = (s * c + ch) * h * w;
+    let planes: Vec<(&mut [f32], &mut [usize])> = out
+        .chunks_mut(ho * wo)
+        .zip(argmax.chunks_mut(ho * wo))
+        .collect();
+    par::for_each_item(
+        pool,
+        planes,
+        || (),
+        |(), plane, (ov, av)| {
+            let base = plane * h * w;
             for oy in 0..ho {
                 for ox in 0..wo {
                     let mut best = f32::NEG_INFINITY;
@@ -377,13 +484,13 @@ pub fn max_pool2d(input: &Tensor, k: usize, geom: ConvGeometry) -> Result<MaxPoo
                             }
                         }
                     }
-                    let o_idx = ((s * c + ch) * ho + oy) * wo + ox;
-                    out[o_idx] = best;
-                    argmax[o_idx] = best_idx;
+                    let o_idx = oy * wo + ox;
+                    ov[o_idx] = best;
+                    av[o_idx] = best_idx;
                 }
             }
-        }
-    }
+        },
+    );
     Ok(MaxPoolOutput {
         output: Tensor::from_vec(out, &[n, c, ho, wo])?,
         argmax,
@@ -645,6 +752,43 @@ mod tests {
         assert_eq!(grad.dims(), input.dims());
         // Each spatial cell receives channel_grad / area.
         assert!((grad.at(&[0, 0, 0, 0]) - out.as_slice()[0] / 16.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn conv2d_pools_agree_bitwise() {
+        let geom = ConvGeometry::new(1, 1);
+        let input = random_tensor(&[5, 3, 9, 7], 51);
+        let weight = random_tensor(&[4, 3, 3, 3], 52);
+        let bias = random_tensor(&[4], 53);
+        let grad_seed = random_tensor(&[5, 4, 9, 7], 54);
+        let serial = Pool::serial();
+        let fwd_ref = conv2d_with(&serial, &input, &weight, Some(&bias), geom).unwrap();
+        let bwd_ref = conv2d_backward_with(&serial, &input, &weight, &grad_seed, geom).unwrap();
+        for threads in [2, 3, 8] {
+            let pool = Pool::with_threads(threads);
+            let fwd = conv2d_with(&pool, &input, &weight, Some(&bias), geom).unwrap();
+            assert!(
+                fwd.as_slice()
+                    .iter()
+                    .zip(fwd_ref.as_slice())
+                    .all(|(a, b)| a.to_bits() == b.to_bits()),
+                "fwd threads={threads}"
+            );
+            let bwd = conv2d_backward_with(&pool, &input, &weight, &grad_seed, geom).unwrap();
+            for (got, want) in [
+                (&bwd.input, &bwd_ref.input),
+                (&bwd.weight, &bwd_ref.weight),
+                (&bwd.bias, &bwd_ref.bias),
+            ] {
+                assert!(
+                    got.as_slice()
+                        .iter()
+                        .zip(want.as_slice())
+                        .all(|(a, b)| a.to_bits() == b.to_bits()),
+                    "bwd threads={threads}"
+                );
+            }
+        }
     }
 
     #[test]

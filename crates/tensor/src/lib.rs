@@ -12,9 +12,15 @@
 //!   Xavier, uniform) built on a Box–Muller normal sampler.
 //! * [`stats`] — scalar statistics (mean/std/histogram) shared by the
 //!   data-preprocessing and quantization stages of the attack flow.
+//! * [`par`] — a zero-dependency scoped thread pool whose static work
+//!   partitioning keeps every kernel **bit-for-bit identical across
+//!   thread counts** (`QCE_THREADS` selects the worker count).
 //!
-//! Everything is deterministic given explicit seeds; no threading, no
-//! SIMD intrinsics — clarity and reproducibility over raw speed.
+//! Everything is deterministic given explicit seeds: the blocked and
+//! parallel kernels fix their floating-point accumulation order
+//! independently of the thread count, so `QCE_THREADS=1` and
+//! `QCE_THREADS=8` produce the same bytes. No unsafe, no SIMD
+//! intrinsics — clarity and reproducibility first, then speed.
 //!
 //! # Examples
 //!
@@ -41,6 +47,7 @@ pub mod axis;
 pub mod conv;
 pub mod init;
 pub mod linalg;
+pub mod par;
 pub mod stats;
 
 pub use error::TensorError;

@@ -1,12 +1,32 @@
-//! Dense 2-D linear algebra: matrix multiplication and transposition.
+//! Dense 2-D linear algebra: blocked matrix multiplication and transposition.
 //!
 //! These are the inner kernels of the `qce-nn` fully-connected and
-//! im2col-convolution layers. The matmul uses a cache-friendly i-k-j loop
-//! order over contiguous rows; no unsafe, no SIMD intrinsics.
+//! im2col-convolution layers. The matmul is register-tiled (4×8
+//! microkernel over a packed B panel) and row-parallel via
+//! [`crate::par::Pool`]; the work decomposition is fixed by the tile
+//! size, never by the thread count, so every pool produces bit-for-bit
+//! identical output. No unsafe, no SIMD intrinsics.
+//!
+//! The dense inner loop deliberately has **no zero-skip branch**: on the
+//! dense (or magnitude-pruned) weight matrices this workspace multiplies,
+//! a data-dependent `if aip == 0.0 { continue; }` mispredicts and starves
+//! the FMA pipeline. Sparse inputs belong to a dedicated sparse kernel,
+//! not a branch in the dense one; `crates/bench/benches/kernels.rs`
+//! carries a dense-vs-pruned comparison guarding this decision.
 
+use crate::par::{self, Pool};
 use crate::{Result, Tensor, TensorError};
 
+/// Microkernel row tile: each parallel work unit is `MR` output rows.
+const MR: usize = 4;
+/// Microkernel column tile: B is packed into `NR`-wide column panels.
+const NR: usize = 8;
+/// Square tile edge for the cache-blocked transpose.
+const TRANSPOSE_TILE: usize = 32;
+
 /// Multiplies two rank-2 tensors: `[m, k] x [k, n] -> [m, n]`.
+///
+/// Uses [`Pool::global`]; see [`matmul_with`] for an explicit pool.
 ///
 /// # Errors
 ///
@@ -27,6 +47,15 @@ use crate::{Result, Tensor, TensorError};
 /// # }
 /// ```
 pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    matmul_with(Pool::global(), a, b)
+}
+
+/// [`matmul`] on an explicit pool (`Pool::serial()` is the scalar reference).
+///
+/// # Errors
+///
+/// Same contract as [`matmul`].
+pub fn matmul_with(pool: &Pool, a: &Tensor, b: &Tensor) -> Result<Tensor> {
     check_rank2("matmul", a)?;
     check_rank2("matmul", b)?;
     let (m, k) = (a.dims()[0], a.dims()[1]);
@@ -38,26 +67,303 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
             rhs: b.dims().to_vec(),
         });
     }
-    let av = a.as_slice();
-    let bv = b.as_slice();
     let mut out = vec![0.0f32; m * n];
-    for i in 0..m {
-        let arow = &av[i * k..(i + 1) * k];
-        let orow = &mut out[i * n..(i + 1) * n];
-        for (p, &aip) in arow.iter().enumerate() {
-            if aip == 0.0 {
-                continue;
-            }
-            let brow = &bv[p * n..(p + 1) * n];
-            for (o, &bpn) in orow.iter_mut().zip(brow.iter()) {
-                *o += aip * bpn;
-            }
-        }
-    }
+    matmul_into(pool, a.as_slice(), b.as_slice(), &mut out, m, k, n);
     Tensor::from_vec(out, &[m, n])
 }
 
+/// Multiplies by a pre-transposed right operand: `[m, k] x [n, k]ᵀ -> [m, n]`.
+///
+/// `b_t` holds Bᵀ row-major, i.e. `b_t[j]` is column `j` of B as a
+/// contiguous slice. This is the layout `qce-nn` stores linear weights
+/// and conv filter matrices in, so forward passes need no transpose and
+/// no packing at all — each output element is one contiguous dot product.
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] if either operand is not rank 2,
+/// or [`TensorError::ShapeMismatch`] if the shared dimension disagrees.
+pub fn matmul_b_t(a: &Tensor, b_t: &Tensor) -> Result<Tensor> {
+    matmul_b_t_with(Pool::global(), a, b_t)
+}
+
+/// [`matmul_b_t`] on an explicit pool.
+///
+/// # Errors
+///
+/// Same contract as [`matmul_b_t`].
+pub fn matmul_b_t_with(pool: &Pool, a: &Tensor, b_t: &Tensor) -> Result<Tensor> {
+    check_rank2("matmul_b_t", a)?;
+    check_rank2("matmul_b_t", b_t)?;
+    let (m, k) = (a.dims()[0], a.dims()[1]);
+    let (n, k2) = (b_t.dims()[0], b_t.dims()[1]);
+    if k != k2 {
+        return Err(TensorError::ShapeMismatch {
+            op: "matmul_b_t",
+            lhs: a.dims().to_vec(),
+            rhs: b_t.dims().to_vec(),
+        });
+    }
+    let mut out = vec![0.0f32; m * n];
+    matmul_b_t_into(pool, a.as_slice(), b_t.as_slice(), &mut out, m, k, n);
+    Tensor::from_vec(out, &[m, n])
+}
+
+/// Multiplies with a pre-transposed left operand: `[k, m]ᵀ x [k, n] -> [m, n]`.
+///
+/// Computes Aᵀ·B without materialising Aᵀ — exactly the shape of the
+/// weight-gradient product `gradᵀ·x` in linear/conv backward passes,
+/// which previously paid a full transpose per step.
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] if either operand is not rank 2,
+/// or [`TensorError::ShapeMismatch`] if the leading dimensions disagree.
+pub fn matmul_a_t(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    matmul_a_t_with(Pool::global(), a, b)
+}
+
+/// [`matmul_a_t`] on an explicit pool.
+///
+/// # Errors
+///
+/// Same contract as [`matmul_a_t`].
+pub fn matmul_a_t_with(pool: &Pool, a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    check_rank2("matmul_a_t", a)?;
+    check_rank2("matmul_a_t", b)?;
+    let (k, m) = (a.dims()[0], a.dims()[1]);
+    let (k2, n) = (b.dims()[0], b.dims()[1]);
+    if k != k2 {
+        return Err(TensorError::ShapeMismatch {
+            op: "matmul_a_t",
+            lhs: a.dims().to_vec(),
+            rhs: b.dims().to_vec(),
+        });
+    }
+    let mut out = vec![0.0f32; m * n];
+    matmul_a_t_into(pool, a.as_slice(), b.as_slice(), &mut out, k, m, n);
+    Tensor::from_vec(out, &[m, n])
+}
+
+/// Raw-slice matmul into a caller-owned buffer (`out` need not be zeroed).
+///
+/// Shapes: `av` is `[m, k]`, `bv` is `[k, n]`, `out` is `[m, n]`, all
+/// row-major. B is packed once into `NR`-wide column panels, then output
+/// rows are processed in fixed `MR`-row blocks distributed over `pool`.
+pub(crate) fn matmul_into(
+    pool: &Pool,
+    av: &[f32],
+    bv: &[f32],
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    debug_assert_eq!(av.len(), m * k);
+    debug_assert_eq!(bv.len(), k * n);
+    debug_assert_eq!(out.len(), m * n);
+    if m == 0 || n == 0 {
+        return;
+    }
+    if k == 0 {
+        out.fill(0.0);
+        return;
+    }
+    let packed = pack_b(bv, k, n);
+    let packed = &packed;
+    par::for_each_chunk(
+        pool,
+        out,
+        MR * n,
+        || (),
+        |(), blk, rows| {
+            matmul_block(&av[blk * MR * k..], packed, rows, k, n);
+        },
+    );
+}
+
+/// Raw-slice `A·Bᵀ` into a caller-owned buffer (`out` need not be zeroed).
+///
+/// Shapes: `av` is `[m, k]`, `btv` is `[n, k]`, `out` is `[m, n]`.
+pub(crate) fn matmul_b_t_into(
+    pool: &Pool,
+    av: &[f32],
+    btv: &[f32],
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    debug_assert_eq!(av.len(), m * k);
+    debug_assert_eq!(btv.len(), n * k);
+    debug_assert_eq!(out.len(), m * n);
+    if m == 0 || n == 0 {
+        return;
+    }
+    if k == 0 {
+        out.fill(0.0);
+        return;
+    }
+    par::for_each_chunk(
+        pool,
+        out,
+        MR * n,
+        || (),
+        |(), blk, rows| {
+            let i0 = blk * MR;
+            for (r, orow) in rows.chunks_mut(n).enumerate() {
+                let arow = &av[(i0 + r) * k..(i0 + r + 1) * k];
+                for (j, o) in orow.iter_mut().enumerate() {
+                    *o = dot_slices(arow, &btv[j * k..(j + 1) * k]);
+                }
+            }
+        },
+    );
+}
+
+/// Raw-slice `Aᵀ·B` into a caller-owned buffer.
+///
+/// Shapes: `av` is `[k, m]`, `bv` is `[k, n]`, `out` is `[m, n]`.
+/// Accumulation runs over `p = 0..k` in ascending order for every output
+/// block, so the result is identical for any pool.
+pub(crate) fn matmul_a_t_into(
+    pool: &Pool,
+    av: &[f32],
+    bv: &[f32],
+    out: &mut [f32],
+    k: usize,
+    m: usize,
+    n: usize,
+) {
+    debug_assert_eq!(av.len(), k * m);
+    debug_assert_eq!(bv.len(), k * n);
+    debug_assert_eq!(out.len(), m * n);
+    if out.is_empty() {
+        return;
+    }
+    par::for_each_chunk(
+        pool,
+        out,
+        MR * n,
+        || (),
+        |(), blk, rows| {
+            let i0 = blk * MR;
+            let height = rows.len() / n;
+            rows.fill(0.0);
+            for p in 0..k {
+                let acol = &av[p * m + i0..p * m + i0 + height];
+                let brow = &bv[p * n..(p + 1) * n];
+                for (r, orow) in rows.chunks_mut(n).enumerate() {
+                    let x = acol[r];
+                    for (o, &bb) in orow.iter_mut().zip(brow) {
+                        *o += x * bb;
+                    }
+                }
+            }
+        },
+    );
+}
+
+/// Packs row-major `[k, n]` B into zero-padded `NR`-wide column panels.
+///
+/// Layout: `packed[(panel * k + p) * NR + lane]` holds `B[p, panel*NR + lane]`
+/// (0.0 beyond column `n`), so the microkernel streams one contiguous
+/// panel per `NR` output columns.
+fn pack_b(bv: &[f32], k: usize, n: usize) -> Vec<f32> {
+    let panels = n.div_ceil(NR);
+    let mut packed = vec![0.0f32; panels * k * NR];
+    for pi in 0..panels {
+        let j0 = pi * NR;
+        let w = NR.min(n - j0);
+        let base = pi * k * NR;
+        for p in 0..k {
+            let dst = base + p * NR;
+            packed[dst..dst + w].copy_from_slice(&bv[p * n + j0..p * n + j0 + w]);
+        }
+    }
+    packed
+}
+
+/// Register-tiled microkernel over one `MR`-row output block.
+///
+/// `a` points at the block's first A row; `out` is the block's rows
+/// (`out.len() / n` rows, at most `MR`). Accumulators live in `MR`×`NR`
+/// locals and are *stored* (not added) to `out`, so scratch output
+/// buffers never need zeroing. Per-element accumulation order is
+/// ascending `p` in both the 4-row and 1-row paths, keeping tall and
+/// short blocks bitwise consistent.
+fn matmul_block(a: &[f32], packed: &[f32], out: &mut [f32], k: usize, n: usize) {
+    let rows = out.len() / n;
+    for (pi, panel) in packed.chunks_exact(k * NR).enumerate() {
+        let j0 = pi * NR;
+        let w = NR.min(n - j0);
+        let mut r = 0;
+        while r + MR <= rows {
+            let a0 = &a[r * k..(r + 1) * k];
+            let a1 = &a[(r + 1) * k..(r + 2) * k];
+            let a2 = &a[(r + 2) * k..(r + 3) * k];
+            let a3 = &a[(r + 3) * k..(r + 4) * k];
+            let mut acc = [[0.0f32; NR]; MR];
+            for (p, bp) in panel.chunks_exact(NR).enumerate() {
+                let (x0, x1, x2, x3) = (a0[p], a1[p], a2[p], a3[p]);
+                for l in 0..NR {
+                    let b = bp[l];
+                    acc[0][l] += x0 * b;
+                    acc[1][l] += x1 * b;
+                    acc[2][l] += x2 * b;
+                    acc[3][l] += x3 * b;
+                }
+            }
+            for (rr, acc_row) in acc.iter().enumerate() {
+                let o0 = (r + rr) * n + j0;
+                out[o0..o0 + w].copy_from_slice(&acc_row[..w]);
+            }
+            r += MR;
+        }
+        while r < rows {
+            let arow = &a[r * k..(r + 1) * k];
+            let mut acc = [0.0f32; NR];
+            for (p, bp) in panel.chunks_exact(NR).enumerate() {
+                let x = arow[p];
+                for l in 0..NR {
+                    acc[l] += x * bp[l];
+                }
+            }
+            let o0 = r * n + j0;
+            out[o0..o0 + w].copy_from_slice(&acc[..w]);
+            r += 1;
+        }
+    }
+}
+
+/// Dot product of two equal-length slices with four parallel accumulators.
+///
+/// The accumulator split and the final `(a0+a1)+(a2+a3)` combine are
+/// fixed, so the result depends only on the inputs — never on threads.
+fn dot_slices(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = [0.0f32; 4];
+    let mut ita = a.chunks_exact(4);
+    let mut itb = b.chunks_exact(4);
+    for (ca, cb) in (&mut ita).zip(&mut itb) {
+        acc[0] += ca[0] * cb[0];
+        acc[1] += ca[1] * cb[1];
+        acc[2] += ca[2] * cb[2];
+        acc[3] += ca[3] * cb[3];
+    }
+    let mut tail = 0.0f32;
+    for (&x, &y) in ita.remainder().iter().zip(itb.remainder()) {
+        tail += x * y;
+    }
+    (acc[0] + acc[1]) + (acc[2] + acc[3]) + tail
+}
+
 /// Transposes a rank-2 tensor: `[m, n] -> [n, m]`.
+///
+/// Blocked over [`TRANSPOSE_TILE`]² tiles so both the load and store
+/// streams stay within a few cache lines — the column-strided scalar
+/// store was the worst-case pattern for the large im2col matrices this
+/// still serves. A pure permutation, so trivially deterministic.
 ///
 /// # Errors
 ///
@@ -65,14 +371,27 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
 pub fn transpose(a: &Tensor) -> Result<Tensor> {
     check_rank2("transpose", a)?;
     let (m, n) = (a.dims()[0], a.dims()[1]);
-    let av = a.as_slice();
     let mut out = vec![0.0f32; m * n];
-    for i in 0..m {
-        for j in 0..n {
-            out[j * m + i] = av[i * n + j];
+    transpose_into(a.as_slice(), &mut out, m, n);
+    Tensor::from_vec(out, &[n, m])
+}
+
+/// Blocked transpose of row-major `[m, n]` `src` into `[n, m]` `dst`.
+pub(crate) fn transpose_into(src: &[f32], dst: &mut [f32], m: usize, n: usize) {
+    debug_assert_eq!(src.len(), m * n);
+    debug_assert_eq!(dst.len(), m * n);
+    for i0 in (0..m).step_by(TRANSPOSE_TILE) {
+        let i1 = (i0 + TRANSPOSE_TILE).min(m);
+        for j0 in (0..n).step_by(TRANSPOSE_TILE) {
+            let j1 = (j0 + TRANSPOSE_TILE).min(n);
+            for i in i0..i1 {
+                let row = &src[i * n + j0..i * n + j1];
+                for (j, &v) in row.iter().enumerate() {
+                    dst[(j0 + j) * m + i] = v;
+                }
+            }
         }
     }
-    Tensor::from_vec(out, &[n, m])
 }
 
 /// Matrix–vector product: `[m, k] x [k] -> [m]`.
@@ -102,8 +421,7 @@ pub fn matvec(a: &Tensor, x: &Tensor) -> Result<Tensor> {
     let xv = x.as_slice();
     let mut out = vec![0.0f32; m];
     for (i, o) in out.iter_mut().enumerate() {
-        let row = &av[i * k..(i + 1) * k];
-        *o = row.iter().zip(xv.iter()).map(|(&p, &q)| p * q).sum();
+        *o = dot_slices(&av[i * k..(i + 1) * k], xv);
     }
     Tensor::from_vec(out, &[m])
 }
@@ -121,11 +439,7 @@ pub fn dot(a: &Tensor, b: &Tensor) -> Result<f32> {
             rhs: b.dims().to_vec(),
         });
     }
-    Ok(a.as_slice()
-        .iter()
-        .zip(b.as_slice().iter())
-        .map(|(&p, &q)| p * q)
-        .sum())
+    Ok(dot_slices(a.as_slice(), b.as_slice()))
 }
 
 fn check_rank2(op: &'static str, t: &Tensor) -> Result<()> {
@@ -142,6 +456,7 @@ fn check_rank2(op: &'static str, t: &Tensor) -> Result<()> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rand::{RngExt, SeedableRng};
 
     fn naive_matmul(a: &Tensor, b: &Tensor) -> Tensor {
         let (m, k) = (a.dims()[0], a.dims()[1]);
@@ -159,6 +474,15 @@ mod tests {
         out
     }
 
+    fn random_tensor(rng: &mut rand::rngs::StdRng, dims: &[usize]) -> Tensor {
+        let len: usize = dims.iter().product();
+        Tensor::from_vec(
+            (0..len).map(|_| rng.random_range(-1.0..1.0)).collect(),
+            dims,
+        )
+        .unwrap()
+    }
+
     #[test]
     fn matmul_small_known() {
         let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]).unwrap();
@@ -170,23 +494,58 @@ mod tests {
 
     #[test]
     fn matmul_matches_naive() {
-        use rand::{RngExt, SeedableRng};
         let mut rng = rand::rngs::StdRng::seed_from_u64(7);
-        let a = Tensor::from_vec(
-            (0..12 * 5).map(|_| rng.random_range(-1.0..1.0)).collect(),
-            &[12, 5],
-        )
-        .unwrap();
-        let b = Tensor::from_vec(
-            (0..5 * 9).map(|_| rng.random_range(-1.0..1.0)).collect(),
-            &[5, 9],
-        )
-        .unwrap();
-        let fast = matmul(&a, &b).unwrap();
-        let slow = naive_matmul(&a, &b);
-        for (x, y) in fast.as_slice().iter().zip(slow.as_slice()) {
-            assert!((x - y).abs() < 1e-4);
+        for (m, k, n) in [(12, 5, 9), (4, 8, 8), (1, 1, 1), (5, 3, 17), (33, 16, 31)] {
+            let a = random_tensor(&mut rng, &[m, k]);
+            let b = random_tensor(&mut rng, &[k, n]);
+            let fast = matmul(&a, &b).unwrap();
+            let slow = naive_matmul(&a, &b);
+            for (x, y) in fast.as_slice().iter().zip(slow.as_slice()) {
+                assert!((x - y).abs() < 1e-4, "({m},{k},{n})");
+            }
         }
+    }
+
+    #[test]
+    fn matmul_b_t_matches_matmul() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(8);
+        for (m, k, n) in [(7, 13, 5), (4, 8, 8), (1, 9, 2), (21, 6, 19)] {
+            let a = random_tensor(&mut rng, &[m, k]);
+            let b = random_tensor(&mut rng, &[k, n]);
+            let b_t = transpose(&b).unwrap();
+            let via_bt = matmul_b_t(&a, &b_t).unwrap();
+            let direct = naive_matmul(&a, &b);
+            assert_eq!(via_bt.dims(), &[m, n]);
+            for (x, y) in via_bt.as_slice().iter().zip(direct.as_slice()) {
+                assert!((x - y).abs() < 1e-4, "({m},{k},{n})");
+            }
+        }
+    }
+
+    #[test]
+    fn matmul_a_t_matches_matmul() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        for (m, k, n) in [(7, 13, 5), (4, 8, 8), (2, 1, 3), (21, 6, 19)] {
+            let a = random_tensor(&mut rng, &[k, m]);
+            let b = random_tensor(&mut rng, &[k, n]);
+            let a_t = transpose(&a).unwrap();
+            let via_at = matmul_a_t(&a, &b).unwrap();
+            let direct = naive_matmul(&a_t, &b);
+            assert_eq!(via_at.dims(), &[m, n]);
+            for (x, y) in via_at.as_slice().iter().zip(direct.as_slice()) {
+                assert!((x - y).abs() < 1e-4, "({m},{k},{n})");
+            }
+        }
+    }
+
+    #[test]
+    fn matmul_handles_zeros_without_skip_path() {
+        // Rows of zeros exercised the removed `aip == 0.0` fast path;
+        // the dense kernel must produce exact zeros for them regardless.
+        let a = Tensor::from_vec(vec![0.0, 0.0, 1.0, 2.0], &[2, 2]).unwrap();
+        let b = Tensor::from_vec(vec![3.0, 4.0, 5.0, 6.0], &[2, 2]).unwrap();
+        let c = matmul(&a, &b).unwrap();
+        assert_eq!(c.as_slice(), &[0.0, 0.0, 13.0, 16.0]);
     }
 
     #[test]
@@ -209,6 +568,32 @@ mod tests {
             matmul(&a, &v),
             Err(TensorError::RankMismatch { .. })
         ));
+        assert!(matches!(
+            matmul_b_t(&a, &Tensor::zeros(&[2, 4])),
+            Err(TensorError::ShapeMismatch { .. })
+        ));
+        assert!(matches!(
+            matmul_a_t(&a, &Tensor::zeros(&[4, 2])),
+            Err(TensorError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn matmul_pools_agree_bitwise() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(21);
+        let a = random_tensor(&mut rng, &[37, 19]);
+        let b = random_tensor(&mut rng, &[19, 23]);
+        let reference = matmul_with(&Pool::serial(), &a, &b).unwrap();
+        for threads in [2, 3, 8] {
+            let pool = Pool::with_threads(threads);
+            let got = matmul_with(&pool, &a, &b).unwrap();
+            let same = got
+                .as_slice()
+                .iter()
+                .zip(reference.as_slice())
+                .all(|(x, y)| x.to_bits() == y.to_bits());
+            assert!(same, "threads={threads}");
+        }
     }
 
     #[test]
@@ -219,6 +604,19 @@ mod tests {
         assert_eq!(t.at(&[2, 1]), a.at(&[1, 2]));
         let tt = transpose(&t).unwrap();
         assert_eq!(tt, a);
+    }
+
+    #[test]
+    fn transpose_blocked_matches_scalar() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(13);
+        let (m, n) = (45, 70);
+        let a = random_tensor(&mut rng, &[m, n]);
+        let t = transpose(&a).unwrap();
+        for i in 0..m {
+            for j in 0..n {
+                assert_eq!(t.at(&[j, i]).to_bits(), a.at(&[i, j]).to_bits());
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,327 @@
+//! Deterministic scoped-thread parallelism for the compute kernels.
+//!
+//! The pool is a zero-dependency wrapper around [`std::thread::scope`]:
+//! no worker threads are kept alive between calls, no channels, no
+//! work-stealing. Work is **statically partitioned** into contiguous,
+//! disjoint ranges, and each range owns a disjoint slice of the output.
+//! Because every output element is produced by exactly one thread using
+//! a fixed per-element accumulation order, results are bit-for-bit
+//! identical for every thread count — there are no cross-thread
+//! floating-point reductions anywhere in this crate.
+//!
+//! The worker count of the global pool comes from the `QCE_THREADS`
+//! environment variable when set to a positive integer, and from
+//! [`std::thread::available_parallelism`] otherwise. `QCE_THREADS=1`
+//! (or [`Pool::serial`]) degrades every kernel to the plain scalar
+//! reference path.
+//!
+//! # Examples
+//!
+//! ```
+//! use qce_tensor::par::{self, Pool};
+//!
+//! let pool = Pool::with_threads(4);
+//! let mut data = vec![0.0f32; 10];
+//! par::for_each_chunk(&pool, &mut data, 3, || (), |_, idx, chunk| {
+//!     for v in chunk.iter_mut() {
+//!         *v = idx as f32;
+//!     }
+//! });
+//! assert_eq!(data[0], 0.0);
+//! assert_eq!(data[9], 3.0);
+//! ```
+
+use std::sync::OnceLock;
+
+/// A fixed-width scoped thread pool.
+///
+/// `Pool` holds no threads; it is only a worker-count policy object.
+/// Each `for_each_*` call spawns (at most) that many scoped threads and
+/// joins them before returning, so borrows of surrounding stack data are
+/// safe without `unsafe` or `'static` bounds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pool {
+    threads: usize,
+}
+
+impl Pool {
+    /// A pool that never spawns: every kernel runs on the calling thread.
+    ///
+    /// This is the scalar reference implementation that the determinism
+    /// property tests compare every parallel configuration against.
+    #[must_use]
+    pub fn serial() -> Self {
+        Pool { threads: 1 }
+    }
+
+    /// A pool with exactly `n` workers (clamped to at least 1).
+    #[must_use]
+    pub fn with_threads(n: usize) -> Self {
+        Pool { threads: n.max(1) }
+    }
+
+    /// The process-wide default pool.
+    ///
+    /// Worker count is read once from `QCE_THREADS` (positive integer),
+    /// falling back to [`std::thread::available_parallelism`].
+    #[must_use]
+    pub fn global() -> &'static Pool {
+        static GLOBAL: OnceLock<Pool> = OnceLock::new();
+        GLOBAL.get_or_init(|| Pool::with_threads(default_threads()))
+    }
+
+    /// Number of worker threads this pool will use.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Whether this pool runs everything on the calling thread.
+    #[must_use]
+    pub fn is_serial(&self) -> bool {
+        self.threads == 1
+    }
+}
+
+fn default_threads() -> usize {
+    if let Ok(v) = std::env::var("QCE_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Runs `f` once per item, distributing items contiguously over the pool.
+///
+/// Items are moved into the workers: thread `t` of `T` receives the
+/// contiguous range of items starting at offset `sum(len_0..len_t)` where
+/// the first `n % T` threads take `n / T + 1` items each. `f` is called
+/// as `f(&mut state, global_index, item)` with `state` built per-thread
+/// by `init`; indices within one thread ascend, so any per-item work is
+/// ordered exactly as in the serial loop.
+///
+/// Determinism: the partition affects only *which thread* runs an item,
+/// never the arithmetic performed for it, so outputs are identical for
+/// every thread count as long as `f` writes only to state owned by its
+/// item (enforced naturally by passing items by value, e.g. disjoint
+/// `&mut [f32]` chunks).
+pub fn for_each_item<T, S, I, F>(pool: &Pool, items: Vec<T>, init: I, f: F)
+where
+    T: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize, T) + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return;
+    }
+    let threads = pool.threads.min(n);
+    if threads <= 1 {
+        let mut state = init();
+        for (idx, item) in items.into_iter().enumerate() {
+            f(&mut state, idx, item);
+        }
+        return;
+    }
+    // Contiguous static partition: thread t takes base + (t < rem) items.
+    let base = n / threads;
+    let rem = n % threads;
+    let mut parts: Vec<(usize, Vec<T>)> = Vec::with_capacity(threads);
+    let mut remaining = items;
+    let mut start = 0;
+    for t in 0..threads {
+        let take = base + usize::from(t < rem);
+        let tail = remaining.split_off(take);
+        parts.push((start, remaining));
+        remaining = tail;
+        start += take;
+    }
+    let f = &f;
+    let init = &init;
+    std::thread::scope(|scope| {
+        for (offset, part) in parts {
+            scope.spawn(move || {
+                let mut state = init();
+                for (i, item) in part.into_iter().enumerate() {
+                    f(&mut state, offset + i, item);
+                }
+            });
+        }
+    });
+}
+
+/// Splits `data` into chunks of `chunk_len` and runs `f` on each in parallel.
+///
+/// Chunk boundaries depend only on `chunk_len` (the last chunk may be
+/// short), never on the thread count, so a kernel that fixes its work
+/// decomposition via `chunk_len` produces bitwise-identical output under
+/// any pool. `f` receives `(&mut state, chunk_index, chunk)`.
+pub fn for_each_chunk<T, S, I, F>(pool: &Pool, data: &mut [T], chunk_len: usize, init: I, f: F)
+where
+    T: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize, &mut [T]) + Sync,
+{
+    let chunks: Vec<&mut [T]> = data.chunks_mut(chunk_len.max(1)).collect();
+    for_each_item(pool, chunks, init, f);
+}
+
+/// Sorts `data` by IEEE-754 total order, identically for any pool.
+///
+/// Serial path: `sort_unstable_by(f32::total_cmp)`. Parallel path: each
+/// thread sorts a contiguous run, then runs are merged pairwise bottom-up.
+/// Because `total_cmp` is a total order over bit patterns, the sorted
+/// array is bitwise unique — every schedule yields the same bytes.
+pub fn sort_f32(pool: &Pool, data: &mut [f32]) {
+    const SERIAL_CUTOFF: usize = 8192;
+    let n = data.len();
+    if pool.threads <= 1 || n <= SERIAL_CUTOFF {
+        data.sort_unstable_by(f32::total_cmp);
+        return;
+    }
+    let run = n.div_ceil(pool.threads);
+    for_each_chunk(
+        pool,
+        data,
+        run,
+        || (),
+        |_, _, chunk| {
+            chunk.sort_unstable_by(f32::total_cmp);
+        },
+    );
+    // Bottom-up merge of sorted runs, ping-ponging between `data` and `aux`.
+    let mut aux = vec![0.0f32; n];
+    let mut width = run;
+    let mut in_data = true;
+    while width < n {
+        {
+            let (src, dst): (&[f32], &mut [f32]) = if in_data {
+                (&*data, &mut aux)
+            } else {
+                (&aux, data)
+            };
+            let src = &src[..n];
+            for_each_chunk(
+                pool,
+                dst,
+                2 * width,
+                || (),
+                |_, idx, out| {
+                    let lo = idx * 2 * width;
+                    let mid = (lo + width).min(n);
+                    let hi = (lo + 2 * width).min(n);
+                    merge_runs(&src[lo..mid], &src[mid..hi], out);
+                },
+            );
+        }
+        width *= 2;
+        in_data = !in_data;
+    }
+    if !in_data {
+        data.copy_from_slice(&aux);
+    }
+}
+
+fn merge_runs(left: &[f32], right: &[f32], out: &mut [f32]) {
+    debug_assert_eq!(left.len() + right.len(), out.len());
+    let (mut i, mut j) = (0, 0);
+    for slot in out.iter_mut() {
+        let take_left = j >= right.len()
+            || (i < left.len() && left[i].total_cmp(&right[j]) != std::cmp::Ordering::Greater);
+        if take_left {
+            *slot = left[i];
+            i += 1;
+        } else {
+            *slot = right[j];
+            j += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_pool_is_serial() {
+        assert!(Pool::serial().is_serial());
+        assert_eq!(Pool::with_threads(0).threads(), 1);
+        assert_eq!(Pool::with_threads(6).threads(), 6);
+    }
+
+    #[test]
+    fn for_each_item_covers_all_indices() {
+        for threads in [1, 2, 3, 8, 17] {
+            let pool = Pool::with_threads(threads);
+            let items: Vec<usize> = (0..23).collect();
+            let mut hits = [0u8; 23];
+            let slots: Vec<&mut u8> = hits.iter_mut().collect();
+            let pairs: Vec<(usize, &mut u8)> = items.into_iter().zip(slots).collect();
+            for_each_item(
+                &pool,
+                pairs,
+                || (),
+                |_, idx, (item, slot)| {
+                    assert_eq!(idx, item);
+                    *slot += 1;
+                },
+            );
+            assert!(hits.iter().all(|&h| h == 1), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn for_each_chunk_indices_match_layout() {
+        for threads in [1, 3, 5] {
+            let pool = Pool::with_threads(threads);
+            let mut data = vec![0.0f32; 1000];
+            for_each_chunk(
+                &pool,
+                &mut data,
+                64,
+                || (),
+                |_, idx, chunk| {
+                    for (off, v) in chunk.iter_mut().enumerate() {
+                        *v = (idx * 64 + off) as f32;
+                    }
+                },
+            );
+            for (i, &v) in data.iter().enumerate() {
+                assert_eq!(v, i as f32);
+            }
+        }
+    }
+
+    #[test]
+    fn sort_f32_matches_serial_bitwise() {
+        use rand::{RngExt, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let mut base: Vec<f32> = (0..40_000).map(|_| rng.random_range(-4.0..4.0)).collect();
+        base[17] = -0.0;
+        base[400] = 0.0;
+        base[999] = f32::NAN;
+        let mut expect = base.clone();
+        expect.sort_unstable_by(f32::total_cmp);
+        for threads in [1, 2, 3, 8] {
+            let mut got = base.clone();
+            sort_f32(&Pool::with_threads(threads), &mut got);
+            let same = got
+                .iter()
+                .zip(expect.iter())
+                .all(|(x, y)| x.to_bits() == y.to_bits());
+            assert!(same, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn empty_inputs_are_fine() {
+        let pool = Pool::with_threads(4);
+        for_each_item(&pool, Vec::<u8>::new(), || (), |_, _, _| {});
+        let mut empty: [f32; 0] = [];
+        for_each_chunk(&pool, &mut empty, 8, || (), |_, _, _| {});
+        sort_f32(&pool, &mut empty);
+    }
+}

@@ -1,0 +1,164 @@
+//! Determinism property tests for the parallel compute backend.
+//!
+//! The repo's reproducibility contract is that every kernel produces
+//! **bit-for-bit identical** output for every thread count. These tests
+//! drive the blocked/parallel kernels over odd, non-tile-aligned shapes
+//! with `Pool::with_threads(t)` for t ∈ {1, 2, 3, 8} and assert bitwise
+//! equality (`f32::to_bits`) against the `Pool::serial()` reference —
+//! approximate comparison would hide exactly the accumulation-order bugs
+//! this suite exists to catch.
+
+use proptest::prelude::*;
+use qce_tensor::conv::{conv2d_backward_with, conv2d_with, max_pool2d_with, ConvGeometry};
+use qce_tensor::linalg::{matmul_a_t_with, matmul_b_t_with, matmul_with, transpose};
+use qce_tensor::par::{self, Pool};
+use qce_tensor::Tensor;
+
+const THREADS: [usize; 4] = [1, 2, 3, 8];
+
+fn assert_bits_eq(got: &Tensor, want: &Tensor, ctx: &str) -> Result<(), TestCaseError> {
+    prop_assert_eq!(got.dims(), want.dims(), "{} dims", ctx);
+    for (i, (a, b)) in got.as_slice().iter().zip(want.as_slice()).enumerate() {
+        prop_assert_eq!(
+            a.to_bits(),
+            b.to_bits(),
+            "{} elem {} ({} vs {})",
+            ctx,
+            i,
+            a,
+            b
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn matmul_bitwise_equal_across_pools(
+        m in 1usize..34,
+        k in 1usize..20,
+        n in 1usize..34,
+        seed in any::<u64>(),
+    ) {
+        let a = seeded_tensor(&[m, k], seed);
+        let b = seeded_tensor(&[k, n], seed ^ 0x9e37_79b9);
+        let reference = matmul_with(&Pool::serial(), &a, &b).unwrap();
+        for t in THREADS {
+            let got = matmul_with(&Pool::with_threads(t), &a, &b).unwrap();
+            assert_bits_eq(&got, &reference, &format!("matmul t={t}"))?;
+        }
+    }
+
+    #[test]
+    fn matmul_variants_bitwise_equal_across_pools(
+        m in 1usize..18,
+        k in 1usize..14,
+        n in 1usize..18,
+        seed in any::<u64>(),
+    ) {
+        let a = seeded_tensor(&[m, k], seed);
+        let b = seeded_tensor(&[k, n], seed ^ 0x51ed_270b);
+        let b_t = transpose(&b).unwrap();
+        let a_col = seeded_tensor(&[k, m], seed ^ 0x2545_f491);
+        let serial = Pool::serial();
+        let bt_ref = matmul_b_t_with(&serial, &a, &b_t).unwrap();
+        let at_ref = matmul_a_t_with(&serial, &a_col, &b).unwrap();
+        for t in THREADS {
+            let pool = Pool::with_threads(t);
+            let bt = matmul_b_t_with(&pool, &a, &b_t).unwrap();
+            assert_bits_eq(&bt, &bt_ref, &format!("matmul_b_t t={t}"))?;
+            let at = matmul_a_t_with(&pool, &a_col, &b).unwrap();
+            assert_bits_eq(&at, &at_ref, &format!("matmul_a_t t={t}"))?;
+        }
+    }
+
+    #[test]
+    fn conv2d_bitwise_equal_across_pools(
+        batch in 1usize..6,
+        c in 1usize..4,
+        o in 1usize..4,
+        h in 3usize..9,
+        w in 3usize..9,
+        stride in 1usize..3,
+        padding in 0usize..2,
+        seed in any::<u64>(),
+    ) {
+        let geom = ConvGeometry::new(stride, padding);
+        let input = seeded_tensor(&[batch, c, h, w], seed);
+        let weight = seeded_tensor(&[o, c, 3, 3], seed ^ 0xdead_beef);
+        let bias = seeded_tensor(&[o], seed ^ 0x0bad_cafe);
+        let serial = Pool::serial();
+        let fwd_ref = conv2d_with(&serial, &input, &weight, Some(&bias), geom).unwrap();
+        let grad = seeded_tensor(fwd_ref.dims(), seed ^ 0x1234_5678);
+        let bwd_ref = conv2d_backward_with(&serial, &input, &weight, &grad, geom).unwrap();
+        for t in THREADS {
+            let pool = Pool::with_threads(t);
+            let fwd = conv2d_with(&pool, &input, &weight, Some(&bias), geom).unwrap();
+            assert_bits_eq(&fwd, &fwd_ref, &format!("conv2d t={t}"))?;
+            let bwd = conv2d_backward_with(&pool, &input, &weight, &grad, geom).unwrap();
+            assert_bits_eq(&bwd.input, &bwd_ref.input, &format!("conv2d_backward input t={t}"))?;
+            assert_bits_eq(&bwd.weight, &bwd_ref.weight, &format!("conv2d_backward weight t={t}"))?;
+            assert_bits_eq(&bwd.bias, &bwd_ref.bias, &format!("conv2d_backward bias t={t}"))?;
+        }
+    }
+
+    #[test]
+    fn max_pool_bitwise_equal_across_pools(
+        batch in 1usize..5,
+        c in 1usize..4,
+        h in 4usize..10,
+        w in 4usize..10,
+        seed in any::<u64>(),
+    ) {
+        let geom = ConvGeometry::new(2, 0);
+        let input = seeded_tensor(&[batch, c, h, w], seed);
+        let reference = max_pool2d_with(&Pool::serial(), &input, 2, geom).unwrap();
+        for t in THREADS {
+            let got = max_pool2d_with(&Pool::with_threads(t), &input, 2, geom).unwrap();
+            assert_bits_eq(&got.output, &reference.output, &format!("max_pool t={t}"))?;
+            prop_assert_eq!(&got.argmax, &reference.argmax, "max_pool argmax t={}", t);
+        }
+    }
+
+    #[test]
+    fn sort_f32_bitwise_equal_across_pools(
+        raw in proptest::collection::vec(-8.0f32..8.0, 1..12_000),
+        specials in proptest::collection::vec(0usize..12_000, 0..6),
+    ) {
+        let mut data = raw;
+        // Sprinkle in signed zeros and a NaN to exercise total-order ties.
+        for (i, &pos) in specials.iter().enumerate() {
+            if !data.is_empty() {
+                let pos = pos % data.len();
+                data[pos] = match i % 3 {
+                    0 => -0.0,
+                    1 => 0.0,
+                    _ => f32::NAN,
+                };
+            }
+        }
+        let mut reference = data.clone();
+        par::sort_f32(&Pool::serial(), &mut reference);
+        for t in THREADS {
+            let mut got = data.clone();
+            par::sort_f32(&Pool::with_threads(t), &mut got);
+            let same = got.iter().zip(&reference).all(|(a, b)| a.to_bits() == b.to_bits());
+            prop_assert!(same, "sort_f32 t={}", t);
+        }
+    }
+}
+
+/// Deterministic tensor from a proptest-provided seed, so the strategy
+/// space stays small while values remain varied.
+fn seeded_tensor(dims: &[usize], seed: u64) -> Tensor {
+    use rand::{RngExt, SeedableRng};
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let len: usize = dims.iter().product();
+    Tensor::from_vec(
+        (0..len).map(|_| rng.random_range(-2.0..2.0)).collect(),
+        dims,
+    )
+    .unwrap()
+}
