@@ -309,10 +309,15 @@ impl Decoder {
             images.extend(imgs);
             diagnostics.push(diag);
         }
-        ResilientDecode {
+        let out = ResilientDecode {
             images,
             diagnostics,
-        }
+        };
+        qce_telemetry::counter("decode.ok").incr(out.ok_count() as u64);
+        qce_telemetry::counter("decode.degraded").incr(out.degraded_count() as u64);
+        qce_telemetry::counter("decode.failed").incr(out.failed_count() as u64);
+        qce_telemetry::gauge("decode.confidence").set(f64::from(out.mean_confidence()));
+        out
     }
 
     /// Resiliently decodes one group (see [`Decoder::decode_resilient`]).

@@ -120,6 +120,15 @@ impl Regularizer for CorrelationRegularizer {
         }
         net.add_flat_weight_grads(&grad_acc)?;
         self.last_penalty = penalty;
+        // Per-group correlation gauges are observational diagnostics; the
+        // gauge lookup walks a registry shard, so only pay for it while a
+        // trace sink is attached or logging is at debug.
+        if qce_telemetry::collect_enabled() {
+            qce_telemetry::gauge("attack.penalty").set(f64::from(penalty));
+            for (gi, rho) in self.last_correlations.iter().enumerate() {
+                qce_telemetry::gauge(&format!("attack.rho.g{gi}")).set(f64::from(*rho));
+            }
+        }
         Ok(penalty)
     }
 

@@ -21,7 +21,7 @@ use qce_quant::{prune, quantize_network, LinearQuantizer};
 fn run(name: &str, cfg: FlowConfig, dataset: &qce_data::Dataset) {
     let out = AttackFlow::new(cfg).run(dataset).expect("flow failed");
     let r = out.final_report();
-    println!(
+    qce_telemetry::progress!(
         "{name:<28} accuracy {:>8}   MAPE {:>6.2}   recognized {:>3}/{:<3}",
         pct(r.accuracy),
         r.mean_mape(),
@@ -36,7 +36,7 @@ fn main() {
     let lambda = 5.0;
     let tc4 = Some(QuantConfig::new(QuantMethod::TargetCorrelated, 4));
 
-    println!("\n1) component knock-outs (lambda = {lambda}, 4-bit):\n");
+    qce_telemetry::progress!("\n1) component knock-outs (lambda = {lambda}, 4-bit):\n");
     run(
         "full flow",
         FlowConfig {
@@ -103,7 +103,7 @@ fn main() {
         &dataset,
     );
 
-    println!("\n2) baseline attacks under 4-bit linear quantization:\n");
+    qce_telemetry::progress!("\n2) baseline attacks under 4-bit linear quantization:\n");
     // A trained benign model as the carrier.
     let trained = AttackFlow::new(FlowConfig {
         grouping: Grouping::Benign,
@@ -144,7 +144,9 @@ fn main() {
         &lsb::extract(&carrier_network_weights(&mut carrier), 4, payload.len())
             .expect("extraction failed"),
     );
-    println!("LSB encoding   : bit recovery {before:.3} float -> {after:.3} after 4-bit quant");
+    qce_telemetry::progress!(
+        "LSB encoding   : bit recovery {before:.3} float -> {after:.3} after 4-bit quant"
+    );
 
     // Sign attack: drive signs with the regularizer, then quantize.
     let mut net = carrier_net_owned(&dataset);
@@ -165,10 +167,10 @@ fn main() {
     quantize_network(&mut net, &LinearQuantizer::new(16).expect("levels"))
         .expect("quantization failed");
     let sign_after = sign::sign_agreement(&net.flat_weights(), &payload[..64]);
-    println!(
+    qce_telemetry::progress!(
         "sign encoding  : bit agreement {sign_before:.3} float -> {sign_after:.3} after 4-bit quant"
     );
-    println!("\n3) correlation attack vs magnitude pruning:\n");
+    qce_telemetry::progress!("\n3) correlation attack vs magnitude pruning:\n");
     let mut trained = AttackFlow::new(FlowConfig {
         grouping: Grouping::Uniform(lambda),
         band: BandRule::FirstN,
@@ -188,13 +190,13 @@ fn main() {
             .map(|d| mape(&targets[d.target_index], &d.image))
             .sum::<f32>()
             / decoded.len().max(1) as f32;
-        println!(
+        qce_telemetry::progress!(
             "sparsity {:>4.0}% : decoded MAPE {mean:>6.2}",
             100.0 * sparsity
         );
     }
 
-    println!(
+    qce_telemetry::progress!(
         "\nshape check: LSB collapses toward 0.5 (destroyed); sign encoding\n\
          survives; the correlation attack degrades gracefully with pruning\n\
          (pruned weights blank a pixel-value band rather than whole images)\n\

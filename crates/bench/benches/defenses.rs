@@ -41,7 +41,7 @@ fn main() {
             .map(|d| mape(&targets[d.target_index], &d.image))
             .sum::<f32>()
             / decoded.len().max(1) as f32;
-        println!(
+        qce_telemetry::progress!(
             "{label:<24} accuracy {:>8}   decoded MAPE {:>7.2}   recognized {:>3}/{:<3}",
             pct(report.accuracy),
             mean,
@@ -50,25 +50,25 @@ fn main() {
         );
     };
 
-    println!("\n1) released model without countermeasures:\n");
+    qce_telemetry::progress!("\n1) released model without countermeasures:\n");
     trained.restore_float().expect("state restore failed");
     evaluate(&mut trained, "no defense");
 
-    println!("\n2) weight noising (sigma as a fraction of per-tensor std):\n");
+    qce_telemetry::progress!("\n2) weight noising (sigma as a fraction of per-tensor std):\n");
     for fraction in [0.1f32, 0.2, 0.4, 0.8] {
         trained.restore_float().expect("state restore failed");
         noise_weights(trained.network_mut(), fraction, 5).expect("noise failed");
         evaluate(&mut trained, &format!("noise {fraction}"));
     }
 
-    println!("\n3) defender-side k-means re-quantization:\n");
+    qce_telemetry::progress!("\n3) defender-side k-means re-quantization:\n");
     for bits in [6u32, 4, 3] {
         trained.restore_float().expect("state restore failed");
         requantize(trained.network_mut(), bits).expect("requantization failed");
         evaluate(&mut trained, &format!("requantize {bits}-bit"));
     }
 
-    println!("\n4) image-level detection on the undefended release:\n");
+    qce_telemetry::progress!("\n4) image-level detection on the undefended release:\n");
     trained.restore_float().expect("state restore failed");
     let detected = detect_encoded_images(trained.network(), &train_split, 0.85);
     let encoded: std::collections::HashSet<usize> = trained
@@ -77,13 +77,13 @@ fn main() {
         .iter()
         .map(|d| d.target_index)
         .collect();
-    println!(
+    qce_telemetry::progress!(
         "detected {} images; {} actually encoded in the model",
         detected.len(),
         encoded.len()
     );
 
-    println!(
+    qce_telemetry::progress!(
         "\nfinding: on a correlation-encoded model the usual intuition\n\
          FAILS — noise strong enough to damage the encoding destroys\n\
          accuracy first, and defender re-quantization leaves most images\n\

@@ -20,7 +20,7 @@ fn main() {
     let dataset = cifar_rgb();
 
     // (a) Weight distributions.
-    println!("\n(a) weight distributions (group-3 weights, 33 bins)\n");
+    qce_telemetry::progress!("\n(a) weight distributions (group-3 weights, 33 bins)\n");
     for (label, grouping) in [
         ("benign", Grouping::Benign),
         ("lambda = 1", Grouping::Uniform(1.0)),
@@ -38,11 +38,11 @@ fn main() {
         let hi = qce_tensor::stats::quantile(&flat, 0.999).unwrap_or(0.3);
         print_histogram(label, &flat, 33, lo, hi);
         let kurt = qce::audit::excess_kurtosis(&flat);
-        println!("excess kurtosis: {kurt:.3}\n");
+        qce_telemetry::progress!("excess kurtosis: {kurt:.3}\n");
     }
 
     // (b) Pixel distributions by std band.
-    println!("\n(b) pixel-value distributions by per-image std band\n");
+    qce_telemetry::progress!("\n(b) pixel-value distributions by per-image std band\n");
     let bands = [
         ("std < 30", StdBand::new(0.0, 30.0).expect("valid band")),
         (
@@ -62,9 +62,9 @@ fn main() {
             0.0,
             256.0,
         );
-        println!();
+        qce_telemetry::progress!();
     }
-    println!(
+    qce_telemetry::progress!(
         "paper shape check: benign weights are bell-shaped (positive excess\n\
          kurtosis); attacked weights flatten toward the pixel distribution\n\
          as lambda grows; the mid-std band's pixel histogram matches the\n\

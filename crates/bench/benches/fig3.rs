@@ -26,7 +26,7 @@ fn main() {
     let lo = qce_tensor::stats::quantile(&float_weights, 0.001).unwrap_or(-0.3);
     let hi = qce_tensor::stats::quantile(&float_weights, 0.999).unwrap_or(0.3);
     print_histogram("float attacked weights", &float_weights, 33, lo, hi);
-    println!();
+    qce_telemetry::progress!();
 
     // 32 levels = 5 bits. Fine-tuning off so the figure isolates the
     // quantizer's own reshaping, like the paper's figure.
@@ -54,10 +54,10 @@ fn main() {
         let q = trained.network().flat_weights();
         print_histogram(label, &q, 33, lo, hi);
         let div = histogram_divergence(&float_weights, &q, 33, lo, hi);
-        println!("symmetric KL vs float: {div:.4}\n");
+        qce_telemetry::progress!("symmetric KL vs float: {div:.4}\n");
         trained.restore_float().expect("state restore failed");
     }
-    println!(
+    qce_telemetry::progress!(
         "paper shape check: the WEQ histogram concentrates mass in a few\n\
          near-zero spikes (large divergence); the target-correlated\n\
          histogram tracks the float distribution (small divergence)."

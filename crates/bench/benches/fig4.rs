@@ -14,7 +14,7 @@ use qce::{AttackFlow, BandRule, FlowConfig, Grouping, QuantConfig, QuantMethod, 
 use qce_bench::{banner, base_config, cifar_rgb, pct};
 
 fn print_bar(name: &str, r: &StageReport) {
-    println!(
+    qce_telemetry::progress!(
         "  {name:<8} MAPE {:>6.2}   accuracy {:>8}   recognized {:>3}/{:<3}",
         r.mean_mape(),
         pct(r.accuracy),
@@ -30,7 +30,7 @@ fn main() {
     );
     let dataset = cifar_rgb();
     for lambda in [3.0f32, 5.0, 10.0] {
-        println!("\nlambda = {lambda}");
+        qce_telemetry::progress!("\nlambda = {lambda}");
         // Cor and Cor+WQ share one training run.
         let mut cor = AttackFlow::new(FlowConfig {
             grouping: Grouping::Uniform(lambda),
@@ -58,7 +58,7 @@ fn main() {
         .expect("flow failed");
         print_bar("Comb", comb.final_report());
     }
-    println!(
+    qce_telemetry::progress!(
         "\npaper shape check: in every lambda column, Cor+WQ has the worst\n\
          MAPE and its accuracy deficit grows with lambda; Comb restores\n\
          accuracy and recognized fraction to the Cor level or above."

@@ -41,11 +41,11 @@ fn main() {
             .apply_quantized_state(QuantConfig::new(method, 3))
             .expect("quantization failed");
         let decoded = trained.decode_images().expect("decoding failed");
-        println!("\n{label} quantization, first {STRIP} faces:");
+        qce_telemetry::progress!("\n{label} quantization, first {STRIP} faces:");
         let mut row = Vec::new();
         for d in decoded.iter().take(STRIP) {
             let original = &trained.targets()[d.target_index];
-            println!(
+            qce_telemetry::progress!(
                 "  face {:>3}: MAPE {:>6.2}  SSIM {:.4}",
                 d.target_index,
                 mape(original, &d.image),
@@ -64,9 +64,9 @@ fn main() {
         let strip = io::tile_row(images).expect("tiling failed");
         let path = format!("target/fig5/{name}.pgm");
         io::write_pgm(&strip, &path).expect("write failed");
-        println!("wrote {path}");
+        qce_telemetry::progress!("wrote {path}");
     }
-    println!(
+    qce_telemetry::progress!(
         "\npaper shape check: the proposed row preserves face texture\n\
          (higher SSIM per face); the weighted-entropy row visibly degrades\n\
          it. Open the PGM strips side by side to compare."

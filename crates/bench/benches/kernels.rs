@@ -236,7 +236,9 @@ impl KernelRow {
 }
 
 fn backend_comparison() {
-    println!("\nbackend comparison (serial vs 4-thread pool, min of {HARNESS_REPS} runs)");
+    qce_telemetry::progress!(
+        "\nbackend comparison (serial vs 4-thread pool, min of {HARNESS_REPS} runs)"
+    );
     let mut rng = init::seeded_rng(11);
 
     let (m, k, n) = (128usize, 256, 128);
@@ -289,7 +291,7 @@ fn backend_comparison() {
 
     let rows = [matmul_row, fwd_row, bwd_row, fit_row, assign_row];
     for r in &rows {
-        println!(
+        qce_telemetry::progress!(
             "{:<28} serial {:9.3} ms | 4-thread {:9.3} ms | speedup {:5.2}x | {:7.2} GFLOP/s serial | bitwise_identical={}",
             r.name,
             r.serial_s * 1e3,
@@ -316,7 +318,7 @@ fn backend_comparison() {
     // workspace root so CI can pick it up from a stable path.
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_kernels.json");
     std::fs::write(path, json).expect("write BENCH_kernels.json");
-    println!("wrote {path}");
+    qce_telemetry::progress!("wrote {path}");
 }
 
 criterion_group! {

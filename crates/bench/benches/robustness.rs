@@ -31,21 +31,21 @@ fn main() {
     let severities = [0.0f32, 0.5, 1.0, 2.0, 4.0];
     let qcfg = QuantConfig::new(QuantMethod::KMeans, 4);
 
-    println!("\n1) bit rot in the released artifact (base rate 0.05% per bit):\n");
+    qce_telemetry::progress!("\n1) bit rot in the released artifact (base rate 0.05% per bit):\n");
     let bitrot = FaultPlan::new(17).with(FaultKind::BitFlip { rate: 0.0005 });
     let float_sweep = trained
         .robustness_sweep(None, &bitrot, &severities)
         .expect("float sweep failed");
-    println!("float release:\n{}", float_sweep.summary());
+    qce_telemetry::progress!("float release:\n{}", float_sweep.summary());
     let quant_sweep = trained
         .robustness_sweep(Some(qcfg), &bitrot, &severities)
         .expect("quantized sweep failed");
-    println!(
+    qce_telemetry::progress!(
         "4-bit release (flips hit the packed index stream):\n{}",
         quant_sweep.summary()
     );
 
-    println!("2) data-holder tampering (noise + prune + fine-tune drift):\n");
+    qce_telemetry::progress!("2) data-holder tampering (noise + prune + fine-tune drift):\n");
     let tamper = FaultPlan::new(23)
         .with(FaultKind::GaussianNoise { fraction: 0.02 })
         .with(FaultKind::Prune { fraction: 0.05 })
@@ -53,21 +53,21 @@ fn main() {
     let tamper_sweep = trained
         .robustness_sweep(Some(qcfg), &tamper, &severities)
         .expect("tamper sweep failed");
-    println!("{}", tamper_sweep.summary());
+    qce_telemetry::progress!("{}", tamper_sweep.summary());
 
-    println!("3) centroid jitter (codebook-only corruption):\n");
+    qce_telemetry::progress!("3) centroid jitter (codebook-only corruption):\n");
     let jitter = FaultPlan::new(29).with(FaultKind::CentroidJitter { fraction: 0.05 });
     let jitter_sweep = trained
         .robustness_sweep(Some(qcfg), &jitter, &severities)
         .expect("jitter sweep failed");
-    println!("{}", jitter_sweep.summary());
+    qce_telemetry::progress!("{}", jitter_sweep.summary());
 
-    println!("CSV ({}):", qce::RobustnessReport::csv_header());
+    qce_telemetry::progress!("CSV ({}):", qce::RobustnessReport::csv_header());
     for sweep in [&float_sweep, &quant_sweep, &tamper_sweep, &jitter_sweep] {
-        println!("{}", sweep.to_csv());
+        qce_telemetry::progress!("{}", sweep.to_csv());
     }
 
-    println!(
+    qce_telemetry::progress!(
         "\nfinding: extraction quality degrades gracefully, not cliff-like —\n\
          the resilient decoder keeps returning partial images (with honest\n\
          per-image status) well past the severity where naive decoding\n\

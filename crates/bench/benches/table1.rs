@@ -26,9 +26,14 @@ fn main() {
     let dataset = cifar_rgb();
     let cases: [(f32, &[u32]); 3] = [(3.0, &[8, 6, 4]), (5.0, &[4]), (10.0, &[4])];
 
-    println!(
+    qce_telemetry::progress!(
         "{:<8} {:<5} {:>18} {:>15} {:>12} {:>12}",
-        "lambda", "bits", "recognizable", "accuracy", "mean MAPE", "float acc"
+        "lambda",
+        "bits",
+        "recognizable",
+        "accuracy",
+        "mean MAPE",
+        "float acc"
     );
     for (lambda, bit_widths) in cases {
         let flow = AttackFlow::new(FlowConfig {
@@ -42,7 +47,7 @@ fn main() {
             let release = trained
                 .quantize(QuantConfig::new(QuantMethod::WeightedEntropy, bits))
                 .expect("quantization failed");
-            println!(
+            qce_telemetry::progress!(
                 "{:<8} {:<5} {:>12}/{:<5} {:>15} {:>12.2} {:>12}",
                 lambda,
                 bits,
@@ -54,7 +59,7 @@ fn main() {
             );
         }
     }
-    println!(
+    qce_telemetry::progress!(
         "\npaper shape check: recognizable images and accuracy both fall as\n\
          bits decrease (lambda=3: 8 -> 6 -> 4 bits), and at 4 bits a larger\n\
          lambda buys recognizable images at the cost of accuracy."

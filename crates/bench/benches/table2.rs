@@ -16,9 +16,13 @@ fn main() {
         "badly encoded images (MAPE > 20) per layer group, uniform lambda",
     );
     let dataset = cifar_rgb();
-    println!(
+    qce_telemetry::progress!(
         "{:<8} {:>16} {:>16} {:>16} {:>16}",
-        "lambda", "total", "group 1", "group 2", "group 3"
+        "lambda",
+        "total",
+        "group 1",
+        "group 2",
+        "group 3"
     );
     for lambda in [3.0f32, 5.0, 10.0] {
         // Same rate in every group, but grouped so the report can break
@@ -46,7 +50,7 @@ fn main() {
                 format!("{bad}/{n} ({:.1}%)", 100.0 * bad as f32 / n as f32)
             }
         };
-        println!(
+        qce_telemetry::progress!(
             "{:<8} {:>16} {:>16} {:>16} {:>16}",
             lambda,
             cell((total_bad, total)),
@@ -55,7 +59,7 @@ fn main() {
             cell(by_group[2]),
         );
     }
-    println!(
+    qce_telemetry::progress!(
         "\npaper shape check: the bad-image percentage is highest in group 1,\n\
          lower in group 2, lowest in group 3, and increasing lambda reduces\n\
          the totals without rescuing group 1."

@@ -79,19 +79,22 @@ fn main() {
     let rgb = cifar_rgb();
     let gray = cifar_gray();
     for lambda in [3.0f32, 5.0, 10.0] {
-        println!(
+        qce_telemetry::progress!(
             "\n--- lambda = {lambda} (ours: lambda1=lambda2=0, lambda3={lambda}, std in [50,55)) ---"
         );
-        println!(
+        qce_telemetry::progress!(
             "{:<16} {:>10} {:>12} {:>22}",
-            "model", "MAPE", "accuracy", "recognized/encoded"
+            "model",
+            "MAPE",
+            "accuracy",
+            "recognized/encoded"
         );
         for rows in [
             run_color(&gray, "GRAY", lambda),
             run_color(&rgb, "RGB", lambda),
         ] {
             for row in rows {
-                println!(
+                qce_telemetry::progress!(
                     "{:<16} {:>10.2} {:>12} {:>14}/{:<7}",
                     row.label,
                     row.mape,
@@ -102,7 +105,7 @@ fn main() {
             }
         }
     }
-    println!(
+    qce_telemetry::progress!(
         "\npaper shape check: at every lambda the quantized 'ours' rows keep\n\
          accuracy within ~1-2 points of (or above) the uncompressed 'Ori'\n\
          rows and reduce MAPE, even at 4 bits; the recognized fraction of\n\

@@ -12,7 +12,7 @@ use qce::{AttackFlow, BandRule, FlowConfig, Grouping, QuantConfig, QuantMethod, 
 use qce_bench::{banner, base_config, faces, pct};
 
 fn row(name: &str, r: &StageReport) {
-    println!(
+    qce_telemetry::progress!(
         "{name:<26} {:>10} {:>8.2} {:>10} {:>11.4} {:>10} {:>11}",
         pct(r.accuracy),
         r.mean_mape(),
@@ -37,9 +37,15 @@ fn main() {
     });
     let mut trained = flow.train(&dataset).expect("training failed");
 
-    println!(
+    qce_telemetry::progress!(
         "{:<26} {:>10} {:>8} {:>10} {:>11} {:>10} {:>11}",
-        "model", "accuracy", "MAPE", "MAPE<20", "mean SSIM", "SSIM>0.5", "SSIM>0.9"
+        "model",
+        "accuracy",
+        "MAPE",
+        "MAPE<20",
+        "mean SSIM",
+        "SSIM>0.5",
+        "SSIM>0.9"
     );
     let float_report = trained.float_report().expect("evaluation failed");
     row("Uncompressed", &float_report);
@@ -54,7 +60,7 @@ fn main() {
         .expect("quantization failed");
     row("Original quantization", &original.report);
 
-    println!(
+    qce_telemetry::progress!(
         "\npaper shape check: every column orders\n\
          uncompressed >= proposed > original (lower MAPE is better).\n\
          The SSIM>0.9 column is added because the synthetic faces are\n\

@@ -11,8 +11,10 @@ use qce_quant::{
     finetune, quantize_network, FinetuneConfig, KMeansQuantizer, LinearQuantizer, Quantizer,
     TargetCorrelatedQuantizer, WeightedEntropyQuantizer,
 };
+use qce_telemetry::{RunManifest, StageStat};
 use qce_tensor::par::Pool;
 use qce_tensor::Tensor;
+use std::time::Instant;
 
 use crate::faults::FaultPlan;
 use crate::{
@@ -49,6 +51,7 @@ pub struct TrainedAttack {
     train_y: Vec<usize>,
     test_x: Tensor,
     test_y: Vec<usize>,
+    stage_stats: Vec<StageStat>,
 }
 
 impl std::fmt::Debug for TrainedAttack {
@@ -92,6 +95,11 @@ pub struct FlowOutcome {
     /// Weight-payload compression ratio vs. float32 (`None` without
     /// quantization).
     pub compression_ratio: Option<f64>,
+    /// Observational run manifest: config hash, seed, thread count and
+    /// per-stage wall times / key metrics. Also published to the
+    /// telemetry sinks (and, with `QCE_TRACE`, a sibling
+    /// `*.manifest.json` file) by [`AttackFlow::run`].
+    pub manifest: RunManifest,
 }
 
 impl FlowOutcome {
@@ -131,6 +139,27 @@ impl AttackFlow {
             // Leave the network in its released (quantized) state.
             trained.apply_quantized_state(qcfg)?;
         }
+        let mut stages = trained.stage_stats.clone();
+        stages.push(StageStat {
+            name: format!("flow.evaluate:{}", pre_quant.label),
+            wall_ms: pre_quant.wall_ms,
+            metrics: pre_quant.metrics.clone(),
+        });
+        if let Some(post) = &post_quant {
+            stages.push(StageStat {
+                name: format!("flow.evaluate:{}", post.label),
+                wall_ms: post.wall_ms,
+                metrics: post.metrics.clone(),
+            });
+        }
+        let manifest = RunManifest {
+            config_hash: qce_telemetry::fnv1a(&format!("{:?}", self.config)),
+            seed: self.config.seed,
+            threads: Pool::global().threads(),
+            stages,
+            metrics: qce_telemetry::snapshot(),
+        };
+        qce_telemetry::emit_manifest(&manifest);
         Ok(FlowOutcome {
             network: trained.network,
             layout: trained.layout,
@@ -141,6 +170,7 @@ impl AttackFlow {
             post_quant,
             training: trained.training,
             compression_ratio,
+            manifest,
         })
     }
 
@@ -156,13 +186,19 @@ impl AttackFlow {
     pub fn train(&self, dataset: &Dataset) -> Result<TrainedAttack> {
         let cfg = &self.config;
         cfg.validate()?;
-        if cfg.verbose {
-            println!(
+        let level = if cfg.verbose {
+            qce_telemetry::Level::Progress
+        } else {
+            qce_telemetry::Level::Debug
+        };
+        qce_telemetry::log_line(
+            level,
+            &format!(
                 "[flow] compute backend: {} thread(s) (override with QCE_THREADS; \
                  results are identical for any thread count)",
                 Pool::global().threads()
-            );
-        }
+            ),
+        );
         let first = dataset.images().first().ok_or(FlowError::InvalidConfig {
             reason: "empty dataset".to_string(),
         })?;
@@ -171,6 +207,10 @@ impl AttackFlow {
                 reason: "flow expects square images".to_string(),
             });
         }
+
+        let mut stage_stats = Vec::new();
+        let t_select = Instant::now();
+        let select_span = qce_telemetry::span!("flow.select", seed = cfg.seed);
 
         // Stage 0: the data holder's train/validation split.
         let (train, test) = dataset.split(cfg.train_fraction, cfg.seed)?;
@@ -261,8 +301,20 @@ impl AttackFlow {
                 Some(CorrelationRegularizer::new(planned.clone(), cfg.sign).with_warmup());
             layout = Some(planned);
         }
+        drop(select_span);
+        stage_stats.push(StageStat {
+            name: "flow.select".to_string(),
+            wall_ms: t_select.elapsed().as_secs_f64() * 1e3,
+            metrics: vec![
+                ("select.targets".to_string(), targets.len() as f64),
+                ("select.train_images".to_string(), train.len() as f64),
+                ("select.test_images".to_string(), test.len() as f64),
+            ],
+        });
 
         // Stage 2: training with the (possibly malicious) regularizer.
+        let t_train = Instant::now();
+        let train_span = qce_telemetry::span!("flow.train", epochs = cfg.epochs);
         let mut trainer = Trainer::new(TrainConfig {
             epochs: cfg.epochs,
             batch_size: cfg.batch_size,
@@ -284,6 +336,12 @@ impl AttackFlow {
             &train_y,
             regularizer.as_mut().map(|r| r as &mut dyn Regularizer),
         )?;
+        drop(train_span);
+        stage_stats.push(StageStat {
+            name: "flow.train".to_string(),
+            wall_ms: t_train.elapsed().as_secs_f64() * 1e3,
+            metrics: qce_telemetry::snapshot().flatten_with_prefix(&["train.", "attack."]),
+        });
 
         let float_state = net.snapshot();
         Ok(TrainedAttack {
@@ -299,6 +357,7 @@ impl AttackFlow {
             train_y,
             test_x,
             test_y,
+            stage_stats,
         })
     }
 }
@@ -334,6 +393,12 @@ impl TrainedAttack {
     /// Training history of the main phase.
     pub fn training(&self) -> &TrainingHistory {
         &self.training
+    }
+
+    /// Observational per-stage wall times and key metrics accumulated so
+    /// far (select/train at construction, one entry per quantization).
+    pub fn stage_stats(&self) -> &[StageStat] {
+        &self.stage_stats
     }
 
     /// Evaluates the float (uncompressed) model.
@@ -395,6 +460,8 @@ impl TrainedAttack {
         &mut self,
         qcfg: QuantConfig,
     ) -> Result<(f64, qce_quant::QuantizedNetwork)> {
+        let t_quant = Instant::now();
+        let quant_span = qce_telemetry::span!("flow.quantize", bits = qcfg.bits);
         let levels = 1usize << qcfg.bits;
         let quantizer: Box<dyn Quantizer> = match qcfg.method {
             QuantMethod::Linear => Box::new(LinearQuantizer::new(levels)?),
@@ -440,6 +507,17 @@ impl TrainedAttack {
                 reg.as_mut().map(|r| r as &mut dyn Regularizer),
             )?;
         }
+        drop(quant_span);
+        let mut metrics = qce_telemetry::snapshot().flatten_with_prefix(&["quant."]);
+        metrics.push((
+            "quant.compression_ratio".to_string(),
+            qnet.compression_ratio(),
+        ));
+        self.stage_stats.push(StageStat {
+            name: format!("flow.quantize:{:?} {}-bit", qcfg.method, qcfg.bits),
+            wall_ms: t_quant.elapsed().as_secs_f64() * 1e3,
+            metrics,
+        });
         Ok((qnet.compression_ratio(), qnet))
     }
 
@@ -551,6 +629,8 @@ impl TrainedAttack {
     ///
     /// Propagates evaluation errors.
     pub fn evaluate(&mut self, label: String) -> Result<StageReport> {
+        let t_eval = Instant::now();
+        let _span = qce_telemetry::span!("flow.evaluate", label = label.as_str());
         let acc = accuracy(&mut self.network, &self.test_x, &self.test_y, 64)?;
         let mut images = Vec::new();
         let mut group_correlations = Vec::new();
@@ -628,11 +708,17 @@ impl TrainedAttack {
             }
         }
 
+        let mut metrics = Vec::new();
+        metrics.push(("eval.accuracy".to_string(), f64::from(acc)));
+        metrics.push(("eval.images".to_string(), images.len() as f64));
+        metrics.extend(qce_telemetry::snapshot().flatten_with_prefix(&["decode."]));
         Ok(StageReport {
             label,
             accuracy: acc,
             images,
             group_correlations,
+            wall_ms: t_eval.elapsed().as_secs_f64() * 1e3,
+            metrics,
         })
     }
 

@@ -22,7 +22,7 @@ pub struct ImageReport {
 }
 
 /// Evaluation of one released model (uncompressed or quantized).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct StageReport {
     /// Human-readable stage label (e.g. `"weq 4-bit"`).
     pub label: String,
@@ -32,6 +32,26 @@ pub struct StageReport {
     pub images: Vec<ImageReport>,
     /// Pearson correlation per layer group at release time.
     pub group_correlations: Vec<f32>,
+    /// Wall time of the evaluation stage in milliseconds (observational;
+    /// excluded from equality).
+    pub wall_ms: f64,
+    /// Snapshot of the relevant telemetry metrics at the end of the stage,
+    /// as deterministic `(name, value)` pairs (observational; excluded
+    /// from equality).
+    pub metrics: Vec<(String, f64)>,
+}
+
+/// Equality covers the *result* of a stage — label, accuracy, images and
+/// correlations — and deliberately ignores the observational `wall_ms`
+/// and `metrics` fields: two bit-identical runs must compare equal even
+/// though their wall-clock timings differ.
+impl PartialEq for StageReport {
+    fn eq(&self, other: &Self) -> bool {
+        self.label == other.label
+            && self.accuracy == other.accuracy
+            && self.images == other.images
+            && self.group_correlations == other.group_correlations
+    }
 }
 
 impl StageReport {
@@ -336,6 +356,8 @@ mod tests {
                 },
             ],
             group_correlations: vec![0.0, 0.0, 0.9],
+            wall_ms: 0.0,
+            metrics: Vec::new(),
         }
     }
 
@@ -349,6 +371,17 @@ mod tests {
         assert_eq!(r.count_mape_below(20.0), 1);
         assert_eq!(r.count_mape_above(20.0), 1);
         assert_eq!(r.count_ssim_above(0.5), 1);
+    }
+
+    #[test]
+    fn equality_ignores_observational_fields() {
+        let a = report();
+        let mut b = report();
+        b.wall_ms = 99.0;
+        b.metrics = vec![("train.loss".to_string(), 0.5)];
+        assert_eq!(a, b);
+        b.accuracy = 0.1;
+        assert_ne!(a, b);
     }
 
     #[test]
@@ -491,6 +524,8 @@ mod tests {
             accuracy: 0.0,
             images: Vec::new(),
             group_correlations: Vec::new(),
+            wall_ms: 0.0,
+            metrics: Vec::new(),
         };
         assert_eq!(r.mean_mape(), 0.0);
         assert_eq!(r.mean_ssim(), 0.0);

@@ -234,7 +234,13 @@ impl Trainer {
         let mut retries_left = self.config.guard.max_retries;
         let mut epoch = 0usize;
 
+        let loss_gauge = qce_telemetry::gauge("train.loss");
+        let penalty_gauge = qce_telemetry::gauge("train.penalty");
+        let lr_gauge = qce_telemetry::gauge("train.lr");
+        let rollback_counter = qce_telemetry::counter("train.rollbacks");
+
         while epoch < total_epochs {
+            let _epoch_span = qce_telemetry::span!("train.epoch", epoch = epoch);
             if let Some(reg) = regularizer.as_deref_mut() {
                 reg.on_epoch(epoch, total_epochs);
             }
@@ -272,6 +278,7 @@ impl Trainer {
                 }
                 retries_left -= 1;
                 history.rollbacks += 1;
+                rollback_counter.incr(1);
                 net.restore(&last_good)?;
                 // Momentum state points into the blow-up; rebuild it.
                 optimizer = make_optimizer(&self.config);
@@ -279,24 +286,35 @@ impl Trainer {
                 if let Some(reg) = regularizer.as_deref_mut() {
                     reg.on_divergence();
                 }
-                if self.config.verbose {
-                    eprintln!(
-                        "epoch {epoch}: diverged (loss={mean_loss}), rolled back; \
-                         retrying at lr scale {lr_scale}"
-                    );
-                }
+                let msg = format!(
+                    "epoch {epoch}: diverged (loss={mean_loss}), rolled back; \
+                     retrying at lr scale {lr_scale}"
+                );
+                let level = if self.config.verbose {
+                    qce_telemetry::Level::Progress
+                } else {
+                    qce_telemetry::Level::Debug
+                };
+                qce_telemetry::log_line(level, &msg);
                 continue;
             }
 
             last_good = net.snapshot();
             history.epoch_losses.push(mean_loss);
             history.epoch_penalties.push(mean_penalty);
+            loss_gauge.set(f64::from(mean_loss));
+            penalty_gauge.set(f64::from(mean_penalty));
+            lr_gauge.set(f64::from(lr));
             epoch += 1;
-            if self.config.verbose {
-                eprintln!(
-                    "epoch {epoch}: loss={mean_loss:.4} penalty={mean_penalty:.4} lr={lr:.5}"
-                );
-            }
+            let level = if self.config.verbose {
+                qce_telemetry::Level::Progress
+            } else {
+                qce_telemetry::Level::Debug
+            };
+            qce_telemetry::log_line(
+                level,
+                &format!("epoch {epoch}: loss={mean_loss:.4} penalty={mean_penalty:.4} lr={lr:.5}"),
+            );
         }
         Ok(history)
     }

@@ -132,9 +132,15 @@ pub fn finetune(
         history
             .epoch_penalties
             .push((penalty_sum / batches as f64) as f32);
-        if config.verbose {
-            eprintln!("finetune epoch {epoch}: loss={mean_loss:.4}");
-        }
+        let level = if config.verbose {
+            qce_telemetry::Level::Progress
+        } else {
+            qce_telemetry::Level::Debug
+        };
+        qce_telemetry::log_line(
+            level,
+            &format!("finetune epoch {epoch}: loss={mean_loss:.4}"),
+        );
     }
     Ok(history)
 }

@@ -204,20 +204,44 @@ pub fn quantize_network_with(
     net: &mut Network,
     quantizer: &dyn Quantizer,
 ) -> Result<QuantizedNetwork> {
+    let _span = qce_telemetry::span!(
+        "quant.network",
+        quantizer = quantizer.name(),
+        levels = quantizer.levels()
+    );
     let mut slots = Vec::new();
     for p in net.params_mut() {
         if p.kind() != ParamKind::Weight {
             continue;
         }
         let values = p.value().as_slice().to_vec();
-        let codebook = if values.len() >= quantizer.levels() {
-            quantizer.fit_with(pool, &values)?
-        } else {
+        let exact = values.len() < quantizer.levels();
+        let codebook = if exact {
             exact_codebook(&values)?
+        } else {
+            quantizer.fit_with(pool, &values)?
         };
         let assignment = codebook.assign_with(pool, &values);
         let quantized = codebook.decode_with(pool, &assignment)?;
         p.value_mut().as_mut_slice().copy_from_slice(&quantized);
+        qce_telemetry::counter("quant.slots").incr(1);
+        if exact {
+            qce_telemetry::counter("quant.exact_slots").incr(1);
+        }
+        // The occupancy scan walks every assignment; only pay for it while
+        // trace collection is on.
+        if qce_telemetry::collect_enabled() {
+            let levels = codebook.levels().max(1);
+            let mut used = vec![false; levels];
+            for &a in &assignment {
+                if let Some(u) = used.get_mut(a as usize) {
+                    *u = true;
+                }
+            }
+            let occupied = used.iter().filter(|&&u| u).count();
+            qce_telemetry::histogram("quant.slot_occupancy", &[0.25, 0.5, 0.75, 0.9, 1.0])
+                .record(occupied as f64 / levels as f64);
+        }
         slots.push(QuantizedSlot {
             codebook,
             assignment,

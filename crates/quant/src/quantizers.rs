@@ -198,7 +198,10 @@ impl Quantizer for KMeansQuantizer {
         // midpoints between adjacent centers, so each Lloyd step is two
         // linear scans.
         let mut starts = vec![0usize; self.levels];
+        let mut iters_run = 0u64;
+        let mut last_max_move = 0.0f32;
         for _ in 0..self.iterations {
+            iters_run += 1;
             // Assignment: cluster i covers values in
             // [mid(i-1, i), mid(i, i+1)).
             starts[0] = 0;
@@ -208,6 +211,7 @@ impl Quantizer for KMeansQuantizer {
             }
             // Update.
             let mut moved = false;
+            let mut max_move = 0.0f32;
             for i in 0..self.levels {
                 let hi_idx = if i + 1 < self.levels {
                     starts[i + 1]
@@ -217,16 +221,22 @@ impl Quantizer for KMeansQuantizer {
                 if hi_idx > starts[i] {
                     let seg = &s[starts[i]..hi_idx];
                     let mean = seg.iter().sum::<f32>() / seg.len() as f32;
-                    if (mean - centers[i]).abs() > 1e-7 {
+                    let delta = (mean - centers[i]).abs();
+                    max_move = max_move.max(delta);
+                    if delta > 1e-7 {
                         moved = true;
                     }
                     centers[i] = mean;
                 }
             }
+            last_max_move = max_move;
             if !moved {
                 break;
             }
         }
+        qce_telemetry::counter("quant.kmeans.fits").incr(1);
+        qce_telemetry::counter("quant.kmeans.iterations").incr(iters_run);
+        qce_telemetry::gauge("quant.kmeans.last_max_move").set(f64::from(last_max_move));
         // Final boundaries from the final centers.
         starts[0] = 0;
         for i in 1..self.levels {

@@ -1,0 +1,112 @@
+//! Schema-sanity checker for JSONL traces: parses every line of the
+//! given trace (and, when present, the sibling manifest) and verifies
+//! the fields each event kind promises. CI runs this over the quickstart
+//! trace; exits non-zero on the first violation.
+//!
+//! Usage: `trace_check <trace.jsonl> [expected-span ...]`
+//!
+//! Each extra argument is a span name that must appear as both
+//! `span_start` and `span_end` in the trace.
+
+use std::collections::BTreeSet;
+use std::process::ExitCode;
+
+use qce_telemetry::json::{parse, JsonValue};
+
+fn check_line(
+    n: usize,
+    line: &str,
+    started: &mut BTreeSet<String>,
+    ended: &mut BTreeSet<String>,
+) -> Result<(), String> {
+    let v = parse(line).map_err(|e| format!("line {n}: {e}"))?;
+    let ev = v
+        .get("ev")
+        .and_then(JsonValue::as_str)
+        .ok_or(format!("line {n}: missing \"ev\""))?;
+    let need = |keys: &[&str]| -> Result<(), String> {
+        for k in keys {
+            if v.get(k).is_none() {
+                return Err(format!("line {n}: {ev} event missing \"{k}\""));
+            }
+        }
+        Ok(())
+    };
+    match ev {
+        "init" => need(&["level", "pid"])?,
+        "log" => need(&["level", "msg", "t_us"])?,
+        "span_start" => {
+            need(&["id", "name", "thread", "t_us"])?;
+            if let Some(name) = v.get("name").and_then(JsonValue::as_str) {
+                started.insert(name.to_string());
+            }
+        }
+        "span_end" => {
+            need(&["id", "name", "dur_us", "t_us"])?;
+            if let Some(name) = v.get("name").and_then(JsonValue::as_str) {
+                ended.insert(name.to_string());
+            }
+        }
+        "manifest" => need(&["config_hash", "seed", "threads", "stages", "metrics"])?,
+        other => return Err(format!("line {n}: unknown event kind {other:?}")),
+    }
+    Ok(())
+}
+
+fn run() -> Result<(), String> {
+    let mut args = std::env::args().skip(1);
+    let trace = args
+        .next()
+        .ok_or("usage: trace_check <trace.jsonl> [expected-span ...]")?;
+    let expected: Vec<String> = args.collect();
+    let body = std::fs::read_to_string(&trace).map_err(|e| format!("{trace}: {e}"))?;
+    let mut started = BTreeSet::new();
+    let mut ended = BTreeSet::new();
+    let mut lines = 0usize;
+    for (i, line) in body.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        lines += 1;
+        check_line(i + 1, line, &mut started, &mut ended)?;
+    }
+    if lines == 0 {
+        return Err(format!("{trace}: empty trace"));
+    }
+    for name in &expected {
+        if !started.contains(name) {
+            return Err(format!("expected span {name:?} never started"));
+        }
+        if !ended.contains(name) {
+            return Err(format!("expected span {name:?} never ended"));
+        }
+    }
+    let manifest = qce_telemetry::manifest_path_for(std::path::Path::new(&trace));
+    if manifest.exists() {
+        let body = std::fs::read_to_string(&manifest)
+            .map_err(|e| format!("{}: {e}", manifest.display()))?;
+        let v = parse(body.trim()).map_err(|e| format!("{}: {e}", manifest.display()))?;
+        for k in ["config_hash", "seed", "threads", "stages", "metrics"] {
+            if v.get(k).is_none() {
+                return Err(format!("{}: manifest missing \"{k}\"", manifest.display()));
+            }
+        }
+        println!("manifest ok: {}", manifest.display());
+    }
+    println!(
+        "trace ok: {lines} events, {} spans started, {} ended",
+        started.len(),
+        ended.len()
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("trace_check: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

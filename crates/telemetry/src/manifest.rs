@@ -1,0 +1,190 @@
+//! Run manifests: one JSON document per run that records what was run
+//! (config hash, seed, thread count) and how it went (per-stage wall
+//! times, per-stage key metrics, the final metrics snapshot).
+//!
+//! The manifest is strictly observational — it is derived from the run
+//! and never read back into one.
+
+use std::path::{Path, PathBuf};
+
+use crate::json::ObjWriter;
+use crate::metrics::MetricsSnapshot;
+use crate::sink::{global, trace_path};
+
+/// Wall time and key metrics for one pipeline stage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageStat {
+    /// Stage name (e.g. `flow.train`).
+    pub name: String,
+    /// Wall time of the stage in milliseconds.
+    pub wall_ms: f64,
+    /// Flattened `(metric, value)` pairs captured at the end of the
+    /// stage, in deterministic order.
+    pub metrics: Vec<(String, f64)>,
+}
+
+impl StageStat {
+    fn to_json(&self) -> String {
+        let mut m = ObjWriter::new();
+        for (k, v) in &self.metrics {
+            m.num(k, *v);
+        }
+        let mut o = ObjWriter::new();
+        o.str("name", &self.name)
+            .num("wall_ms", self.wall_ms)
+            .raw("metrics", &m.finish());
+        o.finish()
+    }
+}
+
+/// A complete run manifest.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RunManifest {
+    /// FNV-1a hash of the run configuration's debug rendering.
+    pub config_hash: u64,
+    /// RNG seed the run used.
+    pub seed: u64,
+    /// Worker-thread count the compute pool ran with.
+    pub threads: usize,
+    /// Per-stage wall times and key metrics, in execution order.
+    pub stages: Vec<StageStat>,
+    /// Final snapshot of the global metrics registry.
+    pub metrics: MetricsSnapshot,
+}
+
+impl RunManifest {
+    /// Renders the manifest as one JSON object.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let stages: Vec<String> = self.stages.iter().map(StageStat::to_json).collect();
+        let mut o = ObjWriter::new();
+        o.str("ev", "manifest")
+            .uint("config_hash", self.config_hash)
+            .uint("seed", self.seed)
+            .uint("threads", self.threads as u64)
+            .raw("stages", &format!("[{}]", stages.join(",")))
+            .raw("metrics", &self.metrics.to_json());
+        o.finish()
+    }
+
+    /// Total wall time across all stages in milliseconds.
+    #[must_use]
+    pub fn total_wall_ms(&self) -> f64 {
+        self.stages.iter().map(|s| s.wall_ms).sum()
+    }
+}
+
+/// The manifest file path that pairs with a trace path:
+/// `run.jsonl` → `run.manifest.json`.
+#[must_use]
+pub fn manifest_path_for(trace: &Path) -> PathBuf {
+    trace.with_extension("manifest.json")
+}
+
+/// Publishes the manifest: appended to every attached JSONL sink as a
+/// `manifest` event and, when `QCE_TRACE` is set, written as a sibling
+/// JSON file next to the trace (`run.jsonl` → `run.manifest.json`).
+///
+/// Returns the sibling file path when one was written.
+pub fn emit_manifest(manifest: &RunManifest) -> Option<PathBuf> {
+    let g = global();
+    let line = manifest.to_json();
+    if g.has_sinks() {
+        g.emit(&line);
+    }
+    crate::sink::flush();
+    let path = trace_path().map(|p| manifest_path_for(&p))?;
+    match std::fs::write(&path, format!("{line}\n")) {
+        Ok(()) => Some(path),
+        Err(e) => {
+            eprintln!(
+                "qce-telemetry: cannot write manifest {}: {e}",
+                path.display()
+            );
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::{add_sink, MemorySink};
+
+    fn sample() -> RunManifest {
+        RunManifest {
+            config_hash: 0xdead_beef,
+            seed: 42,
+            threads: 4,
+            stages: vec![
+                StageStat {
+                    name: "flow.train".to_string(),
+                    wall_ms: 12.5,
+                    metrics: vec![("train.loss".to_string(), 0.25)],
+                },
+                StageStat {
+                    name: "flow.evaluate".to_string(),
+                    wall_ms: 3.5,
+                    metrics: Vec::new(),
+                },
+            ],
+            metrics: MetricsSnapshot::default(),
+        }
+    }
+
+    #[test]
+    fn manifest_json_round_trips() {
+        let m = sample();
+        let v = crate::json::parse(&m.to_json()).unwrap();
+        assert_eq!(v.get("ev").unwrap().as_str(), Some("manifest"));
+        assert_eq!(v.get("config_hash").unwrap().as_u64(), Some(0xdead_beef));
+        assert_eq!(v.get("seed").unwrap().as_u64(), Some(42));
+        assert_eq!(v.get("threads").unwrap().as_u64(), Some(4));
+        let stages = match v.get("stages") {
+            Some(crate::json::JsonValue::Arr(s)) => s,
+            other => panic!("stages not an array: {other:?}"),
+        };
+        assert_eq!(stages.len(), 2);
+        assert_eq!(stages[0].get("name").unwrap().as_str(), Some("flow.train"));
+        assert_eq!(stages[0].get("wall_ms").unwrap().as_f64(), Some(12.5));
+        assert_eq!(
+            stages[0]
+                .get("metrics")
+                .unwrap()
+                .get("train.loss")
+                .unwrap()
+                .as_f64(),
+            Some(0.25)
+        );
+        assert!((m.total_wall_ms() - 16.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn manifest_path_is_trace_sibling() {
+        assert_eq!(
+            manifest_path_for(Path::new("/tmp/run.jsonl")),
+            PathBuf::from("/tmp/run.manifest.json")
+        );
+        assert_eq!(
+            manifest_path_for(Path::new("trace")),
+            PathBuf::from("trace.manifest.json")
+        );
+    }
+
+    #[test]
+    fn emit_reaches_attached_sinks() {
+        let sink = MemorySink::shared();
+        add_sink(sink.clone());
+        let m = sample();
+        // No QCE_TRACE in the test environment → no sibling file.
+        let _ = emit_manifest(&m);
+        let lines = sink.lines();
+        let manifest_line = lines
+            .iter()
+            .rev()
+            .find(|l| l.contains("\"ev\":\"manifest\""))
+            .expect("manifest event emitted");
+        let v = crate::json::parse(manifest_line).unwrap();
+        assert_eq!(v.get("seed").unwrap().as_u64(), Some(42));
+    }
+}

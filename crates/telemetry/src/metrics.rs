@@ -1,0 +1,487 @@
+//! Lock-sharded global metrics registry: monotonic counters, gauges and
+//! fixed-bucket histograms.
+//!
+//! Handle acquisition (`counter("name")`) takes one shard mutex; the
+//! handles themselves are `Arc`ed atomics, so recording on a cached
+//! handle is a single atomic RMW — cheap enough for per-kernel-call
+//! counters in the compute backend. Everything here is strictly
+//! observational: nothing ever reads a metric back into a computation.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::json::ObjWriter;
+
+const SHARDS: usize = 8;
+
+/// FNV-1a over `s` — the workspace's deterministic string hash (also used
+/// for config hashes in run manifests).
+#[must_use]
+pub fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+enum Metric {
+    Counter(Arc<AtomicU64>),
+    Gauge(Arc<AtomicU64>),
+    Histogram(Arc<HistCore>),
+}
+
+struct Registry {
+    shards: [Mutex<HashMap<String, Metric>>; SHARDS],
+}
+
+fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(|| Registry {
+        shards: std::array::from_fn(|_| Mutex::new(HashMap::new())),
+    })
+}
+
+fn shard_for(name: &str) -> &'static Mutex<HashMap<String, Metric>> {
+    &registry().shards[(fnv1a(name) % SHARDS as u64) as usize]
+}
+
+/// A monotonic `u64` counter.
+///
+/// Cloning is cheap (an `Arc` bump); hot call sites should acquire the
+/// handle once and cache it.
+#[derive(Debug, Clone)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Adds `n`.
+    pub fn incr(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-write-wins `f64` gauge (bits stored in an atomic).
+#[derive(Debug, Clone)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// Sets the gauge.
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Adds `v` (CAS loop; gauges are low-frequency).
+    pub fn add(&self, v: f64) {
+        let mut cur = self.0.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + v).to_bits();
+            match self
+                .0
+                .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(now) => cur = now,
+            }
+        }
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+#[derive(Debug)]
+struct HistCore {
+    /// Ascending bucket upper bounds; bucket `i` counts `v <= bounds[i]`,
+    /// with one implicit overflow bucket at the end.
+    bounds: Vec<f64>,
+    counts: Vec<AtomicU64>,
+    total: AtomicU64,
+    sum_bits: AtomicU64,
+    min_bits: AtomicU64,
+    max_bits: AtomicU64,
+}
+
+/// A fixed-bucket histogram handle.
+#[derive(Debug, Clone)]
+pub struct Histogram(Arc<HistCore>);
+
+impl Histogram {
+    /// Records one observation.
+    pub fn record(&self, v: f64) {
+        let c = &self.0;
+        let idx = c.bounds.partition_point(|&b| b < v);
+        c.counts[idx].fetch_add(1, Ordering::Relaxed);
+        c.total.fetch_add(1, Ordering::Relaxed);
+        atomic_f64_update(&c.sum_bits, |s| s + v);
+        atomic_f64_update(&c.min_bits, |m| m.min(v));
+        atomic_f64_update(&c.max_bits, |m| m.max(v));
+    }
+
+    /// Total number of observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.0.total.load(Ordering::Relaxed)
+    }
+
+    /// Point-in-time copy of the histogram.
+    #[must_use]
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let c = &self.0;
+        let count = c.total.load(Ordering::Relaxed);
+        HistogramSnapshot {
+            bounds: c.bounds.clone(),
+            counts: c.counts.iter().map(|x| x.load(Ordering::Relaxed)).collect(),
+            count,
+            sum: f64::from_bits(c.sum_bits.load(Ordering::Relaxed)),
+            min: (count > 0).then(|| f64::from_bits(c.min_bits.load(Ordering::Relaxed))),
+            max: (count > 0).then(|| f64::from_bits(c.max_bits.load(Ordering::Relaxed))),
+        }
+    }
+}
+
+fn atomic_f64_update(bits: &AtomicU64, f: impl Fn(f64) -> f64) {
+    let mut cur = bits.load(Ordering::Relaxed);
+    loop {
+        let next = f(f64::from_bits(cur)).to_bits();
+        match bits.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(now) => cur = now,
+        }
+    }
+}
+
+/// The global counter named `name` (created on first use).
+///
+/// If the name is already registered as a different metric kind, a
+/// detached handle is returned so the caller still works; the registered
+/// kind wins in snapshots.
+#[must_use]
+pub fn counter(name: &str) -> Counter {
+    let mut shard = shard_for(name).lock().expect("metrics shard");
+    match shard
+        .entry(name.to_string())
+        .or_insert_with(|| Metric::Counter(Arc::new(AtomicU64::new(0))))
+    {
+        Metric::Counter(c) => Counter(Arc::clone(c)),
+        _ => Counter(Arc::new(AtomicU64::new(0))),
+    }
+}
+
+/// The global gauge named `name` (created on first use).
+#[must_use]
+pub fn gauge(name: &str) -> Gauge {
+    let mut shard = shard_for(name).lock().expect("metrics shard");
+    match shard
+        .entry(name.to_string())
+        .or_insert_with(|| Metric::Gauge(Arc::new(AtomicU64::new(0f64.to_bits()))))
+    {
+        Metric::Gauge(g) => Gauge(Arc::clone(g)),
+        _ => Gauge(Arc::new(AtomicU64::new(0f64.to_bits()))),
+    }
+}
+
+/// The global histogram named `name` with ascending bucket upper
+/// `bounds` (plus an implicit overflow bucket). The bounds of the first
+/// registration win; later callers share them.
+#[must_use]
+pub fn histogram(name: &str, bounds: &[f64]) -> Histogram {
+    debug_assert!(
+        bounds.windows(2).all(|w| w[0] < w[1]),
+        "histogram bounds must be strictly ascending"
+    );
+    let make = || {
+        Metric::Histogram(Arc::new(HistCore {
+            bounds: bounds.to_vec(),
+            counts: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+            total: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0f64.to_bits()),
+            min_bits: AtomicU64::new(f64::INFINITY.to_bits()),
+            max_bits: AtomicU64::new(f64::NEG_INFINITY.to_bits()),
+        }))
+    };
+    let mut shard = shard_for(name).lock().expect("metrics shard");
+    match shard.entry(name.to_string()).or_insert_with(make) {
+        Metric::Histogram(h) => Histogram(Arc::clone(h)),
+        _ => match make() {
+            Metric::Histogram(h) => Histogram(h),
+            _ => unreachable!(),
+        },
+    }
+}
+
+/// Point-in-time copy of one histogram.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Bucket upper bounds.
+    pub bounds: Vec<f64>,
+    /// Per-bucket counts (`bounds.len() + 1` entries; last is overflow).
+    pub counts: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: f64,
+    /// Smallest observation (`None` when empty).
+    pub min: Option<f64>,
+    /// Largest observation (`None` when empty).
+    pub max: Option<f64>,
+}
+
+impl HistogramSnapshot {
+    /// Mean observation (`None` when empty).
+    #[must_use]
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum / self.count as f64)
+    }
+}
+
+/// Point-in-time copy of the whole registry, in deterministic
+/// (lexicographic) name order.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Counter values by name.
+    pub counters: std::collections::BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: std::collections::BTreeMap<String, f64>,
+    /// Histogram snapshots by name.
+    pub histograms: std::collections::BTreeMap<String, HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// Flattens every metric whose name starts with one of `prefixes`
+    /// into `(name, value)` pairs: counters as exact floats, gauges
+    /// verbatim, histograms as their mean. Deterministic order.
+    #[must_use]
+    pub fn flatten_with_prefix(&self, prefixes: &[&str]) -> Vec<(String, f64)> {
+        let keep = |n: &str| prefixes.iter().any(|p| n.starts_with(p));
+        let mut out = Vec::new();
+        for (n, v) in &self.counters {
+            if keep(n) {
+                out.push((n.clone(), *v as f64));
+            }
+        }
+        for (n, v) in &self.gauges {
+            if keep(n) {
+                out.push((n.clone(), *v));
+            }
+        }
+        for (n, h) in &self.histograms {
+            if keep(n) {
+                out.push((format!("{n}.mean"), h.mean().unwrap_or(0.0)));
+                out.push((format!("{n}.count"), h.count as f64));
+            }
+        }
+        out
+    }
+
+    /// Renders the snapshot as one JSON object.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut counters = ObjWriter::new();
+        for (n, v) in &self.counters {
+            counters.uint(n, *v);
+        }
+        let mut gauges = ObjWriter::new();
+        for (n, v) in &self.gauges {
+            gauges.num(n, *v);
+        }
+        let mut hists = ObjWriter::new();
+        for (n, h) in &self.histograms {
+            let mut o = ObjWriter::new();
+            o.uint("count", h.count).num("sum", h.sum);
+            if let (Some(mn), Some(mx)) = (h.min, h.max) {
+                o.num("min", mn).num("max", mx);
+            }
+            let buckets: Vec<String> = h
+                .bounds
+                .iter()
+                .map(|b| format!("{b}"))
+                .chain(std::iter::once("\"inf\"".to_string()))
+                .zip(&h.counts)
+                .map(|(le, c)| format!("[{le},{c}]"))
+                .collect();
+            o.raw("buckets", &format!("[{}]", buckets.join(",")));
+            hists.raw(n, &o.finish());
+        }
+        let mut root = ObjWriter::new();
+        root.raw("counters", &counters.finish())
+            .raw("gauges", &gauges.finish())
+            .raw("histograms", &hists.finish());
+        root.finish()
+    }
+}
+
+/// Snapshots every registered metric.
+#[must_use]
+pub fn snapshot() -> MetricsSnapshot {
+    let mut snap = MetricsSnapshot::default();
+    for shard in &registry().shards {
+        let shard = shard.lock().expect("metrics shard");
+        for (name, metric) in shard.iter() {
+            match metric {
+                Metric::Counter(c) => {
+                    snap.counters
+                        .insert(name.clone(), c.load(Ordering::Relaxed));
+                }
+                Metric::Gauge(g) => {
+                    snap.gauges
+                        .insert(name.clone(), f64::from_bits(g.load(Ordering::Relaxed)));
+                }
+                Metric::Histogram(h) => {
+                    snap.histograms
+                        .insert(name.clone(), Histogram(Arc::clone(h)).snapshot());
+                }
+            }
+        }
+    }
+    snap
+}
+
+/// Clears the registry. Intended for tests that assert on absolute
+/// values; production code never needs it.
+pub fn reset() {
+    for shard in &registry().shards {
+        shard.lock().expect("metrics shard").clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_bucketing_places_edges_inclusively() {
+        let h = histogram("test.hist.edges", &[1.0, 2.0, 4.0]);
+        for v in [0.5, 1.0, 1.5, 2.0, 3.0, 4.0, 100.0] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        // v <= 1.0 → bucket 0; v <= 2.0 → bucket 1; v <= 4.0 → bucket 2;
+        // else overflow.
+        assert_eq!(s.counts, vec![2, 2, 2, 1]);
+        assert_eq!(s.count, 7);
+        assert_eq!(s.min, Some(0.5));
+        assert_eq!(s.max, Some(100.0));
+        let mean = s.mean().unwrap();
+        assert!((mean - 112.0 / 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_histogram_has_no_extremes() {
+        let h = histogram("test.hist.empty", &[1.0]);
+        let s = h.snapshot();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.min, None);
+        assert_eq!(s.max, None);
+        assert_eq!(s.mean(), None);
+    }
+
+    #[test]
+    fn counter_and_gauge_merge_across_threads() {
+        // The per-thread increments must merge exactly — this is the
+        // contract the QCE_THREADS={1,4} CI matrix exercises end to end.
+        let c = counter("test.merge.counter");
+        let g = gauge("test.merge.gauge");
+        let before = c.get();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    let c = counter("test.merge.counter");
+                    let g = gauge("test.merge.gauge");
+                    for _ in 0..10_000 {
+                        c.incr(1);
+                    }
+                    g.add(0.5);
+                });
+            }
+        });
+        assert_eq!(c.get() - before, 40_000);
+        assert!((g.get() - 2.0).abs() < 1e-12);
+        g.set(7.25);
+        assert_eq!(g.get(), 7.25);
+    }
+
+    #[test]
+    fn concurrent_histogram_totals_are_exact() {
+        let h = histogram("test.hist.concurrent", &[0.0, 10.0]);
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let h = h.clone();
+                scope.spawn(move || {
+                    for i in 0..1000 {
+                        h.record(f64::from(t * 1000 + i) / 400.0);
+                    }
+                });
+            }
+        });
+        let s = h.snapshot();
+        assert_eq!(s.count, 4000);
+        assert_eq!(s.counts.iter().sum::<u64>(), 4000);
+    }
+
+    #[test]
+    fn snapshot_flattens_with_prefix() {
+        counter("test.flat.a").incr(3);
+        gauge("test.flat.b").set(1.5);
+        histogram("test.flat.h", &[1.0]).record(2.0);
+        counter("other.c").incr(1);
+        let snap = snapshot();
+        let flat = snap.flatten_with_prefix(&["test.flat."]);
+        let names: Vec<&str> = flat.iter().map(|(n, _)| n.as_str()).collect();
+        assert!(names.contains(&"test.flat.a"));
+        assert!(names.contains(&"test.flat.b"));
+        assert!(names.contains(&"test.flat.h.mean"));
+        assert!(!names.iter().any(|n| n.starts_with("other.")));
+    }
+
+    #[test]
+    fn snapshot_json_is_parseable() {
+        counter("test.json.count").incr(2);
+        gauge("test.json.g").set(-0.25);
+        histogram("test.json.h", &[1.0, 2.0]).record(1.5);
+        let json = snapshot().to_json();
+        let v = crate::json::parse(&json).unwrap();
+        assert_eq!(
+            v.get("counters")
+                .unwrap()
+                .get("test.json.count")
+                .unwrap()
+                .as_u64(),
+            Some(2)
+        );
+        assert_eq!(
+            v.get("gauges")
+                .unwrap()
+                .get("test.json.g")
+                .unwrap()
+                .as_f64(),
+            Some(-0.25)
+        );
+        assert!(v.get("histograms").unwrap().get("test.json.h").is_some());
+    }
+
+    #[test]
+    fn kind_mismatch_returns_detached_handle() {
+        counter("test.kind.x").incr(1);
+        let g = gauge("test.kind.x"); // detached, must not panic
+        g.set(3.0);
+        assert_eq!(snapshot().counters.get("test.kind.x"), Some(&1));
+    }
+
+    #[test]
+    fn fnv1a_is_stable() {
+        assert_eq!(fnv1a(""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a("a"), fnv1a("a"));
+        assert_ne!(fnv1a("a"), fnv1a("b"));
+    }
+}

@@ -1,0 +1,281 @@
+//! Global telemetry state: the `QCE_LOG` level, the `QCE_TRACE` JSONL
+//! sink, programmatic sinks for tests, and the event/log entry points.
+
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
+use std::time::Instant;
+
+/// Verbosity of the human-readable stderr progress sink.
+///
+/// Controlled by `QCE_LOG=off|progress|debug`; the default is
+/// [`Level::Progress`], which preserves the workspace's historical
+/// output (benches narrate, library internals stay quiet).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// Nothing is printed; a run is genuinely quiet.
+    Off = 0,
+    /// Experiment narration (benches, verbose flows).
+    Progress = 1,
+    /// Everything, including per-epoch internals and span closures.
+    Debug = 2,
+}
+
+impl Level {
+    fn from_env(v: &str) -> Option<Level> {
+        match v.trim().to_ascii_lowercase().as_str() {
+            "off" | "0" | "none" => Some(Level::Off),
+            "progress" | "1" => Some(Level::Progress),
+            "debug" | "2" => Some(Level::Debug),
+            _ => None,
+        }
+    }
+
+    fn as_str(self) -> &'static str {
+        match self {
+            Level::Off => "off",
+            Level::Progress => "progress",
+            Level::Debug => "debug",
+        }
+    }
+}
+
+/// A machine-readable event sink; receives fully rendered JSONL lines.
+pub trait EventSink: Send + Sync {
+    /// Consumes one rendered JSON line (no trailing newline).
+    fn emit_line(&self, line: &str);
+    /// Flushes any buffering. Default: no-op.
+    fn flush(&self) {}
+}
+
+/// An in-memory sink for tests and golden traces.
+#[derive(Debug, Default)]
+pub struct MemorySink {
+    lines: Mutex<Vec<String>>,
+}
+
+impl MemorySink {
+    /// Creates an empty shared sink.
+    #[must_use]
+    pub fn shared() -> Arc<MemorySink> {
+        Arc::new(MemorySink::default())
+    }
+
+    /// A copy of every line captured so far.
+    #[must_use]
+    pub fn lines(&self) -> Vec<String> {
+        self.lines.lock().expect("memory sink").clone()
+    }
+
+    /// Drops all captured lines.
+    pub fn clear(&self) {
+        self.lines.lock().expect("memory sink").clear();
+    }
+}
+
+impl EventSink for MemorySink {
+    fn emit_line(&self, line: &str) {
+        self.lines
+            .lock()
+            .expect("memory sink")
+            .push(line.to_string());
+    }
+}
+
+struct FileSink {
+    writer: Mutex<BufWriter<File>>,
+}
+
+impl EventSink for FileSink {
+    fn emit_line(&self, line: &str) {
+        let mut w = self.writer.lock().expect("trace file");
+        // Event rates are low (spans, epochs, manifests — not per-batch),
+        // so flushing per line keeps partial traces useful after a crash.
+        let _ = writeln!(w, "{line}");
+        let _ = w.flush();
+    }
+
+    fn flush(&self) {
+        let _ = self.writer.lock().expect("trace file").flush();
+    }
+}
+
+pub(crate) struct Global {
+    level: AtomicU8,
+    sinks: RwLock<Vec<Arc<dyn EventSink>>>,
+    /// Where `QCE_TRACE` pointed (manifests are written next to it).
+    trace_path: Option<PathBuf>,
+    start: Instant,
+    span_ids: AtomicU64,
+}
+
+impl Global {
+    pub(crate) fn level(&self) -> Level {
+        match self.level.load(Ordering::Relaxed) {
+            0 => Level::Off,
+            1 => Level::Progress,
+            _ => Level::Debug,
+        }
+    }
+
+    pub(crate) fn has_sinks(&self) -> bool {
+        !self.sinks.read().expect("sinks").is_empty()
+    }
+
+    pub(crate) fn emit(&self, line: &str) {
+        for sink in self.sinks.read().expect("sinks").iter() {
+            sink.emit_line(line);
+        }
+    }
+
+    pub(crate) fn next_span_id(&self) -> u64 {
+        self.span_ids.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    pub(crate) fn micros_since_start(&self) -> u64 {
+        u64::try_from(self.start.elapsed().as_micros()).unwrap_or(u64::MAX)
+    }
+}
+
+pub(crate) fn global() -> &'static Global {
+    static GLOBAL: OnceLock<Global> = OnceLock::new();
+    GLOBAL.get_or_init(|| {
+        let level = std::env::var("QCE_LOG")
+            .ok()
+            .and_then(|v| Level::from_env(&v))
+            .unwrap_or(Level::Progress);
+        let mut sinks: Vec<Arc<dyn EventSink>> = Vec::new();
+        let mut trace_path = None;
+        if let Ok(path) = std::env::var("QCE_TRACE") {
+            let path = PathBuf::from(path);
+            match File::create(&path) {
+                Ok(f) => {
+                    sinks.push(Arc::new(FileSink {
+                        writer: Mutex::new(BufWriter::new(f)),
+                    }));
+                    trace_path = Some(path);
+                }
+                Err(e) => {
+                    eprintln!(
+                        "qce-telemetry: cannot open QCE_TRACE={}: {e}",
+                        path.display()
+                    );
+                }
+            }
+        }
+        let g = Global {
+            level: AtomicU8::new(level as u8),
+            sinks: RwLock::new(sinks),
+            trace_path,
+            start: Instant::now(),
+            span_ids: AtomicU64::new(0),
+        };
+        if g.has_sinks() {
+            let mut o = crate::json::ObjWriter::new();
+            o.str("ev", "init")
+                .str("level", level.as_str())
+                .uint("pid", std::process::id().into());
+            g.emit(&o.finish());
+        }
+        g
+    })
+}
+
+/// Current progress-sink verbosity.
+#[must_use]
+pub fn level() -> Level {
+    global().level()
+}
+
+/// Overrides the progress-sink verbosity (tests; normal runs use
+/// `QCE_LOG`).
+pub fn set_level(level: Level) {
+    global().level.store(level as u8, Ordering::Relaxed);
+}
+
+/// Registers an additional machine-readable sink (tests capture traces
+/// through a [`MemorySink`] here; `QCE_TRACE` installs a file sink
+/// automatically).
+pub fn add_sink(sink: Arc<dyn EventSink>) {
+    global().sinks.write().expect("sinks").push(sink);
+}
+
+/// Whether *costly* instrumentation should run: a trace sink is attached
+/// or the stderr sink is at debug. Cheap counters are recorded
+/// unconditionally; anything that needs a clock read or an extra scan
+/// over data gates on this.
+#[must_use]
+pub fn collect_enabled() -> bool {
+    let g = global();
+    g.has_sinks() || g.level() == Level::Debug
+}
+
+/// The path `QCE_TRACE` pointed at, if any.
+#[must_use]
+pub fn trace_path() -> Option<PathBuf> {
+    global().trace_path.clone()
+}
+
+/// Flushes every attached sink.
+pub fn flush() {
+    for sink in global().sinks.read().expect("sinks").iter() {
+        sink.flush();
+    }
+}
+
+/// Routes one human-readable line: printed to stderr when `level` is
+/// within the current verbosity, and mirrored to the JSONL sinks as a
+/// `log` event when any are attached.
+pub fn log_line(level: Level, msg: &str) {
+    let g = global();
+    if level != Level::Off && level <= g.level() {
+        eprintln!("{msg}");
+    }
+    if g.has_sinks() {
+        let mut o = crate::json::ObjWriter::new();
+        o.str("ev", "log")
+            .str("level", level.as_str())
+            .str("msg", msg)
+            .uint("t_us", g.micros_since_start());
+        g.emit(&o.finish());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_parsing() {
+        assert_eq!(Level::from_env("off"), Some(Level::Off));
+        assert_eq!(Level::from_env(" DEBUG "), Some(Level::Debug));
+        assert_eq!(Level::from_env("progress"), Some(Level::Progress));
+        assert_eq!(Level::from_env("1"), Some(Level::Progress));
+        assert_eq!(Level::from_env("nope"), None);
+        assert!(Level::Off < Level::Progress && Level::Progress < Level::Debug);
+    }
+
+    #[test]
+    fn memory_sink_captures_log_events() {
+        let sink = MemorySink::shared();
+        add_sink(sink.clone());
+        log_line(Level::Off, "machine-only line");
+        let lines = sink.lines();
+        let last = lines.last().expect("captured");
+        let v = crate::json::parse(last).unwrap();
+        assert_eq!(v.get("ev").unwrap().as_str(), Some("log"));
+        assert_eq!(v.get("msg").unwrap().as_str(), Some("machine-only line"));
+        assert!(v.get("t_us").unwrap().as_u64().is_some());
+        sink.clear();
+        assert!(sink.lines().is_empty());
+    }
+
+    #[test]
+    fn span_ids_ascend() {
+        let a = global().next_span_id();
+        let b = global().next_span_id();
+        assert!(b > a);
+    }
+}

@@ -1,0 +1,284 @@
+//! Hierarchical wall-time spans with thread attribution.
+//!
+//! A [`Span`] is an RAII guard: entering emits a `span_start` event,
+//! dropping emits `span_end` with the wall duration. Parent/child links
+//! come from a per-thread span stack, so nesting follows lexical scope
+//! on each thread. When no trace sink is attached and the stderr sink is
+//! below debug, `Span::enter` is inert (no id, no clock read, no event)
+//! — instrumented hot paths cost two branch checks.
+
+use std::cell::RefCell;
+use std::time::Instant;
+
+use crate::json::{write_escaped, write_num, ObjWriter};
+use crate::sink::{collect_enabled, global, Level};
+
+/// One field value attached to a span.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FieldValue {
+    /// Signed integer.
+    Int(i64),
+    /// Unsigned integer.
+    UInt(u64),
+    /// Float.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Boolean.
+    Bool(bool),
+}
+
+macro_rules! impl_from {
+    ($($t:ty => $variant:ident as $conv:ty),* $(,)?) => {
+        $(impl From<$t> for FieldValue {
+            fn from(v: $t) -> FieldValue { FieldValue::$variant(v as $conv) }
+        })*
+    };
+}
+
+impl_from!(
+    i32 => Int as i64,
+    i64 => Int as i64,
+    u32 => UInt as u64,
+    u64 => UInt as u64,
+    usize => UInt as u64,
+    f32 => Float as f64,
+    f64 => Float as f64,
+);
+
+impl From<bool> for FieldValue {
+    fn from(v: bool) -> FieldValue {
+        FieldValue::Bool(v)
+    }
+}
+
+impl From<&str> for FieldValue {
+    fn from(v: &str) -> FieldValue {
+        FieldValue::Str(v.to_string())
+    }
+}
+
+impl From<String> for FieldValue {
+    fn from(v: String) -> FieldValue {
+        FieldValue::Str(v)
+    }
+}
+
+thread_local! {
+    static SPAN_STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+}
+
+/// An active span; dropping it closes the span.
+///
+/// Created via the [`span!`](crate::span!) macro.
+#[derive(Debug)]
+pub struct Span {
+    id: u64,
+    name: &'static str,
+    start: Option<Instant>,
+}
+
+impl Span {
+    /// Enters a span named `name` with the given fields. Inert (and
+    /// nearly free) unless [`collect_enabled`] holds.
+    #[must_use]
+    pub fn enter(name: &'static str, fields: &[(&str, FieldValue)]) -> Span {
+        if !collect_enabled() {
+            return Span {
+                id: 0,
+                name,
+                start: None,
+            };
+        }
+        let g = global();
+        let id = g.next_span_id();
+        let parent = SPAN_STACK.with(|s| s.borrow().last().copied());
+        SPAN_STACK.with(|s| s.borrow_mut().push(id));
+        if g.has_sinks() {
+            let mut o = ObjWriter::new();
+            o.str("ev", "span_start").uint("id", id);
+            if let Some(p) = parent {
+                o.uint("parent", p);
+            }
+            o.str("name", name);
+            o.str("thread", &thread_label());
+            if !fields.is_empty() {
+                let mut rendered = String::from("{");
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        rendered.push(',');
+                    }
+                    write_escaped(&mut rendered, k);
+                    rendered.push(':');
+                    match v {
+                        FieldValue::Int(x) => rendered.push_str(&x.to_string()),
+                        FieldValue::UInt(x) => rendered.push_str(&x.to_string()),
+                        FieldValue::Float(x) => write_num(&mut rendered, *x),
+                        FieldValue::Str(x) => write_escaped(&mut rendered, x),
+                        FieldValue::Bool(x) => {
+                            rendered.push_str(if *x { "true" } else { "false" });
+                        }
+                    }
+                }
+                rendered.push('}');
+                o.raw("fields", &rendered);
+            }
+            o.uint("t_us", g.micros_since_start());
+            g.emit(&o.finish());
+        }
+        Span {
+            id,
+            name,
+            start: Some(Instant::now()),
+        }
+    }
+
+    /// Wall time since the span was entered, in milliseconds (0 when the
+    /// span is inert).
+    #[must_use]
+    pub fn elapsed_ms(&self) -> f64 {
+        self.start.map_or(0.0, |s| s.elapsed().as_secs_f64() * 1e3)
+    }
+
+    /// Closes the span now and returns its wall time in milliseconds.
+    #[must_use]
+    pub fn close(self) -> f64 {
+        let ms = self.elapsed_ms();
+        drop(self);
+        ms
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(start) = self.start else { return };
+        // Tolerate out-of-order drops (e.g. a guard moved across scopes):
+        // remove this id wherever it sits instead of popping blindly.
+        SPAN_STACK.with(|s| {
+            let mut stack = s.borrow_mut();
+            if let Some(pos) = stack.iter().rposition(|&id| id == self.id) {
+                stack.remove(pos);
+            }
+        });
+        let g = global();
+        let dur_us = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
+        if g.has_sinks() {
+            let mut o = ObjWriter::new();
+            o.str("ev", "span_end")
+                .uint("id", self.id)
+                .str("name", self.name)
+                .uint("dur_us", dur_us)
+                .uint("t_us", g.micros_since_start());
+            g.emit(&o.finish());
+        }
+        if g.level() == Level::Debug {
+            eprintln!("[span] {} {:.3} ms", self.name, dur_us as f64 / 1e3);
+        }
+    }
+}
+
+fn thread_label() -> String {
+    let cur = std::thread::current();
+    match cur.name() {
+        Some(n) => n.to_string(),
+        None => format!("{:?}", cur.id()),
+    }
+}
+
+/// Enters a hierarchical span: `span!("train.epoch", epoch = e)`.
+///
+/// Returns a [`Span`] guard; bind it (`let _span = span!(...)`) so the
+/// span covers the scope. Fields accept integers, floats, `&str`,
+/// `String` and `bool`.
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::Span::enter($name, &[])
+    };
+    ($name:expr, $($key:ident = $value:expr),+ $(,)?) => {
+        $crate::Span::enter(
+            $name,
+            &[$((stringify!($key), $crate::FieldValue::from($value))),+],
+        )
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::{add_sink, MemorySink};
+
+    #[test]
+    fn spans_nest_and_report_parents() {
+        let sink = MemorySink::shared();
+        add_sink(sink.clone());
+        sink.clear();
+        {
+            let _outer = span!("test.outer", kind = "unit");
+            let _inner = span!("test.inner", idx = 3usize, frac = 0.5f32, on = true);
+        }
+        let lines = sink.lines();
+        let events: Vec<crate::json::JsonValue> = lines
+            .iter()
+            .map(|l| crate::json::parse(l).unwrap())
+            .collect();
+        let starts: Vec<&crate::json::JsonValue> = events
+            .iter()
+            .filter(|e| e.get("ev").and_then(|v| v.as_str()) == Some("span_start"))
+            .collect();
+        let outer = starts
+            .iter()
+            .find(|e| e.get("name").unwrap().as_str() == Some("test.outer"))
+            .expect("outer start");
+        let inner = starts
+            .iter()
+            .find(|e| e.get("name").unwrap().as_str() == Some("test.inner"))
+            .expect("inner start");
+        assert_eq!(
+            inner.get("parent").unwrap().as_u64(),
+            outer.get("id").unwrap().as_u64()
+        );
+        assert_eq!(
+            inner.get("fields").unwrap().get("idx").unwrap().as_u64(),
+            Some(3)
+        );
+        assert_eq!(
+            inner.get("fields").unwrap().get("frac").unwrap().as_f64(),
+            Some(0.5)
+        );
+        // Restrict to this test's spans: the sink is global, so spans
+        // from concurrently running tests can interleave.
+        let ends: Vec<&crate::json::JsonValue> = events
+            .iter()
+            .filter(|e| {
+                e.get("ev").and_then(|v| v.as_str()) == Some("span_end")
+                    && matches!(
+                        e.get("name").and_then(|v| v.as_str()),
+                        Some("test.inner" | "test.outer")
+                    )
+            })
+            .collect();
+        assert_eq!(ends.len(), 2, "both spans closed");
+        // Inner closes before outer (RAII order).
+        assert_eq!(ends[0].get("name").unwrap().as_str(), Some("test.inner"));
+    }
+
+    #[test]
+    fn close_returns_wall_time() {
+        let sink = MemorySink::shared();
+        add_sink(sink.clone());
+        let sp = span!("test.close");
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let ms = sp.close();
+        assert!(ms >= 1.0, "elapsed {ms} ms");
+    }
+
+    #[test]
+    fn field_value_conversions() {
+        assert_eq!(FieldValue::from(3usize), FieldValue::UInt(3));
+        assert_eq!(FieldValue::from(-2i64), FieldValue::Int(-2));
+        assert_eq!(FieldValue::from(0.5f64), FieldValue::Float(0.5));
+        assert_eq!(FieldValue::from("x"), FieldValue::Str("x".to_string()));
+        assert_eq!(FieldValue::from(true), FieldValue::Bool(true));
+    }
+}

@@ -32,6 +32,36 @@
 //! ```
 
 use std::sync::OnceLock;
+use std::time::Instant;
+
+/// Cached handles into the global telemetry registry.
+///
+/// Telemetry here is strictly observational: the counters never influence
+/// partitioning or scheduling, so the determinism contract is unchanged.
+struct PoolStats {
+    /// `for_each_item` calls that ran entirely on the calling thread.
+    inline_runs: qce_telemetry::Counter,
+    /// `for_each_item` calls that spawned scoped workers.
+    parallel_runs: qce_telemetry::Counter,
+    /// Items dispatched across all calls.
+    tasks: qce_telemetry::Counter,
+    /// Per-worker busy time per parallel call, in microseconds
+    /// (recorded only while trace collection is enabled).
+    worker_busy_us: qce_telemetry::Histogram,
+}
+
+fn pool_stats() -> &'static PoolStats {
+    static STATS: OnceLock<PoolStats> = OnceLock::new();
+    STATS.get_or_init(|| PoolStats {
+        inline_runs: qce_telemetry::counter("pool.inline_runs"),
+        parallel_runs: qce_telemetry::counter("pool.parallel_runs"),
+        tasks: qce_telemetry::counter("pool.tasks"),
+        worker_busy_us: qce_telemetry::histogram(
+            "pool.worker_busy_us",
+            &[10.0, 100.0, 1_000.0, 10_000.0, 100_000.0, 1_000_000.0],
+        ),
+    })
+}
 
 /// A fixed-width scoped thread pool.
 ///
@@ -118,14 +148,23 @@ where
     if n == 0 {
         return;
     }
+    let stats = pool_stats();
+    stats.tasks.incr(n as u64);
     let threads = pool.threads.min(n);
     if threads <= 1 {
+        // Fast path: a one-worker pool (or a single item) never spawns —
+        // the whole batch runs inline on the calling thread.
+        stats.inline_runs.incr(1);
         let mut state = init();
         for (idx, item) in items.into_iter().enumerate() {
             f(&mut state, idx, item);
         }
         return;
     }
+    stats.parallel_runs.incr(1);
+    // Busy-time attribution needs a clock read per worker; only pay for
+    // it when a trace sink is attached or logging is at debug.
+    let collect = qce_telemetry::collect_enabled();
     // Contiguous static partition: thread t takes base + (t < rem) items.
     let base = n / threads;
     let rem = n % threads;
@@ -141,14 +180,28 @@ where
     }
     let f = &f;
     let init = &init;
+    let run_part = move |offset: usize, part: Vec<T>| {
+        let t0 = collect.then(Instant::now);
+        let mut state = init();
+        for (i, item) in part.into_iter().enumerate() {
+            f(&mut state, offset + i, item);
+        }
+        if let Some(t0) = t0 {
+            stats
+                .worker_busy_us
+                .record(t0.elapsed().as_secs_f64() * 1e6);
+        }
+    };
     std::thread::scope(|scope| {
+        let mut parts = parts.into_iter();
+        // The first partition runs on the calling thread: it would
+        // otherwise idle in the join, and one spawn is saved per call.
+        let head = parts.next();
         for (offset, part) in parts {
-            scope.spawn(move || {
-                let mut state = init();
-                for (i, item) in part.into_iter().enumerate() {
-                    f(&mut state, offset + i, item);
-                }
-            });
+            scope.spawn(move || run_part(offset, part));
+        }
+        if let Some((offset, part)) = head {
+            run_part(offset, part);
         }
     });
 }
@@ -314,6 +367,25 @@ mod tests {
                 .all(|(x, y)| x.to_bits() == y.to_bits());
             assert!(same, "threads={threads}");
         }
+    }
+
+    #[test]
+    fn inline_fast_path_is_counted() {
+        let inline = qce_telemetry::counter("pool.inline_runs");
+        let parallel = qce_telemetry::counter("pool.parallel_runs");
+        let tasks = qce_telemetry::counter("pool.tasks");
+        // Counters are global and tests run concurrently, so assert
+        // monotone lower bounds rather than exact deltas.
+        let (i0, p0, t0) = (inline.get(), parallel.get(), tasks.get());
+        // One worker → inline, regardless of item count.
+        for_each_item(&Pool::serial(), vec![1u8, 2, 3], || (), |_, _, _| {});
+        // One item → inline even on a wide pool (threads is clamped to n).
+        for_each_item(&Pool::with_threads(8), vec![9u8], || (), |_, _, _| {});
+        assert!(inline.get() - i0 >= 2);
+        assert!(tasks.get() - t0 >= 4);
+        // Two workers → parallel.
+        for_each_item(&Pool::with_threads(2), vec![1u8, 2, 3], || (), |_, _, _| {});
+        assert!(parallel.get() - p0 >= 1);
     }
 
     #[test]

@@ -16,6 +16,16 @@ use qce_tensor::Tensor;
 
 const THREADS: [usize; 4] = [1, 2, 3, 8];
 
+/// Attach a telemetry sink once so `collect_enabled()` is true and the
+/// pool's timing instrumentation is active — determinism must hold with
+/// tracing on (telemetry is strictly observational).
+fn enable_tracing() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        qce_telemetry::add_sink(qce_telemetry::MemorySink::shared());
+    });
+}
+
 fn assert_bits_eq(got: &Tensor, want: &Tensor, ctx: &str) -> Result<(), TestCaseError> {
     prop_assert_eq!(got.dims(), want.dims(), "{} dims", ctx);
     for (i, (a, b)) in got.as_slice().iter().zip(want.as_slice()).enumerate() {
@@ -42,6 +52,7 @@ proptest! {
         n in 1usize..34,
         seed in any::<u64>(),
     ) {
+        enable_tracing();
         let a = seeded_tensor(&[m, k], seed);
         let b = seeded_tensor(&[k, n], seed ^ 0x9e37_79b9);
         let reference = matmul_with(&Pool::serial(), &a, &b).unwrap();
@@ -58,6 +69,7 @@ proptest! {
         n in 1usize..18,
         seed in any::<u64>(),
     ) {
+        enable_tracing();
         let a = seeded_tensor(&[m, k], seed);
         let b = seeded_tensor(&[k, n], seed ^ 0x51ed_270b);
         let b_t = transpose(&b).unwrap();
@@ -85,6 +97,7 @@ proptest! {
         padding in 0usize..2,
         seed in any::<u64>(),
     ) {
+        enable_tracing();
         let geom = ConvGeometry::new(stride, padding);
         let input = seeded_tensor(&[batch, c, h, w], seed);
         let weight = seeded_tensor(&[o, c, 3, 3], seed ^ 0xdead_beef);
@@ -112,6 +125,7 @@ proptest! {
         w in 4usize..10,
         seed in any::<u64>(),
     ) {
+        enable_tracing();
         let geom = ConvGeometry::new(2, 0);
         let input = seeded_tensor(&[batch, c, h, w], seed);
         let reference = max_pool2d_with(&Pool::serial(), &input, 2, geom).unwrap();
@@ -127,6 +141,7 @@ proptest! {
         raw in proptest::collection::vec(-8.0f32..8.0, 1..12_000),
         specials in proptest::collection::vec(0usize..12_000, 0..6),
     ) {
+        enable_tracing();
         let mut data = raw;
         // Sprinkle in signed zeros and a NaN to exercise total-order ties.
         for (i, &pos) in specials.iter().enumerate() {

@@ -19,7 +19,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ..FlowConfig::small()
     })
     .run(&dataset)?;
-    println!(
+    qce_telemetry::progress!(
         "benign baseline accuracy: {:.2}%",
         100.0 * benign.pre_quant.accuracy
     );
@@ -28,35 +28,36 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // preprocessing + regularized training + quantization with
     // fine-tuning; actually encodes training images into the weights.
     let config = FlowConfig::small();
-    println!(
+    qce_telemetry::progress!(
         "running attack flow: {:?} + {:?}",
-        config.grouping, config.quant
+        config.grouping,
+        config.quant
     );
 
     let outcome = AttackFlow::new(config).run(&dataset)?;
 
     let pre = &outcome.pre_quant;
-    println!("\n=== float model (before quantization) ===");
-    println!("validation accuracy : {:.2}%", 100.0 * pre.accuracy);
-    println!("images encoded      : {}", pre.images.len());
-    println!("mean MAPE           : {:.2}", pre.mean_mape());
-    println!(
+    qce_telemetry::progress!("\n=== float model (before quantization) ===");
+    qce_telemetry::progress!("validation accuracy : {:.2}%", 100.0 * pre.accuracy);
+    qce_telemetry::progress!("images encoded      : {}", pre.images.len());
+    qce_telemetry::progress!("mean MAPE           : {:.2}", pre.mean_mape());
+    qce_telemetry::progress!(
         "recognized by model : {} ({:.1}%)",
         pre.recognized_count(),
         100.0 * pre.recognized_fraction()
     );
-    println!("group correlations  : {:?}", pre.group_correlations);
+    qce_telemetry::progress!("group correlations  : {:?}", pre.group_correlations);
 
     if let Some(post) = &outcome.post_quant {
-        println!("\n=== released model ({}) ===", post.label);
-        println!("validation accuracy : {:.2}%", 100.0 * post.accuracy);
-        println!("mean MAPE           : {:.2}", post.mean_mape());
-        println!(
+        qce_telemetry::progress!("\n=== released model ({}) ===", post.label);
+        qce_telemetry::progress!("validation accuracy : {:.2}%", 100.0 * post.accuracy);
+        qce_telemetry::progress!("mean MAPE           : {:.2}", post.mean_mape());
+        qce_telemetry::progress!(
             "recognized by model : {} ({:.1}%)",
             post.recognized_count(),
             100.0 * post.recognized_fraction()
         );
-        println!(
+        qce_telemetry::progress!(
             "compression         : {:.2}x vs float32",
             outcome.compression_ratio.unwrap_or(1.0)
         );

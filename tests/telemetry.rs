@@ -1,0 +1,161 @@
+//! Integration tests for the observability layer: the golden span tree a
+//! tiny attack run emits, manifest contents, and the guarantee that
+//! tracing never perturbs the computation.
+
+use qce::{AttackFlow, BandRule, FlowConfig, Grouping, QuantConfig, QuantMethod};
+use qce_data::{Dataset, SynthCifar};
+use qce_telemetry::json::JsonValue;
+use qce_telemetry::{add_sink, MemorySink};
+
+fn tiny_data() -> Dataset {
+    SynthCifar::new(8).classes(4).generate(160, 5).unwrap()
+}
+
+fn attack_config() -> FlowConfig {
+    FlowConfig {
+        grouping: Grouping::Uniform(5.0),
+        band: BandRule::FirstN,
+        quant: Some(QuantConfig {
+            method: QuantMethod::Linear,
+            bits: 4,
+            finetune_epochs: 0,
+            finetune_lr: 0.01,
+            regularize_finetune: false,
+        }),
+        epochs: 1,
+        ..FlowConfig::tiny()
+    }
+}
+
+/// Events of one kind, parsed, filtered from a shared global sink (other
+/// tests in the workspace may interleave their own events).
+fn events_of(lines: &[String], kind: &str) -> Vec<JsonValue> {
+    lines
+        .iter()
+        .map(|l| qce_telemetry::json::parse(l).expect("every trace line is valid JSON"))
+        .filter(|v| v.get("ev").and_then(JsonValue::as_str) == Some(kind))
+        .collect()
+}
+
+fn name_of(e: &JsonValue) -> Option<&str> {
+    e.get("name").and_then(JsonValue::as_str)
+}
+
+#[test]
+fn attack_run_emits_golden_span_tree_and_manifest() {
+    let sink = MemorySink::shared();
+    add_sink(sink.clone());
+    sink.clear();
+
+    let out = AttackFlow::new(attack_config()).run(&tiny_data()).unwrap();
+
+    let lines = sink.lines();
+    let starts = events_of(&lines, "span_start");
+    let ends = events_of(&lines, "span_end");
+
+    // Every pipeline stage opens and closes a span.
+    for stage in [
+        "flow.select",
+        "flow.train",
+        "flow.quantize",
+        "flow.evaluate",
+        "quant.network",
+    ] {
+        assert!(
+            starts.iter().any(|e| name_of(e) == Some(stage)),
+            "missing span_start for {stage}"
+        );
+        assert!(
+            ends.iter().any(|e| name_of(e) == Some(stage)),
+            "missing span_end for {stage}"
+        );
+    }
+
+    // Per-epoch training spans are children of a flow.train span.
+    let train_ids: Vec<u64> = starts
+        .iter()
+        .filter(|e| name_of(e) == Some("flow.train"))
+        .filter_map(|e| e.get("id").and_then(JsonValue::as_u64))
+        .collect();
+    assert!(!train_ids.is_empty());
+    let epoch_parented = starts
+        .iter()
+        .filter(|e| name_of(e) == Some("train.epoch"))
+        .filter_map(|e| e.get("parent").and_then(JsonValue::as_u64))
+        .any(|p| train_ids.contains(&p));
+    assert!(epoch_parented, "train.epoch not parented under flow.train");
+
+    // Required fields on every span event.
+    for e in starts.iter().chain(ends.iter()) {
+        assert!(e.get("id").and_then(JsonValue::as_u64).is_some());
+        assert!(e.get("t_us").is_some(), "span event missing t_us");
+    }
+    for e in &ends {
+        assert!(
+            e.get("dur_us").and_then(JsonValue::as_f64).is_some(),
+            "span_end missing dur_us"
+        );
+    }
+
+    // The run publishes a manifest event that matches the returned one.
+    let manifests = events_of(&lines, "manifest");
+    let m = manifests.last().expect("manifest event emitted");
+    assert_eq!(
+        m.get("seed").and_then(JsonValue::as_u64),
+        Some(out.manifest.seed)
+    );
+    assert_eq!(
+        m.get("threads").and_then(JsonValue::as_u64),
+        Some(out.manifest.threads as u64)
+    );
+    // The hash is a full-width u64; the JSON parser stores numbers as
+    // f64, so compare at f64 precision.
+    assert_eq!(
+        m.get("config_hash").and_then(JsonValue::as_f64),
+        Some(out.manifest.config_hash as f64)
+    );
+    let stage_names: Vec<&str> = out
+        .manifest
+        .stages
+        .iter()
+        .map(|s| s.name.as_str())
+        .collect();
+    assert!(stage_names.contains(&"flow.select"));
+    assert!(stage_names.contains(&"flow.train"));
+    assert!(
+        stage_names.iter().any(|n| n.starts_with("flow.quantize:")),
+        "stages: {stage_names:?}"
+    );
+    assert!(
+        stage_names.iter().any(|n| n.starts_with("flow.evaluate:")),
+        "stages: {stage_names:?}"
+    );
+    assert!(out.manifest.total_wall_ms() > 0.0);
+    // Stage reports carry their observational extras.
+    assert!(out.pre_quant.wall_ms > 0.0);
+    assert!(out
+        .pre_quant
+        .metrics
+        .iter()
+        .any(|(k, _)| k == "eval.accuracy"));
+}
+
+#[test]
+fn tracing_does_not_perturb_results() {
+    // Attach a sink so the expensive instrumentation paths are active,
+    // then check the flow is still bit-for-bit deterministic.
+    let sink = MemorySink::shared();
+    add_sink(sink.clone());
+
+    let cfg = attack_config();
+    let data = tiny_data();
+    let a = AttackFlow::new(cfg.clone()).run(&data).unwrap();
+    let b = AttackFlow::new(cfg).run(&data).unwrap();
+
+    assert_eq!(a.network.flat_weights(), b.network.flat_weights());
+    assert_eq!(a.pre_quant, b.pre_quant);
+    assert_eq!(a.post_quant, b.post_quant);
+    assert_eq!(a.manifest.config_hash, b.manifest.config_hash);
+    assert_eq!(a.manifest.seed, b.manifest.seed);
+    assert_eq!(a.manifest.threads, b.manifest.threads);
+}
