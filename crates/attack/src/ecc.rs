@@ -1,5 +1,5 @@
 //! Error-corrected LSB payloads: CRC-guarded interleaved repetition and
-//! Hamming(7,4) coding over the [`lsb`](crate::lsb) channel.
+//! Hamming(7,4) coding over the [`crate::lsb`] channel.
 //!
 //! The raw LSB attack of §II-B dies to *any* perturbation of the released
 //! weights. These codes buy it a measurable flip budget: the payload (plus

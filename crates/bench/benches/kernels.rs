@@ -237,7 +237,8 @@ impl KernelRow {
 
 fn backend_comparison() {
     qce_telemetry::progress!(
-        "\nbackend comparison (serial vs 4-thread pool, min of {HARNESS_REPS} runs)"
+        "\nbackend comparison (serial vs 4-thread pool, min of {HARNESS_REPS} runs, {} detected cores)",
+        qce_tensor::par::detected_cores(),
     );
     let mut rng = init::seeded_rng(11);
 
@@ -308,9 +309,14 @@ fn backend_comparison() {
     }
 
     let body: Vec<String> = rows.iter().map(KernelRow::json).collect();
+    // `detected_cores` qualifies every speedup number: on a 1-core host
+    // the pool falls back to inline execution, so "parallel" timings are
+    // really the serial path plus partitioning and the speedup is ~1.0
+    // by construction, not a regression.
     let json = format!(
-        "{{\n  \"bench\": \"kernels\",\n  \"threads\": {{\"serial\": 1, \"parallel\": 4, \"global\": {}}},\n  \"reps\": {},\n  \"kernels\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"bench\": \"kernels\",\n  \"threads\": {{\"serial\": 1, \"parallel\": 4, \"global\": {}, \"detected_cores\": {}}},\n  \"reps\": {},\n  \"kernels\": [\n{}\n  ]\n}}\n",
         Pool::global().threads(),
+        qce_tensor::par::detected_cores(),
         HARNESS_REPS,
         body.join(",\n"),
     );

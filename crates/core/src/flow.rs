@@ -11,12 +11,14 @@ use qce_quant::{
     finetune, quantize_network, FinetuneConfig, KMeansQuantizer, LinearQuantizer, Quantizer,
     TargetCorrelatedQuantizer, WeightedEntropyQuantizer,
 };
+use qce_store::{persist, section_kind, Artifact, CacheKey, StageCache};
 use qce_telemetry::{RunManifest, StageStat};
 use qce_tensor::par::Pool;
 use qce_tensor::Tensor;
 use std::time::Instant;
 
 use crate::faults::FaultPlan;
+use crate::store_io;
 use crate::{
     Architecture, BandRule, FaultedImage, FaultedReport, FlowConfig, FlowError, Grouping,
     ImageReport, QuantConfig, QuantMethod, Result, RobustnessPoint, RobustnessReport, StageReport,
@@ -30,9 +32,23 @@ use crate::{
 /// III sweep bit widths), [`AttackFlow::train`] returns a
 /// [`TrainedAttack`] whose float state can be re-quantized repeatedly
 /// without retraining.
+///
+/// # Checkpoint/resume
+///
+/// With a stage cache attached — explicitly via
+/// [`AttackFlow::with_cache`], or via the `QCE_CACHE` environment
+/// variable — every completed stage (select, train, quantize, each
+/// evaluation) is written to disk as a CRC-guarded
+/// [`Artifact`](qce_store::Artifact), and re-runs with the same
+/// configuration, seed and dataset load those checkpoints instead of
+/// recomputing. Because each stage is deterministic, a resumed run is
+/// bit-for-bit identical to a cold one; a corrupted or truncated
+/// checkpoint (e.g. from a killed run) is detected by its checksums and
+/// silently recomputed.
 #[derive(Debug, Clone)]
 pub struct AttackFlow {
     config: FlowConfig,
+    cache: Option<StageCache>,
 }
 
 /// A trained (but not yet released) attack model: the float network, its
@@ -113,7 +129,26 @@ impl FlowOutcome {
 impl AttackFlow {
     /// Creates a flow with the given configuration.
     pub fn new(config: FlowConfig) -> Self {
-        AttackFlow { config }
+        AttackFlow {
+            config,
+            cache: None,
+        }
+    }
+
+    /// Attaches a stage cache explicitly, overriding the `QCE_CACHE`
+    /// environment variable. Prefer this in tests and library callers —
+    /// unlike the env var it is scoped to the one flow instead of the
+    /// whole process.
+    #[must_use]
+    pub fn with_cache(mut self, cache: StageCache) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// The cache this flow will use: the explicit override if set,
+    /// otherwise whatever `QCE_CACHE` names, otherwise `None`.
+    fn resolve_cache(&self) -> Option<StageCache> {
+        self.cache.clone().or_else(StageCache::from_env)
     }
 
     /// The flow's configuration.
@@ -128,16 +163,30 @@ impl AttackFlow {
     ///
     /// Returns a [`FlowError`] describing the first failing stage.
     pub fn run(&self, dataset: &Dataset) -> Result<FlowOutcome> {
+        let cache = self.resolve_cache();
+        let cache_hash = store_io::flow_cache_hash(&self.config, dataset);
+        let level = if self.config.verbose {
+            qce_telemetry::Level::Progress
+        } else {
+            qce_telemetry::Level::Debug
+        };
         let mut trained = self.train(dataset)?;
-        let pre_quant = trained.float_report()?;
+        trained.restore_float()?;
+        let pre_quant = trained.evaluate_cached(
+            "uncompressed".to_string(),
+            cache.as_ref(),
+            cache_hash,
+            level,
+        )?;
         let mut post_quant = None;
         let mut compression_ratio = None;
         if let Some(qcfg) = self.config.quant {
-            let release = trained.quantize(qcfg)?;
-            compression_ratio = Some(release.compression_ratio);
-            post_quant = Some(release.report);
-            // Leave the network in its released (quantized) state.
-            trained.apply_quantized_state(qcfg)?;
+            // Quantize once and leave the network in its released
+            // (quantized) state, then evaluate that state in place.
+            let ratio = trained.quantize_cached(qcfg, cache.as_ref(), cache_hash, level)?;
+            compression_ratio = Some(ratio);
+            let label = format!("{:?} {}-bit", qcfg.method, qcfg.bits);
+            post_quant = Some(trained.evaluate_cached(label, cache.as_ref(), cache_hash, level)?);
         }
         let mut stages = trained.stage_stats.clone();
         stages.push(StageStat {
@@ -186,6 +235,8 @@ impl AttackFlow {
     pub fn train(&self, dataset: &Dataset) -> Result<TrainedAttack> {
         let cfg = &self.config;
         cfg.validate()?;
+        let cache = self.resolve_cache();
+        let cache_hash = store_io::flow_cache_hash(cfg, dataset);
         let level = if cfg.verbose {
             qce_telemetry::Level::Progress
         } else {
@@ -259,34 +310,56 @@ impl AttackFlow {
                 .map(|&o| slots[o].len)
                 .sum();
             let image_pixels = first.num_pixels();
-            selection_indices = match cfg.band {
-                BandRule::Auto { width } => {
-                    select::select_targets(
-                        &train,
-                        width,
-                        capacity_pixels,
-                        cfg.seed.wrapping_add(2),
-                    )?
-                    .indices
+            let select_key = CacheKey::new(cache_hash, cfg.seed, "select");
+            let cached_indices = cache
+                .as_ref()
+                .and_then(|c| c.load(&select_key))
+                .and_then(|artifact| decode_selection(&artifact, train.len(), &select_key.stage));
+            selection_indices = match cached_indices {
+                Some(indices) => {
+                    log_cache_hit(level, &select_key.stage);
+                    indices
                 }
-                BandRule::Explicit { min, max } => {
-                    let band = select::StdBand::new(min, max)?;
-                    select::select_targets_in_band(
-                        &train,
-                        band,
-                        capacity_pixels,
-                        cfg.seed.wrapping_add(2),
-                    )?
-                    .indices
-                }
-                BandRule::FirstN => {
-                    let n = (capacity_pixels / image_pixels).min(train.len());
-                    if n == 0 {
-                        return Err(FlowError::InvalidConfig {
-                            reason: "no encoding capacity for even one image".to_string(),
-                        });
+                None => {
+                    let indices = match cfg.band {
+                        BandRule::Auto { width } => {
+                            select::select_targets(
+                                &train,
+                                width,
+                                capacity_pixels,
+                                cfg.seed.wrapping_add(2),
+                            )?
+                            .indices
+                        }
+                        BandRule::Explicit { min, max } => {
+                            let band = select::StdBand::new(min, max)?;
+                            select::select_targets_in_band(
+                                &train,
+                                band,
+                                capacity_pixels,
+                                cfg.seed.wrapping_add(2),
+                            )?
+                            .indices
+                        }
+                        BandRule::FirstN => {
+                            let n = (capacity_pixels / image_pixels).min(train.len());
+                            if n == 0 {
+                                return Err(FlowError::InvalidConfig {
+                                    reason: "no encoding capacity for even one image".to_string(),
+                                });
+                            }
+                            (0..n).collect()
+                        }
+                    };
+                    if let Some(c) = &cache {
+                        let mut artifact = Artifact::new();
+                        artifact.push(
+                            section_kind::INDEX_LIST,
+                            persist::indices_to_bytes(&indices),
+                        );
+                        store_stage(c, &select_key, &artifact);
                     }
-                    (0..n).collect()
+                    indices
                 }
             };
             targets = selection_indices
@@ -330,12 +403,47 @@ impl AttackFlow {
             guard: qce_nn::DivergenceGuard::default(),
             verbose: cfg.verbose,
         });
-        let training = trainer.fit(
-            &mut net,
-            &train_x,
-            &train_y,
-            regularizer.as_mut().map(|r| r as &mut dyn Regularizer),
-        )?;
+        let train_key = CacheKey::new(cache_hash, cfg.seed, "train");
+        let mut cached_training = None;
+        if let Some(c) = &cache {
+            if let Some(artifact) = c.load(&train_key) {
+                match load_trained_state(&mut net, &artifact) {
+                    Ok(history) => {
+                        log_cache_hit(level, &train_key.stage);
+                        cached_training = Some(history);
+                    }
+                    Err(e) => note_payload_corrupt(&train_key.stage, &e),
+                }
+            }
+        }
+        let training = match cached_training {
+            Some(history) => history,
+            None => {
+                let history = trainer.fit(
+                    &mut net,
+                    &train_x,
+                    &train_y,
+                    regularizer.as_mut().map(|r| r as &mut dyn Regularizer),
+                )?;
+                if let Some(c) = &cache {
+                    match persist::network_to_bytes(&net) {
+                        Ok(net_bytes) => {
+                            let mut artifact = Artifact::new();
+                            artifact.push(section_kind::NETWORK, net_bytes);
+                            artifact.push(
+                                section_kind::TRAINING_HISTORY,
+                                persist::history_to_bytes(&history),
+                            );
+                            store_stage(c, &train_key, &artifact);
+                        }
+                        Err(e) => qce_telemetry::debug!(
+                            "[flow] skipping train checkpoint (serialization failed): {e}"
+                        ),
+                    }
+                }
+                history
+            }
+        };
         drop(train_span);
         stage_stats.push(StageStat {
             name: "flow.train".to_string(),
@@ -519,6 +627,109 @@ impl TrainedAttack {
             metrics,
         });
         Ok((qnet.compression_ratio(), qnet))
+    }
+
+    /// Evaluates the current network state, going through `cache` when
+    /// one is attached. Evaluation reads the network without mutating
+    /// it, so a hit skips the whole stage safely.
+    fn evaluate_cached(
+        &mut self,
+        label: String,
+        cache: Option<&StageCache>,
+        cache_hash: u64,
+        level: qce_telemetry::Level,
+    ) -> Result<StageReport> {
+        let Some(cache) = cache else {
+            return self.evaluate(label);
+        };
+        let key = CacheKey::new(cache_hash, self.config.seed, format!("evaluate:{label}"));
+        if let Some(artifact) = cache.load(&key) {
+            let decoded = artifact
+                .require(store_io::STAGE_REPORT)
+                .and_then(store_io::report_from_bytes);
+            match decoded {
+                Ok(report) if report.label == label => {
+                    log_cache_hit(level, &key.stage);
+                    return Ok(report);
+                }
+                Ok(report) => note_payload_corrupt(
+                    &key.stage,
+                    &format!("label mismatch: stored {:?}", report.label),
+                ),
+                Err(e) => note_payload_corrupt(&key.stage, &e),
+            }
+        }
+        let report = self.evaluate(label)?;
+        let mut artifact = Artifact::new();
+        artifact.push(store_io::STAGE_REPORT, store_io::report_to_bytes(&report));
+        store_stage(cache, &key, &artifact);
+        Ok(report)
+    }
+
+    /// Restores the float state and applies `qcfg`, going through
+    /// `cache` when one is attached: a hit loads the post-fine-tune
+    /// network and the quantized handle instead of re-running
+    /// quantization and fine-tuning. Leaves the network in its released
+    /// (quantized) state either way and returns the compression ratio.
+    fn quantize_cached(
+        &mut self,
+        qcfg: QuantConfig,
+        cache: Option<&StageCache>,
+        cache_hash: u64,
+        level: qce_telemetry::Level,
+    ) -> Result<f64> {
+        self.restore_float()?;
+        let Some(cache) = cache else {
+            return Ok(self.quantize_in_place(qcfg)?.0);
+        };
+        let key = CacheKey::new(cache_hash, self.config.seed, "quantize");
+        if let Some(artifact) = cache.load(&key) {
+            match self.load_quantized_state(&artifact) {
+                Ok(ratio) => {
+                    log_cache_hit(level, &key.stage);
+                    self.stage_stats.push(StageStat {
+                        name: format!("flow.quantize:{:?} {}-bit", qcfg.method, qcfg.bits),
+                        wall_ms: 0.0,
+                        metrics: vec![("quant.compression_ratio".to_string(), ratio)],
+                    });
+                    return Ok(ratio);
+                }
+                Err(e) => note_payload_corrupt(&key.stage, &e),
+            }
+        }
+        let (ratio, qnet) = self.quantize_in_place(qcfg)?;
+        let payloads = persist::network_to_bytes(&self.network)
+            .and_then(|nb| persist::quantized_to_bytes(&qnet).map(|qb| (nb, qb)));
+        match payloads {
+            Ok((net_bytes, qnet_bytes)) => {
+                let mut artifact = Artifact::new();
+                artifact.push(section_kind::NETWORK, net_bytes);
+                artifact.push(section_kind::QUANTIZED_NETWORK, qnet_bytes);
+                store_stage(cache, &key, &artifact);
+            }
+            Err(e) => qce_telemetry::debug!(
+                "[flow] skipping quantize checkpoint (serialization failed): {e}"
+            ),
+        }
+        Ok(ratio)
+    }
+
+    /// Applies a cached quantize artifact: the network section holds the
+    /// released (post-fine-tune) weights and buffers, the quantized
+    /// section rebuilds the handle the compression ratio comes from.
+    fn load_quantized_state(&mut self, artifact: &Artifact) -> qce_store::Result<f64> {
+        let net_bytes = artifact.require(section_kind::NETWORK)?;
+        let qnet =
+            persist::quantized_from_bytes(artifact.require(section_kind::QUANTIZED_NETWORK)?)?;
+        // `network_from_bytes` mutates parameters as it parses; guard
+        // with a snapshot so a payload that fails mid-way cannot leave a
+        // half-loaded network behind the recompute path.
+        let guard = self.network.snapshot();
+        if let Err(e) = persist::network_from_bytes(&mut self.network, net_bytes) {
+            let _ = self.network.restore(&guard);
+            return Err(e);
+        }
+        Ok(qnet.compression_ratio())
     }
 
     /// Evaluates a *faulted* release: restores the float state, optionally
@@ -736,6 +947,65 @@ impl TrainedAttack {
         let decoder = Decoder::new(layout.clone(), self.config.sign);
         Ok(decoder.decode(&self.network.flat_weights())?)
     }
+}
+
+fn log_cache_hit(level: qce_telemetry::Level, stage: &str) {
+    qce_telemetry::log_line(level, &format!("[flow] stage cache hit: {stage}"));
+}
+
+/// A checkpoint that passed the container checksums but whose *payload*
+/// failed to decode (wrong architecture, truncated inner format, stale
+/// semantics). Counted under the same `store.corrupt` metric as
+/// container-level damage; the caller recomputes.
+fn note_payload_corrupt(stage: &str, err: &dyn std::fmt::Display) {
+    qce_telemetry::counter("store.corrupt").incr(1);
+    qce_telemetry::debug!("[flow] discarding cache entry for {stage}: {err}");
+}
+
+/// Writes a stage checkpoint; failures are logged and swallowed — a
+/// read-only or full cache directory must never fail the flow itself.
+fn store_stage(cache: &StageCache, key: &CacheKey, artifact: &Artifact) {
+    if let Err(e) = cache.store(key, artifact) {
+        qce_telemetry::debug!(
+            "[flow] stage checkpoint write failed for {}: {e}",
+            key.stage
+        );
+    }
+}
+
+/// Decodes a cached selection, rejecting indices outside the training
+/// split (possible only if a foreign artifact lands under our key).
+fn decode_selection(artifact: &Artifact, train_len: usize, stage: &str) -> Option<Vec<usize>> {
+    let decoded = artifact
+        .require(section_kind::INDEX_LIST)
+        .and_then(persist::indices_from_bytes);
+    match decoded {
+        Ok(indices) if indices.iter().all(|&i| i < train_len) => Some(indices),
+        Ok(_) => {
+            note_payload_corrupt(stage, &"selection index out of range");
+            None
+        }
+        Err(e) => {
+            note_payload_corrupt(stage, &e);
+            None
+        }
+    }
+}
+
+/// Loads a cached train checkpoint (float weights + buffers + history)
+/// into `net`, snapshot-guarded so a bad payload leaves `net` untouched.
+fn load_trained_state(
+    net: &mut Network,
+    artifact: &Artifact,
+) -> qce_store::Result<TrainingHistory> {
+    let net_bytes = artifact.require(section_kind::NETWORK)?;
+    let history = persist::history_from_bytes(artifact.require(section_kind::TRAINING_HISTORY)?)?;
+    let guard = net.snapshot();
+    if let Err(e) = persist::network_from_bytes(net, net_bytes) {
+        let _ = net.restore(&guard);
+        return Err(e);
+    }
+    Ok(history)
 }
 
 #[cfg(test)]

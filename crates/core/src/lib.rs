@@ -50,12 +50,13 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod config;
 mod error;
 mod flow;
 mod report;
+mod store_io;
 
 pub mod audit;
 pub mod defense;

@@ -1,0 +1,221 @@
+//! Flow-side glue for the [`qce_store`] stage cache: the cache-key
+//! derivation and the [`StageReport`] section codec.
+//!
+//! `qce-store` sits *below* this crate in the dependency graph, so it
+//! cannot know about [`StageReport`]; this module serializes it with the
+//! store's public [`codec`](qce_store::codec) primitives under a section
+//! kind from the downstream range
+//! ([`section_kind::DOWNSTREAM_BASE`](qce_store::section_kind)).
+//!
+//! The cache key hash covers *both inputs* of the deterministic pipeline:
+//! the FNV-1a hash of the flow configuration (the same value the run
+//! manifest records) extended over a fingerprint of the dataset. Without
+//! the dataset component, two runs with identical configs on different
+//! data would collide on the same cache entries.
+
+use qce_data::Dataset;
+use qce_store::codec::{ByteReader, ByteWriter};
+use qce_store::{section_kind, StoreError};
+
+use crate::{FlowConfig, ImageReport, StageReport};
+
+/// Section kind tag for a serialized [`StageReport`].
+pub(crate) const STAGE_REPORT: u16 = section_kind::DOWNSTREAM_BASE;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv1a_extend(mut hash: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+/// The hash component of every stage cache key for a `(config, dataset)`
+/// pair: the manifest's config hash, extended FNV-1a style over the
+/// dataset's class count, length, per-image geometry, pixels, and labels.
+pub(crate) fn flow_cache_hash(config: &FlowConfig, dataset: &Dataset) -> u64 {
+    let config_hash = qce_telemetry::fnv1a(&format!("{config:?}"));
+    let mut h = fnv1a_extend(FNV_OFFSET, &config_hash.to_le_bytes());
+    h = fnv1a_extend(h, &(dataset.classes() as u64).to_le_bytes());
+    h = fnv1a_extend(h, &(dataset.len() as u64).to_le_bytes());
+    for (image, &label) in dataset.images().iter().zip(dataset.labels()) {
+        h = fnv1a_extend(h, &(image.channels() as u32).to_le_bytes());
+        h = fnv1a_extend(h, &(image.height() as u32).to_le_bytes());
+        h = fnv1a_extend(h, &(image.width() as u32).to_le_bytes());
+        h = fnv1a_extend(h, image.pixels());
+        h = fnv1a_extend(h, &(label as u64).to_le_bytes());
+    }
+    h
+}
+
+/// Serializes a [`StageReport`] — including the observational `wall_ms`
+/// and `metrics` fields, so a cache-loaded report still renders sensible
+/// manifest stage stats.
+pub(crate) fn report_to_bytes(report: &StageReport) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.put_str(&report.label).put_f32(report.accuracy);
+    w.put_u64(report.images.len() as u64);
+    for img in &report.images {
+        w.put_u64(img.target_index as u64)
+            .put_u64(img.dataset_index as u64)
+            .put_u64(img.group as u64)
+            .put_f32(img.mape)
+            .put_f32(img.ssim)
+            .put_u8(u8::from(img.recognized));
+    }
+    w.put_f32_slice(&report.group_correlations);
+    w.put_f64(report.wall_ms);
+    w.put_u64(report.metrics.len() as u64);
+    for (name, value) in &report.metrics {
+        w.put_str(name).put_f64(*value);
+    }
+    w.finish()
+}
+
+/// Reads a payload written by [`report_to_bytes`].
+pub(crate) fn report_from_bytes(bytes: &[u8]) -> Result<StageReport, StoreError> {
+    let mut r = ByteReader::new(bytes);
+    let label = r.str()?;
+    let accuracy = r.f32()?;
+    let image_count = r.len_u64()?;
+    let mut images = Vec::with_capacity(image_count.min(bytes.len() / 33));
+    for _ in 0..image_count {
+        images.push(ImageReport {
+            target_index: r.len_u64()?,
+            dataset_index: r.len_u64()?,
+            group: r.len_u64()?,
+            mape: r.f32()?,
+            ssim: r.f32()?,
+            recognized: r.u8()? != 0,
+        });
+    }
+    let group_correlations = r.f32_vec()?;
+    let wall_ms = r.f64()?;
+    let metric_count = r.len_u64()?;
+    let mut metrics = Vec::with_capacity(metric_count.min(bytes.len() / 16));
+    for _ in 0..metric_count {
+        let name = r.str()?;
+        let value = r.f64()?;
+        metrics.push((name, value));
+    }
+    r.expect_empty()?;
+    Ok(StageReport {
+        label,
+        accuracy,
+        images,
+        group_correlations,
+        wall_ms,
+        metrics,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use qce_data::SynthCifar;
+
+    fn f32_bits() -> impl Strategy<Value = f32> {
+        any::<u32>().prop_map(f32::from_bits)
+    }
+
+    // The vendored proptest has no tuple strategies, so a report is
+    // assembled from parallel per-field vectors zipped to a common length.
+    fn build_report(
+        label: Vec<u8>,
+        accuracy: f32,
+        quality: Vec<f32>,
+        recognized: Vec<bool>,
+        group_correlations: Vec<f32>,
+    ) -> StageReport {
+        let images = quality
+            .iter()
+            .zip(&recognized)
+            .enumerate()
+            .map(|(i, (&q, &rec))| ImageReport {
+                target_index: i,
+                dataset_index: i * 7 + 3,
+                group: i % 3,
+                mape: q,
+                ssim: q * 0.5 - 1.0,
+                recognized: rec,
+            })
+            .collect();
+        StageReport {
+            label: label.into_iter().map(|b| char::from(b & 0x7F)).collect(),
+            accuracy,
+            images,
+            group_correlations,
+            wall_ms: 12.5,
+            metrics: vec![("eval.accuracy".to_string(), 0.5)],
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn stage_report_round_trip_is_identity(
+            label in prop::collection::vec(any::<u8>(), 0..12),
+            accuracy in f32_bits(),
+            quality in prop::collection::vec(f32_bits(), 0..8),
+            recognized in prop::collection::vec(any::<bool>(), 8),
+            group_correlations in prop::collection::vec(f32_bits(), 0..6),
+        ) {
+            let report = build_report(label, accuracy, quality, recognized, group_correlations);
+            let back = report_from_bytes(&report_to_bytes(&report)).unwrap();
+            // StageReport::eq ignores observational fields; check the lot.
+            let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+            prop_assert_eq!(&back.label, &report.label);
+            prop_assert_eq!(back.accuracy.to_bits(), report.accuracy.to_bits());
+            prop_assert_eq!(back.images.len(), report.images.len());
+            for (a, b) in back.images.iter().zip(&report.images) {
+                prop_assert_eq!(a.target_index, b.target_index);
+                prop_assert_eq!(a.dataset_index, b.dataset_index);
+                prop_assert_eq!(a.group, b.group);
+                prop_assert_eq!(a.mape.to_bits(), b.mape.to_bits());
+                prop_assert_eq!(a.ssim.to_bits(), b.ssim.to_bits());
+                prop_assert_eq!(a.recognized, b.recognized);
+            }
+            prop_assert_eq!(
+                bits(&back.group_correlations),
+                bits(&report.group_correlations)
+            );
+            prop_assert_eq!(back.wall_ms, report.wall_ms);
+            prop_assert_eq!(&back.metrics, &report.metrics);
+        }
+
+        #[test]
+        fn stage_report_truncations_error(
+            label in prop::collection::vec(any::<u8>(), 0..12),
+            quality in prop::collection::vec(f32_bits(), 1..8),
+            recognized in prop::collection::vec(any::<bool>(), 8),
+            cut in any::<usize>(),
+        ) {
+            let report = build_report(label, 0.5, quality, recognized, vec![0.9]);
+            let bytes = report_to_bytes(&report);
+            let len = cut % bytes.len().max(1);
+            if len < bytes.len() {
+                prop_assert!(report_from_bytes(&bytes[..len]).is_err());
+            }
+        }
+    }
+
+    #[test]
+    fn cache_hash_separates_configs_and_datasets() {
+        let data_a = SynthCifar::new(8).classes(4).generate(24, 5).unwrap();
+        let data_b = SynthCifar::new(8).classes(4).generate(24, 6).unwrap();
+        let cfg_a = FlowConfig::tiny();
+        let cfg_b = FlowConfig {
+            epochs: cfg_a.epochs + 1,
+            ..FlowConfig::tiny()
+        };
+        let base = flow_cache_hash(&cfg_a, &data_a);
+        assert_eq!(base, flow_cache_hash(&cfg_a, &data_a));
+        assert_ne!(base, flow_cache_hash(&cfg_b, &data_a));
+        assert_ne!(base, flow_cache_hash(&cfg_a, &data_b));
+    }
+}

@@ -1,0 +1,323 @@
+//! The content-addressed on-disk stage cache.
+//!
+//! A cache entry is one [`Artifact`] file whose name is derived from
+//! *what produced it*: the FNV-1a hash of the flow configuration, the
+//! run seed, and the stage name. Because every stage of the flow is a
+//! deterministic function of (config, seed, dataset-generation seed),
+//! two runs with the same key would compute bit-identical artifacts —
+//! which is exactly what makes loading one instead safe.
+//!
+//! Failure policy: a probe ([`StageCache::load`]) *never* errors. A
+//! missing file is a miss (`store.miss`); a file that fails magic,
+//! version, structural, or CRC validation is counted as `store.corrupt`
+//! and treated as a miss, so a damaged cache degrades to recomputation,
+//! never to a wrong result. Writes go through a temp file in the cache
+//! directory followed by an atomic rename, so a killed run can leave at
+//! most a stale `*.tmp.*` file behind — never a torn artifact under a
+//! live key.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::{Artifact, Result, StoreError};
+
+/// Environment variable naming the cache directory.
+///
+/// When set (and non-empty), [`StageCache::from_env`] returns a cache
+/// rooted there; the flow then reuses completed stages across runs.
+pub const CACHE_ENV: &str = "QCE_CACHE";
+
+/// Identifies one cached stage result.
+///
+/// # Examples
+///
+/// ```
+/// use qce_store::CacheKey;
+///
+/// let key = CacheKey::new(0xdead_beef, 7, "evaluate:TargetCorrelated 4-bit");
+/// assert_eq!(
+///     key.file_name(),
+///     "00000000deadbeef-s7-evaluate-targetcorrelated-4-bit.qcs"
+/// );
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheKey {
+    /// FNV-1a hash of the run configuration (the same value the
+    /// telemetry `RunManifest` records as `config_hash`).
+    pub config_hash: u64,
+    /// The run's master seed.
+    pub seed: u64,
+    /// Stage name, e.g. `train` or `evaluate:uncompressed`.
+    pub stage: String,
+}
+
+impl CacheKey {
+    /// A key for `stage` under (`config_hash`, `seed`).
+    pub fn new(config_hash: u64, seed: u64, stage: impl Into<String>) -> Self {
+        CacheKey {
+            config_hash,
+            seed,
+            stage: stage.into(),
+        }
+    }
+
+    /// The artifact file name this key addresses:
+    /// `{config_hash:016x}-s{seed}-{stage}.qcs`, with the stage
+    /// lower-cased and every non-alphanumeric run collapsed to `-` so
+    /// arbitrary stage labels stay filesystem-safe.
+    #[must_use]
+    pub fn file_name(&self) -> String {
+        let mut stage = String::with_capacity(self.stage.len());
+        let mut last_dash = false;
+        for c in self.stage.chars() {
+            if c.is_ascii_alphanumeric() {
+                stage.extend(c.to_lowercase());
+                last_dash = false;
+            } else if !last_dash {
+                stage.push('-');
+                last_dash = true;
+            }
+        }
+        format!("{:016x}-s{}-{}.qcs", self.config_hash, self.seed, stage)
+    }
+}
+
+/// Cached telemetry handles — registry lookups happen once per process.
+struct CacheStats {
+    hit: qce_telemetry::Counter,
+    miss: qce_telemetry::Counter,
+    corrupt: qce_telemetry::Counter,
+    write: qce_telemetry::Counter,
+}
+
+fn cache_stats() -> &'static CacheStats {
+    use std::sync::OnceLock;
+    static STATS: OnceLock<CacheStats> = OnceLock::new();
+    STATS.get_or_init(|| CacheStats {
+        hit: qce_telemetry::counter("store.hit"),
+        miss: qce_telemetry::counter("store.miss"),
+        corrupt: qce_telemetry::counter("store.corrupt"),
+        write: qce_telemetry::counter("store.write"),
+    })
+}
+
+/// A content-addressed artifact cache rooted at one directory.
+///
+/// # Examples
+///
+/// ```no_run
+/// use qce_store::{Artifact, CacheKey, StageCache, section_kind};
+///
+/// # fn main() -> Result<(), qce_store::StoreError> {
+/// let cache = StageCache::at("/tmp/qce-cache");
+/// let key = CacheKey::new(1, 7, "select");
+/// if cache.load(&key).is_none() {
+///     let mut artifact = Artifact::new();
+///     artifact.push(section_kind::INDEX_LIST, vec![]);
+///     cache.store(&key, &artifact)?;
+/// }
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageCache {
+    dir: PathBuf,
+}
+
+impl StageCache {
+    /// A cache rooted at `dir` (created lazily on first write).
+    pub fn at(dir: impl Into<PathBuf>) -> Self {
+        StageCache { dir: dir.into() }
+    }
+
+    /// The cache named by the `QCE_CACHE` environment variable, or
+    /// `None` when the variable is unset or empty.
+    #[must_use]
+    pub fn from_env() -> Option<Self> {
+        match std::env::var(CACHE_ENV) {
+            Ok(dir) if !dir.trim().is_empty() => Some(StageCache::at(dir.trim())),
+            _ => None,
+        }
+    }
+
+    /// The cache's root directory.
+    #[must_use]
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The artifact path `key` addresses (whether or not it exists).
+    #[must_use]
+    pub fn path_for(&self, key: &CacheKey) -> PathBuf {
+        self.dir.join(key.file_name())
+    }
+
+    /// Probes the cache: returns the verified artifact on a hit, `None`
+    /// otherwise.
+    ///
+    /// Increments `store.hit` on success. A missing file increments
+    /// `store.miss`; a file that exists but fails verification (wrong
+    /// magic or format version, truncation, CRC mismatch) increments
+    /// `store.corrupt` *and* `store.miss` — corruption is a reason for a
+    /// miss, never an error the caller has to handle.
+    #[must_use]
+    pub fn load(&self, key: &CacheKey) -> Option<Artifact> {
+        let stats = cache_stats();
+        let path = self.path_for(key);
+        let bytes = match std::fs::read(&path) {
+            Ok(bytes) => bytes,
+            Err(_) => {
+                stats.miss.incr(1);
+                return None;
+            }
+        };
+        match Artifact::from_bytes(&bytes) {
+            Ok(artifact) => {
+                stats.hit.incr(1);
+                Some(artifact)
+            }
+            Err(e) => {
+                stats.corrupt.incr(1);
+                stats.miss.incr(1);
+                qce_telemetry::debug!(
+                    "[store] discarding corrupt cache artifact {}: {e}",
+                    path.display()
+                );
+                None
+            }
+        }
+    }
+
+    /// Writes `artifact` under `key` atomically: the bytes go to a
+    /// process-unique temp file in the cache directory, which is then
+    /// renamed over the final path. Readers therefore observe either the
+    /// old entry, or the complete new one — never a torn write.
+    ///
+    /// Increments `store.write` on success.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Io`] when the directory cannot be created
+    /// or the file cannot be written/renamed.
+    pub fn store(&self, key: &CacheKey, artifact: &Artifact) -> Result<PathBuf> {
+        static WRITE_SEQ: AtomicU64 = AtomicU64::new(0);
+        std::fs::create_dir_all(&self.dir)
+            .map_err(|e| StoreError::io(format!("creating cache dir {}", self.dir.display()), e))?;
+        let path = self.path_for(key);
+        let tmp = self.dir.join(format!(
+            "{}.tmp.{}.{}",
+            key.file_name(),
+            std::process::id(),
+            WRITE_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let bytes = artifact.to_bytes();
+        std::fs::write(&tmp, &bytes)
+            .map_err(|e| StoreError::io(format!("writing {}", tmp.display()), e))?;
+        if let Err(e) = std::fs::rename(&tmp, &path) {
+            let _ = std::fs::remove_file(&tmp);
+            return Err(StoreError::io(
+                format!("renaming {} over {}", tmp.display(), path.display()),
+                e,
+            ));
+        }
+        cache_stats().write.incr(1);
+        Ok(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::section_kind;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn temp_cache(tag: &str) -> StageCache {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "qce-store-test-{}-{}-{}",
+            tag,
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        StageCache::at(dir)
+    }
+
+    fn artifact() -> Artifact {
+        let mut a = Artifact::new();
+        a.push(section_kind::INDEX_LIST, vec![4, 5, 6]);
+        a
+    }
+
+    #[test]
+    fn file_names_are_sanitized_and_stable() {
+        let key = CacheKey::new(0xABCD, 3, "quantize:KMeans 4-bit");
+        assert_eq!(
+            key.file_name(),
+            "000000000000abcd-s3-quantize-kmeans-4-bit.qcs"
+        );
+        // Distinct stages, seeds and hashes address distinct files.
+        assert_ne!(
+            CacheKey::new(1, 1, "train").file_name(),
+            CacheKey::new(1, 1, "select").file_name()
+        );
+        assert_ne!(
+            CacheKey::new(1, 1, "train").file_name(),
+            CacheKey::new(1, 2, "train").file_name()
+        );
+        assert_ne!(
+            CacheKey::new(1, 1, "train").file_name(),
+            CacheKey::new(2, 1, "train").file_name()
+        );
+    }
+
+    #[test]
+    fn store_then_load_round_trips() {
+        let cache = temp_cache("roundtrip");
+        let key = CacheKey::new(11, 7, "train");
+        let hit0 = cache_stats().hit.get();
+        let miss0 = cache_stats().miss.get();
+        assert!(cache.load(&key).is_none());
+        assert_eq!(cache_stats().miss.get() - miss0, 1);
+        let path = cache.store(&key, &artifact()).unwrap();
+        assert!(path.ends_with(key.file_name()));
+        assert_eq!(cache.load(&key).unwrap(), artifact());
+        assert_eq!(cache_stats().hit.get() - hit0, 1);
+        // No temp files survive a successful store.
+        let leftovers: Vec<_> = std::fs::read_dir(cache.dir())
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp."))
+            .collect();
+        assert!(leftovers.is_empty(), "{leftovers:?}");
+        std::fs::remove_dir_all(cache.dir()).unwrap();
+    }
+
+    #[test]
+    fn corrupt_file_is_a_counted_miss() {
+        let cache = temp_cache("corrupt");
+        let key = CacheKey::new(12, 7, "train");
+        let path = cache.store(&key, &artifact()).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        *bytes.last_mut().unwrap() ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+        let corrupt0 = cache_stats().corrupt.get();
+        assert!(cache.load(&key).is_none());
+        assert_eq!(cache_stats().corrupt.get() - corrupt0, 1);
+        // Truncated file: also a miss.
+        std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+        assert!(cache.load(&key).is_none());
+        std::fs::remove_dir_all(cache.dir()).unwrap();
+    }
+
+    #[test]
+    fn store_overwrites_existing_entry() {
+        let cache = temp_cache("overwrite");
+        let key = CacheKey::new(13, 7, "select");
+        cache.store(&key, &artifact()).unwrap();
+        let mut newer = Artifact::new();
+        newer.push(section_kind::INDEX_LIST, vec![9]);
+        cache.store(&key, &newer).unwrap();
+        assert_eq!(cache.load(&key).unwrap(), newer);
+        std::fs::remove_dir_all(cache.dir()).unwrap();
+    }
+}

@@ -1,0 +1,94 @@
+use std::fmt;
+
+/// Error type of the artifact format and the stage cache.
+///
+/// Cache *probes* never surface these: a malformed or unreadable artifact
+/// is treated as a miss by [`StageCache::load`](crate::StageCache::load).
+/// The errors exist for the write path and for callers that decode
+/// artifacts directly.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum StoreError {
+    /// Reading or writing the artifact file failed.
+    Io {
+        /// What the store was doing when the I/O failed.
+        context: String,
+        /// The underlying I/O error.
+        source: std::io::Error,
+    },
+    /// The bytes are not a valid artifact (bad magic, unsupported
+    /// version, truncation, or an out-of-range section table).
+    Format {
+        /// Why the bytes were rejected.
+        reason: String,
+    },
+    /// A section's stored CRC-32 does not match its payload — the
+    /// artifact was damaged after it was written.
+    Corrupt {
+        /// The section kind whose checksum failed.
+        kind: u16,
+        /// CRC recorded in the section table.
+        expected: u32,
+        /// CRC of the payload as read.
+        actual: u32,
+    },
+    /// The artifact decoded, but a typed payload inside it did not
+    /// (e.g. a network section that does not match the target
+    /// architecture).
+    Payload {
+        /// Why the payload was rejected.
+        reason: String,
+    },
+}
+
+impl StoreError {
+    pub(crate) fn io(context: impl Into<String>, source: std::io::Error) -> Self {
+        StoreError::Io {
+            context: context.into(),
+            source,
+        }
+    }
+
+    pub(crate) fn format(reason: impl Into<String>) -> Self {
+        StoreError::Format {
+            reason: reason.into(),
+        }
+    }
+
+    pub(crate) fn payload(reason: impl Into<String>) -> Self {
+        StoreError::Payload {
+            reason: reason.into(),
+        }
+    }
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io { context, source } => write!(f, "{context}: {source}"),
+            StoreError::Format { reason } => write!(f, "malformed artifact: {reason}"),
+            StoreError::Corrupt {
+                kind,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "section kind {kind} failed its CRC check \
+                 (stored {expected:#010x}, computed {actual:#010x})"
+            ),
+            StoreError::Payload { reason } => write!(f, "artifact payload rejected: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, StoreError>;

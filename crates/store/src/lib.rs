@@ -1,0 +1,72 @@
+//! Versioned binary artifacts and a content-addressed stage cache for
+//! the qce attack flow.
+//!
+//! The attack pipeline (select → train → quantize → evaluate) is
+//! expensive at the front and cheap at the back, and every stage is a
+//! deterministic function of the run configuration and seed. This crate
+//! turns that determinism into checkpoint/resume: each completed stage
+//! is serialized into a self-verifying [`Artifact`] file and stored in a
+//! [`StageCache`] keyed by `(config hash, seed, stage name)`. A later
+//! run with the same key loads the artifact instead of recomputing —
+//! bit-for-bit identical to the cold run, because the artifacts store
+//! IEEE-754 bit patterns, not decimal approximations.
+//!
+//! Three layers, bottom up:
+//!
+//! - [`codec`] — little-endian payload primitives ([`codec::ByteWriter`]
+//!   / [`codec::ByteReader`]) shared by every section codec, including
+//!   downstream crates that serialize their own types.
+//! - [`mod@format`] — the `QCES` container: magic, format version, a
+//!   section table, and a CRC-32 per section (the same CRC-32 that
+//!   guards LSB-encoded payloads in `qce-attack`). [`Artifact`] is
+//!   fully verified on read.
+//! - [`cache`] — [`StageCache`], the content-addressed directory of
+//!   artifacts with atomic writes and miss-on-corruption semantics,
+//!   plus [`CacheKey`]. Activated for flows via the `QCE_CACHE`
+//!   environment variable.
+//!
+//! [`persist`] holds the typed payload codecs for the workspace types
+//! this crate sits above: trained networks, quantized networks, index
+//! lists, and training histories. The `qce` flow crate defines its own
+//! stage-report codec on top of [`codec`] with a tag from the
+//! [`section_kind::DOWNSTREAM_BASE`] range.
+//!
+//! # Example: checkpointing a payload
+//!
+//! ```
+//! use qce_store::{Artifact, CacheKey, StageCache, section_kind};
+//!
+//! # fn main() -> Result<(), qce_store::StoreError> {
+//! # let dir = std::env::temp_dir().join(format!("qce-store-doc-{}", std::process::id()));
+//! let cache = StageCache::at(&dir);
+//! let key = CacheKey::new(0x1234, 7, "select");
+//!
+//! // Cold: miss, compute, store.
+//! assert!(cache.load(&key).is_none());
+//! let mut artifact = Artifact::new();
+//! artifact.push(section_kind::INDEX_LIST, qce_store::persist::indices_to_bytes(&[3, 1, 4]));
+//! cache.store(&key, &artifact)?;
+//!
+//! // Warm: verified hit.
+//! let cached = cache.load(&key).expect("hit");
+//! let indices = qce_store::persist::indices_from_bytes(
+//!     cached.require(section_kind::INDEX_LIST)?,
+//! )?;
+//! assert_eq!(indices, vec![3, 1, 4]);
+//! # std::fs::remove_dir_all(&dir).ok();
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod cache;
+pub mod codec;
+mod error;
+pub mod format;
+pub mod persist;
+
+pub use cache::{CacheKey, StageCache, CACHE_ENV};
+pub use error::{Result, StoreError};
+pub use format::{section_kind, Artifact, Section, FORMAT_VERSION, MAGIC};

@@ -1,0 +1,214 @@
+//! Typed section payload codecs for the workspace types the store knows
+//! about: trained networks, quantized networks, selected-dataset index
+//! lists, and training histories.
+//!
+//! Each codec produces the *payload bytes* of one section; pair them
+//! with the [`section_kind`](crate::section_kind) tags when building an
+//! [`Artifact`](crate::Artifact). Types defined above this crate in the
+//! dependency graph (`qce`'s stage reports) implement their own codecs
+//! with [`codec`](crate::codec) and a downstream kind tag.
+//!
+//! Everything here is bitwise-lossless: floats are stored as IEEE-754
+//! bit patterns, so a payload deserialized on any platform reproduces
+//! the exact weights that were serialized — the property the
+//! resume-equals-cold-run determinism contract rests on.
+
+use qce_nn::{serialize, Network, TrainingHistory};
+use qce_quant::{deploy, QuantizedNetwork};
+
+use crate::codec::{ByteReader, ByteWriter};
+use crate::{Result, StoreError};
+
+/// Serializes a network's parameters and buffers.
+///
+/// The payload wraps the `qce-nn` model format (its own magic and
+/// version included), so a network section extracted from an artifact is
+/// also a valid standalone model file.
+///
+/// # Errors
+///
+/// Returns [`StoreError::Payload`] wrapping any serialization failure.
+pub fn network_to_bytes(net: &Network) -> Result<Vec<u8>> {
+    let mut bytes = Vec::new();
+    serialize::save_network(net, &mut bytes)
+        .map_err(|e| StoreError::payload(format!("network serialization failed: {e}")))?;
+    Ok(bytes)
+}
+
+/// Loads a payload written by [`network_to_bytes`] into an existing
+/// network of the same architecture.
+///
+/// The caller provides the shell (rebuilt from configuration, exactly as
+/// the adversary of the threat model does) because the payload stores
+/// parameters, not architecture.
+///
+/// # Errors
+///
+/// Returns [`StoreError::Payload`] for malformed payloads or an
+/// architecture mismatch.
+pub fn network_from_bytes(net: &mut Network, bytes: &[u8]) -> Result<()> {
+    serialize::load_network(net, bytes)
+        .map_err(|e| StoreError::payload(format!("network deserialization failed: {e}")))
+}
+
+/// Serializes a quantized network: per-tensor codebooks and the packed
+/// cluster-index stream, via the `qce-quant` deployment format.
+///
+/// # Errors
+///
+/// Returns [`StoreError::Payload`] wrapping any serialization failure.
+pub fn quantized_to_bytes(qnet: &QuantizedNetwork) -> Result<Vec<u8>> {
+    let mut bytes = Vec::new();
+    deploy::write_deployment(qnet, &mut bytes)
+        .map_err(|e| StoreError::payload(format!("quantized serialization failed: {e}")))?;
+    Ok(bytes)
+}
+
+/// Reads a payload written by [`quantized_to_bytes`] back into a
+/// [`QuantizedNetwork`] handle.
+///
+/// # Errors
+///
+/// Returns [`StoreError::Payload`] for malformed payloads.
+pub fn quantized_from_bytes(bytes: &[u8]) -> Result<QuantizedNetwork> {
+    deploy::read_deployment(bytes)
+        .map_err(|e| StoreError::payload(format!("quantized deserialization failed: {e}")))
+}
+
+/// Serializes a selected-dataset index list (the select stage's output).
+#[must_use]
+pub fn indices_to_bytes(indices: &[usize]) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.put_u64(indices.len() as u64);
+    for &i in indices {
+        w.put_u64(i as u64);
+    }
+    w.finish()
+}
+
+/// Reads an index list written by [`indices_to_bytes`].
+///
+/// # Errors
+///
+/// Returns [`StoreError::Format`] for truncated or oversized payloads.
+pub fn indices_from_bytes(bytes: &[u8]) -> Result<Vec<usize>> {
+    let mut r = ByteReader::new(bytes);
+    let len = r.len_u64()?;
+    let mut out = Vec::with_capacity(len.min(r.remaining() / 8));
+    for _ in 0..len {
+        out.push(r.len_u64()?);
+    }
+    r.expect_empty()?;
+    Ok(out)
+}
+
+/// Serializes a [`TrainingHistory`] (per-epoch losses and penalties plus
+/// the rollback count).
+#[must_use]
+pub fn history_to_bytes(history: &TrainingHistory) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.put_f32_slice(&history.epoch_losses)
+        .put_f32_slice(&history.epoch_penalties)
+        .put_u64(history.rollbacks as u64);
+    w.finish()
+}
+
+/// Reads a payload written by [`history_to_bytes`].
+///
+/// # Errors
+///
+/// Returns [`StoreError::Format`] for truncated payloads.
+pub fn history_from_bytes(bytes: &[u8]) -> Result<TrainingHistory> {
+    let mut r = ByteReader::new(bytes);
+    let epoch_losses = r.f32_vec()?;
+    let epoch_penalties = r.f32_vec()?;
+    let rollbacks = r.len_u64()?;
+    r.expect_empty()?;
+    Ok(TrainingHistory {
+        epoch_losses,
+        epoch_penalties,
+        rollbacks,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qce_nn::models::ResNetLite;
+    use qce_nn::Mode;
+    use qce_quant::{quantize_network, LinearQuantizer};
+    use qce_tensor::init;
+
+    fn net(seed: u64) -> Network {
+        ResNetLite::builder()
+            .input(1, 8)
+            .classes(3)
+            .stage_channels(&[4, 8])
+            .blocks_per_stage(1)
+            .build(seed)
+            .unwrap()
+    }
+
+    #[test]
+    fn network_round_trip_is_bitwise() {
+        let mut original = net(1);
+        // Touch batch-norm running stats so buffers carry state.
+        let x = init::uniform(&[4, 1, 8, 8], 0.0, 1.0, &mut init::seeded_rng(2));
+        original.forward(&x, Mode::Train).unwrap();
+        let bytes = network_to_bytes(&original).unwrap();
+        let mut restored = net(77);
+        network_from_bytes(&mut restored, &bytes).unwrap();
+        assert_eq!(restored.flat_weights(), original.flat_weights());
+        assert_eq!(restored.snapshot().buffers(), original.snapshot().buffers());
+    }
+
+    #[test]
+    fn network_payload_rejects_architecture_mismatch() {
+        let bytes = network_to_bytes(&net(1)).unwrap();
+        let mut other = ResNetLite::builder()
+            .input(1, 8)
+            .classes(3)
+            .stage_channels(&[6])
+            .blocks_per_stage(1)
+            .build(1)
+            .unwrap();
+        assert!(matches!(
+            network_from_bytes(&mut other, &bytes),
+            Err(StoreError::Payload { .. })
+        ));
+    }
+
+    #[test]
+    fn quantized_round_trip_preserves_handle() {
+        let mut n = net(3);
+        let qnet = quantize_network(&mut n, &LinearQuantizer::new(16).unwrap()).unwrap();
+        let bytes = quantized_to_bytes(&qnet).unwrap();
+        let back = quantized_from_bytes(&bytes).unwrap();
+        assert_eq!(back.slots().len(), qnet.slots().len());
+        for (a, b) in back.slots().iter().zip(qnet.slots()) {
+            assert_eq!(a.assignment, b.assignment);
+            assert_eq!(a.codebook.representatives(), b.codebook.representatives());
+            assert_eq!(a.codebook.boundaries(), b.codebook.boundaries());
+        }
+        assert_eq!(back.compression_ratio(), qnet.compression_ratio());
+        assert!(quantized_from_bytes(&bytes[..bytes.len() / 2]).is_err());
+    }
+
+    #[test]
+    fn indices_and_history_round_trip() {
+        let ix = vec![0usize, 7, 42, usize::from(u16::MAX)];
+        assert_eq!(indices_from_bytes(&indices_to_bytes(&ix)).unwrap(), ix);
+        assert_eq!(indices_from_bytes(&indices_to_bytes(&[])).unwrap(), vec![]);
+        assert!(indices_from_bytes(&indices_to_bytes(&ix)[..9]).is_err());
+
+        let h = TrainingHistory {
+            epoch_losses: vec![2.5, 1.0, 0.5],
+            epoch_penalties: vec![0.0, -0.25],
+            rollbacks: 2,
+        };
+        let back = history_from_bytes(&history_to_bytes(&h)).unwrap();
+        assert_eq!(back.epoch_losses, h.epoch_losses);
+        assert_eq!(back.epoch_penalties, h.epoch_penalties);
+        assert_eq!(back.rollbacks, h.rollbacks);
+    }
+}

@@ -1,0 +1,127 @@
+//! Property-based tests of the artifact format: serialization is the
+//! identity under round trip, and damage is always detected, never
+//! silently decoded.
+
+use proptest::prelude::*;
+use qce_store::codec::{ByteReader, ByteWriter};
+use qce_store::{persist, section_kind, Artifact, StoreError};
+
+// Arbitrary f32 bit patterns — including NaNs, infinities, subnormals and
+// signed zeros — exercised through the bitwise round-trip contract.
+fn f32_bits() -> impl Strategy<Value = f32> {
+    any::<u32>().prop_map(f32::from_bits)
+}
+
+fn ascii_string() -> impl Strategy<Value = String> {
+    prop::collection::vec(any::<u8>(), 0..24)
+        .prop_map(|v| v.into_iter().map(|b| char::from(b & 0x7F)).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn artifact_round_trip_is_identity(
+        kinds in prop::collection::vec(any::<u16>(), 0..6),
+        payloads in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..256), 6),
+    ) {
+        let mut artifact = Artifact::new();
+        for (kind, payload) in kinds.iter().zip(&payloads) {
+            artifact.push(*kind, payload.clone());
+        }
+        let back = Artifact::from_bytes(&artifact.to_bytes()).unwrap();
+        prop_assert_eq!(back, artifact);
+    }
+
+    #[test]
+    fn single_bit_flips_never_decode_cleanly(
+        payload in prop::collection::vec(any::<u8>(), 1..128),
+        flip in any::<usize>(),
+    ) {
+        let mut artifact = Artifact::new();
+        artifact.push(section_kind::NETWORK, payload);
+        let bytes = artifact.to_bytes();
+        let bit = flip % (bytes.len() * 8);
+        let mut damaged = bytes.clone();
+        damaged[bit / 8] ^= 1 << (bit % 8);
+        // Any single-bit flip anywhere — header, table, or payload —
+        // must surface as an error (and so as a cache miss), never as a
+        // cleanly decoded artifact with different contents.
+        prop_assert!(Artifact::from_bytes(&damaged).is_err());
+    }
+
+    #[test]
+    fn truncation_never_decodes_cleanly(
+        payload in prop::collection::vec(any::<u8>(), 0..128),
+        cut in any::<usize>(),
+    ) {
+        let mut artifact = Artifact::new();
+        artifact.push(section_kind::TRAINING_HISTORY, payload);
+        let bytes = artifact.to_bytes();
+        let len = cut % bytes.len();
+        prop_assert!(Artifact::from_bytes(&bytes[..len]).is_err());
+    }
+
+    #[test]
+    fn index_list_round_trip_is_identity(
+        indices in prop::collection::vec(any::<u32>(), 0..64)
+    ) {
+        let indices: Vec<usize> = indices.into_iter().map(|i| i as usize).collect();
+        let back = persist::indices_from_bytes(&persist::indices_to_bytes(&indices)).unwrap();
+        prop_assert_eq!(back, indices);
+    }
+
+    #[test]
+    fn history_round_trip_is_bitwise(
+        losses in prop::collection::vec(f32_bits(), 0..32),
+        penalties in prop::collection::vec(f32_bits(), 0..32),
+        rollbacks in any::<u16>(),
+    ) {
+        let h = qce_nn::TrainingHistory {
+            epoch_losses: losses,
+            epoch_penalties: penalties,
+            rollbacks: rollbacks as usize,
+        };
+        let back = persist::history_from_bytes(&persist::history_to_bytes(&h)).unwrap();
+        // Bitwise comparison: NaN payloads and signed zeros must survive.
+        let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        prop_assert_eq!(bits(&back.epoch_losses), bits(&h.epoch_losses));
+        prop_assert_eq!(bits(&back.epoch_penalties), bits(&h.epoch_penalties));
+        prop_assert_eq!(back.rollbacks, h.rollbacks);
+    }
+
+    #[test]
+    fn codec_scalars_round_trip_bitwise(
+        a in any::<u64>(),
+        b in f32_bits(),
+        c in any::<u64>(),
+        s in ascii_string(),
+    ) {
+        let c = f64::from_bits(c);
+        let mut w = ByteWriter::new();
+        w.put_u64(a).put_f32(b).put_f64(c).put_str(&s);
+        let bytes = w.finish();
+        let mut r = ByteReader::new(&bytes);
+        prop_assert_eq!(r.u64().unwrap(), a);
+        prop_assert_eq!(r.f32().unwrap().to_bits(), b.to_bits());
+        prop_assert_eq!(r.f64().unwrap().to_bits(), c.to_bits());
+        prop_assert_eq!(r.str().unwrap(), s);
+        r.expect_empty().unwrap();
+    }
+
+    #[test]
+    fn corrupt_error_reports_the_damaged_kind(
+        kind in section_kind::DOWNSTREAM_BASE..u16::MAX,
+        payload in prop::collection::vec(any::<u8>(), 8..64),
+    ) {
+        let mut artifact = Artifact::new();
+        artifact.push(kind, payload);
+        let mut bytes = artifact.to_bytes();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x80;
+        match Artifact::from_bytes(&bytes) {
+            Err(StoreError::Corrupt { kind: reported, .. }) => prop_assert_eq!(reported, kind),
+            other => prop_assert!(false, "expected Corrupt, got {:?}", other),
+        }
+    }
+}

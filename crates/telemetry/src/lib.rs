@@ -22,7 +22,7 @@
 //! a minimal writer/parser of its own.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod json;
 mod manifest;

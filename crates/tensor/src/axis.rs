@@ -1,7 +1,7 @@
 //! Axis-wise reductions and broadcasts over one tensor dimension.
 //!
 //! These complement the whole-tensor reductions on
-//! [`Tensor`](crate::Tensor) with per-axis variants (e.g. per-channel
+//! [`crate::Tensor`] with per-axis variants (e.g. per-channel
 //! statistics for normalization layers and audits).
 
 use crate::{Result, Tensor, TensorError};

@@ -360,7 +360,7 @@ fn dot_slices(a: &[f32], b: &[f32]) -> f32 {
 
 /// Transposes a rank-2 tensor: `[m, n] -> [n, m]`.
 ///
-/// Blocked over [`TRANSPOSE_TILE`]² tiles so both the load and store
+/// Blocked over `TRANSPOSE_TILE`² (32²) tiles so both the load and store
 /// streams stay within a few cache lines — the column-strided scalar
 /// store was the worst-case pattern for the large im2col matrices this
 /// still serves. A pure permutation, so trivially deterministic.

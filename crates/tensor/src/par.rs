@@ -15,6 +15,12 @@
 //! (or [`Pool::serial`]) degrades every kernel to the plain scalar
 //! reference path.
 //!
+//! On machines that expose a single hardware core (see
+//! [`detected_cores`]), every pool — however wide — takes the inline
+//! path: spawning scoped threads on one core cannot overlap any work,
+//! it only adds spawn/join overhead. Since the partition never changes
+//! the arithmetic, this fallback is invisible in the outputs.
+//!
 //! # Examples
 //!
 //! ```
@@ -121,7 +127,20 @@ fn default_threads() -> usize {
             }
         }
     }
-    std::thread::available_parallelism().map_or(1, |n| n.get())
+    detected_cores()
+}
+
+/// Hardware core count reported by
+/// [`std::thread::available_parallelism`], read once and cached.
+///
+/// Unlike [`Pool::global`]'s worker count this ignores `QCE_THREADS`:
+/// it answers "can threads actually run concurrently here?", which is
+/// what the inline fallback and the bench report need. Returns 1 when
+/// the parallelism query fails.
+#[must_use]
+pub fn detected_cores() -> usize {
+    static CORES: OnceLock<usize> = OnceLock::new();
+    *CORES.get_or_init(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
 }
 
 /// Runs `f` once per item, distributing items contiguously over the pool.
@@ -151,9 +170,10 @@ where
     let stats = pool_stats();
     stats.tasks.incr(n as u64);
     let threads = pool.threads.min(n);
-    if threads <= 1 {
-        // Fast path: a one-worker pool (or a single item) never spawns —
-        // the whole batch runs inline on the calling thread.
+    if threads <= 1 || detected_cores() == 1 {
+        // Fast path: a one-worker pool, a single item, or a single
+        // hardware core never spawns — the whole batch runs inline on
+        // the calling thread.
         stats.inline_runs.incr(1);
         let mut state = init();
         for (idx, item) in items.into_iter().enumerate() {
@@ -231,7 +251,7 @@ where
 pub fn sort_f32(pool: &Pool, data: &mut [f32]) {
     const SERIAL_CUTOFF: usize = 8192;
     let n = data.len();
-    if pool.threads <= 1 || n <= SERIAL_CUTOFF {
+    if pool.threads <= 1 || n <= SERIAL_CUTOFF || detected_cores() == 1 {
         data.sort_unstable_by(f32::total_cmp);
         return;
     }
@@ -383,9 +403,14 @@ mod tests {
         for_each_item(&Pool::with_threads(8), vec![9u8], || (), |_, _, _| {});
         assert!(inline.get() - i0 >= 2);
         assert!(tasks.get() - t0 >= 4);
-        // Two workers → parallel.
+        // Two workers → parallel, unless the machine has only one core,
+        // in which case the 1-core fallback keeps the call inline.
         for_each_item(&Pool::with_threads(2), vec![1u8, 2, 3], || (), |_, _, _| {});
-        assert!(parallel.get() - p0 >= 1);
+        if detected_cores() > 1 {
+            assert!(parallel.get() - p0 >= 1);
+        } else {
+            assert!(inline.get() - i0 >= 3);
+        }
     }
 
     #[test]
