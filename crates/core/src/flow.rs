@@ -124,6 +124,55 @@ impl FlowOutcome {
     pub fn final_report(&self) -> &StageReport {
         self.post_quant.as_ref().unwrap_or(&self.pre_quant)
     }
+
+    /// Content digests of the run's released state, in deterministic
+    /// order — the exact-match side of conformance gating (see
+    /// `qce-harness`). `release.weights` fingerprints the released
+    /// network bit-for-bit; `select.indices` and `targets.pixels` pin
+    /// the data-selection stage; `training.history` pins the loss
+    /// trajectory.
+    pub fn artifact_digests(&self) -> Vec<(String, u64)> {
+        stage_digests(
+            &self.network,
+            &self.selection_indices,
+            &self.targets,
+            &self.training,
+        )
+    }
+}
+
+/// Shared digest derivation for [`FlowOutcome`] and [`TrainedAttack`]:
+/// the network is fingerprinted in whatever state the caller holds it
+/// (released/quantized for outcomes, current state for trained attacks).
+fn stage_digests(
+    network: &Network,
+    selection_indices: &[usize],
+    targets: &[Image],
+    training: &TrainingHistory,
+) -> Vec<(String, u64)> {
+    let mut targets_digest = qce_store::Digester::new();
+    for img in targets {
+        targets_digest = targets_digest.bytes(img.pixels());
+    }
+    vec![
+        (
+            "release.weights".to_string(),
+            qce_store::digest_f32s(&network.flat_weights()),
+        ),
+        (
+            "select.indices".to_string(),
+            qce_store::digest_indices(selection_indices),
+        ),
+        ("targets.pixels".to_string(), targets_digest.finish()),
+        (
+            "training.history".to_string(),
+            qce_store::Digester::new()
+                .f32s(&training.epoch_losses)
+                .f32s(&training.epoch_penalties)
+                .u64(training.rollbacks as u64)
+                .finish(),
+        ),
+    ]
 }
 
 impl AttackFlow {
@@ -507,6 +556,19 @@ impl TrainedAttack {
     /// far (select/train at construction, one entry per quantization).
     pub fn stage_stats(&self) -> &[StageStat] {
         &self.stage_stats
+    }
+
+    /// Content digests of the attack's *current* state (same entries as
+    /// [`FlowOutcome::artifact_digests`]): the network in whatever state
+    /// it is in right now — float after [`AttackFlow::train`], quantized
+    /// after [`TrainedAttack::apply_quantized_state`].
+    pub fn artifact_digests(&self) -> Vec<(String, u64)> {
+        stage_digests(
+            &self.network,
+            &self.selection_indices,
+            &self.targets,
+            &self.training,
+        )
     }
 
     /// Evaluates the float (uncompressed) model.
@@ -1135,6 +1197,30 @@ mod tests {
         assert_eq!(a.pre_quant.accuracy, b.pre_quant.accuracy);
         assert_eq!(a.pre_quant.mean_mape(), b.pre_quant.mean_mape());
         assert_eq!(a.network.flat_weights(), b.network.flat_weights());
+        assert_eq!(a.artifact_digests(), b.artifact_digests());
+    }
+
+    #[test]
+    fn artifact_digests_pin_the_released_state() {
+        let cfg = FlowConfig {
+            grouping: Grouping::Uniform(3.0),
+            band: BandRule::FirstN,
+            quant: None,
+            epochs: 1,
+            ..FlowConfig::tiny()
+        };
+        let mut out = AttackFlow::new(cfg).run(&tiny_data()).unwrap();
+        let before = out.artifact_digests();
+        assert_eq!(before.len(), 4);
+        assert_eq!(before[0].0, "release.weights");
+        // Any single-weight perturbation moves the release digest and
+        // leaves the selection/target digests alone.
+        let mut flat = out.network.flat_weights();
+        flat[0] += 1.0;
+        out.network.set_flat_weights(&flat).unwrap();
+        let after = out.artifact_digests();
+        assert_ne!(before[0].1, after[0].1);
+        assert_eq!(before[1..], after[1..]);
     }
 
     #[test]

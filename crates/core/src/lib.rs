@@ -66,6 +66,8 @@ pub use config::{Architecture, BandRule, FlowConfig, Grouping, QuantConfig, Quan
 pub use error::FlowError;
 pub use faults::{FaultError, FaultKind, FaultPlan};
 pub use flow::{AttackFlow, FlowOutcome, QuantizedRelease, TrainedAttack};
+pub use qce_attack::correlation::SignConvention;
+pub use qce_attack::ImageStatus;
 pub use report::{
     FaultedImage, FaultedReport, ImageReport, RobustnessPoint, RobustnessReport, StageReport,
 };

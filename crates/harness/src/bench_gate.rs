@@ -1,0 +1,197 @@
+//! Throughput regression gate over `BENCH_kernels.json`.
+//!
+//! The bench harness (`cargo bench -p qce-bench`) writes a JSON summary
+//! of kernel timings. CI keeps a committed baseline; this module diffs a
+//! fresh summary against it and fails when any kernel got slower beyond
+//! a relative threshold (20% by default — see DESIGN.md for why), when a
+//! kernel disappeared, or when a kernel lost the bitwise-identical
+//! serial/parallel guarantee. Kernels that are *new* in the fresh run
+//! never fail the gate; they show up when the baseline is refreshed.
+
+use qce_telemetry::json::{parse, JsonValue};
+
+use crate::{HarnessError, Result, Violation};
+
+/// Default relative slowdown that fails the gate (0.20 = 20%).
+pub const DEFAULT_BENCH_THRESHOLD: f64 = 0.20;
+
+/// One kernel row of `BENCH_kernels.json`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchEntry {
+    /// Kernel name, e.g. `matmul_128x256x128`.
+    pub name: String,
+    /// Serial wall time per rep, milliseconds.
+    pub serial_ms: f64,
+    /// Parallel wall time per rep, milliseconds.
+    pub parallel_ms: f64,
+    /// Whether serial and parallel outputs matched bit for bit.
+    pub bitwise_identical: bool,
+}
+
+/// Parses the `kernels` array out of a `BENCH_kernels.json` document.
+///
+/// # Errors
+///
+/// [`HarnessError::Spec`] naming the malformed field.
+pub fn parse_bench(body: &str) -> Result<Vec<BenchEntry>> {
+    let doc = parse(body).map_err(|e| HarnessError::spec(format!("bench JSON: {e}")))?;
+    let Some(JsonValue::Arr(kernels)) = doc.get("kernels") else {
+        return Err(HarnessError::spec(
+            "bench JSON has no \"kernels\" array — was it written by `cargo bench -p qce-bench`?",
+        ));
+    };
+    let mut out = Vec::with_capacity(kernels.len());
+    for kernel in kernels {
+        let name = kernel
+            .get("name")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| HarnessError::spec("bench kernel entry without a \"name\" string"))?
+            .to_string();
+        let num = |field: &str| {
+            kernel
+                .get(field)
+                .and_then(JsonValue::as_f64)
+                .ok_or_else(|| {
+                    HarnessError::spec(format!("bench kernel {name:?}: missing number {field:?}"))
+                })
+        };
+        out.push(BenchEntry {
+            serial_ms: num("serial_ms")?,
+            parallel_ms: num("parallel_ms")?,
+            bitwise_identical: matches!(
+                kernel.get("bitwise_identical"),
+                Some(JsonValue::Bool(true))
+            ),
+            name,
+        });
+    }
+    Ok(out)
+}
+
+/// Gates `fresh` against `baseline`: every baseline kernel must still
+/// exist, must not have regressed by more than `threshold` (relative,
+/// on both serial and parallel time), and must still be bitwise
+/// identical if the baseline was. Returns every violation (empty =
+/// pass).
+#[must_use]
+pub fn bench_gate(fresh: &[BenchEntry], baseline: &[BenchEntry], threshold: f64) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for base in baseline {
+        let Some(now) = fresh.iter().find(|k| k.name == base.name) else {
+            out.push(Violation {
+                location: format!("kernel {:?}", base.name),
+                detail: "present in baseline but missing from fresh bench output".to_string(),
+            });
+            continue;
+        };
+        for (which, base_ms, now_ms) in [
+            ("serial_ms", base.serial_ms, now.serial_ms),
+            ("parallel_ms", base.parallel_ms, now.parallel_ms),
+        ] {
+            // Sub-threshold baselines (or zero, from a degenerate run)
+            // can't support a meaningful relative gate.
+            if base_ms <= 0.0 {
+                continue;
+            }
+            let ratio = now_ms / base_ms;
+            if ratio > 1.0 + threshold {
+                out.push(Violation {
+                    location: format!("kernel {:?} {which}", base.name),
+                    detail: format!(
+                        "{base_ms:.4} ms -> {now_ms:.4} ms ({:+.1}% > allowed +{:.0}%)",
+                        (ratio - 1.0) * 100.0,
+                        threshold * 100.0
+                    ),
+                });
+            }
+        }
+        if base.bitwise_identical && !now.bitwise_identical {
+            out.push(Violation {
+                location: format!("kernel {:?}", base.name),
+                detail: "serial/parallel outputs are no longer bitwise identical".to_string(),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(name: &str, serial_ms: f64, parallel_ms: f64) -> BenchEntry {
+        BenchEntry {
+            name: name.to_string(),
+            serial_ms,
+            parallel_ms,
+            bitwise_identical: true,
+        }
+    }
+
+    #[test]
+    fn parses_the_real_bench_schema() {
+        let body = r#"{
+          "bench": "kernels",
+          "threads": {"serial": 1, "parallel": 4},
+          "kernels": [
+            {"name": "matmul", "flops": 8, "serial_ms": 0.5, "parallel_ms": 0.2,
+             "serial_gflops": 1.0, "bitwise_identical": true},
+            {"name": "kmeans", "flops": 0, "serial_ms": 9.0, "parallel_ms": 8.0,
+             "bitwise_identical": false}
+          ]
+        }"#;
+        let kernels = parse_bench(body).unwrap();
+        assert_eq!(kernels.len(), 2);
+        assert_eq!(kernels[0].name, "matmul");
+        assert!(kernels[0].bitwise_identical);
+        assert!(!kernels[1].bitwise_identical);
+        assert_eq!(kernels[1].serial_ms, 9.0);
+    }
+
+    #[test]
+    fn malformed_bench_json_is_rejected() {
+        assert!(parse_bench("{}").is_err());
+        assert!(parse_bench(r#"{"kernels":[{"serial_ms":1}]}"#).is_err());
+        assert!(parse_bench(r#"{"kernels":[{"name":"x","serial_ms":"fast"}]}"#).is_err());
+    }
+
+    #[test]
+    fn within_threshold_passes_beyond_fails() {
+        let baseline = vec![entry("matmul", 1.0, 0.5)];
+        assert!(bench_gate(&[entry("matmul", 1.19, 0.59)], &baseline, 0.20).is_empty());
+        let v = bench_gate(&[entry("matmul", 1.3, 0.5)], &baseline, 0.20);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].to_string().contains("serial_ms"), "{}", v[0]);
+    }
+
+    #[test]
+    fn faster_is_always_fine() {
+        let baseline = vec![entry("matmul", 1.0, 0.5)];
+        assert!(bench_gate(&[entry("matmul", 0.1, 0.05)], &baseline, 0.20).is_empty());
+    }
+
+    #[test]
+    fn missing_kernel_fails_new_kernel_does_not() {
+        let baseline = vec![entry("matmul", 1.0, 0.5)];
+        let fresh = vec![entry("conv", 1.0, 0.5)];
+        let v = bench_gate(&fresh, &baseline, 0.20);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].to_string().contains("missing"), "{}", v[0]);
+    }
+
+    #[test]
+    fn losing_bitwise_identity_fails() {
+        let baseline = vec![entry("matmul", 1.0, 0.5)];
+        let mut fresh = vec![entry("matmul", 1.0, 0.5)];
+        fresh[0].bitwise_identical = false;
+        let v = bench_gate(&fresh, &baseline, 0.20);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].to_string().contains("bitwise"), "{}", v[0]);
+    }
+
+    #[test]
+    fn zero_baseline_times_are_not_gated() {
+        let baseline = vec![entry("warmup", 0.0, 0.0)];
+        assert!(bench_gate(&[entry("warmup", 5.0, 5.0)], &baseline, 0.20).is_empty());
+    }
+}

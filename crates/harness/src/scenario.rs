@@ -1,0 +1,670 @@
+//! Declarative conformance scenarios: JSON specs resolved into the
+//! workspace's real configuration types.
+//!
+//! A scenario names everything a run depends on — dataset synthesis
+//! parameters, the full [`FlowConfig`], and an optional
+//! [`FaultPlan`] — so a committed `.json` file plus this crate's runner
+//! *is* the experiment. Parsing goes through the zero-dependency
+//! [`qce_telemetry::json`] reader (the vendored serde is a marker stub),
+//! and [`Scenario::to_json`] emits the same schema back, so specs
+//! round-trip exactly.
+
+use qce::faults::{FaultKind, FaultPlan};
+use qce::{Architecture, BandRule, FlowConfig, Grouping, QuantConfig, QuantMethod, SignConvention};
+use qce_data::Dataset;
+use qce_data::{SynthCifar, SynthFaces};
+use qce_telemetry::json::{parse, JsonValue, ObjWriter};
+
+use crate::{HarnessError, Result};
+
+/// Which synthetic dataset family a scenario trains on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DatasetKind {
+    /// CIFAR-like object images ([`SynthCifar`]).
+    Cifar,
+    /// Face-like identity images ([`SynthFaces`]); `classes` doubles as
+    /// the identity count.
+    Faces,
+}
+
+/// Dataset synthesis parameters of one scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetSpec {
+    /// Generator family.
+    pub kind: DatasetKind,
+    /// Square image edge length in pixels.
+    pub size: usize,
+    /// Class (or identity) count.
+    pub classes: usize,
+    /// Number of images to synthesize.
+    pub count: usize,
+    /// Generation seed.
+    pub seed: u64,
+    /// RGB images (`false` = grayscale; CIFAR generator only).
+    pub rgb: bool,
+}
+
+impl DatasetSpec {
+    /// Synthesizes the dataset this spec describes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates generator configuration errors.
+    pub fn generate(&self) -> Result<Dataset> {
+        let data = match self.kind {
+            DatasetKind::Cifar => SynthCifar::new(self.size)
+                .classes(self.classes)
+                .rgb(self.rgb)
+                .generate(self.count, self.seed)?,
+            DatasetKind::Faces => {
+                SynthFaces::new(self.size, self.classes).generate(self.count, self.seed)?
+            }
+        };
+        Ok(data)
+    }
+}
+
+/// One executable conformance scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    /// Unique scenario name; golden files are addressed by it.
+    pub name: String,
+    /// Dataset synthesis parameters.
+    pub dataset: DatasetSpec,
+    /// The resolved flow configuration (runs with `verbose` off).
+    pub flow: FlowConfig,
+    /// Release perturbation applied before the final evaluation
+    /// (`None` for clean scenarios).
+    pub fault: Option<FaultPlan>,
+    /// Per-metric tolerance overrides layered over
+    /// [`Tolerances::default`](crate::Tolerances) (absolute bands;
+    /// longest matching prefix wins).
+    pub tolerance_overrides: Vec<(String, f64)>,
+}
+
+impl Scenario {
+    /// The committed scenario set: three clean quantization points that
+    /// bracket the paper's 2–6-bit sweep across three quantizer
+    /// families, plus one faulted release exercising the resilient
+    /// decode path. All are sized to finish in seconds so CI can run
+    /// the whole set on every push.
+    #[must_use]
+    pub fn builtin() -> Vec<Scenario> {
+        let dataset = DatasetSpec {
+            kind: DatasetKind::Cifar,
+            size: 8,
+            classes: 4,
+            count: 160,
+            seed: 5,
+            rgb: false,
+        };
+        let flow = FlowConfig {
+            grouping: Grouping::Uniform(5.0),
+            band: BandRule::FirstN,
+            epochs: 2,
+            quant: None,
+            verbose: false,
+            ..FlowConfig::tiny()
+        };
+        let quant = |method, bits| {
+            Some(QuantConfig {
+                method,
+                bits,
+                finetune_epochs: 1,
+                finetune_lr: 0.01,
+                regularize_finetune: true,
+            })
+        };
+        vec![
+            Scenario {
+                name: "quant2_weq".to_string(),
+                dataset: dataset.clone(),
+                flow: FlowConfig {
+                    quant: quant(QuantMethod::WeightedEntropy, 2),
+                    ..flow.clone()
+                },
+                fault: None,
+                tolerance_overrides: Vec::new(),
+            },
+            Scenario {
+                name: "quant4_tcq".to_string(),
+                dataset: dataset.clone(),
+                flow: FlowConfig {
+                    quant: quant(QuantMethod::TargetCorrelated, 4),
+                    ..flow.clone()
+                },
+                fault: None,
+                tolerance_overrides: Vec::new(),
+            },
+            Scenario {
+                name: "quant6_kmeans".to_string(),
+                dataset: dataset.clone(),
+                flow: FlowConfig {
+                    quant: quant(QuantMethod::KMeans, 6),
+                    ..flow.clone()
+                },
+                fault: None,
+                tolerance_overrides: Vec::new(),
+            },
+            Scenario {
+                name: "faulted_bitflip".to_string(),
+                dataset,
+                flow: FlowConfig {
+                    quant: quant(QuantMethod::TargetCorrelated, 4),
+                    ..flow
+                },
+                fault: Some(
+                    FaultPlan::new(11)
+                        .with(FaultKind::BitFlip { rate: 0.002 })
+                        .with(FaultKind::GaussianNoise { fraction: 0.02 }),
+                ),
+                tolerance_overrides: Vec::new(),
+            },
+        ]
+    }
+
+    /// Parses a scenario from its JSON spec. Flow fields not present in
+    /// the document keep the [`FlowConfig::tiny`] defaults; `verbose`
+    /// is always forced off so harness output stays machine-readable.
+    ///
+    /// # Errors
+    ///
+    /// [`HarnessError::Spec`] naming the first malformed field.
+    pub fn from_json(body: &str) -> Result<Scenario> {
+        let doc = parse(body).map_err(|e| HarnessError::spec(format!("scenario JSON: {e}")))?;
+        let name = req_str(&doc, "name")?;
+        let dataset = parse_dataset(req(&doc, "dataset")?)?;
+        let mut flow = parse_flow(req(&doc, "flow")?)?;
+        flow.verbose = false;
+        flow.validate()
+            .map_err(|e| HarnessError::spec(format!("flow config: {e}")))?;
+        let fault = match doc.get("fault") {
+            None | Some(JsonValue::Null) => None,
+            Some(v) => Some(parse_fault(v)?),
+        };
+        let tolerance_overrides = match doc.get("tolerances") {
+            None | Some(JsonValue::Null) => Vec::new(),
+            Some(JsonValue::Obj(map)) => {
+                let mut out = Vec::new();
+                for (k, v) in map {
+                    let band = v
+                        .as_f64()
+                        .filter(|t| t.is_finite() && *t >= 0.0)
+                        .ok_or_else(|| {
+                            HarnessError::spec(format!(
+                                "tolerance {k:?} must be a non-negative number"
+                            ))
+                        })?;
+                    out.push((k.clone(), band));
+                }
+                out
+            }
+            Some(_) => return Err(HarnessError::spec("\"tolerances\" must be an object")),
+        };
+        Ok(Scenario {
+            name,
+            dataset,
+            flow,
+            fault,
+            tolerance_overrides,
+        })
+    }
+
+    /// Renders the scenario back to its JSON spec (the inverse of
+    /// [`Scenario::from_json`]).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut dataset = ObjWriter::new();
+        dataset
+            .str(
+                "kind",
+                match self.dataset.kind {
+                    DatasetKind::Cifar => "cifar",
+                    DatasetKind::Faces => "faces",
+                },
+            )
+            .uint("size", self.dataset.size as u64)
+            .uint("classes", self.dataset.classes as u64)
+            .uint("count", self.dataset.count as u64)
+            .uint("seed", self.dataset.seed)
+            .bool("rgb", self.dataset.rgb);
+
+        let mut flow = ObjWriter::new();
+        flow.uint("seed", self.flow.seed).str(
+            "arch",
+            match self.flow.arch {
+                Architecture::ResNetLite => "resnet_lite",
+                Architecture::ConvNet => "conv_net",
+            },
+        );
+        let channels: Vec<String> = self
+            .flow
+            .stage_channels
+            .iter()
+            .map(|c| c.to_string())
+            .collect();
+        flow.raw("stage_channels", &format!("[{}]", channels.join(",")))
+            .uint("blocks_per_stage", self.flow.blocks_per_stage as u64)
+            .num("train_fraction", f64::from(self.flow.train_fraction))
+            .uint("epochs", self.flow.epochs as u64)
+            .uint("batch_size", self.flow.batch_size as u64)
+            .num("lr", f64::from(self.flow.lr))
+            .num("lambda_scale", f64::from(self.flow.lambda_scale));
+        let mut grouping = ObjWriter::new();
+        match self.flow.grouping {
+            Grouping::Benign => {
+                grouping.str("kind", "benign");
+            }
+            Grouping::Uniform(l) => {
+                grouping.str("kind", "uniform").num("lambda", f64::from(l));
+            }
+            Grouping::LayerWise(ls) => {
+                let lambdas: Vec<String> =
+                    ls.iter().map(|l| format!("{}", f64::from(*l))).collect();
+                grouping
+                    .str("kind", "layer_wise")
+                    .raw("lambdas", &format!("[{}]", lambdas.join(",")));
+            }
+        }
+        flow.raw("grouping", &grouping.finish());
+        let mut band = ObjWriter::new();
+        match self.flow.band {
+            BandRule::Auto { width } => {
+                band.str("kind", "auto").num("width", f64::from(width));
+            }
+            BandRule::Explicit { min, max } => {
+                band.str("kind", "explicit")
+                    .num("min", f64::from(min))
+                    .num("max", f64::from(max));
+            }
+            BandRule::FirstN => {
+                band.str("kind", "first_n");
+            }
+        }
+        flow.raw("band", &band.finish());
+        flow.str(
+            "sign",
+            match self.flow.sign {
+                SignConvention::Positive => "positive",
+                SignConvention::Absolute => "absolute",
+            },
+        );
+        match self.flow.quant {
+            None => {
+                flow.raw("quant", "null");
+            }
+            Some(q) => {
+                let mut quant = ObjWriter::new();
+                quant
+                    .str(
+                        "method",
+                        match q.method {
+                            QuantMethod::Linear => "linear",
+                            QuantMethod::KMeans => "kmeans",
+                            QuantMethod::WeightedEntropy => "weighted_entropy",
+                            QuantMethod::TargetCorrelated => "target_correlated",
+                        },
+                    )
+                    .uint("bits", u64::from(q.bits))
+                    .uint("finetune_epochs", q.finetune_epochs as u64)
+                    .num("finetune_lr", f64::from(q.finetune_lr))
+                    .bool("regularize_finetune", q.regularize_finetune);
+                flow.raw("quant", &quant.finish());
+            }
+        }
+
+        let mut root = ObjWriter::new();
+        root.str("name", &self.name)
+            .raw("dataset", &dataset.finish())
+            .raw("flow", &flow.finish());
+        if let Some(plan) = &self.fault {
+            let mut fault = ObjWriter::new();
+            fault.uint("seed", plan.seed());
+            let faults: Vec<String> = plan.faults().iter().map(fault_to_json).collect();
+            fault.raw("faults", &format!("[{}]", faults.join(",")));
+            root.raw("fault", &fault.finish());
+        }
+        if !self.tolerance_overrides.is_empty() {
+            let mut tol = ObjWriter::new();
+            for (k, v) in &self.tolerance_overrides {
+                tol.num(k, *v);
+            }
+            root.raw("tolerances", &tol.finish());
+        }
+        root.finish()
+    }
+}
+
+fn fault_to_json(f: &FaultKind) -> String {
+    let mut o = ObjWriter::new();
+    match *f {
+        FaultKind::BitFlip { rate } => {
+            o.str("kind", "bit_flip").num("rate", rate);
+        }
+        FaultKind::GaussianNoise { fraction } => {
+            o.str("kind", "gaussian_noise")
+                .num("fraction", f64::from(fraction));
+        }
+        FaultKind::UniformNoise { fraction } => {
+            o.str("kind", "uniform_noise")
+                .num("fraction", f64::from(fraction));
+        }
+        FaultKind::Prune { fraction } => {
+            o.str("kind", "prune").num("fraction", f64::from(fraction));
+        }
+        FaultKind::CentroidJitter { fraction } => {
+            o.str("kind", "centroid_jitter")
+                .num("fraction", f64::from(fraction));
+        }
+        FaultKind::FinetuneDrift { strength } => {
+            o.str("kind", "finetune_drift")
+                .num("strength", f64::from(strength));
+        }
+    }
+    o.finish()
+}
+
+fn req<'a>(doc: &'a JsonValue, key: &str) -> Result<&'a JsonValue> {
+    doc.get(key)
+        .ok_or_else(|| HarnessError::spec(format!("missing field {key:?}")))
+}
+
+fn req_str(doc: &JsonValue, key: &str) -> Result<String> {
+    req(doc, key)?
+        .as_str()
+        .map(str::to_string)
+        .ok_or_else(|| HarnessError::spec(format!("field {key:?} must be a string")))
+}
+
+fn req_usize(doc: &JsonValue, key: &str) -> Result<usize> {
+    req(doc, key)?
+        .as_u64()
+        .map(|v| v as usize)
+        .ok_or_else(|| HarnessError::spec(format!("field {key:?} must be a non-negative integer")))
+}
+
+fn req_f32(doc: &JsonValue, key: &str) -> Result<f32> {
+    req(doc, key)?
+        .as_f64()
+        .map(|v| v as f32)
+        .ok_or_else(|| HarnessError::spec(format!("field {key:?} must be a number")))
+}
+
+fn parse_dataset(doc: &JsonValue) -> Result<DatasetSpec> {
+    let kind = match req_str(doc, "kind")?.as_str() {
+        "cifar" => DatasetKind::Cifar,
+        "faces" => DatasetKind::Faces,
+        other => {
+            return Err(HarnessError::spec(format!(
+                "unknown dataset kind {other:?} (cifar | faces)"
+            )))
+        }
+    };
+    Ok(DatasetSpec {
+        kind,
+        size: req_usize(doc, "size")?,
+        classes: req_usize(doc, "classes")?,
+        count: req_usize(doc, "count")?,
+        seed: req(doc, "seed")?
+            .as_u64()
+            .ok_or_else(|| HarnessError::spec("dataset \"seed\" must be a non-negative integer"))?,
+        rgb: matches!(doc.get("rgb"), Some(JsonValue::Bool(true))),
+    })
+}
+
+fn parse_flow(doc: &JsonValue) -> Result<FlowConfig> {
+    let mut cfg = FlowConfig::tiny();
+    if doc.get("seed").is_some() {
+        cfg.seed = req(doc, "seed")?
+            .as_u64()
+            .ok_or_else(|| HarnessError::spec("flow \"seed\" must be a non-negative integer"))?;
+    }
+    if let Some(v) = doc.get("arch") {
+        cfg.arch = match v.as_str() {
+            Some("resnet_lite") => Architecture::ResNetLite,
+            Some("conv_net") => Architecture::ConvNet,
+            _ => {
+                return Err(HarnessError::spec(
+                    "flow \"arch\" must be \"resnet_lite\" or \"conv_net\"",
+                ))
+            }
+        };
+    }
+    if let Some(v) = doc.get("stage_channels") {
+        let JsonValue::Arr(items) = v else {
+            return Err(HarnessError::spec("\"stage_channels\" must be an array"));
+        };
+        cfg.stage_channels = items
+            .iter()
+            .map(|c| c.as_u64().map(|c| c as usize))
+            .collect::<Option<Vec<_>>>()
+            .ok_or_else(|| HarnessError::spec("\"stage_channels\" entries must be integers"))?;
+    }
+    if doc.get("blocks_per_stage").is_some() {
+        cfg.blocks_per_stage = req_usize(doc, "blocks_per_stage")?;
+    }
+    if doc.get("train_fraction").is_some() {
+        cfg.train_fraction = req_f32(doc, "train_fraction")?;
+    }
+    if doc.get("epochs").is_some() {
+        cfg.epochs = req_usize(doc, "epochs")?;
+    }
+    if doc.get("batch_size").is_some() {
+        cfg.batch_size = req_usize(doc, "batch_size")?;
+    }
+    if doc.get("lr").is_some() {
+        cfg.lr = req_f32(doc, "lr")?;
+    }
+    if doc.get("lambda_scale").is_some() {
+        cfg.lambda_scale = req_f32(doc, "lambda_scale")?;
+    }
+    if let Some(v) = doc.get("grouping") {
+        cfg.grouping = match req_str(v, "kind")?.as_str() {
+            "benign" => Grouping::Benign,
+            "uniform" => Grouping::Uniform(req_f32(v, "lambda")?),
+            "layer_wise" => {
+                let Some(JsonValue::Arr(items)) = v.get("lambdas") else {
+                    return Err(HarnessError::spec("layer_wise grouping needs \"lambdas\""));
+                };
+                let ls: Vec<f32> = items
+                    .iter()
+                    .map(|l| l.as_f64().map(|l| l as f32))
+                    .collect::<Option<Vec<_>>>()
+                    .ok_or_else(|| HarnessError::spec("\"lambdas\" entries must be numbers"))?;
+                let [a, b, c] = ls[..] else {
+                    return Err(HarnessError::spec(
+                        "\"lambdas\" must have exactly 3 entries",
+                    ));
+                };
+                Grouping::LayerWise([a, b, c])
+            }
+            other => {
+                return Err(HarnessError::spec(format!(
+                    "unknown grouping kind {other:?}"
+                )))
+            }
+        };
+    }
+    if let Some(v) = doc.get("band") {
+        cfg.band = match req_str(v, "kind")?.as_str() {
+            "auto" => BandRule::Auto {
+                width: req_f32(v, "width")?,
+            },
+            "explicit" => BandRule::Explicit {
+                min: req_f32(v, "min")?,
+                max: req_f32(v, "max")?,
+            },
+            "first_n" => BandRule::FirstN,
+            other => return Err(HarnessError::spec(format!("unknown band kind {other:?}"))),
+        };
+    }
+    if let Some(v) = doc.get("sign") {
+        cfg.sign = match v.as_str() {
+            Some("positive") => SignConvention::Positive,
+            Some("absolute") => SignConvention::Absolute,
+            _ => {
+                return Err(HarnessError::spec(
+                    "flow \"sign\" must be \"positive\" or \"absolute\"",
+                ))
+            }
+        };
+    }
+    match doc.get("quant") {
+        None => {}
+        Some(JsonValue::Null) => cfg.quant = None,
+        Some(v) => {
+            let method = match req_str(v, "method")?.as_str() {
+                "linear" => QuantMethod::Linear,
+                "kmeans" => QuantMethod::KMeans,
+                "weighted_entropy" => QuantMethod::WeightedEntropy,
+                "target_correlated" => QuantMethod::TargetCorrelated,
+                other => {
+                    return Err(HarnessError::spec(format!(
+                        "unknown quant method {other:?}"
+                    )))
+                }
+            };
+            let bits = u32::try_from(req_usize(v, "bits")?)
+                .map_err(|_| HarnessError::spec("quant \"bits\" out of range"))?;
+            let mut q = QuantConfig::new(method, bits);
+            if v.get("finetune_epochs").is_some() {
+                q.finetune_epochs = req_usize(v, "finetune_epochs")?;
+            }
+            if v.get("finetune_lr").is_some() {
+                q.finetune_lr = req_f32(v, "finetune_lr")?;
+            }
+            if let Some(b) = v.get("regularize_finetune") {
+                let JsonValue::Bool(b) = b else {
+                    return Err(HarnessError::spec("\"regularize_finetune\" must be a bool"));
+                };
+                q.regularize_finetune = *b;
+            }
+            cfg.quant = Some(q);
+        }
+    }
+    Ok(cfg)
+}
+
+fn parse_fault(doc: &JsonValue) -> Result<FaultPlan> {
+    let seed = req(doc, "seed")?
+        .as_u64()
+        .ok_or_else(|| HarnessError::spec("fault \"seed\" must be a non-negative integer"))?;
+    let Some(JsonValue::Arr(items)) = doc.get("faults") else {
+        return Err(HarnessError::spec("fault plan needs a \"faults\" array"));
+    };
+    let mut plan = FaultPlan::new(seed);
+    for item in items {
+        let kind = match req_str(item, "kind")?.as_str() {
+            "bit_flip" => FaultKind::BitFlip {
+                rate: req(item, "rate")?
+                    .as_f64()
+                    .ok_or_else(|| HarnessError::spec("bit_flip \"rate\" must be a number"))?,
+            },
+            "gaussian_noise" => FaultKind::GaussianNoise {
+                fraction: req_f32(item, "fraction")?,
+            },
+            "uniform_noise" => FaultKind::UniformNoise {
+                fraction: req_f32(item, "fraction")?,
+            },
+            "prune" => FaultKind::Prune {
+                fraction: req_f32(item, "fraction")?,
+            },
+            "centroid_jitter" => FaultKind::CentroidJitter {
+                fraction: req_f32(item, "fraction")?,
+            },
+            "finetune_drift" => FaultKind::FinetuneDrift {
+                strength: req_f32(item, "strength")?,
+            },
+            other => return Err(HarnessError::spec(format!("unknown fault kind {other:?}"))),
+        };
+        plan = plan.with(kind);
+    }
+    Ok(plan)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_scenarios_round_trip_through_json() {
+        for scenario in Scenario::builtin() {
+            let json = scenario.to_json();
+            let back = Scenario::from_json(&json)
+                .unwrap_or_else(|e| panic!("{}: {e}\n{json}", scenario.name));
+            assert_eq!(back, scenario, "{json}");
+        }
+    }
+
+    #[test]
+    fn builtin_names_are_unique_and_filesystem_safe() {
+        let scenarios = Scenario::builtin();
+        let mut names: Vec<&str> = scenarios.iter().map(|s| s.name.as_str()).collect();
+        names.sort_unstable();
+        let before = names.len();
+        names.dedup();
+        assert_eq!(names.len(), before);
+        for name in names {
+            assert!(name
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-'));
+        }
+    }
+
+    #[test]
+    fn minimal_scenario_uses_tiny_defaults() {
+        let s = Scenario::from_json(
+            r#"{"name":"mini",
+                "dataset":{"kind":"cifar","size":8,"classes":3,"count":64,"seed":1},
+                "flow":{"epochs":1}}"#,
+        )
+        .unwrap();
+        assert_eq!(s.name, "mini");
+        assert_eq!(s.flow.epochs, 1);
+        assert_eq!(s.flow.batch_size, FlowConfig::tiny().batch_size);
+        assert!(!s.flow.verbose);
+        assert!(s.fault.is_none());
+        assert!(!s.dataset.rgb);
+    }
+
+    #[test]
+    fn faces_and_layer_wise_parse() {
+        let s = Scenario::from_json(
+            r#"{"name":"faces",
+                "dataset":{"kind":"faces","size":8,"classes":4,"count":64,"seed":2},
+                "flow":{"grouping":{"kind":"layer_wise","lambdas":[0,0,5]},
+                        "band":{"kind":"explicit","min":10,"max":90},
+                        "quant":null},
+                "tolerances":{"accuracy":0.1}}"#,
+        )
+        .unwrap();
+        assert_eq!(s.dataset.kind, DatasetKind::Faces);
+        assert_eq!(s.flow.grouping, Grouping::LayerWise([0.0, 0.0, 5.0]));
+        assert!(s.flow.quant.is_none());
+        assert_eq!(s.tolerance_overrides, vec![("accuracy".to_string(), 0.1)]);
+        s.dataset.generate().unwrap();
+    }
+
+    #[test]
+    fn malformed_specs_are_rejected_with_context() {
+        for (body, needle) in [
+            ("{", "scenario JSON"),
+            (r#"{"dataset":{},"flow":{}}"#, "name"),
+            (
+                r#"{"name":"x","dataset":{"kind":"mnist","size":8,"classes":2,"count":8,"seed":0},"flow":{}}"#,
+                "dataset kind",
+            ),
+            (
+                r#"{"name":"x","dataset":{"kind":"cifar","size":8,"classes":2,"count":8,"seed":0},"flow":{"epochs":0}}"#,
+                "flow config",
+            ),
+            (
+                r#"{"name":"x","dataset":{"kind":"cifar","size":8,"classes":2,"count":8,"seed":0},"flow":{},"fault":{"seed":1,"faults":[{"kind":"melt"}]}}"#,
+                "fault kind",
+            ),
+        ] {
+            let err = Scenario::from_json(body).unwrap_err().to_string();
+            assert!(err.contains(needle), "{body} -> {err}");
+        }
+    }
+}

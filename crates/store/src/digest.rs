@@ -1,0 +1,156 @@
+//! Deterministic 64-bit content digests for artifacts and tensors.
+//!
+//! The conformance harness gates "the reproduction still reproduces" on
+//! *bit identity* of the released state: a golden report records the
+//! digest of the released weights, the selected indices and the target
+//! pixels, and any later run whose digests differ has broken the
+//! determinism contract even if every aggregate metric still lands
+//! inside its tolerance band.
+//!
+//! The digest is FNV-1a 64 over the little-endian byte image of the
+//! input — the same family as [`qce_telemetry::fnv1a`], but over raw
+//! bytes instead of UTF-8, and resumable through [`Digester`] so
+//! heterogeneous fields can be folded into one value. It is a
+//! *fingerprint*, not a cryptographic hash: collisions are possible in
+//! principle but irrelevant for regression detection, where the
+//! adversary is entropy, not an attacker.
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Incremental FNV-1a 64 digest over heterogeneous fields.
+///
+/// # Examples
+///
+/// ```
+/// use qce_store::digest::{digest_bytes, Digester};
+///
+/// let one_shot = digest_bytes(b"abc");
+/// let incremental = Digester::new().bytes(b"ab").bytes(b"c").finish();
+/// assert_eq!(one_shot, incremental);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Digester {
+    hash: u64,
+}
+
+impl Digester {
+    /// A fresh digest at the FNV offset basis.
+    #[must_use]
+    pub fn new() -> Self {
+        Digester { hash: FNV_OFFSET }
+    }
+
+    /// Folds raw bytes into the digest.
+    #[must_use]
+    pub fn bytes(mut self, bytes: &[u8]) -> Self {
+        for &b in bytes {
+            self.hash ^= u64::from(b);
+            self.hash = self.hash.wrapping_mul(FNV_PRIME);
+        }
+        self
+    }
+
+    /// Folds a `u64` (little-endian) into the digest.
+    #[must_use]
+    pub fn u64(self, v: u64) -> Self {
+        self.bytes(&v.to_le_bytes())
+    }
+
+    /// Folds every `f32` *bit pattern* into the digest. Two slices
+    /// digest equal iff they are bit-for-bit identical — `-0.0` and
+    /// `0.0` differ, and every NaN payload is distinguished, which is
+    /// exactly what a determinism gate wants.
+    #[must_use]
+    pub fn f32s(mut self, values: &[f32]) -> Self {
+        for v in values {
+            self = self.bytes(&v.to_bits().to_le_bytes());
+        }
+        self
+    }
+
+    /// Folds a `usize` slice (as little-endian `u64`s) into the digest.
+    #[must_use]
+    pub fn indices(mut self, values: &[usize]) -> Self {
+        for &v in values {
+            self = self.u64(v as u64);
+        }
+        self
+    }
+
+    /// The accumulated digest.
+    #[must_use]
+    pub fn finish(self) -> u64 {
+        self.hash
+    }
+}
+
+impl Default for Digester {
+    fn default() -> Self {
+        Digester::new()
+    }
+}
+
+/// One-shot digest of a byte slice.
+#[must_use]
+pub fn digest_bytes(bytes: &[u8]) -> u64 {
+    Digester::new().bytes(bytes).finish()
+}
+
+/// One-shot digest of an `f32` slice's bit patterns (see
+/// [`Digester::f32s`]).
+#[must_use]
+pub fn digest_f32s(values: &[f32]) -> u64 {
+    Digester::new().f32s(values).finish()
+}
+
+/// One-shot digest of an index list.
+#[must_use]
+pub fn digest_indices(values: &[usize]) -> u64 {
+    Digester::new().indices(values).finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn digest_is_deterministic_and_order_sensitive() {
+        assert_eq!(digest_bytes(b"qces"), digest_bytes(b"qces"));
+        assert_ne!(digest_bytes(b"ab"), digest_bytes(b"ba"));
+        assert_ne!(digest_bytes(b""), digest_bytes(b"\0"));
+    }
+
+    #[test]
+    fn empty_digest_is_the_offset_basis() {
+        assert_eq!(digest_bytes(&[]), FNV_OFFSET);
+        assert_eq!(Digester::new().finish(), FNV_OFFSET);
+    }
+
+    #[test]
+    fn f32_digest_separates_bit_patterns() {
+        assert_ne!(digest_f32s(&[0.0]), digest_f32s(&[-0.0]));
+        assert_eq!(digest_f32s(&[1.5, -2.25]), digest_f32s(&[1.5, -2.25]));
+        assert_ne!(digest_f32s(&[1.5, -2.25]), digest_f32s(&[-2.25, 1.5]));
+    }
+
+    #[test]
+    fn incremental_matches_one_shot() {
+        let a = Digester::new()
+            .bytes(b"stage")
+            .u64(7)
+            .f32s(&[0.5, -0.5])
+            .indices(&[3, 1, 4])
+            .finish();
+        let b = Digester::new()
+            .bytes(b"stage")
+            .u64(7)
+            .f32s(&[0.5])
+            .f32s(&[-0.5])
+            .indices(&[3])
+            .indices(&[1, 4])
+            .finish();
+        assert_eq!(a, b);
+        assert_ne!(a, digest_indices(&[3, 1, 4]));
+    }
+}

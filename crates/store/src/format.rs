@@ -24,6 +24,8 @@
 //! before returning, which is what lets the stage cache treat any
 //! deserialization error as a miss rather than a risk.
 
+use std::path::Path;
+
 use qce_attack::ecc::crc32;
 
 use crate::{Result, StoreError};
@@ -244,6 +246,56 @@ impl Artifact {
     }
 }
 
+impl Artifact {
+    /// Reads and fully verifies an artifact file (see
+    /// [`Artifact::from_bytes`]).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] when the file cannot be read, otherwise
+    /// whatever [`Artifact::from_bytes`] reports.
+    pub fn read_file(path: impl AsRef<Path>) -> Result<Self> {
+        let path = path.as_ref();
+        let bytes = std::fs::read(path)
+            .map_err(|e| StoreError::io(format!("reading artifact {}", path.display()), e))?;
+        Artifact::from_bytes(&bytes)
+    }
+
+    /// Serializes the artifact to `path`, creating parent directories as
+    /// needed.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] when a directory or the file cannot be
+    /// written.
+    pub fn write_file(&self, path: impl AsRef<Path>) -> Result<()> {
+        let path = path.as_ref();
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent).map_err(|e| {
+                    StoreError::io(format!("creating directory {}", parent.display()), e)
+                })?;
+            }
+        }
+        std::fs::write(path, self.to_bytes())
+            .map_err(|e| StoreError::io(format!("writing artifact {}", path.display()), e))
+    }
+}
+
+/// The format version a byte buffer *declares*, if it carries the QCES
+/// magic — readable even when [`Artifact::from_bytes`] would reject the
+/// buffer as an unsupported version. Diagnostic tooling uses this to
+/// distinguish "written by a newer build, regenerate it" from "not an
+/// artifact at all".
+#[must_use]
+pub fn peek_version(bytes: &[u8]) -> Option<u16> {
+    if bytes.len() >= 6 && bytes[0..4] == MAGIC {
+        Some(u16::from_le_bytes([bytes[4], bytes[5]]))
+    } else {
+        None
+    }
+}
+
 fn table_overflow() -> StoreError {
     StoreError::format("section table lengths overflow")
 }
@@ -338,6 +390,45 @@ mod tests {
         let bytes = a.to_bytes();
         assert_eq!(bytes.len(), 12);
         assert_eq!(Artifact::from_bytes(&bytes).unwrap(), a);
+    }
+
+    #[test]
+    fn peek_version_reads_declared_version_even_when_unsupported() {
+        let mut bytes = sample().to_bytes();
+        assert_eq!(peek_version(&bytes), Some(FORMAT_VERSION));
+        // A future format version: from_bytes refuses, peek still reads.
+        bytes[4..6].copy_from_slice(&(FORMAT_VERSION + 1).to_le_bytes());
+        let err = Artifact::from_bytes(&bytes).unwrap_err();
+        assert!(err.to_string().contains("version"), "{err}");
+        assert_eq!(peek_version(&bytes), Some(FORMAT_VERSION + 1));
+        // Not an artifact at all.
+        assert_eq!(peek_version(b"png\x89 definitely not"), None);
+        assert_eq!(peek_version(b"QCES"), None);
+        assert_eq!(peek_version(&[]), None);
+    }
+
+    #[test]
+    fn file_round_trip_and_io_errors() {
+        let dir = std::env::temp_dir().join(format!("qce-format-io-{}", std::process::id()));
+        let path = dir.join("nested").join("artifact.qces");
+        let a = sample();
+        a.write_file(&path).unwrap();
+        assert_eq!(Artifact::read_file(&path).unwrap(), a);
+        // Damaged on disk: read_file surfaces the verification error.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            Artifact::read_file(&path),
+            Err(StoreError::Corrupt { .. })
+        ));
+        // Missing file: a contextual Io error.
+        let missing = dir.join("missing.qces");
+        let err = Artifact::read_file(&missing).unwrap_err();
+        assert!(matches!(err, StoreError::Io { .. }));
+        assert!(err.to_string().contains("missing.qces"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

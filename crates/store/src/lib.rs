@@ -63,10 +63,12 @@
 
 pub mod cache;
 pub mod codec;
+pub mod digest;
 mod error;
 pub mod format;
 pub mod persist;
 
 pub use cache::{CacheKey, StageCache, CACHE_ENV};
+pub use digest::{digest_bytes, digest_f32s, digest_indices, Digester};
 pub use error::{Result, StoreError};
-pub use format::{section_kind, Artifact, Section, FORMAT_VERSION, MAGIC};
+pub use format::{peek_version, section_kind, Artifact, Section, FORMAT_VERSION, MAGIC};

@@ -7,8 +7,13 @@
 //!
 //! Each extra argument is a span name that must appear as both
 //! `span_start` and `span_end` in the trace.
+//!
+//! Truncated traces are rejected: a file that does not end in a newline
+//! was cut mid-write, and a span that starts but never ends means the
+//! tail of the trace is missing. Both exit non-zero with a diagnostic
+//! naming the evidence.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use std::process::ExitCode;
 
 use qce_telemetry::json::{parse, JsonValue};
@@ -18,8 +23,9 @@ fn check_line(
     line: &str,
     started: &mut BTreeSet<String>,
     ended: &mut BTreeSet<String>,
+    open: &mut BTreeMap<u64, String>,
 ) -> Result<(), String> {
-    let v = parse(line).map_err(|e| format!("line {n}: {e}"))?;
+    let v = parse(line).map_err(|e| format!("line {n}: {e} (truncated trace?)"))?;
     let ev = v
         .get("ev")
         .and_then(JsonValue::as_str)
@@ -39,12 +45,18 @@ fn check_line(
             need(&["id", "name", "thread", "t_us"])?;
             if let Some(name) = v.get("name").and_then(JsonValue::as_str) {
                 started.insert(name.to_string());
+                if let Some(id) = v.get("id").and_then(JsonValue::as_u64) {
+                    open.insert(id, name.to_string());
+                }
             }
         }
         "span_end" => {
             need(&["id", "name", "dur_us", "t_us"])?;
             if let Some(name) = v.get("name").and_then(JsonValue::as_str) {
                 ended.insert(name.to_string());
+            }
+            if let Some(id) = v.get("id").and_then(JsonValue::as_u64) {
+                open.remove(&id);
             }
         }
         "manifest" => need(&["config_hash", "seed", "threads", "stages", "metrics"])?,
@@ -60,18 +72,32 @@ fn run() -> Result<(), String> {
         .ok_or("usage: trace_check <trace.jsonl> [expected-span ...]")?;
     let expected: Vec<String> = args.collect();
     let body = std::fs::read_to_string(&trace).map_err(|e| format!("{trace}: {e}"))?;
+    if !body.is_empty() && !body.ends_with('\n') {
+        return Err(format!(
+            "{trace}: does not end in a newline — truncated trace (interrupted write?)"
+        ));
+    }
     let mut started = BTreeSet::new();
     let mut ended = BTreeSet::new();
+    let mut open = BTreeMap::new();
     let mut lines = 0usize;
     for (i, line) in body.lines().enumerate() {
         if line.trim().is_empty() {
             continue;
         }
         lines += 1;
-        check_line(i + 1, line, &mut started, &mut ended)?;
+        check_line(i + 1, line, &mut started, &mut ended, &mut open)?;
     }
     if lines == 0 {
         return Err(format!("{trace}: empty trace"));
+    }
+    if !open.is_empty() {
+        let (id, name) = open.iter().next().expect("non-empty");
+        return Err(format!(
+            "{trace}: {} span(s) started but never ended (first: {name:?} id {id}) — \
+             truncated trace",
+            open.len()
+        ));
     }
     for name in &expected {
         if !started.contains(name) {

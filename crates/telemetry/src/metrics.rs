@@ -284,6 +284,20 @@ impl MetricsSnapshot {
         out
     }
 
+    /// Exports every *counter* whose name starts with one of `prefixes`
+    /// as exact `(name, value)` pairs in deterministic (lexicographic)
+    /// order — the raw material of conformance gating, where counters
+    /// (unlike gauges and wall-time histograms) are exact reproducible
+    /// event counts.
+    #[must_use]
+    pub fn counters_with_prefix(&self, prefixes: &[&str]) -> Vec<(String, u64)> {
+        self.counters
+            .iter()
+            .filter(|(n, _)| prefixes.iter().any(|p| n.starts_with(p)))
+            .map(|(n, v)| (n.clone(), *v))
+            .collect()
+    }
+
     /// Renders the snapshot as one JSON object.
     #[must_use]
     pub fn to_json(&self) -> String {
@@ -442,6 +456,22 @@ mod tests {
         assert!(names.contains(&"test.flat.b"));
         assert!(names.contains(&"test.flat.h.mean"));
         assert!(!names.iter().any(|n| n.starts_with("other.")));
+    }
+
+    #[test]
+    fn counter_export_is_exact_and_filtered() {
+        counter("test.export.a").incr(3);
+        counter("test.export.b").incr((1 << 60) + 1); // beyond f64 exactness
+        gauge("test.export.g").set(1.0); // gauges never exported
+        let exported = snapshot().counters_with_prefix(&["test.export."]);
+        assert_eq!(
+            exported,
+            vec![
+                ("test.export.a".to_string(), 3),
+                ("test.export.b".to_string(), (1 << 60) + 1),
+            ]
+        );
+        assert!(snapshot().counters_with_prefix(&["no.such."]).is_empty());
     }
 
     #[test]
