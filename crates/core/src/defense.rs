@@ -1,27 +1,34 @@
 //! Active defenses a data holder can apply to a model *before* releasing
-//! it, without retraining — the constructive follow-up the paper's
-//! conclusion calls for.
+//! it — the constructive follow-up the paper's conclusion calls for.
 //!
-//! * [`noise_weights`] — add zero-mean Gaussian noise scaled to each
-//!   tensor's own standard deviation.
-//! * [`requantize`] — re-quantize the released weights with the
-//!   defender's *own* k-means codebook (this annihilates LSB payloads
-//!   outright and undoes an attacker's target-correlated boundaries).
+//! The countermeasures themselves now live in the [`qce_defense`] crate
+//! as composable, seeded [`DefensePlan`]s (rotation/permutation of hidden
+//! channels, defensive fine-tuning, magnitude pruning, defender
+//! re-quantization, weight noise); this module re-exports them and keeps
+//! thin deprecated wrappers for the two original free functions.
 //!
-//! **Measured caveat** (see the `defenses` bench): against the
-//! *correlation* attack these countermeasures under-deliver — on an
-//! attacked model, noise strong enough to damage the encoding destroys
-//! task accuracy first, and defender re-quantization at survivable bit
-//! widths leaves most encoded images recognizable. The correlation
-//! attack stores its payload at the same "resolution" the task uses, so
-//! there is no perturbation budget that separates them. The effective
-//! defenses are *detection* ([`audit`](crate::audit), which names the
-//! stolen images) and reviewing third-party training code.
+//! **Measured picture** (see the tournament conformance suite under
+//! `conformance/tournament/` and the `defenses` bench): against the
+//! *correlation* attack, noise and defender re-quantization under-deliver
+//! — perturbation strong enough to damage the encoding destroys task
+//! accuracy first. The *rotation* family is different: a compensated
+//! hidden-channel permutation is exactly accuracy-preserving and scrambles
+//! the correlation channel's weight order, driving recovery to zero — but
+//! the hardened statistics-sign channel
+//! ([`qce_attack::statsign`]) survives it by construction. The arms race
+//! is measured, not asserted: the tournament goldens pin per-cell recovery
+//! for every (attack variant × defense × bit width) combination, and
+//! *detection* ([`audit`](crate::audit)) plus reviewing third-party
+//! training code remain the defenses that do not trade accuracy at all.
 
-use qce_nn::{Network, ParamKind};
+use qce_nn::Network;
 use qce_quant::{quantize_network, KMeansQuantizer, QuantizedNetwork};
 
 use crate::{FlowError, Result};
+
+pub use qce_defense::{
+    Defense, DefenseContext, DefenseError, DefenseKind, DefensePlan, RotationMode,
+};
 
 /// Adds zero-mean Gaussian noise to every `Weight`-kind tensor, with the
 /// noise standard deviation set to `fraction` of the tensor's own weight
@@ -34,6 +41,7 @@ use crate::{FlowError, Result};
 /// # Examples
 ///
 /// ```
+/// # #![allow(deprecated)]
 /// use qce::defense::noise_weights;
 /// use qce_nn::models::ResNetLite;
 ///
@@ -47,29 +55,19 @@ use crate::{FlowError, Result};
 /// # Ok(())
 /// # }
 /// ```
+#[deprecated(
+    since = "0.1.0",
+    note = "use qce_defense::DefensePlan::new(seed).with(DefenseKind::NoiseWeights { fraction })"
+)]
 pub fn noise_weights(net: &mut Network, fraction: f32, seed: u64) -> Result<()> {
     if fraction < 0.0 {
         return Err(FlowError::InvalidConfig {
             reason: format!("noise fraction {fraction} must be non-negative"),
         });
     }
-    if fraction == 0.0 {
-        return Ok(());
-    }
-    let mut rng = qce_tensor::init::seeded_rng(seed);
-    for p in net.params_mut() {
-        if p.kind() != ParamKind::Weight {
-            continue;
-        }
-        let std = qce_tensor::stats::std_dev(p.value().as_slice());
-        if std <= 0.0 {
-            continue;
-        }
-        let sigma = fraction * std;
-        for w in p.value_mut().as_mut_slice() {
-            *w += sigma * qce_tensor::init::standard_normal(&mut rng);
-        }
-    }
+    DefensePlan::new(seed)
+        .with(DefenseKind::NoiseWeights { fraction })
+        .apply(net, &DefenseContext::empty())?;
     Ok(())
 }
 
@@ -81,6 +79,11 @@ pub fn noise_weights(net: &mut Network, fraction: f32, seed: u64) -> Result<()> 
 ///
 /// Returns [`FlowError::InvalidConfig`] for `bits` outside `1..=16`, or
 /// propagates quantization errors.
+#[deprecated(
+    since = "0.1.0",
+    note = "use qce_defense::DefenseKind::Requantize { bits } in a DefensePlan \
+            (this wrapper additionally returns the quantization handle)"
+)]
 pub fn requantize(net: &mut Network, bits: u32) -> Result<QuantizedNetwork> {
     if bits == 0 || bits > 16 {
         return Err(FlowError::InvalidConfig {
@@ -92,6 +95,7 @@ pub fn requantize(net: &mut Network, bits: u32) -> Result<QuantizedNetwork> {
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::{AttackFlow, BandRule, FlowConfig, Grouping};
@@ -163,6 +167,20 @@ mod tests {
         let (mut b, _) = attacked();
         noise_weights(a.network_mut(), 0.1, 9).unwrap();
         noise_weights(b.network_mut(), 0.1, 9).unwrap();
+        assert_eq!(a.network().flat_weights(), b.network().flat_weights());
+    }
+
+    #[test]
+    fn wrapper_matches_the_plan_path() {
+        // The deprecated free function and the DefensePlan route must be
+        // bit-identical: same seed, same draws, same weights.
+        let (mut a, _) = attacked();
+        let (mut b, _) = attacked();
+        noise_weights(a.network_mut(), 0.1, 9).unwrap();
+        DefensePlan::new(9)
+            .with(DefenseKind::NoiseWeights { fraction: 0.1 })
+            .apply(b.network_mut(), &DefenseContext::empty())
+            .unwrap();
         assert_eq!(a.network().flat_weights(), b.network().flat_weights());
     }
 }

@@ -2,6 +2,7 @@ use std::fmt;
 
 use qce_attack::AttackError;
 use qce_data::DataError;
+use qce_defense::DefenseError;
 use qce_nn::NnError;
 use qce_quant::QuantError;
 
@@ -21,6 +22,8 @@ pub enum FlowError {
     Quant(QuantError),
     /// Fault injection on a release failed.
     Faults(FaultError),
+    /// A data-holder countermeasure failed.
+    Defense(DefenseError),
     /// The flow configuration is inconsistent.
     InvalidConfig {
         /// Why the configuration is rejected.
@@ -36,6 +39,7 @@ impl fmt::Display for FlowError {
             FlowError::Attack(e) => write!(f, "attack stage failed: {e}"),
             FlowError::Quant(e) => write!(f, "quantization stage failed: {e}"),
             FlowError::Faults(e) => write!(f, "fault injection failed: {e}"),
+            FlowError::Defense(e) => write!(f, "defense stage failed: {e}"),
             FlowError::InvalidConfig { reason } => write!(f, "invalid flow config: {reason}"),
         }
     }
@@ -49,6 +53,7 @@ impl std::error::Error for FlowError {
             FlowError::Attack(e) => Some(e),
             FlowError::Quant(e) => Some(e),
             FlowError::Faults(e) => Some(e),
+            FlowError::Defense(e) => Some(e),
             FlowError::InvalidConfig { .. } => None,
         }
     }
@@ -81,6 +86,12 @@ impl From<QuantError> for FlowError {
 impl From<FaultError> for FlowError {
     fn from(e: FaultError) -> Self {
         FlowError::Faults(e)
+    }
+}
+
+impl From<DefenseError> for FlowError {
+    fn from(e: DefenseError) -> Self {
+        FlowError::Defense(e)
     }
 }
 

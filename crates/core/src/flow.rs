@@ -1,6 +1,9 @@
 use qce_attack::correlation::{correlation, SignConvention};
-use qce_attack::{CorrelationRegularizer, Decoder, EncodingLayout, GroupSpec};
+use qce_attack::ecc::Ecc;
+use qce_attack::statsign::{StatSignDecoder, StatSignLayout, StatSignRegularizer};
+use qce_attack::{CorrelationRegularizer, DecodedImage, Decoder, EncodingLayout, GroupSpec};
 use qce_data::{select, Dataset, Image};
+use qce_defense::{DefenseContext, DefensePlan};
 use qce_metrics::{mape, ssim};
 use qce_nn::models::ResNetLite;
 use qce_nn::{
@@ -20,8 +23,9 @@ use std::time::Instant;
 use crate::faults::FaultPlan;
 use crate::store_io;
 use crate::{
-    Architecture, BandRule, FaultedImage, FaultedReport, FlowConfig, FlowError, Grouping,
-    ImageReport, QuantConfig, QuantMethod, Result, RobustnessPoint, RobustnessReport, StageReport,
+    Architecture, BandRule, EncodingChannel, FaultedImage, FaultedReport, FlowConfig, FlowError,
+    Grouping, ImageReport, QuantConfig, QuantMethod, Result, RobustnessPoint, RobustnessReport,
+    StageReport,
 };
 
 /// The end-to-end quantized correlation encoding attack flow (Fig. 1 of
@@ -59,6 +63,7 @@ pub struct TrainedAttack {
     network: Network,
     float_state: NetworkSnapshot,
     layout: Option<EncodingLayout>,
+    statsign: Option<StatSignLayout>,
     selection_indices: Vec<usize>,
     targets: Vec<Image>,
     target_labels: Vec<usize>,
@@ -106,6 +111,10 @@ pub struct FlowOutcome {
     /// Evaluation after quantization + fine-tuning (`None` if the config
     /// skipped quantization).
     pub post_quant: Option<StageReport>,
+    /// Evaluation after the data holder's countermeasures (`None` if the
+    /// config carried no [`DefensePlan`]). When present, `network` is the
+    /// *defended* release — the state this report measured.
+    pub post_defense: Option<FaultedReport>,
     /// Training history of the main training phase.
     pub training: TrainingHistory,
     /// Weight-payload compression ratio vs. float32 (`None` without
@@ -237,6 +246,14 @@ impl AttackFlow {
             let label = format!("{:?} {}-bit", qcfg.method, qcfg.bits);
             post_quant = Some(trained.evaluate_cached(label, cache.as_ref(), cache_hash, level)?);
         }
+        // The data holder's release-time countermeasures run on whatever
+        // state would otherwise be published (quantized if quantization
+        // ran, float otherwise) and *stay applied*: the outcome's network
+        // is the defended release.
+        let mut post_defense = None;
+        if let Some(plan) = &self.config.defense {
+            post_defense = Some(trained.defend_cached(plan, cache.as_ref(), cache_hash, level)?);
+        }
         let mut stages = trained.stage_stats.clone();
         stages.push(StageStat {
             name: format!("flow.evaluate:{}", pre_quant.label),
@@ -266,6 +283,7 @@ impl AttackFlow {
             target_labels: trained.target_labels,
             pre_quant,
             post_quant,
+            post_defense,
             training: trained.training,
             compression_ratio,
             manifest,
@@ -345,20 +363,32 @@ impl AttackFlow {
             }
         };
         let mut layout = None;
+        let mut statsign = None;
         let mut selection_indices = Vec::new();
         let mut targets: Vec<Image> = Vec::new();
         let mut target_labels = Vec::new();
-        let mut regularizer: Option<CorrelationRegularizer> = None;
+        let mut corr_reg: Option<CorrelationRegularizer> = None;
+        let mut stat_reg: Option<StatSignRegularizer> = None;
 
         if cfg.grouping.is_attack() {
             let slots = net.weight_slots();
-            let capacity_pixels: usize = specs
-                .iter()
-                .filter(|s| s.lambda > 0.0)
-                .flat_map(|s| s.ordinals.iter())
-                .map(|&o| slots[o].len)
-                .sum();
             let image_pixels = first.num_pixels();
+            // Both channels express their capacity in pixels so the band
+            // selection below stays channel-agnostic: the correlation
+            // channel spends one weight per pixel, the statsign channel
+            // spends whole image blocks of group-mean sign bits.
+            let capacity_pixels: usize = match cfg.channel {
+                EncodingChannel::Correlation => specs
+                    .iter()
+                    .filter(|s| s.lambda > 0.0)
+                    .flat_map(|s| s.ordinals.iter())
+                    .map(|&o| slots[o].len)
+                    .sum(),
+                EncodingChannel::StatSign { .. } => {
+                    StatSignLayout::capacity_images(&net, image_pixels, &Ecc::Hamming74)?
+                        * image_pixels
+                }
+            };
             let select_key = CacheKey::new(cache_hash, cfg.seed, "select");
             let cached_indices = cache
                 .as_ref()
@@ -416,12 +446,21 @@ impl AttackFlow {
                 .map(|&i| train.image(i).clone())
                 .collect();
             target_labels = selection_indices.iter().map(|&i| train.label(i)).collect();
-            let planned = EncodingLayout::plan(&net, &specs, &targets)?;
-            // Warmup lets task features form before the encoding pressure
-            // peaks; the final epoch still runs at full λ.
-            regularizer =
-                Some(CorrelationRegularizer::new(planned.clone(), cfg.sign).with_warmup());
-            layout = Some(planned);
+            match cfg.channel {
+                EncodingChannel::Correlation => {
+                    let planned = EncodingLayout::plan(&net, &specs, &targets)?;
+                    // Warmup lets task features form before the encoding
+                    // pressure peaks; the final epoch still runs at full λ.
+                    corr_reg =
+                        Some(CorrelationRegularizer::new(planned.clone(), cfg.sign).with_warmup());
+                    layout = Some(planned);
+                }
+                EncodingChannel::StatSign { lambda } => {
+                    let planned = StatSignLayout::plan(&net, &targets, Ecc::Hamming74)?;
+                    stat_reg = Some(StatSignRegularizer::new(&planned, lambda)?);
+                    statsign = Some(planned);
+                }
+            }
         }
         drop(select_span);
         stage_stats.push(StageStat {
@@ -468,12 +507,13 @@ impl AttackFlow {
         let training = match cached_training {
             Some(history) => history,
             None => {
-                let history = trainer.fit(
-                    &mut net,
-                    &train_x,
-                    &train_y,
-                    regularizer.as_mut().map(|r| r as &mut dyn Regularizer),
-                )?;
+                let reg: Option<&mut dyn Regularizer> = match (corr_reg.as_mut(), stat_reg.as_mut())
+                {
+                    (Some(r), _) => Some(r),
+                    (None, Some(r)) => Some(r),
+                    (None, None) => None,
+                };
+                let history = trainer.fit(&mut net, &train_x, &train_y, reg)?;
                 if let Some(c) = &cache {
                     match persist::network_to_bytes(&net) {
                         Ok(net_bytes) => {
@@ -506,6 +546,7 @@ impl AttackFlow {
             network: net,
             float_state,
             layout,
+            statsign,
             selection_indices,
             targets,
             target_labels,
@@ -540,6 +581,13 @@ impl TrainedAttack {
     /// The encoding plan (`None` for benign runs).
     pub fn layout(&self) -> Option<&EncodingLayout> {
         self.layout.as_ref()
+    }
+
+    /// The statsign channel plan (`None` unless the flow trained with
+    /// [`EncodingChannel::StatSign`]). Exposes the payload geometry and
+    /// [`StatSignLayout::payload_ber`] for defense/robustness studies.
+    pub fn statsign_layout(&self) -> Option<&StatSignLayout> {
+        self.statsign.as_ref()
     }
 
     /// The original target images, in encoding order.
@@ -661,12 +709,27 @@ impl TrainedAttack {
                 shuffle_seed: self.config.seed.wrapping_add(4),
                 verbose: self.config.verbose,
             };
-            let mut reg = if qcfg.regularize_finetune {
-                self.layout
-                    .clone()
-                    .map(|l| CorrelationRegularizer::new(l, self.config.sign))
-            } else {
-                None
+            let mut corr_reg: Option<CorrelationRegularizer> = None;
+            let mut stat_reg: Option<StatSignRegularizer> = None;
+            if qcfg.regularize_finetune {
+                match self.config.channel {
+                    EncodingChannel::Correlation => {
+                        corr_reg = self
+                            .layout
+                            .clone()
+                            .map(|l| CorrelationRegularizer::new(l, self.config.sign));
+                    }
+                    EncodingChannel::StatSign { lambda } => {
+                        if let Some(l) = &self.statsign {
+                            stat_reg = Some(StatSignRegularizer::new(l, lambda)?);
+                        }
+                    }
+                }
+            }
+            let reg: Option<&mut dyn Regularizer> = match (corr_reg.as_mut(), stat_reg.as_mut()) {
+                (Some(r), _) => Some(r),
+                (None, Some(r)) => Some(r),
+                (None, None) => None,
             };
             finetune(
                 &mut self.network,
@@ -674,7 +737,7 @@ impl TrainedAttack {
                 &self.train_x,
                 &self.train_y,
                 &ft,
-                reg.as_mut().map(|r| r as &mut dyn Regularizer),
+                reg,
             )?;
         }
         drop(quant_span);
@@ -828,12 +891,31 @@ impl TrainedAttack {
             }
             None => plan.apply_to_network(&mut self.network)?,
         }
+        self.resilient_report(label)
+    }
+
+    /// Resiliently decodes the network's *current* weights through
+    /// whichever channel the run encoded (`None` for benign runs).
+    fn decode_release_resilient(&self) -> Result<Option<qce_attack::ResilientDecode>> {
+        let flat = self.network.flat_weights();
+        if let Some(layout) = &self.statsign {
+            let decoded = StatSignDecoder::new(layout.clone()).decode_resilient(&flat)?;
+            return Ok(Some(decoded));
+        }
+        if let Some(layout) = &self.layout {
+            let decoder = Decoder::new(layout.clone(), self.config.sign);
+            return Ok(Some(decoder.decode_resilient(&flat)));
+        }
+        Ok(None)
+    }
+
+    /// Measures the network's current state as a [`FaultedReport`]: task
+    /// accuracy plus per-image resilient-decode status and quality.
+    fn resilient_report(&mut self, label: String) -> Result<FaultedReport> {
         let acc = accuracy(&mut self.network, &self.test_x, &self.test_y, 64)?;
         let mut images = Vec::new();
         let mut mean_confidence = 0.0;
-        if let Some(layout) = &self.layout {
-            let decoder = Decoder::new(layout.clone(), self.config.sign);
-            let resilient = decoder.decode_resilient(&self.network.flat_weights());
+        if let Some(resilient) = self.decode_release_resilient()? {
             mean_confidence = resilient.mean_confidence();
             for r in &resilient.images {
                 let (mape_v, ssim_v) = match &r.image {
@@ -858,6 +940,135 @@ impl TrainedAttack {
             images,
             mean_confidence,
         })
+    }
+
+    /// Applies `plan` to the network's *current* (released) state and
+    /// evaluates the defended release. Leaves the network defended — this
+    /// is the data holder's release path, not a what-if probe; use
+    /// [`TrainedAttack::evaluate_defended`] for repeatable sweeps.
+    ///
+    /// # Errors
+    ///
+    /// Propagates defense-application or evaluation errors.
+    pub fn defend_in_place(&mut self, plan: &DefensePlan, label: String) -> Result<FaultedReport> {
+        let t_defend = Instant::now();
+        let defend_span = qce_telemetry::span!("flow.defend", seed = plan.seed());
+        let ctx = DefenseContext::with_data(&self.train_x, &self.train_y, self.config.batch_size);
+        plan.apply(&mut self.network, &ctx)?;
+        drop(defend_span);
+        let report = self.resilient_report(label)?;
+        let mut metrics = qce_telemetry::snapshot().flatten_with_prefix(&["defense.", "decode."]);
+        metrics.push(("defense.accuracy".to_string(), f64::from(report.accuracy)));
+        metrics.push(("defense.images_ok".to_string(), report.ok_count() as f64));
+        metrics.push((
+            "defense.images_failed".to_string(),
+            report.failed_count() as f64,
+        ));
+        self.stage_stats.push(StageStat {
+            name: format!("flow.defend:{}", report.label),
+            wall_ms: t_defend.elapsed().as_secs_f64() * 1e3,
+            metrics,
+        });
+        Ok(report)
+    }
+
+    /// Evaluates a *defended* release: restores the float state,
+    /// optionally quantizes with `qcfg`, applies `plan` to the would-be
+    /// release, and measures task accuracy plus resilient extraction
+    /// quality. The float state is restored before returning, so defense
+    /// sweeps can reuse one trained model.
+    ///
+    /// # Errors
+    ///
+    /// Propagates quantization, defense-application or evaluation errors.
+    pub fn evaluate_defended(
+        &mut self,
+        qcfg: Option<QuantConfig>,
+        plan: &DefensePlan,
+        label: String,
+    ) -> Result<FaultedReport> {
+        let result = self.evaluate_defended_inner(qcfg, plan, label);
+        self.restore_float()?;
+        result
+    }
+
+    fn evaluate_defended_inner(
+        &mut self,
+        qcfg: Option<QuantConfig>,
+        plan: &DefensePlan,
+        label: String,
+    ) -> Result<FaultedReport> {
+        self.restore_float()?;
+        if let Some(qcfg) = qcfg {
+            self.quantize_in_place(qcfg)?;
+        }
+        self.defend_in_place(plan, label)
+    }
+
+    /// Runs the defense stage through the cache when one is attached: a
+    /// hit loads the defended network and its report instead of re-running
+    /// the countermeasures. Leaves the network defended either way.
+    fn defend_cached(
+        &mut self,
+        plan: &DefensePlan,
+        cache: Option<&StageCache>,
+        cache_hash: u64,
+        level: qce_telemetry::Level,
+    ) -> Result<FaultedReport> {
+        let label = format!("defended seed {}", plan.seed());
+        let Some(cache) = cache else {
+            return self.defend_in_place(plan, label);
+        };
+        let key = CacheKey::new(cache_hash, self.config.seed, "defend");
+        if let Some(artifact) = cache.load(&key) {
+            match self.load_defended_state(&artifact) {
+                Ok(report) if report.label == label => {
+                    log_cache_hit(level, &key.stage);
+                    self.stage_stats.push(StageStat {
+                        name: format!("flow.defend:{label}"),
+                        wall_ms: 0.0,
+                        metrics: vec![("defense.accuracy".to_string(), f64::from(report.accuracy))],
+                    });
+                    return Ok(report);
+                }
+                Ok(report) => note_payload_corrupt(
+                    &key.stage,
+                    &format!("label mismatch: stored {:?}", report.label),
+                ),
+                Err(e) => note_payload_corrupt(&key.stage, &e),
+            }
+        }
+        let report = self.defend_in_place(plan, label)?;
+        match persist::network_to_bytes(&self.network) {
+            Ok(net_bytes) => {
+                let mut artifact = Artifact::new();
+                artifact.push(section_kind::NETWORK, net_bytes);
+                artifact.push(
+                    store_io::FAULTED_REPORT,
+                    store_io::faulted_to_bytes(&report),
+                );
+                store_stage(cache, &key, &artifact);
+            }
+            Err(e) => qce_telemetry::debug!(
+                "[flow] skipping defend checkpoint (serialization failed): {e}"
+            ),
+        }
+        Ok(report)
+    }
+
+    /// Applies a cached defend artifact: the network section holds the
+    /// defended release, the report section its evaluation.
+    fn load_defended_state(&mut self, artifact: &Artifact) -> qce_store::Result<FaultedReport> {
+        let net_bytes = artifact.require(section_kind::NETWORK)?;
+        let report = artifact
+            .require(store_io::FAULTED_REPORT)
+            .and_then(store_io::faulted_from_bytes)?;
+        let guard = self.network.snapshot();
+        if let Err(e) = persist::network_from_bytes(&mut self.network, net_bytes) {
+            let _ = self.network.restore(&guard);
+            return Err(e);
+        }
+        Ok(report)
     }
 
     /// Sweeps `plan` over severity factors (each point evaluates
@@ -907,6 +1118,8 @@ impl TrainedAttack {
         let acc = accuracy(&mut self.network, &self.test_x, &self.test_y, 64)?;
         let mut images = Vec::new();
         let mut group_correlations = Vec::new();
+        let mut decoded: Vec<DecodedImage> = Vec::new();
+        let mut geometry = None;
 
         if let Some(layout) = &self.layout {
             let flat = self.network.flat_weights();
@@ -922,7 +1135,6 @@ impl TrainedAttack {
             }
 
             let decoder = Decoder::new(layout.clone(), self.config.sign);
-            let mut decoded = Vec::new();
             for gi in 0..layout.groups().len() {
                 match self.config.sign {
                     SignConvention::Positive => {
@@ -946,12 +1158,25 @@ impl TrainedAttack {
                     }
                 }
             }
+            geometry = Some(layout.geometry());
+        } else if let Some(layout) = &self.statsign {
+            // The hardened channel has no per-group correlation statistic;
+            // its strict view is the resilient decode minus the failures.
+            let resilient = StatSignDecoder::new(layout.clone())
+                .decode_resilient(&self.network.flat_weights())?;
+            decoded.extend(resilient.images.into_iter().filter_map(|r| {
+                r.image.map(|image| DecodedImage {
+                    image,
+                    group: r.group,
+                    target_index: r.target_index,
+                })
+            }));
+            geometry = Some(layout.geometry());
+        }
 
-            // Batch-classify the decoded images with the released model.
-            let recognized_flags = if decoded.is_empty() {
-                Vec::new()
-            } else {
-                let (c, h, w) = layout.geometry();
+        // Batch-classify the decoded images with the released model.
+        let recognized_flags = match geometry {
+            Some((c, h, w)) if !decoded.is_empty() => {
                 let mut flags = Vec::with_capacity(decoded.len());
                 for chunk in decoded.chunks(64) {
                     let mut data = Vec::with_capacity(chunk.len() * c * h * w);
@@ -966,19 +1191,20 @@ impl TrainedAttack {
                     }
                 }
                 flags
-            };
-
-            for (d, recognized) in decoded.iter().zip(recognized_flags) {
-                let original = &self.targets[d.target_index];
-                images.push(ImageReport {
-                    target_index: d.target_index,
-                    dataset_index: self.selection_indices[d.target_index],
-                    group: d.group,
-                    mape: mape(original, &d.image),
-                    ssim: ssim(original, &d.image),
-                    recognized,
-                });
             }
+            _ => Vec::new(),
+        };
+
+        for (d, recognized) in decoded.iter().zip(recognized_flags) {
+            let original = &self.targets[d.target_index];
+            images.push(ImageReport {
+                target_index: d.target_index,
+                dataset_index: self.selection_indices[d.target_index],
+                group: d.group,
+                mape: mape(original, &d.image),
+                ssim: ssim(original, &d.image),
+                recognized,
+            });
         }
 
         let mut metrics = Vec::new();
@@ -1003,6 +1229,20 @@ impl TrainedAttack {
     /// Propagates decoding errors; returns an empty vector for benign
     /// runs.
     pub fn decode_images(&self) -> Result<Vec<qce_attack::DecodedImage>> {
+        if self.statsign.is_some() {
+            let decoded = self.decode_release_resilient()?.expect("statsign layout");
+            return Ok(decoded
+                .images
+                .into_iter()
+                .filter_map(|r| {
+                    r.image.map(|image| DecodedImage {
+                        image,
+                        group: r.group,
+                        target_index: r.target_index,
+                    })
+                })
+                .collect());
+        }
         let Some(layout) = &self.layout else {
             return Ok(Vec::new());
         };
@@ -1221,6 +1461,93 @@ mod tests {
         let after = out.artifact_digests();
         assert_ne!(before[0].1, after[0].1);
         assert_eq!(before[1..], after[1..]);
+    }
+
+    fn statsign_cfg() -> FlowConfig {
+        FlowConfig {
+            grouping: Grouping::Uniform(5.0),
+            band: BandRule::FirstN,
+            channel: EncodingChannel::StatSign { lambda: 3e4 },
+            stage_channels: vec![12, 24],
+            quant: None,
+            epochs: 4,
+            ..FlowConfig::tiny()
+        }
+    }
+
+    #[test]
+    fn statsign_flow_encodes_and_decodes() {
+        let out = AttackFlow::new(statsign_cfg()).run(&tiny_data()).unwrap();
+        assert!(out.layout.is_none());
+        assert!(
+            !out.pre_quant.images.is_empty(),
+            "statsign run decoded no images"
+        );
+        assert!(out.pre_quant.accuracy > 0.0);
+        assert!(
+            out.pre_quant.mean_mape() < 20.0,
+            "mape = {}",
+            out.pre_quant.mean_mape()
+        );
+    }
+
+    #[test]
+    fn statsign_flow_survives_a_rotation_defense() {
+        use qce_defense::{DefenseKind, RotationMode};
+        let data = tiny_data();
+        let mut trained = AttackFlow::new(statsign_cfg()).train(&data).unwrap();
+        let plan = DefensePlan::new(11).with(DefenseKind::Rotation {
+            mode: RotationMode::Permute,
+        });
+        let rep = trained
+            .evaluate_defended(None, &plan, "rotated".to_string())
+            .unwrap();
+        assert!(!rep.images.is_empty());
+        assert!(
+            rep.failed_count() * 2 <= rep.images.len(),
+            "rotation broke the hardened channel: {} of {} failed",
+            rep.failed_count(),
+            rep.images.len()
+        );
+        assert!(
+            rep.mean_mape().unwrap_or(f32::INFINITY) < 20.0,
+            "mape = {:?}",
+            rep.mean_mape()
+        );
+    }
+
+    #[test]
+    fn defense_stage_is_part_of_the_released_flow() {
+        use qce_defense::DefenseKind;
+        let cfg = FlowConfig {
+            grouping: Grouping::Uniform(5.0),
+            band: BandRule::FirstN,
+            quant: None,
+            epochs: 2,
+            defense: Some(DefensePlan::new(3).with(DefenseKind::NoiseWeights { fraction: 0.05 })),
+            ..FlowConfig::tiny()
+        };
+        let data = tiny_data();
+        let out = AttackFlow::new(cfg.clone()).run(&data).unwrap();
+        let defended = out.post_defense.as_ref().unwrap();
+        assert!(defended.label.contains("seed 3"));
+        // The released network is the defended one, and the manifest
+        // records the defend stage.
+        let undefended = AttackFlow::new(FlowConfig {
+            defense: None,
+            ..cfg
+        })
+        .run(&data)
+        .unwrap();
+        assert_ne!(
+            out.network.flat_weights(),
+            undefended.network.flat_weights()
+        );
+        assert!(out
+            .manifest
+            .stages
+            .iter()
+            .any(|s| s.name.starts_with("flow.defend:")));
     }
 
     #[test]

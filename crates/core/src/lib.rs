@@ -62,7 +62,9 @@ pub mod audit;
 pub mod defense;
 pub mod faults;
 
-pub use config::{Architecture, BandRule, FlowConfig, Grouping, QuantConfig, QuantMethod};
+pub use config::{
+    Architecture, BandRule, EncodingChannel, FlowConfig, Grouping, QuantConfig, QuantMethod,
+};
 pub use error::FlowError;
 pub use faults::{FaultError, FaultKind, FaultPlan};
 pub use flow::{AttackFlow, FlowOutcome, QuantizedRelease, TrainedAttack};

@@ -198,6 +198,23 @@ impl FaultedReport {
             .count()
     }
 
+    /// Images actually *recovered*: decoded (`Ok` or `Degraded`) **and**
+    /// faithful to the target (MAPE at or below `mape_ceiling`).
+    ///
+    /// Decode status alone over-counts under structural defenses: a
+    /// correlation decode of permuted weights still reads out "images",
+    /// just with scrambled pixels. The MAPE gate is what makes recovery
+    /// numbers comparable across attack variants in the tournament.
+    pub fn recovered_count(&self, mape_ceiling: f32) -> usize {
+        self.images
+            .iter()
+            .filter(|i| {
+                !matches!(i.status, ImageStatus::Failed { .. })
+                    && i.mape.is_some_and(|m| m <= mape_ceiling)
+            })
+            .count()
+    }
+
     /// Mean MAPE over decoded chunks (`None` when nothing decoded).
     pub fn mean_mape(&self) -> Option<f32> {
         mean_of(self.images.iter().filter_map(|i| i.mape))

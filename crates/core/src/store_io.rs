@@ -17,10 +17,14 @@ use qce_data::Dataset;
 use qce_store::codec::{ByteReader, ByteWriter};
 use qce_store::{section_kind, StoreError};
 
-use crate::{FlowConfig, ImageReport, StageReport};
+use crate::{FaultedImage, FaultedReport, FlowConfig, ImageReport, ImageStatus, StageReport};
 
 /// Section kind tag for a serialized [`StageReport`].
 pub(crate) const STAGE_REPORT: u16 = section_kind::DOWNSTREAM_BASE;
+
+/// Section kind tag for a serialized [`FaultedReport`] (the defend
+/// stage's checkpoint payload).
+pub(crate) const FAULTED_REPORT: u16 = section_kind::DOWNSTREAM_BASE + 1;
 
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
@@ -110,6 +114,89 @@ pub(crate) fn report_from_bytes(bytes: &[u8]) -> Result<StageReport, StoreError>
         wall_ms,
         metrics,
     })
+}
+
+/// Serializes a [`FaultedReport`] (the defend-stage checkpoint payload).
+pub(crate) fn faulted_to_bytes(report: &FaultedReport) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.put_str(&report.label).put_f32(report.accuracy);
+    w.put_u64(report.images.len() as u64);
+    for img in &report.images {
+        w.put_u64(img.target_index as u64).put_u64(img.group as u64);
+        match &img.status {
+            ImageStatus::Ok => {
+                w.put_u8(0);
+            }
+            ImageStatus::Degraded { repaired_pixels } => {
+                w.put_u8(1).put_u64(*repaired_pixels as u64);
+            }
+            ImageStatus::Failed { reason } => {
+                w.put_u8(2).put_str(reason);
+            }
+        }
+        put_opt_f32(&mut w, img.mape);
+        put_opt_f32(&mut w, img.ssim);
+    }
+    w.put_f32(report.mean_confidence);
+    w.finish()
+}
+
+/// Reads a payload written by [`faulted_to_bytes`].
+pub(crate) fn faulted_from_bytes(bytes: &[u8]) -> Result<FaultedReport, StoreError> {
+    let mut r = ByteReader::new(bytes);
+    let label = r.str()?;
+    let accuracy = r.f32()?;
+    let image_count = r.len_u64()?;
+    let mut images = Vec::with_capacity(image_count.min(bytes.len() / 19));
+    for _ in 0..image_count {
+        let target_index = r.len_u64()?;
+        let group = r.len_u64()?;
+        let status = match r.u8()? {
+            0 => ImageStatus::Ok,
+            1 => ImageStatus::Degraded {
+                repaired_pixels: r.len_u64()?,
+            },
+            2 => ImageStatus::Failed { reason: r.str()? },
+            tag => {
+                return Err(StoreError::Payload {
+                    reason: format!("unknown image status tag {tag}"),
+                })
+            }
+        };
+        images.push(FaultedImage {
+            target_index,
+            group,
+            status,
+            mape: opt_f32(&mut r)?,
+            ssim: opt_f32(&mut r)?,
+        });
+    }
+    let mean_confidence = r.f32()?;
+    r.expect_empty()?;
+    Ok(FaultedReport {
+        label,
+        accuracy,
+        images,
+        mean_confidence,
+    })
+}
+
+fn put_opt_f32(w: &mut ByteWriter, v: Option<f32>) {
+    match v {
+        Some(v) => {
+            w.put_u8(1).put_f32(v);
+        }
+        None => {
+            w.put_u8(0);
+        }
+    }
+}
+
+fn opt_f32(r: &mut ByteReader<'_>) -> Result<Option<f32>, StoreError> {
+    match r.u8()? {
+        0 => Ok(None),
+        _ => Ok(Some(r.f32()?)),
+    }
 }
 
 #[cfg(test)]
@@ -202,6 +289,52 @@ mod tests {
                 prop_assert!(report_from_bytes(&bytes[..len]).is_err());
             }
         }
+    }
+
+    #[test]
+    fn faulted_report_round_trips_and_rejects_damage() {
+        let report = FaultedReport {
+            label: "defended seed 7".to_string(),
+            accuracy: 0.42,
+            images: vec![
+                FaultedImage {
+                    target_index: 0,
+                    group: 0,
+                    status: ImageStatus::Ok,
+                    mape: Some(3.5),
+                    ssim: Some(0.9),
+                },
+                FaultedImage {
+                    target_index: 1,
+                    group: 2,
+                    status: ImageStatus::Degraded {
+                        repaired_pixels: 17,
+                    },
+                    mape: Some(12.0),
+                    ssim: None,
+                },
+                FaultedImage {
+                    target_index: 2,
+                    group: 1,
+                    status: ImageStatus::Failed {
+                        reason: "crc".to_string(),
+                    },
+                    mape: None,
+                    ssim: None,
+                },
+            ],
+            mean_confidence: 0.77,
+        };
+        let bytes = faulted_to_bytes(&report);
+        assert_eq!(faulted_from_bytes(&bytes).unwrap(), report);
+        // Truncation errors instead of panicking.
+        assert!(faulted_from_bytes(&bytes[..bytes.len() - 1]).is_err());
+        // An unknown status tag is a payload error.
+        let mut w = ByteWriter::new();
+        w.put_str("x").put_f32(0.0);
+        w.put_u64(1);
+        w.put_u64(0).put_u64(0).put_u8(9);
+        assert!(faulted_from_bytes(&w.finish()).is_err());
     }
 
     #[test]

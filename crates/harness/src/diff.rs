@@ -44,7 +44,7 @@ impl std::fmt::Display for Violation {
 ///
 /// | metric (prefix)        | gate        |
 /// |------------------------|-------------|
-/// | counts (`images`, `recognized`, `ok`, `degraded`, `failed`, `mape_below_20`, `ssim_above_0_5`) | exact |
+/// | counts (`images`, `recognized`, `ok`, `degraded`, `failed`, `recovered`, `mape_below_20`, `ssim_above_0_5`) | exact |
 /// | `accuracy`             | abs 0.02    |
 /// | `mean_mape`            | abs 1.0     |
 /// | `mean_ssim`            | abs 0.03    |
@@ -71,6 +71,7 @@ impl Default for Tolerances {
                 rule("ok", Gate::Exact),
                 rule("degraded", Gate::Exact),
                 rule("failed", Gate::Exact),
+                rule("recovered", Gate::Exact),
                 rule("mape_below_20", Gate::Exact),
                 rule("ssim_above_0_5", Gate::Exact),
                 rule("accuracy", Gate::Abs(0.02)),

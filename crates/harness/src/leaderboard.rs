@@ -1,0 +1,203 @@
+//! Tournament leaderboard: renders defense-sweep conformance reports as
+//! a markdown table of per-cell recovery and accuracy cost.
+//!
+//! The input is the fresh report JSON that `harness check` / `run`
+//! already writes (the golden mirror format) — the leaderboard is a pure
+//! view over those files, so CI can regenerate it from the uploaded
+//! failure artifacts without re-running any scenario.
+
+use qce_telemetry::json::{parse, JsonValue};
+
+use crate::{ConformanceReport, HarnessError, Result, StageMetrics};
+
+/// Stage-label prefix the runner gives defense-sweep stages.
+pub const DEFENSE_STAGE_PREFIX: &str = "defense:";
+
+/// Parses a report from its JSON rendering ([`ConformanceReport::to_json`]).
+///
+/// Only the leaderboard-relevant surface is required (scenario name and
+/// stages); digests and counters are read when present. This is the
+/// inverse of the golden *mirror*, not of the QCES artifact — the gate
+/// path never goes through JSON.
+///
+/// # Errors
+///
+/// [`HarnessError::Spec`] naming the malformed field.
+pub fn report_from_json(body: &str) -> Result<ConformanceReport> {
+    let doc = parse(body).map_err(|e| HarnessError::spec(format!("report JSON: {e}")))?;
+    let scenario = doc
+        .get("scenario")
+        .and_then(JsonValue::as_str)
+        .ok_or_else(|| HarnessError::spec("report needs a string \"scenario\""))?
+        .to_string();
+    let Some(JsonValue::Arr(stage_docs)) = doc.get("stages") else {
+        return Err(HarnessError::spec("report needs a \"stages\" array"));
+    };
+    let mut stages = Vec::with_capacity(stage_docs.len());
+    for stage in stage_docs {
+        let label = stage
+            .get("label")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| HarnessError::spec("stage needs a string \"label\""))?
+            .to_string();
+        let mut metrics = Vec::new();
+        if let Some(JsonValue::Obj(map)) = stage.get("metrics") {
+            for (name, value) in map {
+                let value = value.as_f64().ok_or_else(|| {
+                    HarnessError::spec(format!("stage metric {name:?} must be a number"))
+                })?;
+                metrics.push((name.clone(), value));
+            }
+        }
+        stages.push(StageMetrics::new(label, metrics));
+    }
+    let pairs = |key: &str| -> Vec<(String, u64)> {
+        match doc.get(key) {
+            Some(JsonValue::Obj(map)) => map
+                .iter()
+                .filter_map(|(n, v)| v.as_u64().map(|v| (n.clone(), v)))
+                .collect(),
+            _ => Vec::new(),
+        }
+    };
+    Ok(ConformanceReport {
+        version: crate::REPORT_FORMAT_VERSION,
+        scenario,
+        stages,
+        digests: pairs("digests"),
+        counters: pairs("counters"),
+        wall_ms: doc
+            .get("wall_ms")
+            .and_then(JsonValue::as_f64)
+            .unwrap_or(0.0),
+    })
+}
+
+/// Renders the defense-sweep stages of `reports` as a markdown
+/// leaderboard, one row per (scenario cell, defense). Columns:
+///
+/// * `acc` — task accuracy of the defended release, with the delta
+///   against that cell's `none` baseline (the acceptance criterion is a
+///   defense that stays within a couple of points);
+/// * `recovered` — images decoded **and** faithful (MAPE ≤ 20%) out of
+///   all encoded images — decode-status alone over-counts on structural
+///   defenses (see `recovered` in the runner);
+/// * `ok`/`degraded`/`failed` — raw resilient-decoder outcomes.
+///
+/// Reports without any `defense:` stage are skipped; an empty result
+/// renders a table with only the header so callers can always embed it.
+#[must_use]
+pub fn leaderboard_markdown(reports: &[ConformanceReport]) -> String {
+    let mut out = String::from(
+        "| cell | defense | acc | Δacc vs none | recovered | ok | degraded | failed |\n\
+         |------|---------|-----|--------------|-----------|----|----------|--------|\n",
+    );
+    for report in reports {
+        let defense_stages: Vec<&StageMetrics> = report
+            .stages
+            .iter()
+            .filter(|s| s.label.starts_with(DEFENSE_STAGE_PREFIX))
+            .collect();
+        let baseline_acc = defense_stages
+            .iter()
+            .find(|s| s.label == format!("{DEFENSE_STAGE_PREFIX}none"))
+            .and_then(|s| s.get("accuracy"));
+        for stage in defense_stages {
+            let name = &stage.label[DEFENSE_STAGE_PREFIX.len()..];
+            let acc = stage.get("accuracy").unwrap_or(f64::NAN);
+            let delta = match baseline_acc {
+                Some(base) => format!("{:+.1}", 100.0 * (acc - base)),
+                None => "n/a".to_string(),
+            };
+            let count = |metric: &str| stage.get(metric).unwrap_or(0.0) as i64;
+            out.push_str(&format!(
+                "| {} | {} | {:.1}% | {} | {}/{} | {} | {} | {} |\n",
+                report.scenario,
+                name,
+                100.0 * acc,
+                delta,
+                count("recovered"),
+                count("images"),
+                count("ok"),
+                count("degraded"),
+                count("failed"),
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::REPORT_FORMAT_VERSION;
+
+    fn tournament_report() -> ConformanceReport {
+        let stage = |label: &str, acc: f64, recovered: f64, ok: f64, failed: f64| {
+            StageMetrics::new(
+                label,
+                vec![
+                    ("accuracy".to_string(), acc),
+                    ("images".to_string(), 2.0),
+                    ("recovered".to_string(), recovered),
+                    ("ok".to_string(), ok),
+                    ("degraded".to_string(), 0.0),
+                    ("failed".to_string(), failed),
+                ],
+            )
+        };
+        ConformanceReport {
+            version: REPORT_FORMAT_VERSION,
+            scenario: "tourney_statsign_4bit".to_string(),
+            stages: vec![
+                StageMetrics::new("uncompressed", vec![("accuracy".to_string(), 0.8)]),
+                stage("defense:none", 0.75, 2.0, 2.0, 0.0),
+                stage("defense:rotation", 0.75, 2.0, 2.0, 0.0),
+                stage("defense:prune-scrub", 0.74, 1.0, 1.0, 1.0),
+            ],
+            digests: vec![("release.weights".to_string(), 9)],
+            counters: vec![("decode.images".to_string(), 2)],
+            wall_ms: 10.0,
+        }
+    }
+
+    #[test]
+    fn report_json_round_trips_for_the_leaderboard() {
+        let report = tournament_report();
+        let back = report_from_json(&report.to_json()).unwrap();
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    fn malformed_report_json_is_rejected() {
+        for body in [
+            "{",
+            "{}",
+            r#"{"scenario":"s"}"#,
+            r#"{"scenario":"s","stages":[{}]}"#,
+        ] {
+            assert!(report_from_json(body).is_err(), "{body}");
+        }
+    }
+
+    #[test]
+    fn leaderboard_rows_cover_defense_stages_only() {
+        let md = leaderboard_markdown(&[tournament_report()]);
+        assert_eq!(md.lines().count(), 2 + 3, "{md}");
+        assert!(!md.contains("uncompressed"));
+        let rotation = md.lines().find(|l| l.contains("rotation")).unwrap();
+        assert!(rotation.contains("| +0.0 |"), "{rotation}");
+        assert!(rotation.contains("| 2/2 |"), "{rotation}");
+        let prune = md.lines().find(|l| l.contains("prune-scrub")).unwrap();
+        assert!(prune.contains("| -1.0 |"), "{prune}");
+        assert!(prune.contains("| 1/2 |"), "{prune}");
+    }
+
+    #[test]
+    fn reports_without_defenses_render_an_empty_table() {
+        let mut report = tournament_report();
+        report.stages.truncate(1);
+        let md = leaderboard_markdown(&[report]);
+        assert_eq!(md.lines().count(), 2, "{md}");
+    }
+}

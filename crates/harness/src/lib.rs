@@ -48,16 +48,18 @@
 
 mod bench_gate;
 mod diff;
+mod leaderboard;
 mod report;
 mod runner;
 mod scenario;
 
 pub use bench_gate::{bench_gate, parse_bench, BenchEntry, DEFAULT_BENCH_THRESHOLD};
 pub use diff::{diff_reports, Gate, Tolerances, Violation};
+pub use leaderboard::{leaderboard_markdown, report_from_json, DEFENSE_STAGE_PREFIX};
 pub use report::{
     golden_path, ConformanceReport, StageMetrics, CONFORMANCE_REPORT_SECTION, REPORT_FORMAT_VERSION,
 };
-pub use runner::run_scenario;
+pub use runner::{run_scenario, DETERMINISTIC_COUNTER_PREFIXES, RECOVERY_MAPE_CEILING};
 pub use scenario::{DatasetKind, DatasetSpec, Scenario};
 
 use std::path::Path;

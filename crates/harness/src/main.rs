@@ -17,8 +17,8 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use qce_harness::{
-    bench_gate, diff_reports, load_scenarios, parse_bench, run_scenario, ConformanceReport,
-    HarnessError, Scenario, Tolerances, Violation,
+    bench_gate, diff_reports, leaderboard_markdown, load_scenarios, parse_bench, report_from_json,
+    run_scenario, ConformanceReport, HarnessError, Scenario, Tolerances, Violation,
 };
 
 fn main() -> ExitCode {
@@ -37,6 +37,7 @@ fn main() -> ExitCode {
         "run" => cmd_run(rest),
         "bless" => cmd_bless(rest),
         "check" => cmd_check(rest),
+        "leaderboard" => cmd_leaderboard(rest),
         "bench-gate" => cmd_bench_gate(rest),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
@@ -60,23 +61,28 @@ fn main() -> ExitCode {
     }
 }
 
-const USAGE: &str = "usage: harness <init|list|run|bless|check|bench-gate> [options]
+const USAGE: &str = "usage: harness <init|list|run|bless|check|leaderboard|bench-gate> [options]
   init        write the builtin scenario specs under --dir
-  list        list scenarios under --dir
+              (--tournament writes the defense-tournament set instead)
+  list        list scenarios under --dir (channel, quant, fault/defense axes)
   run         run scenarios and print their report JSON
   bless       run scenarios and (re)write golden artifacts under --dir/golden
   check       run scenarios and diff against goldens; nonzero on any violation
+  leaderboard render the defense-sweep reports under --out as a markdown table
   bench-gate  diff a fresh BENCH_kernels.json against the committed baseline
 options:
   --dir DIR        conformance root (default: conformance)
+  --tournament     init: write the tournament scenario set instead of the builtins
   --scenario NAME  restrict run/bless/check to one scenario
-  --out DIR        where check writes fresh report JSON (default: conformance-out)
+  --out DIR        where check writes fresh report JSON (default: conformance-out);
+                   where leaderboard reads report JSON from
   --fresh FILE     bench-gate: fresh bench output (default: BENCH_kernels.json)
   --baseline FILE  bench-gate: baseline (default: conformance/BENCH_baseline.json)
   --threshold X    bench-gate: relative slowdown allowed (default: 0.20)";
 
 struct Opts {
     dir: PathBuf,
+    tournament: bool,
     scenario: Option<String>,
     out: PathBuf,
     fresh: PathBuf,
@@ -87,6 +93,7 @@ struct Opts {
 fn parse_opts(args: &[String]) -> Result<Opts, HarnessError> {
     let mut opts = Opts {
         dir: PathBuf::from("conformance"),
+        tournament: false,
         scenario: None,
         out: PathBuf::from("conformance-out"),
         fresh: PathBuf::from("BENCH_kernels.json"),
@@ -102,6 +109,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, HarnessError> {
         };
         match flag.as_str() {
             "--dir" => opts.dir = PathBuf::from(value("--dir")?),
+            "--tournament" => opts.tournament = true,
             "--scenario" => opts.scenario = Some(value("--scenario")?),
             "--out" => opts.out = PathBuf::from(value("--out")?),
             "--fresh" => opts.fresh = PathBuf::from(value("--fresh")?),
@@ -142,7 +150,12 @@ fn cmd_init(args: &[String]) -> Result<ExitCode, HarnessError> {
     let dir = opts.dir.join("scenarios");
     std::fs::create_dir_all(&dir)
         .map_err(|e| HarnessError::io(format!("creating {}", dir.display()), e))?;
-    for scenario in Scenario::builtin() {
+    let scenarios = if opts.tournament {
+        Scenario::tournament()
+    } else {
+        Scenario::builtin()
+    };
+    for scenario in scenarios {
         let path = dir.join(format!("{}.json", scenario.name));
         std::fs::write(&path, scenario.to_json() + "\n")
             .map_err(|e| HarnessError::io(format!("writing {}", path.display()), e))?;
@@ -155,16 +168,52 @@ fn cmd_list(args: &[String]) -> Result<ExitCode, HarnessError> {
     let opts = parse_opts(args)?;
     for scenario in selected_scenarios(&opts)? {
         let kind = if scenario.fault.is_some() {
-            "faulted"
+            "faulted".to_string()
+        } else if !scenario.defenses.is_empty() {
+            format!("defended×{}", scenario.defenses.len())
         } else {
-            "clean"
+            "clean".to_string()
+        };
+        let channel = match scenario.flow.channel {
+            qce::EncodingChannel::Correlation => "correlation".to_string(),
+            qce::EncodingChannel::StatSign { .. } => "statsign".to_string(),
         };
         let quant = match scenario.flow.quant {
             Some(q) => format!("{:?} {}-bit", q.method, q.bits),
             None => "no quantization".to_string(),
         };
-        println!("{:<20} {kind:<8} {quant}", scenario.name);
+        let axes = if scenario.defenses.is_empty() {
+            String::new()
+        } else {
+            let names: Vec<&str> = scenario.defenses.iter().map(|(n, _)| n.as_str()).collect();
+            format!("  [{}]", names.join(", "))
+        };
+        println!(
+            "{:<24} {kind:<12} {channel:<12} {quant}{axes}",
+            scenario.name
+        );
     }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_leaderboard(args: &[String]) -> Result<ExitCode, HarnessError> {
+    let opts = parse_opts(args)?;
+    let entries = std::fs::read_dir(&opts.out)
+        .map_err(|e| HarnessError::io(format!("reading report dir {}", opts.out.display()), e))?;
+    let mut paths: Vec<PathBuf> = entries
+        .filter_map(std::result::Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|ext| ext == "json"))
+        .collect();
+    paths.sort();
+    let mut reports = Vec::with_capacity(paths.len());
+    for path in paths {
+        let body = read(&path)?;
+        let report = report_from_json(&body)
+            .map_err(|e| HarnessError::spec(format!("{}: {e}", path.display())))?;
+        reports.push(report);
+    }
+    print!("{}", leaderboard_markdown(&reports));
     Ok(ExitCode::SUCCESS)
 }
 

@@ -8,11 +8,17 @@ use qce::{AttackFlow, FaultedReport, StageReport};
 use crate::{ConformanceReport, Result, Scenario, StageMetrics, REPORT_FORMAT_VERSION};
 
 /// Telemetry counter prefixes that are deterministic functions of the
-/// scenario: decode outcomes, quantization stats, and training progress.
-/// `pool.*` (thread-count dependent) and `store.*` (cache-state
-/// dependent) are deliberately excluded so reports gate identically at
-/// any `QCE_THREADS` and with or without a warm stage cache.
-pub const DETERMINISTIC_COUNTER_PREFIXES: &[&str] = &["decode.", "quant.", "train."];
+/// scenario: decode outcomes, quantization stats, training progress,
+/// and applied countermeasures. `pool.*` (thread-count dependent) and
+/// `store.*` (cache-state dependent) are deliberately excluded so
+/// reports gate identically at any `QCE_THREADS` and with or without a
+/// warm stage cache.
+pub const DETERMINISTIC_COUNTER_PREFIXES: &[&str] = &["decode.", "defense.", "quant.", "train."];
+
+/// MAPE ceiling (percent) under which a decoded image counts as
+/// *recovered* in defense-sweep stages — aligned with the
+/// `mape_below_20` gate of the clean stages.
+pub const RECOVERY_MAPE_CEILING: f32 = 20.0;
 
 /// Runs `scenario` end to end and returns its report.
 ///
@@ -32,7 +38,35 @@ pub fn run_scenario(scenario: &Scenario) -> Result<ConformanceReport> {
     let dataset = scenario.dataset.generate()?;
     let flow = AttackFlow::new(scenario.flow.clone());
 
+    if scenario.fault.is_some() && !scenario.defenses.is_empty() {
+        return Err(crate::HarnessError::spec(format!(
+            "scenario {:?} sets both \"fault\" and \"defenses\"; pick one perturbation axis",
+            scenario.name
+        )));
+    }
+
     let (stages, digests) = match &scenario.fault {
+        None if !scenario.defenses.is_empty() => {
+            let mut trained = flow.train(&dataset)?;
+            let pre = trained.float_report()?;
+            let mut stages = vec![stage_from_report(&pre, None)];
+            if let Some(qcfg) = scenario.flow.quant {
+                let release = trained.quantize(qcfg)?;
+                stages.push(stage_from_report(
+                    &release.report,
+                    Some(release.compression_ratio),
+                ));
+            }
+            for (name, plan) in &scenario.defenses {
+                let defended = trained.evaluate_defended(
+                    scenario.flow.quant,
+                    plan,
+                    format!("defense:{name}"),
+                )?;
+                stages.push(stage_from_faulted(&defended));
+            }
+            (stages, trained.artifact_digests())
+        }
         None => {
             let outcome = flow.run(&dataset)?;
             let mut stages = vec![stage_from_report(&outcome.pre_quant, None)];
@@ -105,6 +139,10 @@ fn stage_from_faulted(report: &FaultedReport) -> StageMetrics {
         ("degraded".to_string(), report.degraded_count() as f64),
         ("failed".to_string(), report.failed_count() as f64),
         (
+            "recovered".to_string(),
+            report.recovered_count(RECOVERY_MAPE_CEILING) as f64,
+        ),
+        (
             "mean_confidence".to_string(),
             f64::from(report.mean_confidence),
         ),
@@ -172,7 +210,40 @@ mod tests {
         let stage = stage_from_faulted(&report);
         assert_eq!(stage.get("failed"), Some(1.0));
         assert_eq!(stage.get("ok"), Some(0.0));
+        assert_eq!(stage.get("recovered"), Some(0.0));
         assert_eq!(stage.get("mean_mape"), None);
         assert_eq!(stage.get("mean_ssim"), None);
+    }
+
+    #[test]
+    fn recovered_requires_decode_and_fidelity() {
+        let image = |status, mape| FaultedImage {
+            target_index: 0,
+            group: 0,
+            status,
+            mape,
+            ssim: None,
+        };
+        let report = FaultedReport {
+            label: "defense:rotation".to_string(),
+            accuracy: 0.5,
+            images: vec![
+                image(ImageStatus::Ok, Some(5.0)),
+                image(ImageStatus::Degraded { repaired_pixels: 2 }, Some(12.0)),
+                // Decoded but scrambled — a permuted-weights readout.
+                image(ImageStatus::Ok, Some(80.0)),
+                image(
+                    ImageStatus::Failed {
+                        reason: "gone".to_string(),
+                    },
+                    None,
+                ),
+            ],
+            mean_confidence: 0.4,
+        };
+        let stage = stage_from_faulted(&report);
+        assert_eq!(stage.get("recovered"), Some(2.0));
+        assert_eq!(stage.get("ok"), Some(2.0));
+        assert_eq!(stage.get("failed"), Some(1.0));
     }
 }

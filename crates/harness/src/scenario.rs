@@ -10,9 +10,13 @@
 //! round-trip exactly.
 
 use qce::faults::{FaultKind, FaultPlan};
-use qce::{Architecture, BandRule, FlowConfig, Grouping, QuantConfig, QuantMethod, SignConvention};
+use qce::{
+    Architecture, BandRule, EncodingChannel, FlowConfig, Grouping, QuantConfig, QuantMethod,
+    SignConvention,
+};
 use qce_data::Dataset;
 use qce_data::{SynthCifar, SynthFaces};
+use qce_defense::{DefenseKind, DefensePlan, RotationMode};
 use qce_telemetry::json::{parse, JsonValue, ObjWriter};
 
 use crate::{HarnessError, Result};
@@ -76,6 +80,10 @@ pub struct Scenario {
     /// Release perturbation applied before the final evaluation
     /// (`None` for clean scenarios).
     pub fault: Option<FaultPlan>,
+    /// Named data-holder countermeasures, each evaluated as its own
+    /// stage against the same trained release (the tournament axis).
+    /// Mutually exclusive with `fault`.
+    pub defenses: Vec<(String, DefensePlan)>,
     /// Per-metric tolerance overrides layered over
     /// [`Tolerances::default`](crate::Tolerances) (absolute bands;
     /// longest matching prefix wins).
@@ -124,6 +132,7 @@ impl Scenario {
                     ..flow.clone()
                 },
                 fault: None,
+                defenses: Vec::new(),
                 tolerance_overrides: Vec::new(),
             },
             Scenario {
@@ -134,6 +143,7 @@ impl Scenario {
                     ..flow.clone()
                 },
                 fault: None,
+                defenses: Vec::new(),
                 tolerance_overrides: Vec::new(),
             },
             Scenario {
@@ -144,6 +154,7 @@ impl Scenario {
                     ..flow.clone()
                 },
                 fault: None,
+                defenses: Vec::new(),
                 tolerance_overrides: Vec::new(),
             },
             Scenario {
@@ -158,8 +169,132 @@ impl Scenario {
                         .with(FaultKind::BitFlip { rate: 0.002 })
                         .with(FaultKind::GaussianNoise { fraction: 0.02 }),
                 ),
+                defenses: Vec::new(),
                 tolerance_overrides: Vec::new(),
             },
+        ]
+    }
+
+    /// The defense-tournament scenario set: every attack variant ×
+    /// release bit width, each swept through the same named defense
+    /// roster. Cells pin the arms race measured end to end:
+    ///
+    /// * `tourney_corr_{2,4}bit` — the paper's correlation channel with
+    ///   target-correlated quantization. High capacity, but the
+    ///   compensated channel permutation (`rotation`) scrambles the
+    ///   weight order it addresses pixels by.
+    /// * `tourney_statsign_{2,4}bit` — the hardened
+    ///   statistics-sign channel (`qce_attack::statsign`) with k-means
+    ///   quantization. A fraction of the capacity, but recovery is
+    ///   addressed by per-row headers riding the permutation-invariant
+    ///   group statistics, so `rotation` does not erase it.
+    ///
+    /// Defense roster per cell (same seeds everywhere so columns are
+    /// comparable): `none` (empty plan — the undefended baseline row of
+    /// the leaderboard), `rotation` (exact-symmetry permute),
+    /// `finetune-scrub` (1 epoch on clean data), `prune-scrub` (10%
+    /// magnitude pruning), `requantize` (defender 5-bit k-means).
+    #[must_use]
+    pub fn tournament() -> Vec<Scenario> {
+        let dataset = DatasetSpec {
+            kind: DatasetKind::Cifar,
+            size: 8,
+            classes: 4,
+            count: 160,
+            seed: 5,
+            rgb: false,
+        };
+        let roster = || {
+            vec![
+                ("none".to_string(), DefensePlan::new(0)),
+                (
+                    "rotation".to_string(),
+                    DefensePlan::new(11).with(DefenseKind::Rotation {
+                        mode: RotationMode::Permute,
+                    }),
+                ),
+                (
+                    "finetune-scrub".to_string(),
+                    DefensePlan::new(13).with(DefenseKind::FinetuneScrub {
+                        epochs: 1,
+                        lr: 0.01,
+                    }),
+                ),
+                (
+                    "prune-scrub".to_string(),
+                    DefensePlan::new(17).with(DefenseKind::PruneScrub { fraction: 0.1 }),
+                ),
+                (
+                    "requantize".to_string(),
+                    DefensePlan::new(19).with(DefenseKind::Requantize { bits: 5 }),
+                ),
+            ]
+        };
+        // Both variants share the model/data scale; they differ only in
+        // channel, quantizer family, correlation pressure and the training
+        // length the channel needs. The correlation cells need λ=8 and 4
+        // epochs for a meaningful undefended baseline (~90% of images
+        // under 20% MAPE) so the rotation knock-down is visible; statsign's
+        // carrier pull converges in ~4 epochs at λ=3e4.
+        let corr_flow = FlowConfig {
+            grouping: Grouping::Uniform(8.0),
+            band: BandRule::FirstN,
+            stage_channels: vec![12, 24],
+            epochs: 4,
+            quant: None,
+            verbose: false,
+            ..FlowConfig::tiny()
+        };
+        let statsign_flow = FlowConfig {
+            channel: EncodingChannel::StatSign { lambda: 3e4 },
+            grouping: Grouping::Uniform(5.0),
+            ..corr_flow.clone()
+        };
+        let quant = |method, bits| {
+            Some(QuantConfig {
+                method,
+                bits,
+                finetune_epochs: 1,
+                finetune_lr: 0.01,
+                regularize_finetune: true,
+            })
+        };
+        let cell = |name: &str, flow: &FlowConfig, method, bits| Scenario {
+            name: name.to_string(),
+            dataset: dataset.clone(),
+            flow: FlowConfig {
+                quant: quant(method, bits),
+                ..flow.clone()
+            },
+            fault: None,
+            defenses: roster(),
+            tolerance_overrides: Vec::new(),
+        };
+        vec![
+            cell(
+                "tourney_corr_2bit",
+                &corr_flow,
+                QuantMethod::TargetCorrelated,
+                2,
+            ),
+            cell(
+                "tourney_corr_4bit",
+                &corr_flow,
+                QuantMethod::TargetCorrelated,
+                4,
+            ),
+            cell(
+                "tourney_statsign_2bit",
+                &statsign_flow,
+                QuantMethod::KMeans,
+                2,
+            ),
+            cell(
+                "tourney_statsign_4bit",
+                &statsign_flow,
+                QuantMethod::KMeans,
+                4,
+            ),
         ]
     }
 
@@ -182,6 +317,22 @@ impl Scenario {
             None | Some(JsonValue::Null) => None,
             Some(v) => Some(parse_fault(v)?),
         };
+        let defenses = match doc.get("defenses") {
+            None | Some(JsonValue::Null) => Vec::new(),
+            Some(JsonValue::Arr(items)) => {
+                let mut out = Vec::new();
+                for item in items {
+                    out.push(parse_defense_plan(item)?);
+                }
+                out
+            }
+            Some(_) => return Err(HarnessError::spec("\"defenses\" must be an array")),
+        };
+        if fault.is_some() && !defenses.is_empty() {
+            return Err(HarnessError::spec(
+                "\"fault\" and \"defenses\" are mutually exclusive",
+            ));
+        }
         let tolerance_overrides = match doc.get("tolerances") {
             None | Some(JsonValue::Null) => Vec::new(),
             Some(JsonValue::Obj(map)) => {
@@ -206,6 +357,7 @@ impl Scenario {
             dataset,
             flow,
             fault,
+            defenses,
             tolerance_overrides,
         })
     }
@@ -289,6 +441,18 @@ impl Scenario {
                 SignConvention::Absolute => "absolute",
             },
         );
+        let mut channel = ObjWriter::new();
+        match self.flow.channel {
+            EncodingChannel::Correlation => {
+                channel.str("kind", "correlation");
+            }
+            EncodingChannel::StatSign { lambda } => {
+                channel
+                    .str("kind", "statsign")
+                    .num("lambda", f64::from(lambda));
+            }
+        }
+        flow.raw("channel", &channel.finish());
         match self.flow.quant {
             None => {
                 flow.raw("quant", "null");
@@ -323,6 +487,14 @@ impl Scenario {
             let faults: Vec<String> = plan.faults().iter().map(fault_to_json).collect();
             fault.raw("faults", &format!("[{}]", faults.join(",")));
             root.raw("fault", &fault.finish());
+        }
+        if !self.defenses.is_empty() {
+            let entries: Vec<String> = self
+                .defenses
+                .iter()
+                .map(|(name, plan)| defense_plan_to_json(name, plan))
+                .collect();
+            root.raw("defenses", &format!("[{}]", entries.join(",")));
         }
         if !self.tolerance_overrides.is_empty() {
             let mut tol = ObjWriter::new();
@@ -362,6 +534,107 @@ fn fault_to_json(f: &FaultKind) -> String {
         }
     }
     o.finish()
+}
+
+fn defense_plan_to_json(name: &str, plan: &DefensePlan) -> String {
+    let mut o = ObjWriter::new();
+    o.str("name", name).uint("seed", plan.seed());
+    let kinds: Vec<String> = plan.defenses().iter().map(defense_kind_to_json).collect();
+    o.raw("defenses", &format!("[{}]", kinds.join(",")));
+    o.finish()
+}
+
+fn defense_kind_to_json(kind: &DefenseKind) -> String {
+    let mut o = ObjWriter::new();
+    match *kind {
+        DefenseKind::Rotation {
+            mode: RotationMode::Permute,
+        } => {
+            o.str("kind", "rotation").str("mode", "permute");
+        }
+        DefenseKind::Rotation {
+            mode: RotationMode::QrBlend { strength },
+        } => {
+            o.str("kind", "rotation")
+                .str("mode", "qr_blend")
+                .num("strength", f64::from(strength));
+        }
+        DefenseKind::FinetuneScrub { epochs, lr } => {
+            o.str("kind", "finetune_scrub")
+                .uint("epochs", epochs as u64)
+                .num("lr", f64::from(lr));
+        }
+        DefenseKind::PruneScrub { fraction } => {
+            o.str("kind", "prune_scrub")
+                .num("fraction", f64::from(fraction));
+        }
+        DefenseKind::Requantize { bits } => {
+            o.str("kind", "requantize").uint("bits", u64::from(bits));
+        }
+        DefenseKind::NoiseWeights { fraction } => {
+            o.str("kind", "noise_weights")
+                .num("fraction", f64::from(fraction));
+        }
+    }
+    o.finish()
+}
+
+fn parse_defense_plan(doc: &JsonValue) -> Result<(String, DefensePlan)> {
+    let name = req_str(doc, "name")?;
+    let seed = req(doc, "seed")?
+        .as_u64()
+        .ok_or_else(|| HarnessError::spec("defense \"seed\" must be a non-negative integer"))?;
+    let Some(JsonValue::Arr(items)) = doc.get("defenses") else {
+        return Err(HarnessError::spec(format!(
+            "defense plan {name:?} needs a \"defenses\" array (may be empty)"
+        )));
+    };
+    let mut plan = DefensePlan::new(seed);
+    for item in items {
+        plan = plan.with(parse_defense_kind(item)?);
+    }
+    plan.validate()
+        .map_err(|e| HarnessError::spec(format!("defense plan {name:?}: {e}")))?;
+    Ok((name, plan))
+}
+
+fn parse_defense_kind(doc: &JsonValue) -> Result<DefenseKind> {
+    let kind = match req_str(doc, "kind")?.as_str() {
+        "rotation" => {
+            let mode = match req_str(doc, "mode")?.as_str() {
+                "permute" => RotationMode::Permute,
+                "qr_blend" => RotationMode::QrBlend {
+                    strength: req_f32(doc, "strength")?,
+                },
+                other => {
+                    return Err(HarnessError::spec(format!(
+                        "unknown rotation mode {other:?} (permute | qr_blend)"
+                    )))
+                }
+            };
+            DefenseKind::Rotation { mode }
+        }
+        "finetune_scrub" => DefenseKind::FinetuneScrub {
+            epochs: req_usize(doc, "epochs")?,
+            lr: req_f32(doc, "lr")?,
+        },
+        "prune_scrub" => DefenseKind::PruneScrub {
+            fraction: req_f32(doc, "fraction")?,
+        },
+        "requantize" => DefenseKind::Requantize {
+            bits: u32::try_from(req_usize(doc, "bits")?)
+                .map_err(|_| HarnessError::spec("requantize \"bits\" out of range"))?,
+        },
+        "noise_weights" => DefenseKind::NoiseWeights {
+            fraction: req_f32(doc, "fraction")?,
+        },
+        other => {
+            return Err(HarnessError::spec(format!(
+                "unknown defense kind {other:?}"
+            )))
+        }
+    };
+    Ok(kind)
 }
 
 fn req<'a>(doc: &'a JsonValue, key: &str) -> Result<&'a JsonValue> {
@@ -509,6 +782,19 @@ fn parse_flow(doc: &JsonValue) -> Result<FlowConfig> {
             }
         };
     }
+    if let Some(v) = doc.get("channel") {
+        cfg.channel = match req_str(v, "kind")?.as_str() {
+            "correlation" => EncodingChannel::Correlation,
+            "statsign" => EncodingChannel::StatSign {
+                lambda: req_f32(v, "lambda")?,
+            },
+            other => {
+                return Err(HarnessError::spec(format!(
+                    "unknown channel kind {other:?} (correlation | statsign)"
+                )))
+            }
+        };
+    }
     match doc.get("quant") {
         None => {}
         Some(JsonValue::Null) => cfg.quant = None,
@@ -588,7 +874,10 @@ mod tests {
 
     #[test]
     fn builtin_scenarios_round_trip_through_json() {
-        for scenario in Scenario::builtin() {
+        for scenario in Scenario::builtin()
+            .into_iter()
+            .chain(Scenario::tournament())
+        {
             let json = scenario.to_json();
             let back = Scenario::from_json(&json)
                 .unwrap_or_else(|e| panic!("{}: {e}\n{json}", scenario.name));
@@ -597,8 +886,36 @@ mod tests {
     }
 
     #[test]
+    fn tournament_covers_both_variants_and_shares_the_roster() {
+        let cells = Scenario::tournament();
+        assert_eq!(cells.len(), 4);
+        let statsign = |s: &Scenario| matches!(s.flow.channel, EncodingChannel::StatSign { .. });
+        assert_eq!(cells.iter().filter(|s| statsign(s)).count(), 2);
+        let roster: Vec<&str> = cells[0].defenses.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(
+            roster,
+            [
+                "none",
+                "rotation",
+                "finetune-scrub",
+                "prune-scrub",
+                "requantize"
+            ]
+        );
+        for cell in &cells {
+            assert_eq!(cell.defenses, cells[0].defenses, "{}", cell.name);
+            assert!(cell.fault.is_none());
+            cell.flow.validate().unwrap();
+            // The "none" entry is the undefended leaderboard baseline.
+            assert!(cell.defenses[0].1.is_benign());
+            assert!(!cell.defenses[1].1.is_benign());
+        }
+    }
+
+    #[test]
     fn builtin_names_are_unique_and_filesystem_safe() {
-        let scenarios = Scenario::builtin();
+        let mut scenarios = Scenario::builtin();
+        scenarios.extend(Scenario::tournament());
         let mut names: Vec<&str> = scenarios.iter().map(|s| s.name.as_str()).collect();
         names.sort_unstable();
         let before = names.len();
@@ -624,7 +941,76 @@ mod tests {
         assert_eq!(s.flow.batch_size, FlowConfig::tiny().batch_size);
         assert!(!s.flow.verbose);
         assert!(s.fault.is_none());
+        assert!(s.defenses.is_empty());
+        assert_eq!(s.flow.channel, EncodingChannel::Correlation);
         assert!(!s.dataset.rgb);
+    }
+
+    #[test]
+    fn channel_and_defenses_parse() {
+        let s = Scenario::from_json(
+            r#"{"name":"hardened",
+                "dataset":{"kind":"cifar","size":8,"classes":4,"count":64,"seed":1},
+                "flow":{"channel":{"kind":"statsign","lambda":30000},
+                        "quant":{"method":"kmeans","bits":4}},
+                "defenses":[
+                    {"name":"none","seed":0,"defenses":[]},
+                    {"name":"rotation","seed":11,
+                     "defenses":[{"kind":"rotation","mode":"permute"}]},
+                    {"name":"blend","seed":12,
+                     "defenses":[{"kind":"rotation","mode":"qr_blend","strength":0.5}]},
+                    {"name":"combo","seed":13,
+                     "defenses":[{"kind":"prune_scrub","fraction":0.2},
+                                 {"kind":"noise_weights","fraction":0.05},
+                                 {"kind":"requantize","bits":6},
+                                 {"kind":"finetune_scrub","epochs":1,"lr":0.01}]}]}"#,
+        )
+        .unwrap();
+        assert_eq!(s.flow.channel, EncodingChannel::StatSign { lambda: 3e4 });
+        assert_eq!(s.defenses.len(), 4);
+        assert!(s.defenses[0].1.is_benign());
+        assert_eq!(s.defenses[3].1.defenses().len(), 4);
+        // And it round-trips.
+        assert_eq!(Scenario::from_json(&s.to_json()).unwrap(), s);
+    }
+
+    #[test]
+    fn bad_defense_specs_are_rejected_with_context() {
+        let wrap = |defenses: &str| {
+            format!(
+                r#"{{"name":"x",
+                     "dataset":{{"kind":"cifar","size":8,"classes":2,"count":8,"seed":0}},
+                     "flow":{{}},"defenses":{defenses}}}"#
+            )
+        };
+        for (defenses, needle) in [
+            (r#"[{"name":"d","seed":1}]"#, "defenses"),
+            (
+                r#"[{"name":"d","seed":1,"defenses":[{"kind":"melt"}]}]"#,
+                "defense kind",
+            ),
+            (
+                r#"[{"name":"d","seed":1,"defenses":[{"kind":"rotation","mode":"spin"}]}]"#,
+                "rotation mode",
+            ),
+            (
+                r#"[{"name":"d","seed":1,"defenses":[{"kind":"prune_scrub","fraction":1.5}]}]"#,
+                "fraction",
+            ),
+        ] {
+            let err = Scenario::from_json(&wrap(defenses))
+                .unwrap_err()
+                .to_string();
+            assert!(err.contains(needle), "{defenses} -> {err}");
+        }
+        // fault + defenses is ambiguous; the spec must pick one axis.
+        let both = r#"{"name":"x",
+            "dataset":{"kind":"cifar","size":8,"classes":2,"count":8,"seed":0},
+            "flow":{},
+            "fault":{"seed":1,"faults":[{"kind":"prune","fraction":0.1}]},
+            "defenses":[{"name":"none","seed":0,"defenses":[]}]}"#;
+        let err = Scenario::from_json(both).unwrap_err().to_string();
+        assert!(err.contains("mutually exclusive"), "{err}");
     }
 
     #[test]

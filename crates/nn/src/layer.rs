@@ -1,6 +1,7 @@
 use qce_tensor::Tensor;
+use rand::rngs::StdRng;
 
-use crate::{Param, Result};
+use crate::{Param, ParamKind, Result};
 
 /// Whether a forward pass is part of training or evaluation.
 ///
@@ -14,6 +15,31 @@ pub enum Mode {
     Train,
     /// Inference: no caching requirements, use running statistics.
     Eval,
+}
+
+/// How one `Weight`-kind tensor transforms under
+/// [`Layer::permute_hidden_channels`].
+///
+/// A ReLU network's exact function-preserving symmetries are channel
+/// permutations (with positive per-channel rescaling); a defender
+/// exploiting them re-indexes hidden channels, which moves encoded
+/// weights around. This enum tells white-box consumers — the
+/// rotation-invariant encoding channel in `qce-attack` — *how* each
+/// weight tensor can move, so they can lay payloads out in an order
+/// that survives the shuffle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WeightSymmetry {
+    /// The tensor never moves under hidden-channel permutation.
+    Fixed,
+    /// Leading-axis rows (`[O, ...]`) are permuted as whole units — the
+    /// tensor *produces* the permuted channels (e.g. a residual block's
+    /// first convolution).
+    PermutedRows,
+    /// The second axis of a `[O, I, kh, kw]` tensor is permuted, i.e.
+    /// the `kh*kw`-sized chunks inside every row move identically — the
+    /// tensor *consumes* the permuted channels (e.g. a residual block's
+    /// second convolution).
+    PermutedInChunks,
 }
 
 /// One differentiable stage of a [`Network`](crate::Network).
@@ -73,6 +99,34 @@ pub trait Layer {
     /// [`Layer::buffers`].
     fn buffers_mut(&mut self) -> Vec<&mut Vec<f32>> {
         Vec::new()
+    }
+
+    /// Applies a seeded permutation to the layer's *internal* hidden
+    /// channels — channel spaces invisible outside the layer — keeping
+    /// the layer's function identical up to floating-point summation
+    /// order. Returns the number of channels permuted.
+    ///
+    /// The default is a no-op returning 0, correct for every layer whose
+    /// channels are externally visible. Composite layers with private
+    /// channel spaces (residual blocks) override it; this is the
+    /// primitive the `qce-defense` rotation defense drives through
+    /// [`Network::permute_hidden_channels`](crate::Network::permute_hidden_channels).
+    fn permute_hidden_channels(&mut self, rng: &mut StdRng) -> usize {
+        let _ = rng;
+        0
+    }
+
+    /// How each of the layer's `Weight`-kind tensors (in [`Layer::params`]
+    /// order) transforms under [`Layer::permute_hidden_channels`].
+    ///
+    /// The default marks every weight tensor [`WeightSymmetry::Fixed`],
+    /// matching the default no-op permutation.
+    fn weight_symmetries(&self) -> Vec<WeightSymmetry> {
+        self.params()
+            .iter()
+            .filter(|p| p.kind() == ParamKind::Weight)
+            .map(|_| WeightSymmetry::Fixed)
+            .collect()
     }
 }
 

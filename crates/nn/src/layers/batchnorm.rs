@@ -47,6 +47,26 @@ impl BatchNorm2d {
         self.running_mean.len()
     }
 
+    /// Reorders the channels so that new channel `i` normalizes what old
+    /// channel `perm[i]` did: γ/β (values and gradients) and both running
+    /// statistics move together.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidConfig`] if `perm` is not a permutation
+    /// of `0..channels`.
+    pub fn permute_channels(&mut self, perm: &[usize]) -> Result<()> {
+        use super::conv::{check_permutation, permute_chunks};
+        check_permutation(perm, self.channels(), "batchnorm2d channel")?;
+        permute_chunks(self.gamma.value_mut().as_mut_slice(), perm, 1, 1);
+        permute_chunks(self.gamma.grad_mut().as_mut_slice(), perm, 1, 1);
+        permute_chunks(self.beta.value_mut().as_mut_slice(), perm, 1, 1);
+        permute_chunks(self.beta.grad_mut().as_mut_slice(), perm, 1, 1);
+        permute_chunks(&mut self.running_mean, perm, 1, 1);
+        permute_chunks(&mut self.running_var, perm, 1, 1);
+        Ok(())
+    }
+
     fn check_input(&self, input: &Tensor) -> Result<()> {
         if input.shape().rank() != 4 {
             return Err(NnError::tensor(
@@ -251,6 +271,20 @@ mod tests {
             assert!(mean.abs() < 1e-4, "mean {mean}");
             assert!((var - 1.0).abs() < 1e-2, "var {var}");
         }
+    }
+
+    #[test]
+    fn permute_channels_moves_affine_params_and_running_stats() {
+        let mut bn = BatchNorm2d::new(3);
+        bn.params_mut()[0]
+            .value_mut()
+            .as_mut_slice()
+            .copy_from_slice(&[1.0, 2.0, 3.0]);
+        bn.buffers_mut()[0].copy_from_slice(&[0.1, 0.2, 0.3]);
+        bn.permute_channels(&[2, 0, 1]).unwrap();
+        assert_eq!(bn.params()[0].value().as_slice(), &[3.0, 1.0, 2.0]);
+        assert_eq!(bn.buffers()[0], &[0.3f32, 0.1, 0.2][..]);
+        assert!(bn.permute_channels(&[0, 1]).is_err());
     }
 
     #[test]

@@ -61,6 +61,87 @@ impl Conv2d {
     pub fn out_channels(&self) -> usize {
         self.weight.value().dims()[0]
     }
+
+    /// Number of input channels.
+    pub fn in_channels(&self) -> usize {
+        self.weight.value().dims()[1]
+    }
+
+    /// Reorders the output channels so that new channel `i` carries what
+    /// old channel `perm[i]` produced: rows of the `[O, I, kh, kw]`
+    /// weight tensor, the matching bias entries and both gradients move
+    /// as whole units.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidConfig`] if `perm` is not a permutation
+    /// of `0..out_channels`.
+    pub fn permute_out_channels(&mut self, perm: &[usize]) -> Result<()> {
+        check_permutation(perm, self.out_channels(), "conv2d out-channel")?;
+        let dims = self.weight.value().dims().to_vec();
+        let row = dims[1] * dims[2] * dims[3];
+        permute_chunks(self.weight.value_mut().as_mut_slice(), perm, row, 1);
+        permute_chunks(self.weight.grad_mut().as_mut_slice(), perm, row, 1);
+        permute_chunks(self.bias.value_mut().as_mut_slice(), perm, 1, 1);
+        permute_chunks(self.bias.grad_mut().as_mut_slice(), perm, 1, 1);
+        Ok(())
+    }
+
+    /// Reorders the input channels so that new channel `i` reads what old
+    /// channel `perm[i]` read: the `kh*kw`-sized chunks inside every row
+    /// of the `[O, I, kh, kw]` weight tensor (and its gradient) move
+    /// identically.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidConfig`] if `perm` is not a permutation
+    /// of `0..in_channels`.
+    pub fn permute_in_channels(&mut self, perm: &[usize]) -> Result<()> {
+        check_permutation(perm, self.in_channels(), "conv2d in-channel")?;
+        let dims = self.weight.value().dims().to_vec();
+        let chunk = dims[2] * dims[3];
+        permute_chunks(self.weight.value_mut().as_mut_slice(), perm, chunk, dims[0]);
+        permute_chunks(self.weight.grad_mut().as_mut_slice(), perm, chunk, dims[0]);
+        Ok(())
+    }
+}
+
+/// Validates that `perm` is a permutation of `0..len`.
+pub(crate) fn check_permutation(perm: &[usize], len: usize, what: &str) -> Result<()> {
+    let mut seen = vec![false; len];
+    let valid = perm.len() == len
+        && perm.iter().all(|&p| {
+            if p < len && !seen[p] {
+                seen[p] = true;
+                true
+            } else {
+                false
+            }
+        });
+    if valid {
+        Ok(())
+    } else {
+        Err(NnError::InvalidConfig {
+            reason: format!("{what} permutation is not a permutation of 0..{len}"),
+        })
+    }
+}
+
+/// Reorders `rows` consecutive runs of `perm.len()` chunks of `chunk`
+/// elements each, placing old chunk `perm[i]` at new position `i` within
+/// every run.
+pub(crate) fn permute_chunks(data: &mut [f32], perm: &[usize], chunk: usize, rows: usize) {
+    let run = perm.len() * chunk;
+    debug_assert_eq!(data.len(), rows * run);
+    let mut scratch = vec![0.0f32; run];
+    for r in 0..rows {
+        let base = r * run;
+        scratch.copy_from_slice(&data[base..base + run]);
+        for (i, &p) in perm.iter().enumerate() {
+            data[base + i * chunk..base + (i + 1) * chunk]
+                .copy_from_slice(&scratch[p * chunk..(p + 1) * chunk]);
+        }
+    }
 }
 
 impl Layer for Conv2d {
@@ -156,6 +237,62 @@ mod tests {
         conv.backward(&g).unwrap();
         let second = conv.params()[0].grad().as_slice()[0];
         assert!((second - 2.0 * first).abs() < 1e-6);
+    }
+
+    #[test]
+    fn out_channel_permutation_moves_rows_and_bias() {
+        let mut rng = init::seeded_rng(6);
+        let mut conv = Conv2d::new(2, 3, 1, ConvGeometry::unit(), &mut rng);
+        let before = conv.params()[0].value().as_slice().to_vec();
+        conv.params_mut()[1]
+            .value_mut()
+            .as_mut_slice()
+            .copy_from_slice(&[10.0, 20.0, 30.0]);
+        conv.permute_out_channels(&[2, 0, 1]).unwrap();
+        let after = conv.params()[0].value().as_slice().to_vec();
+        assert_eq!(&after[0..2], &before[4..6]);
+        assert_eq!(&after[2..4], &before[0..2]);
+        assert_eq!(conv.params()[1].value().as_slice(), &[30.0, 10.0, 20.0]);
+        assert!(conv.permute_out_channels(&[0, 0, 1]).is_err());
+        assert!(conv.permute_out_channels(&[0, 1]).is_err());
+    }
+
+    #[test]
+    fn in_channel_permutation_moves_chunks_in_every_row() {
+        let mut rng = init::seeded_rng(7);
+        let mut conv = Conv2d::new(3, 2, 2, ConvGeometry::unit(), &mut rng);
+        let before = conv.params()[0].value().as_slice().to_vec();
+        conv.permute_in_channels(&[1, 2, 0]).unwrap();
+        let after = conv.params()[0].value().as_slice().to_vec();
+        let chunk = 4;
+        for row in 0..2 {
+            let b = row * 3 * chunk;
+            assert_eq!(&after[b..b + chunk], &before[b + chunk..b + 2 * chunk]);
+            assert_eq!(&after[b + 2 * chunk..b + 3 * chunk], &before[b..b + chunk]);
+        }
+        assert!(conv.permute_in_channels(&[0, 1]).is_err());
+    }
+
+    #[test]
+    fn permutations_preserve_function_up_to_compensation() {
+        // Permuting conv A's out-channels and conv B's in-channels by the
+        // same permutation leaves the composed function unchanged.
+        let mut rng = init::seeded_rng(8);
+        let mut a = Conv2d::new(2, 4, 3, ConvGeometry::new(1, 1), &mut rng);
+        let mut b = Conv2d::new(4, 3, 3, ConvGeometry::new(1, 1), &mut rng);
+        let x = init::uniform(&[2, 2, 6, 6], -1.0, 1.0, &mut rng);
+        let run = |a: &mut Conv2d, b: &mut Conv2d| {
+            let h = a.forward(&x, Mode::Eval).unwrap();
+            b.forward(&h, Mode::Eval).unwrap()
+        };
+        let before = run(&mut a, &mut b);
+        let perm = [3, 1, 0, 2];
+        a.permute_out_channels(&perm).unwrap();
+        b.permute_in_channels(&perm).unwrap();
+        let after = run(&mut a, &mut b);
+        for (x, y) in before.as_slice().iter().zip(after.as_slice()) {
+            assert!((x - y).abs() < 1e-5, "{x} vs {y}");
+        }
     }
 
     #[test]

@@ -1,9 +1,10 @@
 use qce_tensor::conv::ConvGeometry;
 use qce_tensor::Tensor;
 use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
 
 use crate::layers::{BatchNorm2d, Conv2d, ReLU};
-use crate::{Layer, Mode, NnError, Param, Result};
+use crate::{Layer, Mode, NnError, Param, Result, WeightSymmetry};
 
 /// A ResNet basic block: two 3×3 convolutions with batch norm and a
 /// (possibly projected) shortcut connection.
@@ -169,6 +170,36 @@ impl Layer for ResidualBlock {
         }
         out
     }
+
+    /// Permutes the block's private channel space — the activations
+    /// between `relu1` and `conv2` — by a random permutation drawn from
+    /// `rng`: `conv1`'s output channels, `bn1`'s channels and `conv2`'s
+    /// input channels move together, so the block computes the same
+    /// function up to floating-point summation order. The shortcut path
+    /// and `bn2` never see these channels and stay untouched.
+    fn permute_hidden_channels(&mut self, rng: &mut StdRng) -> usize {
+        let hidden = self.conv1.out_channels();
+        let mut perm: Vec<usize> = (0..hidden).collect();
+        perm.shuffle(rng);
+        // The channel counts match by construction, so these cannot fail.
+        self.conv1
+            .permute_out_channels(&perm)
+            .and_then(|()| self.bn1.permute_channels(&perm))
+            .and_then(|()| self.conv2.permute_in_channels(&perm))
+            .expect("residual block hidden-channel permutation is shape-consistent");
+        hidden
+    }
+
+    fn weight_symmetries(&self) -> Vec<WeightSymmetry> {
+        let mut out = vec![
+            WeightSymmetry::PermutedRows,
+            WeightSymmetry::PermutedInChunks,
+        ];
+        if self.downsample.is_some() {
+            out.push(WeightSymmetry::Fixed);
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -253,5 +284,57 @@ mod tests {
             block.backward(&Tensor::zeros(&[1, 2, 4, 4])),
             Err(NnError::BackwardBeforeForward { .. })
         ));
+    }
+
+    #[test]
+    fn hidden_channel_permutation_preserves_function() {
+        let mut rng = init::seeded_rng(6);
+        for (ic, oc, stride) in [(4, 4, 1), (4, 8, 2)] {
+            let mut block = ResidualBlock::new(ic, oc, stride, &mut rng);
+            let x = init::uniform(&[2, ic, 8, 8], -1.0, 1.0, &mut rng);
+            // Move the running statistics off their init so the eval path
+            // actually exercises them.
+            block.forward(&x, Mode::Train).unwrap();
+            let before = block.forward(&x, Mode::Eval).unwrap();
+            let flat_before: Vec<f32> = block
+                .params()
+                .iter()
+                .flat_map(|p| p.value().as_slice().to_vec())
+                .collect();
+            let mut perm_rng = init::seeded_rng(99);
+            assert_eq!(block.permute_hidden_channels(&mut perm_rng), oc);
+            let after = block.forward(&x, Mode::Eval).unwrap();
+            let flat_after: Vec<f32> = block
+                .params()
+                .iter()
+                .flat_map(|p| p.value().as_slice().to_vec())
+                .collect();
+            assert_ne!(flat_before, flat_after, "permutation must move weights");
+            for (a, b) in before.as_slice().iter().zip(after.as_slice()) {
+                assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn weight_symmetries_match_weight_tensor_count() {
+        let mut rng = init::seeded_rng(7);
+        let plain = ResidualBlock::new(4, 4, 1, &mut rng);
+        assert_eq!(
+            plain.weight_symmetries(),
+            vec![
+                WeightSymmetry::PermutedRows,
+                WeightSymmetry::PermutedInChunks
+            ]
+        );
+        let projected = ResidualBlock::new(4, 8, 2, &mut rng);
+        assert_eq!(
+            projected.weight_symmetries(),
+            vec![
+                WeightSymmetry::PermutedRows,
+                WeightSymmetry::PermutedInChunks,
+                WeightSymmetry::Fixed
+            ]
+        );
     }
 }

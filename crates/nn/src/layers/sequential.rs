@@ -1,6 +1,7 @@
 use qce_tensor::Tensor;
+use rand::rngs::StdRng;
 
-use crate::{Layer, Mode, NnError, Param, Result};
+use crate::{Layer, Mode, NnError, Param, Result, WeightSymmetry};
 
 /// A composite layer running an ordered list of sub-layers — lets model
 /// builders treat a whole stage as one [`Layer`].
@@ -113,6 +114,20 @@ impl Layer for Sequential {
         self.layers
             .iter_mut()
             .flat_map(|l| l.buffers_mut())
+            .collect()
+    }
+
+    fn permute_hidden_channels(&mut self, rng: &mut StdRng) -> usize {
+        self.layers
+            .iter_mut()
+            .map(|l| l.permute_hidden_channels(rng))
+            .sum()
+    }
+
+    fn weight_symmetries(&self) -> Vec<WeightSymmetry> {
+        self.layers
+            .iter()
+            .flat_map(|l| l.weight_symmetries())
             .collect()
     }
 }

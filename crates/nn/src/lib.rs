@@ -66,7 +66,7 @@ pub mod schedule;
 pub mod serialize;
 
 pub use error::NnError;
-pub use layer::{Layer, Mode};
+pub use layer::{Layer, Mode, WeightSymmetry};
 pub use network::{Network, NetworkSnapshot, WeightSlot};
 pub use optim::{Adam, Sgd};
 pub use param::{Param, ParamKind};

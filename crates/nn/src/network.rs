@@ -1,6 +1,6 @@
 use qce_tensor::Tensor;
 
-use crate::{Layer, Mode, NnError, Param, ParamKind, Result};
+use crate::{Layer, Mode, NnError, Param, ParamKind, Result, WeightSymmetry};
 
 /// Position of one `Weight`-kind parameter tensor inside the network's
 /// flattened weight space.
@@ -189,6 +189,35 @@ impl Network {
             }
         }
         slots
+    }
+
+    /// Applies a seeded, function-preserving permutation to every layer's
+    /// internal hidden channels (see
+    /// [`Layer::permute_hidden_channels`]) and returns the total number
+    /// of channels permuted.
+    ///
+    /// Layers draw their permutations from one `StdRng` seeded with
+    /// `seed` in forward order, so the whole transform is deterministic.
+    /// This is the primitive behind the `qce-defense` rotation defense:
+    /// it scrambles position-addressed weight payloads while leaving the
+    /// network's function bit-comparable up to float summation order.
+    pub fn permute_hidden_channels(&mut self, seed: u64) -> usize {
+        let mut rng = qce_tensor::init::seeded_rng(seed);
+        self.layers
+            .iter_mut()
+            .map(|l| l.permute_hidden_channels(&mut rng))
+            .sum()
+    }
+
+    /// How each `Weight`-kind tensor (aligned with
+    /// [`Network::weight_slots`]) transforms under
+    /// [`Network::permute_hidden_channels`] — the white-box symmetry map
+    /// a permutation-invariant encoding lays its payload out against.
+    pub fn weight_symmetries(&self) -> Vec<WeightSymmetry> {
+        self.layers
+            .iter()
+            .flat_map(|l| l.weight_symmetries())
+            .collect()
     }
 
     /// Total number of `Weight`-kind scalars (the encodable/quantizable
@@ -494,6 +523,64 @@ mod tests {
         // Full restore brings inference back exactly.
         net.restore(&snap).unwrap();
         assert_eq!(net.forward(&x, Mode::Eval).unwrap(), before);
+    }
+
+    #[test]
+    fn hidden_channel_permutation_preserves_network_function() {
+        use crate::models::ResNetLite;
+        let mut net = ResNetLite::builder()
+            .input(1, 8)
+            .classes(3)
+            .stage_channels(&[4, 8])
+            .blocks_per_stage(1)
+            .build(11)
+            .unwrap();
+        let x = init::uniform(&[3, 1, 8, 8], 0.0, 1.0, &mut init::seeded_rng(12));
+        net.forward(&x, Mode::Train).unwrap();
+        let before = net.forward(&x, Mode::Eval).unwrap();
+        let flat_before = net.flat_weights();
+        let moved = net.permute_hidden_channels(1234);
+        assert_eq!(moved, 4 + 8); // one block per stage
+        assert_ne!(net.flat_weights(), flat_before);
+        let after = net.forward(&x, Mode::Eval).unwrap();
+        for (a, b) in before.as_slice().iter().zip(after.as_slice()) {
+            assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+        }
+        // Deterministic: the same seed on an identical network produces
+        // the same permuted weights.
+        let mut twin = ResNetLite::builder()
+            .input(1, 8)
+            .classes(3)
+            .stage_channels(&[4, 8])
+            .blocks_per_stage(1)
+            .build(11)
+            .unwrap();
+        twin.forward(&x, Mode::Train).unwrap();
+        twin.permute_hidden_channels(1234);
+        assert_eq!(net.flat_weights(), twin.flat_weights());
+    }
+
+    #[test]
+    fn weight_symmetries_align_with_weight_slots() {
+        use crate::models::ResNetLite;
+        let net = ResNetLite::builder()
+            .input(1, 8)
+            .classes(3)
+            .stage_channels(&[4, 8])
+            .blocks_per_stage(1)
+            .build(13)
+            .unwrap();
+        let symmetries = net.weight_symmetries();
+        assert_eq!(symmetries.len(), net.weight_slots().len());
+        // stem Fixed, block1 (rows, chunks), block2 (rows, chunks, proj
+        // Fixed), linear Fixed.
+        assert_eq!(symmetries[0], WeightSymmetry::Fixed);
+        assert_eq!(symmetries[1], WeightSymmetry::PermutedRows);
+        assert_eq!(symmetries[2], WeightSymmetry::PermutedInChunks);
+        assert_eq!(symmetries[3], WeightSymmetry::PermutedRows);
+        assert_eq!(symmetries[4], WeightSymmetry::PermutedInChunks);
+        assert_eq!(symmetries[5], WeightSymmetry::Fixed);
+        assert_eq!(*symmetries.last().unwrap(), WeightSymmetry::Fixed);
     }
 
     #[test]
