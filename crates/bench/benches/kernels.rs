@@ -3,11 +3,12 @@
 //! gradient, the four quantizer fits, SSIM, the image decoder and
 //! bit-packing — plus a before/after backend harness.
 //!
-//! Beyond the criterion samples, `main` runs every hot kernel once on the
-//! serial reference pool and once on a 4-thread pool (and the `QCE_THREADS`
-//! global), asserts the outputs are bit-for-bit identical, and writes the
+//! Beyond the criterion samples, `main` runs every hot kernel on the
+//! serial reference pool, a 4-thread pool and the `QCE_THREADS` global
+//! pool, plus a forced-scalar vs detected-SIMD pair on the serial pool,
+//! asserts all outputs are bit-for-bit identical, and writes the
 //! wall-clock and GFLOP/s comparison to `BENCH_kernels.json` so CI can
-//! archive the numbers next to the run.
+//! archive and gate the numbers next to the run.
 
 use criterion::{criterion_group, BatchSize, Criterion};
 use std::hint::black_box;
@@ -157,25 +158,27 @@ fn bench_metrics_and_packing(c: &mut Criterion) {
 }
 
 // ---------------------------------------------------------------------------
-// Backend comparison harness: serial vs parallel wall time + GFLOP/s, with a
-// bitwise-identity check, written to BENCH_kernels.json.
+// Backend comparison harness: serial vs parallel wall time + GFLOP/s and a
+// scalar-vs-SIMD pair per kernel, with bitwise-identity checks, written to
+// BENCH_kernels.json.
+//
+// Measurement is *interleaved*: every rep runs each leg (serial pool,
+// 4-thread pool, global pool, forced-scalar SIMD, detected SIMD) once,
+// round-robin, after one discarded warm-up sweep. The earlier
+// leg-after-leg scheme mis-measured: on a 1-core host all three pool legs
+// execute the same inline code, yet the last leg measured (`global_ms`)
+// came out ~2x faster on the allocation-heavy kmeans fit because the
+// first legs paid the allocator's page-fault warm-up and the final leg
+// reused hot arenas. Min-of-N within a leg cannot fix that — the bias is
+// monotone across legs, not noise within one. Interleaving gives every
+// leg the same allocator state distribution, so the numbers are
+// apples-to-apples by construction.
 // ---------------------------------------------------------------------------
 
 const HARNESS_REPS: usize = 5;
 
-/// Minimum wall time of `reps` runs, in seconds, plus the bits of the f32
-/// output (for the determinism check).
-fn time_min<F: FnMut() -> Vec<f32>>(mut f: F) -> (f64, Vec<u32>) {
-    let mut best = f64::INFINITY;
-    let mut bits = Vec::new();
-    for _ in 0..HARNESS_REPS {
-        let start = Instant::now();
-        let out = black_box(f());
-        best = best.min(start.elapsed().as_secs_f64());
-        bits = out.iter().map(|v| v.to_bits()).collect();
-    }
-    (best, bits)
-}
+/// Number of measured legs per kernel (see [`KernelRow::measure`]).
+const LEGS: usize = 5;
 
 struct KernelRow {
     name: &'static str,
@@ -183,26 +186,72 @@ struct KernelRow {
     serial_s: f64,
     parallel_s: f64,
     global_s: f64,
+    scalar_s: f64,
+    simd_s: f64,
+    simd_level: &'static str,
+    /// Pool legs (serial / 4-thread / global) produced identical bytes.
     bitwise_identical: bool,
+    /// Forced-scalar and detected-SIMD legs produced identical bytes
+    /// (also identical to the pool legs — asserted by the caller).
+    simd_bitwise_identical: bool,
 }
 
 impl KernelRow {
+    /// Times `run` on five legs, interleaved rep by rep with a discarded
+    /// warm-up sweep, taking the min per leg:
+    ///
+    /// 0. serial pool, ambient SIMD dispatch (`QCE_SIMD`),
+    /// 1. 4-thread pool, ambient SIMD,
+    /// 2. global pool, ambient SIMD,
+    /// 3. serial pool, SIMD forced off (scalar reference),
+    /// 4. serial pool, best detected SIMD level.
+    ///
+    /// Legs 0-2 isolate threading; legs 3-4 isolate vectorisation.
     fn measure<F>(name: &'static str, flops: u64, mut run: F) -> KernelRow
     where
         F: FnMut(&Pool) -> Vec<f32>,
     {
+        use qce_tensor::simd::{self, Level};
         let serial = Pool::serial();
         let parallel = Pool::with_threads(4);
-        let (serial_s, serial_bits) = time_min(|| run(&serial));
-        let (parallel_s, parallel_bits) = time_min(|| run(&parallel));
-        let (global_s, global_bits) = time_min(|| run(Pool::global()));
+        let detected = simd::detect();
+        let mut best = [f64::INFINITY; LEGS];
+        let mut bits: [Vec<u32>; LEGS] = Default::default();
+        for rep in 0..=HARNESS_REPS {
+            for leg in 0..LEGS {
+                let forced = match leg {
+                    3 => Some(simd::set_active(Level::Scalar)),
+                    4 => Some(simd::set_active(detected)),
+                    _ => None,
+                };
+                let pool = match leg {
+                    1 => &parallel,
+                    2 => Pool::global(),
+                    _ => &serial,
+                };
+                let start = Instant::now();
+                let out = black_box(run(pool));
+                let elapsed = start.elapsed().as_secs_f64();
+                if let Some(prev) = forced {
+                    simd::set_active(prev);
+                }
+                if rep > 0 {
+                    best[leg] = best[leg].min(elapsed);
+                }
+                bits[leg] = out.iter().map(|v| v.to_bits()).collect();
+            }
+        }
         KernelRow {
             name,
             flops,
-            serial_s,
-            parallel_s,
-            global_s,
-            bitwise_identical: serial_bits == parallel_bits && serial_bits == global_bits,
+            serial_s: best[0],
+            parallel_s: best[1],
+            global_s: best[2],
+            scalar_s: best[3],
+            simd_s: best[4],
+            simd_level: detected.name(),
+            bitwise_identical: bits[0] == bits[1] && bits[0] == bits[2],
+            simd_bitwise_identical: bits[3] == bits[4] && bits[0] == bits[3],
         }
     }
 
@@ -220,7 +269,10 @@ impl KernelRow {
                 "\"serial_ms\": {:.4}, \"parallel_ms\": {:.4}, \"global_ms\": {:.4}, ",
                 "\"serial_gflops\": {:.4}, \"parallel_gflops\": {:.4}, ",
                 "\"speedup_parallel_over_serial\": {:.4}, ",
-                "\"bitwise_identical\": {}}}"
+                "\"scalar_ms\": {:.4}, \"simd_ms\": {:.4}, \"simd_level\": \"{}\", ",
+                "\"scalar_gflops\": {:.4}, \"simd_gflops\": {:.4}, ",
+                "\"speedup_simd_over_scalar\": {:.4}, ",
+                "\"bitwise_identical\": {}, \"simd_bitwise_identical\": {}}}"
             ),
             self.name,
             self.flops,
@@ -230,14 +282,22 @@ impl KernelRow {
             self.gflops(self.serial_s),
             self.gflops(self.parallel_s),
             self.serial_s / self.parallel_s.max(1e-12),
+            self.scalar_s * 1e3,
+            self.simd_s * 1e3,
+            self.simd_level,
+            self.gflops(self.scalar_s),
+            self.gflops(self.simd_s),
+            self.scalar_s / self.simd_s.max(1e-12),
             self.bitwise_identical,
+            self.simd_bitwise_identical,
         )
     }
 }
 
 fn backend_comparison() {
     qce_telemetry::progress!(
-        "\nbackend comparison (serial vs 4-thread pool, min of {HARNESS_REPS} runs, {} detected cores)",
+        "\nbackend comparison (serial vs 4-thread pool, scalar vs {} SIMD; interleaved min of {HARNESS_REPS} runs, {} detected cores)",
+        qce_tensor::simd::detect().name(),
         qce_tensor::par::detected_cores(),
     );
     let mut rng = init::seeded_rng(11);
@@ -293,17 +353,27 @@ fn backend_comparison() {
     let rows = [matmul_row, fwd_row, bwd_row, fit_row, assign_row];
     for r in &rows {
         qce_telemetry::progress!(
-            "{:<28} serial {:9.3} ms | 4-thread {:9.3} ms | speedup {:5.2}x | {:7.2} GFLOP/s serial | bitwise_identical={}",
+            "{:<28} serial {:9.3} ms | 4-thread {:9.3} ms | speedup {:5.2}x | scalar {:9.3} ms | {} {:9.3} ms | simd speedup {:5.2}x | {:7.2} GFLOP/s simd | bitwise={} simd_bitwise={}",
             r.name,
             r.serial_s * 1e3,
             r.parallel_s * 1e3,
             r.serial_s / r.parallel_s.max(1e-12),
-            r.gflops(r.serial_s),
+            r.scalar_s * 1e3,
+            r.simd_level,
+            r.simd_s * 1e3,
+            r.scalar_s / r.simd_s.max(1e-12),
+            r.gflops(r.simd_s),
             r.bitwise_identical,
+            r.simd_bitwise_identical,
         );
         assert!(
             r.bitwise_identical,
             "{}: serial and parallel outputs differ",
+            r.name
+        );
+        assert!(
+            r.simd_bitwise_identical,
+            "{}: scalar and SIMD outputs differ",
             r.name
         );
     }
@@ -312,11 +382,15 @@ fn backend_comparison() {
     // `detected_cores` qualifies every speedup number: on a 1-core host
     // the pool falls back to inline execution, so "parallel" timings are
     // really the serial path plus partitioning and the speedup is ~1.0
-    // by construction, not a regression.
+    // by construction, not a regression. `simd` qualifies the
+    // scalar-vs-SIMD pairs the same way: on a host without AVX2 the
+    // "simd" leg is the scalar path and its speedup is ~1.0.
     let json = format!(
-        "{{\n  \"bench\": \"kernels\",\n  \"threads\": {{\"serial\": 1, \"parallel\": 4, \"global\": {}, \"detected_cores\": {}}},\n  \"reps\": {},\n  \"kernels\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"bench\": \"kernels\",\n  \"threads\": {{\"serial\": 1, \"parallel\": 4, \"global\": {}, \"detected_cores\": {}}},\n  \"simd\": {{\"detected\": \"{}\", \"active\": \"{}\"}},\n  \"reps\": {},\n  \"kernels\": [\n{}\n  ]\n}}\n",
         Pool::global().threads(),
         qce_tensor::par::detected_cores(),
+        qce_tensor::simd::detect().name(),
+        qce_tensor::simd::active().name(),
         HARNESS_REPS,
         body.join(",\n"),
     );

@@ -24,8 +24,17 @@ pub struct BenchEntry {
     pub serial_ms: f64,
     /// Parallel wall time per rep, milliseconds.
     pub parallel_ms: f64,
+    /// Forced-scalar SIMD wall time per rep, milliseconds (absent in
+    /// pre-SIMD bench outputs).
+    pub scalar_ms: Option<f64>,
+    /// Detected-SIMD wall time per rep, milliseconds (absent in
+    /// pre-SIMD bench outputs).
+    pub simd_ms: Option<f64>,
     /// Whether serial and parallel outputs matched bit for bit.
     pub bitwise_identical: bool,
+    /// Whether forced-scalar and detected-SIMD outputs matched bit for
+    /// bit (`None` in pre-SIMD bench outputs).
+    pub simd_bitwise_identical: Option<bool>,
 }
 
 /// Parses the `kernels` array out of a `BENCH_kernels.json` document.
@@ -58,10 +67,16 @@ pub fn parse_bench(body: &str) -> Result<Vec<BenchEntry>> {
         out.push(BenchEntry {
             serial_ms: num("serial_ms")?,
             parallel_ms: num("parallel_ms")?,
+            scalar_ms: kernel.get("scalar_ms").and_then(JsonValue::as_f64),
+            simd_ms: kernel.get("simd_ms").and_then(JsonValue::as_f64),
             bitwise_identical: matches!(
                 kernel.get("bitwise_identical"),
                 Some(JsonValue::Bool(true))
             ),
+            simd_bitwise_identical: match kernel.get("simd_bitwise_identical") {
+                Some(JsonValue::Bool(b)) => Some(*b),
+                _ => None,
+            },
             name,
         });
     }
@@ -84,10 +99,27 @@ pub fn bench_gate(fresh: &[BenchEntry], baseline: &[BenchEntry], threshold: f64)
             });
             continue;
         };
-        for (which, base_ms, now_ms) in [
-            ("serial_ms", base.serial_ms, now.serial_ms),
-            ("parallel_ms", base.parallel_ms, now.parallel_ms),
-        ] {
+        // Scalar/SIMD pairs gate only when the baseline carries them:
+        // a baseline blessed before the SIMD overhaul simply has no pair
+        // to regress against, and a fresh run that *dropped* a pair the
+        // baseline has is flagged as a missing measurement.
+        let mut timed = vec![
+            ("serial_ms", Some(base.serial_ms), Some(now.serial_ms)),
+            ("parallel_ms", Some(base.parallel_ms), Some(now.parallel_ms)),
+        ];
+        if base.scalar_ms.is_some() {
+            timed.push(("scalar_ms", base.scalar_ms, now.scalar_ms));
+            timed.push(("simd_ms", base.simd_ms, now.simd_ms));
+        }
+        for (which, base_ms, now_ms) in timed {
+            let Some(base_ms) = base_ms else { continue };
+            let Some(now_ms) = now_ms else {
+                out.push(Violation {
+                    location: format!("kernel {:?} {which}", base.name),
+                    detail: "measured in baseline but missing from fresh bench output".to_string(),
+                });
+                continue;
+            };
             // Sub-threshold baselines (or zero, from a degenerate run)
             // can't support a meaningful relative gate.
             if base_ms <= 0.0 {
@@ -111,6 +143,12 @@ pub fn bench_gate(fresh: &[BenchEntry], baseline: &[BenchEntry], threshold: f64)
                 detail: "serial/parallel outputs are no longer bitwise identical".to_string(),
             });
         }
+        if base.simd_bitwise_identical == Some(true) && now.simd_bitwise_identical != Some(true) {
+            out.push(Violation {
+                location: format!("kernel {:?}", base.name),
+                detail: "scalar/SIMD outputs are no longer bitwise identical".to_string(),
+            });
+        }
     }
     out
 }
@@ -124,7 +162,19 @@ mod tests {
             name: name.to_string(),
             serial_ms,
             parallel_ms,
+            scalar_ms: None,
+            simd_ms: None,
             bitwise_identical: true,
+            simd_bitwise_identical: None,
+        }
+    }
+
+    fn simd_entry(name: &str, scalar_ms: f64, simd_ms: f64) -> BenchEntry {
+        BenchEntry {
+            scalar_ms: Some(scalar_ms),
+            simd_ms: Some(simd_ms),
+            simd_bitwise_identical: Some(true),
+            ..entry(name, 1.0, 1.0)
         }
     }
 
@@ -193,5 +243,69 @@ mod tests {
     fn zero_baseline_times_are_not_gated() {
         let baseline = vec![entry("warmup", 0.0, 0.0)];
         assert!(bench_gate(&[entry("warmup", 5.0, 5.0)], &baseline, 0.20).is_empty());
+    }
+
+    #[test]
+    fn parses_scalar_simd_pairs_when_present() {
+        let body = r#"{
+          "kernels": [
+            {"name": "matmul", "serial_ms": 0.16, "parallel_ms": 0.16,
+             "scalar_ms": 0.31, "simd_ms": 0.16, "simd_level": "avx2",
+             "bitwise_identical": true, "simd_bitwise_identical": true},
+            {"name": "legacy", "serial_ms": 1.0, "parallel_ms": 1.0,
+             "bitwise_identical": true}
+          ]
+        }"#;
+        let kernels = parse_bench(body).unwrap();
+        assert_eq!(kernels[0].scalar_ms, Some(0.31));
+        assert_eq!(kernels[0].simd_ms, Some(0.16));
+        assert_eq!(kernels[0].simd_bitwise_identical, Some(true));
+        assert_eq!(kernels[1].scalar_ms, None);
+        assert_eq!(kernels[1].simd_bitwise_identical, None);
+    }
+
+    #[test]
+    fn simd_pair_regressions_are_gated() {
+        let baseline = vec![simd_entry("matmul", 0.30, 0.16)];
+        // Within threshold on every leg: pass.
+        assert!(bench_gate(&[simd_entry("matmul", 0.33, 0.18)], &baseline, 0.20).is_empty());
+        // SIMD leg regressed past the band: fail, naming simd_ms.
+        let v = bench_gate(&[simd_entry("matmul", 0.30, 0.25)], &baseline, 0.20);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].to_string().contains("simd_ms"), "{}", v[0]);
+        // Scalar leg regressed: fail, naming scalar_ms.
+        let v = bench_gate(&[simd_entry("matmul", 0.45, 0.16)], &baseline, 0.20);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].to_string().contains("scalar_ms"), "{}", v[0]);
+    }
+
+    #[test]
+    fn dropping_a_measured_pair_fails() {
+        let baseline = vec![simd_entry("matmul", 0.30, 0.16)];
+        let mut fresh = simd_entry("matmul", 0.30, 0.16);
+        fresh.scalar_ms = None;
+        fresh.simd_ms = None;
+        let v = bench_gate(&[fresh], &baseline, 0.20);
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert!(v.iter().all(|x| x.to_string().contains("missing")));
+    }
+
+    #[test]
+    fn losing_simd_bitwise_identity_fails() {
+        let baseline = vec![simd_entry("matmul", 0.30, 0.16)];
+        let mut fresh = simd_entry("matmul", 0.30, 0.16);
+        fresh.simd_bitwise_identical = Some(false);
+        let v = bench_gate(&[fresh], &baseline, 0.20);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].to_string().contains("scalar/SIMD"), "{}", v[0]);
+    }
+
+    #[test]
+    fn pre_simd_baseline_does_not_gate_pairs() {
+        // Baseline without pairs gates nothing pair-related, even when
+        // the fresh run carries (arbitrarily slow) pair measurements.
+        let baseline = vec![entry("matmul", 1.0, 1.0)];
+        let fresh = vec![simd_entry("matmul", 1.0, 99.0)];
+        assert!(bench_gate(&fresh, &baseline, 0.20).is_empty());
     }
 }

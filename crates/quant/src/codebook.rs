@@ -1,11 +1,21 @@
 use qce_tensor::par::{self, Pool};
+use qce_tensor::{simd, tune};
 
 use crate::{QuantError, Result};
 
-/// Bulk assign/quantize/decode work is split into fixed-size chunks; the
-/// chunk length is a constant (never derived from the thread count) so
-/// the decomposition — and hence the output — is identical for any pool.
-const BULK_CHUNK: usize = 16 * 1024;
+/// Minimum elements per bulk assign/quantize/decode task. The actual
+/// chunk comes from [`tune::TuneProfile::bulk_chunk`] (a few tasks per
+/// detected core, floored here so few-core hosts never pay per-task
+/// dispatch for tiny slices). Chunking is derived from detected hardware
+/// only — never from the thread count — and these paths are pure
+/// per-element gathers with no accumulation, so any chunking yields the
+/// same output bytes under any pool.
+const BULK_CHUNK_FLOOR: usize = 16 * 1024;
+
+/// Elements per task for the bulk paths, from the startup tune profile.
+fn bulk_chunk(len: usize) -> usize {
+    tune::profile().bulk_chunk(len, BULK_CHUNK_FLOOR)
+}
 
 /// Codebooks at or below this many levels use the branchless linear
 /// count in bulk assignment; larger ones binary-search per element.
@@ -132,12 +142,14 @@ impl Codebook {
         count.saturating_sub(1)
     }
 
-    /// Branchless [`Codebook::assign_value`] for the bulk paths.
+    /// Branchless [`Codebook::assign_value`]: the scalar reference for
+    /// the bulk paths' `simd::rank_count` call.
     ///
     /// Counting `boundaries[1..]` entries `<= w` over non-decreasing
     /// boundaries gives exactly `partition_point(<= w) - 1` when `w` is
     /// at or above the first boundary, and 0 when it clamps below — the
     /// same cluster, with no data-dependent branch in the loop.
+    #[cfg(test)]
     fn assign_value_branchless(&self, w: f32) -> usize {
         let mut idx = 0usize;
         for &b in &self.boundaries[1..] {
@@ -148,9 +160,12 @@ impl Codebook {
 
     fn assign_chunk(&self, src: &[f32], dst: &mut [u32]) {
         if self.levels() <= BRANCHLESS_MAX_LEVELS {
-            for (&w, d) in src.iter().zip(dst.iter_mut()) {
-                *d = self.assign_value_branchless(w) as u32;
-            }
+            // `rank_count` over `boundaries[1..]` is exactly
+            // `assign_value_branchless` (count of boundaries <= w), with
+            // the threshold loop vectorised 8 elements at a time when
+            // SIMD dispatch is active. Pure integer counting, so the
+            // indices are identical at every SIMD level.
+            simd::rank_count(&self.boundaries[1..], src, dst);
         } else {
             for (&w, d) in src.iter().zip(dst.iter_mut()) {
                 *d = self.assign_value(w) as u32;
@@ -170,25 +185,27 @@ impl Codebook {
     }
 
     /// [`Codebook::quantize`] on an explicit pool.
+    ///
+    /// Internally this is [`Codebook::assign_with`]'s SIMD rank-count
+    /// followed by a representative gather, per task chunk; the gather is
+    /// a pure table lookup so the output bits equal
+    /// `representatives[assign_value(w)]` exactly.
     pub fn quantize_with(&self, pool: &Pool, weights: &[f32]) -> Vec<f32> {
+        let chunk = bulk_chunk(weights.len());
         let mut out = vec![0.0f32; weights.len()];
         let items: Vec<(&[f32], &mut [f32])> = weights
-            .chunks(BULK_CHUNK)
-            .zip(out.chunks_mut(BULK_CHUNK))
+            .chunks(chunk.max(1))
+            .zip(out.chunks_mut(chunk.max(1)))
             .collect();
         par::for_each_item(
             pool,
             items,
-            || (),
-            |(), _, (src, dst)| {
-                if self.levels() <= BRANCHLESS_MAX_LEVELS {
-                    for (&w, d) in src.iter().zip(dst.iter_mut()) {
-                        *d = self.representatives[self.assign_value_branchless(w)];
-                    }
-                } else {
-                    for (&w, d) in src.iter().zip(dst.iter_mut()) {
-                        *d = self.representatives[self.assign_value(w)];
-                    }
+            || vec![0u32; chunk],
+            |idx_scratch, _, (src, dst)| {
+                let idx = &mut idx_scratch[..src.len()];
+                self.assign_chunk(src, idx);
+                for (&i, d) in idx.iter().zip(dst.iter_mut()) {
+                    *d = self.representatives[i as usize];
                 }
             },
         );
@@ -203,14 +220,13 @@ impl Codebook {
     /// [`Codebook::assign`] on an explicit pool.
     ///
     /// Assignment is a pure per-element gather — no accumulation at all —
-    /// so any chunking of the input yields the same indices; the fixed
-    /// `BULK_CHUNK` split just bounds per-task granularity.
+    /// so any chunking of the input yields the same indices; the tuned
+    /// chunk split just bounds per-task granularity.
     pub fn assign_with(&self, pool: &Pool, weights: &[f32]) -> Vec<u32> {
+        let chunk = bulk_chunk(weights.len()).max(1);
         let mut out = vec![0u32; weights.len()];
-        let items: Vec<(&[f32], &mut [u32])> = weights
-            .chunks(BULK_CHUNK)
-            .zip(out.chunks_mut(BULK_CHUNK))
-            .collect();
+        let items: Vec<(&[f32], &mut [u32])> =
+            weights.chunks(chunk).zip(out.chunks_mut(chunk)).collect();
         par::for_each_item(
             pool,
             items,
@@ -245,11 +261,10 @@ impl Codebook {
                 actual: bad as usize,
             });
         }
+        let chunk = bulk_chunk(indices.len()).max(1);
         let mut out = vec![0.0f32; indices.len()];
-        let items: Vec<(&[u32], &mut [f32])> = indices
-            .chunks(BULK_CHUNK)
-            .zip(out.chunks_mut(BULK_CHUNK))
-            .collect();
+        let items: Vec<(&[u32], &mut [f32])> =
+            indices.chunks(chunk).zip(out.chunks_mut(chunk)).collect();
         par::for_each_item(
             pool,
             items,
@@ -357,6 +372,11 @@ mod tests {
         for book in [cb(), wide] {
             let w: Vec<f32> = (0..70_000).map(|_| rng.random_range(-6.0..6.0)).collect();
             let scalar: Vec<u32> = w.iter().map(|&x| book.assign_value(x) as u32).collect();
+            // The branchless counting formulation (and hence rank_count)
+            // must agree with the binary search on every element.
+            for &x in w.iter().take(1000) {
+                assert_eq!(book.assign_value_branchless(x), book.assign_value(x));
+            }
             for threads in [1, 2, 3, 8] {
                 let pool = Pool::with_threads(threads);
                 assert_eq!(book.assign_with(&pool, &w), scalar, "threads={threads}");

@@ -166,6 +166,50 @@ proptest! {
     }
 
     #[test]
+    fn codebook_assign_bitwise_equal_across_simd_levels(
+        levels in 2usize..33,
+        seed in 0u64..500,
+    ) {
+        use qce_tensor::simd::{self, Level};
+        // Lengths 1..=17 hit every remainder class of the 8-wide AVX2
+        // rank_count body; 40_000 exercises the chunked parallel path.
+        let mut lens: Vec<usize> = (1..=17).collect();
+        lens.push(40_000);
+        let mut rng = qce_tensor::init::seeded_rng(seed);
+        use rand::RngExt;
+        let all: Vec<f32> = (0..40_000).map(|_| rng.random_range(-10.0..10.0)).collect();
+        let cb = KMeansQuantizer::new(levels).unwrap().fit_with(&Pool::serial(), &all).unwrap();
+        let simd_levels = if simd::detect() == Level::Avx2 {
+            vec![Level::Scalar, Level::Avx2]
+        } else {
+            vec![Level::Scalar]
+        };
+        for &len in &lens {
+            let w = &all[..len];
+            let want: Vec<u32> = w.iter().map(|&x| cb.assign_value(x) as u32).collect();
+            for &lvl in &simd_levels {
+                let prev = simd::set_active(lvl);
+                for threads in [1usize, 2, 4] {
+                    let pool = Pool::with_threads(threads);
+                    let got = cb.assign_with(&pool, w);
+                    if got != want {
+                        simd::set_active(prev);
+                        prop_assert!(false, "assign len={} level={} threads={}", len, lvl.name(), threads);
+                    }
+                    let q = cb.quantize_with(&pool, w);
+                    let same = q.iter().zip(&want)
+                        .all(|(a, &i)| a.to_bits() == cb.representatives()[i as usize].to_bits());
+                    if !same {
+                        simd::set_active(prev);
+                        prop_assert!(false, "quantize len={} level={} threads={}", len, lvl.name(), threads);
+                    }
+                }
+                simd::set_active(prev);
+            }
+        }
+    }
+
+    #[test]
     fn quantization_error_bounded_by_range(weights in weights_strategy(), levels in 2usize..17) {
         let cb = LinearQuantizer::new(levels).unwrap().fit(&weights).unwrap();
         let lo = weights.iter().cloned().fold(f32::INFINITY, f32::min);

@@ -16,7 +16,7 @@
 //! every thread count.
 
 use crate::par::{self, Pool};
-use crate::{linalg, Result, Tensor, TensorError};
+use crate::{linalg, simd, Result, Tensor, TensorError};
 
 /// Stride/padding geometry of a convolution or pooling window.
 ///
@@ -108,6 +108,40 @@ fn im2col(
     let pad = geom.padding as isize;
     let stride = geom.stride;
     debug_assert_eq!(col.len(), c * kh * kw * ho * wo);
+    if stride == 1 {
+        // Unit stride makes every output row a shifted window of one input
+        // row: zero-fill the out-of-image borders and bulk-copy the valid
+        // span instead of testing bounds per element. Pure data movement —
+        // the produced values are identical to the general path below.
+        let mut row = 0usize;
+        for ch in 0..c {
+            let img_ch = &img[ch * h * w..(ch + 1) * h * w];
+            for ky in 0..kh {
+                for kx in 0..kw {
+                    let out_row = &mut col[row * ho * wo..(row + 1) * ho * wo];
+                    let shift = kx as isize - pad; // ix = ox + shift
+                    let lo = (-shift).clamp(0, wo as isize) as usize;
+                    let hi = (w as isize - shift).clamp(lo as isize, wo as isize) as usize;
+                    for oy in 0..ho {
+                        let iy = oy as isize + ky as isize - pad;
+                        let dst = &mut out_row[oy * wo..(oy + 1) * wo];
+                        if iy < 0 || iy >= h as isize {
+                            dst.fill(0.0);
+                            continue;
+                        }
+                        dst[..lo].fill(0.0);
+                        if lo < hi {
+                            let src0 = iy as usize * w + (lo as isize + shift) as usize;
+                            dst[lo..hi].copy_from_slice(&img_ch[src0..src0 + (hi - lo)]);
+                        }
+                        dst[hi..].fill(0.0);
+                    }
+                    row += 1;
+                }
+            }
+        }
+        return;
+    }
     let mut row = 0usize;
     for ch in 0..c {
         let img_ch = &img[ch * h * w..(ch + 1) * h * w];
@@ -150,6 +184,40 @@ fn col2im(
 ) {
     let pad = geom.padding as isize;
     let stride = geom.stride;
+    if stride == 1 {
+        // Mirror of the unit-stride im2col fast path: each (row, oy) pair
+        // touches a contiguous image span exactly once, so the scatter-add
+        // becomes one vectorised segment add per output row. Loop order —
+        // and therefore the accumulation order onto each image element —
+        // matches the general path exactly.
+        let mut row = 0usize;
+        for ch in 0..c {
+            let img_ch = &mut img[ch * h * w..(ch + 1) * h * w];
+            for ky in 0..kh {
+                for kx in 0..kw {
+                    let in_row = &col[row * ho * wo..(row + 1) * ho * wo];
+                    let shift = kx as isize - pad; // ix = ox + shift
+                    let lo = (-shift).clamp(0, wo as isize) as usize;
+                    let hi = (w as isize - shift).clamp(lo as isize, wo as isize) as usize;
+                    if lo < hi {
+                        for oy in 0..ho {
+                            let iy = oy as isize + ky as isize - pad;
+                            if iy < 0 || iy >= h as isize {
+                                continue;
+                            }
+                            let dst0 = iy as usize * w + (lo as isize + shift) as usize;
+                            simd::add_assign(
+                                &mut img_ch[dst0..dst0 + (hi - lo)],
+                                &in_row[oy * wo + lo..oy * wo + hi],
+                            );
+                        }
+                    }
+                    row += 1;
+                }
+            }
+        }
+        return;
+    }
     let mut row = 0usize;
     for ch in 0..c {
         let img_ch = &mut img[ch * h * w..(ch + 1) * h * w];
@@ -273,9 +341,7 @@ pub fn conv2d_with(
             linalg::matmul_into(inner, wv, col, dst, o, ckk, howo);
             if let Some(b) = bslice {
                 for (oc, &bv) in b.iter().enumerate() {
-                    for v in &mut dst[oc * howo..(oc + 1) * howo] {
-                        *v += bv;
-                    }
+                    simd::add_scalar(&mut dst[oc * howo..(oc + 1) * howo], bv);
                 }
             }
         },
@@ -319,6 +385,17 @@ pub fn conv2d_backward(
 /// order afterwards, so no floating-point sum ever crosses a thread
 /// boundary and gradients match the serial reference bit-for-bit.
 ///
+/// When [`Pool::effective_workers`] reports that the batch cannot
+/// actually run concurrently (a one-worker pool, a single detected core,
+/// or a single sample), the per-sample partial buffers are skipped
+/// entirely: one scratch gradient is accumulated in ascending sample
+/// order. That is the same left-fold the partial reduction performs —
+/// element `e` sees `((dw_0[e] + dw_1[e]) + dw_2[e]) + …` either way —
+/// so the lean path changes allocation and zeroing cost, never bits.
+/// (This fallback is what fixed the conv2d-backward slowdown the kernel
+/// bench used to show on few-core hosts: `N × O × C × kh × kw` partials
+/// were allocated, zeroed and re-read for a pool that ran inline.)
+///
 /// # Errors
 ///
 /// Same contract as [`conv2d_backward`].
@@ -356,14 +433,45 @@ pub fn conv2d_backward_with(
     let gv = grad_out.as_slice();
 
     let mut grad_in = vec![0.0f32; n * csize];
-    let mut dw_part = vec![0.0f32; n * o * ckk];
-    let mut db_part = vec![0.0f32; n * o];
+    let mut grad_w = vec![0.0f32; o * ckk];
+    let mut grad_b = vec![0.0f32; o];
     let serial = Pool::serial();
     let (outer, inner) = if n >= pool.threads() {
         (pool, &serial)
     } else {
         (&serial, pool)
     };
+    if outer.effective_workers(n) <= 1 {
+        // Lean inline path: no per-sample partials. One dW_s scratch is
+        // reused across samples and folded into grad_w/grad_b in
+        // ascending sample order — the identical reduction the partial
+        // buffers would have produced, without allocating or zeroing
+        // `n` of them.
+        let mut col = vec![0.0f32; ckk * howo];
+        let mut dcol = vec![0.0f32; ckk * howo];
+        let mut dw_s = vec![0.0f32; o * ckk];
+        for (s, gin) in grad_in.chunks_mut(csize).enumerate() {
+            let img = &iv[s * csize..(s + 1) * csize];
+            im2col(img, c, h, w, kh, kw, geom, ho, wo, &mut col);
+            let g_s = &gv[s * osize..(s + 1) * osize];
+            // dW_s = g_s · colᵀ — col rows are exactly the (col)ᵀ columns.
+            linalg::matmul_b_t_into(inner, g_s, &col, &mut dw_s, o, howo, ckk);
+            simd::add_assign(&mut grad_w, &dw_s);
+            for (oc, gb) in grad_b.iter_mut().enumerate() {
+                *gb += g_s[oc * howo..(oc + 1) * howo].iter().sum::<f32>();
+            }
+            // dInput_s via col2im(Wᵀ · g_s).
+            linalg::matmul_into(inner, wmat_t, g_s, &mut dcol, ckk, o, howo);
+            col2im(&dcol, c, h, w, kh, kw, geom, ho, wo, gin);
+        }
+        return Ok(Conv2dGrads {
+            input: Tensor::from_vec(grad_in, &[n, c, h, w])?,
+            weight: Tensor::from_vec(grad_w, &[o, c, kh, kw])?,
+            bias: Tensor::from_vec(grad_b, &[o])?,
+        });
+    }
+    let mut dw_part = vec![0.0f32; n * o * ckk];
+    let mut db_part = vec![0.0f32; n * o];
     let items: Vec<(&mut [f32], &mut [f32], &mut [f32])> = grad_in
         .chunks_mut(csize)
         .zip(dw_part.chunks_mut(o * ckk))
@@ -389,17 +497,11 @@ pub fn conv2d_backward_with(
         },
     );
 
-    let mut grad_w = vec![0.0f32; o * ckk];
     for dw in dw_part.chunks_exact(o * ckk) {
-        for (acc, &v) in grad_w.iter_mut().zip(dw) {
-            *acc += v;
-        }
+        simd::add_assign(&mut grad_w, dw);
     }
-    let mut grad_b = vec![0.0f32; o];
     for db in db_part.chunks_exact(o) {
-        for (acc, &v) in grad_b.iter_mut().zip(db) {
-            *acc += v;
-        }
+        simd::add_assign(&mut grad_b, db);
     }
 
     Ok(Conv2dGrads {

@@ -16,11 +16,21 @@
 //!   partitioning keeps every kernel **bit-for-bit identical across
 //!   thread counts** (`QCE_THREADS` selects the worker count).
 //!
-//! Everything is deterministic given explicit seeds: the blocked and
-//! parallel kernels fix their floating-point accumulation order
-//! independently of the thread count, so `QCE_THREADS=1` and
-//! `QCE_THREADS=8` produce the same bytes. No unsafe, no SIMD
-//! intrinsics — clarity and reproducibility first, then speed.
+//! * [`simd`] — runtime-dispatched SIMD micro-kernels (AVX2 behind a
+//!   one-time CPUID check, `QCE_SIMD=off|auto` override) whose vector
+//!   paths perform the same IEEE-754 operations in the same per-element
+//!   order as the scalar reference.
+//! * [`tune`] — a startup probe of the cache hierarchy that sizes
+//!   cache blocks and parallel work chunks, fixed for the life of the
+//!   process.
+//!
+//! Everything is deterministic given explicit seeds: the blocked,
+//! parallel and SIMD kernels all fix their floating-point accumulation
+//! order independently of the thread count *and* of the vector width,
+//! so `QCE_THREADS=1` and `QCE_THREADS=8` — with `QCE_SIMD=off` or
+//! `auto` — produce the same bytes. `unsafe` is denied crate-wide and
+//! granted only to the [`simd`] module, where every intrinsic call sits
+//! behind the runtime feature check.
 //!
 //! # Examples
 //!
@@ -36,7 +46,7 @@
 //! # }
 //! ```
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod error;
@@ -48,7 +58,9 @@ pub mod conv;
 pub mod init;
 pub mod linalg;
 pub mod par;
+pub mod simd;
 pub mod stats;
+pub mod tune;
 
 pub use error::TensorError;
 pub use shape::Shape;

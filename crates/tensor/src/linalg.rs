@@ -3,9 +3,13 @@
 //! These are the inner kernels of the `qce-nn` fully-connected and
 //! im2col-convolution layers. The matmul is register-tiled (4×8
 //! microkernel over a packed B panel) and row-parallel via
-//! [`crate::par::Pool`]; the work decomposition is fixed by the tile
-//! size, never by the thread count, so every pool produces bit-for-bit
-//! identical output. No unsafe, no SIMD intrinsics.
+//! [`crate::par::Pool`]; rows are grouped into tasks sized by the
+//! [`crate::tune`] cache profile, but the per-element accumulation
+//! order is fixed by the tile shape — never by the thread count or the
+//! task grouping — so every pool produces bit-for-bit identical output.
+//! The microkernel and dot kernels dispatch through [`crate::simd`],
+//! whose AVX2 paths replicate the scalar operation order exactly
+//! (`QCE_SIMD=off` and `auto` agree bitwise).
 //!
 //! The dense inner loop deliberately has **no zero-skip branch**: on the
 //! dense (or magnitude-pruned) weight matrices this workspace multiplies,
@@ -15,12 +19,10 @@
 //! carries a dense-vs-pruned comparison guarding this decision.
 
 use crate::par::{self, Pool};
+use crate::simd::{self, NR};
+use crate::tune;
 use crate::{Result, Tensor, TensorError};
 
-/// Microkernel row tile: each parallel work unit is `MR` output rows.
-const MR: usize = 4;
-/// Microkernel column tile: B is packed into `NR`-wide column panels.
-const NR: usize = 8;
 /// Square tile edge for the cache-blocked transpose.
 const TRANSPOSE_TILE: usize = 32;
 
@@ -171,13 +173,14 @@ pub(crate) fn matmul_into(
     }
     let packed = pack_b(bv, k, n);
     let packed = &packed;
+    let task_rows = tune::profile().matmul_rows_per_task(m, k);
     par::for_each_chunk(
         pool,
         out,
-        MR * n,
+        task_rows * n,
         || (),
         |(), blk, rows| {
-            matmul_block(&av[blk * MR * k..], packed, rows, k, n);
+            simd::matmul_block(&av[blk * task_rows * k..], packed, rows, k, n);
         },
     );
 }
@@ -204,17 +207,18 @@ pub(crate) fn matmul_b_t_into(
         out.fill(0.0);
         return;
     }
+    let task_rows = tune::profile().matmul_rows_per_task(m, k);
     par::for_each_chunk(
         pool,
         out,
-        MR * n,
+        task_rows * n,
         || (),
         |(), blk, rows| {
-            let i0 = blk * MR;
+            let i0 = blk * task_rows;
             for (r, orow) in rows.chunks_mut(n).enumerate() {
                 let arow = &av[(i0 + r) * k..(i0 + r + 1) * k];
                 for (j, o) in orow.iter_mut().enumerate() {
-                    *o = dot_slices(arow, &btv[j * k..(j + 1) * k]);
+                    *o = simd::dot(arow, &btv[j * k..(j + 1) * k]);
                 }
             }
         },
@@ -241,23 +245,21 @@ pub(crate) fn matmul_a_t_into(
     if out.is_empty() {
         return;
     }
+    let task_rows = tune::profile().matmul_rows_per_task(m, k);
     par::for_each_chunk(
         pool,
         out,
-        MR * n,
+        task_rows * n,
         || (),
         |(), blk, rows| {
-            let i0 = blk * MR;
+            let i0 = blk * task_rows;
             let height = rows.len() / n;
             rows.fill(0.0);
             for p in 0..k {
                 let acol = &av[p * m + i0..p * m + i0 + height];
                 let brow = &bv[p * n..(p + 1) * n];
                 for (r, orow) in rows.chunks_mut(n).enumerate() {
-                    let x = acol[r];
-                    for (o, &bb) in orow.iter_mut().zip(brow) {
-                        *o += x * bb;
-                    }
+                    simd::axpy(acol[r], brow, orow);
                 }
             }
         },
@@ -282,80 +284,6 @@ fn pack_b(bv: &[f32], k: usize, n: usize) -> Vec<f32> {
         }
     }
     packed
-}
-
-/// Register-tiled microkernel over one `MR`-row output block.
-///
-/// `a` points at the block's first A row; `out` is the block's rows
-/// (`out.len() / n` rows, at most `MR`). Accumulators live in `MR`×`NR`
-/// locals and are *stored* (not added) to `out`, so scratch output
-/// buffers never need zeroing. Per-element accumulation order is
-/// ascending `p` in both the 4-row and 1-row paths, keeping tall and
-/// short blocks bitwise consistent.
-fn matmul_block(a: &[f32], packed: &[f32], out: &mut [f32], k: usize, n: usize) {
-    let rows = out.len() / n;
-    for (pi, panel) in packed.chunks_exact(k * NR).enumerate() {
-        let j0 = pi * NR;
-        let w = NR.min(n - j0);
-        let mut r = 0;
-        while r + MR <= rows {
-            let a0 = &a[r * k..(r + 1) * k];
-            let a1 = &a[(r + 1) * k..(r + 2) * k];
-            let a2 = &a[(r + 2) * k..(r + 3) * k];
-            let a3 = &a[(r + 3) * k..(r + 4) * k];
-            let mut acc = [[0.0f32; NR]; MR];
-            for (p, bp) in panel.chunks_exact(NR).enumerate() {
-                let (x0, x1, x2, x3) = (a0[p], a1[p], a2[p], a3[p]);
-                for l in 0..NR {
-                    let b = bp[l];
-                    acc[0][l] += x0 * b;
-                    acc[1][l] += x1 * b;
-                    acc[2][l] += x2 * b;
-                    acc[3][l] += x3 * b;
-                }
-            }
-            for (rr, acc_row) in acc.iter().enumerate() {
-                let o0 = (r + rr) * n + j0;
-                out[o0..o0 + w].copy_from_slice(&acc_row[..w]);
-            }
-            r += MR;
-        }
-        while r < rows {
-            let arow = &a[r * k..(r + 1) * k];
-            let mut acc = [0.0f32; NR];
-            for (p, bp) in panel.chunks_exact(NR).enumerate() {
-                let x = arow[p];
-                for l in 0..NR {
-                    acc[l] += x * bp[l];
-                }
-            }
-            let o0 = r * n + j0;
-            out[o0..o0 + w].copy_from_slice(&acc[..w]);
-            r += 1;
-        }
-    }
-}
-
-/// Dot product of two equal-length slices with four parallel accumulators.
-///
-/// The accumulator split and the final `(a0+a1)+(a2+a3)` combine are
-/// fixed, so the result depends only on the inputs — never on threads.
-fn dot_slices(a: &[f32], b: &[f32]) -> f32 {
-    debug_assert_eq!(a.len(), b.len());
-    let mut acc = [0.0f32; 4];
-    let mut ita = a.chunks_exact(4);
-    let mut itb = b.chunks_exact(4);
-    for (ca, cb) in (&mut ita).zip(&mut itb) {
-        acc[0] += ca[0] * cb[0];
-        acc[1] += ca[1] * cb[1];
-        acc[2] += ca[2] * cb[2];
-        acc[3] += ca[3] * cb[3];
-    }
-    let mut tail = 0.0f32;
-    for (&x, &y) in ita.remainder().iter().zip(itb.remainder()) {
-        tail += x * y;
-    }
-    (acc[0] + acc[1]) + (acc[2] + acc[3]) + tail
 }
 
 /// Transposes a rank-2 tensor: `[m, n] -> [n, m]`.
@@ -421,12 +349,13 @@ pub fn matvec(a: &Tensor, x: &Tensor) -> Result<Tensor> {
     let xv = x.as_slice();
     let mut out = vec![0.0f32; m];
     for (i, o) in out.iter_mut().enumerate() {
-        *o = dot_slices(&av[i * k..(i + 1) * k], xv);
+        *o = simd::dot(&av[i * k..(i + 1) * k], xv);
     }
     Tensor::from_vec(out, &[m])
 }
 
-/// Dot product of two rank-1 tensors.
+/// Dot product of two rank-1 tensors (fixed four-accumulator reduction
+/// tree — see [`crate::simd::dot`]).
 ///
 /// # Errors
 ///
@@ -439,7 +368,7 @@ pub fn dot(a: &Tensor, b: &Tensor) -> Result<f32> {
             rhs: b.dims().to_vec(),
         });
     }
-    Ok(dot_slices(a.as_slice(), b.as_slice()))
+    Ok(simd::dot(a.as_slice(), b.as_slice()))
 }
 
 fn check_rank2(op: &'static str, t: &Tensor) -> Result<()> {

@@ -1,0 +1,216 @@
+//! Startup autotuning of cache-block and work-chunk sizes.
+//!
+//! The kernels in [`crate::linalg`], [`crate::conv`] and the `qce-quant`
+//! bulk paths size their parallel work units from a [`TuneProfile`]
+//! probed **once** at startup (and cached in a `OnceLock`, so every
+//! kernel in a run sees the same numbers — reproducible within a run by
+//! construction). The probe reads the cache hierarchy from
+//! `/sys/devices/system/cpu/cpu0/cache` on Linux and falls back to
+//! conservative defaults elsewhere; core count comes from
+//! [`crate::par::detected_cores`].
+//!
+//! # Why tuning cannot affect results
+//!
+//! Chunk sizes decide *how work is grouped into tasks*, never the
+//! arithmetic performed per output element: every kernel fixes its
+//! per-element accumulation order (ascending `p` in the matmul
+//! microkernel, ascending sample index in the conv reductions), and no
+//! floating-point sum ever crosses a task boundary. Two hosts with
+//! different caches produce different task shapes and identical bytes.
+//! Crucially the profile is derived from *detected hardware only* —
+//! never from `QCE_THREADS` — so the decomposition is also stable across
+//! thread-count settings on one machine, which is what the conformance
+//! goldens exercise.
+//!
+//! The register tile itself ([`crate::simd::MR`] × [`crate::simd::NR`])
+//! is **not** tuned at runtime: 4×8 is the largest tile where four
+//! accumulators, a broadcast and a panel load fit the 16 YMM registers
+//! of AVX2 (and the scalar path's locals mirror it), and changing `NR`
+//! would change the packed-panel layout. The startup probe validates
+//! rather than searches that shape: it sizes the *cache blocking around
+//! it* — rows per matmul task bounded by L2, elements per bulk-quantizer
+//! chunk — which is where host-to-host variation actually lives.
+
+use std::sync::OnceLock;
+
+use crate::par;
+use crate::simd::MR;
+
+/// Cache-hierarchy sizes and derived chunking parameters, probed once.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TuneProfile {
+    /// Per-core L1 data cache in bytes.
+    pub l1d_bytes: usize,
+    /// Per-core L2 cache in bytes.
+    pub l2_bytes: usize,
+    /// Last-level cache in bytes (0 when the host exposes no L3).
+    pub l3_bytes: usize,
+    /// Hardware cores, from [`par::detected_cores`].
+    pub cores: usize,
+    /// Target number of parallel tasks per kernel invocation: a few per
+    /// core so static partitioning stays balanced without drowning
+    /// few-core hosts in per-task overhead.
+    pub target_tasks: usize,
+}
+
+/// Fallback sizes for hosts where the sysfs probe is unavailable:
+/// 32 KiB L1d / 512 KiB L2 / 8 MiB L3 — conservative for anything the
+/// workspace realistically runs on.
+const DEFAULT_L1D: usize = 32 * 1024;
+const DEFAULT_L2: usize = 512 * 1024;
+const DEFAULT_L3: usize = 8 * 1024 * 1024;
+
+/// Tasks per core the chunk heuristics aim for. Small enough that a
+/// 1-core host sees only a handful of task dispatches per kernel call
+/// (the conv2d-backward regression was exactly this overhead), large
+/// enough that an 8-core pool still load-balances.
+const TASKS_PER_CORE: usize = 4;
+
+impl TuneProfile {
+    /// Rows per parallel matmul task for an `[m, k] x [k, n]` product.
+    ///
+    /// Balances two pressures: enough tasks to occupy the pool
+    /// ([`TuneProfile::target_tasks`] total) and an A-slab per task that
+    /// stays within half the L2 so the microkernel streams panels
+    /// against cache-resident rows. Always a positive multiple of
+    /// [`MR`], so tile boundaries — and therefore per-element
+    /// accumulation order — are unchanged by the grouping.
+    #[must_use]
+    pub fn matmul_rows_per_task(&self, m: usize, k: usize) -> usize {
+        let bytes_per_row = k.max(1) * std::mem::size_of::<f32>();
+        let cache_cap_rows = (self.l2_bytes / 2 / bytes_per_row).max(MR);
+        let balance_rows = m.div_ceil(self.target_tasks).max(MR);
+        let rows = balance_rows.min(cache_cap_rows);
+        // Round up to the microkernel tile so full 4-row blocks dominate.
+        rows.div_ceil(MR) * MR
+    }
+
+    /// Elements per task for bulk elementwise passes (codebook
+    /// assign/quantize/decode), with `floor` as the minimum granularity
+    /// worth dispatching.
+    #[must_use]
+    pub fn bulk_chunk(&self, len: usize, floor: usize) -> usize {
+        len.div_ceil(self.target_tasks).max(floor).max(1)
+    }
+}
+
+/// The process-wide tuning profile (probed on first call, then fixed).
+#[must_use]
+pub fn profile() -> &'static TuneProfile {
+    static PROFILE: OnceLock<TuneProfile> = OnceLock::new();
+    PROFILE.get_or_init(|| {
+        let (l1d, l2, l3) = probe_caches();
+        let cores = par::detected_cores();
+        TuneProfile {
+            l1d_bytes: l1d,
+            l2_bytes: l2,
+            l3_bytes: l3,
+            cores,
+            target_tasks: TASKS_PER_CORE * cores,
+        }
+    })
+}
+
+/// Reads data/unified cache sizes per level from sysfs, falling back to
+/// the defaults when the probe fails (non-Linux, sandboxed, etc.).
+fn probe_caches() -> (usize, usize, usize) {
+    let (mut l1d, mut l2, mut l3) = (0usize, 0usize, 0usize);
+    for index in 0..8 {
+        let base = format!("/sys/devices/system/cpu/cpu0/cache/index{index}");
+        let read = |leaf: &str| std::fs::read_to_string(format!("{base}/{leaf}"));
+        let (Ok(level), Ok(ty), Ok(size)) = (read("level"), read("type"), read("size")) else {
+            break;
+        };
+        let ty = ty.trim();
+        if ty != "Data" && ty != "Unified" {
+            continue;
+        }
+        let Some(bytes) = parse_cache_size(size.trim()) else {
+            continue;
+        };
+        match level.trim() {
+            "1" => l1d = bytes,
+            "2" => l2 = bytes,
+            "3" => l3 = bytes,
+            _ => {}
+        }
+    }
+    (
+        if l1d > 0 { l1d } else { DEFAULT_L1D },
+        if l2 > 0 { l2 } else { DEFAULT_L2 },
+        if l3 > 0 { l3 } else { DEFAULT_L3 },
+    )
+}
+
+/// Parses sysfs cache sizes like `32K`, `1M`, `512`.
+fn parse_cache_size(s: &str) -> Option<usize> {
+    let (digits, mult) = match s.as_bytes().last()? {
+        b'K' | b'k' => (&s[..s.len() - 1], 1024),
+        b'M' | b'm' => (&s[..s.len() - 1], 1024 * 1024),
+        _ => (s, 1),
+    };
+    digits.parse::<usize>().ok().map(|v| v * mult)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cache_size_parsing() {
+        assert_eq!(parse_cache_size("32K"), Some(32 * 1024));
+        assert_eq!(parse_cache_size("1M"), Some(1024 * 1024));
+        assert_eq!(parse_cache_size("512"), Some(512));
+        assert_eq!(parse_cache_size("8m"), Some(8 * 1024 * 1024));
+        assert_eq!(parse_cache_size(""), None);
+        assert_eq!(parse_cache_size("fast"), None);
+    }
+
+    #[test]
+    fn profile_is_stable_and_positive() {
+        let p1 = profile();
+        let p2 = profile();
+        assert_eq!(p1, p2, "profile must be probed once and cached");
+        assert!(p1.l1d_bytes > 0 && p1.l2_bytes > 0);
+        assert!(p1.cores >= 1);
+        assert!(p1.target_tasks >= TASKS_PER_CORE);
+    }
+
+    #[test]
+    fn matmul_rows_are_mr_multiples_and_bounded() {
+        let p = TuneProfile {
+            l1d_bytes: 32 * 1024,
+            l2_bytes: 512 * 1024,
+            l3_bytes: 0,
+            cores: 1,
+            target_tasks: 4,
+        };
+        for (m, k) in [(1, 1), (128, 256), (1000, 3), (3, 100_000), (4096, 64)] {
+            let rows = p.matmul_rows_per_task(m, k);
+            assert!(rows >= MR, "m={m} k={k}");
+            assert_eq!(rows % MR, 0, "m={m} k={k}");
+            // The A-slab must fit half the L2 once k is large enough to
+            // make that constraint binding.
+            if k * 4 * MR <= p.l2_bytes / 2 {
+                assert!(rows * k * 4 <= p.l2_bytes / 2 + MR * k * 4, "m={m} k={k}");
+            }
+        }
+        // Balance: 128 rows over 4 target tasks = 32-row chunks.
+        assert_eq!(p.matmul_rows_per_task(128, 256), 32);
+    }
+
+    #[test]
+    fn bulk_chunks_amortize_on_few_cores() {
+        let p = TuneProfile {
+            l1d_bytes: 32 * 1024,
+            l2_bytes: 512 * 1024,
+            l3_bytes: 0,
+            cores: 1,
+            target_tasks: 4,
+        };
+        assert_eq!(p.bulk_chunk(100_000, 16 * 1024), 25_000);
+        // The floor wins for small inputs.
+        assert_eq!(p.bulk_chunk(100, 16 * 1024), 16 * 1024);
+        assert_eq!(p.bulk_chunk(0, 0), 1);
+    }
+}

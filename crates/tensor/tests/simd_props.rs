@@ -1,0 +1,170 @@
+//! SIMD-vs-scalar determinism property tests.
+//!
+//! The dispatch module promises that every vector kernel performs the
+//! same IEEE-754 operations in the same per-element order as its scalar
+//! reference, so flipping `QCE_SIMD` can never change output bytes.
+//! These tests drive the public kernels (matmul in all three transpose
+//! flavours, conv2d forward/backward, dot) at every available dispatch
+//! level **crossed with** thread counts {1, 2, 4}, over shapes chosen to
+//! exercise non-lane-aligned tails (1..=2·lane-width remainders in every
+//! dimension), and assert bitwise equality against the scalar serial
+//! reference.
+//!
+//! On hosts without AVX2 the level loop degenerates to scalar-only and
+//! the tests still pass — they then only prove thread invariance.
+
+use proptest::prelude::*;
+use qce_tensor::conv::{conv2d_backward_with, conv2d_with, ConvGeometry};
+use qce_tensor::linalg::{matmul_a_t_with, matmul_b_t_with, matmul_with};
+use qce_tensor::par::Pool;
+use qce_tensor::simd::{self, Level};
+use qce_tensor::Tensor;
+
+const THREADS: [usize; 3] = [1, 2, 4];
+
+/// The dispatch level is process-global state; tests that flip it must
+/// not interleave (proptest itself is single-threaded per test, but the
+/// test binary runs tests concurrently).
+static LEVEL_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+/// Every level available on this host, scalar first.
+fn levels() -> Vec<Level> {
+    if simd::detect() == Level::Avx2 {
+        vec![Level::Scalar, Level::Avx2]
+    } else {
+        vec![Level::Scalar]
+    }
+}
+
+/// Runs `f` under every (level, threads) combination and asserts all
+/// outputs are bitwise equal to the first (scalar, serial) run.
+fn assert_invariant<F>(ctx: &str, mut f: F) -> Result<(), TestCaseError>
+where
+    F: FnMut(&Pool) -> Vec<f32>,
+{
+    let _guard = LEVEL_LOCK.lock().unwrap();
+    let mut reference: Option<Vec<u32>> = None;
+    for level in levels() {
+        let prev = simd::set_active(level);
+        for threads in THREADS {
+            let out = f(&Pool::with_threads(threads));
+            let bits: Vec<u32> = out.iter().map(|v| v.to_bits()).collect();
+            match &reference {
+                None => reference = Some(bits),
+                Some(want) => {
+                    if &bits != want {
+                        simd::set_active(prev);
+                        return Err(TestCaseError::Fail(format!(
+                            "{ctx}: level={} threads={threads} diverged from scalar serial",
+                            level.name()
+                        )));
+                    }
+                }
+            }
+        }
+        simd::set_active(prev);
+    }
+    Ok(())
+}
+
+fn seeded(dims: &[usize], seed: u64) -> Tensor {
+    let mut rng = qce_tensor::init::seeded_rng(seed);
+    qce_tensor::init::uniform(dims, -2.0, 2.0, &mut rng)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    // Dimension ranges 1..=17 cover every remainder class of the 8-wide
+    // AVX2 lane, the 4-wide dot half-step and the 4x8 microkernel tile
+    // (1..=2*lane_width + 1).
+    #[test]
+    fn matmul_bits_invariant_across_levels_and_threads(
+        m in 1usize..18,
+        k in 1usize..18,
+        n in 1usize..18,
+        seed in 0u64..500,
+    ) {
+        let a = seeded(&[m, k], seed);
+        let b = seeded(&[k, n], seed ^ 0xa5a5);
+        assert_invariant("matmul", |pool| {
+            matmul_with(pool, &a, &b).unwrap().as_slice().to_vec()
+        })?;
+    }
+
+    #[test]
+    fn matmul_transposed_bits_invariant(
+        m in 1usize..14,
+        k in 1usize..14,
+        n in 1usize..14,
+        seed in 0u64..500,
+    ) {
+        let a = seeded(&[m, k], seed);
+        let bt = seeded(&[n, k], seed ^ 0x11);
+        let at = seeded(&[k, m], seed ^ 0x22);
+        let b = seeded(&[k, n], seed ^ 0x33);
+        assert_invariant("matmul_b_t", |pool| {
+            matmul_b_t_with(pool, &a, &bt).unwrap().as_slice().to_vec()
+        })?;
+        assert_invariant("matmul_a_t", |pool| {
+            matmul_a_t_with(pool, &at, &b).unwrap().as_slice().to_vec()
+        })?;
+    }
+
+    #[test]
+    fn conv2d_fwd_bwd_bits_invariant(
+        n in 1usize..4,
+        c in 1usize..4,
+        h in 3usize..12,
+        w in 3usize..12,
+        o in 1usize..5,
+        stride in 1usize..3,
+        padding in 0usize..2,
+        seed in 0u64..500,
+    ) {
+        let geom = ConvGeometry::new(stride, padding);
+        let kh = 3.min(h + 2 * padding);
+        let kw = 3.min(w + 2 * padding);
+        let input = seeded(&[n, c, h, w], seed);
+        let weight = seeded(&[o, c, kh, kw], seed ^ 0x77);
+        let bias = seeded(&[o], seed ^ 0x88);
+        let ho = geom.output_extent(h, kh).unwrap();
+        let wo = geom.output_extent(w, kw).unwrap();
+        let grad = seeded(&[n, o, ho, wo], seed ^ 0x99);
+        assert_invariant("conv2d forward", |pool| {
+            conv2d_with(pool, &input, &weight, Some(&bias), geom)
+                .unwrap()
+                .as_slice()
+                .to_vec()
+        })?;
+        assert_invariant("conv2d backward", |pool| {
+            let g = conv2d_backward_with(pool, &input, &weight, &grad, geom).unwrap();
+            let mut flat = g.input.as_slice().to_vec();
+            flat.extend_from_slice(g.weight.as_slice());
+            flat.extend_from_slice(g.bias.as_slice());
+            flat
+        })?;
+    }
+
+    // Tail-focused: dot and matvec over every length in 1..=2*8+1, the
+    // exact remainder classes where a vector kernel could mishandle the
+    // scalar tail.
+    #[test]
+    fn dot_bits_invariant_on_all_tail_lengths(seed in 0u64..500) {
+        for len in 1..=17usize {
+            let a = seeded(&[len], seed.wrapping_add(len as u64));
+            let b = seeded(&[len], seed.wrapping_add(len as u64) ^ 0xbeef);
+            let _guard = LEVEL_LOCK.lock().unwrap();
+            let mut got = Vec::new();
+            for level in levels() {
+                let prev = simd::set_active(level);
+                got.push(qce_tensor::linalg::dot(&a, &b).unwrap().to_bits());
+                simd::set_active(prev);
+            }
+            prop_assert!(
+                got.windows(2).all(|w| w[0] == w[1]),
+                "dot len={len}: {got:?}"
+            );
+        }
+    }
+}
