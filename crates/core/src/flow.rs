@@ -221,6 +221,9 @@ impl AttackFlow {
     ///
     /// Returns a [`FlowError`] describing the first failing stage.
     pub fn run(&self, dataset: &Dataset) -> Result<FlowOutcome> {
+        // Push buffered trace events to disk even when a stage errors
+        // out early — aborted runs must leave an analyzable prefix.
+        let _flush = qce_telemetry::FlushGuard::new();
         let cache = self.resolve_cache();
         let cache_hash = store_io::flow_cache_hash(&self.config, dataset);
         let level = if self.config.verbose {
@@ -267,6 +270,17 @@ impl AttackFlow {
                 metrics: post.metrics.clone(),
             });
         }
+        // Observational memory gauges ride along in the manifest's
+        // final metrics snapshot (never in gated counters).
+        if qce_telemetry::alloc::tracking_enabled() {
+            let a = qce_telemetry::alloc::stats();
+            qce_telemetry::gauge("alloc.allocated_bytes").set(a.allocated_bytes as f64);
+            qce_telemetry::gauge("alloc.peak_bytes").set(a.peak_bytes as f64);
+            qce_telemetry::gauge("alloc.live_bytes").set(a.live_bytes as f64);
+        }
+        if let Some(rss) = qce_telemetry::alloc::peak_rss_bytes() {
+            qce_telemetry::gauge("proc.peak_rss_bytes").set(rss as f64);
+        }
         let manifest = RunManifest {
             config_hash: qce_telemetry::fnv1a(&format!("{:?}", self.config)),
             seed: self.config.seed,
@@ -300,6 +314,7 @@ impl AttackFlow {
     /// configuration problems are caught up front by
     /// [`FlowConfig::validate`].
     pub fn train(&self, dataset: &Dataset) -> Result<TrainedAttack> {
+        let _flush = qce_telemetry::FlushGuard::new();
         let cfg = &self.config;
         cfg.validate()?;
         let cache = self.resolve_cache();
@@ -328,6 +343,7 @@ impl AttackFlow {
 
         let mut stage_stats = Vec::new();
         let t_select = Instant::now();
+        let a_select = alloc_mark();
         let select_span = qce_telemetry::span!("flow.select", seed = cfg.seed);
 
         // Stage 0: the data holder's train/validation split.
@@ -463,18 +479,21 @@ impl AttackFlow {
             }
         }
         drop(select_span);
+        let mut select_metrics = vec![
+            ("select.targets".to_string(), targets.len() as f64),
+            ("select.train_images".to_string(), train.len() as f64),
+            ("select.test_images".to_string(), test.len() as f64),
+        ];
+        push_alloc_metrics(&mut select_metrics, a_select);
         stage_stats.push(StageStat {
             name: "flow.select".to_string(),
             wall_ms: t_select.elapsed().as_secs_f64() * 1e3,
-            metrics: vec![
-                ("select.targets".to_string(), targets.len() as f64),
-                ("select.train_images".to_string(), train.len() as f64),
-                ("select.test_images".to_string(), test.len() as f64),
-            ],
+            metrics: select_metrics,
         });
 
         // Stage 2: training with the (possibly malicious) regularizer.
         let t_train = Instant::now();
+        let a_train = alloc_mark();
         let train_span = qce_telemetry::span!("flow.train", epochs = cfg.epochs);
         let mut trainer = Trainer::new(TrainConfig {
             epochs: cfg.epochs,
@@ -534,10 +553,13 @@ impl AttackFlow {
             }
         };
         drop(train_span);
+        let mut train_metrics =
+            qce_telemetry::snapshot().flatten_with_prefix(&["train.", "attack."]);
+        push_alloc_metrics(&mut train_metrics, a_train);
         stage_stats.push(StageStat {
             name: "flow.train".to_string(),
             wall_ms: t_train.elapsed().as_secs_f64() * 1e3,
-            metrics: qce_telemetry::snapshot().flatten_with_prefix(&["train.", "attack."]),
+            metrics: train_metrics,
         });
 
         let float_state = net.snapshot();
@@ -679,6 +701,7 @@ impl TrainedAttack {
         qcfg: QuantConfig,
     ) -> Result<(f64, qce_quant::QuantizedNetwork)> {
         let t_quant = Instant::now();
+        let a_quant = alloc_mark();
         let quant_span = qce_telemetry::span!("flow.quantize", bits = qcfg.bits);
         let levels = 1usize << qcfg.bits;
         let quantizer: Box<dyn Quantizer> = match qcfg.method {
@@ -746,6 +769,7 @@ impl TrainedAttack {
             "quant.compression_ratio".to_string(),
             qnet.compression_ratio(),
         ));
+        push_alloc_metrics(&mut metrics, a_quant);
         self.stage_stats.push(StageStat {
             name: format!("flow.quantize:{:?} {}-bit", qcfg.method, qcfg.bits),
             wall_ms: t_quant.elapsed().as_secs_f64() * 1e3,
@@ -952,6 +976,7 @@ impl TrainedAttack {
     /// Propagates defense-application or evaluation errors.
     pub fn defend_in_place(&mut self, plan: &DefensePlan, label: String) -> Result<FaultedReport> {
         let t_defend = Instant::now();
+        let a_defend = alloc_mark();
         let defend_span = qce_telemetry::span!("flow.defend", seed = plan.seed());
         let ctx = DefenseContext::with_data(&self.train_x, &self.train_y, self.config.batch_size);
         plan.apply(&mut self.network, &ctx)?;
@@ -964,6 +989,7 @@ impl TrainedAttack {
             "defense.images_failed".to_string(),
             report.failed_count() as f64,
         ));
+        push_alloc_metrics(&mut metrics, a_defend);
         self.stage_stats.push(StageStat {
             name: format!("flow.defend:{}", report.label),
             wall_ms: t_defend.elapsed().as_secs_f64() * 1e3,
@@ -1114,6 +1140,7 @@ impl TrainedAttack {
     /// Propagates evaluation errors.
     pub fn evaluate(&mut self, label: String) -> Result<StageReport> {
         let t_eval = Instant::now();
+        let a_eval = alloc_mark();
         let _span = qce_telemetry::span!("flow.evaluate", label = label.as_str());
         let acc = accuracy(&mut self.network, &self.test_x, &self.test_y, 64)?;
         let mut images = Vec::new();
@@ -1211,6 +1238,7 @@ impl TrainedAttack {
         metrics.push(("eval.accuracy".to_string(), f64::from(acc)));
         metrics.push(("eval.images".to_string(), images.len() as f64));
         metrics.extend(qce_telemetry::snapshot().flatten_with_prefix(&["decode."]));
+        push_alloc_metrics(&mut metrics, a_eval);
         Ok(StageReport {
             label,
             accuracy: acc,
@@ -1253,6 +1281,33 @@ impl TrainedAttack {
 
 fn log_cache_hit(level: qce_telemetry::Level, stage: &str) {
     qce_telemetry::log_line(level, &format!("[flow] stage cache hit: {stage}"));
+}
+
+/// Allocation counters at stage entry, or `None` when `QCE_ALLOC` is
+/// off — the stage then pays nothing for byte accounting.
+fn alloc_mark() -> Option<qce_telemetry::alloc::AllocStats> {
+    qce_telemetry::alloc::tracking_enabled().then(qce_telemetry::alloc::stats)
+}
+
+/// Appends the stage's allocation delta (bytes and calls since `mark`)
+/// plus the process-wide peak so every stage reports memory next to
+/// `wall_ms`. Observational only: `alloc.*` is not a gated counter
+/// prefix, so conformance goldens are unaffected.
+fn push_alloc_metrics(
+    metrics: &mut Vec<(String, f64)>,
+    mark: Option<qce_telemetry::alloc::AllocStats>,
+) {
+    let Some(before) = mark else { return };
+    let now = qce_telemetry::alloc::stats();
+    metrics.push((
+        "alloc.bytes".to_string(),
+        now.allocated_bytes.saturating_sub(before.allocated_bytes) as f64,
+    ));
+    metrics.push((
+        "alloc.count".to_string(),
+        now.allocations.saturating_sub(before.allocations) as f64,
+    ));
+    metrics.push(("alloc.peak_bytes".to_string(), now.peak_bytes as f64));
 }
 
 /// A checkpoint that passed the container checksums but whose *payload*

@@ -251,6 +251,7 @@ mod tests {
             digests: vec![("release.weights".to_string(), 7)],
             counters: vec![("decode.images".to_string(), 12)],
             wall_ms: 50.0,
+            perf: Vec::new(),
         }
     }
 
@@ -258,6 +259,18 @@ mod tests {
     fn identical_reports_pass() {
         let r = report();
         assert!(diff_reports(&r, &r, &Tolerances::default()).is_empty());
+    }
+
+    #[test]
+    fn perf_telemetry_never_gates() {
+        let golden = report(); // blessed before perf telemetry existed
+        let mut fresh = report();
+        fresh.perf = vec![
+            ("alloc.peak_bytes".to_string(), 1.5e8),
+            ("pool.idle_us".to_string(), 42_000.0),
+        ];
+        assert!(diff_reports(&golden, &fresh, &Tolerances::default()).is_empty());
+        assert_eq!(golden, fresh);
     }
 
     #[test]

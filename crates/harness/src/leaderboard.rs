@@ -70,6 +70,7 @@ pub fn report_from_json(body: &str) -> Result<ConformanceReport> {
             .get("wall_ms")
             .and_then(JsonValue::as_f64)
             .unwrap_or(0.0),
+        perf: Vec::new(),
     })
 }
 
@@ -158,6 +159,7 @@ mod tests {
             digests: vec![("release.weights".to_string(), 9)],
             counters: vec![("decode.images".to_string(), 2)],
             wall_ms: 10.0,
+            perf: Vec::new(),
         }
     }
 

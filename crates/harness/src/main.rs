@@ -8,6 +8,7 @@
 //! harness check      [--dir conformance] [--scenario NAME] [--out conformance-out]
 //! harness bench-gate [--fresh BENCH_kernels.json]
 //!                    [--baseline conformance/BENCH_baseline.json] [--threshold 0.20]
+//!                    [--trace-fresh run.jsonl --trace-baseline base.jsonl]
 //! ```
 //!
 //! Exit codes: 0 = pass, 1 = gate violation or unusable golden,
@@ -78,7 +79,10 @@ options:
                    where leaderboard reads report JSON from
   --fresh FILE     bench-gate: fresh bench output (default: BENCH_kernels.json)
   --baseline FILE  bench-gate: baseline (default: conformance/BENCH_baseline.json)
-  --threshold X    bench-gate: relative slowdown allowed (default: 0.20)";
+  --threshold X    bench-gate: relative slowdown allowed (default: 0.20)
+  --trace-fresh FILE     bench-gate: QCE_TRACE stream of the fresh run; on a
+                         violation the failure output names the spans that moved
+  --trace-baseline FILE  bench-gate: QCE_TRACE stream of the baseline run";
 
 struct Opts {
     dir: PathBuf,
@@ -88,6 +92,8 @@ struct Opts {
     fresh: PathBuf,
     baseline: Option<PathBuf>,
     threshold: f64,
+    trace_fresh: Option<PathBuf>,
+    trace_baseline: Option<PathBuf>,
 }
 
 fn parse_opts(args: &[String]) -> Result<Opts, HarnessError> {
@@ -99,6 +105,8 @@ fn parse_opts(args: &[String]) -> Result<Opts, HarnessError> {
         fresh: PathBuf::from("BENCH_kernels.json"),
         baseline: None,
         threshold: qce_harness::DEFAULT_BENCH_THRESHOLD,
+        trace_fresh: None,
+        trace_baseline: None,
     };
     let mut it = args.iter();
     while let Some(flag) = it.next() {
@@ -114,6 +122,10 @@ fn parse_opts(args: &[String]) -> Result<Opts, HarnessError> {
             "--out" => opts.out = PathBuf::from(value("--out")?),
             "--fresh" => opts.fresh = PathBuf::from(value("--fresh")?),
             "--baseline" => opts.baseline = Some(PathBuf::from(value("--baseline")?)),
+            "--trace-fresh" => opts.trace_fresh = Some(PathBuf::from(value("--trace-fresh")?)),
+            "--trace-baseline" => {
+                opts.trace_baseline = Some(PathBuf::from(value("--trace-baseline")?));
+            }
             "--threshold" => {
                 let raw = value("--threshold")?;
                 opts.threshold = raw
@@ -288,7 +300,33 @@ fn cmd_bench_gate(args: &[String]) -> Result<ExitCode, HarnessError> {
         return Ok(ExitCode::SUCCESS);
     }
     report_violations("bench", &violations);
+    print_trace_attribution(&opts.trace_baseline, &opts.trace_fresh);
     Ok(ExitCode::from(1))
+}
+
+/// On a bench-gate failure, explains *where* the time went: diffs the
+/// baseline and fresh `QCE_TRACE` streams (when both were supplied) and
+/// prints the per-span attribution, ending with the top regressing span.
+/// Trace problems only warn — the gate verdict is already decided by the
+/// bench numbers, so a missing or damaged trace must not mask it.
+fn print_trace_attribution(baseline: &Option<PathBuf>, fresh: &Option<PathBuf>) {
+    let (Some(baseline), Some(fresh)) = (baseline, fresh) else {
+        if baseline.is_some() || fresh.is_some() {
+            eprintln!("bench-gate: span attribution needs both --trace-baseline and --trace-fresh");
+        }
+        return;
+    };
+    let load = |path: &PathBuf| match qce_obs::Trace::load(path) {
+        Ok(trace) => Some(trace),
+        Err(e) => {
+            eprintln!("bench-gate: skipping span attribution: {e}");
+            None
+        }
+    };
+    let (Some(base_t), Some(fresh_t)) = (load(baseline), load(fresh)) else {
+        return;
+    };
+    eprint!("{}", qce_obs::attribution_report(&base_t, &fresh_t, 10));
 }
 
 fn report_violations(what: &str, violations: &[Violation]) {

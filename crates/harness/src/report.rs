@@ -64,7 +64,15 @@ impl StageMetrics {
 }
 
 /// The complete, diffable result of one scenario run.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Equality deliberately ignores the observational [`perf`] section
+/// (see the manual [`PartialEq`] impl below): two reports that agree on
+/// every gated number are equal even when their perf telemetry differs,
+/// which is what keeps goldens stable across thread counts, SIMD tiers
+/// and allocator-tracking modes.
+///
+/// [`perf`]: ConformanceReport::perf
+#[derive(Debug, Clone)]
 pub struct ConformanceReport {
     /// Payload layout version ([`REPORT_FORMAT_VERSION`] for reports
     /// produced by this build).
@@ -82,6 +90,27 @@ pub struct ConformanceReport {
     pub counters: Vec<(String, u64)>,
     /// Total run wall time in milliseconds (observational; never gated).
     pub wall_ms: f64,
+    /// Observational perf telemetry (`pool.*` busy/idle, `alloc.*`
+    /// bytes, `proc.*` RSS): rendered in [`to_json`] for humans and CI
+    /// artifacts, but **excluded** from the golden payload, from
+    /// equality and from the diff gates — the numbers are machine- and
+    /// configuration-dependent by nature.
+    ///
+    /// [`to_json`]: ConformanceReport::to_json
+    pub perf: Vec<(String, f64)>,
+}
+
+// `perf` is observational: goldens blessed without perf telemetry must
+// compare equal to fresh runs that carry it.
+impl PartialEq for ConformanceReport {
+    fn eq(&self, other: &Self) -> bool {
+        self.version == other.version
+            && self.scenario == other.scenario
+            && self.stages == other.stages
+            && self.digests == other.digests
+            && self.counters == other.counters
+            && self.wall_ms == other.wall_ms
+    }
 }
 
 impl ConformanceReport {
@@ -163,6 +192,8 @@ impl ConformanceReport {
             digests,
             counters,
             wall_ms,
+            // Never persisted: a decoded golden carries no perf section.
+            perf: Vec::new(),
         })
     }
 
@@ -295,6 +326,13 @@ impl ConformanceReport {
             root.raw(key, &obj.finish());
         }
         root.num("wall_ms", self.wall_ms);
+        if !self.perf.is_empty() {
+            let mut obj = ObjWriter::new();
+            for (name, value) in &self.perf {
+                obj.num(name, *value);
+            }
+            root.raw("perf", &obj.finish());
+        }
         root.finish()
     }
 }
@@ -330,6 +368,7 @@ mod tests {
             ],
             counters: vec![("decode.images".to_string(), 12)],
             wall_ms: 1234.5,
+            perf: vec![("pool.busy_us".to_string(), 9000.0)],
         }
     }
 
@@ -354,6 +393,22 @@ mod tests {
         let bytes = r.to_artifact().to_bytes();
         let artifact = Artifact::from_bytes(&bytes).unwrap();
         assert_eq!(ConformanceReport::from_artifact(&artifact).unwrap(), r);
+    }
+
+    #[test]
+    fn perf_is_observational_only() {
+        let r = report();
+        // Not persisted: round-tripping drops the section...
+        let back = ConformanceReport::from_payload(&r.to_payload()).unwrap();
+        assert!(back.perf.is_empty());
+        // ...and does not participate in equality (golden vs fresh).
+        assert_eq!(back, r);
+        // But humans see it in the JSON mirror.
+        let json = r.to_json();
+        assert!(json.contains("\"perf\""), "{json}");
+        assert!(json.contains("pool.busy_us"), "{json}");
+        // And a perf-free report stays quiet rather than writing "perf":{}.
+        assert!(!back.to_json().contains("\"perf\""));
     }
 
     #[test]

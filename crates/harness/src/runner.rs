@@ -94,6 +94,11 @@ pub fn run_scenario(scenario: &Scenario) -> Result<ConformanceReport> {
     };
 
     let counters = qce_telemetry::snapshot().counters_with_prefix(DETERMINISTIC_COUNTER_PREFIXES);
+    // Observational perf telemetry: pool utilisation, allocation volume,
+    // process RSS. Thread-count and machine dependent, so it rides along
+    // in the JSON only (see `ConformanceReport::perf`) and never gates.
+    let mut perf = qce_telemetry::snapshot().flatten_with_prefix(&["pool.", "alloc.", "proc."]);
+    perf.sort_by(|a, b| a.0.cmp(&b.0));
 
     Ok(ConformanceReport {
         version: REPORT_FORMAT_VERSION,
@@ -102,6 +107,7 @@ pub fn run_scenario(scenario: &Scenario) -> Result<ConformanceReport> {
         digests,
         counters,
         wall_ms: start.elapsed().as_secs_f64() * 1e3,
+        perf,
     })
 }
 

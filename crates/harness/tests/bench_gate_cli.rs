@@ -1,0 +1,122 @@
+//! CLI-level checks of `harness bench-gate`: a failing gate must be
+//! able to *explain itself* — when the caller hands over the baseline
+//! and fresh `QCE_TRACE` streams, the failure output names the specific
+//! span whose time moved, not just the kernel number that tripped.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn bench_json(quantize_ms: f64) -> String {
+    format!(
+        r#"{{"kernels":[{{"name":"quantize","serial_ms":{quantize_ms},"parallel_ms":{quantize_ms},"bitwise_identical":true}}]}}"#
+    )
+}
+
+/// One root span per label, laid out sequentially; `dur` in microseconds.
+fn trace_jsonl(stages: &[(&str, u64)]) -> String {
+    let mut out = String::new();
+    let mut t = 0u64;
+    let mut seq = 0u64;
+    for (i, (name, dur)) in stages.iter().enumerate() {
+        let id = i as u64 + 1;
+        out.push_str(&format!(
+            "{{\"ev\":\"span_start\",\"id\":{id},\"name\":\"{name}\",\"thread\":\"main\",\"seq\":{seq},\"t_us\":{t}}}\n"
+        ));
+        seq += 1;
+        t += dur;
+        out.push_str(&format!(
+            "{{\"ev\":\"span_end\",\"id\":{id},\"name\":\"{name}\",\"dur_us\":{dur},\"seq\":{seq},\"t_us\":{t}}}\n"
+        ));
+        seq += 1;
+    }
+    out
+}
+
+fn write(dir: &Path, name: &str, body: &str) -> PathBuf {
+    let path = dir.join(name);
+    std::fs::write(&path, body).unwrap();
+    path
+}
+
+#[test]
+fn failing_gate_names_the_regressing_span() {
+    let dir = std::env::temp_dir().join(format!("qce-bench-gate-cli-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let baseline = write(&dir, "baseline.json", &bench_json(10.0));
+    // 3× slower than baseline: far past any sane threshold.
+    let fresh = write(&dir, "fresh.json", &bench_json(30.0));
+    let trace_base = write(
+        &dir,
+        "base.jsonl",
+        &trace_jsonl(&[("flow.train", 40_000), ("flow.quantize", 5_000)]),
+    );
+    // The doctored fresh trace slows exactly one stage.
+    let trace_fresh = write(
+        &dir,
+        "fresh.jsonl",
+        &trace_jsonl(&[("flow.train", 40_000), ("flow.quantize", 45_000)]),
+    );
+
+    let out = Command::new(env!("CARGO_BIN_EXE_harness"))
+        .args([
+            "bench-gate",
+            "--fresh",
+            fresh.to_str().unwrap(),
+            "--baseline",
+            baseline.to_str().unwrap(),
+            "--trace-fresh",
+            trace_fresh.to_str().unwrap(),
+            "--trace-baseline",
+            trace_base.to_str().unwrap(),
+        ])
+        .output()
+        .expect("run harness bench-gate");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+
+    assert_eq!(out.status.code(), Some(1), "stderr:\n{stderr}");
+    assert!(stderr.contains("FAIL bench"), "stderr:\n{stderr}");
+    // Span-level attribution rides along with the gate verdict, naming
+    // the stage that actually moved.
+    assert!(
+        stderr.contains("top regression: flow.quantize"),
+        "stderr:\n{stderr}"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn unreadable_trace_warns_but_keeps_the_gate_verdict() {
+    let dir = std::env::temp_dir().join(format!("qce-bench-gate-cli-warn-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let baseline = write(&dir, "baseline.json", &bench_json(10.0));
+    let fresh = write(&dir, "fresh.json", &bench_json(30.0));
+
+    let out = Command::new(env!("CARGO_BIN_EXE_harness"))
+        .args([
+            "bench-gate",
+            "--fresh",
+            fresh.to_str().unwrap(),
+            "--baseline",
+            baseline.to_str().unwrap(),
+            "--trace-fresh",
+            dir.join("missing.jsonl").to_str().unwrap(),
+            "--trace-baseline",
+            dir.join("also-missing.jsonl").to_str().unwrap(),
+        ])
+        .output()
+        .expect("run harness bench-gate");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+
+    // The gate verdict is decided by the bench numbers alone (exit 1,
+    // not the usage/runtime error code 2).
+    assert_eq!(out.status.code(), Some(1), "stderr:\n{stderr}");
+    assert!(
+        stderr.contains("skipping span attribution"),
+        "stderr:\n{stderr}"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,3 +1,5 @@
+use std::time::{Duration, Instant};
+
 use qce_tensor::Tensor;
 use rand::seq::SliceRandom;
 
@@ -239,7 +241,19 @@ impl Trainer {
         let lr_gauge = qce_telemetry::gauge("train.lr");
         let rollback_counter = qce_telemetry::counter("train.rollbacks");
 
+        // Rate-limited progress heartbeat for long non-verbose runs:
+        // `QCE_LOG=progress` gets one line every ~5 s with an ETA from
+        // the recent-epoch mean, instead of silence-until-done (verbose
+        // runs already narrate every epoch).
+        const HEARTBEAT_EVERY: Duration = Duration::from_secs(5);
+        const ETA_WINDOW: usize = 8;
+        let heartbeat =
+            !self.config.verbose && qce_telemetry::level() >= qce_telemetry::Level::Progress;
+        let mut last_beat = Instant::now();
+        let mut epoch_secs: Vec<f64> = Vec::new();
+
         while epoch < total_epochs {
+            let epoch_t0 = Instant::now();
             let _epoch_span = qce_telemetry::span!("train.epoch", epoch = epoch);
             if let Some(reg) = regularizer.as_deref_mut() {
                 reg.on_epoch(epoch, total_epochs);
@@ -315,6 +329,21 @@ impl Trainer {
                 level,
                 &format!("epoch {epoch}: loss={mean_loss:.4} penalty={mean_penalty:.4} lr={lr:.5}"),
             );
+            epoch_secs.push(epoch_t0.elapsed().as_secs_f64());
+            if heartbeat && epoch < total_epochs && last_beat.elapsed() >= HEARTBEAT_EVERY {
+                last_beat = Instant::now();
+                let recent = &epoch_secs[epoch_secs.len().saturating_sub(ETA_WINDOW)..];
+                let mean = recent.iter().sum::<f64>() / recent.len() as f64;
+                let remaining = (total_epochs - epoch) as f64 * mean;
+                qce_telemetry::log_line(
+                    qce_telemetry::Level::Progress,
+                    &format!(
+                        "[train] epoch {epoch}/{total_epochs} ({:.0}%) — {mean:.1} s/epoch, \
+                         ETA {remaining:.0} s",
+                        100.0 * epoch as f64 / total_epochs as f64,
+                    ),
+                );
+            }
         }
         Ok(history)
     }

@@ -1,0 +1,180 @@
+//! Hand-rolled flamegraph rendering: folded stacks (the
+//! `semicolon;separated;stack count` interchange format) and a
+//! self-contained flame-chart SVG.
+//!
+//! The SVG is a *flame chart*, not a collapsed flamegraph: x position
+//! is proportional to a span's start timestamp and width to its
+//! duration, one row per nesting depth, so concurrency and stage order
+//! stay visible. Colors are FNV-hashed from the span label, which keeps
+//! them stable across renders and traces.
+
+use std::collections::BTreeMap;
+
+use qce_telemetry::fnv1a;
+
+use crate::profile::self_time_us;
+use crate::trace::Trace;
+
+/// Collapses the trace into folded stacks: one `(stack, self_us)` pair
+/// per distinct root-to-span path, stacks joined with `;`, weighted by
+/// self-time so the leaf frames carry the time they actually burned.
+/// Sorted by stack string for deterministic output.
+#[must_use]
+pub fn folded_stacks(trace: &Trace) -> Vec<(String, u64)> {
+    let mut folded: BTreeMap<String, u64> = BTreeMap::new();
+    let mut stack: Vec<(usize, String)> = trace
+        .roots
+        .iter()
+        .map(|&r| (r, trace.spans[r].name.clone()))
+        .collect();
+    while let Some((idx, path)) = stack.pop() {
+        let own = self_time_us(trace, idx);
+        if own > 0 {
+            *folded.entry(path.clone()).or_insert(0) += own;
+        }
+        for &c in &trace.spans[idx].children {
+            stack.push((c, format!("{path};{}", trace.spans[c].name)));
+        }
+    }
+    folded.into_iter().collect()
+}
+
+fn color_for(name: &str) -> (u8, u8, u8) {
+    // Warm flame palette: hash steers hue within red-orange-yellow.
+    let h = fnv1a(name);
+    let r = 200 + (h % 56) as u8;
+    let g = 80 + ((h >> 8) % 120) as u8;
+    let b = ((h >> 16) % 60) as u8;
+    (r, g, b)
+}
+
+fn xml_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders the trace as a self-contained flame-chart SVG.
+#[must_use]
+pub fn flamegraph_svg(trace: &Trace) -> String {
+    const WIDTH: f64 = 1200.0;
+    const ROW: f64 = 18.0;
+    const PAD: f64 = 2.0;
+    let t0 = trace.spans.iter().map(|s| s.start_us).min().unwrap_or(0);
+    let t1 = trace
+        .spans
+        .iter()
+        .enumerate()
+        .map(|(i, s)| s.start_us.saturating_add(trace.effective_dur_us(i)))
+        .max()
+        .unwrap_or(t0 + 1)
+        .max(t0 + 1);
+    let scale = WIDTH / (t1 - t0) as f64;
+    let depth_max = trace.spans.iter().map(|s| s.depth).max().unwrap_or(0);
+    let height = (depth_max + 1) as f64 * ROW + 2.0 * PAD + 16.0;
+    let mut svg = format!(
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{}\" height=\"{}\" \
+         font-family=\"monospace\" font-size=\"11\">\n",
+        WIDTH as u64 + 4,
+        height as u64
+    );
+    svg.push_str(&format!(
+        "<text x=\"2\" y=\"12\">qce trace flame chart — {} spans, {:.1} ms</text>\n",
+        trace.spans.len(),
+        (t1 - t0) as f64 / 1e3
+    ));
+    for (i, s) in trace.spans.iter().enumerate() {
+        let dur = trace.effective_dur_us(i);
+        let x = (s.start_us - t0) as f64 * scale + PAD;
+        let w = (dur as f64 * scale).max(0.5);
+        let y = s.depth as f64 * ROW + PAD + 16.0;
+        let (r, g, b) = color_for(&s.name);
+        let title = format!(
+            "{} — {:.3} ms (self {:.3} ms){}",
+            s.name,
+            dur as f64 / 1e3,
+            self_time_us(trace, i) as f64 / 1e3,
+            if s.dur_us.is_none() {
+                " [never closed]"
+            } else {
+                ""
+            },
+        );
+        svg.push_str(&format!(
+            "<g><title>{}</title><rect x=\"{x:.2}\" y=\"{y:.1}\" width=\"{w:.2}\" \
+             height=\"{:.1}\" fill=\"rgb({r},{g},{b})\" stroke=\"white\" stroke-width=\"0.4\"/>",
+            xml_escape(&title),
+            ROW - 2.0,
+        ));
+        if w >= 40.0 {
+            svg.push_str(&format!(
+                "<text x=\"{:.2}\" y=\"{:.1}\" fill=\"black\">{}</text>",
+                x + 2.0,
+                y + ROW - 6.0,
+                xml_escape(&s.name),
+            ));
+        }
+        svg.push_str("</g>\n");
+    }
+    svg.push_str("</svg>\n");
+    svg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Trace {
+        let body = concat!(
+            r#"{"ev":"span_start","id":1,"name":"flow.run","thread":"main","seq":0,"t_us":0}"#,
+            "\n",
+            r#"{"ev":"span_start","id":2,"parent":1,"name":"flow.train","thread":"main","seq":1,"t_us":10}"#,
+            "\n",
+            r#"{"ev":"span_start","id":3,"parent":2,"name":"train.epoch","thread":"main","seq":2,"t_us":20}"#,
+            "\n",
+            r#"{"ev":"span_end","id":3,"name":"train.epoch","dur_us":50,"seq":3,"t_us":70}"#,
+            "\n",
+            r#"{"ev":"span_end","id":2,"name":"flow.train","dur_us":70,"seq":4,"t_us":80}"#,
+            "\n",
+            r#"{"ev":"span_end","id":1,"name":"flow.run","dur_us":100,"seq":5,"t_us":100}"#,
+            "\n",
+        );
+        Trace::parse(body).unwrap()
+    }
+
+    #[test]
+    fn folded_stacks_weight_by_self_time() {
+        let t = sample();
+        let folded = folded_stacks(&t);
+        let as_map: std::collections::BTreeMap<&str, u64> =
+            folded.iter().map(|(s, n)| (s.as_str(), *n)).collect();
+        assert_eq!(as_map["flow.run"], 30); // 100 − 70 child cover
+        assert_eq!(as_map["flow.run;flow.train"], 20); // 70 − 50
+        assert_eq!(as_map["flow.run;flow.train;train.epoch"], 50);
+    }
+
+    #[test]
+    fn svg_is_well_formed_and_mentions_every_span() {
+        let t = sample();
+        let svg = flamegraph_svg(&t);
+        assert!(svg.starts_with("<svg "));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        assert_eq!(svg.matches("<rect ").count(), 3);
+        assert!(svg.contains("flow.train"));
+        // Balanced groups.
+        assert_eq!(svg.matches("<g>").count(), svg.matches("</g>").count());
+    }
+
+    #[test]
+    fn colors_are_stable_per_label() {
+        assert_eq!(color_for("flow.train"), color_for("flow.train"));
+    }
+}

@@ -1,0 +1,273 @@
+//! `obs` — trace profiling CLI for `QCE_TRACE` JSONL streams.
+//!
+//! ```text
+//! obs check <trace.jsonl> [--partial] [expected-span ...]
+//! obs profile <trace.jsonl> [--top N]
+//! obs critical <trace.jsonl>
+//! obs flame <trace.jsonl> [--out chart.svg | --folded]
+//! obs diff <baseline.jsonl> <fresh.jsonl> [--top N]
+//! ```
+//!
+//! `check` also validates the sibling `*.manifest.json` when present
+//! (mirroring the retired `trace_check` example). Exit codes: 0 ok,
+//! 1 validation/regression evidence, 2 usage or I/O error.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use qce_obs::{
+    attribution_report, critical_path, diff_traces, flamegraph_svg, folded_stacks, profile,
+    validate, DeltaStatus, Trace, ValidateOptions,
+};
+use qce_telemetry::json::parse;
+
+const USAGE: &str = "usage:
+  obs check <trace.jsonl> [--partial] [expected-span ...]
+  obs profile <trace.jsonl> [--top N]
+  obs critical <trace.jsonl>
+  obs flame <trace.jsonl> [--out chart.svg | --folded]
+  obs diff <baseline.jsonl> <fresh.jsonl> [--top N]";
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("obs: {msg}");
+    ExitCode::from(2)
+}
+
+fn load(path: &str) -> Result<Trace, String> {
+    Trace::load(Path::new(path)).map_err(|e| e.to_string())
+}
+
+fn cmd_check(args: &[String]) -> ExitCode {
+    let mut opts = ValidateOptions::default();
+    let mut trace_path: Option<String> = None;
+    for a in args {
+        match a.as_str() {
+            "--partial" => opts.partial = true,
+            other if trace_path.is_none() => trace_path = Some(other.to_string()),
+            other => opts.expected_spans.push(other.to_string()),
+        }
+    }
+    let Some(trace_path) = trace_path else {
+        return fail(USAGE);
+    };
+    let body = match std::fs::read_to_string(&trace_path) {
+        Ok(b) => b,
+        Err(e) => return fail(&format!("{trace_path}: {e}")),
+    };
+    let summary = match validate(&body, &opts) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("obs check: {trace_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // Sibling manifest, when the run wrote one.
+    let manifest = qce_telemetry::manifest_path_for(Path::new(&trace_path));
+    if manifest.exists() {
+        match std::fs::read_to_string(&manifest) {
+            Ok(body) => match parse(body.trim()) {
+                Ok(v) => {
+                    for k in ["config_hash", "seed", "threads", "stages", "metrics"] {
+                        if v.get(k).is_none() {
+                            eprintln!(
+                                "obs check: {}: manifest missing \"{k}\"",
+                                manifest.display()
+                            );
+                            return ExitCode::FAILURE;
+                        }
+                    }
+                    println!("manifest ok: {}", manifest.display());
+                }
+                Err(e) => {
+                    eprintln!("obs check: {}: {e}", manifest.display());
+                    return ExitCode::FAILURE;
+                }
+            },
+            Err(e) => return fail(&format!("{}: {e}", manifest.display())),
+        }
+    }
+    println!(
+        "trace ok: {} events, {} span labels started, {} ended{}{}",
+        summary.events,
+        summary.started,
+        summary.ended,
+        if summary.open > 0 {
+            format!(", {} still open (partial)", summary.open)
+        } else {
+            String::new()
+        },
+        if summary.has_manifest {
+            ", manifest event present"
+        } else {
+            ""
+        },
+    );
+    ExitCode::SUCCESS
+}
+
+/// Parses `--top N` out of an argument list; returns remaining args.
+fn take_top(args: &[String], default: usize) -> Result<(Vec<String>, usize), String> {
+    let mut rest = Vec::new();
+    let mut top = default;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--top" {
+            let v = it.next().ok_or("--top needs a value")?;
+            top = v.parse().map_err(|_| format!("--top: bad count {v:?}"))?;
+        } else {
+            rest.push(a.clone());
+        }
+    }
+    Ok((rest, top))
+}
+
+fn cmd_profile(args: &[String]) -> ExitCode {
+    let (rest, top) = match take_top(args, 20) {
+        Ok(v) => v,
+        Err(e) => return fail(&e),
+    };
+    let [path] = rest.as_slice() else {
+        return fail(USAGE);
+    };
+    let trace = match load(path) {
+        Ok(t) => t,
+        Err(e) => return fail(&e),
+    };
+    let rows = profile(&trace);
+    println!(
+        "{:<28} {:>5} {:>10} {:>10} {:>9} {:>9} {:>9}",
+        "span", "count", "total_ms", "self_ms", "p50_ms", "p90_ms", "p99_ms"
+    );
+    for r in rows.iter().take(top) {
+        println!(
+            "{:<28} {:>5} {:>10.2} {:>10.2} {:>9.2} {:>9.2} {:>9.2}{}",
+            r.name,
+            r.count,
+            r.total_ms,
+            r.self_ms,
+            r.p50_ms,
+            r.p90_ms,
+            r.p99_ms,
+            if r.open > 0 {
+                format!("  ({} open)", r.open)
+            } else {
+                String::new()
+            },
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_critical(args: &[String]) -> ExitCode {
+    let [path] = args else {
+        return fail(USAGE);
+    };
+    let trace = match load(path) {
+        Ok(t) => t,
+        Err(e) => return fail(&e),
+    };
+    let path_entries = critical_path(&trace);
+    if path_entries.is_empty() {
+        eprintln!("obs critical: no spans in trace");
+        return ExitCode::FAILURE;
+    }
+    println!("critical path ({} hops):", path_entries.len());
+    for e in &path_entries {
+        println!(
+            "{:indent$}{} — {:.2} ms (self {:.2} ms)",
+            "",
+            e.name,
+            e.dur_ms,
+            e.self_ms,
+            indent = 2 * e.depth,
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_flame(args: &[String]) -> ExitCode {
+    let mut out: Option<PathBuf> = None;
+    let mut folded = false;
+    let mut path: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--out" => match it.next() {
+                Some(p) => out = Some(PathBuf::from(p)),
+                None => return fail("--out needs a path"),
+            },
+            "--folded" => folded = true,
+            other if path.is_none() => path = Some(other.to_string()),
+            other => return fail(&format!("unexpected argument {other:?}\n{USAGE}")),
+        }
+    }
+    let Some(path) = path else {
+        return fail(USAGE);
+    };
+    let trace = match load(&path) {
+        Ok(t) => t,
+        Err(e) => return fail(&e),
+    };
+    if folded {
+        for (stack, us) in folded_stacks(&trace) {
+            println!("{stack} {us}");
+        }
+        return ExitCode::SUCCESS;
+    }
+    let svg = flamegraph_svg(&trace);
+    match out {
+        Some(out) => match std::fs::write(&out, svg) {
+            Ok(()) => {
+                println!("wrote {} ({} spans)", out.display(), trace.spans.len());
+                ExitCode::SUCCESS
+            }
+            Err(e) => fail(&format!("{}: {e}", out.display())),
+        },
+        None => {
+            print!("{svg}");
+            ExitCode::SUCCESS
+        }
+    }
+}
+
+fn cmd_diff(args: &[String]) -> ExitCode {
+    let (rest, top) = match take_top(args, 10) {
+        Ok(v) => v,
+        Err(e) => return fail(&e),
+    };
+    let [baseline, fresh] = rest.as_slice() else {
+        return fail(USAGE);
+    };
+    let (base_t, fresh_t) = match (load(baseline), load(fresh)) {
+        (Ok(b), Ok(f)) => (b, f),
+        (Err(e), _) | (_, Err(e)) => return fail(&e),
+    };
+    print!("{}", attribution_report(&base_t, &fresh_t, top));
+    let deltas = diff_traces(&base_t, &fresh_t);
+    let moved = deltas
+        .iter()
+        .any(|d| d.delta_ms.abs() > 0.0 || d.status != DeltaStatus::Common);
+    if !moved {
+        println!("no movement: traces agree on every span label");
+    }
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        return fail(USAGE);
+    };
+    match cmd.as_str() {
+        "check" => cmd_check(rest),
+        "profile" => cmd_profile(rest),
+        "critical" => cmd_critical(rest),
+        "flame" => cmd_flame(rest),
+        "diff" => cmd_diff(rest),
+        "--help" | "-h" | "help" => {
+            println!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        other => fail(&format!("unknown command {other:?}\n{USAGE}")),
+    }
+}

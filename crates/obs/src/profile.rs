@@ -1,0 +1,276 @@
+//! Per-label profiling and critical-path attribution.
+//!
+//! **Self-time** is a span's duration minus the union of its direct
+//! children's intervals, with every child interval clamped into the
+//! parent's own interval first — a child that outlives its parent (a
+//! guard moved across scopes, or an abort that closed the parent early)
+//! can therefore never drive self-time negative.
+//!
+//! **Percentiles** here are exact (computed over the sorted per-span
+//! durations of a label), unlike the bucketed estimates
+//! `qce_telemetry::HistogramSnapshot::percentile` gives for streaming
+//! metrics.
+
+use crate::trace::Trace;
+
+/// Aggregated timing for one span label.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LabelProfile {
+    /// Span label.
+    pub name: String,
+    /// Number of spans with this label (open spans included).
+    pub count: usize,
+    /// Spans with this label that never closed.
+    pub open: usize,
+    /// Sum of durations, milliseconds.
+    pub total_ms: f64,
+    /// Sum of self-times (duration minus child cover), milliseconds.
+    pub self_ms: f64,
+    /// Exact median span duration, milliseconds.
+    pub p50_ms: f64,
+    /// Exact 90th-percentile span duration, milliseconds.
+    pub p90_ms: f64,
+    /// Exact 99th-percentile span duration, milliseconds.
+    pub p99_ms: f64,
+}
+
+/// One hop of the critical path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CriticalPathEntry {
+    /// Span label.
+    pub name: String,
+    /// Nesting depth along the path (root = 0).
+    pub depth: usize,
+    /// The span's full duration, milliseconds.
+    pub dur_ms: f64,
+    /// The span's self-time, milliseconds.
+    pub self_ms: f64,
+}
+
+/// Exact `q`-quantile of an **ascending-sorted** slice by linear
+/// interpolation between the surrounding order statistics. `None` when
+/// empty; a single sample (or an all-equal population) is returned
+/// exactly for every `q`.
+#[must_use]
+pub fn percentile_exact(sorted: &[f64], q: f64) -> Option<f64> {
+    if sorted.is_empty() {
+        return None;
+    }
+    let q = q.clamp(0.0, 1.0);
+    let rank = q * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    Some(sorted[lo] + frac * (sorted[hi] - sorted[lo]))
+}
+
+/// Self-time of span `idx` in microseconds: effective duration minus
+/// the union of its direct children's intervals clamped into the
+/// span's own interval.
+#[must_use]
+pub fn self_time_us(trace: &Trace, idx: usize) -> u64 {
+    let s = &trace.spans[idx];
+    let dur = trace.effective_dur_us(idx);
+    let (lo, hi) = (s.start_us, s.start_us.saturating_add(dur));
+    let mut intervals: Vec<(u64, u64)> = s
+        .children
+        .iter()
+        .map(|&c| {
+            let cs = &trace.spans[c];
+            let c_end = cs.start_us.saturating_add(trace.effective_dur_us(c));
+            (cs.start_us.clamp(lo, hi), c_end.clamp(lo, hi))
+        })
+        .filter(|(a, b)| b > a)
+        .collect();
+    intervals.sort_unstable();
+    let mut covered = 0u64;
+    let mut cursor = lo;
+    for (a, b) in intervals {
+        let a = a.max(cursor);
+        if b > a {
+            covered += b - a;
+            cursor = b;
+        }
+    }
+    dur.saturating_sub(covered)
+}
+
+/// Aggregates every span by label; sorted by `self_ms` descending (the
+/// label actually burning the time first), ties broken by name.
+#[must_use]
+pub fn profile(trace: &Trace) -> Vec<LabelProfile> {
+    use std::collections::BTreeMap;
+    struct Acc {
+        durs_ms: Vec<f64>,
+        self_ms: f64,
+        open: usize,
+    }
+    let mut by_label: BTreeMap<&str, Acc> = BTreeMap::new();
+    for idx in 0..trace.spans.len() {
+        let s = &trace.spans[idx];
+        let acc = by_label.entry(s.name.as_str()).or_insert(Acc {
+            durs_ms: Vec::new(),
+            self_ms: 0.0,
+            open: 0,
+        });
+        acc.durs_ms.push(trace.effective_dur_us(idx) as f64 / 1e3);
+        acc.self_ms += self_time_us(trace, idx) as f64 / 1e3;
+        if s.dur_us.is_none() {
+            acc.open += 1;
+        }
+    }
+    let mut out: Vec<LabelProfile> = by_label
+        .into_iter()
+        .map(|(name, mut acc)| {
+            acc.durs_ms.sort_by(f64::total_cmp);
+            LabelProfile {
+                name: name.to_string(),
+                count: acc.durs_ms.len(),
+                open: acc.open,
+                total_ms: acc.durs_ms.iter().sum(),
+                self_ms: acc.self_ms,
+                p50_ms: percentile_exact(&acc.durs_ms, 0.50).unwrap_or(0.0),
+                p90_ms: percentile_exact(&acc.durs_ms, 0.90).unwrap_or(0.0),
+                p99_ms: percentile_exact(&acc.durs_ms, 0.99).unwrap_or(0.0),
+            }
+        })
+        .collect();
+    out.sort_by(|a, b| b.self_ms.total_cmp(&a.self_ms).then(a.name.cmp(&b.name)));
+    out
+}
+
+/// Extracts the critical path: starting from the longest root span,
+/// repeatedly descend into the longest child. Ties break on earlier
+/// start then lower id, so the path is deterministic for a given trace.
+#[must_use]
+pub fn critical_path(trace: &Trace) -> Vec<CriticalPathEntry> {
+    let longest = |candidates: &[usize]| -> Option<usize> {
+        candidates.iter().copied().max_by(|&a, &b| {
+            trace
+                .effective_dur_us(a)
+                .cmp(&trace.effective_dur_us(b))
+                .then(trace.spans[b].start_us.cmp(&trace.spans[a].start_us))
+                .then(trace.spans[b].id.cmp(&trace.spans[a].id))
+        })
+    };
+    let mut path = Vec::new();
+    let mut cur = longest(&trace.roots);
+    while let Some(idx) = cur {
+        path.push(CriticalPathEntry {
+            name: trace.spans[idx].name.clone(),
+            depth: path.len(),
+            dur_ms: trace.effective_dur_us(idx) as f64 / 1e3,
+            self_ms: self_time_us(trace, idx) as f64 / 1e3,
+        });
+        cur = longest(&trace.spans[idx].children);
+    }
+    path
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span_line(id: u64, parent: Option<u64>, name: &str, t: u64, seq: u64) -> String {
+        let p = parent.map_or(String::new(), |p| format!("\"parent\":{p},"));
+        format!(
+            "{{\"ev\":\"span_start\",\"id\":{id},{p}\"name\":\"{name}\",\"thread\":\"main\",\"seq\":{seq},\"t_us\":{t}}}\n"
+        )
+    }
+
+    fn end_line(id: u64, name: &str, dur: u64, t: u64, seq: u64) -> String {
+        format!(
+            "{{\"ev\":\"span_end\",\"id\":{id},\"name\":\"{name}\",\"dur_us\":{dur},\"seq\":{seq},\"t_us\":{t}}}\n"
+        )
+    }
+
+    #[test]
+    fn percentile_exact_edge_cases() {
+        assert_eq!(percentile_exact(&[], 0.5), None);
+        assert_eq!(percentile_exact(&[7.0], 0.0), Some(7.0));
+        assert_eq!(percentile_exact(&[7.0], 0.5), Some(7.0));
+        assert_eq!(percentile_exact(&[7.0], 1.0), Some(7.0));
+        let equal = vec![3.0; 10];
+        for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(percentile_exact(&equal, q), Some(3.0), "q={q}");
+        }
+        let v: Vec<f64> = (1..=101).map(f64::from).collect();
+        assert_eq!(percentile_exact(&v, 0.5), Some(51.0));
+        assert_eq!(percentile_exact(&v, 1.0), Some(101.0));
+        assert_eq!(percentile_exact(&v, 0.0), Some(1.0));
+    }
+
+    #[test]
+    fn self_time_with_children_overlapping_parent_end() {
+        // Parent [0, 100]; child A [10, 40]; child B [80, 130] — B's
+        // last 30 µs fall outside the parent and must be clamped away.
+        let mut body = String::new();
+        body += &span_line(1, None, "parent", 0, 0);
+        body += &span_line(2, Some(1), "a", 10, 1);
+        body += &end_line(2, "a", 30, 40, 2);
+        body += &span_line(3, Some(1), "b", 80, 3);
+        body += &end_line(1, "parent", 100, 100, 4);
+        body += &end_line(3, "b", 50, 130, 5);
+        let t = crate::Trace::parse(&body).unwrap();
+        // parent self = 100 − (30 from A + 20 clamped from B) = 50.
+        assert_eq!(self_time_us(&t, 0), 50);
+        // Children fully cover themselves.
+        assert_eq!(self_time_us(&t, 1), 30);
+        assert_eq!(self_time_us(&t, 2), 50);
+    }
+
+    #[test]
+    fn self_time_with_overlapping_children_counts_union_once() {
+        // Parent [0, 100]; children [10, 60] and [40, 90] overlap by 20.
+        let mut body = String::new();
+        body += &span_line(1, None, "parent", 0, 0);
+        body += &span_line(2, Some(1), "a", 10, 1);
+        body += &span_line(3, Some(1), "b", 40, 2);
+        body += &end_line(2, "a", 50, 60, 3);
+        body += &end_line(3, "b", 50, 90, 4);
+        body += &end_line(1, "parent", 100, 100, 5);
+        let t = crate::Trace::parse(&body).unwrap();
+        // union cover = [10, 90] = 80 → self = 20 (not 100 − 50 − 50).
+        assert_eq!(self_time_us(&t, 0), 20);
+    }
+
+    #[test]
+    fn profile_aggregates_and_ranks_by_self_time() {
+        let mut body = String::new();
+        body += &span_line(1, None, "flow.run", 0, 0);
+        body += &span_line(2, Some(1), "train.epoch", 10, 1);
+        body += &end_line(2, "train.epoch", 40, 50, 2);
+        body += &span_line(3, Some(1), "train.epoch", 50, 3);
+        body += &end_line(3, "train.epoch", 40, 90, 4);
+        body += &end_line(1, "flow.run", 200, 200, 5);
+        let t = crate::Trace::parse(&body).unwrap();
+        let p = profile(&t);
+        assert_eq!(p.len(), 2);
+        // flow.run self = 200 − 80 = 120 µs → ranks first.
+        assert_eq!(p[0].name, "flow.run");
+        assert!((p[0].self_ms - 0.120).abs() < 1e-9);
+        assert_eq!(p[1].name, "train.epoch");
+        assert_eq!(p[1].count, 2);
+        assert!((p[1].total_ms - 0.080).abs() < 1e-9);
+        assert!((p[1].p50_ms - 0.040).abs() < 1e-9);
+        assert_eq!(p[1].open, 0);
+    }
+
+    #[test]
+    fn critical_path_descends_longest_children() {
+        let mut body = String::new();
+        body += &span_line(1, None, "flow.run", 0, 0);
+        body += &span_line(2, Some(1), "flow.train", 10, 1);
+        body += &span_line(3, Some(2), "train.epoch", 20, 2);
+        body += &end_line(3, "train.epoch", 60, 80, 3);
+        body += &end_line(2, "flow.train", 80, 90, 4);
+        body += &span_line(4, Some(1), "flow.evaluate", 90, 5);
+        body += &end_line(4, "flow.evaluate", 10, 100, 6);
+        body += &end_line(1, "flow.run", 110, 110, 7);
+        let t = crate::Trace::parse(&body).unwrap();
+        let path = critical_path(&t);
+        let names: Vec<&str> = path.iter().map(|e| e.name.as_str()).collect();
+        assert_eq!(names, vec!["flow.run", "flow.train", "train.epoch"]);
+        assert_eq!(path[2].depth, 2);
+    }
+}

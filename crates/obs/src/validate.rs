@@ -1,0 +1,340 @@
+//! Strict JSONL trace validation — the promoted successor of the old
+//! `trace_check` example, with structural checks the schema-only
+//! checker could not make:
+//!
+//! - dangling parent ids (a `span_start` naming a parent that never
+//!   started),
+//! - non-monotonic ordering (`seq` must strictly ascend, `t_us` must
+//!   never decrease),
+//! - duplicate ids (a `span_start` reusing a still-open id, or a
+//!   `span_end` for a span that is not open),
+//! - spans that never close, empty traces, and files cut mid-line.
+//!
+//! [`ValidateOptions::partial`] relaxes exactly the two abort artifacts
+//! (open spans, missing trailing newline) so the analyzable prefix of a
+//! killed run still validates.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use qce_telemetry::json::{parse, JsonValue};
+
+use crate::{ObsError, Result};
+
+/// Validation knobs.
+#[derive(Debug, Clone, Default)]
+pub struct ValidateOptions {
+    /// Accept the trace an aborted run leaves behind: open spans and a
+    /// missing trailing newline are tolerated; every other rule still
+    /// applies to the readable prefix.
+    pub partial: bool,
+    /// Span names that must appear as both `span_start` and `span_end`.
+    pub expected_spans: Vec<String>,
+}
+
+/// What a successful validation saw.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ValidationSummary {
+    /// Parseable events.
+    pub events: usize,
+    /// Distinct span names started.
+    pub started: usize,
+    /// Distinct span names ended.
+    pub ended: usize,
+    /// Spans still open at end of stream (only non-zero in partial
+    /// mode).
+    pub open: usize,
+    /// Whether a `manifest` event was present.
+    pub has_manifest: bool,
+}
+
+fn need(n: usize, ev: &str, v: &JsonValue, keys: &[&str]) -> Result<()> {
+    for k in keys {
+        if v.get(k).is_none() {
+            return Err(ObsError::Invalid(format!(
+                "line {n}: {ev} event missing \"{k}\""
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// Validates a trace body against the full rule set.
+pub fn validate(body: &str, opts: &ValidateOptions) -> Result<ValidationSummary> {
+    if !body.is_empty() && !body.ends_with('\n') && !opts.partial {
+        return Err(ObsError::Invalid(
+            "does not end in a newline — truncated trace (interrupted write?)".to_string(),
+        ));
+    }
+    let mut started: BTreeSet<String> = BTreeSet::new();
+    let mut ended: BTreeSet<String> = BTreeSet::new();
+    let mut seen_ids: BTreeSet<u64> = BTreeSet::new();
+    let mut open: BTreeMap<u64, String> = BTreeMap::new();
+    let mut last_seq: Option<u64> = None;
+    let mut last_t: Option<u64> = None;
+    let mut summary = ValidationSummary::default();
+    let complete_lines: usize = body.lines().count();
+    for (i, line) in body.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let n = i + 1;
+        let v = match parse(line) {
+            Ok(v) => v,
+            // In partial mode the final line may be a cut-off tail.
+            Err(_) if opts.partial && n == complete_lines => continue,
+            Err(e) => {
+                return Err(ObsError::Invalid(format!(
+                    "line {n}: {e} (truncated trace?)"
+                )))
+            }
+        };
+        summary.events += 1;
+        if let Some(seq) = v.get("seq").and_then(JsonValue::as_u64) {
+            if let Some(prev) = last_seq {
+                if seq <= prev {
+                    return Err(ObsError::Invalid(format!(
+                        "line {n}: seq went {prev} -> {seq} (non-monotonic event order)"
+                    )));
+                }
+            }
+            last_seq = Some(seq);
+        }
+        if let Some(t) = v.get("t_us").and_then(JsonValue::as_u64) {
+            if let Some(prev) = last_t {
+                if t < prev {
+                    return Err(ObsError::Invalid(format!(
+                        "line {n}: t_us went {prev} -> {t} (non-monotonic timestamps)"
+                    )));
+                }
+            }
+            last_t = Some(t);
+        }
+        let ev = v
+            .get("ev")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| ObsError::Invalid(format!("line {n}: missing \"ev\"")))?
+            .to_string();
+        match ev.as_str() {
+            "init" => need(n, &ev, &v, &["level", "pid"])?,
+            "log" => need(n, &ev, &v, &["level", "msg", "t_us"])?,
+            "span_start" => {
+                need(n, &ev, &v, &["id", "name", "thread", "t_us"])?;
+                let id = v.get("id").and_then(JsonValue::as_u64).ok_or_else(|| {
+                    ObsError::Invalid(format!("line {n}: span_start id is not an integer"))
+                })?;
+                if open.contains_key(&id) {
+                    return Err(ObsError::Invalid(format!(
+                        "line {n}: span_start reuses still-open id {id}"
+                    )));
+                }
+                if let Some(p) = v.get("parent").and_then(JsonValue::as_u64) {
+                    if !seen_ids.contains(&p) {
+                        return Err(ObsError::Invalid(format!(
+                            "line {n}: span_start id {id} has dangling parent id {p} \
+                             (never started)"
+                        )));
+                    }
+                }
+                let name = v
+                    .get("name")
+                    .and_then(JsonValue::as_str)
+                    .unwrap_or_default()
+                    .to_string();
+                started.insert(name.clone());
+                seen_ids.insert(id);
+                open.insert(id, name);
+            }
+            "span_end" => {
+                need(n, &ev, &v, &["id", "name", "dur_us", "t_us"])?;
+                let id = v.get("id").and_then(JsonValue::as_u64).ok_or_else(|| {
+                    ObsError::Invalid(format!("line {n}: span_end id is not an integer"))
+                })?;
+                let Some(open_name) = open.remove(&id) else {
+                    return Err(ObsError::Invalid(format!(
+                        "line {n}: span_end for id {id} which is not open"
+                    )));
+                };
+                let name = v
+                    .get("name")
+                    .and_then(JsonValue::as_str)
+                    .unwrap_or_default();
+                if name != open_name {
+                    return Err(ObsError::Invalid(format!(
+                        "line {n}: span_end id {id} is named {name:?} but started as \
+                         {open_name:?}"
+                    )));
+                }
+                ended.insert(name.to_string());
+            }
+            "manifest" => {
+                need(
+                    n,
+                    &ev,
+                    &v,
+                    &["config_hash", "seed", "threads", "stages", "metrics"],
+                )?;
+                summary.has_manifest = true;
+            }
+            other => {
+                return Err(ObsError::Invalid(format!(
+                    "line {n}: unknown event kind {other:?}"
+                )))
+            }
+        }
+    }
+    if summary.events == 0 {
+        return Err(ObsError::Invalid("empty trace".to_string()));
+    }
+    if !open.is_empty() && !opts.partial {
+        let (id, name) = open.iter().next().expect("non-empty");
+        return Err(ObsError::Invalid(format!(
+            "{} span(s) started but never ended (first: {name:?} id {id}) — truncated trace",
+            open.len()
+        )));
+    }
+    for name in &opts.expected_spans {
+        if !started.contains(name) {
+            return Err(ObsError::Invalid(format!(
+                "expected span {name:?} never started"
+            )));
+        }
+        if !ended.contains(name) {
+            return Err(ObsError::Invalid(format!(
+                "expected span {name:?} never ended"
+            )));
+        }
+    }
+    summary.started = started.len();
+    summary.ended = ended.len();
+    summary.open = open.len();
+    Ok(summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strict() -> ValidateOptions {
+        ValidateOptions::default()
+    }
+
+    const GOOD: &str = concat!(
+        r#"{"ev":"init","level":"progress","pid":1,"seq":0,"t_us":0}"#,
+        "\n",
+        r#"{"ev":"span_start","id":1,"name":"flow.run","thread":"main","seq":1,"t_us":10}"#,
+        "\n",
+        r#"{"ev":"span_start","id":2,"parent":1,"name":"flow.train","thread":"main","seq":2,"t_us":20}"#,
+        "\n",
+        r#"{"ev":"log","level":"progress","msg":"hi","seq":3,"t_us":25}"#,
+        "\n",
+        r#"{"ev":"span_end","id":2,"name":"flow.train","dur_us":30,"seq":4,"t_us":50}"#,
+        "\n",
+        r#"{"ev":"span_end","id":1,"name":"flow.run","dur_us":90,"seq":5,"t_us":100}"#,
+        "\n",
+    );
+
+    #[test]
+    fn accepts_a_complete_trace() {
+        let s = validate(GOOD, &strict()).unwrap();
+        assert_eq!(s.events, 6);
+        assert_eq!(s.started, 2);
+        assert_eq!(s.ended, 2);
+        assert_eq!(s.open, 0);
+        assert!(!s.has_manifest);
+    }
+
+    #[test]
+    fn expected_spans_are_enforced() {
+        let mut opts = strict();
+        opts.expected_spans = vec!["flow.run".to_string()];
+        assert!(validate(GOOD, &opts).is_ok());
+        opts.expected_spans = vec!["flow.quantize".to_string()];
+        let e = validate(GOOD, &opts).unwrap_err().to_string();
+        assert!(e.contains("never started"), "{e}");
+    }
+
+    #[test]
+    fn rejects_empty_and_mid_line_truncation() {
+        assert!(validate("", &strict()).is_err());
+        let cut = &GOOD[..GOOD.len() - 5];
+        let e = validate(cut, &strict()).unwrap_err().to_string();
+        assert!(e.contains("newline"), "{e}");
+        // Partial mode tolerates the cut tail line.
+        let mut partial = strict();
+        partial.partial = true;
+        assert!(validate(cut, &partial).is_ok());
+    }
+
+    #[test]
+    fn rejects_dangling_parent() {
+        let body = concat!(
+            r#"{"ev":"span_start","id":5,"parent":99,"name":"x","thread":"t","seq":0,"t_us":1}"#,
+            "\n",
+            r#"{"ev":"span_end","id":5,"name":"x","dur_us":1,"seq":1,"t_us":2}"#,
+            "\n",
+        );
+        let e = validate(body, &strict()).unwrap_err().to_string();
+        assert!(e.contains("dangling parent id 99"), "{e}");
+    }
+
+    #[test]
+    fn rejects_non_monotonic_seq_and_t_us() {
+        let bad_seq = concat!(
+            r#"{"ev":"log","level":"off","msg":"a","seq":5,"t_us":1}"#,
+            "\n",
+            r#"{"ev":"log","level":"off","msg":"b","seq":4,"t_us":2}"#,
+            "\n",
+        );
+        let e = validate(bad_seq, &strict()).unwrap_err().to_string();
+        assert!(e.contains("non-monotonic event order"), "{e}");
+        let bad_t = concat!(
+            r#"{"ev":"log","level":"off","msg":"a","seq":1,"t_us":50}"#,
+            "\n",
+            r#"{"ev":"log","level":"off","msg":"b","seq":2,"t_us":10}"#,
+            "\n",
+        );
+        let e = validate(bad_t, &strict()).unwrap_err().to_string();
+        assert!(e.contains("non-monotonic timestamps"), "{e}");
+    }
+
+    #[test]
+    fn rejects_never_closed_spans_unless_partial() {
+        let body = concat!(
+            r#"{"ev":"span_start","id":1,"name":"flow.run","thread":"main","seq":0,"t_us":1}"#,
+            "\n",
+        );
+        let e = validate(body, &strict()).unwrap_err().to_string();
+        assert!(e.contains("never ended"), "{e}");
+        let mut partial = strict();
+        partial.partial = true;
+        let s = validate(body, &partial).unwrap();
+        assert_eq!(s.open, 1);
+    }
+
+    #[test]
+    fn rejects_id_reuse_and_unmatched_ends() {
+        let reuse = concat!(
+            r#"{"ev":"span_start","id":1,"name":"a","thread":"t","seq":0,"t_us":1}"#,
+            "\n",
+            r#"{"ev":"span_start","id":1,"name":"b","thread":"t","seq":1,"t_us":2}"#,
+            "\n",
+        );
+        let e = validate(reuse, &strict()).unwrap_err().to_string();
+        assert!(e.contains("reuses still-open id"), "{e}");
+        let unmatched = concat!(
+            r#"{"ev":"span_end","id":9,"name":"ghost","dur_us":1,"seq":0,"t_us":1}"#,
+            "\n",
+        );
+        let e = validate(unmatched, &strict()).unwrap_err().to_string();
+        assert!(e.contains("not open"), "{e}");
+    }
+
+    #[test]
+    fn rejects_unknown_event_kinds_and_missing_fields() {
+        let unknown = "{\"ev\":\"mystery\",\"seq\":0}\n";
+        assert!(validate(unknown, &strict()).is_err());
+        let missing = "{\"ev\":\"log\",\"level\":\"off\",\"seq\":0,\"t_us\":1}\n";
+        let e = validate(missing, &strict()).unwrap_err().to_string();
+        assert!(e.contains("missing \"msg\""), "{e}");
+    }
+}

@@ -1,0 +1,99 @@
+//! Kill-mid-run trace resilience (the trace-side sibling of the
+//! `qce-store` kill/resume test): a run that dies mid-flow — panic,
+//! `process::exit`, or a hard kill — must still leave an analyzable
+//! trace prefix on disk. The `QCE_TRACE` sink writes line-atomically,
+//! and the telemetry panic hook plus [`qce_telemetry::FlushGuard`]
+//! flush anything a buffering sink holds before the stack disappears.
+//!
+//! The aborted run is a real subprocess: this test binary re-executes
+//! itself with `--exact` targeting the helper below, which only acts
+//! when the `QCE_OBS_KILL_HELPER` marker is set and exits with spans
+//! still open.
+
+use std::process::Command;
+
+use qce_obs::{validate, Trace, ValidateOptions};
+use qce_telemetry::{span, FlushGuard};
+
+const MARKER: &str = "QCE_OBS_KILL_HELPER";
+
+/// Subprocess body — inert in a normal test run. Exits through
+/// `process::exit` (the early-exit path: destructors are skipped, so
+/// the open spans never emit `span_end`), after a flush via the guard.
+#[test]
+fn helper_panics_mid_span() {
+    if std::env::var_os(MARKER).is_none() {
+        return;
+    }
+    let guard = FlushGuard::new();
+    let _root = span!("flow.run");
+    for epoch in 0..5usize {
+        let _e = span!("train.epoch", epoch = epoch);
+        qce_telemetry::progress!("epoch {epoch} done");
+    }
+    let _open = span!("flow.quantize", bits = 4usize);
+    // An aborting run flushes what it has (here explicitly via the
+    // guard; a panicking run reaches the same flush through the panic
+    // hook) and dies without closing `_root`/`_open`.
+    drop(guard);
+    std::process::exit(3);
+}
+
+#[test]
+fn killed_run_leaves_analyzable_trace_prefix() {
+    let dir = std::env::temp_dir().join(format!("qce-obs-kill-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let trace_path = dir.join("aborted.jsonl");
+
+    let exe = std::env::current_exe().unwrap();
+    let out = Command::new(exe)
+        .args(["--exact", "helper_panics_mid_span", "--nocapture"])
+        .env(MARKER, "1")
+        .env("QCE_TRACE", &trace_path)
+        .env("QCE_LOG", "off")
+        .env_remove("QCE_ALLOC")
+        .output()
+        .expect("spawn helper subprocess");
+    assert!(
+        !out.status.success(),
+        "helper was supposed to die mid-run; stdout:\n{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+
+    let body = std::fs::read_to_string(&trace_path).expect("aborted trace exists");
+
+    // The strict validator must reject it — spans never closed.
+    let strict = validate(&body, &ValidateOptions::default());
+    let err = strict
+        .expect_err("aborted trace is not a complete trace")
+        .to_string();
+    assert!(err.contains("never ended"), "unexpected rejection: {err}");
+
+    // Partial mode accepts the prefix and sees the open spans.
+    let opts = ValidateOptions {
+        partial: true,
+        ..ValidateOptions::default()
+    };
+    let summary = validate(&body, &opts).expect("analyzable prefix");
+    assert!(summary.open >= 1, "open spans survived: {summary:?}");
+
+    // Every completed epoch reached disk despite the abort, and the
+    // span open at panic time is visible as such.
+    let trace = Trace::parse(&body).unwrap();
+    let closed_epochs = trace
+        .spans
+        .iter()
+        .filter(|s| s.name == "train.epoch" && s.dur_us.is_some())
+        .count();
+    assert_eq!(closed_epochs, 5, "completed epochs lost from the prefix");
+    assert!(
+        trace
+            .spans
+            .iter()
+            .any(|s| s.name == "flow.quantize" && s.dur_us.is_none()),
+        "the span open at panic time is missing"
+    );
+    assert_eq!(trace.logs, 5, "log events lost from the prefix");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,246 @@
+//! Byte accounting: an instrumented global allocator behind
+//! `QCE_ALLOC=track`, plus a peak-RSS probe.
+//!
+//! The workspace registers [`TrackingAllocator`] as the global
+//! allocator. When `QCE_ALLOC` is unset the instrumentation reduces to
+//! one relaxed atomic load and a predictable branch per call before
+//! forwarding to the system allocator — effectively zero overhead and
+//! no contention. With `QCE_ALLOC=track`, every allocation and free
+//! updates lock-free counters (total bytes allocated/freed, live bytes,
+//! peak live bytes, allocation count) that flow stages sample to report
+//! per-stage allocation deltas alongside wall time.
+//!
+//! The enable decision is made once, at the first allocation, via an
+//! atomic state machine: reading the environment variable itself
+//! allocates, so the probing thread parks the state at `PROBING` first
+//! and any allocation made *during* the probe observes a non-`UNINIT`,
+//! non-`ON` state and is simply forwarded untracked. That keeps the
+//! hook re-entrancy-free without a lock.
+//!
+//! This is the one module in the crate allowed to contain `unsafe`
+//! (implementing [`GlobalAlloc`] requires it); every unsafe block is a
+//! direct forward to [`System`].
+
+#![allow(unsafe_code)]
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+
+const STATE_UNINIT: u8 = 0;
+const STATE_OFF: u8 = 1;
+const STATE_ON: u8 = 2;
+const STATE_PROBING: u8 = 3;
+
+static STATE: AtomicU8 = AtomicU8::new(STATE_UNINIT);
+static ALLOCATED: AtomicU64 = AtomicU64::new(0);
+static FREED: AtomicU64 = AtomicU64::new(0);
+static LIVE: AtomicU64 = AtomicU64::new(0);
+static PEAK: AtomicU64 = AtomicU64::new(0);
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+/// Point-in-time copy of the byte-accounting counters.
+///
+/// All fields are zero until tracking is enabled (`QCE_ALLOC=track` or
+/// [`force_tracking`]); counters only ever grow while tracking is on.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AllocStats {
+    /// Total bytes handed out since tracking began.
+    pub allocated_bytes: u64,
+    /// Total bytes returned since tracking began.
+    pub freed_bytes: u64,
+    /// Bytes currently live (allocated − freed, saturating: frees of
+    /// blocks allocated before tracking began do not underflow).
+    pub live_bytes: u64,
+    /// High-water mark of `live_bytes`.
+    pub peak_bytes: u64,
+    /// Number of allocation calls (alloc + realloc growth).
+    pub allocations: u64,
+}
+
+/// The workspace's global allocator: [`System`] plus optional byte
+/// accounting (see the module docs for the fast-path guarantee).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct TrackingAllocator;
+
+#[global_allocator]
+static GLOBAL_ALLOC: TrackingAllocator = TrackingAllocator;
+
+#[inline]
+fn tracking_now() -> bool {
+    match STATE.load(Ordering::Relaxed) {
+        STATE_ON => true,
+        STATE_UNINIT => init_state(),
+        _ => false,
+    }
+}
+
+#[cold]
+fn init_state() -> bool {
+    if STATE
+        .compare_exchange(
+            STATE_UNINIT,
+            STATE_PROBING,
+            Ordering::AcqRel,
+            Ordering::Relaxed,
+        )
+        .is_err()
+    {
+        // Another thread owns the probe (or already decided); treat the
+        // current state as the answer without waiting.
+        return STATE.load(Ordering::Relaxed) == STATE_ON;
+    }
+    // env lookups allocate; those allocations see PROBING and forward.
+    let on = std::env::var_os("QCE_ALLOC").is_some_and(|v| {
+        let v = v.to_string_lossy().trim().to_ascii_lowercase();
+        matches!(v.as_str(), "track" | "1" | "on")
+    });
+    STATE.store(if on { STATE_ON } else { STATE_OFF }, Ordering::Release);
+    on
+}
+
+#[inline]
+fn on_alloc(size: usize) {
+    let n = size as u64;
+    ALLOCATED.fetch_add(n, Ordering::Relaxed);
+    ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+    let live = LIVE.fetch_add(n, Ordering::Relaxed) + n;
+    PEAK.fetch_max(live, Ordering::Relaxed);
+}
+
+#[inline]
+fn on_free(size: usize) {
+    let n = size as u64;
+    FREED.fetch_add(n, Ordering::Relaxed);
+    let _ = LIVE.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |live| {
+        Some(live.saturating_sub(n))
+    });
+}
+
+unsafe impl GlobalAlloc for TrackingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let p = unsafe { System.alloc(layout) };
+        if !p.is_null() && tracking_now() {
+            on_alloc(layout.size());
+        }
+        p
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        let p = unsafe { System.alloc_zeroed(layout) };
+        if !p.is_null() && tracking_now() {
+            on_alloc(layout.size());
+        }
+        p
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        if tracking_now() {
+            on_free(layout.size());
+        }
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let p = unsafe { System.realloc(ptr, layout, new_size) };
+        if !p.is_null() && tracking_now() {
+            on_free(layout.size());
+            on_alloc(new_size);
+        }
+        p
+    }
+}
+
+/// Whether byte accounting is currently active (`QCE_ALLOC=track`, or
+/// forced on via [`force_tracking`]).
+#[must_use]
+pub fn tracking_enabled() -> bool {
+    tracking_now()
+}
+
+/// Forces tracking on or off, overriding the environment decision.
+/// Intended for tests; flipping mid-process is safe (live-byte
+/// accounting saturates instead of underflowing on unmatched frees).
+pub fn force_tracking(on: bool) {
+    STATE.store(if on { STATE_ON } else { STATE_OFF }, Ordering::Release);
+}
+
+/// Snapshot of the allocation counters.
+#[must_use]
+pub fn stats() -> AllocStats {
+    AllocStats {
+        allocated_bytes: ALLOCATED.load(Ordering::Relaxed),
+        freed_bytes: FREED.load(Ordering::Relaxed),
+        live_bytes: LIVE.load(Ordering::Relaxed),
+        peak_bytes: PEAK.load(Ordering::Relaxed),
+        allocations: ALLOCATIONS.load(Ordering::Relaxed),
+    }
+}
+
+/// Peak resident-set size of this process in bytes (`VmHWM` from
+/// `/proc/self/status`). `None` off Linux or when the probe fails.
+#[must_use]
+pub fn peak_rss_bytes() -> Option<u64> {
+    #[cfg(target_os = "linux")]
+    {
+        let status = std::fs::read_to_string("/proc/self/status").ok()?;
+        for line in status.lines() {
+            if let Some(rest) = line.strip_prefix("VmHWM:") {
+                let kb: u64 = rest.trim().trim_end_matches("kB").trim().parse().ok()?;
+                return Some(kb * 1024);
+            }
+        }
+        None
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// One test covers off- and on- behaviour sequentially: tests run
+    /// in one process and `force_tracking` is global, so splitting this
+    /// into separate #[test]s would race on the shared state.
+    #[test]
+    fn tracking_counts_only_when_enabled() {
+        if std::env::var_os("QCE_ALLOC").is_none() {
+            force_tracking(false);
+            let before = stats();
+            let v: Vec<u64> = (0..4096).collect();
+            assert_eq!(v.len(), 4096);
+            drop(v);
+            let after = stats();
+            assert_eq!(before, after, "counters moved while tracking was disabled");
+        }
+
+        force_tracking(true);
+        let before = stats();
+        let v: Vec<u64> = (0..4096).collect();
+        std::hint::black_box(&v);
+        let mid = stats();
+        assert!(
+            mid.allocated_bytes >= before.allocated_bytes + 8 * 4096,
+            "allocation not observed: {before:?} -> {mid:?}"
+        );
+        assert!(mid.allocations > before.allocations);
+        assert!(mid.peak_bytes >= mid.live_bytes.saturating_sub(8 * 4096));
+        drop(v);
+        let after = stats();
+        assert!(after.freed_bytes >= mid.freed_bytes + 8 * 4096);
+        assert!(after.peak_bytes >= mid.peak_bytes);
+
+        // Restore the environment-driven decision for other tests.
+        force_tracking(std::env::var_os("QCE_ALLOC").is_some());
+    }
+
+    #[test]
+    fn peak_rss_probe_parses_on_linux() {
+        if cfg!(target_os = "linux") {
+            let rss = peak_rss_bytes().expect("VmHWM present on Linux");
+            assert!(rss > 0);
+        }
+    }
+}

@@ -17,13 +17,21 @@
 //!   run (config hash, seed, threads, per-stage wall times and metrics)
 //!   is emitted at the end of instrumented flows.
 //!
+//! A fourth layer, [`alloc`], registers an instrumented global
+//! allocator: byte accounting behind `QCE_ALLOC=track` with a pure
+//! atomic fast path when unset, plus a peak-RSS probe.
+//!
 //! The crate is std-only by design: it sits below every other workspace
 //! crate, and the vendored `serde` is a marker stub, so [`json`] carries
 //! a minimal writer/parser of its own.
 
-#![forbid(unsafe_code)]
+// `deny` (not `forbid`) so the one unsafe island — the `GlobalAlloc`
+// impl in `alloc` — can opt back in with a module-level `allow`,
+// mirroring the `qce_tensor::simd` precedent.
+#![deny(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod alloc;
 pub mod json;
 mod manifest;
 mod metrics;
@@ -36,8 +44,8 @@ pub use metrics::{
     HistogramSnapshot, MetricsSnapshot,
 };
 pub use sink::{
-    add_sink, collect_enabled, flush, level, log_line, set_level, trace_path, EventSink, Level,
-    MemorySink,
+    add_sink, collect_enabled, flush, level, log_line, set_level, trace_path, EventSink,
+    FlushGuard, Level, MemorySink,
 };
 pub use span::{FieldValue, Span};
 

@@ -53,17 +53,22 @@ pub struct RunManifest {
 }
 
 impl RunManifest {
-    /// Renders the manifest as one JSON object.
-    #[must_use]
-    pub fn to_json(&self) -> String {
+    /// Writes the manifest's fields into an in-progress JSON object.
+    fn write_fields(&self, o: &mut ObjWriter) {
         let stages: Vec<String> = self.stages.iter().map(StageStat::to_json).collect();
-        let mut o = ObjWriter::new();
         o.str("ev", "manifest")
             .uint("config_hash", self.config_hash)
             .uint("seed", self.seed)
             .uint("threads", self.threads as u64)
             .raw("stages", &format!("[{}]", stages.join(",")))
             .raw("metrics", &self.metrics.to_json());
+    }
+
+    /// Renders the manifest as one JSON object.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut o = ObjWriter::new();
+        self.write_fields(&mut o);
         o.finish()
     }
 
@@ -88,11 +93,9 @@ pub fn manifest_path_for(trace: &Path) -> PathBuf {
 /// Returns the sibling file path when one was written.
 pub fn emit_manifest(manifest: &RunManifest) -> Option<PathBuf> {
     let g = global();
-    let line = manifest.to_json();
-    if g.has_sinks() {
-        g.emit(&line);
-    }
+    g.emit_event(|o| manifest.write_fields(o));
     crate::sink::flush();
+    let line = manifest.to_json();
     let path = trace_path().map(|p| manifest_path_for(&p))?;
     match std::fs::write(&path, format!("{line}\n")) {
         Ok(()) => Some(path),

@@ -243,6 +243,65 @@ impl HistogramSnapshot {
     pub fn mean(&self) -> Option<f64> {
         (self.count > 0).then(|| self.sum / self.count as f64)
     }
+
+    /// Estimated `q`-quantile (`q` clamped to `[0, 1]`), or `None` when
+    /// the histogram is empty.
+    ///
+    /// The estimate interpolates linearly inside the bucket that holds
+    /// the target rank and is clamped to the observed `[min, max]`, so
+    /// degenerate shapes stay exact: a single sample or an all-equal
+    /// population returns that value for every `q`.
+    #[must_use]
+    pub fn percentile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let (min, max) = (self.min?, self.max?);
+        let q = q.clamp(0.0, 1.0);
+        let target = q * self.count as f64;
+        let mut cum = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let next = cum + c;
+            if next as f64 >= target {
+                // Bucket edges, tightened to the observed range.
+                let lo = if i == 0 {
+                    min
+                } else {
+                    self.bounds[i - 1].max(min)
+                };
+                let hi = if i < self.bounds.len() {
+                    self.bounds[i].min(max)
+                } else {
+                    max
+                };
+                let frac = ((target - cum as f64) / c as f64).clamp(0.0, 1.0);
+                return Some((lo + frac * (hi - lo)).clamp(min, max));
+            }
+            cum = next;
+        }
+        Some(max)
+    }
+
+    /// Median estimate (`None` when empty).
+    #[must_use]
+    pub fn p50(&self) -> Option<f64> {
+        self.percentile(0.50)
+    }
+
+    /// 90th-percentile estimate (`None` when empty).
+    #[must_use]
+    pub fn p90(&self) -> Option<f64> {
+        self.percentile(0.90)
+    }
+
+    /// 99th-percentile estimate (`None` when empty).
+    #[must_use]
+    pub fn p99(&self) -> Option<f64> {
+        self.percentile(0.99)
+    }
 }
 
 /// Point-in-time copy of the whole registry, in deterministic
@@ -388,6 +447,53 @@ mod tests {
         assert_eq!(s.max, Some(100.0));
         let mean = s.mean().unwrap();
         assert!((mean - 112.0 / 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn percentile_empty_histogram_is_none() {
+        let s = histogram("test.hist.p.empty", &[1.0, 2.0]).snapshot();
+        assert_eq!(s.percentile(0.5), None);
+        assert_eq!(s.p50(), None);
+        assert_eq!(s.p99(), None);
+    }
+
+    #[test]
+    fn percentile_single_sample_is_exact_for_all_q() {
+        let h = histogram("test.hist.p.single", &[10.0, 100.0, 1000.0]);
+        h.record(42.0);
+        let s = h.snapshot();
+        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(s.percentile(q), Some(42.0), "q={q}");
+        }
+    }
+
+    #[test]
+    fn percentile_all_equal_durations_are_exact() {
+        let h = histogram("test.hist.p.equal", &[10.0, 100.0]);
+        for _ in 0..50 {
+            h.record(7.5);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.p50(), Some(7.5));
+        assert_eq!(s.p90(), Some(7.5));
+        assert_eq!(s.p99(), Some(7.5));
+    }
+
+    #[test]
+    fn percentile_interpolates_and_orders() {
+        let h = histogram("test.hist.p.uniform", &[25.0, 50.0, 75.0, 100.0]);
+        for v in 1..=100 {
+            h.record(f64::from(v));
+        }
+        let s = h.snapshot();
+        let (p50, p90, p99) = (s.p50().unwrap(), s.p90().unwrap(), s.p99().unwrap());
+        assert!(p50 <= p90 && p90 <= p99, "{p50} {p90} {p99}");
+        assert!((p50 - 50.0).abs() <= 5.0, "p50={p50}");
+        assert!((p90 - 90.0).abs() <= 5.0, "p90={p90}");
+        assert!((90.0..=100.0).contains(&p99), "p99={p99}");
+        // q outside [0,1] clamps rather than panics.
+        assert_eq!(s.percentile(-1.0), Some(s.min.unwrap()));
+        assert_eq!(s.percentile(2.0), Some(100.0));
     }
 
     #[test]

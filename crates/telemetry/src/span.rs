@@ -10,7 +10,7 @@
 use std::cell::RefCell;
 use std::time::Instant;
 
-use crate::json::{write_escaped, write_num, ObjWriter};
+use crate::json::{write_escaped, write_num};
 use crate::sink::{collect_enabled, global, Level};
 
 /// One field value attached to a span.
@@ -94,8 +94,7 @@ impl Span {
         let id = g.next_span_id();
         let parent = SPAN_STACK.with(|s| s.borrow().last().copied());
         SPAN_STACK.with(|s| s.borrow_mut().push(id));
-        if g.has_sinks() {
-            let mut o = ObjWriter::new();
+        g.emit_event(|o| {
             o.str("ev", "span_start").uint("id", id);
             if let Some(p) = parent {
                 o.uint("parent", p);
@@ -123,9 +122,7 @@ impl Span {
                 rendered.push('}');
                 o.raw("fields", &rendered);
             }
-            o.uint("t_us", g.micros_since_start());
-            g.emit(&o.finish());
-        }
+        });
         Span {
             id,
             name,
@@ -162,15 +159,12 @@ impl Drop for Span {
         });
         let g = global();
         let dur_us = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
-        if g.has_sinks() {
-            let mut o = ObjWriter::new();
+        g.emit_event(|o| {
             o.str("ev", "span_end")
                 .uint("id", self.id)
                 .str("name", self.name)
-                .uint("dur_us", dur_us)
-                .uint("t_us", g.micros_since_start());
-            g.emit(&o.finish());
-        }
+                .uint("dur_us", dur_us);
+        });
         if g.level() == Level::Debug {
             eprintln!("[span] {} {:.3} ms", self.name, dur_us as f64 / 1e3);
         }

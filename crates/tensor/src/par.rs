@@ -54,6 +54,16 @@ struct PoolStats {
     /// Per-worker busy time per parallel call, in microseconds
     /// (recorded only while trace collection is enabled).
     worker_busy_us: qce_telemetry::Histogram,
+    /// Total worker busy time across parallel calls, in microseconds
+    /// (recorded only while trace collection is enabled).
+    busy_us: qce_telemetry::Counter,
+    /// Total worker idle time across parallel calls, in microseconds:
+    /// `wall × workers − busy`. There is no work-stealing by design
+    /// (stealing would make the partition schedule-dependent and break
+    /// the determinism contract), so this measures the imbalance of the
+    /// static partition — the time workers spent waiting in the join
+    /// for the slowest partition to finish.
+    idle_us: qce_telemetry::Counter,
 }
 
 fn pool_stats() -> &'static PoolStats {
@@ -66,6 +76,8 @@ fn pool_stats() -> &'static PoolStats {
             "pool.worker_busy_us",
             &[10.0, 100.0, 1_000.0, 10_000.0, 100_000.0, 1_000_000.0],
         ),
+        busy_us: qce_telemetry::counter("pool.busy_us"),
+        idle_us: qce_telemetry::counter("pool.idle_us"),
     })
 }
 
@@ -203,6 +215,9 @@ where
     // Busy-time attribution needs a clock read per worker; only pay for
     // it when a trace sink is attached or logging is at debug.
     let collect = qce_telemetry::collect_enabled();
+    let call_t0 = collect.then(Instant::now);
+    let busy_total = std::sync::atomic::AtomicU64::new(0);
+    let busy_total = &busy_total;
     // Contiguous static partition: thread t takes base + (t < rem) items.
     let base = n / threads;
     let rem = n % threads;
@@ -225,9 +240,12 @@ where
             f(&mut state, offset + i, item);
         }
         if let Some(t0) = t0 {
-            stats
-                .worker_busy_us
-                .record(t0.elapsed().as_secs_f64() * 1e6);
+            let elapsed = t0.elapsed();
+            stats.worker_busy_us.record(elapsed.as_secs_f64() * 1e6);
+            busy_total.fetch_add(
+                u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX),
+                std::sync::atomic::Ordering::Relaxed,
+            );
         }
     };
     std::thread::scope(|scope| {
@@ -242,6 +260,13 @@ where
             run_part(offset, part);
         }
     });
+    if let Some(t0) = call_t0 {
+        let wall_us = u64::try_from(t0.elapsed().as_micros()).unwrap_or(u64::MAX);
+        let busy = busy_total.load(std::sync::atomic::Ordering::Relaxed);
+        let capacity = wall_us.saturating_mul(threads as u64);
+        stats.busy_us.incr(busy);
+        stats.idle_us.incr(capacity.saturating_sub(busy));
+    }
 }
 
 /// Splits `data` into chunks of `chunk_len` and runs `f` on each in parallel.
@@ -429,6 +454,35 @@ mod tests {
         } else {
             assert!(inline.get() - i0 >= 3);
         }
+    }
+
+    #[test]
+    fn busy_and_idle_are_accounted_under_collection() {
+        if detected_cores() == 1 {
+            return; // 1-core hosts never take the parallel path
+        }
+        let busy = qce_telemetry::counter("pool.busy_us");
+        let idle = qce_telemetry::counter("pool.idle_us");
+        let prev = qce_telemetry::level();
+        qce_telemetry::set_level(qce_telemetry::Level::Debug);
+        let (b0, i0) = (busy.get(), idle.get());
+        // A deliberately imbalanced batch: one heavy item among light
+        // ones on a 2-wide pool forces static-partition idle time.
+        let items: Vec<u64> = (0..8).collect();
+        for_each_item(
+            &Pool::with_threads(2),
+            items,
+            || (),
+            |_, _, item| {
+                if item == 0 {
+                    std::thread::sleep(std::time::Duration::from_millis(10));
+                }
+            },
+        );
+        qce_telemetry::set_level(prev);
+        // Counters are global; assert monotone lower bounds only.
+        assert!(busy.get() - b0 >= 5_000, "busy time missing");
+        assert!(idle.get() >= i0, "idle counter went backwards");
     }
 
     #[test]

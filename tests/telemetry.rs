@@ -89,7 +89,29 @@ fn attack_run_emits_golden_span_tree_and_manifest() {
     for e in starts.iter().chain(ends.iter()) {
         assert!(e.get("id").and_then(JsonValue::as_u64).is_some());
         assert!(e.get("t_us").is_some(), "span event missing t_us");
+        assert!(e.get("seq").is_some(), "span event missing seq");
     }
+
+    // Emission-order stamps: seq strictly ascends and t_us never goes
+    // backwards across the whole stream (the obs validator's contract).
+    let stamps: Vec<(u64, u64)> = lines
+        .iter()
+        .filter_map(|l| qce_telemetry::json::parse(l).ok())
+        .filter_map(|v| {
+            Some((
+                v.get("seq").and_then(JsonValue::as_u64)?,
+                v.get("t_us").and_then(JsonValue::as_u64)?,
+            ))
+        })
+        .collect();
+    assert!(
+        stamps.windows(2).all(|w| w[0].0 < w[1].0),
+        "seq not strictly ascending"
+    );
+    assert!(
+        stamps.windows(2).all(|w| w[0].1 <= w[1].1),
+        "t_us went backwards"
+    );
     for e in &ends {
         assert!(
             e.get("dur_us").and_then(JsonValue::as_f64).is_some(),
