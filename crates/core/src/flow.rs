@@ -1,31 +1,25 @@
 use qce_attack::correlation::{correlation, SignConvention};
-use qce_attack::ecc::Ecc;
 use qce_attack::statsign::{StatSignDecoder, StatSignLayout, StatSignRegularizer};
-use qce_attack::{CorrelationRegularizer, DecodedImage, Decoder, EncodingLayout, GroupSpec};
-use qce_data::{select, Dataset, Image};
+use qce_attack::{CorrelationRegularizer, DecodedImage, Decoder, EncodingLayout};
+use qce_data::{Dataset, Image};
 use qce_defense::{DefenseContext, DefensePlan};
 use qce_metrics::{mape, ssim};
-use qce_nn::models::ResNetLite;
-use qce_nn::{
-    accuracy, LrSchedule, Network, NetworkSnapshot, Regularizer, TrainConfig, Trainer,
-    TrainingHistory,
-};
+use qce_nn::{accuracy, Network, NetworkSnapshot, Regularizer, TrainingHistory};
 use qce_quant::{
     finetune, quantize_network, FinetuneConfig, KMeansQuantizer, LinearQuantizer, Quantizer,
     TargetCorrelatedQuantizer, WeightedEntropyQuantizer,
 };
 use qce_store::{persist, section_kind, Artifact, CacheKey, StageCache};
 use qce_telemetry::{RunManifest, StageStat};
-use qce_tensor::par::Pool;
 use qce_tensor::Tensor;
 use std::time::Instant;
 
 use crate::faults::FaultPlan;
+use crate::step::FlowMachine;
 use crate::store_io;
 use crate::{
-    Architecture, BandRule, EncodingChannel, FaultedImage, FaultedReport, FlowConfig, FlowError,
-    Grouping, ImageReport, QuantConfig, QuantMethod, Result, RobustnessPoint, RobustnessReport,
-    StageReport,
+    EncodingChannel, FaultedImage, FaultedReport, FlowConfig, FlowError, ImageReport, QuantConfig,
+    QuantMethod, Result, RobustnessPoint, RobustnessReport, StageReport,
 };
 
 /// The end-to-end quantized correlation encoding attack flow (Fig. 1 of
@@ -59,20 +53,20 @@ pub struct AttackFlow {
 /// encoding plan, the held-out validation split, and everything needed to
 /// quantize and evaluate it repeatedly.
 pub struct TrainedAttack {
-    config: FlowConfig,
-    network: Network,
-    float_state: NetworkSnapshot,
-    layout: Option<EncodingLayout>,
-    statsign: Option<StatSignLayout>,
-    selection_indices: Vec<usize>,
-    targets: Vec<Image>,
-    target_labels: Vec<usize>,
-    training: TrainingHistory,
-    train_x: Tensor,
-    train_y: Vec<usize>,
-    test_x: Tensor,
-    test_y: Vec<usize>,
-    stage_stats: Vec<StageStat>,
+    pub(crate) config: FlowConfig,
+    pub(crate) network: Network,
+    pub(crate) float_state: NetworkSnapshot,
+    pub(crate) layout: Option<EncodingLayout>,
+    pub(crate) statsign: Option<StatSignLayout>,
+    pub(crate) selection_indices: Vec<usize>,
+    pub(crate) targets: Vec<Image>,
+    pub(crate) target_labels: Vec<usize>,
+    pub(crate) training: TrainingHistory,
+    pub(crate) train_x: Tensor,
+    pub(crate) train_y: Vec<usize>,
+    pub(crate) test_x: Tensor,
+    pub(crate) test_y: Vec<usize>,
+    pub(crate) stage_stats: Vec<StageStat>,
 }
 
 impl std::fmt::Debug for TrainedAttack {
@@ -214,6 +208,22 @@ impl AttackFlow {
         &self.config
     }
 
+    /// Builds the flow as a resumable [`FlowMachine`] over a copy of
+    /// `dataset` — the scheduler-facing entry point: the machine can be
+    /// queued, moved to a worker thread and advanced one
+    /// [`StageStep`](crate::StageStep) at a time, with every completed
+    /// step checkpointed through the attached cache. Driving it to
+    /// completion is bit-for-bit identical to [`AttackFlow::run`], which
+    /// is implemented as exactly that loop.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowError::InvalidConfig`] for configuration or dataset
+    /// problems (caught up front, before any stage runs).
+    pub fn machine(&self, dataset: &Dataset) -> Result<FlowMachine> {
+        FlowMachine::new(self.config.clone(), self.resolve_cache(), dataset.clone())
+    }
+
     /// Runs the full pipeline on `dataset` (training, optional
     /// quantization from the config, evaluation of every released stage).
     ///
@@ -224,84 +234,11 @@ impl AttackFlow {
         // Push buffered trace events to disk even when a stage errors
         // out early — aborted runs must leave an analyzable prefix.
         let _flush = qce_telemetry::FlushGuard::new();
-        let cache = self.resolve_cache();
-        let cache_hash = store_io::flow_cache_hash(&self.config, dataset);
-        let level = if self.config.verbose {
-            qce_telemetry::Level::Progress
-        } else {
-            qce_telemetry::Level::Debug
-        };
-        let mut trained = self.train(dataset)?;
-        trained.restore_float()?;
-        let pre_quant = trained.evaluate_cached(
-            "uncompressed".to_string(),
-            cache.as_ref(),
-            cache_hash,
-            level,
-        )?;
-        let mut post_quant = None;
-        let mut compression_ratio = None;
-        if let Some(qcfg) = self.config.quant {
-            // Quantize once and leave the network in its released
-            // (quantized) state, then evaluate that state in place.
-            let ratio = trained.quantize_cached(qcfg, cache.as_ref(), cache_hash, level)?;
-            compression_ratio = Some(ratio);
-            let label = format!("{:?} {}-bit", qcfg.method, qcfg.bits);
-            post_quant = Some(trained.evaluate_cached(label, cache.as_ref(), cache_hash, level)?);
+        let mut machine = self.machine(dataset)?;
+        while !machine.is_done() {
+            machine.advance()?;
         }
-        // The data holder's release-time countermeasures run on whatever
-        // state would otherwise be published (quantized if quantization
-        // ran, float otherwise) and *stay applied*: the outcome's network
-        // is the defended release.
-        let mut post_defense = None;
-        if let Some(plan) = &self.config.defense {
-            post_defense = Some(trained.defend_cached(plan, cache.as_ref(), cache_hash, level)?);
-        }
-        let mut stages = trained.stage_stats.clone();
-        stages.push(StageStat {
-            name: format!("flow.evaluate:{}", pre_quant.label),
-            wall_ms: pre_quant.wall_ms,
-            metrics: pre_quant.metrics.clone(),
-        });
-        if let Some(post) = &post_quant {
-            stages.push(StageStat {
-                name: format!("flow.evaluate:{}", post.label),
-                wall_ms: post.wall_ms,
-                metrics: post.metrics.clone(),
-            });
-        }
-        // Observational memory gauges ride along in the manifest's
-        // final metrics snapshot (never in gated counters).
-        if qce_telemetry::alloc::tracking_enabled() {
-            let a = qce_telemetry::alloc::stats();
-            qce_telemetry::gauge("alloc.allocated_bytes").set(a.allocated_bytes as f64);
-            qce_telemetry::gauge("alloc.peak_bytes").set(a.peak_bytes as f64);
-            qce_telemetry::gauge("alloc.live_bytes").set(a.live_bytes as f64);
-        }
-        if let Some(rss) = qce_telemetry::alloc::peak_rss_bytes() {
-            qce_telemetry::gauge("proc.peak_rss_bytes").set(rss as f64);
-        }
-        let manifest = RunManifest {
-            config_hash: qce_telemetry::fnv1a(&format!("{:?}", self.config)),
-            seed: self.config.seed,
-            threads: Pool::global().threads(),
-            stages,
-            metrics: qce_telemetry::snapshot(),
-        };
-        qce_telemetry::emit_manifest(&manifest);
-        Ok(FlowOutcome {
-            network: trained.network,
-            layout: trained.layout,
-            selection_indices: trained.selection_indices,
-            targets: trained.targets,
-            target_labels: trained.target_labels,
-            pre_quant,
-            post_quant,
-            post_defense,
-            training: trained.training,
-            compression_ratio,
-            manifest,
-        })
+        machine.into_outcome()
     }
 
     /// Runs the data-preprocessing and training stages only, returning a
@@ -315,270 +252,10 @@ impl AttackFlow {
     /// [`FlowConfig::validate`].
     pub fn train(&self, dataset: &Dataset) -> Result<TrainedAttack> {
         let _flush = qce_telemetry::FlushGuard::new();
-        let cfg = &self.config;
-        cfg.validate()?;
-        let cache = self.resolve_cache();
-        let cache_hash = store_io::flow_cache_hash(cfg, dataset);
-        let level = if cfg.verbose {
-            qce_telemetry::Level::Progress
-        } else {
-            qce_telemetry::Level::Debug
-        };
-        qce_telemetry::log_line(
-            level,
-            &format!(
-                "[flow] compute backend: {} thread(s) (override with QCE_THREADS; \
-                 results are identical for any thread count)",
-                Pool::global().threads()
-            ),
-        );
-        let first = dataset.images().first().ok_or(FlowError::InvalidConfig {
-            reason: "empty dataset".to_string(),
-        })?;
-        if first.height() != first.width() {
-            return Err(FlowError::InvalidConfig {
-                reason: "flow expects square images".to_string(),
-            });
-        }
-
-        let mut stage_stats = Vec::new();
-        let t_select = Instant::now();
-        let a_select = alloc_mark();
-        let select_span = qce_telemetry::span!("flow.select", seed = cfg.seed);
-
-        // Stage 0: the data holder's train/validation split.
-        let (train, test) = dataset.split(cfg.train_fraction, cfg.seed)?;
-        let train_x = train.to_tensor();
-        let train_y = train.labels().to_vec();
-        let test_x = test.to_tensor();
-        let test_y = test.labels().to_vec();
-
-        // Model.
-        let mut net = match cfg.arch {
-            Architecture::ResNetLite => ResNetLite::builder()
-                .input(first.channels(), first.height())
-                .classes(dataset.classes())
-                .stage_channels(&cfg.stage_channels)
-                .blocks_per_stage(cfg.blocks_per_stage)
-                .build(cfg.seed.wrapping_add(1))?,
-            Architecture::ConvNet => qce_nn::models::ConvNet::builder()
-                .input(first.channels(), first.height())
-                .classes(dataset.classes())
-                .stage_channels(&cfg.stage_channels)
-                .build(cfg.seed.wrapping_add(1))?,
-        };
-        let total_slots = net.weight_slots().len();
-
-        // Stage 1: grouping + data pre-processing + encoding plan.
-        let scale = cfg.lambda_scale;
-        let specs = match cfg.grouping {
-            Grouping::Benign => Vec::new(),
-            Grouping::Uniform(l) => GroupSpec::uniform(total_slots, l * scale),
-            Grouping::LayerWise(ls) => {
-                GroupSpec::paper_thirds(total_slots, [ls[0] * scale, ls[1] * scale, ls[2] * scale])
-            }
-        };
-        let mut layout = None;
-        let mut statsign = None;
-        let mut selection_indices = Vec::new();
-        let mut targets: Vec<Image> = Vec::new();
-        let mut target_labels = Vec::new();
-        let mut corr_reg: Option<CorrelationRegularizer> = None;
-        let mut stat_reg: Option<StatSignRegularizer> = None;
-
-        if cfg.grouping.is_attack() {
-            let slots = net.weight_slots();
-            let image_pixels = first.num_pixels();
-            // Both channels express their capacity in pixels so the band
-            // selection below stays channel-agnostic: the correlation
-            // channel spends one weight per pixel, the statsign channel
-            // spends whole image blocks of group-mean sign bits.
-            let capacity_pixels: usize = match cfg.channel {
-                EncodingChannel::Correlation => specs
-                    .iter()
-                    .filter(|s| s.lambda > 0.0)
-                    .flat_map(|s| s.ordinals.iter())
-                    .map(|&o| slots[o].len)
-                    .sum(),
-                EncodingChannel::StatSign { .. } => {
-                    StatSignLayout::capacity_images(&net, image_pixels, &Ecc::Hamming74)?
-                        * image_pixels
-                }
-            };
-            let select_key = CacheKey::new(cache_hash, cfg.seed, "select");
-            let cached_indices = cache
-                .as_ref()
-                .and_then(|c| c.load(&select_key))
-                .and_then(|artifact| decode_selection(&artifact, train.len(), &select_key.stage));
-            selection_indices = match cached_indices {
-                Some(indices) => {
-                    log_cache_hit(level, &select_key.stage);
-                    indices
-                }
-                None => {
-                    let indices = match cfg.band {
-                        BandRule::Auto { width } => {
-                            select::select_targets(
-                                &train,
-                                width,
-                                capacity_pixels,
-                                cfg.seed.wrapping_add(2),
-                            )?
-                            .indices
-                        }
-                        BandRule::Explicit { min, max } => {
-                            let band = select::StdBand::new(min, max)?;
-                            select::select_targets_in_band(
-                                &train,
-                                band,
-                                capacity_pixels,
-                                cfg.seed.wrapping_add(2),
-                            )?
-                            .indices
-                        }
-                        BandRule::FirstN => {
-                            let n = (capacity_pixels / image_pixels).min(train.len());
-                            if n == 0 {
-                                return Err(FlowError::InvalidConfig {
-                                    reason: "no encoding capacity for even one image".to_string(),
-                                });
-                            }
-                            (0..n).collect()
-                        }
-                    };
-                    if let Some(c) = &cache {
-                        let mut artifact = Artifact::new();
-                        artifact.push(
-                            section_kind::INDEX_LIST,
-                            persist::indices_to_bytes(&indices),
-                        );
-                        store_stage(c, &select_key, &artifact);
-                    }
-                    indices
-                }
-            };
-            targets = selection_indices
-                .iter()
-                .map(|&i| train.image(i).clone())
-                .collect();
-            target_labels = selection_indices.iter().map(|&i| train.label(i)).collect();
-            match cfg.channel {
-                EncodingChannel::Correlation => {
-                    let planned = EncodingLayout::plan(&net, &specs, &targets)?;
-                    // Warmup lets task features form before the encoding
-                    // pressure peaks; the final epoch still runs at full λ.
-                    corr_reg =
-                        Some(CorrelationRegularizer::new(planned.clone(), cfg.sign).with_warmup());
-                    layout = Some(planned);
-                }
-                EncodingChannel::StatSign { lambda } => {
-                    let planned = StatSignLayout::plan(&net, &targets, Ecc::Hamming74)?;
-                    stat_reg = Some(StatSignRegularizer::new(&planned, lambda)?);
-                    statsign = Some(planned);
-                }
-            }
-        }
-        drop(select_span);
-        let mut select_metrics = vec![
-            ("select.targets".to_string(), targets.len() as f64),
-            ("select.train_images".to_string(), train.len() as f64),
-            ("select.test_images".to_string(), test.len() as f64),
-        ];
-        push_alloc_metrics(&mut select_metrics, a_select);
-        stage_stats.push(StageStat {
-            name: "flow.select".to_string(),
-            wall_ms: t_select.elapsed().as_secs_f64() * 1e3,
-            metrics: select_metrics,
-        });
-
-        // Stage 2: training with the (possibly malicious) regularizer.
-        let t_train = Instant::now();
-        let a_train = alloc_mark();
-        let train_span = qce_telemetry::span!("flow.train", epochs = cfg.epochs);
-        let mut trainer = Trainer::new(TrainConfig {
-            epochs: cfg.epochs,
-            batch_size: cfg.batch_size,
-            lr: cfg.lr,
-            momentum: 0.9,
-            weight_decay: 5e-4,
-            schedule: LrSchedule::Cosine {
-                total_epochs: cfg.epochs,
-                min_lr: cfg.lr * 0.05,
-            },
-            optimizer: qce_nn::OptimizerKind::Sgd,
-            shuffle_seed: cfg.seed.wrapping_add(3),
-            guard: qce_nn::DivergenceGuard::default(),
-            verbose: cfg.verbose,
-        });
-        let train_key = CacheKey::new(cache_hash, cfg.seed, "train");
-        let mut cached_training = None;
-        if let Some(c) = &cache {
-            if let Some(artifact) = c.load(&train_key) {
-                match load_trained_state(&mut net, &artifact) {
-                    Ok(history) => {
-                        log_cache_hit(level, &train_key.stage);
-                        cached_training = Some(history);
-                    }
-                    Err(e) => note_payload_corrupt(&train_key.stage, &e),
-                }
-            }
-        }
-        let training = match cached_training {
-            Some(history) => history,
-            None => {
-                let reg: Option<&mut dyn Regularizer> = match (corr_reg.as_mut(), stat_reg.as_mut())
-                {
-                    (Some(r), _) => Some(r),
-                    (None, Some(r)) => Some(r),
-                    (None, None) => None,
-                };
-                let history = trainer.fit(&mut net, &train_x, &train_y, reg)?;
-                if let Some(c) = &cache {
-                    match persist::network_to_bytes(&net) {
-                        Ok(net_bytes) => {
-                            let mut artifact = Artifact::new();
-                            artifact.push(section_kind::NETWORK, net_bytes);
-                            artifact.push(
-                                section_kind::TRAINING_HISTORY,
-                                persist::history_to_bytes(&history),
-                            );
-                            store_stage(c, &train_key, &artifact);
-                        }
-                        Err(e) => qce_telemetry::debug!(
-                            "[flow] skipping train checkpoint (serialization failed): {e}"
-                        ),
-                    }
-                }
-                history
-            }
-        };
-        drop(train_span);
-        let mut train_metrics =
-            qce_telemetry::snapshot().flatten_with_prefix(&["train.", "attack."]);
-        push_alloc_metrics(&mut train_metrics, a_train);
-        stage_stats.push(StageStat {
-            name: "flow.train".to_string(),
-            wall_ms: t_train.elapsed().as_secs_f64() * 1e3,
-            metrics: train_metrics,
-        });
-
-        let float_state = net.snapshot();
-        Ok(TrainedAttack {
-            config: cfg.clone(),
-            network: net,
-            float_state,
-            layout,
-            statsign,
-            selection_indices,
-            targets,
-            target_labels,
-            training,
-            train_x,
-            train_y,
-            test_x,
-            test_y,
-            stage_stats,
-        })
+        let mut machine = self.machine(dataset)?;
+        machine.advance()?; // select
+        machine.advance()?; // train
+        machine.into_trained()
     }
 }
 
@@ -781,7 +458,7 @@ impl TrainedAttack {
     /// Evaluates the current network state, going through `cache` when
     /// one is attached. Evaluation reads the network without mutating
     /// it, so a hit skips the whole stage safely.
-    fn evaluate_cached(
+    pub(crate) fn evaluate_cached(
         &mut self,
         label: String,
         cache: Option<&StageCache>,
@@ -820,7 +497,7 @@ impl TrainedAttack {
     /// network and the quantized handle instead of re-running
     /// quantization and fine-tuning. Leaves the network in its released
     /// (quantized) state either way and returns the compression ratio.
-    fn quantize_cached(
+    pub(crate) fn quantize_cached(
         &mut self,
         qcfg: QuantConfig,
         cache: Option<&StageCache>,
@@ -1034,7 +711,7 @@ impl TrainedAttack {
     /// Runs the defense stage through the cache when one is attached: a
     /// hit loads the defended network and its report instead of re-running
     /// the countermeasures. Leaves the network defended either way.
-    fn defend_cached(
+    pub(crate) fn defend_cached(
         &mut self,
         plan: &DefensePlan,
         cache: Option<&StageCache>,
@@ -1279,13 +956,13 @@ impl TrainedAttack {
     }
 }
 
-fn log_cache_hit(level: qce_telemetry::Level, stage: &str) {
+pub(crate) fn log_cache_hit(level: qce_telemetry::Level, stage: &str) {
     qce_telemetry::log_line(level, &format!("[flow] stage cache hit: {stage}"));
 }
 
 /// Allocation counters at stage entry, or `None` when `QCE_ALLOC` is
 /// off — the stage then pays nothing for byte accounting.
-fn alloc_mark() -> Option<qce_telemetry::alloc::AllocStats> {
+pub(crate) fn alloc_mark() -> Option<qce_telemetry::alloc::AllocStats> {
     qce_telemetry::alloc::tracking_enabled().then(qce_telemetry::alloc::stats)
 }
 
@@ -1293,7 +970,7 @@ fn alloc_mark() -> Option<qce_telemetry::alloc::AllocStats> {
 /// plus the process-wide peak so every stage reports memory next to
 /// `wall_ms`. Observational only: `alloc.*` is not a gated counter
 /// prefix, so conformance goldens are unaffected.
-fn push_alloc_metrics(
+pub(crate) fn push_alloc_metrics(
     metrics: &mut Vec<(String, f64)>,
     mark: Option<qce_telemetry::alloc::AllocStats>,
 ) {
@@ -1314,14 +991,14 @@ fn push_alloc_metrics(
 /// failed to decode (wrong architecture, truncated inner format, stale
 /// semantics). Counted under the same `store.corrupt` metric as
 /// container-level damage; the caller recomputes.
-fn note_payload_corrupt(stage: &str, err: &dyn std::fmt::Display) {
+pub(crate) fn note_payload_corrupt(stage: &str, err: &dyn std::fmt::Display) {
     qce_telemetry::counter("store.corrupt").incr(1);
     qce_telemetry::debug!("[flow] discarding cache entry for {stage}: {err}");
 }
 
 /// Writes a stage checkpoint; failures are logged and swallowed — a
 /// read-only or full cache directory must never fail the flow itself.
-fn store_stage(cache: &StageCache, key: &CacheKey, artifact: &Artifact) {
+pub(crate) fn store_stage(cache: &StageCache, key: &CacheKey, artifact: &Artifact) {
     if let Err(e) = cache.store(key, artifact) {
         qce_telemetry::debug!(
             "[flow] stage checkpoint write failed for {}: {e}",
@@ -1332,7 +1009,11 @@ fn store_stage(cache: &StageCache, key: &CacheKey, artifact: &Artifact) {
 
 /// Decodes a cached selection, rejecting indices outside the training
 /// split (possible only if a foreign artifact lands under our key).
-fn decode_selection(artifact: &Artifact, train_len: usize, stage: &str) -> Option<Vec<usize>> {
+pub(crate) fn decode_selection(
+    artifact: &Artifact,
+    train_len: usize,
+    stage: &str,
+) -> Option<Vec<usize>> {
     let decoded = artifact
         .require(section_kind::INDEX_LIST)
         .and_then(persist::indices_from_bytes);
@@ -1351,7 +1032,7 @@ fn decode_selection(artifact: &Artifact, train_len: usize, stage: &str) -> Optio
 
 /// Loads a cached train checkpoint (float weights + buffers + history)
 /// into `net`, snapshot-guarded so a bad payload leaves `net` untouched.
-fn load_trained_state(
+pub(crate) fn load_trained_state(
     net: &mut Network,
     artifact: &Artifact,
 ) -> qce_store::Result<TrainingHistory> {
@@ -1368,6 +1049,7 @@ fn load_trained_state(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::{BandRule, Grouping};
     use qce_data::SynthCifar;
 
     fn tiny_data() -> Dataset {

@@ -56,6 +56,7 @@ mod config;
 mod error;
 mod flow;
 mod report;
+mod step;
 mod store_io;
 
 pub mod audit;
@@ -73,6 +74,7 @@ pub use qce_attack::ImageStatus;
 pub use report::{
     FaultedImage, FaultedReport, ImageReport, RobustnessPoint, RobustnessReport, StageReport,
 };
+pub use step::{FlowMachine, StageStep, StepEvent};
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, FlowError>;

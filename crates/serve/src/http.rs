@@ -1,0 +1,232 @@
+//! A deliberately small HTTP/1.1 implementation over `std::net`.
+//!
+//! The daemon serves trusted local clients (the CLI, curl, the load
+//! generator), so the protocol surface is minimal by design: one request
+//! per connection, `Connection: close` on every response, bodies
+//! delimited by `Content-Length` on requests and by EOF on streaming
+//! responses. Header and body sizes are capped so a misbehaving client
+//! cannot balloon server memory.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+use crate::{ErrorKind, Result, ServeError};
+
+/// Maximum accepted request head (request line + headers), in bytes.
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+/// Maximum accepted request body, in bytes.
+pub const MAX_BODY_BYTES: usize = 1024 * 1024;
+
+/// A parsed HTTP/1.1 request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Request method (uppercased verbatim from the request line).
+    pub method: String,
+    /// Request path, query string included if any.
+    pub path: String,
+    /// Header `(name, value)` pairs; names are lowercased.
+    pub headers: Vec<(String, String)>,
+    /// Raw request body (`Content-Length` bytes).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// The first value of header `name` (case-insensitive), if present.
+    #[must_use]
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The body decoded as UTF-8, or a `bad_request` error.
+    pub fn body_utf8(&self) -> Result<&str> {
+        std::str::from_utf8(&self.body)
+            .map_err(|_| ServeError::bad_request("request body is not valid UTF-8"))
+    }
+}
+
+/// Reads and parses one request from `stream`.
+///
+/// # Errors
+///
+/// `bad_request` on malformed framing or caps exceeded, `io_error` on
+/// socket failure.
+pub fn read_request(stream: &mut TcpStream) -> Result<Request> {
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 4096];
+    let head_end = loop {
+        if let Some(pos) = find_head_end(&buf) {
+            break pos;
+        }
+        if buf.len() > MAX_HEAD_BYTES {
+            return Err(ServeError::bad_request(format!(
+                "request head exceeds {MAX_HEAD_BYTES} bytes"
+            )));
+        }
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(ServeError::bad_request(
+                "connection closed before request head completed",
+            ));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    };
+
+    let head = std::str::from_utf8(&buf[..head_end])
+        .map_err(|_| ServeError::bad_request("request head is not valid UTF-8"))?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines
+        .next()
+        .ok_or_else(|| ServeError::bad_request("empty request"))?;
+    let mut parts = request_line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| ServeError::bad_request("missing method"))?
+        .to_string();
+    let path = parts
+        .next()
+        .ok_or_else(|| ServeError::bad_request("missing path"))?
+        .to_string();
+    match parts.next() {
+        Some(v) if v.starts_with("HTTP/1.") => {}
+        _ => return Err(ServeError::bad_request("not an HTTP/1.x request")),
+    }
+
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| ServeError::bad_request(format!("malformed header line {line:?}")))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let content_length = headers
+        .iter()
+        .find(|(n, _)| n == "content-length")
+        .map(|(_, v)| {
+            v.parse::<usize>()
+                .map_err(|_| ServeError::bad_request(format!("bad Content-Length {v:?}")))
+        })
+        .transpose()?
+        .unwrap_or(0);
+    if content_length > MAX_BODY_BYTES {
+        return Err(ServeError::bad_request(format!(
+            "request body of {content_length} bytes exceeds {MAX_BODY_BYTES}"
+        )));
+    }
+
+    let mut body: Vec<u8> = buf[head_end + 4..].to_vec();
+    while body.len() < content_length {
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(ServeError::bad_request(
+                "connection closed before request body completed",
+            ));
+        }
+        body.extend_from_slice(&chunk[..n]);
+    }
+    body.truncate(content_length);
+
+    Ok(Request {
+        method,
+        path,
+        headers,
+        body,
+    })
+}
+
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// The standard reason phrase for the status codes this server emits.
+#[must_use]
+pub fn status_reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        429 => "Too Many Requests",
+        503 => "Service Unavailable",
+        _ => "Internal Server Error",
+    }
+}
+
+/// Writes a complete JSON response and flushes. Errors are swallowed:
+/// a client that hung up mid-response is not a server failure.
+pub fn respond_json(stream: &mut TcpStream, status: u16, body: &str) {
+    let head = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        status_reason(status),
+        body.len(),
+    );
+    let _ = stream.write_all(head.as_bytes());
+    let _ = stream.write_all(body.as_bytes());
+    let _ = stream.flush();
+}
+
+/// Writes the error's canonical JSON body with its mapped status.
+pub fn respond_error(stream: &mut TcpStream, err: &ServeError) {
+    respond_json(stream, err.kind.status(), &err.to_json());
+}
+
+/// Writes the response head for an EOF-delimited NDJSON stream. Each
+/// subsequent line is one JSON object; closing the socket ends the
+/// stream.
+///
+/// # Errors
+///
+/// `io_error` if the head cannot be written.
+pub fn start_ndjson(stream: &mut TcpStream) -> Result<()> {
+    let head = "HTTP/1.1 200 OK\r\nContent-Type: application/x-ndjson\r\nConnection: close\r\n\r\n";
+    stream.write_all(head.as_bytes())?;
+    stream.flush()?;
+    Ok(())
+}
+
+/// A minimal blocking HTTP client for tests and the load generator:
+/// sends one request, reads the response to EOF, returns
+/// `(status, body)`. Streaming responses are read in full.
+///
+/// # Errors
+///
+/// `io_error` on socket failure, `bad_request` if the peer's response
+/// cannot be parsed.
+pub fn http_request(
+    addr: &str,
+    method: &str,
+    path: &str,
+    headers: &[(&str, &str)],
+    body: Option<&str>,
+) -> Result<(u16, String)> {
+    let mut stream = TcpStream::connect(addr)?;
+    let body = body.unwrap_or("");
+    let mut req = format!("{method} {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n");
+    for (name, value) in headers {
+        req.push_str(&format!("{name}: {value}\r\n"));
+    }
+    req.push_str(&format!("Content-Length: {}\r\n\r\n", body.len()));
+    req.push_str(body);
+    stream.write_all(req.as_bytes())?;
+    stream.flush()?;
+
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw)?;
+    let text = String::from_utf8_lossy(&raw);
+    let (head, rest) = text
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| ServeError::new(ErrorKind::BadRequest, "peer response has no head"))?;
+    let status = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| ServeError::new(ErrorKind::BadRequest, "peer response has no status"))?;
+    Ok((status, rest.to_string()))
+}

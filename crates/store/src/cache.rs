@@ -15,9 +15,28 @@
 //! directory followed by an atomic rename, so a killed run can leave at
 //! most a stale `*.tmp.*` file behind — never a torn artifact under a
 //! live key.
+//!
+//! # Bounding the directory
+//!
+//! Left alone the cache grows without bound — every distinct (config,
+//! seed, dataset) triple adds a full set of stage artifacts, which is
+//! exactly wrong for a long-running server. A byte budget (the
+//! `QCE_CACHE_MAX_BYTES` variable, or [`StageCache::with_max_bytes`])
+//! turns the directory into an LRU: loads touch the artifact's mtime,
+//! and after each store the oldest artifacts are deleted (counted as
+//! `store.evict`) until the directory fits the budget again. The entry
+//! just written always survives, even when it alone exceeds the budget
+//! — the flow that produced it still gets to resume from it.
+//!
+//! *Miss-after-evict semantics*: eviction deletes whole artifacts, so a
+//! later probe for an evicted key is an ordinary `store.miss` and the
+//! stage is recomputed (bit-identically, by the determinism contract)
+//! and re-stored. An undersized budget therefore costs recompute time,
+//! never correctness.
 
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::SystemTime;
 
 use crate::{Artifact, Result, StoreError};
 
@@ -26,6 +45,15 @@ use crate::{Artifact, Result, StoreError};
 /// When set (and non-empty), [`StageCache::from_env`] returns a cache
 /// rooted there; the flow then reuses completed stages across runs.
 pub const CACHE_ENV: &str = "QCE_CACHE";
+
+/// Environment variable bounding the cache directory, in bytes.
+///
+/// Accepts a plain byte count or a `K`/`M`/`G` suffix (powers of 1024,
+/// case-insensitive): `QCE_CACHE_MAX_BYTES=256M`. Unset, empty or
+/// unparsable values leave the cache unbounded. Only consulted by
+/// [`StageCache::from_env`]; programmatic caches use
+/// [`StageCache::with_max_bytes`].
+pub const CACHE_MAX_BYTES_ENV: &str = "QCE_CACHE_MAX_BYTES";
 
 /// Identifies one cached stage result.
 ///
@@ -88,6 +116,7 @@ struct CacheStats {
     miss: qce_telemetry::Counter,
     corrupt: qce_telemetry::Counter,
     write: qce_telemetry::Counter,
+    evict: qce_telemetry::Counter,
 }
 
 fn cache_stats() -> &'static CacheStats {
@@ -98,7 +127,29 @@ fn cache_stats() -> &'static CacheStats {
         miss: qce_telemetry::counter("store.miss"),
         corrupt: qce_telemetry::counter("store.corrupt"),
         write: qce_telemetry::counter("store.write"),
+        evict: qce_telemetry::counter("store.evict"),
     })
+}
+
+/// Parses a byte budget: a plain integer, optionally suffixed with
+/// `K`/`M`/`G` (powers of 1024, case-insensitive). Returns `None` for
+/// anything unparsable, zero, or overflowing. This is the grammar of
+/// [`CACHE_MAX_BYTES_ENV`], exported so CLI flags accept the same
+/// spellings.
+pub fn parse_byte_budget(raw: &str) -> Option<u64> {
+    let s = raw.trim();
+    if s.is_empty() {
+        return None;
+    }
+    let (digits, multiplier) = match s.as_bytes()[s.len() - 1].to_ascii_uppercase() {
+        b'K' => (&s[..s.len() - 1], 1u64 << 10),
+        b'M' => (&s[..s.len() - 1], 1u64 << 20),
+        b'G' => (&s[..s.len() - 1], 1u64 << 30),
+        _ => (s, 1),
+    };
+    let value: u64 = digits.trim().parse().ok()?;
+    let budget = value.checked_mul(multiplier)?;
+    (budget > 0).then_some(budget)
 }
 
 /// A content-addressed artifact cache rooted at one directory.
@@ -122,21 +173,50 @@ fn cache_stats() -> &'static CacheStats {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct StageCache {
     dir: PathBuf,
+    max_bytes: Option<u64>,
 }
 
 impl StageCache {
-    /// A cache rooted at `dir` (created lazily on first write).
+    /// A cache rooted at `dir` (created lazily on first write),
+    /// unbounded unless [`StageCache::with_max_bytes`] is applied.
     pub fn at(dir: impl Into<PathBuf>) -> Self {
-        StageCache { dir: dir.into() }
+        StageCache {
+            dir: dir.into(),
+            max_bytes: None,
+        }
+    }
+
+    /// Bounds the cache directory to `max_bytes` of artifacts, enforced
+    /// by LRU eviction after every store (see the module docs). A zero
+    /// budget is treated as unbounded.
+    #[must_use]
+    pub fn with_max_bytes(mut self, max_bytes: u64) -> Self {
+        self.max_bytes = (max_bytes > 0).then_some(max_bytes);
+        self
     }
 
     /// The cache named by the `QCE_CACHE` environment variable, or
-    /// `None` when the variable is unset or empty.
+    /// `None` when the variable is unset or empty. The byte budget, if
+    /// any, comes from `QCE_CACHE_MAX_BYTES`.
     #[must_use]
     pub fn from_env() -> Option<Self> {
-        match std::env::var(CACHE_ENV) {
-            Ok(dir) if !dir.trim().is_empty() => Some(StageCache::at(dir.trim())),
-            _ => None,
+        let cache = match std::env::var(CACHE_ENV) {
+            Ok(dir) if !dir.trim().is_empty() => StageCache::at(dir.trim()),
+            _ => return None,
+        };
+        match std::env::var(CACHE_MAX_BYTES_ENV) {
+            Ok(raw) => match parse_byte_budget(&raw) {
+                Some(budget) => Some(cache.with_max_bytes(budget)),
+                None => {
+                    if !raw.trim().is_empty() {
+                        qce_telemetry::debug!(
+                            "[store] ignoring unparsable {CACHE_MAX_BYTES_ENV}={raw:?}"
+                        );
+                    }
+                    Some(cache)
+                }
+            },
+            Err(_) => Some(cache),
         }
     }
 
@@ -144,6 +224,12 @@ impl StageCache {
     #[must_use]
     pub fn dir(&self) -> &Path {
         &self.dir
+    }
+
+    /// The byte budget, or `None` when the cache is unbounded.
+    #[must_use]
+    pub fn max_bytes(&self) -> Option<u64> {
+        self.max_bytes
     }
 
     /// The artifact path `key` addresses (whether or not it exists).
@@ -174,6 +260,18 @@ impl StageCache {
         match Artifact::from_bytes(&bytes) {
             Ok(artifact) => {
                 stats.hit.incr(1);
+                // Recency bookkeeping for a bounded cache: refresh the
+                // mtime so eviction is least-recently-*used*, not
+                // least-recently-written. Best-effort — a read-only
+                // directory degrades to FIFO, never to an error.
+                if self.max_bytes.is_some() {
+                    let _ = std::fs::OpenOptions::new()
+                        .append(true)
+                        .open(&path)
+                        .and_then(|f| {
+                            f.set_times(std::fs::FileTimes::new().set_modified(SystemTime::now()))
+                        });
+                }
                 Some(artifact)
             }
             Err(e) => {
@@ -221,7 +319,68 @@ impl StageCache {
             ));
         }
         cache_stats().write.incr(1);
+        if let Some(budget) = self.max_bytes {
+            self.enforce_budget(budget, &path);
+        }
         Ok(path)
+    }
+
+    /// Deletes least-recently-used `.qcs` artifacts until the directory
+    /// fits `budget` bytes again, never touching `just_written` (the
+    /// entry whose store triggered enforcement). Counts one
+    /// `store.evict` per deleted artifact. Best-effort throughout: scan
+    /// or unlink failures are logged and skipped — a flaky filesystem
+    /// must degrade to an oversized cache, not a failed flow.
+    fn enforce_budget(&self, budget: u64, just_written: &Path) {
+        let entries = match std::fs::read_dir(&self.dir) {
+            Ok(rd) => rd,
+            Err(e) => {
+                qce_telemetry::debug!(
+                    "[store] cache eviction scan failed for {}: {e}",
+                    self.dir.display()
+                );
+                return;
+            }
+        };
+        // (mtime, name, path, len) per artifact; name breaks mtime ties
+        // deterministically on coarse-clock filesystems.
+        let mut artifacts = Vec::new();
+        let mut total: u64 = 0;
+        for entry in entries.filter_map(|e| e.ok()) {
+            let path = entry.path();
+            if path.extension().is_none_or(|ext| ext != "qcs") {
+                continue;
+            }
+            let Ok(meta) = entry.metadata() else { continue };
+            if !meta.is_file() {
+                continue;
+            }
+            total = total.saturating_add(meta.len());
+            if path != just_written {
+                let mtime = meta.modified().unwrap_or(SystemTime::UNIX_EPOCH);
+                artifacts.push((mtime, entry.file_name(), path, meta.len()));
+            }
+        }
+        if total <= budget {
+            return;
+        }
+        artifacts.sort();
+        for (_, _, path, len) in artifacts {
+            if total <= budget {
+                break;
+            }
+            match std::fs::remove_file(&path) {
+                Ok(()) => {
+                    total = total.saturating_sub(len);
+                    cache_stats().evict.incr(1);
+                    qce_telemetry::debug!("[store] evicted cache artifact {}", path.display());
+                }
+                Err(e) => qce_telemetry::debug!(
+                    "[store] cache eviction failed for {}: {e}",
+                    path.display()
+                ),
+            }
+        }
     }
 }
 
@@ -306,6 +465,116 @@ mod tests {
         // Truncated file: also a miss.
         std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
         assert!(cache.load(&key).is_none());
+        std::fs::remove_dir_all(cache.dir()).unwrap();
+    }
+
+    /// Backdates an entry's mtime so LRU ordering is controlled by the
+    /// test instead of the filesystem clock's resolution.
+    fn backdate(cache: &StageCache, key: &CacheKey, seconds_ago: u64) {
+        let when = SystemTime::now() - std::time::Duration::from_secs(seconds_ago);
+        std::fs::OpenOptions::new()
+            .append(true)
+            .open(cache.path_for(key))
+            .unwrap()
+            .set_times(std::fs::FileTimes::new().set_modified(when))
+            .unwrap();
+    }
+
+    #[test]
+    fn parse_byte_budget_accepts_suffixes_and_rejects_junk() {
+        assert_eq!(parse_byte_budget("1024"), Some(1024));
+        assert_eq!(parse_byte_budget(" 2K "), Some(2048));
+        assert_eq!(parse_byte_budget("3m"), Some(3 << 20));
+        assert_eq!(parse_byte_budget("1G"), Some(1 << 30));
+        assert_eq!(parse_byte_budget(""), None);
+        assert_eq!(parse_byte_budget("0"), None);
+        assert_eq!(parse_byte_budget("lots"), None);
+        assert_eq!(parse_byte_budget("999999999999999999G"), None);
+    }
+
+    #[test]
+    fn eviction_removes_oldest_entries_and_counts_them() {
+        let one = artifact().to_bytes().len() as u64;
+        // Budget for exactly two artifacts.
+        let cache = temp_cache("evict").with_max_bytes(2 * one);
+        let keys: Vec<CacheKey> = (0..3).map(|s| CacheKey::new(20, s, "train")).collect();
+        let evict0 = cache_stats().evict.get();
+        cache.store(&keys[0], &artifact()).unwrap();
+        backdate(&cache, &keys[0], 300);
+        cache.store(&keys[1], &artifact()).unwrap();
+        backdate(&cache, &keys[1], 200);
+        assert_eq!(cache_stats().evict.get() - evict0, 0);
+        // Third store busts the budget: the oldest entry goes.
+        cache.store(&keys[2], &artifact()).unwrap();
+        assert_eq!(cache_stats().evict.get() - evict0, 1);
+        assert!(!cache.path_for(&keys[0]).exists());
+        assert!(cache.path_for(&keys[1]).exists());
+        assert!(cache.path_for(&keys[2]).exists());
+        std::fs::remove_dir_all(cache.dir()).unwrap();
+    }
+
+    #[test]
+    fn loads_refresh_recency_so_eviction_is_lru_not_fifo() {
+        let one = artifact().to_bytes().len() as u64;
+        let cache = temp_cache("lru").with_max_bytes(2 * one);
+        let keys: Vec<CacheKey> = (0..3).map(|s| CacheKey::new(21, s, "train")).collect();
+        cache.store(&keys[0], &artifact()).unwrap();
+        backdate(&cache, &keys[0], 300);
+        cache.store(&keys[1], &artifact()).unwrap();
+        backdate(&cache, &keys[1], 200);
+        // Touch the older entry: the load refreshes its mtime, making
+        // keys[1] the least recently used.
+        assert!(cache.load(&keys[0]).is_some());
+        cache.store(&keys[2], &artifact()).unwrap();
+        assert!(cache.path_for(&keys[0]).exists());
+        assert!(!cache.path_for(&keys[1]).exists());
+        std::fs::remove_dir_all(cache.dir()).unwrap();
+    }
+
+    #[test]
+    fn evicted_entry_is_an_ordinary_miss_and_restores_on_next_store() {
+        let one = artifact().to_bytes().len() as u64;
+        let cache = temp_cache("miss-after-evict").with_max_bytes(one);
+        let old = CacheKey::new(22, 1, "train");
+        let new = CacheKey::new(22, 2, "train");
+        cache.store(&old, &artifact()).unwrap();
+        backdate(&cache, &old, 300);
+        cache.store(&new, &artifact()).unwrap();
+        assert!(!cache.path_for(&old).exists());
+        // The evicted key probes as a plain miss (no corrupt count)...
+        let miss0 = cache_stats().miss.get();
+        let corrupt0 = cache_stats().corrupt.get();
+        assert!(cache.load(&old).is_none());
+        assert_eq!(cache_stats().miss.get() - miss0, 1);
+        assert_eq!(cache_stats().corrupt.get() - corrupt0, 0);
+        // ...and the recomputed artifact stores again as usual.
+        cache.store(&old, &artifact()).unwrap();
+        assert_eq!(cache.load(&old).unwrap(), artifact());
+        std::fs::remove_dir_all(cache.dir()).unwrap();
+    }
+
+    #[test]
+    fn just_written_entry_survives_even_when_oversized() {
+        let cache = temp_cache("oversized").with_max_bytes(1);
+        let key = CacheKey::new(23, 1, "train");
+        cache.store(&key, &artifact()).unwrap();
+        assert!(cache.path_for(&key).exists());
+        assert_eq!(cache.load(&key).unwrap(), artifact());
+        std::fs::remove_dir_all(cache.dir()).unwrap();
+    }
+
+    #[test]
+    fn unbounded_cache_never_evicts() {
+        let cache = temp_cache("unbounded");
+        assert_eq!(cache.max_bytes(), None);
+        assert_eq!(cache.clone().with_max_bytes(0).max_bytes(), None);
+        let evict0 = cache_stats().evict.get();
+        for s in 0..4 {
+            cache
+                .store(&CacheKey::new(24, s, "train"), &artifact())
+                .unwrap();
+        }
+        assert_eq!(cache_stats().evict.get() - evict0, 0);
         std::fs::remove_dir_all(cache.dir()).unwrap();
     }
 

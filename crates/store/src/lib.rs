@@ -68,7 +68,7 @@ mod error;
 pub mod format;
 pub mod persist;
 
-pub use cache::{CacheKey, StageCache, CACHE_ENV};
+pub use cache::{parse_byte_budget, CacheKey, StageCache, CACHE_ENV, CACHE_MAX_BYTES_ENV};
 pub use digest::{digest_bytes, digest_f32s, digest_indices, Digester};
 pub use error::{Result, StoreError};
 pub use format::{peek_version, section_kind, Artifact, Section, FORMAT_VERSION, MAGIC};
