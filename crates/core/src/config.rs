@@ -38,6 +38,23 @@ impl Grouping {
     }
 }
 
+/// How the correlation penalty's strength evolves over training.
+///
+/// The schedule is a swept axis of the trade-off surface: warm-up trades
+/// early-epoch accuracy recovery against slower payload convergence,
+/// while a constant rate encodes harder from the first step at a larger
+/// accuracy cost (the original CCS'17 setup).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum LambdaSchedule {
+    /// Linear ramp: the effective rate at epoch `e` of `E` is
+    /// `λ·(e+1)/E`, reaching full strength on the last epoch — the
+    /// default, matching the repo's historical behavior.
+    #[default]
+    Warmup,
+    /// Full λ from epoch 0.
+    Constant,
+}
+
 /// Which weight-encoding channel the attack trains into the model.
 ///
 /// The channel decides *how* target pixels become weights; the
@@ -175,6 +192,8 @@ pub struct FlowConfig {
     /// keeps the paper's `λ ∈ {3, 5, 10}` labels (and their relative
     /// trade-off) meaningful at the reduced step count. See DESIGN.md.
     pub lambda_scale: f32,
+    /// Epoch schedule of the correlation penalty strength.
+    pub lambda_schedule: LambdaSchedule,
     /// Target-selection rule.
     pub band: BandRule,
     /// Sign convention of the correlation term.
@@ -207,6 +226,7 @@ impl FlowConfig {
             lr: 0.05,
             grouping: Grouping::LayerWise([0.0, 0.0, 5.0]),
             lambda_scale: 40.0,
+            lambda_schedule: LambdaSchedule::Warmup,
             band: BandRule::Explicit {
                 min: 50.0,
                 max: 55.0,

@@ -578,6 +578,56 @@ impl TrainedAttack {
         result
     }
 
+    /// [`TrainedAttack::evaluate_faulted`] through `cache` when one is
+    /// attached. The fault plan and the applied quantizer are *not* part
+    /// of the flow configuration, so the key hash extends `cache_hash`
+    /// over both — two sweep cells probing different plans (or bit
+    /// widths) over the same trained model never collide on a cache
+    /// entry. The float state is restored before returning either way.
+    ///
+    /// # Errors
+    ///
+    /// Propagates quantization, fault-application or evaluation errors.
+    pub fn evaluate_faulted_cached(
+        &mut self,
+        qcfg: Option<QuantConfig>,
+        plan: &FaultPlan,
+        label: String,
+        cache: Option<&StageCache>,
+        cache_hash: u64,
+        level: qce_telemetry::Level,
+    ) -> Result<FaultedReport> {
+        let Some(cache) = cache else {
+            return self.evaluate_faulted(qcfg, plan, label);
+        };
+        let hash = store_io::fault_cache_hash(cache_hash, qcfg, plan);
+        let key = CacheKey::new(hash, self.config.seed, "faulted");
+        if let Some(artifact) = cache.load(&key) {
+            let decoded = artifact
+                .require(store_io::FAULTED_REPORT)
+                .and_then(store_io::faulted_from_bytes);
+            match decoded {
+                Ok(report) if report.label == label => {
+                    log_cache_hit(level, &key.stage);
+                    return Ok(report);
+                }
+                Ok(report) => note_payload_corrupt(
+                    &key.stage,
+                    &format!("label mismatch: stored {:?}", report.label),
+                ),
+                Err(e) => note_payload_corrupt(&key.stage, &e),
+            }
+        }
+        let report = self.evaluate_faulted(qcfg, plan, label)?;
+        let mut artifact = Artifact::new();
+        artifact.push(
+            store_io::FAULTED_REPORT,
+            store_io::faulted_to_bytes(&report),
+        );
+        store_stage(cache, &key, &artifact);
+        Ok(report)
+    }
+
     fn evaluate_faulted_inner(
         &mut self,
         qcfg: Option<QuantConfig>,

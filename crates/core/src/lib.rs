@@ -64,7 +64,8 @@ pub mod defense;
 pub mod faults;
 
 pub use config::{
-    Architecture, BandRule, EncodingChannel, FlowConfig, Grouping, QuantConfig, QuantMethod,
+    Architecture, BandRule, EncodingChannel, FlowConfig, Grouping, LambdaSchedule, QuantConfig,
+    QuantMethod,
 };
 pub use error::FlowError;
 pub use faults::{FaultError, FaultKind, FaultPlan};

@@ -242,6 +242,16 @@ impl FlowMachine {
         &self.config
     }
 
+    /// The stage-cache key hash derived from the configuration and the
+    /// dataset — the `config_hash` component of every [`CacheKey`] this
+    /// machine reads or writes. Callers that evaluate derived artifacts
+    /// through the same cache (e.g. a fault-injected release) fold their
+    /// extra axes into this value.
+    #[must_use]
+    pub fn cache_hash(&self) -> u64 {
+        self.cache_hash
+    }
+
     /// Executes the current step and moves to the next one.
     ///
     /// With a stage cache attached, the completed step's checkpoint is
@@ -463,9 +473,14 @@ impl FlowMachine {
                 EncodingChannel::Correlation => {
                     let planned = EncodingLayout::plan(&net, &specs, &targets)?;
                     // Warmup lets task features form before the encoding
-                    // pressure peaks; the final epoch still runs at full λ.
-                    corr_reg =
-                        Some(CorrelationRegularizer::new(planned.clone(), cfg.sign).with_warmup());
+                    // pressure peaks (the final epoch still runs at full
+                    // λ); the constant schedule applies full pressure
+                    // from epoch 0.
+                    let reg = CorrelationRegularizer::new(planned.clone(), cfg.sign);
+                    corr_reg = Some(match cfg.lambda_schedule {
+                        crate::LambdaSchedule::Warmup => reg.with_warmup(),
+                        crate::LambdaSchedule::Constant => reg,
+                    });
                     layout = Some(planned);
                 }
                 EncodingChannel::StatSign { lambda } => {

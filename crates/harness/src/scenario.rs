@@ -11,8 +11,8 @@
 
 use qce::faults::{FaultKind, FaultPlan};
 use qce::{
-    Architecture, BandRule, EncodingChannel, FlowConfig, Grouping, QuantConfig, QuantMethod,
-    SignConvention,
+    Architecture, BandRule, EncodingChannel, FlowConfig, Grouping, LambdaSchedule, QuantConfig,
+    QuantMethod, SignConvention,
 };
 use qce_data::Dataset;
 use qce_data::{SynthCifar, SynthFaces};
@@ -401,7 +401,14 @@ impl Scenario {
             .uint("epochs", self.flow.epochs as u64)
             .uint("batch_size", self.flow.batch_size as u64)
             .num("lr", f64::from(self.flow.lr))
-            .num("lambda_scale", f64::from(self.flow.lambda_scale));
+            .num("lambda_scale", f64::from(self.flow.lambda_scale))
+            .str(
+                "lambda_schedule",
+                match self.flow.lambda_schedule {
+                    LambdaSchedule::Warmup => "warmup",
+                    LambdaSchedule::Constant => "constant",
+                },
+            );
         let mut grouping = ObjWriter::new();
         match self.flow.grouping {
             Grouping::Benign => {
@@ -453,6 +460,13 @@ impl Scenario {
             }
         }
         flow.raw("channel", &channel.finish());
+        if let Some(plan) = &self.flow.defense {
+            let mut defense = ObjWriter::new();
+            defense.uint("seed", plan.seed());
+            let kinds: Vec<String> = plan.defenses().iter().map(defense_kind_to_json).collect();
+            defense.raw("defenses", &format!("[{}]", kinds.join(",")));
+            flow.raw("defense", &defense.finish());
+        }
         match self.flow.quant {
             None => {
                 flow.raw("quant", "null");
@@ -731,6 +745,17 @@ fn parse_flow(doc: &JsonValue) -> Result<FlowConfig> {
     if doc.get("lambda_scale").is_some() {
         cfg.lambda_scale = req_f32(doc, "lambda_scale")?;
     }
+    if let Some(v) = doc.get("lambda_schedule") {
+        cfg.lambda_schedule = match v.as_str() {
+            Some("warmup") => LambdaSchedule::Warmup,
+            Some("constant") => LambdaSchedule::Constant,
+            _ => {
+                return Err(HarnessError::spec(
+                    "flow \"lambda_schedule\" must be \"warmup\" or \"constant\"",
+                ))
+            }
+        };
+    }
     if let Some(v) = doc.get("grouping") {
         cfg.grouping = match req_str(v, "kind")?.as_str() {
             "benign" => Grouping::Benign,
@@ -794,6 +819,24 @@ fn parse_flow(doc: &JsonValue) -> Result<FlowConfig> {
                 )))
             }
         };
+    }
+    match doc.get("defense") {
+        None | Some(JsonValue::Null) => {}
+        Some(v) => {
+            let seed = req(v, "seed")?.as_u64().ok_or_else(|| {
+                HarnessError::spec("flow defense \"seed\" must be a non-negative integer")
+            })?;
+            let Some(JsonValue::Arr(items)) = v.get("defenses") else {
+                return Err(HarnessError::spec(
+                    "flow \"defense\" needs a \"defenses\" array (may be empty)",
+                ));
+            };
+            let mut plan = DefensePlan::new(seed);
+            for item in items {
+                plan = plan.with(parse_defense_kind(item)?);
+            }
+            cfg.defense = Some(plan);
+        }
     }
     match doc.get("quant") {
         None => {}
@@ -1011,6 +1054,52 @@ mod tests {
             "defenses":[{"name":"none","seed":0,"defenses":[]}]}"#;
         let err = Scenario::from_json(both).unwrap_err().to_string();
         assert!(err.contains("mutually exclusive"), "{err}");
+    }
+
+    #[test]
+    fn flow_defense_parses_and_round_trips() {
+        let s = Scenario::from_json(
+            r#"{"name":"release-defended",
+                "dataset":{"kind":"cifar","size":8,"classes":2,"count":16,"seed":0},
+                "flow":{"defense":{"seed":11,
+                        "defenses":[{"kind":"rotation","mode":"permute"}]}}}"#,
+        )
+        .unwrap();
+        let plan = s.flow.defense.as_ref().unwrap();
+        assert_eq!(plan.seed(), 11);
+        assert_eq!(plan.defenses().len(), 1);
+        assert_eq!(Scenario::from_json(&s.to_json()).unwrap(), s);
+        // An invalid plan is caught by flow validation.
+        let err = Scenario::from_json(
+            r#"{"name":"x",
+                "dataset":{"kind":"cifar","size":8,"classes":2,"count":16,"seed":0},
+                "flow":{"defense":{"seed":1,
+                        "defenses":[{"kind":"prune_scrub","fraction":2.0}]}}}"#,
+        )
+        .unwrap_err()
+        .to_string();
+        assert!(err.contains("defense plan"), "{err}");
+    }
+
+    #[test]
+    fn lambda_schedule_parses_and_round_trips() {
+        let wrap = |schedule: &str| {
+            format!(
+                r#"{{"name":"sched",
+                     "dataset":{{"kind":"cifar","size":8,"classes":2,"count":8,"seed":0}},
+                     "flow":{{"lambda_schedule":{schedule}}}}}"#
+            )
+        };
+        let s = Scenario::from_json(&wrap("\"constant\"")).unwrap();
+        assert_eq!(s.flow.lambda_schedule, LambdaSchedule::Constant);
+        assert_eq!(Scenario::from_json(&s.to_json()).unwrap(), s);
+        // Absent keeps the default.
+        let s = Scenario::from_json(&wrap("\"warmup\"")).unwrap();
+        assert_eq!(s.flow.lambda_schedule, LambdaSchedule::Warmup);
+        let err = Scenario::from_json(&wrap("\"ramp\""))
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("lambda_schedule"), "{err}");
     }
 
     #[test]

@@ -34,6 +34,7 @@
 pub mod http;
 mod job;
 mod load;
+pub mod queue;
 mod scheduler;
 mod server;
 

@@ -15,6 +15,7 @@ use qce_telemetry::json::ObjWriter;
 use qce_telemetry::{counter, fnv1a};
 
 use crate::job::{Job, JobCore, JobState};
+use crate::queue::QueueEntry;
 use crate::{ErrorKind, Result, ServeError};
 
 /// Terminal jobs are pruned oldest-first once the table exceeds this,
@@ -43,31 +44,13 @@ impl Default for SchedulerConfig {
     }
 }
 
-/// Max-heap entry: highest priority first, FIFO within a priority.
-#[derive(Debug, PartialEq, Eq)]
-struct QueueEntry {
-    priority: i64,
-    seq: u64,
-    id: u64,
-}
-
-impl Ord for QueueEntry {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.priority
-            .cmp(&other.priority)
-            .then(other.seq.cmp(&self.seq))
-    }
-}
-
-impl PartialOrd for QueueEntry {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
 #[derive(Debug, Default)]
 struct Inner {
-    queue: BinaryHeap<QueueEntry>,
+    /// Job ids ordered by the shared priority/FIFO rule
+    /// ([`QueueEntry`]); the heap lives inside `Inner` because the
+    /// scheduler's state transitions (dedup, quotas, cancellation) must
+    /// be atomic with queue membership.
+    queue: BinaryHeap<QueueEntry<u64>>,
     jobs: HashMap<u64, Arc<Job>>,
     /// `work_key → job id` for every non-terminal job: the dedup index.
     inflight: HashMap<u64, u64>,
@@ -197,7 +180,11 @@ impl Scheduler {
         prune_terminal(&mut inner);
         inner.jobs.insert(id, Arc::clone(&job));
         inner.inflight.insert(work_key, id);
-        inner.queue.push(QueueEntry { priority, seq, id });
+        inner.queue.push(QueueEntry {
+            priority,
+            seq,
+            item: id,
+        });
         counter("serve.submit").incr(1);
         self.work.notify_one();
         Ok((job, false))
@@ -342,7 +329,7 @@ impl Scheduler {
                         return;
                     }
                     if let Some(entry) = inner.queue.pop() {
-                        if let Some(job) = inner.jobs.get(&entry.id).map(Arc::clone) {
+                        if let Some(job) = inner.jobs.get(&entry.item).map(Arc::clone) {
                             // Skip entries finalized while queued
                             // (cancelled); only Queued jobs run.
                             if job.state() == JobState::Queued {

@@ -1,0 +1,334 @@
+//! Runs expanded cells on a worker pool, memoizing finished cells in
+//! the stage cache.
+//!
+//! Each cell is one [`FlowMachine`](qce::FlowMachine) drive. Two cache
+//! layers make re-runs cheap:
+//!
+//! 1. **Stage checkpoints** (inside the machine): cells that share a
+//!    config prefix — e.g. four fault variants of one trained model —
+//!    replay `select`/`train`/`evaluate` checkpoints instead of
+//!    recomputing them.
+//! 2. **Whole-cell memoization** (here): a finished cell's metrics are
+//!    stored under its content-addressed [`Cell::key`]; a warm re-run
+//!    answers from that entry without even synthesizing the dataset,
+//!    so its `store.write` delta is zero.
+//!
+//! The pool itself is a [`WorkQueue`](qce_serve::queue::WorkQueue) of
+//! cell positions drained by a fixed set of threads. Per-cell metrics
+//! come only from flow reports — never from process-global telemetry
+//! counters, which concurrent cells would interleave — so results are
+//! bit-identical at any worker count.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use qce::{AttackFlow, FaultedReport, FlowOutcome, StageReport};
+use qce_harness::RECOVERY_MAPE_CEILING;
+use qce_serve::queue::WorkQueue;
+use qce_store::codec::{ByteReader, ByteWriter};
+use qce_store::{section_kind, Artifact, CacheKey, StageCache};
+
+use crate::grid::Cell;
+use crate::report::{CellMetrics, CellResult};
+use crate::{Result, SweepError};
+
+/// Artifact section tag for a memoized cell result (downstream range;
+/// the core crate claims `BASE` and `BASE + 1`).
+const CELL_RESULT: u16 = section_kind::DOWNSTREAM_BASE + 0x10;
+
+/// Cache stage label for memoized cell results.
+const CELL_STAGE: &str = "sweep-cell";
+
+/// Execution knobs for [`run_cells`].
+#[derive(Debug, Clone, Default)]
+pub struct ExecOptions {
+    /// Worker threads; `0` means one.
+    pub workers: usize,
+    /// Stage cache shared by every cell (checkpoints + cell
+    /// memoization). `None` runs everything cold and unmemoized.
+    pub cache: Option<StageCache>,
+    /// Run only the first `n` queued cells (in expansion order) and
+    /// skip the rest — the deterministic stand-in for a mid-run kill.
+    pub limit: Option<usize>,
+}
+
+/// One executed (or replayed) cell.
+#[derive(Debug, Clone)]
+pub struct CellRun {
+    /// The cell's metrics plus identity, ready for a report partial.
+    pub result: CellResult,
+    /// Wall time this process spent on the cell, milliseconds.
+    pub wall_ms: f64,
+    /// Whether the result came from the whole-cell cache entry.
+    pub cached: bool,
+}
+
+/// Runs `cells` across `opts.workers` threads and returns their runs in
+/// input order.
+///
+/// The first failing cell aborts the run: the queue is closed, workers
+/// discard the remaining cells, and the error is returned. With
+/// `opts.limit`, only the first `n` cells are attempted and the result
+/// covers exactly those (a resumed run replays them from cache and
+/// continues).
+///
+/// # Errors
+///
+/// The first cell failure ([`SweepError::Flow`] or a dataset/spec
+/// error), verbatim.
+pub fn run_cells(cells: &[Cell], opts: &ExecOptions) -> Result<Vec<CellRun>> {
+    let take = opts.limit.unwrap_or(cells.len()).min(cells.len());
+    let queue: WorkQueue<usize> = WorkQueue::new();
+    for position in 0..take {
+        queue.push(0, position);
+    }
+    queue.close();
+
+    let slots: Mutex<Vec<Option<CellRun>>> = Mutex::new(vec![None; take]);
+    let failure: Mutex<Option<SweepError>> = Mutex::new(None);
+    let abort = AtomicBool::new(false);
+    let workers = opts.workers.max(1).min(take.max(1));
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| {
+                while let Some(position) = queue.pop() {
+                    if abort.load(Ordering::SeqCst) {
+                        continue;
+                    }
+                    match run_cell(&cells[position], opts) {
+                        Ok(run) => {
+                            slots.lock().expect("sweep results")[position] = Some(run);
+                        }
+                        Err(e) => {
+                            abort.store(true, Ordering::SeqCst);
+                            let mut failure = failure.lock().expect("sweep failure");
+                            failure.get_or_insert(e);
+                        }
+                    }
+                }
+            });
+        }
+    });
+
+    if let Some(e) = failure.into_inner().expect("sweep failure") {
+        return Err(e);
+    }
+    let runs: Vec<CellRun> = slots
+        .into_inner()
+        .expect("sweep results")
+        .into_iter()
+        .flatten()
+        .collect();
+    debug_assert_eq!(runs.len(), take);
+    Ok(runs)
+}
+
+/// Executes one cell: whole-cell cache probe, then a full flow drive.
+fn run_cell(cell: &Cell, opts: &ExecOptions) -> Result<CellRun> {
+    let started = Instant::now();
+    let key = CacheKey::new(cell.key, cell.scenario.flow.seed, CELL_STAGE);
+    if let Some(cache) = &opts.cache {
+        if let Some(metrics) = load_cell(cache, &key) {
+            return Ok(CellRun {
+                result: CellResult::new(cell, metrics),
+                wall_ms: started.elapsed().as_secs_f64() * 1e3,
+                cached: true,
+            });
+        }
+    }
+
+    let scenario = &cell.scenario;
+    let dataset = scenario.dataset.generate()?;
+    let mut flow = AttackFlow::new(scenario.flow.clone());
+    if let Some(cache) = &opts.cache {
+        flow = flow.with_cache(cache.clone());
+    }
+    // The machine derives its narration level from `config.verbose`;
+    // mirror that for the faulted-evaluation path below.
+    let level = if scenario.flow.verbose {
+        qce_telemetry::Level::Progress
+    } else {
+        qce_telemetry::Level::Debug
+    };
+
+    let metrics = match &scenario.fault {
+        None => {
+            let mut machine = flow.machine(&dataset)?;
+            while !machine.is_done() {
+                machine.advance()?;
+            }
+            metrics_from_outcome(scenario, &machine.into_outcome()?)
+        }
+        Some(plan) => {
+            // Select + Train only; the faulted evaluation quantizes and
+            // perturbs internally and is itself cached under a hash
+            // covering the quantizer and the fault plan.
+            let mut machine = flow.machine(&dataset)?;
+            machine.advance()?;
+            machine.advance()?;
+            let cache_hash = machine.cache_hash();
+            let mut trained = machine.into_trained()?;
+            let faulted = trained.evaluate_faulted_cached(
+                scenario.flow.quant,
+                plan,
+                format!("fault seed {}", plan.seed()),
+                opts.cache.as_ref(),
+                cache_hash,
+                level,
+            )?;
+            metrics_from_faulted(scenario, &faulted)
+        }
+    };
+
+    if let Some(cache) = &opts.cache {
+        store_cell(cache, &key, &metrics);
+    }
+    Ok(CellRun {
+        result: CellResult::new(cell, metrics),
+        wall_ms: started.elapsed().as_secs_f64() * 1e3,
+        cached: false,
+    })
+}
+
+fn effective_bits(scenario: &qce_harness::Scenario) -> u32 {
+    scenario.flow.quant.map_or(0, |q| q.bits)
+}
+
+/// Metrics for a clean (or defended) cell, from the finished flow.
+fn metrics_from_outcome(scenario: &qce_harness::Scenario, outcome: &FlowOutcome) -> CellMetrics {
+    let base = |report: &StageReport| CellMetrics {
+        float_accuracy: Some(outcome.pre_quant.accuracy),
+        accuracy: report.accuracy,
+        images: report.images.len() as u32,
+        recovered: report.count_mape_below(RECOVERY_MAPE_CEILING) as u32,
+        mean_mape: Some(report.mean_mape()),
+        mean_ssim: Some(report.mean_ssim()),
+        bits: effective_bits(scenario),
+        compression_ratio: outcome.compression_ratio,
+    };
+    match &outcome.post_defense {
+        None => base(outcome.final_report()),
+        Some(defended) => CellMetrics {
+            accuracy: defended.accuracy,
+            images: defended.images.len() as u32,
+            recovered: defended.recovered_count(RECOVERY_MAPE_CEILING) as u32,
+            mean_mape: defended.mean_mape(),
+            mean_ssim: defended.mean_ssim(),
+            ..base(outcome.final_report())
+        },
+    }
+}
+
+/// Metrics for a faulted cell. The float stage never runs on this path,
+/// so `float_accuracy` and the compression ratio are absent.
+fn metrics_from_faulted(scenario: &qce_harness::Scenario, report: &FaultedReport) -> CellMetrics {
+    CellMetrics {
+        float_accuracy: None,
+        accuracy: report.accuracy,
+        images: report.images.len() as u32,
+        recovered: report.recovered_count(RECOVERY_MAPE_CEILING) as u32,
+        mean_mape: report.mean_mape(),
+        mean_ssim: report.mean_ssim(),
+        bits: effective_bits(scenario),
+        compression_ratio: None,
+    }
+}
+
+fn store_cell(cache: &StageCache, key: &CacheKey, metrics: &CellMetrics) {
+    let mut w = ByteWriter::new();
+    put_opt_f32(&mut w, metrics.float_accuracy);
+    w.put_f32(metrics.accuracy);
+    w.put_u32(metrics.images);
+    w.put_u32(metrics.recovered);
+    put_opt_f32(&mut w, metrics.mean_mape);
+    put_opt_f32(&mut w, metrics.mean_ssim);
+    w.put_u32(metrics.bits);
+    match metrics.compression_ratio {
+        None => {
+            w.put_u8(0);
+        }
+        Some(v) => {
+            w.put_u8(1).put_f64(v);
+        }
+    }
+    let mut artifact = Artifact::new();
+    artifact.push(CELL_RESULT, w.finish());
+    // Failure policy matches the flow's own checkpointing: a cache that
+    // cannot persist degrades to recomputation, never to a sweep error.
+    if let Err(e) = cache.store(key, &artifact) {
+        qce_telemetry::debug!("[sweep] cell store failed for {}: {e}", key.stage);
+    }
+}
+
+fn load_cell(cache: &StageCache, key: &CacheKey) -> Option<CellMetrics> {
+    let artifact = cache.load(key)?;
+    let payload = artifact.require(CELL_RESULT).ok()?;
+    let mut r = ByteReader::new(payload);
+    let mut decode = || -> qce_store::Result<CellMetrics> {
+        let metrics = CellMetrics {
+            float_accuracy: get_opt_f32(&mut r)?,
+            accuracy: r.f32()?,
+            images: r.u32()?,
+            recovered: r.u32()?,
+            mean_mape: get_opt_f32(&mut r)?,
+            mean_ssim: get_opt_f32(&mut r)?,
+            bits: r.u32()?,
+            compression_ratio: match r.u8()? {
+                0 => None,
+                _ => Some(r.f64()?),
+            },
+        };
+        r.expect_empty()?;
+        Ok(metrics)
+    };
+    decode().ok()
+}
+
+fn put_opt_f32(w: &mut ByteWriter, v: Option<f32>) {
+    match v {
+        None => {
+            w.put_u8(0);
+        }
+        Some(v) => {
+            w.put_u8(1).put_f32(v);
+        }
+    }
+}
+
+fn get_opt_f32(r: &mut ByteReader<'_>) -> qce_store::Result<Option<f32>> {
+    Ok(match r.u8()? {
+        0 => None,
+        _ => Some(r.f32()?),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cell_metrics_survive_the_cache_codec() {
+        let dir = std::env::temp_dir().join(format!("qce-sweep-codec-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = StageCache::at(&dir);
+        let metrics = CellMetrics {
+            float_accuracy: Some(0.75),
+            accuracy: 0.5,
+            images: 8,
+            recovered: 3,
+            mean_mape: Some(12.5),
+            mean_ssim: None,
+            bits: 4,
+            compression_ratio: Some(8.0),
+        };
+        let key = CacheKey::new(0xfeed, 5, CELL_STAGE);
+        store_cell(&cache, &key, &metrics);
+        let loaded = load_cell(&cache, &key).expect("round trip");
+        assert_eq!(format!("{metrics:?}"), format!("{loaded:?}"));
+        // A different key misses.
+        assert!(load_cell(&cache, &CacheKey::new(0xbeef, 5, CELL_STAGE)).is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

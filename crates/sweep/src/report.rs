@@ -1,0 +1,632 @@
+//! Sweep partials, deterministic merging, and the Pareto-frontier
+//! report.
+//!
+//! Every run (whole grid or one shard) writes a **partial**: the cell
+//! results it computed, tagged with the grid's spec digest and the
+//! shard arithmetic. [`merge_partials`] folds any complete set of
+//! partials — one from a single process, or `n` from `--shard i/n`
+//! runs — into a [`SweepReport`] whose rendered bytes depend only on
+//! the cell *contents*: cells are sorted by expansion index, numbers
+//! render through one deterministic writer, and the digest hashes the
+//! rendered body. A sweep killed and resumed, or split across
+//! machines, therefore merges to the byte-identical report of an
+//! uninterrupted single-process run.
+//!
+//! **Pareto rules** (see `DESIGN.md` §5k): cell `a` dominates cell `b`
+//! when `a` is no worse on every objective and strictly better on at
+//! least one, over the objectives *maximize accuracy*, *minimize mean
+//! MAPE* (a cell with no decoded images counts as infinitely bad),
+//! *maximize recovered images*, and *minimize effective bit width*
+//! (an unquantized float release counts as 32 bits). The frontier is
+//! the set of non-dominated cells, listed by expansion index.
+
+use qce_telemetry::fnv1a;
+use qce_telemetry::json::{parse, JsonValue, ObjWriter};
+
+use crate::grid::{render, Cell, Grid};
+use crate::{CellRun, Result, SweepError};
+
+/// Format tag of a merged sweep report document.
+pub const REPORT_FORMAT: &str = "qce-sweep-report-v1";
+
+/// Format tag of a per-run partial document.
+pub const PARTIAL_FORMAT: &str = "qce-sweep-partial-v1";
+
+/// Bit width charged to an unquantized (float) release in the Pareto
+/// ordering.
+const FLOAT_BITS: u32 = 32;
+
+/// The gateable metrics of one finished cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellMetrics {
+    /// Accuracy of the float model, when the float stage ran (absent
+    /// on fault cells, which skip it).
+    pub float_accuracy: Option<f32>,
+    /// Task accuracy of the released (final) stage.
+    pub accuracy: f32,
+    /// Embedded target images the release carries.
+    pub images: u32,
+    /// Images decoded below the recovery MAPE ceiling.
+    pub recovered: u32,
+    /// Mean MAPE over decoded images; `None` when nothing decoded.
+    pub mean_mape: Option<f32>,
+    /// Mean SSIM over decoded images; `None` when nothing decoded.
+    pub mean_ssim: Option<f32>,
+    /// Released bit width; `0` means an unquantized float release.
+    pub bits: u32,
+    /// Float-to-released compression ratio, when quantization ran.
+    pub compression_ratio: Option<f64>,
+}
+
+/// One cell's identity plus its metrics — the unit partials carry.
+#[derive(Debug, Clone)]
+pub struct CellResult {
+    /// Expansion index within the grid (report order).
+    pub index: usize,
+    /// Stable cell name (`c0007`-style).
+    pub name: String,
+    /// `(axis, value label)` pairs in spec order.
+    pub axes: Vec<(String, String)>,
+    /// Content-addressed cell key.
+    pub cell_key: u64,
+    /// The measured metrics.
+    pub metrics: CellMetrics,
+}
+
+impl CellResult {
+    /// Binds `metrics` to `cell`'s identity.
+    #[must_use]
+    pub fn new(cell: &Cell, metrics: CellMetrics) -> Self {
+        CellResult {
+            index: cell.index,
+            name: cell.name.clone(),
+            axes: cell.axes.clone(),
+            cell_key: cell.key,
+            metrics,
+        }
+    }
+
+    /// Effective bit width for the Pareto ordering.
+    fn pareto_bits(&self) -> u32 {
+        if self.metrics.bits == 0 {
+            FLOAT_BITS
+        } else {
+            self.metrics.bits
+        }
+    }
+
+    /// Mean MAPE for the Pareto ordering; undecodable → +∞.
+    fn pareto_mape(&self) -> f64 {
+        self.metrics.mean_mape.map_or(f64::INFINITY, f64::from)
+    }
+
+    fn render(&self) -> String {
+        let mut axes = String::from("[");
+        for (i, (axis, label)) in self.axes.iter().enumerate() {
+            if i > 0 {
+                axes.push(',');
+            }
+            axes.push_str(&render(&JsonValue::Arr(vec![
+                JsonValue::Str(axis.clone()),
+                JsonValue::Str(label.clone()),
+            ])));
+        }
+        axes.push(']');
+
+        let m = &self.metrics;
+        let mut metrics = ObjWriter::new();
+        opt_num(
+            &mut metrics,
+            "float_accuracy",
+            m.float_accuracy.map(f64::from),
+        );
+        metrics.num("accuracy", f64::from(m.accuracy));
+        metrics.uint("images", u64::from(m.images));
+        metrics.uint("recovered", u64::from(m.recovered));
+        opt_num(&mut metrics, "mean_mape", m.mean_mape.map(f64::from));
+        opt_num(&mut metrics, "mean_ssim", m.mean_ssim.map(f64::from));
+        metrics.uint("bits", u64::from(m.bits));
+        opt_num(&mut metrics, "compression_ratio", m.compression_ratio);
+
+        let mut w = ObjWriter::new();
+        w.uint("index", self.index as u64)
+            .str("name", &self.name)
+            .raw("axes", &axes)
+            .str("key", &format!("{:016x}", self.cell_key))
+            .raw("metrics", &metrics.finish());
+        w.finish()
+    }
+
+    fn from_json(doc: &JsonValue) -> Result<CellResult> {
+        let bad = |what: &str| SweepError::spec(format!("partial cell: {what}"));
+        let index = doc
+            .get("index")
+            .and_then(JsonValue::as_u64)
+            .ok_or_else(|| bad("missing \"index\""))? as usize;
+        let name = doc
+            .get("name")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| bad("missing \"name\""))?
+            .to_string();
+        let Some(JsonValue::Arr(axis_docs)) = doc.get("axes") else {
+            return Err(bad("missing \"axes\""));
+        };
+        let mut axes = Vec::with_capacity(axis_docs.len());
+        for pair in axis_docs {
+            let JsonValue::Arr(pair) = pair else {
+                return Err(bad("axes entries must be [axis, label] pairs"));
+            };
+            match (
+                pair.first().and_then(JsonValue::as_str),
+                pair.get(1).and_then(JsonValue::as_str),
+            ) {
+                (Some(a), Some(l)) if pair.len() == 2 => axes.push((a.to_string(), l.to_string())),
+                _ => return Err(bad("axes entries must be [axis, label] pairs")),
+            }
+        }
+        let cell_key = doc
+            .get("key")
+            .and_then(JsonValue::as_str)
+            .and_then(|s| u64::from_str_radix(s, 16).ok())
+            .ok_or_else(|| bad("missing or unparsable \"key\""))?;
+        let m = doc
+            .get("metrics")
+            .ok_or_else(|| bad("missing \"metrics\""))?;
+        let req = |field: &str| {
+            m.get(field)
+                .and_then(JsonValue::as_f64)
+                .ok_or_else(|| SweepError::spec(format!("partial cell: missing \"{field}\"")))
+        };
+        let opt = |field: &str| match m.get(field) {
+            None | Some(JsonValue::Null) => None,
+            Some(v) => v.as_f64(),
+        };
+        let metrics = CellMetrics {
+            float_accuracy: opt("float_accuracy").map(|v| v as f32),
+            accuracy: req("accuracy")? as f32,
+            images: req("images")? as u32,
+            recovered: req("recovered")? as u32,
+            mean_mape: opt("mean_mape").map(|v| v as f32),
+            mean_ssim: opt("mean_ssim").map(|v| v as f32),
+            bits: req("bits")? as u32,
+            compression_ratio: opt("compression_ratio"),
+        };
+        Ok(CellResult {
+            index,
+            name,
+            axes,
+            cell_key,
+            metrics,
+        })
+    }
+}
+
+fn opt_num(w: &mut ObjWriter, key: &str, v: Option<f64>) {
+    match v {
+        None => {
+            w.raw(key, "null");
+        }
+        Some(v) => {
+            w.num(key, v);
+        }
+    }
+}
+
+/// Renders one run's partial document.
+///
+/// `shard`/`shards` describe which slice of `grid` this run covered;
+/// a whole-grid run is shard `0/1`. `runs` must be exactly the cells
+/// [`Grid::shard_cells`] assigns to that shard (the merge validates
+/// coverage).
+#[must_use]
+pub fn partial_json(grid: &Grid, shard: u64, shards: u64, runs: &[CellRun]) -> String {
+    let mut results: Vec<&CellRun> = runs.iter().collect();
+    results.sort_by_key(|r| r.result.index);
+    let mut cells = String::from("[");
+    for (i, run) in results.iter().enumerate() {
+        if i > 0 {
+            cells.push(',');
+        }
+        cells.push_str(&run.result.render());
+    }
+    cells.push(']');
+
+    let mut w = ObjWriter::new();
+    w.str("format", PARTIAL_FORMAT)
+        .str("grid", &grid.name)
+        .str("spec_digest", &format!("{:016x}", grid.spec_digest))
+        .uint("shard", shard)
+        .uint("shards", shards)
+        .uint("total_cells", grid.cells.len() as u64)
+        .raw("cells", &cells);
+    let mut out = w.finish();
+    out.push('\n');
+    out
+}
+
+/// A merged sweep: every cell result plus the Pareto frontier.
+#[derive(Debug)]
+pub struct SweepReport {
+    /// Grid name.
+    pub grid: String,
+    /// Every cell, sorted by expansion index.
+    pub cells: Vec<CellResult>,
+    /// Expansion indices of the non-dominated cells, ascending.
+    pub pareto: Vec<usize>,
+}
+
+impl SweepReport {
+    /// Builds a report from a complete cell set (sorted internally).
+    #[must_use]
+    pub fn new(grid: String, mut cells: Vec<CellResult>) -> Self {
+        cells.sort_by_key(|c| c.index);
+        let pareto = pareto_front(&cells);
+        SweepReport {
+            grid,
+            cells,
+            pareto,
+        }
+    }
+
+    /// The report body without its digest field.
+    fn body(&self) -> String {
+        let mut cells = String::from("[");
+        for (i, cell) in self.cells.iter().enumerate() {
+            if i > 0 {
+                cells.push(',');
+            }
+            cells.push_str(&cell.render());
+        }
+        cells.push(']');
+        let mut pareto = String::from("[");
+        for (i, index) in self.pareto.iter().enumerate() {
+            if i > 0 {
+                pareto.push(',');
+            }
+            pareto.push_str(&index.to_string());
+        }
+        pareto.push(']');
+        let mut w = ObjWriter::new();
+        w.str("format", REPORT_FORMAT)
+            .str("grid", &self.grid)
+            .uint("total_cells", self.cells.len() as u64)
+            .raw("cells", &cells)
+            .raw("pareto", &pareto);
+        w.finish()
+    }
+
+    /// The report digest: a hash of the rendered body, so two reports
+    /// agree exactly when their bytes do.
+    #[must_use]
+    pub fn digest_hex(&self) -> String {
+        format!("{:016x}", fnv1a(&self.body()))
+    }
+
+    /// Renders the canonical report document (body + digest).
+    #[must_use]
+    pub fn render_json(&self) -> String {
+        let mut body = self.body();
+        debug_assert_eq!(body.pop(), Some('}'));
+        body.push_str(&format!(",\"digest\":\"{}\"}}\n", self.digest_hex()));
+        body
+    }
+
+    /// Renders the human leaderboard: cells sorted by released accuracy
+    /// (descending, index-stable), frontier members starred.
+    #[must_use]
+    pub fn render_markdown(&self) -> String {
+        let mut order: Vec<&CellResult> = self.cells.iter().collect();
+        order.sort_by(|a, b| {
+            b.metrics
+                .accuracy
+                .partial_cmp(&a.metrics.accuracy)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.index.cmp(&b.index))
+        });
+        let mut out = format!(
+            "# Sweep `{}` — {} cells, {} on the Pareto frontier\n\n\
+             | cell | axes | bits | accuracy | float acc | MAPE % | SSIM | recovered | frontier |\n\
+             |---|---|---:|---:|---:|---:|---:|---:|:-:|\n",
+            self.grid,
+            self.cells.len(),
+            self.pareto.len()
+        );
+        let fmt_opt = |v: Option<f32>| v.map_or("—".to_string(), |v| format!("{v:.3}"));
+        for cell in order {
+            let axes = cell
+                .axes
+                .iter()
+                .map(|(a, v)| format!("{a}={v}"))
+                .collect::<Vec<_>>()
+                .join(" ");
+            let m = &cell.metrics;
+            out.push_str(&format!(
+                "| {} | {} | {} | {:.3} | {} | {} | {} | {}/{} | {} |\n",
+                cell.name,
+                axes,
+                if m.bits == 0 {
+                    "float".to_string()
+                } else {
+                    m.bits.to_string()
+                },
+                m.accuracy,
+                fmt_opt(m.float_accuracy),
+                m.mean_mape.map_or("—".to_string(), |v| format!("{v:.1}")),
+                fmt_opt(m.mean_ssim),
+                m.recovered,
+                m.images,
+                if self.pareto.contains(&cell.index) {
+                    "★"
+                } else {
+                    ""
+                },
+            ));
+        }
+        out
+    }
+}
+
+/// `a` dominates `b`: no worse on every objective, strictly better on
+/// at least one.
+fn dominates(a: &CellResult, b: &CellResult) -> bool {
+    let ge = a.metrics.accuracy >= b.metrics.accuracy
+        && a.pareto_mape() <= b.pareto_mape()
+        && a.metrics.recovered >= b.metrics.recovered
+        && a.pareto_bits() <= b.pareto_bits();
+    let gt = a.metrics.accuracy > b.metrics.accuracy
+        || a.pareto_mape() < b.pareto_mape()
+        || a.metrics.recovered > b.metrics.recovered
+        || a.pareto_bits() < b.pareto_bits();
+    ge && gt
+}
+
+fn pareto_front(cells: &[CellResult]) -> Vec<usize> {
+    cells
+        .iter()
+        .filter(|c| !cells.iter().any(|other| dominates(other, c)))
+        .map(|c| c.index)
+        .collect()
+}
+
+/// Merges a complete set of partial documents into one report.
+///
+/// # Errors
+///
+/// [`SweepError::Spec`] when the partials disagree on grid identity or
+/// shard arithmetic, overlap, or fail to cover every cell — a merge
+/// never silently drops or double-counts a cell.
+pub fn merge_partials(partials: &[String]) -> Result<SweepReport> {
+    if partials.is_empty() {
+        return Err(SweepError::spec("no partials to merge"));
+    }
+    let mut grid: Option<(String, String, u64, u64)> = None;
+    let mut seen_shards: Vec<u64> = Vec::new();
+    let mut cells: Vec<CellResult> = Vec::new();
+    for (i, body) in partials.iter().enumerate() {
+        let doc = parse(body).map_err(|e| SweepError::spec(format!("partial {i}: {e}")))?;
+        let field = |key: &str| {
+            doc.get(key)
+                .and_then(JsonValue::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| SweepError::spec(format!("partial {i}: missing \"{key}\"")))
+        };
+        let uint = |key: &str| {
+            doc.get(key)
+                .and_then(JsonValue::as_u64)
+                .ok_or_else(|| SweepError::spec(format!("partial {i}: missing \"{key}\"")))
+        };
+        let format = field("format")?;
+        if format != PARTIAL_FORMAT {
+            return Err(SweepError::spec(format!(
+                "partial {i}: format {format:?}, expected {PARTIAL_FORMAT:?}"
+            )));
+        }
+        let identity = (
+            field("grid")?,
+            field("spec_digest")?,
+            uint("shards")?,
+            uint("total_cells")?,
+        );
+        let shards_declared = identity.2;
+        match &grid {
+            None => grid = Some(identity),
+            Some(expected) if *expected == identity => {}
+            Some(expected) => {
+                return Err(SweepError::spec(format!(
+                    "partial {i} belongs to a different sweep: {identity:?} vs {expected:?}"
+                )))
+            }
+        }
+        let shard = uint("shard")?;
+        if shard >= shards_declared {
+            return Err(SweepError::spec(format!(
+                "partial {i}: shard {shard} out of range 0..{shards_declared}"
+            )));
+        }
+        if seen_shards.contains(&shard) {
+            return Err(SweepError::spec(format!(
+                "partial {i}: shard {shard} appears twice"
+            )));
+        }
+        seen_shards.push(shard);
+        let Some(JsonValue::Arr(cell_docs)) = doc.get("cells") else {
+            return Err(SweepError::spec(format!("partial {i}: missing \"cells\"")));
+        };
+        for cell_doc in cell_docs {
+            cells.push(CellResult::from_json(cell_doc)?);
+        }
+    }
+    let (grid_name, _, shards, total_cells) = grid.expect("at least one partial");
+    if seen_shards.len() as u64 != shards {
+        return Err(SweepError::spec(format!(
+            "have {} partial(s) for a {shards}-shard sweep",
+            seen_shards.len()
+        )));
+    }
+    let mut indices: Vec<usize> = cells.iter().map(|c| c.index).collect();
+    indices.sort_unstable();
+    if indices.windows(2).any(|w| w[0] == w[1]) {
+        return Err(SweepError::spec("partials overlap: duplicate cell index"));
+    }
+    let expected: Vec<usize> = (0..total_cells as usize).collect();
+    if indices != expected {
+        let missing: Vec<usize> = expected
+            .iter()
+            .filter(|i| !indices.contains(i))
+            .copied()
+            .collect();
+        return Err(SweepError::spec(format!(
+            "partials cover {}/{total_cells} cells (missing indices {missing:?}) — \
+             is a shard's run incomplete?",
+            indices.len()
+        )));
+    }
+    Ok(SweepReport::new(grid_name, cells))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cell(
+        index: usize,
+        accuracy: f32,
+        mape: Option<f32>,
+        recovered: u32,
+        bits: u32,
+    ) -> CellResult {
+        CellResult {
+            index,
+            name: format!("c{index:04}"),
+            axes: vec![("bits".to_string(), bits.to_string())],
+            cell_key: 0x1000 + index as u64,
+            metrics: CellMetrics {
+                float_accuracy: Some(accuracy + 0.05),
+                accuracy,
+                images: 4,
+                recovered,
+                mean_mape: mape,
+                mean_ssim: mape.map(|m| 1.0 - m / 100.0),
+                bits,
+                compression_ratio: (bits > 0).then(|| 32.0 / f64::from(bits)),
+            },
+        }
+    }
+
+    #[test]
+    fn pareto_front_drops_dominated_cells_only() {
+        // c1 dominates c0 (same accuracy/recovered, better mape+bits);
+        // c2 trades accuracy for bits against c1 — both survive. An
+        // undecodable cell (mape None) survives only via another axis.
+        let cells = vec![
+            cell(0, 0.50, Some(20.0), 2, 8),
+            cell(1, 0.50, Some(10.0), 2, 4),
+            cell(2, 0.60, Some(15.0), 2, 8),
+            cell(3, 0.40, None, 1, 2),
+        ];
+        let report = SweepReport::new("t".to_string(), cells);
+        assert_eq!(report.pareto, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn report_bytes_are_identical_across_merge_orders() {
+        let cells = vec![
+            cell(0, 0.5, Some(12.0), 2, 4),
+            cell(1, 0.6, Some(30.0), 1, 8),
+            cell(2, 0.4, None, 0, 2),
+        ];
+        let direct = SweepReport::new("t".to_string(), cells.clone()).render_json();
+        let reversed: Vec<CellResult> = cells.into_iter().rev().collect();
+        let merged = SweepReport::new("t".to_string(), reversed).render_json();
+        assert_eq!(direct, merged);
+        assert!(direct.contains("\"digest\":\""));
+    }
+
+    #[test]
+    fn cell_results_round_trip_through_partial_json() {
+        let original = cell(7, 0.5, None, 0, 0);
+        let doc = parse(&original.render()).unwrap();
+        let back = CellResult::from_json(&doc).unwrap();
+        assert_eq!(format!("{original:?}"), format!("{back:?}"));
+        assert_eq!(back.render(), original.render());
+    }
+
+    fn partial_doc(shard: u64, shards: u64, total: u64, cells: &[CellResult]) -> String {
+        let mut rendered = String::from("[");
+        for (i, c) in cells.iter().enumerate() {
+            if i > 0 {
+                rendered.push(',');
+            }
+            rendered.push_str(&c.render());
+        }
+        rendered.push(']');
+        let mut w = ObjWriter::new();
+        w.str("format", PARTIAL_FORMAT)
+            .str("grid", "t")
+            .str("spec_digest", "00000000deadbeef")
+            .uint("shard", shard)
+            .uint("shards", shards)
+            .uint("total_cells", total)
+            .raw("cells", &rendered);
+        w.finish()
+    }
+
+    #[test]
+    fn merge_validates_coverage_and_identity() {
+        let c0 = cell(0, 0.5, Some(10.0), 1, 4);
+        let c1 = cell(1, 0.6, Some(20.0), 2, 8);
+        let merged = merge_partials(&[
+            partial_doc(1, 2, 2, std::slice::from_ref(&c1)),
+            partial_doc(0, 2, 2, std::slice::from_ref(&c0)),
+        ])
+        .unwrap();
+        assert_eq!(merged.cells.len(), 2);
+        assert_eq!(merged.cells[0].index, 0);
+
+        // Missing a shard.
+        let err = merge_partials(&[partial_doc(0, 2, 2, std::slice::from_ref(&c0))])
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("1 partial(s) for a 2-shard"), "{err}");
+
+        // Duplicate shard.
+        let err = merge_partials(&[
+            partial_doc(0, 2, 2, std::slice::from_ref(&c0)),
+            partial_doc(0, 2, 2, std::slice::from_ref(&c1)),
+        ])
+        .unwrap_err()
+        .to_string();
+        assert!(err.contains("appears twice"), "{err}");
+
+        // Duplicate cell across shards.
+        let err = merge_partials(&[
+            partial_doc(0, 2, 2, std::slice::from_ref(&c0)),
+            partial_doc(1, 2, 2, std::slice::from_ref(&c0)),
+        ])
+        .unwrap_err()
+        .to_string();
+        assert!(err.contains("duplicate cell index"), "{err}");
+
+        // Incomplete coverage (shard counts right, a cell missing).
+        let err = merge_partials(&[partial_doc(0, 1, 2, std::slice::from_ref(&c0))])
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("missing indices"), "{err}");
+    }
+
+    #[test]
+    fn markdown_leaderboard_stars_the_frontier() {
+        let report = SweepReport::new(
+            "t".to_string(),
+            vec![
+                cell(0, 0.5, Some(10.0), 2, 4),
+                cell(1, 0.4, Some(30.0), 1, 4),
+            ],
+        );
+        let md = report.render_markdown();
+        assert!(md.contains("| c0000 |") && md.contains("★"), "{md}");
+        let starred: Vec<&str> = md.lines().filter(|l| l.contains('★')).collect();
+        assert_eq!(starred.len(), 1);
+        assert!(starred[0].contains("c0000"));
+    }
+}
